@@ -1,0 +1,32 @@
+// Command calibrate prints, for every Table II title, the measured
+// standalone and heterogeneous-baseline frame rates next to the
+// paper's Table II FPS (which the paper measured on the 4-CPU
+// heterogeneous baseline). It is the development tool used to tune
+// the per-game model parameters in internal/workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/hetsim"
+)
+
+func main() {
+	scale := flag.Int("scale", 64, "scale factor")
+	flag.Parse()
+
+	cfg := hetsim.DefaultConfig(*scale)
+	fmt.Printf("%-14s %10s %10s %10s %8s\n", "title", "alone", "hetero", "tableII", "ratio")
+	for _, m := range hetsim.EvalMixes() {
+		g, _ := hetsim.GameByName(m.Game)
+		alone := hetsim.RunGPUAlone(cfg, m.Game)
+		het := hetsim.RunMix(cfg, m)
+		ratio := 0.0
+		if g.TableFPS > 0 {
+			ratio = het.GPUFPS / g.TableFPS
+		}
+		fmt.Printf("%-14s %10.1f %10.1f %10.1f %8.2f\n",
+			m.Game, alone.GPUFPS, het.GPUFPS, g.TableFPS, ratio)
+	}
+}

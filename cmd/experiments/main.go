@@ -1,0 +1,132 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -exp fig9            # one experiment
+//	experiments -all                 # everything, paper order
+//	experiments -exp fig12 -scale 32 # heavier, closer-to-paper run
+//	experiments -ablate step -mix M7 # beyond-paper ablations
+//
+// Output is one printable block per experiment with the headline
+// aggregate the paper quotes; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/hetsim"
+	"repro/internal/exp"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id: "+strings.Join(hetsim.ExperimentIDs(), ", "))
+		all     = flag.Bool("all", false, "run every experiment in paper order")
+		scale   = flag.Int("scale", 64, "scale factor (smaller = slower, closer to paper size)")
+		fast    = flag.Bool("fast", false, "shorter windows (smoke-test quality)")
+		ablate  = flag.String("ablate", "", "ablation: step, target, law, cmbal, prefetch, llc")
+		mixID   = flag.String("mix", "M7", "mix for ablations")
+		format  = flag.String("format", "text", "output format: text, csv, json, chart")
+		save    = flag.String("save", "", "write the run's reports to a JSON archive")
+		compare = flag.String("compare", "", "diff this run against a saved archive (>=5% drift)")
+	)
+	flag.Parse()
+
+	outFormat, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := hetsim.DefaultConfig(*scale)
+	if *fast {
+		cfg.WarmupInstr /= 8
+		cfg.MeasureInstr /= 8
+		cfg.WarmupFrames = 4
+		cfg.MinFrames = 3
+	}
+	runner := hetsim.NewRunner(cfg)
+
+	if *ablate != "" {
+		runAblation(runner, *ablate, *mixID, outFormat)
+		return
+	}
+
+	ids := hetsim.ExperimentIDs()
+	if !*all {
+		if *expID == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		ids = []string{*expID}
+	}
+	arch := exp.NewArchive(*scale)
+	for _, id := range ids {
+		rep, err := runner.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		arch.Add(rep)
+		if err := report.Write(os.Stdout, rep, outFormat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *save != "" {
+		if err := arch.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "archive saved to %s\n", *save)
+	}
+	if *compare != "" {
+		old, err := exp.LoadArchive(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		deltas := exp.Diff(old, arch, 0.05)
+		if len(deltas) == 0 {
+			fmt.Println("no drift >= 5% against", *compare)
+		}
+		for _, d := range deltas {
+			fmt.Printf("drift %-8s %-16s %-14s %.3f -> %.3f (%+.1f%%)\n",
+				d.Experiment, d.Row, d.Cell, d.Old, d.New, 100*d.Rel)
+		}
+	}
+}
+
+func runAblation(runner *hetsim.Runner, kind, mixID string, f report.Format) {
+	var (
+		rep hetsim.Report
+		err error
+	)
+	switch kind {
+	case "step":
+		rep, err = runner.AblationWindowStep(mixID, []uint64{1, 2, 4, 8})
+	case "target":
+		rep, err = runner.AblationTargetFPS(mixID, []float64{30, 40, 50})
+	case "law":
+		rep, err = runner.AblationUpdateLaw(mixID)
+	case "cmbal":
+		rep, err = runner.AblationCMBAL(mixID)
+	case "prefetch":
+		rep, err = runner.AblationPrefetch(mixID)
+	case "llc":
+		rep, err = runner.AblationLLCPolicy(mixID)
+	default:
+		err = fmt.Errorf("unknown ablation %q (step, target, law, cmbal, prefetch, llc)", kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := report.Write(os.Stdout, rep, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

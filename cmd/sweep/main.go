@@ -1,0 +1,79 @@
+// Command sweep runs a policy x target-FPS grid over one mix and
+// emits CSV, for sensitivity studies beyond the paper's fixed 40 FPS
+// target:
+//
+//	sweep -mix M7 -targets 30,40,50,60 -policies baseline,throttle+prio
+//	sweep -mix M13 -scale 48 > m13.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/hetsim"
+)
+
+var policyNames = map[string]hetsim.Policy{
+	"baseline":      hetsim.PolicyBaseline,
+	"throttle":      hetsim.PolicyThrottle,
+	"throttle+prio": hetsim.PolicyThrottleCPUPrio,
+	"sms09":         hetsim.PolicySMS09,
+	"sms0":          hetsim.PolicySMS0,
+	"dynprio":       hetsim.PolicyDynPrio,
+	"helm":          hetsim.PolicyHeLM,
+	"bypass":        hetsim.PolicyForcedBypass,
+	"cmbal":         hetsim.PolicyCMBAL,
+}
+
+func main() {
+	var (
+		mixID    = flag.String("mix", "M7", "mix id")
+		scale    = flag.Int("scale", 96, "scale factor")
+		targets  = flag.String("targets", "30,40,50", "comma-separated QoS targets (FPS)")
+		policies = flag.String("policies", "baseline,throttle,throttle+prio", "comma-separated policies")
+		prefetch = flag.Bool("prefetch", false, "enable the CPU L2 stride prefetchers")
+	)
+	flag.Parse()
+
+	mix, err := hetsim.MixByID(*mixID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var tgts []float64
+	for _, t := range strings.Split(*targets, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad target %q\n", t)
+			os.Exit(2)
+		}
+		tgts = append(tgts, v)
+	}
+	var pols []hetsim.Policy
+	for _, p := range strings.Split(*policies, ",") {
+		pol, ok := policyNames[strings.TrimSpace(p)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", p)
+			os.Exit(2)
+		}
+		pols = append(pols, pol)
+	}
+
+	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
+	for _, pol := range pols {
+		for _, tgt := range tgts {
+			cfg := hetsim.DefaultConfig(*scale)
+			cfg.Policy = pol
+			cfg.TargetFPS = tgt
+			cfg.CPUPrefetch = *prefetch
+			r := hetsim.RunMix(cfg, mix)
+			fmt.Printf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d\n",
+				mix.ID, pol, tgt, r.GPUFPS, r.MeanIPC(),
+				r.FrameStats.P95Cycles, r.FrameStats.Jank, r.FrameStats.BelowTarget,
+				r.GPUBandwidthBytes(), r.CPULLCMisses)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Command tracedump inspects the synthetic workload generators: it
+// prints a prefix of a SPEC-like CPU reference stream or a GPU
+// rendering access stream, plus summary statistics (rates, class
+// mix, working-set touch counts). Useful when defining custom
+// workloads against the public API.
+//
+//	tracedump -spec 429 -n 20          # first 20 ops of the mcf model
+//	tracedump -spec 429 -stats         # rate/locality statistics
+//	tracedump -game DOOM3 -stats       # class mix of one frame
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/hetsim"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		specID = flag.Int("spec", 0, "SPEC application id")
+		game   = flag.String("game", "", "game title")
+		n      = flag.Int("n", 32, "operations to print")
+		stats  = flag.Bool("stats", false, "print summary statistics instead of a dump")
+		scale  = flag.Int("scale", 64, "scale factor")
+		record = flag.String("record", "", "record -n references of the SPEC stream to a trace file")
+		replay = flag.String("replay", "", "replay and summarize a recorded trace file")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		replayFile(*replay)
+		return
+	}
+
+	switch {
+	case *specID != 0:
+		app, err := workloads.Spec(*specID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *record != "" {
+			recordSpec(app, *n, *scale, *record)
+			return
+		}
+		dumpSpec(app, *n, *stats, *scale)
+	case *game != "":
+		g, err := hetsim.GameByName(*game)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dumpGame(g, *n, *stats, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func recordSpec(app workloads.SpecApp, n int, scale int, path string) {
+	gen := trace.NewGenerator(app.Params.Scale(scale), mem.CPURegion(0))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rec, err := trace.NewRecorder(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 0; i < n; i++ {
+		if err := rec.Record(gen.Next()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d references of %s to %s\n", rec.Count(), app.Params.Name, path)
+}
+
+func replayFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	g, err := trace.NewReplay(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	writes, instr := 0, 0
+	lines := map[uint64]bool{}
+	for i := 0; i < g.Len(); i++ {
+		op := g.Next()
+		instr += op.NonMem + 1
+		if op.Write {
+			writes++
+		}
+		lines[op.Addr&^63] = true
+	}
+	fmt.Printf("%s: %d references, %d instructions, %.2f write frac, %d distinct lines\n",
+		path, g.Len(), instr, float64(writes)/float64(g.Len()), len(lines))
+}
+
+func dumpSpec(app workloads.SpecApp, n int, stats bool, scale int) {
+	gen := trace.NewGenerator(app.Params.Scale(scale), mem.CPURegion(0))
+	if !stats {
+		fmt.Printf("%s (scaled /%d): first %d memory references\n", app.Params.Name, scale, n)
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			kind := "LD"
+			if op.Write {
+				kind = "ST"
+			}
+			fmt.Printf("  +%4d instr  %s %#012x\n", op.NonMem, kind, op.Addr)
+		}
+		return
+	}
+	const ops = 200000
+	instr, writes := 0, 0
+	lines := map[uint64]int{}
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		instr += op.NonMem + 1
+		if op.Write {
+			writes++
+		}
+		lines[op.Addr]++
+	}
+	reuse := 0
+	for _, c := range lines {
+		if c > 1 {
+			reuse += c - 1
+		}
+	}
+	fmt.Printf("%s (scaled /%d) over %d refs:\n", app.Params.Name, scale, ops)
+	fmt.Printf("  mem refs / kilo-instr: %.1f\n", float64(ops)/float64(instr)*1000)
+	fmt.Printf("  write fraction:        %.2f\n", float64(writes)/ops)
+	fmt.Printf("  distinct lines:        %d (%.1f KiB)\n", len(lines), float64(len(lines))*64/1024)
+	fmt.Printf("  reuse fraction:        %.2f\n", float64(reuse)/ops)
+}
+
+func dumpGame(g workloads.Game, n int, stats bool, scale int) {
+	model := g.Model(scale, 1e9)
+	gp := gpu.New(gpu.DefaultConfig(scale), model)
+	served := 0
+	classes := map[mem.Class]int{}
+	var first []*mem.Request
+	gp.Issue = func(r *mem.Request) bool {
+		served++
+		classes[r.Class]++
+		if len(first) < n {
+			first = append(first, r)
+		}
+		r.Complete(0)
+		// Reads need fills; writes are fire-and-forget.
+		if !r.Write {
+			gp.OnFill(r)
+		}
+		return true
+	}
+	frames := gp.FramesDone
+	for cycle := uint64(0); gp.FramesDone < frames+1 && cycle < 50_000_000; cycle++ {
+		gp.Tick(cycle)
+	}
+	if !stats {
+		fmt.Printf("%s (scaled /%d): first %d LLC accesses of a frame\n", g.Name, scale, n)
+		for _, r := range first {
+			kind := "RD"
+			if r.Write {
+				kind = "WR"
+			}
+			fmt.Printf("  %s %-6s %#012x\n", kind, r.Class, r.Addr)
+		}
+		return
+	}
+	fmt.Printf("%s (scaled /%d), one frame:\n", g.Name, scale)
+	fmt.Printf("  tiles=%d rtps=%d tex/tile=%d\n", model.Tiles, model.RTPs, model.TexPerTile)
+	fmt.Printf("  LLC accesses: %d\n", served)
+	for _, c := range []mem.Class{mem.ClassTexture, mem.ClassDepth, mem.ClassColor, mem.ClassVertex} {
+		if served > 0 {
+			fmt.Printf("  %-7s %6d (%.0f%%)\n", c, classes[c], 100*float64(classes[c])/float64(served))
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Paperfigure: regenerate one of the paper's figures programmatically
+// through the public experiment harness and render it as an ASCII bar
+// chart — the same path `cmd/experiments -format chart` uses, shown
+// here as a library.
+//
+// Usage: go run ./examples/paperfigure [fig9]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/hetsim"
+	"repro/internal/report"
+)
+
+func main() {
+	id := "fig9"
+	if len(os.Args) > 1 {
+		id = os.Args[1]
+	}
+
+	cfg := hetsim.DefaultConfig(128) // small but quick for a demo
+	cfg.WarmupInstr /= 4
+	cfg.MeasureInstr /= 4
+	cfg.MinFrames = 3
+
+	runner := hetsim.NewRunner(cfg)
+	rep, err := runner.ByID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "available:", hetsim.ExperimentIDs())
+		os.Exit(2)
+	}
+	if err := report.Write(os.Stdout, rep, report.FormatChart); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

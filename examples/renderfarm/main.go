@@ -1,0 +1,68 @@
+// Renderfarm: the paper's HPC motivation (§I) — the CPU cores run a
+// scientific simulation time-step while the GPU renders the previous
+// steps' output for in-situ visualization. The visualization only
+// needs to keep up with the display (the QoS target); every frame
+// beyond that steals memory bandwidth from the simulation.
+//
+// This example builds that scenario from custom workload models via
+// the public API (no Table III mix): a stencil-like streaming solver
+// on all four cores and a moderate-rate visualization workload on the
+// GPU, compared across baseline / throttle / throttle+CPU-priority.
+package main
+
+import (
+	"fmt"
+
+	"repro/hetsim"
+)
+
+func main() {
+	const scale = 96
+	cfg := hetsim.DefaultConfig(scale)
+
+	// Four copies of a bandwidth-hungry stencil solver: streaming
+	// sweeps over a large grid with a small cache-resident kernel.
+	solver := hetsim.TraceParams{
+		Name:       "stencil-solver",
+		MemPerKilo: 300,
+		WriteFrac:  0.4,
+		StreamFrac: 0.05,
+		HotFrac:    0.93,
+		HotBytes:   192 << 10,
+		WSBytes:    24 << 20,
+		Seed:       7001,
+	}
+	cpus := []hetsim.TraceParams{solver, solver, solver, solver}
+	for i := range cpus {
+		cpus[i].Seed += uint64(i) // decorrelate the four ranks
+	}
+
+	// The visualization pass: renders the last time-step at 1600x1200.
+	// Its natural rate is far above what a human needs.
+	viz, err := hetsim.GameByName("Quake4") // reuse an R3 pipeline shape
+	if err != nil {
+		panic(err)
+	}
+	vizModel := viz.Model(scale, cfg.GPUFreqHz)
+	vizModel.Name = "insitu-viz"
+
+	fmt.Println("HPC in-situ visualization: 4x stencil solver + GPU rendering")
+	fmt.Printf("%-18s %8s %10s %12s\n", "policy", "FPS", "meanIPC", "solver gain")
+
+	var baseIPC float64
+	for _, p := range []hetsim.Policy{
+		hetsim.PolicyBaseline, hetsim.PolicyThrottle, hetsim.PolicyThrottleCPUPrio,
+	} {
+		c := cfg
+		c.Policy = p
+		sys := hetsim.NewSystem(c, vizModel, cpus)
+		r := hetsim.Run(sys)
+		if p == hetsim.PolicyBaseline {
+			baseIPC = r.MeanIPC()
+		}
+		gain := r.MeanIPC() / baseIPC
+		fmt.Printf("%-18s %8.1f %10.3f %11.1f%%\n", p, r.GPUFPS, r.MeanIPC(), 100*(gain-1))
+	}
+	fmt.Println("\nThe visualization keeps meeting the 40 FPS target while the")
+	fmt.Println("solver reclaims the memory bandwidth the GPU did not need.")
+}

@@ -1,0 +1,137 @@
+// Package hetsim is the public API of the heterogeneous CPU–GPU
+// memory-system simulator reproducing Rai & Chaudhuri, "Improving CPU
+// Performance through Dynamic GPU Access Throttling in CPU-GPU
+// Heterogeneous Processors" (IPDPSW 2017).
+//
+// It re-exports the building blocks a downstream user needs:
+//
+//   - Config / DefaultConfig — the simulated CMP (Table I), with a
+//     scale factor that divides capacities and per-frame work while
+//     preserving the paper's ratios;
+//   - the Policy constants — baseline FR-FCFS, the proposal's two
+//     throttling modes, SMS-0.9/SMS-0, DynPrio, HeLM, forced bypass;
+//   - the workload catalogs — Table II games, SPEC-like CPU apps,
+//     Table III mixes — plus AppModel/TraceParams for custom ones;
+//   - RunMix / RunCPUAlone / RunGPUAlone — single experiments;
+//   - NewRunner — the figure/table reproduction harness
+//     (Fig1..Fig14, Table1..Table3, ablations).
+//
+// Quickstart:
+//
+//	cfg := hetsim.DefaultConfig(64)
+//	cfg.Policy = hetsim.PolicyThrottleCPUPrio
+//	mix, _ := hetsim.MixByID("M7")
+//	res := hetsim.RunMix(cfg, mix)
+//	fmt.Printf("FPS %.1f, mean IPC %.2f\n", res.GPUFPS, res.MeanIPC())
+package hetsim
+
+import (
+	"repro/internal/exp"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a simulated system; see sim.Config.
+type Config = sim.Config
+
+// Policy selects the memory-system management scheme.
+type Policy = sim.Policy
+
+// The policies evaluated in the paper.
+const (
+	PolicyBaseline        = sim.PolicyBaseline
+	PolicyThrottle        = sim.PolicyThrottle
+	PolicyThrottleCPUPrio = sim.PolicyThrottleCPUPrio
+	PolicySMS09           = sim.PolicySMS09
+	PolicySMS0            = sim.PolicySMS0
+	PolicyDynPrio         = sim.PolicyDynPrio
+	PolicyHeLM            = sim.PolicyHeLM
+	PolicyForcedBypass    = sim.PolicyForcedBypass
+	PolicyCMBAL           = sim.PolicyCMBAL
+)
+
+// Result is one run's measured metrics.
+type Result = sim.Result
+
+// Mix is a heterogeneous workload (GPU title + CPU applications).
+type Mix = workloads.Mix
+
+// Game is a Table II rendering workload description.
+type Game = workloads.Game
+
+// SpecApp is a SPEC CPU 2006 application model.
+type SpecApp = workloads.SpecApp
+
+// AppModel parameterizes a custom GPU rendering workload.
+type AppModel = gpu.AppModel
+
+// TraceParams parameterizes a custom synthetic CPU workload.
+type TraceParams = trace.Params
+
+// System is a fully wired simulated CMP (for custom workloads).
+type System = sim.System
+
+// Runner memoizes simulation runs and regenerates the paper's tables
+// and figures.
+type Runner = exp.Runner
+
+// Report is a rendered experiment result.
+type Report = exp.Report
+
+// DefaultConfig returns the paper's evaluation configuration at the
+// given scale factor (1 = full Table I capacities; 32–64 are good
+// laptop-scale settings).
+func DefaultConfig(scale int) Config { return sim.DefaultConfig(scale) }
+
+// RunMix runs one heterogeneous mix under cfg.
+func RunMix(cfg Config, m Mix) Result { return sim.RunMix(cfg, m) }
+
+// RunCPUAlone measures a SPEC application's standalone IPC.
+func RunCPUAlone(cfg Config, specID int) float64 { return sim.RunCPUAlone(cfg, specID) }
+
+// RunGPUAlone measures a game's standalone frame rate.
+func RunGPUAlone(cfg Config, game string) Result { return sim.RunGPUAlone(cfg, game) }
+
+// NewSystem builds a custom system: any GPU workload model (nil for
+// CPU-only) plus any set of CPU trace parameters. Drive it with Run.
+func NewSystem(cfg Config, game *AppModel, cpuApps []TraceParams) *System {
+	return sim.NewSystem(cfg, game, cpuApps)
+}
+
+// Run executes a custom system through warm-up and measurement.
+func Run(s *System) Result { return sim.Run(s) }
+
+// NewRunner builds the experiment harness over cfg.
+func NewRunner(cfg Config) *Runner { return exp.NewRunner(cfg) }
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return exp.AllIDs() }
+
+// Games returns the Table II catalog (W1..W14 order).
+func Games() []Game { return workloads.Games() }
+
+// GameByName resolves a Table II title.
+func GameByName(name string) (Game, error) { return workloads.GameByName(name) }
+
+// Spec resolves a SPEC application id.
+func Spec(id int) (SpecApp, error) { return workloads.Spec(id) }
+
+// SpecIDs lists the catalog's SPEC ids.
+func SpecIDs() []int { return workloads.SpecIDs() }
+
+// EvalMixes returns Table III's M1–M14.
+func EvalMixes() []Mix { return workloads.EvalMixes() }
+
+// MotivationMixes returns Table III's W1–W14.
+func MotivationMixes() []Mix { return workloads.MotivationMixes() }
+
+// MixByID resolves "M1".."M14" / "W1".."W14".
+func MixByID(id string) (Mix, error) { return workloads.MixByID(id) }
+
+// HighFPSMixes returns the six mixes the proposal throttles.
+func HighFPSMixes() []Mix { return workloads.HighFPSMixes() }
+
+// LowFPSMixes returns the eight mixes where it stays disabled.
+func LowFPSMixes() []Mix { return workloads.LowFPSMixes() }

@@ -1,0 +1,111 @@
+package hetsim_test
+
+import (
+	"testing"
+
+	"repro/hetsim"
+)
+
+func fastCfg() hetsim.Config {
+	cfg := hetsim.DefaultConfig(192)
+	cfg.WarmupInstr = 40_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 120_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 30_000_000
+	return cfg
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	if len(hetsim.Games()) != 14 {
+		t.Fatalf("games: %d", len(hetsim.Games()))
+	}
+	if len(hetsim.EvalMixes()) != 14 || len(hetsim.MotivationMixes()) != 14 {
+		t.Fatalf("mix catalogs wrong")
+	}
+	if len(hetsim.HighFPSMixes()) != 6 || len(hetsim.LowFPSMixes()) != 8 {
+		t.Fatalf("high/low split wrong")
+	}
+	if len(hetsim.SpecIDs()) != 13 {
+		t.Fatalf("spec ids: %d", len(hetsim.SpecIDs()))
+	}
+	if _, err := hetsim.GameByName("DOOM3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hetsim.Spec(429); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hetsim.MixByID("W1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(hetsim.ExperimentIDs()) != 13 {
+		t.Fatalf("experiments: %d", len(hetsim.ExperimentIDs()))
+	}
+}
+
+func TestPublicRunMix(t *testing.T) {
+	mix, err := hetsim.MixByID("M13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hetsim.RunMix(fastCfg(), mix)
+	if r.GPUFPS <= 0 || len(r.IPC) != 4 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestPublicCustomSystem(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	game, err := hetsim.GameByName("COR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := game.Model(cfg.Scale, cfg.GPUFreqHz)
+	app := hetsim.TraceParams{
+		Name: "custom", MemPerKilo: 200, WriteFrac: 0.3,
+		StreamFrac: 0.05, HotFrac: 0.9, HotBytes: 64 << 10, WSBytes: 4 << 20, Seed: 5,
+	}
+	s := hetsim.NewSystem(cfg, model, []hetsim.TraceParams{app})
+	r := hetsim.Run(s)
+	if r.GPUFrames == 0 || len(r.IPC) != 1 || r.IPC[0] <= 0 {
+		t.Fatalf("custom system made no progress: %+v", r)
+	}
+}
+
+func TestRunnerAblationSurface(t *testing.T) {
+	// Compile-time + error-path check that the public Runner exposes
+	// every ablation; the heavy runs are covered by the benches.
+	x := hetsim.NewRunner(fastCfg())
+	if _, err := x.AblationWindowStep("M99", []uint64{2}); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+	if _, err := x.AblationTargetFPS("M99", []float64{40}); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+	if _, err := x.AblationUpdateLaw("M99"); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+	if _, err := x.AblationCMBAL("M99"); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+	if _, err := x.AblationPrefetch("M99"); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+	if _, err := x.AblationLLCPolicy("M99"); err == nil {
+		t.Fatalf("bad mix accepted")
+	}
+}
+
+func TestStandaloneAPIs(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinFrames = 2
+	r := hetsim.RunGPUAlone(cfg, "UT2004")
+	if r.GPUFPS <= 0 {
+		t.Fatalf("standalone GPU run empty")
+	}
+	ipc := hetsim.RunCPUAlone(cfg, 403)
+	if ipc <= 0 {
+		t.Fatalf("standalone CPU run empty")
+	}
+}

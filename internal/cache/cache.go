@@ -1,0 +1,339 @@
+// Package cache implements the generic set-associative cache model
+// used for every tag array in the system: CPU L1/L2, the GPU texture,
+// depth, color and vertex caches, and the shared LLC.
+//
+// The model is a functional tag array: it answers hit/miss, performs
+// fills with victim selection under a pluggable replacement policy
+// (LRU or two-bit SRRIP), and tracks dirtiness and per-line owner
+// metadata. Latency and bandwidth are modeled by the components that
+// own a Cache, not here.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Line is one cache line's metadata.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+
+	// Owner tracks which source installed the line. The LLC uses it
+	// to apply hybrid inclusion (inclusive for CPU lines,
+	// non-inclusive for GPU lines) and to account occupancy.
+	Owner mem.Source
+	// Class of the data in the line, for stats and policy decisions.
+	Class mem.Class
+
+	// Replacement state: LRU stamp or SRRIP re-reference prediction
+	// value, depending on the policy.
+	stamp uint64
+	rrpv  uint8
+}
+
+// Policy selects a replacement algorithm.
+type Policy uint8
+
+// Replacement policies.
+const (
+	// LRU is true least-recently-used replacement (Table I: private
+	// CPU caches).
+	LRU Policy = iota
+	// SRRIP is two-bit static re-reference interval prediction
+	// (Jaleel et al., ISCA 2010), the paper's LLC policy.
+	SRRIP
+	// DRRIP adds set dueling between SRRIP and bimodal insertion
+	// (same paper); see drrip.go. Beyond-paper ablation only.
+	DRRIP
+)
+
+const srripMax = 3 // two-bit RRPV: 0..3, insert at srripMax-1
+
+// Config describes a cache geometry.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineSize  int // defaults to mem.LineSize
+	Policy    Policy
+}
+
+// Cache is a set-associative tag array.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	numSets  int
+	ways     int
+	lineSz   uint64
+	setShift uint
+	setMask  uint64
+	policy   Policy
+	drrip    drripState
+	clock    uint64 // monotonic access counter for LRU stamps
+
+	// Stats.
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+	WriteHits uint64
+}
+
+// New builds a cache from the config. It panics on a geometry that is
+// not a power-of-two number of sets, which would always be a
+// configuration bug.
+func New(cfg Config) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = mem.LineSize
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %q: bad geometry %+v", cfg.Name, cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineSize
+	numSets := lines / cfg.Ways
+	if numSets == 0 {
+		// Degenerate small scaled configs collapse to fully
+		// associative with however many lines fit.
+		numSets = 1
+		cfg.Ways = lines
+		if cfg.Ways == 0 {
+			cfg.Ways = 1
+		}
+	}
+	if numSets&(numSets-1) != 0 {
+		// Round down to a power of two; scaled configs can produce
+		// non-power-of-two set counts.
+		p := 1
+		for p*2 <= numSets {
+			p *= 2
+		}
+		numSets = p
+	}
+	c := &Cache{
+		cfg:     cfg,
+		numSets: numSets,
+		ways:    cfg.Ways,
+		lineSz:  uint64(cfg.LineSize),
+		policy:  cfg.Policy,
+	}
+	shift := uint(0)
+	for sz := uint64(cfg.LineSize); sz > 1; sz >>= 1 {
+		shift++
+	}
+	c.setShift = shift
+	c.setMask = uint64(numSets - 1)
+	c.sets = make([][]Line, numSets)
+	backing := make([]Line, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets after geometry normalization.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	line := addr >> c.setShift
+	return line & c.setMask, line >> 0 // tag = full line address; simple and unambiguous
+}
+
+// Probe reports whether addr is present, without touching replacement
+// state. It returns the line for inspection (nil on miss).
+func (c *Cache) Probe(addr uint64) *Line {
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Valid && s[i].Tag == tag {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a demand access. On a hit it updates replacement
+// state (and dirtiness for writes) and returns true. On a miss it
+// returns false and changes nothing; callers follow up with Fill when
+// the data arrives.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.Accesses++
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Valid && s[i].Tag == tag {
+			c.touch(&s[i])
+			if write {
+				s[i].Dirty = true
+				c.WriteHits++
+			}
+			return true
+		}
+	}
+	c.Misses++
+	if c.policy == DRRIP {
+		c.drripTrain(set)
+	}
+	return false
+}
+
+// touch updates replacement state on a hit.
+func (c *Cache) touch(l *Line) {
+	c.clock++
+	switch c.policy {
+	case LRU:
+		l.stamp = c.clock
+	case SRRIP, DRRIP:
+		l.rrpv = 0 // near-immediate re-reference on hit
+	}
+}
+
+// Fill installs addr, evicting a victim if the set is full. It
+// returns the evicted line (by value) and whether an eviction of a
+// valid line happened. The returned line carries Dirty/Owner/Class so
+// the caller can generate write-backs and back-invalidations.
+func (c *Cache) Fill(addr uint64, write bool, owner mem.Source, class mem.Class) (victim Line, evicted bool) {
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	// Already present (races between outstanding fills): just update.
+	for i := range s {
+		if s[i].Valid && s[i].Tag == tag {
+			c.touch(&s[i])
+			if write {
+				s[i].Dirty = true
+			}
+			return Line{}, false
+		}
+	}
+	way := c.victim(s)
+	if s[way].Valid {
+		victim, evicted = s[way], true
+		c.Evictions++
+	}
+	c.clock++
+	s[way] = Line{
+		Tag:   tag,
+		Valid: true,
+		Dirty: write,
+		Owner: owner,
+		Class: class,
+		stamp: c.clock,
+	}
+	switch c.policy {
+	case SRRIP:
+		s[way].rrpv = srripMax - 1 // long re-reference interval insertion
+	case DRRIP:
+		s[way].rrpv = c.drripInsertRRPV(set)
+	}
+	return victim, evicted
+}
+
+// victim picks a way to replace in the set; it prefers invalid ways.
+func (c *Cache) victim(s []Line) int {
+	for i := range s {
+		if !s[i].Valid {
+			return i
+		}
+	}
+	switch c.policy {
+	case LRU:
+		best, stamp := 0, s[0].stamp
+		for i := 1; i < len(s); i++ {
+			if s[i].stamp < stamp {
+				best, stamp = i, s[i].stamp
+			}
+		}
+		return best
+	case SRRIP, DRRIP:
+		for {
+			for i := range s {
+				if s[i].rrpv >= srripMax {
+					return i
+				}
+			}
+			for i := range s {
+				if s[i].rrpv < srripMax {
+					s[i].rrpv++
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// Invalidate removes addr if present and returns the removed line.
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	set, tag := c.index(addr)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].Valid && s[i].Tag == tag {
+			l := s[i]
+			s[i] = Line{}
+			return l, true
+		}
+	}
+	return Line{}, false
+}
+
+// InvalidateOwner removes every line installed by the given owner and
+// returns how many lines were dropped. Used when resetting between
+// runs and by tests.
+func (c *Cache) InvalidateOwner(owner mem.Source) int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].Valid && s[i].Owner == owner {
+				s[i] = Line{}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OccupancyByOwner counts valid lines per owner source. The slice is
+// indexed by mem.Source.
+func (c *Cache) OccupancyByOwner() [mem.NumSources]int {
+	var occ [mem.NumSources]int
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].Valid && s[i].Owner < mem.NumSources {
+				occ[s[i].Owner]++
+			}
+		}
+	}
+	return occ
+}
+
+// ValidLines counts all valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Misses, c.Evictions, c.WriteHits = 0, 0, 0, 0
+}

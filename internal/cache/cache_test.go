@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func lineAddr(i uint64) uint64 { return i * mem.LineSize }
+
+func TestMissThenFillHits(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Ways: 4, Policy: LRU})
+	a := lineAddr(7)
+	if c.Access(a, false) {
+		t.Fatalf("cold access hit")
+	}
+	c.Fill(a, false, mem.SourceCPU0, mem.ClassCPUData)
+	if !c.Access(a, false) {
+		t.Fatalf("access after fill missed")
+	}
+}
+
+func TestSameSetDifferentTagsMiss(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Ways: 4, Policy: LRU})
+	sets := uint64(c.NumSets())
+	a := lineAddr(3)
+	b := lineAddr(3 + sets) // same set, different tag
+	c.Fill(a, false, mem.SourceCPU0, mem.ClassCPUData)
+	if c.Access(b, false) {
+		t.Fatalf("different tag hit")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 2 * mem.LineSize, Ways: 2, Policy: LRU})
+	if c.NumSets() != 1 {
+		t.Fatalf("want 1 set, got %d", c.NumSets())
+	}
+	a, b, d := lineAddr(1), lineAddr(2), lineAddr(3)
+	c.Fill(a, false, mem.SourceCPU0, mem.ClassCPUData)
+	c.Fill(b, false, mem.SourceCPU0, mem.ClassCPUData)
+	c.Access(a, false) // a is now MRU, b is LRU
+	v, ev := c.Fill(d, false, mem.SourceCPU0, mem.ClassCPUData)
+	if !ev {
+		t.Fatalf("expected eviction")
+	}
+	if v.Tag != b>>mem.LineShift {
+		t.Fatalf("evicted tag %#x, want %#x (b)", v.Tag, b>>mem.LineShift)
+	}
+	if !c.Access(a, false) {
+		t.Fatalf("a should have survived")
+	}
+}
+
+func TestSRRIPHitPromotion(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4 * mem.LineSize, Ways: 4, Policy: SRRIP})
+	// Fill the set, touch one line, then stream three more fills: the
+	// touched line must survive all three because its RRPV is 0 while
+	// untouched lines sit at srripMax-1.
+	for i := uint64(0); i < 4; i++ {
+		c.Fill(lineAddr(i), false, mem.SourceCPU0, mem.ClassCPUData)
+	}
+	hot := lineAddr(2)
+	c.Access(hot, false)
+	for i := uint64(10); i < 13; i++ {
+		c.Fill(lineAddr(i), false, mem.SourceCPU0, mem.ClassCPUData)
+	}
+	if !c.Access(hot, false) {
+		t.Fatalf("hot line evicted before cold lines under SRRIP")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: mem.LineSize, Ways: 1, Policy: LRU})
+	a, b := lineAddr(1), lineAddr(2)
+	c.Fill(a, true, mem.SourceCPU1, mem.ClassCPUData)
+	v, ev := c.Fill(b, false, mem.SourceGPU, mem.ClassTexture)
+	if !ev || !v.Dirty {
+		t.Fatalf("expected dirty eviction, got ev=%v dirty=%v", ev, v.Dirty)
+	}
+	if v.Owner != mem.SourceCPU1 {
+		t.Fatalf("owner = %v, want CPU1", v.Owner)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Ways: 4, Policy: SRRIP})
+	a := lineAddr(9)
+	c.Fill(a, false, mem.SourceGPU, mem.ClassColor)
+	if _, ok := c.Invalidate(a); !ok {
+		t.Fatalf("invalidate missed present line")
+	}
+	if c.Access(a, false) {
+		t.Fatalf("hit after invalidate")
+	}
+	if _, ok := c.Invalidate(a); ok {
+		t.Fatalf("invalidate hit absent line")
+	}
+}
+
+func TestOccupancyByOwner(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1 << 14, Ways: 4, Policy: SRRIP})
+	for i := uint64(0); i < 10; i++ {
+		c.Fill(lineAddr(i), false, mem.SourceCPU0, mem.ClassCPUData)
+	}
+	for i := uint64(100); i < 105; i++ {
+		c.Fill(lineAddr(i), false, mem.SourceGPU, mem.ClassTexture)
+	}
+	occ := c.OccupancyByOwner()
+	if occ[mem.SourceCPU0] != 10 || occ[mem.SourceGPU] != 5 {
+		t.Fatalf("occ = %v", occ)
+	}
+	if got := c.InvalidateOwner(mem.SourceGPU); got != 5 {
+		t.Fatalf("InvalidateOwner removed %d, want 5", got)
+	}
+}
+
+func TestGeometryNormalization(t *testing.T) {
+	// A cache smaller than ways*lineSize collapses to one set.
+	c := New(Config{Name: "t", SizeBytes: 2 * mem.LineSize, Ways: 8, Policy: LRU})
+	if c.NumSets() != 1 || c.Ways() != 2 {
+		t.Fatalf("got %d sets x %d ways", c.NumSets(), c.Ways())
+	}
+}
+
+// Property: the number of valid lines never exceeds capacity, and an
+// access immediately after its fill always hits, regardless of the
+// interleaving of fills and accesses.
+func TestQuickCapacityAndFillHit(t *testing.T) {
+	f := func(ops []uint16, srrip bool) bool {
+		pol := LRU
+		if srrip {
+			pol = SRRIP
+		}
+		c := New(Config{Name: "q", SizeBytes: 8 * 1024, Ways: 8, Policy: pol})
+		capLines := c.NumSets() * c.Ways()
+		for _, op := range ops {
+			a := lineAddr(uint64(op % 1024))
+			if !c.Access(a, op&1 == 1) {
+				c.Fill(a, op&1 == 1, mem.SourceCPU0, mem.ClassCPUData)
+				if c.Probe(a) == nil {
+					return false // fill must install
+				}
+			}
+			if c.ValidLines() > capLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SRRIP victim selection terminates and evicts exactly one
+// line per fill into a full set.
+func TestQuickSRRIPOneEvictionPerFill(t *testing.T) {
+	f := func(seq []uint8) bool {
+		c := New(Config{Name: "q", SizeBytes: 4 * mem.LineSize, Ways: 4, Policy: SRRIP})
+		fills := 0
+		for _, s := range seq {
+			a := lineAddr(uint64(s))
+			if c.Probe(a) == nil {
+				before := c.ValidLines()
+				_, ev := c.Fill(a, false, mem.SourceGPU, mem.ClassTexture)
+				after := c.ValidLines()
+				fills++
+				if before == 4 && (!ev || after != 4) {
+					return false
+				}
+				if before < 4 && (ev || after != before+1) {
+					return false
+				}
+			} else {
+				c.Access(a, false)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRCoalesceAndRelease(t *testing.T) {
+	m := NewMSHR(2)
+	p, ok := m.Allocate(0x100)
+	if !p || !ok {
+		t.Fatalf("first allocate: primary=%v ok=%v", p, ok)
+	}
+	p, ok = m.Allocate(0x100)
+	if p || !ok {
+		t.Fatalf("coalesce: primary=%v ok=%v", p, ok)
+	}
+	m.Allocate(0x200)
+	if _, ok := m.Allocate(0x300); ok {
+		t.Fatalf("allocate beyond capacity succeeded")
+	}
+	if n := m.Release(0x100); n != 2 {
+		t.Fatalf("release waiters = %d, want 2", n)
+	}
+	if m.Pending(0x100) {
+		t.Fatalf("still pending after release")
+	}
+	if _, ok := m.Allocate(0x300); !ok {
+		t.Fatalf("allocate after release failed")
+	}
+}
+
+// Property: Len never exceeds Cap and Release returns exactly the
+// number of Allocate calls (primary + coalesced) for that line.
+func TestQuickMSHRAccounting(t *testing.T) {
+	f := func(lines []uint8) bool {
+		m := NewMSHR(4)
+		want := map[uint64]int{}
+		for _, l := range lines {
+			a := uint64(l % 8)
+			if _, ok := m.Allocate(a); ok {
+				want[a]++
+			}
+			if m.Len() > m.Cap() {
+				return false
+			}
+		}
+		for a, n := range want {
+			if m.Release(a) != n {
+				return false
+			}
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

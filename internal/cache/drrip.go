@@ -1,0 +1,91 @@
+package cache
+
+// DRRIP support: dynamic re-reference interval prediction with set
+// dueling (Jaleel et al., ISCA 2010 — the same paper the LLC's SRRIP
+// baseline comes from). A few leader sets always insert with the
+// static SRRIP policy (RRPV = max-1), another few with the bimodal
+// BRRIP policy (RRPV = max, except every 32nd insertion), and a
+// saturating policy-selector counter trained by leader-set misses
+// decides which policy the follower sets use.
+//
+// The paper's LLC is plain SRRIP; DRRIP exists here for the
+// beyond-paper LLC-policy ablation (thrash-resistant insertion
+// changes how much LLC capacity the GPU's streaming fills can steal).
+
+// duelPeriod spaces leader sets: set i is an SRRIP leader when
+// i%duelPeriod == 0 and a BRRIP leader when i%duelPeriod ==
+// duelPeriod/2.
+const duelPeriod = 32
+
+// pselMax bounds the 10-bit policy selector.
+const pselMax = 1023
+
+// brripLongEvery makes one in N BRRIP insertions use the long
+// (SRRIP-style) re-reference prediction.
+const brripLongEvery = 32
+
+// drripState carries the set-dueling machinery of one DRRIP cache.
+type drripState struct {
+	psel     int // >= pselMax/2: BRRIP wins; below: SRRIP wins
+	brripCnt uint64
+}
+
+// leaderKind classifies a set for dueling.
+type leaderKind uint8
+
+const (
+	followerSet leaderKind = iota
+	srripLeader
+	brripLeader
+)
+
+func classifySet(set uint64) leaderKind {
+	switch set % duelPeriod {
+	case 0:
+		return srripLeader
+	case duelPeriod / 2:
+		return brripLeader
+	}
+	return followerSet
+}
+
+// drripInsertRRPV returns the insertion RRPV for a fill into the
+// given set under DRRIP.
+func (c *Cache) drripInsertRRPV(set uint64) uint8 {
+	kind := classifySet(set)
+	useBRRIP := false
+	switch kind {
+	case srripLeader:
+		useBRRIP = false
+	case brripLeader:
+		useBRRIP = true
+	default:
+		useBRRIP = c.drrip.psel >= pselMax/2
+	}
+	if !useBRRIP {
+		return srripMax - 1
+	}
+	c.drrip.brripCnt++
+	if c.drrip.brripCnt%brripLongEvery == 0 {
+		return srripMax - 1
+	}
+	return srripMax
+}
+
+// drripTrain updates the policy selector on a miss in a leader set:
+// a miss in an SRRIP leader is evidence for BRRIP and vice versa.
+func (c *Cache) drripTrain(set uint64) {
+	switch classifySet(set) {
+	case srripLeader:
+		if c.drrip.psel < pselMax {
+			c.drrip.psel++
+		}
+	case brripLeader:
+		if c.drrip.psel > 0 {
+			c.drrip.psel--
+		}
+	}
+}
+
+// PSEL exposes the selector for tests and stats.
+func (c *Cache) PSEL() int { return c.drrip.psel }

@@ -1,0 +1,75 @@
+package cache
+
+// MSHR models a bank of miss status holding registers: a bounded map
+// from outstanding line addresses to the number of coalesced waiters.
+// Components use it both to bound their memory-level parallelism and
+// to merge secondary misses to an in-flight line.
+type MSHR struct {
+	entries map[uint64]int
+	cap     int
+
+	// Stats.
+	Allocations uint64
+	Coalesced   uint64
+	FullStalls  uint64
+}
+
+// NewMSHR builds an MSHR bank with the given capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHR{entries: make(map[uint64]int, capacity), cap: capacity}
+}
+
+// Cap returns the capacity.
+func (m *MSHR) Cap() int { return m.cap }
+
+// Len returns the number of distinct outstanding lines.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Full reports whether no new line can be tracked.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+
+// Pending reports whether lineAddr already has an outstanding miss.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Allocate registers a miss for lineAddr. It returns:
+//
+//	primary=true  — a new entry was created; the caller must send a
+//	                request down the hierarchy;
+//	primary=false, ok=true — coalesced onto an in-flight miss;
+//	ok=false      — the MSHR bank is full and the access must retry.
+func (m *MSHR) Allocate(lineAddr uint64) (primary, ok bool) {
+	if n, exists := m.entries[lineAddr]; exists {
+		m.entries[lineAddr] = n + 1
+		m.Coalesced++
+		return false, true
+	}
+	if m.Full() {
+		m.FullStalls++
+		return false, false
+	}
+	m.entries[lineAddr] = 1
+	m.Allocations++
+	return true, true
+}
+
+// Release retires the entry for lineAddr and returns how many waiters
+// (primary + coalesced) it satisfied. Releasing an absent line
+// returns 0; that happens only when a component resets mid-run.
+func (m *MSHR) Release(lineAddr uint64) int {
+	n := m.entries[lineAddr]
+	delete(m.entries, lineAddr)
+	return n
+}
+
+// Reset drops all entries (between runs).
+func (m *MSHR) Reset() {
+	for k := range m.entries {
+		delete(m.entries, k)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+// ATU is the access throttling unit (paper §III-B). It owns the GTT
+// (GPU-to-LLC) port gate: within a window of WG GPU cycles at most NG
+// accesses may pass; once NG is exhausted the ports stay disabled
+// until the window expires. WG == 0 disables throttling entirely.
+//
+// The (NG, WG) pair is set by Update, which implements the flow of
+// paper Fig. 6:
+//
+//	if CP > CT          -> NG=1, WG=0   (GPU below target: no throttle)
+//	else NG=1; if WG < (CT-CP)/A -> WG += WindowStep
+//
+// where CP is the predicted cycles per frame, CT the cycles per frame
+// at the target frame rate, and A the LLC accesses per frame from the
+// FRPU's learning phase. (CT-CP)/A spreads the frame's slack cycles
+// evenly across its LLC accesses; the +2-per-evaluation growth makes
+// the clamp-down gradual, and the CP > CT reset makes over-throttling
+// self-correcting, so the frame rate hovers at the target.
+type ATU struct {
+	// WindowStep is the WG growth increment per evaluation (the paper
+	// uses 2; the ablation bench sweeps it).
+	WindowStep uint64
+
+	// Feedback selects the window-update law. The paper's Fig. 6
+	// closed form stops growing WG at (CT-CP)/A, which assumes each
+	// GTT access serially occupies the port for a full window; in a
+	// pipeline that overlaps accesses (ours, at scale), that bound
+	// can sit below the point where the gate actually binds. The
+	// feedback law keeps the same fixed point (CP ≈ CT) but reaches
+	// it by pure integral control with a small deadband and
+	// multiplicative back-off. The ablation bench compares both.
+	Feedback bool
+
+	// NG and WG are the current window parameters, exported for
+	// inspection.
+	NG uint64
+	WG uint64
+
+	windowStart uint64
+	used        uint64
+
+	// Stats.
+	Updates    uint64
+	Resets     uint64 // CP > CT events that disabled throttling
+	Throttled  uint64 // evaluations that left WG > 0
+	DeniedAcc  uint64 // Allow() == false occurrences
+	AllowedAcc uint64
+}
+
+// NewATU returns an ATU with the paper's parameters (NG=1, step 2),
+// initially unthrottled.
+func NewATU() *ATU {
+	return &ATU{WindowStep: 2, NG: 1, WG: 0}
+}
+
+// Active reports whether throttling is currently engaged.
+func (a *ATU) Active() bool { return a.WG > 0 }
+
+// Update runs one evaluation of the window-update law. cp and ct are
+// in GPU cycles per frame; accessesPerFrame is A. Calling it with
+// invalid inputs (no prediction available) disables throttling.
+func (a *ATU) Update(cp, ct, accessesPerFrame float64, valid bool) {
+	a.Updates++
+	a.NG = 1
+	if !valid || accessesPerFrame <= 0 {
+		a.WG = 0
+		return
+	}
+	if a.Feedback {
+		a.updateFeedback(cp, ct)
+		return
+	}
+	if cp > ct {
+		// Predicted slower than target: the GPU needs everything it
+		// can get (Fig. 6 left branch).
+		if a.WG != 0 {
+			a.Resets++
+		}
+		a.WG = 0
+		return
+	}
+	want := (ct - cp) / accessesPerFrame
+	if float64(a.WG) < want {
+		a.WG += a.WindowStep
+	}
+	if a.WG > 0 {
+		a.Throttled++
+	}
+}
+
+// updateFeedback implements the integral window law: grow WG by
+// WindowStep while the predicted frame is more than 2% faster than
+// the target, halve it when more than 2% slower. The fixed point is
+// the same as Fig. 6's (frame time hovering at the target); see the
+// Feedback field comment.
+func (a *ATU) updateFeedback(cp, ct float64) {
+	switch {
+	case cp >= ct:
+		// At or past the target: back off promptly so the frame rate
+		// hovers at the QoS threshold rather than below it.
+		if a.WG != 0 {
+			a.Resets++
+		}
+		a.WG /= 2
+	case cp < ct*0.95:
+		a.WG += a.WindowStep
+	}
+	if a.WG > 0 {
+		a.Throttled++
+	}
+}
+
+// Allow implements gpu.ThrottleGate: may one LLC access pass now?
+func (a *ATU) Allow(gpuCycle uint64) bool {
+	if a.WG == 0 {
+		a.AllowedAcc++
+		return true
+	}
+	if gpuCycle >= a.windowStart+a.WG {
+		// Window expired; a fresh one opens at this cycle.
+		a.windowStart = gpuCycle
+		a.used = 0
+	}
+	if a.used < a.NG {
+		a.AllowedAcc++
+		return true
+	}
+	a.DeniedAcc++
+	return false
+}
+
+// OnIssue implements gpu.ThrottleGate: one access left the GTT port.
+func (a *ATU) OnIssue(gpuCycle uint64) {
+	if a.WG == 0 {
+		return
+	}
+	if gpuCycle >= a.windowStart+a.WG {
+		a.windowStart = gpuCycle
+		a.used = 0
+	}
+	a.used++
+}

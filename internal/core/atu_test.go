@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/gpu"
+)
+
+func TestATUDisabledWhenSlow(t *testing.T) {
+	a := NewATU()
+	a.WG = 10
+	a.Update(2000, 1000, 50, true) // CP > CT
+	if a.WG != 0 || a.NG != 1 {
+		t.Fatalf("ATU not reset when GPU below target: NG=%d WG=%d", a.NG, a.WG)
+	}
+	if a.Resets != 1 {
+		t.Fatalf("Resets = %d", a.Resets)
+	}
+}
+
+func TestATUGrowsTowardSlack(t *testing.T) {
+	a := NewATU()
+	// CT-CP = 1000 slack over 100 accesses -> want WG >= 10.
+	for i := 0; i < 20; i++ {
+		a.Update(1000, 2000, 100, true)
+	}
+	if a.WG < 10 {
+		t.Fatalf("WG = %d after 20 evals, want >= 10", a.WG)
+	}
+	// Growth stops once WG >= slack/A.
+	if a.WG > 10+a.WindowStep {
+		t.Fatalf("WG = %d overshot the slack bound", a.WG)
+	}
+}
+
+func TestATUStepIsTwoPerEvaluation(t *testing.T) {
+	a := NewATU()
+	a.Update(1000, 10000, 10, true)
+	if a.WG != 2 {
+		t.Fatalf("first evaluation WG = %d, want 2", a.WG)
+	}
+	a.Update(1000, 10000, 10, true)
+	if a.WG != 4 {
+		t.Fatalf("second evaluation WG = %d, want 4", a.WG)
+	}
+}
+
+func TestATUInvalidInputsDisable(t *testing.T) {
+	a := NewATU()
+	a.WG = 8
+	a.Update(0, 0, 0, false)
+	if a.WG != 0 {
+		t.Fatalf("invalid inputs left WG = %d", a.WG)
+	}
+}
+
+func TestGateOneAccessPerWindow(t *testing.T) {
+	a := NewATU()
+	a.NG, a.WG = 1, 10
+	if !a.Allow(0) {
+		t.Fatalf("fresh window denied")
+	}
+	a.OnIssue(0)
+	for c := uint64(1); c < 10; c++ {
+		if a.Allow(c) {
+			t.Fatalf("second access allowed at cycle %d inside WG=10 window", c)
+		}
+	}
+	if !a.Allow(10) {
+		t.Fatalf("new window at cycle 10 denied")
+	}
+}
+
+func TestGateUnthrottledAlwaysAllows(t *testing.T) {
+	a := NewATU()
+	for c := uint64(0); c < 100; c++ {
+		if !a.Allow(c) {
+			t.Fatalf("WG=0 denied at %d", c)
+		}
+		a.OnIssue(c)
+	}
+}
+
+// Property: with NG=1 and any WG>0, the admitted access rate over a
+// long run never exceeds one per WG cycles (plus the initial one).
+func TestQuickGateRateBound(t *testing.T) {
+	f := func(wg8 uint8) bool {
+		wg := uint64(wg8%31) + 2
+		a := NewATU()
+		a.NG, a.WG = 1, wg
+		issued := 0
+		const cycles = 2000
+		for c := uint64(0); c < cycles; c++ {
+			if a.Allow(c) {
+				a.OnIssue(c)
+				issued++
+			}
+		}
+		maxAllowed := int(cycles/wg) + 1
+		return issued <= maxAllowed && issued >= int(cycles/(wg+1))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Update never lets WG exceed slack/A by more than one step
+// and never produces WG > 0 when CP >= CT.
+func TestQuickUpdateInvariants(t *testing.T) {
+	f := func(cp16, ct16 uint16, a8 uint8, rounds uint8) bool {
+		cp, ct := float64(cp16)+1, float64(ct16)+1
+		acc := float64(a8) + 1
+		a := NewATU()
+		for i := 0; i < int(rounds%50)+1; i++ {
+			a.Update(cp, ct, acc, true)
+			if cp > ct && a.WG != 0 {
+				return false
+			}
+			if cp <= ct {
+				want := (ct - cp) / acc
+				if float64(a.WG) > want+float64(a.WindowStep) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerThrottlesFastGPU(t *testing.T) {
+	// Target 40 FPS at 1 GHz, scale 1000 -> CT = 25000 GPU cycles.
+	c := NewController(ModeThrottleCPUPrio, 40, 1e9, 1000)
+	// Learn a frame that renders in 10000 cycles (100 FPS-equivalent).
+	feedFrame(c.FRPU, 0, 10, 1000, 50, 100)
+	c.reevaluate()
+	for i := 0; i < 50; i++ {
+		c.RTPComplete(gpu.RTPInfo{Frame: 1, Index: i % 10, Updates: 50, Cycles: 1000, Tiles: 8, LLCAccesses: 100})
+	}
+	if !c.Throttling() {
+		t.Fatalf("controller did not throttle a 100FPS-equivalent GPU against a 40FPS target")
+	}
+	if c.Boost() != dram.BoostCPU {
+		t.Fatalf("CPU priority not boosted while throttling")
+	}
+}
+
+func TestControllerLeavesSlowGPUAlone(t *testing.T) {
+	// CT = 25000; frame takes 50000 -> below target, never throttle.
+	c := NewController(ModeThrottleCPUPrio, 40, 1e9, 1000)
+	feedFrame(c.FRPU, 0, 10, 5000, 50, 100)
+	for i := 0; i < 20; i++ {
+		c.RTPComplete(gpu.RTPInfo{Frame: 1, Index: i % 10, Updates: 50, Cycles: 5000, Tiles: 8, LLCAccesses: 100})
+	}
+	if c.Throttling() {
+		t.Fatalf("controller throttled a below-target GPU")
+	}
+	if c.Boost() != dram.BoostNone {
+		t.Fatalf("CPU priority boosted without throttling")
+	}
+}
+
+func TestControllerModeThrottleNoBoost(t *testing.T) {
+	c := NewController(ModeThrottle, 40, 1e9, 1000)
+	feedFrame(c.FRPU, 0, 10, 1000, 50, 100)
+	for i := 0; i < 50; i++ {
+		c.RTPComplete(gpu.RTPInfo{Frame: 1, Index: i % 10, Updates: 50, Cycles: 1000, Tiles: 8, LLCAccesses: 100})
+	}
+	if !c.Throttling() {
+		t.Fatalf("throttle mode inactive")
+	}
+	if c.Boost() != dram.BoostNone {
+		t.Fatalf("ModeThrottle must not boost DRAM priority")
+	}
+}
+
+func TestControllerBaselinePassthrough(t *testing.T) {
+	c := NewController(ModeBaseline, 40, 1e9, 1000)
+	feedFrame(c.FRPU, 0, 10, 100, 50, 100)
+	for cyc := uint64(0); cyc < 100; cyc++ {
+		if !c.Allow(cyc) {
+			t.Fatalf("baseline gate denied")
+		}
+	}
+}
+
+func TestDynPrioThreeLevels(t *testing.T) {
+	frpu := NewFRPU()
+	feedFrame(frpu, 0, 10, 1000, 50, 100) // frame = 10000 cycles
+	elapsed := uint64(0)
+	d := NewDynPrio(frpu, func() uint64 { return elapsed })
+
+	// GPU comfortably ahead of its target (budget 20000 > CP 10000):
+	// CPU priority by default.
+	d.TargetCycles = 20000
+	elapsed = 5000
+	if d.Boost() != dram.BoostCPU {
+		t.Fatalf("DynPrio default must be CPU priority when GPU is on schedule")
+	}
+	// Last decile: GPU express lane regardless.
+	elapsed = 9500
+	if d.Boost() != dram.BoostGPU {
+		t.Fatalf("DynPrio did not boost GPU in last decile")
+	}
+	// GPU lagging its target (budget 5000 < CP 10000): equal priority.
+	d.TargetCycles = 5000
+	elapsed = 5000
+	if d.Boost() != dram.BoostNone {
+		t.Fatalf("DynPrio must fall back to equal priority when the GPU lags")
+	}
+}
+
+func TestTargetCyclesMath(t *testing.T) {
+	c := NewController(ModeThrottle, 40, 1e9, 100)
+	// 1 GHz at 40 FPS and scale 100: 1e9/(40*100) = 250000 cycles.
+	if got := c.TargetCycles(); got != 250000 {
+		t.Fatalf("target cycles = %v", got)
+	}
+}
+
+func TestControllerScaleFloor(t *testing.T) {
+	c := NewController(ModeThrottle, 40, 1e9, 0) // scale clamps to 1
+	if c.Scale != 1 {
+		t.Fatalf("scale not clamped: %d", c.Scale)
+	}
+}
+
+func TestATUActiveFlag(t *testing.T) {
+	a := NewATU()
+	if a.Active() {
+		t.Fatalf("fresh ATU active")
+	}
+	a.WG = 4
+	if !a.Active() {
+		t.Fatalf("WG>0 not active")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+// CMBAL approximates the balanced concurrency management proposal
+// (Kayiran et al., MICRO 2014) that the paper analyzes in §IV: the
+// GPU scales the number of ready shader threads up or down based on
+// the average memory-system stall it observes. Fewer active threads
+// lower the *texture* access rate (texture sampling is issued by
+// shader instructions), but leave the fixed-function ROP traffic —
+// depth test, color write — untouched.
+//
+// The paper's finding, which this model reproduces, is that shader-
+// core-centric throttling cannot regulate the frame rate of 3D
+// rendering workloads: texture accesses are only ~25% of the GPU's
+// LLC traffic, different titles are differently sensitive to texture
+// rate, and only a fraction of texture accesses are affected at run
+// time. The mechanism is implemented here as a texture-issue
+// probability the GPU pipeline consults, driven by a stall-based
+// up/down controller.
+type CMBAL struct {
+	// Level is the current concurrency level in [MinLevel, 1.0]: the
+	// fraction of shader threads kept ready. The GPU maps it to the
+	// probability that a texture access may issue this cycle.
+	Level float64
+
+	// MinLevel bounds how far concurrency can drop (0.25 keeps a
+	// quarter of the threads ready).
+	MinLevel float64
+
+	// Step is the multiplicative adjustment per epoch.
+	Step float64
+
+	// StallHi and StallLo are the stall-fraction thresholds: above
+	// StallHi the epoch scales concurrency down (memory congested),
+	// below StallLo it scales back up (cores idle).
+	StallHi float64
+	StallLo float64
+
+	// EpochCycles is the evaluation period in GPU cycles.
+	EpochCycles uint64
+
+	epochStart  uint64
+	stallCycles uint64
+	busyCycles  uint64
+
+	// Stats.
+	Epochs  uint64
+	Downs   uint64
+	Ups     uint64
+	MinSeen float64
+}
+
+// NewCMBAL returns a controller with the evaluation defaults.
+func NewCMBAL() *CMBAL {
+	return &CMBAL{
+		Level:       1.0,
+		MinLevel:    0.25,
+		Step:        0.125,
+		StallHi:     0.5,
+		StallLo:     0.2,
+		EpochCycles: 4096,
+		MinSeen:     1.0,
+	}
+}
+
+// Observe records one GPU cycle's stall state (stalled = the pipeline
+// could not issue due to memory back-pressure).
+func (c *CMBAL) Observe(gpuCycle uint64, stalled bool) {
+	if stalled {
+		c.stallCycles++
+	} else {
+		c.busyCycles++
+	}
+	if gpuCycle-c.epochStart >= c.EpochCycles {
+		c.endEpoch(gpuCycle)
+	}
+}
+
+func (c *CMBAL) endEpoch(gpuCycle uint64) {
+	total := c.stallCycles + c.busyCycles
+	if total > 0 {
+		frac := float64(c.stallCycles) / float64(total)
+		switch {
+		case frac > c.StallHi && c.Level > c.MinLevel:
+			c.Level -= c.Step
+			if c.Level < c.MinLevel {
+				c.Level = c.MinLevel
+			}
+			c.Downs++
+		case frac < c.StallLo && c.Level < 1.0:
+			c.Level += c.Step
+			if c.Level > 1.0 {
+				c.Level = 1.0
+			}
+			c.Ups++
+		}
+		if c.Level < c.MinSeen {
+			c.MinSeen = c.Level
+		}
+	}
+	c.Epochs++
+	c.epochStart = gpuCycle
+	c.stallCycles = 0
+	c.busyCycles = 0
+}
+
+// TextureIssueScale returns the fraction of texture-issue slots the
+// current concurrency level sustains. Implements gpu.ShaderThrottle.
+func (c *CMBAL) TextureIssueScale() float64 { return c.Level }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func runEpochs(c *CMBAL, stalledFrac float64, epochs int) {
+	cycle := uint64(0)
+	for e := 0; e < epochs; e++ {
+		stallEvery := 0
+		if stalledFrac > 0 {
+			stallEvery = int(1 / stalledFrac)
+		}
+		for i := uint64(0); i < c.EpochCycles; i++ {
+			cycle++
+			stalled := stallEvery > 0 && int(i)%stallEvery == 0
+			c.Observe(cycle, stalled)
+		}
+	}
+}
+
+func TestCMBALScalesDownUnderCongestion(t *testing.T) {
+	c := NewCMBAL()
+	runEpochs(c, 0.8, 10)
+	if c.Level >= 1.0 {
+		t.Fatalf("no down-scaling under 80%% stalls: level=%v", c.Level)
+	}
+	if c.Level < c.MinLevel {
+		t.Fatalf("level %v fell below floor %v", c.Level, c.MinLevel)
+	}
+	if c.Downs == 0 {
+		t.Fatalf("no down epochs recorded")
+	}
+}
+
+func TestCMBALRecoversWhenIdle(t *testing.T) {
+	c := NewCMBAL()
+	runEpochs(c, 0.9, 20) // drive to the floor
+	floor := c.Level
+	runEpochs(c, 0.0, 20) // no stalls: scale back up
+	if c.Level <= floor {
+		t.Fatalf("no recovery: %v -> %v", floor, c.Level)
+	}
+	if c.Level > 1.0 {
+		t.Fatalf("level exceeded 1.0: %v", c.Level)
+	}
+}
+
+func TestCMBALStableInDeadband(t *testing.T) {
+	c := NewCMBAL()
+	runEpochs(c, 0.35, 10) // between StallLo and StallHi
+	if c.Level != 1.0 {
+		t.Fatalf("deadband epochs moved the level: %v", c.Level)
+	}
+}
+
+func TestCMBALTextureIssueScale(t *testing.T) {
+	c := NewCMBAL()
+	if c.TextureIssueScale() != 1.0 {
+		t.Fatalf("fresh controller not at full concurrency")
+	}
+	runEpochs(c, 0.9, 30)
+	if got := c.TextureIssueScale(); got != c.Level {
+		t.Fatalf("TextureIssueScale %v != Level %v", got, c.Level)
+	}
+}
+
+// Property: the level always stays within [MinLevel, 1] under any
+// stall pattern.
+func TestQuickCMBALBounds(t *testing.T) {
+	f := func(pattern []bool) bool {
+		c := NewCMBAL()
+		c.EpochCycles = 16
+		cycle := uint64(0)
+		for i := 0; i < 50; i++ {
+			for _, st := range pattern {
+				cycle++
+				c.Observe(cycle, st)
+				if c.Level < c.MinLevel-1e-9 || c.Level > 1.0+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

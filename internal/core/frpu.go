@@ -1,0 +1,273 @@
+// Package core implements the paper's primary contribution: the
+// dynamic frame-rate prediction unit (FRPU, §III-A), the GPU access
+// throttling unit (ATU, §III-B), and the QoS controller that ties
+// them to the DRAM scheduler's CPU-priority boost (§III-C). The
+// total architectural state is the 64-entry RTP information table
+// plus a handful of registers — "just over a kilobyte" (§VII).
+package core
+
+import "repro/internal/gpu"
+
+// TableEntries is the RTP information table size (paper §III-A1).
+const TableEntries = 64
+
+// RTPEntry is one row of the RTP information table. The paper stores
+// four 4-byte fields per entry plus a valid bit: the number of
+// updates to the RTP, the cycles to finish it, the number of RTTs,
+// and the shared-LLC accesses the GPU made for the whole RTP.
+type RTPEntry struct {
+	Valid    bool
+	Updates  uint32
+	Cycles   uint32
+	Tiles    uint32
+	Accesses uint32
+}
+
+// Phase is the FRPU state (paper Fig. 4).
+type Phase uint8
+
+// Phases.
+const (
+	// Learning: monitoring one complete frame to fill the table.
+	Learning Phase = iota
+	// Prediction: extrapolating the frame time with Eq. 3 and
+	// cross-verifying observations against the learned profile.
+	Prediction
+)
+
+func (p Phase) String() string {
+	if p == Learning {
+		return "learning"
+	}
+	return "prediction"
+}
+
+// FRPU is the frame-rate prediction unit. It consumes RTP and frame
+// completion events from the GPU pipeline and produces a projected
+// cycles-per-frame figure without profile information or rendering-
+// pipeline assumptions.
+type FRPU struct {
+	// Threshold is the relative divergence between a predicted-phase
+	// observation and the learned profile that discards the learned
+	// data (back to learning, paper Fig. 4 point B). Divergence is
+	// checked on the work fields (updates and LLC accesses) rather
+	// than cycles: cycles legitimately change when the ATU throttles
+	// the GPU, and re-learning on every throttle adjustment would
+	// defeat the feedback loop.
+	Threshold float64
+
+	table    [TableEntries]RTPEntry
+	phase    Phase
+	learnIdx int
+
+	// Learned frame profile.
+	nRTP   int
+	cAvg   float64 // mean cycles per RTP over the learned frame
+	aFrame float64 // LLC accesses per frame
+
+	// Current-frame observation.
+	curRTPs     int
+	curCycles   uint64
+	curAccesses uint64
+
+	// Per-frame prediction bookkeeping (for accuracy accounting).
+	predSum   float64
+	predCount int
+
+	// Stats.
+	Relearns      int
+	FramesLearned int
+	// Errors collects per-frame signed relative errors of the mean
+	// in-frame prediction vs the actual frame time (Fig. 8).
+	Errors []float64
+}
+
+// NewFRPU returns an FRPU with the default divergence threshold.
+func NewFRPU() *FRPU {
+	return &FRPU{Threshold: 0.5}
+}
+
+// Phase returns the current phase.
+func (f *FRPU) Phase() Phase { return f.phase }
+
+// Table returns a copy of the RTP information table (inspection).
+func (f *FRPU) Table() [TableEntries]RTPEntry { return f.table }
+
+// AccessesPerFrame returns the learned LLC accesses per frame (the A
+// input of the throttling algorithm) and whether it is valid.
+func (f *FRPU) AccessesPerFrame() (float64, bool) {
+	return f.aFrame, f.phase == Prediction && f.aFrame > 0
+}
+
+// ObserveRTP records one completed RTP.
+func (f *FRPU) ObserveRTP(info gpu.RTPInfo) {
+	switch f.phase {
+	case Learning:
+		idx := f.learnIdx
+		if idx >= TableEntries {
+			// Overflow: accumulate into the last entry (§III-A1).
+			e := &f.table[TableEntries-1]
+			e.Updates += uint32(info.Updates)
+			e.Cycles += uint32(info.Cycles)
+			e.Tiles += uint32(info.Tiles)
+			e.Accesses += uint32(info.LLCAccesses)
+		} else {
+			f.table[idx] = RTPEntry{
+				Valid:    true,
+				Updates:  uint32(info.Updates),
+				Cycles:   uint32(info.Cycles),
+				Tiles:    uint32(info.Tiles),
+				Accesses: uint32(info.LLCAccesses),
+			}
+			f.learnIdx++
+		}
+	case Prediction:
+		// Cross-verify against the learned entry for this RTP index.
+		idx := info.Index
+		if idx >= TableEntries {
+			idx = TableEntries - 1
+		}
+		e := f.table[idx]
+		if e.Valid && (diverges(float64(info.Updates), float64(e.Updates), f.Threshold) ||
+			diverges(float64(info.LLCAccesses), float64(e.Accesses), f.Threshold)) {
+			f.relearn()
+			// The diverging RTP seeds the fresh learning pass.
+			f.ObserveRTP(info)
+			return
+		}
+	}
+	f.curRTPs++
+	f.curCycles += info.Cycles
+	f.curAccesses += info.LLCAccesses
+
+	if f.phase == Prediction {
+		if p, ok := f.PredictedFrameCycles(); ok {
+			f.predSum += p
+			f.predCount++
+		}
+	}
+}
+
+// diverges reports |obs-learned|/learned > threshold.
+func diverges(obs, learned, threshold float64) bool {
+	if learned == 0 {
+		return obs != 0
+	}
+	d := obs - learned
+	if d < 0 {
+		d = -d
+	}
+	return d/learned > threshold
+}
+
+// relearn discards the learned profile (Fig. 4, prediction->learning
+// transition).
+func (f *FRPU) relearn() {
+	f.table = [TableEntries]RTPEntry{}
+	f.learnIdx = 0
+	f.phase = Learning
+	f.nRTP = 0
+	f.cAvg = 0
+	f.aFrame = 0
+	f.curRTPs = 0
+	f.curCycles = 0
+	f.curAccesses = 0
+	f.predSum = 0
+	f.predCount = 0
+	f.Relearns++
+}
+
+// ObserveFrame records a frame boundary. In the learning phase it
+// finalizes the profile and switches to prediction (Fig. 4 point A);
+// in the prediction phase it records prediction accuracy and resets
+// the current-frame observation.
+func (f *FRPU) ObserveFrame(info gpu.FrameInfo) {
+	switch f.phase {
+	case Learning:
+		f.nRTP = f.curRTPs
+		if f.nRTP > 0 {
+			f.cAvg = float64(f.curCycles) / float64(f.nRTP)
+		}
+		f.aFrame = float64(f.curAccesses)
+		if f.nRTP > 0 {
+			f.phase = Prediction
+			f.FramesLearned++
+		}
+	case Prediction:
+		if f.predCount > 0 && info.Cycles > 0 {
+			mean := f.predSum / float64(f.predCount)
+			f.Errors = append(f.Errors, (mean-float64(info.Cycles))/float64(info.Cycles))
+		}
+		// The completed frame refreshes the learned averages so the
+		// profile tracks slow drift (work jitter) without a full
+		// relearn.
+		if f.curRTPs > 0 {
+			f.nRTP = f.curRTPs
+			f.cAvg = float64(f.curCycles) / float64(f.curRTPs)
+			f.aFrame = float64(f.curAccesses)
+		}
+	}
+	f.curRTPs = 0
+	f.curCycles = 0
+	f.curAccesses = 0
+	f.predSum = 0
+	f.predCount = 0
+}
+
+// PredictedFrameCycles implements Eq. 3:
+//
+//	F = (λ·C_inter + (1−λ)·C_avg) · N_rtp
+//
+// where λ is the fraction of the frame rendered so far, C_inter the
+// mean cycles per RTP observed in the current frame, and C_avg the
+// learned mean. It returns ok=false outside the prediction phase.
+func (f *FRPU) PredictedFrameCycles() (float64, bool) {
+	if f.phase != Prediction || f.nRTP == 0 {
+		return 0, false
+	}
+	lambda := float64(f.curRTPs) / float64(f.nRTP)
+	if lambda > 1 {
+		lambda = 1
+	}
+	cInter := f.cAvg
+	if f.curRTPs > 0 {
+		cInter = float64(f.curCycles) / float64(f.curRTPs)
+	}
+	cRTP := lambda*cInter + (1-lambda)*f.cAvg
+	return cRTP * float64(f.nRTP), true
+}
+
+// MeanAbsErrorPct returns the mean of |per-frame error| in percent.
+func (f *FRPU) MeanAbsErrorPct() float64 {
+	if len(f.Errors) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range f.Errors {
+		if e < 0 {
+			e = -e
+		}
+		s += e
+	}
+	return 100 * s / float64(len(f.Errors))
+}
+
+// MeanErrorPct returns the mean signed error in percent (positive =
+// over-estimation, as in Fig. 8).
+func (f *FRPU) MeanErrorPct() float64 {
+	if len(f.Errors) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range f.Errors {
+		s += e
+	}
+	return 100 * s / float64(len(f.Errors))
+}
+
+// StorageBits returns the architectural state the FRPU needs, in
+// bits: 64 entries x (4 fields x 32 bits + 1 valid bit). The paper
+// claims "just over a kilobyte" for the whole proposal.
+func StorageBits() int {
+	return TableEntries * (4*32 + 1)
+}

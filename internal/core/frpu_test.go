@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+)
+
+// feedFrame pushes one frame of nRTP identical RTPs into f.
+func feedFrame(f *FRPU, frame, nRTP int, cycles, updates, accesses uint64) {
+	for i := 0; i < nRTP; i++ {
+		f.ObserveRTP(gpu.RTPInfo{
+			Frame: frame, Index: i,
+			Updates: updates, Cycles: cycles, Tiles: 16, LLCAccesses: accesses,
+		})
+	}
+	f.ObserveFrame(gpu.FrameInfo{
+		Index: frame, Cycles: cycles * uint64(nRTP),
+		LLCAccesses: accesses * uint64(nRTP), RTPs: nRTP,
+	})
+}
+
+func TestLearningToPredictionTransition(t *testing.T) {
+	f := NewFRPU()
+	if f.Phase() != Learning {
+		t.Fatalf("FRPU must start in learning")
+	}
+	feedFrame(f, 0, 8, 100, 50, 20)
+	if f.Phase() != Prediction {
+		t.Fatalf("no transition to prediction after one frame")
+	}
+	if f.FramesLearned != 1 {
+		t.Fatalf("FramesLearned = %d", f.FramesLearned)
+	}
+}
+
+func TestExactPredictionOnConstantWork(t *testing.T) {
+	f := NewFRPU()
+	feedFrame(f, 0, 8, 100, 50, 20)
+	// Mid-frame prediction with identical per-RTP cycles must be
+	// exactly nRTP*cycles (Eq. 3 with C_inter == C_avg).
+	for i := 0; i < 4; i++ {
+		f.ObserveRTP(gpu.RTPInfo{Frame: 1, Index: i, Updates: 50, Cycles: 100, Tiles: 16, LLCAccesses: 20})
+	}
+	p, ok := f.PredictedFrameCycles()
+	if !ok {
+		t.Fatalf("no prediction in prediction phase")
+	}
+	if p != 800 {
+		t.Fatalf("predicted %v cycles, want 800", p)
+	}
+}
+
+func TestPredictionBlendsCurrentSpeed(t *testing.T) {
+	f := NewFRPU()
+	feedFrame(f, 0, 10, 100, 50, 20)
+	// Current frame runs 2x slower: after 5 of 10 RTPs, lambda=0.5,
+	// C_inter=200, C_avg=100 -> C_rtp=150 -> F=1500.
+	for i := 0; i < 5; i++ {
+		f.ObserveRTP(gpu.RTPInfo{Frame: 1, Index: i, Updates: 50, Cycles: 200, Tiles: 16, LLCAccesses: 20})
+	}
+	p, _ := f.PredictedFrameCycles()
+	if p != 1500 {
+		t.Fatalf("blended prediction = %v, want 1500", p)
+	}
+}
+
+func TestDivergenceTriggersRelearn(t *testing.T) {
+	f := NewFRPU()
+	feedFrame(f, 0, 8, 100, 50, 20)
+	// An RTP with 10x the learned work must discard the profile.
+	f.ObserveRTP(gpu.RTPInfo{Frame: 1, Index: 0, Updates: 500, Cycles: 100, Tiles: 16, LLCAccesses: 200})
+	if f.Phase() != Learning {
+		t.Fatalf("no relearn after divergence; phase=%v", f.Phase())
+	}
+	if f.Relearns != 1 {
+		t.Fatalf("Relearns = %d", f.Relearns)
+	}
+	// The diverging RTP itself must seed the fresh learning pass.
+	tab := f.Table()
+	if !tab[0].Valid || tab[0].Updates != 500 {
+		t.Fatalf("diverging RTP not recorded: %+v", tab[0])
+	}
+}
+
+func TestCycleChangesDoNotRelearn(t *testing.T) {
+	// Throttling slows RTPs without changing their work; the FRPU
+	// must NOT treat that as divergence.
+	f := NewFRPU()
+	feedFrame(f, 0, 8, 100, 50, 20)
+	for i := 0; i < 8; i++ {
+		f.ObserveRTP(gpu.RTPInfo{Frame: 1, Index: i, Updates: 50, Cycles: 400, Tiles: 16, LLCAccesses: 20})
+	}
+	if f.Phase() != Prediction {
+		t.Fatalf("cycle-only change caused a relearn")
+	}
+}
+
+func TestTableOverflowAccumulates(t *testing.T) {
+	f := NewFRPU()
+	n := TableEntries + 10
+	for i := 0; i < n; i++ {
+		f.ObserveRTP(gpu.RTPInfo{Frame: 0, Index: i, Updates: 1, Cycles: 10, Tiles: 4, LLCAccesses: 2})
+	}
+	tab := f.Table()
+	if tab[TableEntries-1].Updates != 11 {
+		t.Fatalf("last entry should accumulate 11 updates, has %d", tab[TableEntries-1].Updates)
+	}
+	f.ObserveFrame(gpu.FrameInfo{Index: 0, Cycles: uint64(10 * n), RTPs: n})
+	if f.Phase() != Prediction {
+		t.Fatalf("overflowed frame did not finish learning")
+	}
+}
+
+func TestErrorAccountingAccurateOnSteadyState(t *testing.T) {
+	f := NewFRPU()
+	for frame := 0; frame < 10; frame++ {
+		feedFrame(f, frame, 8, 100, 50, 20)
+	}
+	if got := f.MeanAbsErrorPct(); got > 0.001 {
+		t.Fatalf("steady-state mean abs error = %v%%, want ~0", got)
+	}
+}
+
+func TestAccessesPerFrame(t *testing.T) {
+	f := NewFRPU()
+	feedFrame(f, 0, 8, 100, 50, 20)
+	a, ok := f.AccessesPerFrame()
+	if !ok || a != 160 {
+		t.Fatalf("A = %v (ok=%v), want 160", a, ok)
+	}
+}
+
+func TestStorageBitsAboutAKilobyte(t *testing.T) {
+	bytes := StorageBits() / 8
+	if bytes < 1024 || bytes > 1200 {
+		t.Fatalf("table storage = %d bytes; paper claims just over 1 KB", bytes)
+	}
+}
+
+// Property: on constant per-RTP work, every mid-frame prediction in
+// steady state equals the true frame time exactly, for any frame
+// shape.
+func TestQuickExactOnConstantWork(t *testing.T) {
+	f := func(nRTP8 uint8, cyc16 uint16, acc8 uint8) bool {
+		nRTP := 1 + int(nRTP8%32)
+		cycles := uint64(cyc16%5000) + 1
+		acc := uint64(acc8) + 1
+		fr := NewFRPU()
+		feedFrame(fr, 0, nRTP, cycles, 10, acc)
+		want := float64(cycles) * float64(nRTP)
+		for i := 0; i < nRTP-1; i++ {
+			fr.ObserveRTP(gpu.RTPInfo{Frame: 1, Index: i, Updates: 10, Cycles: cycles, Tiles: 4, LLCAccesses: acc})
+			p, ok := fr.PredictedFrameCycles()
+			if !ok {
+				return false
+			}
+			if d := p - want; d > 1e-6*want || d < -1e-6*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

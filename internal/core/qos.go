@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/gpu"
+)
+
+// Mode selects which pieces of the proposal are active.
+type Mode uint8
+
+// Modes.
+const (
+	// ModeBaseline disables the proposal entirely (FR-FCFS, no gate).
+	ModeBaseline Mode = iota
+	// ModeThrottle enables the FRPU+ATU GPU access throttling only
+	// (the "Throttled" configuration of Fig. 9).
+	ModeThrottle
+	// ModeThrottleCPUPrio additionally boosts CPU priority in the
+	// DRAM scheduler while the GPU is throttled ("Throttled+CPU
+	// priority", the full proposal).
+	ModeThrottleCPUPrio
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeThrottle:
+		return "throttled"
+	case ModeThrottleCPUPrio:
+		return "throttled+cpuprio"
+	}
+	return "mode?"
+}
+
+// Controller is the QoS controller tying the FRPU's frame-time
+// prediction to the ATU's GTT gate and the DRAM scheduler's priority
+// boost. It implements gpu.Observer (re-evaluating on every RTP
+// retirement, which is off the critical path of GPU accesses, §III-D)
+// and gpu.ThrottleGate (delegating to the ATU).
+type Controller struct {
+	FRPU *FRPU
+	ATU  *ATU
+
+	// Mode selects throttling / throttling+CPU-priority / off.
+	Mode Mode
+
+	// TargetFPS is the QoS threshold (40 FPS in the paper, leaving a
+	// 10 FPS cushion over the 30 FPS visual-satisfaction floor).
+	TargetFPS float64
+
+	// GPUFreqHz and Scale convert between FPS and GPU cycles per
+	// frame: CT = GPUFreqHz / (TargetFPS * Scale).
+	GPUFreqHz float64
+	Scale     int
+}
+
+// NewController builds the full proposal's controller.
+func NewController(mode Mode, targetFPS float64, gpuFreqHz float64, scale int) *Controller {
+	if scale < 1 {
+		scale = 1
+	}
+	atu := NewATU()
+	atu.Feedback = true // see ATU.Feedback; the ablation bench compares laws
+	return &Controller{
+		FRPU:      NewFRPU(),
+		ATU:       atu,
+		Mode:      mode,
+		TargetFPS: targetFPS,
+		GPUFreqHz: gpuFreqHz,
+		Scale:     scale,
+	}
+}
+
+// TargetCycles returns CT, the GPU cycles per frame at the target
+// frame rate under the current scale factor.
+func (c *Controller) TargetCycles() float64 {
+	return c.GPUFreqHz / (c.TargetFPS * float64(c.Scale))
+}
+
+// RTPComplete implements gpu.Observer.
+func (c *Controller) RTPComplete(info gpu.RTPInfo) {
+	c.FRPU.ObserveRTP(info)
+	c.reevaluate()
+}
+
+// FrameComplete implements gpu.Observer.
+func (c *Controller) FrameComplete(info gpu.FrameInfo) {
+	c.FRPU.ObserveFrame(info)
+	c.reevaluate()
+}
+
+// reevaluate runs the Fig. 6 flow with fresh FRPU outputs.
+func (c *Controller) reevaluate() {
+	if c.Mode == ModeBaseline {
+		c.ATU.WG = 0
+		return
+	}
+	cp, okP := c.FRPU.PredictedFrameCycles()
+	a, okA := c.FRPU.AccessesPerFrame()
+	c.ATU.Update(cp, c.TargetCycles(), a, okP && okA)
+}
+
+// Throttling reports whether the ATU gate is currently engaged.
+func (c *Controller) Throttling() bool {
+	return c.Mode != ModeBaseline && c.ATU.Active()
+}
+
+// Allow implements gpu.ThrottleGate.
+func (c *Controller) Allow(gpuCycle uint64) bool {
+	if c.Mode == ModeBaseline {
+		return true
+	}
+	return c.ATU.Allow(gpuCycle)
+}
+
+// OnIssue implements gpu.ThrottleGate.
+func (c *Controller) OnIssue(gpuCycle uint64) {
+	if c.Mode != ModeBaseline {
+		c.ATU.OnIssue(gpuCycle)
+	}
+}
+
+// Boost implements the DRAM scheduler priority provider: CPU requests
+// outrank GPU requests exactly while the GPU is being throttled and
+// the mode enables it (§III-C).
+func (c *Controller) Boost() dram.BoostState {
+	if c.Mode == ModeThrottleCPUPrio && c.Throttling() {
+		return dram.BoostCPU
+	}
+	return dram.BoostNone
+}
+
+// DynPrio is the dynamic priority DRAM scheduler provider of Jeong et
+// al. (DAC 2012) as the paper evaluates it (§IV): CPU accesses have
+// higher priority by default; the GPU is raised to equal priority
+// when its progress lags the target frame time, and to express
+// (higher-than-CPU) priority during the last 10% of the frame-time
+// budget. It reuses the paper's frame rate estimation technique (our
+// FRPU) to compute the time left in a frame, exactly as §VI does.
+type DynPrio struct {
+	FRPU *FRPU
+
+	// FrameElapsed returns GPU cycles since the current frame began;
+	// the system builder wires it to the GPU.
+	FrameElapsed func() uint64
+
+	// TargetCycles is the frame-time budget (GPU cycles per frame at
+	// the target frame rate); the system builder sets it.
+	TargetCycles float64
+
+	// LastFraction is the tail fraction with GPU express priority
+	// (0.10 in the paper).
+	LastFraction float64
+}
+
+// NewDynPrio builds a DynPrio provider over an FRPU.
+func NewDynPrio(frpu *FRPU, frameElapsed func() uint64) *DynPrio {
+	return &DynPrio{FRPU: frpu, FrameElapsed: frameElapsed, LastFraction: 0.10}
+}
+
+// RTPComplete implements gpu.Observer.
+func (d *DynPrio) RTPComplete(info gpu.RTPInfo) { d.FRPU.ObserveRTP(info) }
+
+// FrameComplete implements gpu.Observer.
+func (d *DynPrio) FrameComplete(info gpu.FrameInfo) { d.FRPU.ObserveFrame(info) }
+
+// Boost implements the three-level DynPrio policy.
+func (d *DynPrio) Boost() dram.BoostState {
+	cp, ok := d.FRPU.PredictedFrameCycles()
+	if !ok || d.FrameElapsed == nil {
+		return dram.BoostNone
+	}
+	if float64(d.FrameElapsed()) >= (1-d.LastFraction)*cp {
+		// Deadline pressure: GPU express lane.
+		return dram.BoostGPU
+	}
+	if d.TargetCycles > 0 && cp > d.TargetCycles {
+		// GPU lagging its target frame time: equal priority.
+		return dram.BoostNone
+	}
+	// GPU comfortably on schedule: CPU first (DynPrio's default).
+	return dram.BoostCPU
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/gpu"
+)
+
+// TestFeedbackLawConvergesInClosedLoop simulates the closed loop the
+// controller lives in: the "GPU" renders frames whose duration grows
+// with WG (the gate binds), and the controller must settle near the
+// target.
+func TestFeedbackLawConvergesInClosedLoop(t *testing.T) {
+	c := NewController(ModeThrottleCPUPrio, 40, 1e9, 1000)
+	// CT = 1e9/(40*1000) = 25000 cycles/frame.
+	const nRTP = 8
+	baseCycles := uint64(1500) // unthrottled RTP time -> 12000/frame (~83 FPS)
+	frame := func() uint64 {
+		// Each unit of WG adds ~40 cycles per RTP (the gate binds).
+		per := baseCycles + 40*c.ATU.WG
+		for i := 0; i < nRTP; i++ {
+			c.RTPComplete(gpu.RTPInfo{Frame: 0, Index: i, Updates: 100, Cycles: per, Tiles: 8, LLCAccesses: 50})
+		}
+		c.FrameComplete(gpu.FrameInfo{Index: 0, Cycles: per * nRTP, LLCAccesses: 400, RTPs: nRTP})
+		return per * nRTP
+	}
+	var last uint64
+	for f := 0; f < 300; f++ {
+		last = frame()
+	}
+	fps := 1e9 / (float64(last) * 1000)
+	if fps > 50 || fps < 30 {
+		t.Fatalf("closed loop settled at %.1f FPS, want near 40", fps)
+	}
+	if !c.Throttling() {
+		t.Fatalf("controller not throttling an above-target GPU")
+	}
+}
+
+// TestControllerDisablesAfterSceneChange: when the workload slows
+// below target (e.g. scene change), throttling must release.
+func TestControllerDisablesAfterSceneChange(t *testing.T) {
+	c := NewController(ModeThrottleCPUPrio, 40, 1e9, 1000)
+	// Fast phase: 12500 cycles/frame (80 FPS) -> throttles.
+	for f := 0; f < 20; f++ {
+		for i := 0; i < 5; i++ {
+			c.RTPComplete(gpu.RTPInfo{Frame: f, Index: i, Updates: 10, Cycles: 2500, Tiles: 4, LLCAccesses: 20})
+		}
+		c.FrameComplete(gpu.FrameInfo{Index: f, Cycles: 12500, LLCAccesses: 100, RTPs: 5})
+	}
+	if !c.Throttling() {
+		t.Fatalf("fast phase not throttled")
+	}
+	// Scene change: 10x the work -> 125000 cycles/frame (8 FPS).
+	for f := 20; f < 40; f++ {
+		for i := 0; i < 5; i++ {
+			c.RTPComplete(gpu.RTPInfo{Frame: f, Index: i, Updates: 100, Cycles: 25000, Tiles: 4, LLCAccesses: 200})
+		}
+		c.FrameComplete(gpu.FrameInfo{Index: f, Cycles: 125000, LLCAccesses: 1000, RTPs: 5})
+	}
+	if c.Throttling() {
+		t.Fatalf("throttle still active on a below-target scene")
+	}
+	if c.FRPU.Relearns == 0 {
+		t.Fatalf("10x work change did not trigger a relearn")
+	}
+	if c.Boost() != dram.BoostNone {
+		t.Fatalf("CPU priority still boosted")
+	}
+}
+
+// TestDynPrioNeedsPrediction: without a learned profile there is no
+// frame-time budget, so no boost.
+func TestDynPrioNeedsPrediction(t *testing.T) {
+	d := NewDynPrio(NewFRPU(), func() uint64 { return 1 << 30 })
+	if d.Boost() != dram.BoostNone {
+		t.Fatalf("DynPrio boosted without a prediction")
+	}
+}
+
+// TestDynPrioNilElapsed guards the unwired case.
+func TestDynPrioNilElapsed(t *testing.T) {
+	frpu := NewFRPU()
+	feedFrame(frpu, 0, 4, 100, 10, 5)
+	d := NewDynPrio(frpu, nil)
+	if d.Boost() != dram.BoostNone {
+		t.Fatalf("nil FrameElapsed must not boost")
+	}
+}
+
+// Property: the feedback law's WG is always finite and returns to 0
+// within a bounded number of over-target evaluations.
+func TestQuickFeedbackBackoff(t *testing.T) {
+	f := func(grow uint8) bool {
+		a := NewATU()
+		a.Feedback = true
+		for i := 0; i < int(grow%100)+1; i++ {
+			a.Update(100, 1000, 10, true) // under target: grow
+		}
+		// Over target: WG halves each evaluation -> zero in <= 64 steps.
+		for i := 0; i < 64; i++ {
+			a.Update(2000, 1000, 10, true)
+			if a.WG == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModeStrings pins the display names used in reports.
+func TestModeStrings(t *testing.T) {
+	if ModeBaseline.String() != "baseline" ||
+		ModeThrottle.String() != "throttled" ||
+		ModeThrottleCPUPrio.String() != "throttled+cpuprio" {
+		t.Fatalf("mode strings changed")
+	}
+	if Learning.String() != "learning" || Prediction.String() != "prediction" {
+		t.Fatalf("phase strings changed")
+	}
+}

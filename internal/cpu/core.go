@@ -1,0 +1,444 @@
+// Package cpu models the latency-optimized CPU cores of the
+// heterogeneous CMP. Each core is trace-driven: it consumes a
+// deterministic synthetic instruction/memory stream (internal/trace)
+// through a retire-width + ROB-occupancy timing model that captures
+// the property the paper's mechanism interacts with — how much LLC
+// and DRAM latency a core can hide before it stalls.
+//
+// Timing model: up to Width instructions retire per cycle. A load
+// that misses the private hierarchy becomes an outstanding miss; the
+// core keeps retiring younger instructions until the ROB window past
+// the oldest outstanding load fills, then stalls until that load's
+// data returns. Stores retire immediately (write-allocate,
+// write-back), consuming MSHR slots and bandwidth but not stalling
+// the window. Private caches are L1D 32 KB/8-way (2-cycle) and a
+// unified L2 256 KB/8-way, LRU, per Table I; L1I is not modeled (the
+// paper's SPEC regions have negligible instruction-miss traffic).
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config describes one core and its private hierarchy.
+type Config struct {
+	ID    int // core index; determines mem.Source and address region
+	Width int // retire width (4)
+	ROB   int // reorder window in instructions (192)
+	MSHRs int // outstanding line misses allowed (16)
+	L1    cache.Config
+	L2    cache.Config
+	L2Hit uint64 // L1-miss/L2-hit load-to-use latency in CPU cycles
+	WBBuf int    // write-back buffer entries (8)
+
+	// Prefetch enables the L2 stride streamer (off in the paper
+	// configurations; see Prefetcher).
+	Prefetch bool
+}
+
+// DefaultConfig returns the paper's per-core configuration, with
+// cache capacities divided by scale (>=1).
+func DefaultConfig(id, scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		ID:    id,
+		Width: 4,
+		ROB:   192,
+		MSHRs: 16,
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 32 * 1024 / scale, Ways: 8, Policy: cache.LRU,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 256 * 1024 / scale, Ways: 8, Policy: cache.LRU,
+		},
+		L2Hit: 12,
+		WBBuf: 8,
+	}
+}
+
+// outstanding tracks one in-flight load miss.
+type outstanding struct {
+	line  uint64
+	instr uint64 // retire index of the load
+	local bool   // L2 hit being timed locally
+	at    uint64 // release cycle for local fills
+	write bool
+}
+
+// Core is one CPU core instance.
+type Core struct {
+	cfg  Config
+	src  mem.Source
+	gen  trace.Source
+	l1   *cache.Cache
+	l2   *cache.Cache
+	mshr *cache.MSHR
+
+	// Issue sends a request toward the LLC; it returns false when the
+	// downstream (ring injection / LLC queue) cannot accept this
+	// cycle. The system builder wires it.
+	Issue func(r *mem.Request) bool
+
+	cycle   uint64
+	retired uint64
+
+	cur        trace.Op
+	haveOp     bool
+	nonMemLeft int
+
+	out          []outstanding
+	wbq          []*mem.Request  // L2 dirty evictions awaiting issue
+	pendingDirty map[uint64]bool // store misses to dirty on fill
+	pf           *Prefetcher
+	pfMSHR       *cache.MSHR     // separate budget for speculative fills
+	pendingPf    map[uint64]bool // in-flight prefetch lines
+	nextID       uint64
+
+	// Stats (cumulative; the harness snapshots around windows).
+	StallCycles   uint64
+	LoadMisses    uint64
+	LLCRequests   uint64
+	TotalMissLat  uint64
+	CompletedMiss uint64
+}
+
+// New builds a core reading from gen (a synthetic trace.Generator or
+// a trace.ReplayGenerator).
+func New(cfg Config, gen trace.Source) *Core {
+	if cfg.Width <= 0 {
+		cfg.Width = 4
+	}
+	if cfg.ROB <= 0 {
+		cfg.ROB = 192
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 16
+	}
+	if cfg.WBBuf <= 0 {
+		cfg.WBBuf = 8
+	}
+	c := &Core{
+		cfg:          cfg,
+		src:          mem.Source(cfg.ID),
+		gen:          gen,
+		l1:           cache.New(cfg.L1),
+		l2:           cache.New(cfg.L2),
+		mshr:         cache.NewMSHR(cfg.MSHRs),
+		pendingDirty: make(map[uint64]bool),
+		pendingPf:    make(map[uint64]bool),
+	}
+	if cfg.Prefetch {
+		c.pf = NewPrefetcher()
+		c.pfMSHR = cache.NewMSHR(8)
+	}
+	return c
+}
+
+// Source returns the core's request source ID.
+func (c *Core) Source() mem.Source { return c.src }
+
+// Retired returns total retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns total simulated cycles.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// IPC returns retired/cycles over the core's lifetime.
+func (c *Core) IPC() float64 {
+	if c.cycle == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.cycle)
+}
+
+// L1 exposes the L1 cache for stats and back-invalidation tests.
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// L2 exposes the L2 cache.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// Invalidate handles an LLC back-invalidation (the LLC is inclusive
+// for CPU lines). A dirty private copy is pushed back to the memory
+// system as a write.
+func (c *Core) Invalidate(lineAddr uint64) {
+	c.l1.Invalidate(lineAddr)
+	if l, ok := c.l2.Invalidate(lineAddr); ok && l.Dirty {
+		c.pushWB(lineAddr)
+	}
+}
+
+// pushWB queues a write-back toward the LLC.
+func (c *Core) pushWB(lineAddr uint64) {
+	if len(c.wbq) >= c.cfg.WBBuf {
+		// Drop-oldest would lose data in a real machine; here the
+		// buffer is sized so this only happens under pathological
+		// back-pressure, and the write's timing contribution is the
+		// part that matters. Count it and coalesce.
+		c.wbq = c.wbq[1:]
+	}
+	c.nextID++
+	c.wbq = append(c.wbq, &mem.Request{
+		ID:    uint64(c.cfg.ID)<<56 | c.nextID,
+		Addr:  lineAddr,
+		Write: true,
+		Src:   c.src,
+		Class: mem.ClassCPUData,
+		Born:  c.cycle,
+	})
+}
+
+// OnFill delivers a completed LLC/DRAM response to the core.
+func (c *Core) OnFill(r *mem.Request) {
+	line := r.LineAddr()
+	if r.Prefetch {
+		delete(c.pendingPf, line)
+		c.pfMSHR.Release(line)
+		// A demand access may have coalesced onto the in-flight
+		// prefetch; satisfy it like a demand fill. Otherwise the
+		// speculative line goes to L2 only.
+		demand := false
+		for i := range c.out {
+			if c.out[i].line == line {
+				demand = true
+				break
+			}
+		}
+		if demand || c.pendingDirty[line] {
+			c.fillPrivate(line, c.pendingDirty[line])
+			delete(c.pendingDirty, line)
+			c.clearOutstanding(line)
+			return
+		}
+		if c.l2.Probe(line) == nil {
+			if v, ev := c.l2.Fill(line, false, c.src, mem.ClassCPUData); ev {
+				vAddr := v.Tag << mem.LineShift
+				c.l1.Invalidate(vAddr)
+				if v.Dirty {
+					c.pushWB(vAddr)
+				}
+			}
+		}
+		return
+	}
+	c.fillPrivate(line, c.pendingDirty[line])
+	delete(c.pendingDirty, line)
+	c.mshr.Release(line)
+	c.TotalMissLat += c.cycle - r.Born
+	c.CompletedMiss++
+	c.clearOutstanding(line)
+}
+
+// fillPrivate installs a line in L2 and L1, generating write-backs
+// for dirty victims.
+func (c *Core) fillPrivate(line uint64, write bool) {
+	if v, ev := c.l2.Fill(line, write, c.src, mem.ClassCPUData); ev {
+		vAddr := v.Tag << mem.LineShift
+		c.l1.Invalidate(vAddr) // keep L1 subset of L2
+		if v.Dirty {
+			c.pushWB(vAddr)
+		}
+	}
+	if v, ev := c.l1.Fill(line, write, c.src, mem.ClassCPUData); ev && v.Dirty {
+		// L1 dirty victim folds into L2.
+		c.l2.Access(v.Tag<<mem.LineShift, true)
+	}
+}
+
+func (c *Core) clearOutstanding(line uint64) {
+	for i := 0; i < len(c.out); {
+		if c.out[i].line == line {
+			c.out = append(c.out[:i], c.out[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+// robBlocked reports whether the oldest outstanding load has pinned
+// the window.
+func (c *Core) robBlocked() bool {
+	for i := range c.out {
+		if !c.out[i].write && c.retired-c.out[i].instr >= uint64(c.cfg.ROB) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the core one CPU cycle.
+func (c *Core) Tick() {
+	c.cycle++
+
+	// Release local (L2-hit) fills that are due. A release satisfies
+	// every outstanding entry for the line, including loads that were
+	// coalesced onto the in-flight local fill.
+	for {
+		released := false
+		for i := range c.out {
+			if c.out[i].local && c.out[i].at <= c.cycle {
+				line := c.out[i].line
+				c.mshr.Release(line)
+				c.fillPrivate(line, c.out[i].write || c.pendingDirty[line])
+				delete(c.pendingDirty, line)
+				c.clearOutstanding(line)
+				released = true
+				break
+			}
+		}
+		if !released {
+			break
+		}
+	}
+
+	// Drain the write-back queue opportunistically.
+	for len(c.wbq) > 0 && c.Issue != nil && c.Issue(c.wbq[0]) {
+		c.wbq = c.wbq[1:]
+	}
+
+	if c.robBlocked() {
+		c.StallCycles++
+		return
+	}
+
+	budget := c.cfg.Width
+	for budget > 0 {
+		if !c.haveOp {
+			c.cur = c.gen.Next()
+			c.nonMemLeft = c.cur.NonMem
+			c.haveOp = true
+		}
+		if c.nonMemLeft > 0 {
+			n := budget
+			if n > c.nonMemLeft {
+				n = c.nonMemLeft
+			}
+			c.nonMemLeft -= n
+			c.retired += uint64(n)
+			budget -= n
+			continue
+		}
+		// The group's memory reference.
+		if !c.memAccess(c.cur.Addr, c.cur.Write) {
+			c.StallCycles++
+			return // structural stall: retry same op next cycle
+		}
+		c.haveOp = false
+		c.retired++
+		budget--
+		if c.robBlocked() {
+			return
+		}
+	}
+}
+
+// memAccess performs one memory reference; it returns false when the
+// reference cannot proceed this cycle (MSHR or downstream full).
+func (c *Core) memAccess(addr uint64, write bool) bool {
+	line := addr &^ (mem.LineSize - 1)
+	if c.l1.Access(addr, write) {
+		return true
+	}
+	// L1 miss. A demand access to a line with an in-flight prefetch
+	// rides the prefetch (it satisfies outstanding entries on fill).
+	if c.pendingPf[line] {
+		if write {
+			c.pendingDirty[line] = true
+		} else {
+			c.out = append(c.out, outstanding{line: line, instr: c.retired})
+		}
+		return true
+	}
+	// Coalesce with an in-flight demand miss if any.
+	if c.mshr.Pending(line) {
+		_, ok := c.mshr.Allocate(line)
+		if ok {
+			if write {
+				c.pendingDirty[line] = true
+			} else {
+				c.out = append(c.out, outstanding{line: line, instr: c.retired})
+			}
+		}
+		return ok
+	}
+	if c.mshr.Full() {
+		return false
+	}
+	if c.l2.Access(addr, false) {
+		// L2 hit: timed local fill.
+		c.mshr.Allocate(line)
+		c.out = append(c.out, outstanding{
+			line: line, instr: c.retired, local: true,
+			at: c.cycle + c.cfg.L2Hit, write: write,
+		})
+		return true
+	}
+	// L2 miss: train the streamer and request from the shared memory
+	// system.
+	if c.pf != nil {
+		c.issuePrefetches(c.pf.Observe(line))
+	}
+	c.LoadMisses++
+	c.nextID++
+	r := &mem.Request{
+		ID:    uint64(c.cfg.ID)<<56 | c.nextID,
+		Addr:  line,
+		Write: false, // misses fetch the line; stores dirty it on fill
+		Src:   c.src,
+		Class: mem.ClassCPUData,
+		Born:  c.cycle,
+	}
+	if c.Issue == nil || !c.Issue(r) {
+		return false
+	}
+	c.mshr.Allocate(line)
+	c.LLCRequests++
+	if write {
+		c.pendingDirty[line] = true
+	} else {
+		c.out = append(c.out, outstanding{line: line, instr: c.retired})
+	}
+	return true
+}
+
+// issuePrefetches files speculative L2 fills for the streamer's
+// targets on the prefetcher's own MSHR budget.
+func (c *Core) issuePrefetches(targets []uint64) {
+	for _, line := range targets {
+		if c.pfMSHR.Full() {
+			return
+		}
+		if c.l2.Probe(line) != nil || c.mshr.Pending(line) || c.pendingPf[line] {
+			continue
+		}
+		c.nextID++
+		r := &mem.Request{
+			ID:       uint64(c.cfg.ID)<<56 | c.nextID,
+			Addr:     line,
+			Src:      c.src,
+			Class:    mem.ClassCPUData,
+			Born:     c.cycle,
+			Prefetch: true,
+		}
+		if c.Issue == nil || !c.Issue(r) {
+			return
+		}
+		c.pfMSHR.Allocate(line)
+		c.pendingPf[line] = true
+	}
+}
+
+// Prefetcher exposes the streamer (nil when disabled).
+func (c *Core) Prefetcher() *Prefetcher { return c.pf }
+
+// AvgMissLatency returns the mean shared-memory round trip in CPU
+// cycles.
+func (c *Core) AvgMissLatency() float64 {
+	if c.CompletedMiss == 0 {
+		return 0
+	}
+	return float64(c.TotalMissLat) / float64(c.CompletedMiss)
+}

@@ -1,0 +1,252 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// perfectMemory immediately satisfies every request after a fixed
+// latency, recording traffic.
+type perfectMemory struct {
+	latency  uint64
+	inflight []*mem.Request
+	cycle    uint64
+	core     *Core
+	reads    int
+	writes   int
+}
+
+func (p *perfectMemory) issue(r *mem.Request) bool {
+	if r.Write {
+		p.writes++
+		return true
+	}
+	p.reads++
+	r.Born = p.cycle
+	p.inflight = append(p.inflight, r)
+	return true
+}
+
+func (p *perfectMemory) tick() {
+	p.cycle++
+	for i := 0; i < len(p.inflight); {
+		r := p.inflight[i]
+		if p.cycle >= r.Born+p.latency {
+			r.Complete(p.cycle)
+			p.core.OnFill(r)
+			p.inflight[i] = p.inflight[len(p.inflight)-1]
+			p.inflight = p.inflight[:len(p.inflight)-1]
+		} else {
+			i++
+		}
+	}
+}
+
+func runCore(t *testing.T, p trace.Params, latency uint64, cycles int) (*Core, *perfectMemory) {
+	t.Helper()
+	gen := trace.NewGenerator(p, mem.CPURegion(0))
+	core := New(DefaultConfig(0, 16), gen)
+	pm := &perfectMemory{latency: latency, core: core}
+	core.Issue = pm.issue
+	for i := 0; i < cycles; i++ {
+		pm.tick()
+		core.Tick()
+	}
+	return core, pm
+}
+
+func computeBound() trace.Params {
+	return trace.Params{
+		Name: "compute", MemPerKilo: 5, WriteFrac: 0.2,
+		StreamFrac: 0, HotFrac: 1.0, HotBytes: 1 << 10, WSBytes: 1 << 12,
+		Seed: 1,
+	}
+}
+
+func memBound() trace.Params {
+	return trace.Params{
+		Name: "membound", MemPerKilo: 120, WriteFrac: 0.25,
+		StreamFrac: 0.2, HotFrac: 0.1, HotBytes: 1 << 10, WSBytes: 1 << 24,
+		Seed: 2,
+	}
+}
+
+func TestComputeBoundNearWidthIPC(t *testing.T) {
+	core, _ := runCore(t, computeBound(), 200, 20000)
+	if ipc := core.IPC(); ipc < 3.0 {
+		t.Fatalf("compute-bound IPC = %.2f, want near width 4", ipc)
+	}
+}
+
+func TestMemBoundIPCSensitiveToLatency(t *testing.T) {
+	fast, _ := runCore(t, memBound(), 50, 40000)
+	slow, _ := runCore(t, memBound(), 400, 40000)
+	if fast.IPC() <= slow.IPC() {
+		t.Fatalf("IPC fast=%.3f slow=%.3f: latency insensitivity", fast.IPC(), slow.IPC())
+	}
+	if slow.IPC() > 0.8*fast.IPC() {
+		t.Fatalf("mem-bound core barely affected by 8x latency: fast=%.3f slow=%.3f",
+			fast.IPC(), slow.IPC())
+	}
+}
+
+func TestCacheResidentSetIssuesFewRequests(t *testing.T) {
+	core, pm := runCore(t, computeBound(), 100, 30000)
+	if core.Retired() == 0 {
+		t.Fatalf("no instructions retired")
+	}
+	mpki := float64(pm.reads) / float64(core.Retired()) * 1000
+	if mpki > 2 {
+		t.Fatalf("cache-resident workload LLC MPKI = %.2f, want <2", mpki)
+	}
+}
+
+func TestLargeWSMissesALot(t *testing.T) {
+	core, pm := runCore(t, memBound(), 100, 30000)
+	mpki := float64(pm.reads) / float64(core.Retired()) * 1000
+	if mpki < 10 {
+		t.Fatalf("streaming workload LLC MPKI = %.2f, want >=10", mpki)
+	}
+}
+
+func TestBackInvalidationDropsLine(t *testing.T) {
+	gen := trace.NewGenerator(computeBound(), 0)
+	core := New(DefaultConfig(0, 16), gen)
+	core.Issue = func(*mem.Request) bool { return true }
+	line := uint64(0x1000)
+	core.fillPrivate(line, false)
+	if core.L2().Probe(line) == nil {
+		t.Fatalf("fill did not install")
+	}
+	core.Invalidate(line)
+	if core.L2().Probe(line) != nil || core.L1().Probe(line) != nil {
+		t.Fatalf("back-invalidation left line present")
+	}
+}
+
+func TestBackInvalidationOfDirtyLineWritesBack(t *testing.T) {
+	gen := trace.NewGenerator(computeBound(), 0)
+	core := New(DefaultConfig(0, 16), gen)
+	var wb []*mem.Request
+	core.Issue = func(r *mem.Request) bool {
+		if r.Write {
+			wb = append(wb, r)
+		}
+		return true
+	}
+	line := uint64(0x2000)
+	core.fillPrivate(line, true) // dirty
+	core.Invalidate(line)
+	core.Tick() // drain write-back queue
+	if len(wb) != 1 || wb[0].Addr != line {
+		t.Fatalf("dirty back-invalidation produced %d write-backs", len(wb))
+	}
+}
+
+func TestStoreMissDirtiesLineOnFill(t *testing.T) {
+	// Drive the core manually: a store to a cold line must mark the
+	// line dirty once the fill returns.
+	gen := trace.NewGenerator(computeBound(), 0)
+	core := New(DefaultConfig(0, 16), gen)
+	var captured *mem.Request
+	core.Issue = func(r *mem.Request) bool { captured = r; return true }
+	if core.memAccess(0x4000, true) != true {
+		t.Fatalf("store miss did not issue")
+	}
+	if captured == nil || captured.Write {
+		t.Fatalf("store miss should fetch with a read, got %+v", captured)
+	}
+	captured.Complete(10)
+	core.OnFill(captured)
+	l := core.L1().Probe(0x4000)
+	if l == nil || !l.Dirty {
+		t.Fatalf("filled store line not dirty: %+v", l)
+	}
+}
+
+func TestStallsWhenIssueRejected(t *testing.T) {
+	gen := trace.NewGenerator(memBound(), mem.CPURegion(0))
+	core := New(DefaultConfig(0, 16), gen)
+	core.Issue = func(*mem.Request) bool { return false }
+	for i := 0; i < 5000; i++ {
+		core.Tick()
+	}
+	// With no memory service at all the core must eventually wedge on
+	// its first L2 miss: bounded retirement, lots of stall cycles.
+	if core.StallCycles == 0 {
+		t.Fatalf("no stall cycles with dead memory system")
+	}
+	ipc := core.IPC()
+	if ipc > 3 {
+		t.Fatalf("IPC %.2f with dead memory system", ipc)
+	}
+}
+
+func TestMLPBoundedByMSHRs(t *testing.T) {
+	gen := trace.NewGenerator(memBound(), mem.CPURegion(0))
+	cfg := DefaultConfig(0, 16)
+	cfg.MSHRs = 4
+	core := New(cfg, gen)
+	inflight := 0
+	maxInflight := 0
+	core.Issue = func(r *mem.Request) bool {
+		if !r.Write {
+			inflight++
+			if inflight > maxInflight {
+				maxInflight = inflight
+			}
+		}
+		return true
+	}
+	for i := 0; i < 3000; i++ {
+		core.Tick()
+	}
+	if maxInflight > 4 {
+		t.Fatalf("outstanding misses %d exceed MSHR cap 4", maxInflight)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() uint64 {
+		core, _ := runCore(t, memBound(), 150, 20000)
+		return core.Retired()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestWriteBackBufferOverflowCoalesces(t *testing.T) {
+	gen := trace.NewGenerator(computeBound(), 0)
+	cfg := DefaultConfig(0, 16)
+	cfg.WBBuf = 2
+	core := New(cfg, gen)
+	core.Issue = func(*mem.Request) bool { return false } // jam the drain
+	for i := uint64(0); i < 5; i++ {
+		core.pushWB(0x1000 + i*64)
+	}
+	if len(core.wbq) > 2 {
+		t.Fatalf("write-back buffer grew past its cap: %d", len(core.wbq))
+	}
+}
+
+func TestAvgMissLatencyAccounting(t *testing.T) {
+	gen := trace.NewGenerator(computeBound(), 0)
+	core := New(DefaultConfig(0, 16), gen)
+	var captured *mem.Request
+	core.Issue = func(r *mem.Request) bool { captured = r; return true }
+	if !core.memAccess(0x9000, false) {
+		t.Fatalf("miss did not issue")
+	}
+	// Simulate 120 cycles of latency.
+	for i := 0; i < 120; i++ {
+		core.cycle++
+	}
+	captured.Complete(core.cycle)
+	core.OnFill(captured)
+	if core.AvgMissLatency() != 120 {
+		t.Fatalf("avg miss latency = %v, want 120", core.AvgMissLatency())
+	}
+}

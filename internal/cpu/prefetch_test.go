@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestPrefetcherDetectsUnitStride(t *testing.T) {
+	p := NewPrefetcher()
+	var got []uint64
+	for i := uint64(0); i < 6; i++ {
+		got = p.Observe(i * mem.LineSize)
+	}
+	if len(got) == 0 {
+		t.Fatalf("no prefetches after a clean unit stride")
+	}
+	// Targets must be ahead of the trained address, stride 1.
+	for _, a := range got {
+		if a <= 5*mem.LineSize {
+			t.Fatalf("prefetch target %#x not ahead", a)
+		}
+		if a%mem.LineSize != 0 {
+			t.Fatalf("unaligned target %#x", a)
+		}
+	}
+}
+
+func TestPrefetcherDetectsLargeStride(t *testing.T) {
+	p := NewPrefetcher()
+	var got []uint64
+	for i := uint64(0); i < 6; i++ {
+		got = p.Observe(i * 3 * mem.LineSize)
+	}
+	if len(got) == 0 {
+		t.Fatalf("no prefetches on stride-3 stream")
+	}
+	if (got[0]-15*mem.LineSize)%(3*mem.LineSize) != 0 {
+		t.Fatalf("stride not honored: %#x", got[0])
+	}
+}
+
+func TestPrefetcherIgnoresRandom(t *testing.T) {
+	p := NewPrefetcher()
+	addrs := []uint64{0, 7, 3, 9, 1, 12, 5, 2}
+	issued := 0
+	for _, a := range addrs {
+		issued += len(p.Observe(a * mem.LineSize))
+	}
+	if issued > 2 {
+		t.Fatalf("random stream produced %d prefetches", issued)
+	}
+}
+
+func TestPrefetcherRegionConflictRetrains(t *testing.T) {
+	p := NewPrefetcher()
+	// Two regions mapping to the same table entry (16 entries, 4 KiB
+	// regions): region 0 and region 16.
+	for i := uint64(0); i < 4; i++ {
+		p.Observe(i * mem.LineSize)
+	}
+	p.Observe(16 << pfRegionShift)
+	if p.Conflicts == 0 {
+		t.Fatalf("conflict not detected")
+	}
+}
+
+// Property: prefetch targets are always line-aligned and finite in
+// count (<= Degree per Observe).
+func TestQuickPrefetcherBounds(t *testing.T) {
+	f := func(lines []uint16) bool {
+		p := NewPrefetcher()
+		for _, l := range lines {
+			out := p.Observe(uint64(l) * mem.LineSize)
+			if len(out) > p.Degree {
+				return false
+			}
+			for _, a := range out {
+				if a%mem.LineSize != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorePrefetchReducesStreamStalls(t *testing.T) {
+	// A pure streaming workload with a fixed-latency memory: the
+	// streamer should raise IPC by hiding the miss latency.
+	params := trace.Params{
+		Name: "stream", MemPerKilo: 200, WriteFrac: 0,
+		StreamFrac: 1.0, HotFrac: 0, HotBytes: 64, WSBytes: 1 << 22,
+		Seed: 3,
+	}
+	run := func(pf bool) float64 {
+		gen := trace.NewGenerator(params, mem.CPURegion(0))
+		cfg := DefaultConfig(0, 16)
+		cfg.Prefetch = pf
+		core := New(cfg, gen)
+		pm := &perfectMemory{latency: 150, core: core}
+		core.Issue = pm.issue
+		for i := 0; i < 60000; i++ {
+			pm.tick()
+			core.Tick()
+		}
+		return core.IPC()
+	}
+	base, pre := run(false), run(true)
+	if pre <= base*1.1 {
+		t.Fatalf("prefetching did not help a pure stream: %.3f -> %.3f", base, pre)
+	}
+}
+
+func TestCorePrefetchFillsL2Only(t *testing.T) {
+	gen := trace.NewGenerator(computeBound(), mem.CPURegion(0))
+	cfg := DefaultConfig(0, 16)
+	cfg.Prefetch = true
+	core := New(cfg, gen)
+	core.Issue = func(*mem.Request) bool { return true }
+	r := &mem.Request{Addr: 0xABCD00, Src: core.Source(), Prefetch: true}
+	core.mshr.Allocate(r.LineAddr())
+	core.pendingPf[r.LineAddr()] = true
+	r.Complete(1)
+	core.OnFill(r)
+	if core.L2().Probe(0xABCD00) == nil {
+		t.Fatalf("prefetch did not fill L2")
+	}
+	if core.L1().Probe(0xABCD00) != nil {
+		t.Fatalf("prefetch polluted L1")
+	}
+	if core.CompletedMiss != 0 {
+		t.Fatalf("prefetch counted as a demand miss")
+	}
+}

@@ -1,0 +1,413 @@
+// Package dram models the main memory of the heterogeneous CMP: two
+// on-die single-channel DDR3-2133 memory controllers with open-page
+// row-buffer management (Table I of the paper), plus the four DRAM
+// access schedulers the paper evaluates:
+//
+//   - FR-FCFS (baseline),
+//   - FR-FCFS with boosted CPU priority (the proposal's third step),
+//   - SMS, the staged memory scheduler, with a configurable
+//     shortest-batch-first probability (SMS-0.9 and SMS-0), and
+//   - DynPrio, the deadline-aware dynamic priority scheduler.
+//
+// Timing is kept in DRAM command-clock cycles internally; the public
+// interface is in CPU cycles, converted by the configured clock
+// divider. The model is request-granular: issuing a request charges
+// the bank the appropriate precharge/activate/CAS latencies for its
+// row-buffer state and reserves the shared data bus for the burst.
+// tRAS/tWR and command-bus contention are folded into the bank busy
+// window (documented simplification; the resulting service times and
+// row-hit/row-miss ratios are what the schedulers react to).
+package dram
+
+import (
+	"repro/internal/mem"
+)
+
+// Config describes the memory subsystem.
+type Config struct {
+	Channels     int    // number of single-channel controllers (2)
+	Banks        int    // banks per rank (8), one rank per channel
+	RowBytes     uint64 // row-buffer size per bank (1 KB/device x8 devices = 8 KB)
+	TRCD         uint64 // activate-to-CAS, DRAM cycles (14)
+	TRP          uint64 // precharge, DRAM cycles (14)
+	TCL          uint64 // CAS latency, DRAM cycles (14)
+	TCWL         uint64 // CAS write latency, DRAM cycles (10)
+	BurstCycles  uint64 // BL8 on a DDR bus = 4 command-clock cycles
+	ClockDivider uint64 // CPU cycles per DRAM command-clock cycle (~4 for 4 GHz / 1066 MHz)
+	QueueCap     int    // per-channel read and write queue capacity
+	WriteHi      int    // write drain starts at this write-queue depth
+	WriteLo      int    // ... and stops at this depth
+
+	// Refresh: every TREFI DRAM cycles the channel performs an
+	// all-bank refresh that occupies every bank for TRFC cycles and
+	// closes open rows. TREFI == 0 disables refresh.
+	TREFI uint64
+	TRFC  uint64
+}
+
+// DefaultConfig returns the paper's Table I memory system.
+func DefaultConfig() Config {
+	return Config{
+		Channels:     2,
+		Banks:        8,
+		RowBytes:     8 * 1024,
+		TRCD:         14,
+		TRP:          14,
+		TCL:          14,
+		TCWL:         10,
+		BurstCycles:  4,
+		ClockDivider: 4,
+		// The scheduler window: generous so that every outstanding
+		// request is visible to FR-FCFS/SMS/priority reordering
+		// rather than FIFO-parked upstream (per-bank queues of real
+		// controllers add up to a few hundred entries). Write drains
+		// are short bursts so reads never see long blackouts.
+		QueueCap: 256,
+		WriteHi:  48,
+		WriteLo:  24,
+		// DDR3 refresh: tREFI 7.8us and tRFC ~160ns at 1066 MHz.
+		TREFI: 8320,
+		TRFC:  171,
+	}
+}
+
+// request wraps a mem.Request with decoded DRAM coordinates.
+type request struct {
+	r      *mem.Request
+	bank   int
+	row    uint64
+	arrive uint64 // DRAM cycle of enqueue
+	seq    uint64 // global arrival order, for oldest-first ties
+
+	// SMS bookkeeping: the batch this request belongs to (nil when a
+	// non-SMS scheduler is active).
+	batch *batch
+}
+
+// bank tracks one DRAM bank's row-buffer state.
+type bank struct {
+	open    bool
+	row     uint64
+	readyAt uint64 // earliest DRAM cycle the next column command may issue
+}
+
+// Memory is the full memory subsystem: all channels plus shared
+// address decoding.
+type Memory struct {
+	cfg       Config
+	channels  []*channel
+	dramCycle uint64
+	cpuCycle  uint64
+	seq       uint64
+
+	// OnComplete is invoked (in CPU-cycle order) when a request's
+	// data transfer finishes. The LLC uses it to fill and forward
+	// responses. Writes also complete, for bandwidth accounting.
+	OnComplete func(*mem.Request)
+
+	// Stats, indexed by source.
+	ReadBytes  [mem.NumSources]uint64
+	WriteBytes [mem.NumSources]uint64
+	RowHits    uint64
+	RowMisses  uint64
+	Refreshes  uint64
+	// BusBusy accumulates data-bus burst cycles across channels; with
+	// DRAMCycles it yields bus utilization.
+	BusBusy    uint64
+	DRAMCycles uint64
+	// QueueWait accumulates enqueue-to-issue DRAM-cycle waits.
+	QueueWait   uint64
+	IssuedCount uint64
+}
+
+// channel is one single-channel controller.
+type channel struct {
+	mem    *Memory
+	cfg    Config
+	banks  []bank
+	readQ  []*request
+	writeQ []*request
+	// busFreeAt is the DRAM cycle the shared data bus becomes free.
+	busFreeAt uint64
+	// draining indicates write-drain mode.
+	draining bool
+	// nextRefresh is the DRAM cycle of the next all-bank refresh.
+	nextRefresh uint64
+	sched       Scheduler
+
+	// pending completions ordered by finish cycle (small slice scan).
+	completions []completion
+}
+
+type completion struct {
+	r  *mem.Request
+	at uint64 // DRAM cycle
+}
+
+// New builds the memory subsystem with the given scheduler factory;
+// the factory is called once per channel so schedulers can keep
+// per-channel state.
+func New(cfg Config, newSched func() Scheduler) *Memory {
+	m := &Memory{cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{
+			mem:         m,
+			cfg:         cfg,
+			banks:       make([]bank, cfg.Banks),
+			nextRefresh: cfg.TREFI,
+			sched:       newSched(),
+		}
+		m.channels = append(m.channels, ch)
+	}
+	return m
+}
+
+// Decode maps a line address to (channel, bank, row). Consecutive
+// lines interleave across channels; within a channel, consecutive
+// rows interleave across banks so that streams engage all banks.
+func (m *Memory) Decode(lineAddr uint64) (chIdx, bankIdx int, row uint64) {
+	line := lineAddr >> mem.LineShift
+	chIdx = int(line % uint64(m.cfg.Channels))
+	inCh := line / uint64(m.cfg.Channels)
+	rowLines := m.cfg.RowBytes / mem.LineSize
+	rowGlobal := inCh / rowLines
+	bankIdx = int(rowGlobal % uint64(m.cfg.Banks))
+	row = rowGlobal / uint64(m.cfg.Banks)
+	return
+}
+
+// CanAccept reports whether the channel owning addr has queue space
+// for the request.
+func (m *Memory) CanAccept(r *mem.Request) bool {
+	chIdx, _, _ := m.Decode(r.LineAddr())
+	ch := m.channels[chIdx]
+	if r.Write {
+		return len(ch.writeQ) < m.cfg.QueueCap
+	}
+	return len(ch.readQ) < m.cfg.QueueCap
+}
+
+// Enqueue admits a request. It returns false if the target queue is
+// full; the caller must retry later.
+func (m *Memory) Enqueue(r *mem.Request) bool {
+	chIdx, bankIdx, row := m.Decode(r.LineAddr())
+	ch := m.channels[chIdx]
+	q := &ch.readQ
+	if r.Write {
+		q = &ch.writeQ
+	}
+	if len(*q) >= m.cfg.QueueCap {
+		return false
+	}
+	m.seq++
+	req := &request{r: r, bank: bankIdx, row: row, arrive: m.dramCycle, seq: m.seq}
+	*q = append(*q, req)
+	ch.sched.OnEnqueue(req)
+	return true
+}
+
+// QueueDepth returns total queued requests (reads+writes), for tests.
+func (m *Memory) QueueDepth() int {
+	n := 0
+	for _, ch := range m.channels {
+		n += len(ch.readQ) + len(ch.writeQ)
+	}
+	return n
+}
+
+// Tick advances the memory system by one CPU cycle. DRAM command
+// clocks fire every ClockDivider CPU cycles.
+func (m *Memory) Tick() {
+	m.cpuCycle++
+	if m.cpuCycle%m.cfg.ClockDivider != 0 {
+		return
+	}
+	m.dramCycle++
+	m.DRAMCycles++
+	for _, ch := range m.channels {
+		ch.tick(m.dramCycle)
+	}
+}
+
+func (ch *channel) tick(now uint64) {
+	// All-bank refresh: occupy every bank for tRFC and close rows.
+	if ch.cfg.TREFI > 0 && now >= ch.nextRefresh {
+		ch.refresh(now)
+	}
+
+	// Retire completions due now.
+	for i := 0; i < len(ch.completions); {
+		c := ch.completions[i]
+		if c.at <= now {
+			ch.finish(c.r)
+			ch.completions[i] = ch.completions[len(ch.completions)-1]
+			ch.completions = ch.completions[:len(ch.completions)-1]
+		} else {
+			i++
+		}
+	}
+
+	// Write-drain hysteresis.
+	if len(ch.writeQ) >= ch.cfg.WriteHi {
+		ch.draining = true
+	}
+	if len(ch.writeQ) <= ch.cfg.WriteLo {
+		ch.draining = false
+	}
+
+	var q []*request
+	writes := false
+	switch {
+	case ch.draining && len(ch.writeQ) > 0:
+		q, writes = ch.writeQ, true
+	case len(ch.readQ) > 0:
+		q = ch.readQ
+	case len(ch.writeQ) > 0:
+		q, writes = ch.writeQ, true
+	default:
+		return
+	}
+
+	idx := ch.sched.Pick(ch, q, now)
+	if (idx < 0 || idx >= len(q) || !ch.issuable(q[idx], now)) && !writes && len(ch.writeQ) > 0 {
+		// No read can issue this cycle (bank conflicts); slip a write
+		// in opportunistically instead of idling the command slot.
+		q, writes = ch.writeQ, true
+		idx = ch.sched.Pick(ch, q, now)
+	}
+	if idx < 0 || idx >= len(q) {
+		return
+	}
+	req := q[idx]
+	if !ch.issuable(req, now) {
+		return
+	}
+	ch.issue(req, now, writes)
+	// Remove from queue preserving order (queues are small).
+	if writes {
+		ch.writeQ = append(ch.writeQ[:idx], ch.writeQ[idx+1:]...)
+	} else {
+		ch.readQ = append(ch.readQ[:idx], ch.readQ[idx+1:]...)
+	}
+	ch.sched.OnIssue(req)
+}
+
+// refresh performs one all-bank refresh.
+func (ch *channel) refresh(now uint64) {
+	until := now + ch.cfg.TRFC
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		b.open = false
+		if b.readyAt < until {
+			b.readyAt = until
+		}
+	}
+	ch.nextRefresh = now + ch.cfg.TREFI
+	ch.mem.Refreshes++
+}
+
+// issuable reports whether the request's bank can take a command now.
+func (ch *channel) issuable(req *request, now uint64) bool {
+	return ch.banks[req.bank].readyAt <= now
+}
+
+// rowHit reports whether the request would hit the open row.
+func (ch *channel) rowHit(req *request) bool {
+	b := &ch.banks[req.bank]
+	return b.open && b.row == req.row
+}
+
+// issue charges timing for the request and schedules its completion.
+func (ch *channel) issue(req *request, now uint64, write bool) {
+	b := &ch.banks[req.bank]
+	var cas uint64 = ch.cfg.TCL
+	if write {
+		cas = ch.cfg.TCWL
+	}
+	var dataStart uint64
+	switch {
+	case b.open && b.row == req.row:
+		dataStart = now + cas
+		ch.mem.RowHits++
+	case b.open:
+		dataStart = now + ch.cfg.TRP + ch.cfg.TRCD + cas
+		ch.mem.RowMisses++
+	default:
+		dataStart = now + ch.cfg.TRCD + cas
+		ch.mem.RowMisses++
+	}
+	if dataStart < ch.busFreeAt {
+		dataStart = ch.busFreeAt
+	}
+	done := dataStart + ch.cfg.BurstCycles
+	ch.busFreeAt = done
+	b.open, b.row = true, req.row
+	b.readyAt = done
+	ch.completions = append(ch.completions, completion{r: req.r, at: done})
+	ch.mem.BusBusy += ch.cfg.BurstCycles
+	ch.mem.QueueWait += now - req.arrive
+	ch.mem.IssuedCount++
+}
+
+// finish accounts and reports a completed request.
+func (ch *channel) finish(r *mem.Request) {
+	m := ch.mem
+	if r.Src < mem.NumSources {
+		if r.Write {
+			m.WriteBytes[r.Src] += mem.LineSize
+		} else {
+			m.ReadBytes[r.Src] += mem.LineSize
+		}
+	}
+	r.ServedBy = mem.ServedDRAM
+	r.Complete(m.cpuCycle)
+	if m.OnComplete != nil {
+		m.OnComplete(r)
+	}
+}
+
+// TotalBytes returns cumulative (read, write) DRAM traffic for src.
+func (m *Memory) TotalBytes(src mem.Source) (read, write uint64) {
+	return m.ReadBytes[src], m.WriteBytes[src]
+}
+
+// GPUBytes returns cumulative (read, write) traffic for the GPU.
+func (m *Memory) GPUBytes() (read, write uint64) {
+	return m.TotalBytes(mem.SourceGPU)
+}
+
+// RowHitRate returns the fraction of issued requests that hit an open
+// row.
+func (m *Memory) RowHitRate() float64 {
+	t := m.RowHits + m.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.RowHits) / float64(t)
+}
+
+// BusUtilization returns the fraction of data-bus cycles carrying
+// bursts, across channels.
+func (m *Memory) BusUtilization() float64 {
+	if m.DRAMCycles == 0 {
+		return 0
+	}
+	return float64(m.BusBusy) / float64(m.DRAMCycles*uint64(m.cfg.Channels))
+}
+
+// AvgQueueWait returns mean DRAM-cycle wait from enqueue to issue.
+func (m *Memory) AvgQueueWait() float64 {
+	if m.IssuedCount == 0 {
+		return 0
+	}
+	return float64(m.QueueWait) / float64(m.IssuedCount)
+}
+
+// ResetStats zeroes traffic counters (after warm-up).
+func (m *Memory) ResetStats() {
+	m.ReadBytes = [mem.NumSources]uint64{}
+	m.WriteBytes = [mem.NumSources]uint64{}
+	m.RowHits, m.RowMisses = 0, 0
+	m.BusBusy, m.DRAMCycles = 0, 0
+	m.QueueWait, m.IssuedCount = 0, 0
+}

@@ -1,0 +1,295 @@
+package dram
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// Scheduler selects which queued request a channel issues next.
+// Implementations keep per-channel state; New calls the factory once
+// per channel.
+type Scheduler interface {
+	// OnEnqueue observes a request entering the channel's queue.
+	OnEnqueue(req *request)
+	// Pick returns the index into q of the request to issue now, or
+	// -1 to idle this cycle. q is the active queue (reads, or writes
+	// during drain) in arrival order.
+	Pick(ch *channel, q []*request, now uint64) int
+	// OnIssue observes the chosen request leaving the queue.
+	OnIssue(req *request)
+}
+
+// starvationAge is the age (in DRAM cycles) past which a request is
+// unconditionally prioritized, bounding worst-case wait under every
+// policy that uses pickFRFCFS. Without it, the GPU's long sequential
+// (row-hit) bursts would starve the CPUs' random traffic under
+// first-ready scheduling far beyond what real controllers allow.
+const starvationAge = 24
+
+// pickFRFCFS implements first-ready, first-come-first-served
+// selection over q, considering only requests accepted by filter
+// (nil = all): row-buffer hits first, oldest within a class, with an
+// anti-starvation override for very old requests.
+func pickFRFCFS(ch *channel, q []*request, now uint64, filter func(*request) bool) int {
+	bestHit, bestAny, bestOld := -1, -1, -1
+	var hitSeq, anySeq, oldSeq uint64
+	for i, req := range q {
+		if filter != nil && !filter(req) {
+			continue
+		}
+		if !ch.issuable(req, now) {
+			continue
+		}
+		if now-req.arrive > starvationAge && (bestOld == -1 || req.seq < oldSeq) {
+			bestOld, oldSeq = i, req.seq
+		}
+		if ch.rowHit(req) {
+			if bestHit == -1 || req.seq < hitSeq {
+				bestHit, hitSeq = i, req.seq
+			}
+		}
+		if bestAny == -1 || req.seq < anySeq {
+			bestAny, anySeq = i, req.seq
+		}
+	}
+	if bestOld != -1 {
+		return bestOld
+	}
+	if bestHit != -1 {
+		return bestHit
+	}
+	return bestAny
+}
+
+// FRFCFS is the baseline first-ready FCFS scheduler.
+type FRFCFS struct{}
+
+// NewFRFCFS returns a per-channel FR-FCFS scheduler.
+func NewFRFCFS() Scheduler { return &FRFCFS{} }
+
+// OnEnqueue implements Scheduler.
+func (*FRFCFS) OnEnqueue(*request) {}
+
+// Pick implements Scheduler.
+func (*FRFCFS) Pick(ch *channel, q []*request, now uint64) int {
+	return pickFRFCFS(ch, q, now, nil)
+}
+
+// OnIssue implements Scheduler.
+func (*FRFCFS) OnIssue(*request) {}
+
+// BoostState is the dynamic priority signal a priority-aware
+// scheduler consults every cycle.
+type BoostState uint8
+
+// Boost states.
+const (
+	// BoostNone: behave exactly like FR-FCFS.
+	BoostNone BoostState = iota
+	// BoostCPU: CPU requests outrank GPU requests (the proposal's
+	// DRAM-side step while the GPU is being throttled).
+	BoostCPU
+	// BoostGPU: GPU requests outrank CPU requests (DynPrio's last-
+	// decile express lane).
+	BoostGPU
+)
+
+// PrioScheduler is FR-FCFS with a dynamic class priority supplied by
+// a provider callback. Both the proposal's CPU-priority mode and
+// DynPrio are instances with different providers.
+type PrioScheduler struct {
+	Provider func() BoostState
+}
+
+// NewPrio returns a priority scheduler with the given provider.
+func NewPrio(provider func() BoostState) Scheduler {
+	return &PrioScheduler{Provider: provider}
+}
+
+// OnEnqueue implements Scheduler.
+func (*PrioScheduler) OnEnqueue(*request) {}
+
+// Pick implements Scheduler.
+func (p *PrioScheduler) Pick(ch *channel, q []*request, now uint64) int {
+	state := BoostNone
+	if p.Provider != nil {
+		state = p.Provider()
+	}
+	switch state {
+	case BoostCPU:
+		// Milder than an absolute CPU lane: row hits (any source)
+		// still go first to preserve bus efficiency, but among
+		// row-conflict candidates CPU requests outrank GPU requests.
+		if i := pickFRFCFS(ch, q, now, func(r *request) bool { return ch.rowHit(r) }); i != -1 {
+			return i
+		}
+		if i := pickFRFCFS(ch, q, now, func(r *request) bool { return r.r.Src.IsCPU() }); i != -1 {
+			return i
+		}
+	case BoostGPU:
+		if i := pickFRFCFS(ch, q, now, func(r *request) bool { return !r.r.Src.IsCPU() }); i != -1 {
+			return i
+		}
+	}
+	return pickFRFCFS(ch, q, now, nil)
+}
+
+// OnIssue implements Scheduler.
+func (*PrioScheduler) OnIssue(*request) {}
+
+// batch is an SMS source batch: a run of same-source requests with
+// contiguous row locality. Requests become schedulable only when
+// their batch is closed — the batch-formation delay the paper blames
+// for SMS's GPU frame-rate losses.
+type batch struct {
+	src      mem.Source
+	remain   int
+	closed   bool
+	openedAt uint64
+	lastBank int
+	lastRow  uint64
+}
+
+// SMS is the staged memory scheduler (Ausavarungnirun et al., ISCA
+// 2012) at the fidelity the paper evaluates: per-source batch
+// formation bounded by row locality and a size cap, then a batch
+// scheduler that picks the shortest ready batch with probability P
+// (favoring latency-sensitive CPU jobs) and round-robin across
+// sources otherwise.
+type SMS struct {
+	// P is the shortest-batch-first probability (0.9 and 0 in the
+	// paper's two variants).
+	P float64
+
+	rnd      *rng.RNG
+	forming  map[mem.Source]*batch
+	ready    []*batch
+	active   *batch
+	rrNext   int
+	batchCap int
+	timeout  uint64
+}
+
+// NewSMS returns a per-channel SMS scheduler factory product with the
+// given shortest-batch-first probability.
+func NewSMS(p float64, seed uint64) Scheduler {
+	return &SMS{
+		P:        p,
+		rnd:      rng.New(seed),
+		forming:  make(map[mem.Source]*batch),
+		batchCap: 16,
+		timeout:  32, // DRAM cycles before a forming batch force-closes
+	}
+}
+
+// OnEnqueue implements Scheduler: grow or open the source's forming
+// batch. Write-backs are not batched; they drain FR-FCFS.
+func (s *SMS) OnEnqueue(req *request) {
+	if req.r.Write {
+		return
+	}
+	b := s.forming[req.r.Src]
+	if b != nil && (b.remain >= s.batchCap || b.lastBank != req.bank || b.lastRow != req.row) {
+		s.close(req.r.Src)
+		b = nil
+	}
+	if b == nil {
+		b = &batch{src: req.r.Src, openedAt: req.arrive, lastBank: req.bank, lastRow: req.row}
+		s.forming[req.r.Src] = b
+	}
+	b.remain++
+	b.lastBank, b.lastRow = req.bank, req.row
+	req.batch = b
+}
+
+func (s *SMS) close(src mem.Source) {
+	b := s.forming[src]
+	if b == nil {
+		return
+	}
+	b.closed = true
+	s.ready = append(s.ready, b)
+	delete(s.forming, src)
+}
+
+// Pick implements Scheduler.
+func (s *SMS) Pick(ch *channel, q []*request, now uint64) int {
+	// Writes are drained FR-FCFS; only reads go through batching.
+	// The channel passes whichever queue is active; write-backs were
+	// never batched (req.batch == nil), so detect via the first
+	// element.
+	if len(q) > 0 && q[0].batch == nil {
+		return pickFRFCFS(ch, q, now, nil)
+	}
+	// Force-close forming batches that have aged out.
+	for src, b := range s.forming {
+		if now-b.openedAt > s.timeout {
+			s.close(src)
+		}
+	}
+	if s.active == nil || s.active.remain == 0 {
+		s.active = s.nextBatch()
+	}
+	if s.active == nil {
+		return -1
+	}
+	a := s.active
+	if i := pickFRFCFS(ch, q, now, func(r *request) bool { return r.batch == a }); i != -1 {
+		return i
+	}
+	// Work-conserving fallback: the active batch is bank-blocked this
+	// cycle; serve any other closed batch rather than idling the
+	// channel (real SMS batches are per-bank, so banks never idle on
+	// another bank's batch).
+	return pickFRFCFS(ch, q, now, func(r *request) bool { return r.batch != nil && r.batch.closed })
+}
+
+// nextBatch removes and returns the next ready batch per the batch
+// scheduler policy.
+func (s *SMS) nextBatch() *batch {
+	// Compact exhausted batches.
+	live := s.ready[:0]
+	for _, b := range s.ready {
+		if b.remain > 0 {
+			live = append(live, b)
+		}
+	}
+	s.ready = live
+	if len(s.ready) == 0 {
+		return nil
+	}
+	var idx int
+	if s.rnd.Bool(s.P) {
+		// Shortest batch first.
+		idx = 0
+		for i, b := range s.ready {
+			if b.remain < s.ready[idx].remain {
+				idx = i
+			} else if b.remain == s.ready[idx].remain && b.openedAt < s.ready[idx].openedAt {
+				idx = i
+			}
+		}
+	} else {
+		// Round-robin over sources: take the first ready batch whose
+		// source is at or after the RR pointer.
+		idx = 0
+		best := int(mem.NumSources) + 1
+		for i, b := range s.ready {
+			d := (int(b.src) - s.rrNext + int(mem.NumSources)) % int(mem.NumSources)
+			if d < best {
+				best, idx = d, i
+			}
+		}
+		s.rrNext = (int(s.ready[idx].src) + 1) % int(mem.NumSources)
+	}
+	b := s.ready[idx]
+	s.ready = append(s.ready[:idx], s.ready[idx+1:]...)
+	return b
+}
+
+// OnIssue implements Scheduler.
+func (s *SMS) OnIssue(req *request) {
+	if req.batch != nil {
+		req.batch.remain--
+	}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Archive is a set of experiment reports persisted as JSON, used to
+// compare two reproduction runs (e.g. before/after a model change, or
+// two scale factors) and surface regressions in reproduction quality.
+type Archive struct {
+	// Scale records the scale factor the reports were produced at.
+	Scale int `json:"scale"`
+	// Reports keyed by experiment id.
+	Reports map[string]Report `json:"reports"`
+}
+
+// NewArchive builds an empty archive for a scale factor.
+func NewArchive(scale int) *Archive {
+	return &Archive{Scale: scale, Reports: make(map[string]Report)}
+}
+
+// Add stores a report (last write wins).
+func (a *Archive) Add(rep Report) {
+	a.Reports[rep.ID] = rep
+}
+
+// Save writes the archive to path.
+func (a *Archive) Save(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: marshal archive: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadArchive reads an archive from path.
+func LoadArchive(path string) (*Archive, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Archive
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("exp: parse archive %s: %w", path, err)
+	}
+	if a.Reports == nil {
+		a.Reports = make(map[string]Report)
+	}
+	return &a, nil
+}
+
+// Delta is one metric's change between two archives.
+type Delta struct {
+	Experiment string
+	Row        string
+	Cell       string
+	Old, New   float64
+	// Rel is (New-Old)/|Old| (0 when Old is 0).
+	Rel float64
+}
+
+// Diff compares two archives cell by cell and returns the deltas with
+// |relative change| >= threshold, sorted by magnitude (largest
+// first). Cells present in only one archive are skipped — Diff is
+// about drift, not coverage.
+func Diff(old, new *Archive, threshold float64) []Delta {
+	var out []Delta
+	for id, o := range old.Reports {
+		n, ok := new.Reports[id]
+		if !ok {
+			continue
+		}
+		newRows := map[string]Row{}
+		for _, r := range n.Rows {
+			newRows[r.Label] = r
+		}
+		for _, or := range o.Rows {
+			nr, ok := newRows[or.Label]
+			if !ok {
+				continue
+			}
+			for _, c := range or.Cells {
+				nv := nr.Get(c.Name)
+				if nv == 0 && c.Value == 0 {
+					continue
+				}
+				rel := 0.0
+				if c.Value != 0 {
+					rel = (nv - c.Value) / abs(c.Value)
+				}
+				if abs(rel) >= threshold {
+					out = append(out, Delta{
+						Experiment: id, Row: or.Label, Cell: c.Name,
+						Old: c.Value, New: nv, Rel: rel,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return abs(out[i].Rel) > abs(out[j].Rel) })
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func archSample(fps float64) Report {
+	return Report{
+		ID:    "fig9",
+		Title: "t",
+		Rows: []Row{
+			{Label: "M7", Cells: []Cell{{Name: "fps", Value: fps}, {Name: "cpu", Value: 1.2}}},
+		},
+	}
+}
+
+func TestArchiveSaveLoadRoundTrip(t *testing.T) {
+	a := NewArchive(96)
+	a.Add(archSample(41))
+	path := filepath.Join(t.TempDir(), "arch.json")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Scale != 96 {
+		t.Fatalf("scale = %d", b.Scale)
+	}
+	rep, ok := b.Reports["fig9"]
+	if !ok || rep.Rows[0].Get("fps") != 41 {
+		t.Fatalf("round trip lost data: %+v", b.Reports)
+	}
+}
+
+func TestLoadArchiveMissingFile(t *testing.T) {
+	if _, err := LoadArchive(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatalf("no error for missing file")
+	}
+}
+
+func TestDiffFindsDrift(t *testing.T) {
+	old := NewArchive(96)
+	old.Add(archSample(40))
+	new_ := NewArchive(96)
+	new_.Add(archSample(50)) // +25% fps, cpu unchanged
+	ds := Diff(old, new_, 0.10)
+	if len(ds) != 1 {
+		t.Fatalf("deltas: %+v", ds)
+	}
+	d := ds[0]
+	if d.Cell != "fps" || d.Old != 40 || d.New != 50 {
+		t.Fatalf("delta: %+v", d)
+	}
+	if d.Rel < 0.24 || d.Rel > 0.26 {
+		t.Fatalf("rel: %v", d.Rel)
+	}
+}
+
+func TestDiffRespectsThreshold(t *testing.T) {
+	old := NewArchive(96)
+	old.Add(archSample(40))
+	new_ := NewArchive(96)
+	new_.Add(archSample(41)) // +2.5%
+	if ds := Diff(old, new_, 0.10); len(ds) != 0 {
+		t.Fatalf("small drift reported: %+v", ds)
+	}
+	if ds := Diff(old, new_, 0.01); len(ds) != 1 {
+		t.Fatalf("real drift missed")
+	}
+}
+
+func TestDiffSkipsMissing(t *testing.T) {
+	old := NewArchive(96)
+	old.Add(archSample(40))
+	old.Add(Report{ID: "fig3", Rows: []Row{{Label: "W1", Cells: []Cell{{Name: "speedup", Value: 1}}}}})
+	new_ := NewArchive(96)
+	new_.Add(archSample(40))
+	if ds := Diff(old, new_, 0.01); len(ds) != 0 {
+		t.Fatalf("missing experiment produced deltas: %+v", ds)
+	}
+}
+
+func TestDiffSortsByMagnitude(t *testing.T) {
+	old := NewArchive(1)
+	old.Add(Report{ID: "x", Rows: []Row{
+		{Label: "a", Cells: []Cell{{Name: "m", Value: 10}}},
+		{Label: "b", Cells: []Cell{{Name: "m", Value: 10}}},
+	}})
+	new_ := NewArchive(1)
+	new_.Add(Report{ID: "x", Rows: []Row{
+		{Label: "a", Cells: []Cell{{Name: "m", Value: 11}}},
+		{Label: "b", Cells: []Cell{{Name: "m", Value: 20}}},
+	}})
+	ds := Diff(old, new_, 0.01)
+	if len(ds) != 2 || ds[0].Row != "b" {
+		t.Fatalf("order: %+v", ds)
+	}
+}

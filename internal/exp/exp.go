@@ -1,0 +1,169 @@
+// Package exp regenerates every table and figure of the paper's
+// motivation (§II) and evaluation (§VI) sections. Each FigN/TableN
+// function runs the necessary simulations (memoizing shared runs so
+// e.g. Figs. 9–12 reuse the same baselines) and returns printable
+// rows plus the headline aggregate the paper quotes.
+//
+// Absolute numbers come from a scaled synthetic model (see DESIGN.md)
+// and are not expected to match the paper's testbed; the shapes — who
+// wins, roughly by how much, where the 40 FPS threshold bites — are
+// the reproduction targets recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Row is one printable result line.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Cell is one named value in a row.
+type Cell struct {
+	Name  string
+	Value float64
+}
+
+// Get returns the named cell value (0 when absent).
+func (r Row) Get(name string) float64 {
+	for _, c := range r.Cells {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// String renders the row as a fixed-width line.
+func (r Row) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", r.Label)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %s=%.3f", c.Name, c.Value)
+	}
+	return b.String()
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID      string // "fig1", "table2", ...
+	Title   string
+	Rows    []Row
+	Summary string // the headline aggregate, paper-style
+}
+
+// String renders the whole report.
+func (rep Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", rep.ID, rep.Title)
+	for _, r := range rep.Rows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	if rep.Summary != "" {
+		fmt.Fprintf(&b, "-- %s\n", rep.Summary)
+	}
+	return b.String()
+}
+
+// Runner runs experiments with memoized simulation results so that
+// figures sharing runs (9–12, 13–14) do not repeat them.
+type Runner struct {
+	Cfg sim.Config
+
+	mu       sync.Mutex
+	mixRuns  map[string]sim.Result // key: mixID/policy
+	gpuAlone map[string]sim.Result // key: game (always baseline policy)
+	cpuAlone map[string]float64    // key: specID/ncpus
+}
+
+// NewRunner builds a runner over the given base configuration.
+func NewRunner(cfg sim.Config) *Runner {
+	return &Runner{
+		Cfg:      cfg,
+		mixRuns:  make(map[string]sim.Result),
+		gpuAlone: make(map[string]sim.Result),
+		cpuAlone: make(map[string]float64),
+	}
+}
+
+// mix runs (and caches) one mix under a policy, with NumCPUs taken
+// from the mix size.
+func (x *Runner) mix(m workloads.Mix, p sim.Policy) sim.Result {
+	key := fmt.Sprintf("%s/%d", m.ID, p)
+	x.mu.Lock()
+	if r, ok := x.mixRuns[key]; ok {
+		x.mu.Unlock()
+		return r
+	}
+	x.mu.Unlock()
+	cfg := x.Cfg
+	cfg.Policy = p
+	cfg.NumCPUs = len(m.SpecIDs)
+	r := sim.RunMix(cfg, m)
+	x.mu.Lock()
+	x.mixRuns[key] = r
+	x.mu.Unlock()
+	return r
+}
+
+// gpuStandalone runs (and caches) a game alone.
+func (x *Runner) gpuStandalone(game string) sim.Result {
+	x.mu.Lock()
+	if r, ok := x.gpuAlone[game]; ok {
+		x.mu.Unlock()
+		return r
+	}
+	x.mu.Unlock()
+	r := sim.RunGPUAlone(x.Cfg, game)
+	x.mu.Lock()
+	x.gpuAlone[game] = r
+	x.mu.Unlock()
+	return r
+}
+
+// cpuStandalone runs (and caches) one SPEC app alone.
+func (x *Runner) cpuStandalone(specID int) float64 {
+	key := fmt.Sprintf("%d", specID)
+	x.mu.Lock()
+	if v, ok := x.cpuAlone[key]; ok {
+		x.mu.Unlock()
+		return v
+	}
+	x.mu.Unlock()
+	v := sim.RunCPUAlone(x.Cfg, specID)
+	x.mu.Lock()
+	x.cpuAlone[key] = v
+	x.mu.Unlock()
+	return v
+}
+
+// weightedSpeedup computes the mix's weighted speedup normalized to
+// the baseline run of the same mix.
+func weightedSpeedup(r, base sim.Result) float64 {
+	if len(r.IPC) != len(base.IPC) || len(r.IPC) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range r.IPC {
+		if base.IPC[i] > 0 {
+			s += r.IPC[i] / base.IPC[i]
+		}
+	}
+	return s / float64(len(r.IPC))
+}
+
+// bwGBps converts a run's GPU DRAM traffic into GB/s.
+func bwGBps(r sim.Result, cpuFreqHz float64) (read, write float64) {
+	read = stats.BandwidthGBps(r.GPUReadBytes, r.MeasuredCycles, cpuFreqHz)
+	write = stats.BandwidthGBps(r.GPUWriteBytes, r.MeasuredCycles, cpuFreqHz)
+	return
+}

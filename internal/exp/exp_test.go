@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// tinyCfg keeps experiment tests quick: very small windows at a high
+// scale factor.
+func tinyCfg() sim.Config {
+	cfg := sim.DefaultConfig(192)
+	cfg.WarmupInstr = 40_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 120_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 30_000_000
+	return cfg
+}
+
+func TestRowRendering(t *testing.T) {
+	r := Row{Label: "M7", Cells: []Cell{{"fps", 41.5}, {"cpu", 1.18}}}
+	s := r.String()
+	if !strings.Contains(s, "M7") || !strings.Contains(s, "fps=41.500") {
+		t.Fatalf("render: %q", s)
+	}
+	if r.Get("cpu") != 1.18 || r.Get("absent") != 0 {
+		t.Fatalf("Get wrong")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := Report{ID: "figX", Title: "test", Rows: []Row{{Label: "a"}}, Summary: "sum"}
+	s := rep.String()
+	for _, want := range []string{"figX", "test", "a", "sum"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	x := NewRunner(tinyCfg())
+	if _, err := x.ByID("fig99"); err == nil {
+		t.Fatalf("no error for unknown experiment")
+	}
+}
+
+func TestAllIDsDispatchable(t *testing.T) {
+	// Only checks the static tables here (figures run simulations and
+	// are covered by TestTable... and the benches).
+	ids := AllIDs()
+	if len(ids) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTable1And3Static(t *testing.T) {
+	x := NewRunner(tinyCfg())
+	t1 := x.Table1()
+	if len(t1.Rows) < 10 {
+		t.Fatalf("Table1 rows: %d", len(t1.Rows))
+	}
+	t3 := x.Table3()
+	if len(t3.Rows) != 14 {
+		t.Fatalf("Table3 rows: %d", len(t3.Rows))
+	}
+}
+
+func TestMemoizationReusesRuns(t *testing.T) {
+	x := NewRunner(tinyCfg())
+	m := mixByIDOrDie(t, "M13")
+	a := x.mix(m, sim.PolicyBaseline)
+	b := x.mix(m, sim.PolicyBaseline)
+	if a.MeasuredCycles != b.MeasuredCycles || a.GPUFPS != b.GPUFPS {
+		t.Fatalf("memoized run differs")
+	}
+	if len(x.mixRuns) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(x.mixRuns))
+	}
+}
+
+func TestFig9ShapeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	x := NewRunner(tinyCfg())
+	rep := x.Fig9()
+	if len(rep.Rows) != 6 {
+		t.Fatalf("Fig9 must cover the 6 high-FPS mixes, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Get("fpsBase") <= 0 {
+			t.Fatalf("row %s has no baseline FPS", r.Label)
+		}
+	}
+	if !strings.Contains(rep.Summary, "paper") {
+		t.Fatalf("summary must cite the paper target: %q", rep.Summary)
+	}
+}
+
+func TestAblationUnknownMix(t *testing.T) {
+	x := NewRunner(tinyCfg())
+	if _, err := x.AblationWindowStep("M99", []uint64{2}); err == nil {
+		t.Fatalf("no error for unknown mix")
+	}
+	if _, err := x.AblationTargetFPS("nope", []float64{40}); err == nil {
+		t.Fatalf("no error for unknown mix")
+	}
+}
+
+func mixByIDOrDie(t *testing.T, id string) workloads.Mix {
+	t.Helper()
+	mm, err := workloads.MixByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm
+}

@@ -1,0 +1,553 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig1 reproduces the motivation experiment: each W-mix (one CPU app
+// + one GPU app) in heterogeneous mode, with CPU and GPU performance
+// normalized to their standalone runs. The paper reports ~22% mean
+// loss on both sides.
+func (x *Runner) Fig1() Report {
+	rep := Report{ID: "fig1", Title: "CPU and GPU performance, heterogeneous / standalone (W1-W14)"}
+	var cpuR, gpuR []float64
+	for _, m := range workloads.MotivationMixes() {
+		het := x.mix(m, sim.PolicyBaseline)
+		aloneIPC := x.cpuStandalone(m.SpecIDs[0])
+		aloneGPU := x.gpuStandalone(m.Game)
+		cr, gr := 0.0, 0.0
+		if aloneIPC > 0 && len(het.IPC) > 0 {
+			cr = het.IPC[0] / aloneIPC
+		}
+		if aloneGPU.GPUFPS > 0 {
+			gr = het.GPUFPS / aloneGPU.GPUFPS
+		}
+		cpuR = append(cpuR, cr)
+		gpuR = append(gpuR, gr)
+		rep.Rows = append(rep.Rows, Row{Label: m.ID, Cells: []Cell{
+			{"cpu", cr}, {"gpu", gr},
+		}})
+	}
+	rep.Summary = fmt.Sprintf("GMEAN cpu=%.3f gpu=%.3f (paper: ~0.78 both)",
+		stats.GMean(cpuR), stats.GMean(gpuR))
+	return rep
+}
+
+// Fig2 reproduces the frame-rate comparison: per GPU application,
+// standalone vs heterogeneous FPS, against the 30 FPS satisfaction
+// line and 40 FPS target.
+func (x *Runner) Fig2() Report {
+	rep := Report{ID: "fig2", Title: "GPU frame rate, standalone vs heterogeneous (30 FPS line)"}
+	above := 0
+	for _, m := range workloads.MotivationMixes() {
+		alone := x.gpuStandalone(m.Game)
+		het := x.mix(m, sim.PolicyBaseline)
+		if het.GPUFPS > 40 {
+			above++
+		}
+		rep.Rows = append(rep.Rows, Row{Label: m.Game, Cells: []Cell{
+			{"standalone", alone.GPUFPS}, {"hetero", het.GPUFPS},
+			{"tableFPS", workloads.MustGame(m.Game).TableFPS},
+		}})
+	}
+	rep.Summary = fmt.Sprintf("%d of 14 titles above the 40 FPS target in heterogeneous mode (paper: 6)", above)
+	return rep
+}
+
+// Fig3 reproduces the forced-bypass study: CPU speedup over the
+// heterogeneous baseline when ALL GPU read-miss fills bypass the LLC.
+// The paper reports a ~2% mean CPU loss with wide spread (+10%/-14%).
+func (x *Runner) Fig3() Report {
+	rep := Report{ID: "fig3", Title: "CPU speedup when all GPU read misses bypass the LLC (W1-W14)"}
+	var sp []float64
+	for _, m := range workloads.MotivationMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		byp := x.mix(m, sim.PolicyForcedBypass)
+		s := weightedSpeedup(byp, base)
+		sp = append(sp, s)
+		rep.Rows = append(rep.Rows, Row{Label: m.ID, Cells: []Cell{{"speedup", s}}})
+	}
+	rep.Summary = fmt.Sprintf("GMEAN speedup=%.3f (paper: ~0.98)", stats.GMean(sp))
+	return rep
+}
+
+// Fig8 reproduces the frame-rate estimation accuracy study: percent
+// error of the FRPU's in-frame prediction per GPU application. The
+// paper reports |error| <= 6% with mean below 1%.
+func (x *Runner) Fig8() Report {
+	rep := Report{ID: "fig8", Title: "Percent error in dynamic frame rate estimation"}
+	var absErrs []float64
+	for _, m := range workloads.EvalMixes() {
+		// DynPrio exercises the FRPU without the throttle's feedback
+		// perturbing frame times, isolating estimator accuracy.
+		r := x.mix(m, sim.PolicyDynPrio)
+		rep.Rows = append(rep.Rows, Row{Label: m.Game, Cells: []Cell{
+			{"errPct", r.FRPUMeanErrPct}, {"absErrPct", r.FRPUMeanAbsErrPct},
+		}})
+		absErrs = append(absErrs, r.FRPUMeanAbsErrPct)
+	}
+	rep.Summary = fmt.Sprintf("mean |error| = %.2f%% (paper: <1%%, max 6%%)", stats.Mean(absErrs))
+	return rep
+}
+
+// Fig9 reproduces the core throttling evaluation on the six mixes
+// whose GPU exceeds the 40 FPS target: FPS under baseline, Throttled,
+// and Throttled+CPUprio (left panel), and the normalized weighted CPU
+// speedups (right panel; paper: +11% and +18%).
+func (x *Runner) Fig9() Report {
+	rep := Report{ID: "fig9", Title: "Access throttling: GPU FPS and CPU weighted speedup (high-FPS mixes)"}
+	var thrS, priS []float64
+	for _, m := range workloads.HighFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		thr := x.mix(m, sim.PolicyThrottle)
+		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
+		st, sp := weightedSpeedup(thr, base), weightedSpeedup(pri, base)
+		thrS = append(thrS, st)
+		priS = append(priS, sp)
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: []Cell{
+			{"fpsBase", base.GPUFPS}, {"fpsThr", thr.GPUFPS}, {"fpsPri", pri.GPUFPS},
+			{"cpuThr", st}, {"cpuPri", sp},
+		}})
+	}
+	rep.Summary = fmt.Sprintf("GMEAN cpu speedup: throttled=%.3f throttled+prio=%.3f (paper: 1.11 / 1.18)",
+		stats.GMean(thrS), stats.GMean(priS))
+	return rep
+}
+
+// Fig10 reproduces the LLC miss analysis: GPU (left) and CPU (right)
+// LLC miss counts under the two throttling configurations, normalized
+// to baseline. The paper reports GPU +39%/+42% and CPU -4%/-4.5%.
+func (x *Runner) Fig10() Report {
+	rep := Report{ID: "fig10", Title: "Normalized LLC miss counts under throttling (high-FPS mixes)"}
+	var gT, gP, cT, cP []float64
+	for _, m := range workloads.HighFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		thr := x.mix(m, sim.PolicyThrottle)
+		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
+		// Misses are normalized per frame / per instruction so that
+		// window-length differences between runs cancel.
+		gpuT := perFrame(thr.GPULLCMisses, thr.GPUFrames) / perFrame(base.GPULLCMisses, base.GPUFrames)
+		gpuP := perFrame(pri.GPULLCMisses, pri.GPUFrames) / perFrame(base.GPULLCMisses, base.GPUFrames)
+		cpuT := perCycleRate(thr) / perCycleRate(base)
+		cpuP := perCycleRate(pri) / perCycleRate(base)
+		gT, gP, cT, cP = append(gT, gpuT), append(gP, gpuP), append(cT, cpuT), append(cP, cpuP)
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: []Cell{
+			{"gpuThr", gpuT}, {"gpuPri", gpuP}, {"cpuThr", cpuT}, {"cpuPri", cpuP},
+		}})
+	}
+	rep.Summary = fmt.Sprintf("mean: GPU thr=%.2fx pri=%.2fx, CPU thr=%.2fx pri=%.2fx (paper: 1.39/1.42, 0.96/0.955)",
+		stats.Mean(gT), stats.Mean(gP), stats.Mean(cT), stats.Mean(cP))
+	return rep
+}
+
+// perFrame normalizes a count by completed frames.
+func perFrame(n uint64, frames int) float64 {
+	if frames == 0 {
+		return 0
+	}
+	return float64(n) / float64(frames)
+}
+
+// perCycleRate is CPU LLC misses per retired-instruction-equivalent:
+// misses divided by the aggregate measured IPC-weighted window, which
+// the instruction-matched windows make comparable across runs.
+func perCycleRate(r sim.Result) float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	// Instruction windows are equal across runs of a mix, so misses
+	// per measured instruction reduce to misses per (IPC*cycles).
+	totalIPC := 0.0
+	for _, v := range r.IPC {
+		totalIPC += v
+	}
+	instr := totalIPC * float64(r.MeasuredCycles)
+	if instr <= 0 {
+		return 0
+	}
+	return float64(r.CPULLCMisses) / instr
+}
+
+// Fig11 reproduces the GPU DRAM bandwidth study: read and write GB/s
+// under throttling, normalized to baseline. The paper reports demand
+// dropping 35%/37%.
+func (x *Runner) Fig11() Report {
+	rep := Report{ID: "fig11", Title: "Normalized GPU DRAM bandwidth under throttling (high-FPS mixes)"}
+	var tot []float64
+	for _, m := range workloads.HighFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		thr := x.mix(m, sim.PolicyThrottle)
+		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
+		br, bw := bwGBps(base, x.Cfg.CPUFreqHz)
+		tr, tw := bwGBps(thr, x.Cfg.CPUFreqHz)
+		pr, pw := bwGBps(pri, x.Cfg.CPUFreqHz)
+		thrTot := (tr + tw) / (br + bw)
+		priTot := (pr + pw) / (br + bw)
+		tot = append(tot, thrTot, priTot)
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: []Cell{
+			{"readThr", tr / br}, {"writeThr", tw / bw},
+			{"totalThr", thrTot}, {"totalPri", priTot},
+		}})
+	}
+	rep.Summary = fmt.Sprintf("mean normalized GPU bandwidth=%.2fx (paper: 0.65 throttled / 0.63 +prio)", stats.Mean(tot))
+	return rep
+}
+
+// comparisonPolicies is the Figs. 12-14 lineup.
+var comparisonPolicies = []sim.Policy{
+	sim.PolicyBaseline, sim.PolicySMS09, sim.PolicySMS0,
+	sim.PolicyDynPrio, sim.PolicyHeLM, sim.PolicyThrottleCPUPrio,
+}
+
+// Fig12 reproduces the related-work comparison on the high-FPS mixes:
+// absolute FPS (top panel) and normalized weighted CPU speedup
+// (bottom panel) for SMS-0.9, SMS-0, DynPrio, HeLM and the proposal.
+// Paper means: +4%, +4%, +10%, +3%, +18%.
+func (x *Runner) Fig12() Report {
+	rep := Report{ID: "fig12", Title: "Policy comparison, high-FPS mixes: FPS and CPU weighted speedup"}
+	sums := map[sim.Policy][]float64{}
+	for _, m := range workloads.HighFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		cells := []Cell{}
+		for _, p := range comparisonPolicies {
+			r := x.mix(m, p)
+			cells = append(cells, Cell{"fps" + p.String(), r.GPUFPS})
+		}
+		for _, p := range comparisonPolicies[1:] {
+			r := x.mix(m, p)
+			s := weightedSpeedup(r, base)
+			sums[p] = append(sums[p], s)
+			cells = append(cells, Cell{"cpu" + p.String(), s})
+		}
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: cells})
+	}
+	rep.Summary = fmt.Sprintf(
+		"GMEAN cpu speedup: SMS-0.9=%.3f SMS-0=%.3f DynPrio=%.3f HeLM=%.3f ThrotCPUprio=%.3f (paper: 1.04/1.04/1.10/1.03/1.18)",
+		stats.GMean(sums[sim.PolicySMS09]), stats.GMean(sums[sim.PolicySMS0]),
+		stats.GMean(sums[sim.PolicyDynPrio]), stats.GMean(sums[sim.PolicyHeLM]),
+		stats.GMean(sums[sim.PolicyThrottleCPUPrio]))
+	return rep
+}
+
+// Fig13 reproduces the low-FPS mix comparison: normalized FPS (top)
+// and CPU weighted speedup (bottom). The proposal must stay disabled
+// (FPS and CPU at baseline); SMS trades big GPU losses for CPU gains;
+// HeLM loses ~7% FPS; DynPrio tracks baseline.
+func (x *Runner) Fig13() Report {
+	rep := Report{ID: "fig13", Title: "Policy comparison, low-FPS mixes: normalized FPS and CPU speedup"}
+	fpsSums := map[sim.Policy][]float64{}
+	cpuSums := map[sim.Policy][]float64{}
+	for _, m := range workloads.LowFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		cells := []Cell{}
+		for _, p := range comparisonPolicies[1:] {
+			r := x.mix(m, p)
+			nf := 0.0
+			if base.GPUFPS > 0 {
+				nf = r.GPUFPS / base.GPUFPS
+			}
+			s := weightedSpeedup(r, base)
+			fpsSums[p] = append(fpsSums[p], nf)
+			cpuSums[p] = append(cpuSums[p], s)
+			cells = append(cells, Cell{"fps" + p.String(), nf}, Cell{"cpu" + p.String(), s})
+		}
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: cells})
+	}
+	rep.Summary = fmt.Sprintf(
+		"GMEAN fps: SMS-0.9=%.3f SMS-0=%.3f DynPrio=%.3f HeLM=%.3f Throt=%.3f | cpu: %.3f/%.3f/%.3f/%.3f/%.3f (paper fps: <1,<1,1.00,0.93,1.00; cpu: 1.07/1.06/1.00/1.04/1.00)",
+		stats.GMean(fpsSums[sim.PolicySMS09]), stats.GMean(fpsSums[sim.PolicySMS0]),
+		stats.GMean(fpsSums[sim.PolicyDynPrio]), stats.GMean(fpsSums[sim.PolicyHeLM]),
+		stats.GMean(fpsSums[sim.PolicyThrottleCPUPrio]),
+		stats.GMean(cpuSums[sim.PolicySMS09]), stats.GMean(cpuSums[sim.PolicySMS0]),
+		stats.GMean(cpuSums[sim.PolicyDynPrio]), stats.GMean(cpuSums[sim.PolicyHeLM]),
+		stats.GMean(cpuSums[sim.PolicyThrottleCPUPrio]))
+	return rep
+}
+
+// Fig14 reproduces the equal-weight combined CPU+GPU metric on the
+// low-FPS mixes. The paper: the proposal and DynPrio deliver baseline
+// performance; SMS variants lose; HeLM ends ~1% below baseline.
+func (x *Runner) Fig14() Report {
+	rep := Report{ID: "fig14", Title: "Combined CPU+GPU performance, low-FPS mixes (equal weight)"}
+	sums := map[sim.Policy][]float64{}
+	for _, m := range workloads.LowFPSMixes() {
+		base := x.mix(m, sim.PolicyBaseline)
+		cells := []Cell{}
+		for _, p := range comparisonPolicies[1:] {
+			r := x.mix(m, p)
+			gpuSp := 0.0
+			if base.GPUFPS > 0 {
+				gpuSp = r.GPUFPS / base.GPUFPS
+			}
+			c := stats.Combined(weightedSpeedup(r, base), gpuSp)
+			sums[p] = append(sums[p], c)
+			cells = append(cells, Cell{p.String(), c})
+		}
+		rep.Rows = append(rep.Rows, Row{Label: m.ID, Cells: cells})
+	}
+	rep.Summary = fmt.Sprintf(
+		"GMEAN combined: SMS-0.9=%.3f SMS-0=%.3f DynPrio=%.3f HeLM=%.3f ThrotCPUprio=%.3f (paper: <1,<1,1.00,0.99,1.00)",
+		stats.GMean(sums[sim.PolicySMS09]), stats.GMean(sums[sim.PolicySMS0]),
+		stats.GMean(sums[sim.PolicyDynPrio]), stats.GMean(sums[sim.PolicyHeLM]),
+		stats.GMean(sums[sim.PolicyThrottleCPUPrio]))
+	return rep
+}
+
+// Table1 renders the simulated configuration (Table I) as implemented
+// (paper-scale values; the runner's Scale divides capacities).
+func (x *Runner) Table1() Report {
+	rep := Report{ID: "table1", Title: "Simulation environment (Table I), scale-1 values"}
+	add := func(label string, kv ...Cell) {
+		rep.Rows = append(rep.Rows, Row{Label: label, Cells: kv})
+	}
+	add("CPU-core", Cell{"GHz", 4}, Cell{"width", 4}, Cell{"ROB", 192}, Cell{"MSHRs", 16})
+	add("L1D", Cell{"KB", 32}, Cell{"ways", 8})
+	add("L2", Cell{"KB", 256}, Cell{"ways", 8})
+	add("GPU", Cell{"GHz", 1}, Cell{"shaders", 64})
+	add("texL1", Cell{"KB", 64}, Cell{"ways", 16})
+	add("texL2", Cell{"KB", 384}, Cell{"ways", 48})
+	add("depthL2", Cell{"KB", 32}, Cell{"ways", 32})
+	add("colorL2", Cell{"KB", 32}, Cell{"ways", 32})
+	add("vertex", Cell{"KB", 16}, Cell{"ways", 16})
+	add("LLC", Cell{"MB", 16}, Cell{"ways", 16}, Cell{"lookupCyc", 10})
+	add("DRAM", Cell{"channels", 2}, Cell{"banks", 8}, Cell{"tCL", 14}, Cell{"tRCD", 14}, Cell{"tRP", 14})
+	rep.Summary = fmt.Sprintf("running at scale=%d (capacities and per-frame work divided accordingly)", x.Cfg.Scale)
+	return rep
+}
+
+// Table2 reports the game catalog with measured standalone FPS next
+// to the paper's Table II baseline FPS.
+func (x *Runner) Table2() Report {
+	rep := Report{ID: "table2", Title: "Graphics frame details (Table II): measured vs paper FPS"}
+	for _, g := range workloads.Games() {
+		alone := x.gpuStandalone(g.Name)
+		rep.Rows = append(rep.Rows, Row{Label: g.Name, Cells: []Cell{
+			{"frames", float64(g.Frames)},
+			{"standaloneFPS", alone.GPUFPS},
+			{"tableFPS", g.TableFPS},
+		}})
+	}
+	rep.Summary = "tableFPS is the paper's heterogeneous-baseline FPS; see fig2 for the heterogeneous comparison"
+	return rep
+}
+
+// Table3 lists the heterogeneous mixes.
+func (x *Runner) Table3() Report {
+	rep := Report{ID: "table3", Title: "Heterogeneous workload mixes (Table III)"}
+	for _, m := range workloads.EvalMixes() {
+		cells := []Cell{}
+		for _, id := range m.SpecIDs {
+			cells = append(cells, Cell{workloads.MustSpec(id).Name, float64(id)})
+		}
+		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: cells})
+	}
+	rep.Summary = fmt.Sprintf("%d evaluation mixes, %d motivation mixes",
+		len(workloads.EvalMixes()), len(workloads.MotivationMixes()))
+	return rep
+}
+
+// ByID dispatches an experiment by identifier ("fig1".."fig14",
+// "table1".."table3").
+func (x *Runner) ByID(id string) (Report, error) {
+	switch id {
+	case "fig1":
+		return x.Fig1(), nil
+	case "fig2":
+		return x.Fig2(), nil
+	case "fig3":
+		return x.Fig3(), nil
+	case "fig8":
+		return x.Fig8(), nil
+	case "fig9":
+		return x.Fig9(), nil
+	case "fig10":
+		return x.Fig10(), nil
+	case "fig11":
+		return x.Fig11(), nil
+	case "fig12":
+		return x.Fig12(), nil
+	case "fig13":
+		return x.Fig13(), nil
+	case "fig14":
+		return x.Fig14(), nil
+	case "table1":
+		return x.Table1(), nil
+	case "table2":
+		return x.Table2(), nil
+	case "table3":
+		return x.Table3(), nil
+	}
+	return Report{}, fmt.Errorf("exp: unknown experiment %q (fig1-3, fig8-14, table1-3)", id)
+}
+
+// AllIDs lists every reproducible experiment in paper order.
+func AllIDs() []string {
+	return []string{
+		"table1", "table2", "table3",
+		"fig1", "fig2", "fig3",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	}
+}
+
+// Throttle ablations beyond the paper (see DESIGN.md §4).
+
+// AblationWindowStep sweeps the ATU's WG growth step on one mix.
+func (x *Runner) AblationWindowStep(mixID string, steps []uint64) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-step", Title: "ATU window growth step sweep on " + mixID}
+	base := x.mix(m, sim.PolicyBaseline)
+	for _, st := range steps {
+		cfg := x.Cfg
+		cfg.Policy = sim.PolicyThrottleCPUPrio
+		cfg.NumCPUs = len(m.SpecIDs)
+		game, apps := sim.MixWorkload(cfg, m)
+		s := sim.NewSystem(cfg, game, apps)
+		s.Ctrl.ATU.WindowStep = st
+		r := sim.Run(s)
+		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("step=%d", st), Cells: []Cell{
+			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+		}})
+	}
+	return rep, nil
+}
+
+// AblationTargetFPS sweeps the QoS target on one mix.
+func (x *Runner) AblationTargetFPS(mixID string, targets []float64) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-target", Title: "QoS target sweep on " + mixID}
+	base := x.mix(m, sim.PolicyBaseline)
+	for _, tf := range targets {
+		cfg := x.Cfg
+		cfg.Policy = sim.PolicyThrottleCPUPrio
+		cfg.TargetFPS = tf
+		cfg.NumCPUs = len(m.SpecIDs)
+		r := sim.RunMix(cfg, m)
+		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("target=%.0f", tf), Cells: []Cell{
+			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+		}})
+	}
+	return rep, nil
+}
+
+// AblationUpdateLaw compares the paper's Fig. 6 closed-form window
+// update against the feedback law on one mix.
+func (x *Runner) AblationUpdateLaw(mixID string) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-law", Title: "ATU update law: Fig.6 closed form vs feedback, " + mixID}
+	base := x.mix(m, sim.PolicyBaseline)
+	for _, feedback := range []bool{false, true} {
+		cfg := x.Cfg
+		cfg.Policy = sim.PolicyThrottleCPUPrio
+		cfg.NumCPUs = len(m.SpecIDs)
+		game, apps := sim.MixWorkload(cfg, m)
+		s := sim.NewSystem(cfg, game, apps)
+		s.Ctrl.ATU.Feedback = feedback
+		r := sim.Run(s)
+		label := "fig6-closed-form"
+		if feedback {
+			label = "feedback"
+		}
+		rep.Rows = append(rep.Rows, Row{Label: label, Cells: []Cell{
+			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+		}})
+	}
+	return rep, nil
+}
+
+// AblationCMBAL reproduces the §IV analysis: shader-core-centric
+// concurrency throttling (CM-BAL) cannot regulate the GPU frame rate
+// the way GTT-port throttling can, because it only modulates the
+// texture access rate while the ROP's depth/color traffic flows
+// unthrottled.
+func (x *Runner) AblationCMBAL(mixID string) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-cmbal", Title: "Shader-core vs GTT-port throttling (paper §IV), " + mixID}
+	base := x.mix(m, sim.PolicyBaseline)
+	for _, p := range []sim.Policy{sim.PolicyCMBAL, sim.PolicyThrottleCPUPrio} {
+		r := x.mix(m, p)
+		rep.Rows = append(rep.Rows, Row{Label: p.String(), Cells: []Cell{
+			{"fps", r.GPUFPS},
+			{"fpsVsBase", r.GPUFPS / base.GPUFPS},
+			{"cpu", weightedSpeedup(r, base)},
+		}})
+	}
+	rep.Summary = "the paper finds CM-BAL unable to pull the frame rate to the QoS target; the GTT gate does"
+	return rep, nil
+}
+
+// AblationPrefetch compares the mix with and without the cores' L2
+// stride prefetchers under baseline and the full proposal — a beyond-
+// paper study of how CPU-side prefetching shifts the throttling
+// trade-off (prefetches recover latency tolerance but consume the
+// DRAM bandwidth the throttle frees).
+func (x *Runner) AblationPrefetch(mixID string) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-prefetch", Title: "L2 stride prefetching on/off, " + mixID}
+	for _, pf := range []bool{false, true} {
+		for _, p := range []sim.Policy{sim.PolicyBaseline, sim.PolicyThrottleCPUPrio} {
+			cfg := x.Cfg
+			cfg.Policy = p
+			cfg.CPUPrefetch = pf
+			cfg.NumCPUs = len(m.SpecIDs)
+			r := sim.RunMix(cfg, m)
+			label := p.String()
+			if pf {
+				label += "+pf"
+			}
+			rep.Rows = append(rep.Rows, Row{Label: label, Cells: []Cell{
+				{"fps", r.GPUFPS}, {"meanIPC", r.MeanIPC()},
+			}})
+		}
+	}
+	return rep, nil
+}
+
+// AblationLLCPolicy compares the paper's SRRIP LLC against
+// set-dueling DRRIP under baseline and the proposal — a beyond-paper
+// study of whether thrash-resistant insertion changes how much LLC
+// the GPU's streaming fills can steal from the CPUs.
+func (x *Runner) AblationLLCPolicy(mixID string) (Report, error) {
+	m, err := workloads.MixByID(mixID)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "ablation-llc", Title: "LLC replacement: SRRIP vs DRRIP, " + mixID}
+	for _, drrip := range []bool{false, true} {
+		for _, p := range []sim.Policy{sim.PolicyBaseline, sim.PolicyThrottleCPUPrio} {
+			cfg := x.Cfg
+			cfg.Policy = p
+			cfg.LLCDRRIP = drrip
+			cfg.NumCPUs = len(m.SpecIDs)
+			r := sim.RunMix(cfg, m)
+			label := p.String()
+			if drrip {
+				label += "+drrip"
+			}
+			rep.Rows = append(rep.Rows, Row{Label: label, Cells: []Cell{
+				{"fps", r.GPUFPS}, {"meanIPC", r.MeanIPC()},
+				{"cpuLLCMissPerMI", perCycleRate(r) * 1e6},
+			}})
+		}
+	}
+	return rep, nil
+}
+

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPerFrame(t *testing.T) {
+	if perFrame(100, 4) != 25 {
+		t.Fatalf("perFrame wrong")
+	}
+	if perFrame(100, 0) != 0 {
+		t.Fatalf("zero frames should give 0")
+	}
+}
+
+func TestPerCycleRate(t *testing.T) {
+	r := sim.Result{
+		MeasuredCycles: 1000,
+		IPC:            []float64{1, 1},
+		CPULLCMisses:   200,
+	}
+	// 2 IPC x 1000 cycles = 2000 instructions; 200/2000 = 0.1.
+	if got := perCycleRate(r); got != 0.1 {
+		t.Fatalf("perCycleRate = %v", got)
+	}
+	if perCycleRate(sim.Result{}) != 0 {
+		t.Fatalf("empty result should give 0")
+	}
+}
+
+func TestWeightedSpeedupHelper(t *testing.T) {
+	base := sim.Result{IPC: []float64{1, 2}}
+	r := sim.Result{IPC: []float64{2, 2}}
+	// (2/1 + 2/2)/2 = 1.5
+	if got := weightedSpeedup(r, base); got != 1.5 {
+		t.Fatalf("ws = %v", got)
+	}
+	if weightedSpeedup(sim.Result{}, base) != 0 {
+		t.Fatalf("mismatched lengths should give 0")
+	}
+}
+
+func TestBwGBpsHelper(t *testing.T) {
+	r := sim.Result{GPUReadBytes: 4e9, GPUWriteBytes: 2e9, MeasuredCycles: 4e9}
+	read, write := bwGBps(r, 4e9)
+	if read != 4 || write != 2 {
+		t.Fatalf("bw = %v/%v", read, write)
+	}
+}
+
+func TestComparisonPoliciesLineup(t *testing.T) {
+	// Figs. 12-14 must compare exactly the paper's lineup, baseline
+	// first.
+	want := []sim.Policy{
+		sim.PolicyBaseline, sim.PolicySMS09, sim.PolicySMS0,
+		sim.PolicyDynPrio, sim.PolicyHeLM, sim.PolicyThrottleCPUPrio,
+	}
+	if len(comparisonPolicies) != len(want) {
+		t.Fatalf("lineup size %d", len(comparisonPolicies))
+	}
+	for i := range want {
+		if comparisonPolicies[i] != want[i] {
+			t.Fatalf("lineup[%d] = %v, want %v", i, comparisonPolicies[i], want[i])
+		}
+	}
+}

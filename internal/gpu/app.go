@@ -1,0 +1,234 @@
+// Package gpu models the throughput-optimized GPU of the
+// heterogeneous CMP at the granularity the paper's proposal observes
+// it: a 3D rendering workload is a sequence of frames, each frame a
+// sequence of render-target planes (RTPs), each RTP a batch of
+// updates covering all render-target tiles (RTTs) of the frame
+// buffer. Per tile, the pipeline generates vertex, texture, depth and
+// color traffic through the GPU's internal cache hierarchy; misses
+// and dirty evictions become shared-LLC accesses through the GPU
+// memory interface, where the access-throttling unit's gate sits.
+//
+// The paper drives this with Attila traces of DirectX/OpenGL games;
+// those traces are not redistributable, so AppModel parameterizes
+// each game's frame structure (resolution-derived tile count,
+// overdraw, per-tile access counts, texture footprint, shader work)
+// and internal/workloads instantiates the fourteen Table II titles.
+package gpu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// TileSide is the render-target tile edge in pixels (t x t RTTs).
+const TileSide = 32
+
+// AppModel describes one 3D rendering workload.
+type AppModel struct {
+	// Name of the game ("DOOM3", ...).
+	Name string
+	// API is "DX" or "OGL" (metadata only).
+	API string
+
+	// Frames is the number of frames in the rendered sequence; the
+	// sequence loops if the run outlives it.
+	Frames int
+
+	// Tiles is the number of RTTs per render-target plane (already
+	// divided by the scale factor).
+	Tiles int
+
+	// RTPs is the number of render-target planes per frame (the
+	// number of update batches that each cover all tiles).
+	RTPs int
+
+	// Per-tile, per-RTP access counts, in cache lines.
+	TexPerTile   int
+	DepthPerTile int
+	ColorPerTile int
+
+	// VertexPerRTP is the vertex-buffer lines fetched at the start of
+	// each RTP.
+	VertexPerRTP int
+
+	// TexFootprint is the texture working set in bytes (scaled); a
+	// TexHotFrac fraction of texture reads fall in TexHotBytes.
+	TexFootprint uint64
+	TexHotBytes  uint64
+	TexHotFrac   float64
+
+	// ShaderCyclesPerRTP is the shader-core compute time for one RTP
+	// in GPU cycles, overlapped with memory.
+	ShaderCyclesPerRTP uint64
+
+	// HiZCullFrac enables hierarchical-Z culling: for every RTP after
+	// a frame's first, this fraction of the tile's depth/color work is
+	// culled by the coarse depth test before rasterization, at the
+	// cost of one hierarchical-depth access per tile. Zero disables
+	// (the default; the hi-Z ablation exercises it).
+	HiZCullFrac float64
+
+	// WorkJitter is the relative per-frame variation of RTP work
+	// (e.g. 0.02 for +/-2%); rendering workloads have nearly constant
+	// work across adjacent frames, which is what makes the FRPU's
+	// learning/prediction split effective.
+	WorkJitter float64
+
+	// SceneChangeEvery makes every Nth frame re-roll its work scale
+	// by up to +/-SceneChangeMag, forcing the FRPU back into the
+	// learning phase (paper Fig. 4, point B). Zero disables.
+	SceneChangeEvery int
+	SceneChangeMag   float64
+
+	// Seed drives all of the app's randomness.
+	Seed uint64
+}
+
+// access is one pipeline memory reference.
+type access struct {
+	class mem.Class
+	addr  uint64
+	write bool
+}
+
+// stream lazily generates the access sequence of one RTP.
+type stream struct {
+	app   *AppModel
+	rnd   *rng.RNG
+	scale float64 // current frame's work multiplier
+
+	tile     int
+	phase    int // 0 vertex, 1 tex, 2 depth, 3 color
+	idx      int
+	rtpIndex int
+
+	// counts for this RTP after jitter.
+	texPerTile, depthPerTile, colorPerTile, vertexPerRTP int
+
+	emitted int
+}
+
+const (
+	phaseVertex = iota
+	phaseHiZ
+	phaseTex
+	phaseDepth
+	phaseColor
+	phaseDone
+)
+
+func jcount(base int, scale float64) int {
+	n := int(float64(base)*scale + 0.5)
+	if base > 0 && n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// newStream starts the access stream for RTP rtpIndex of the current
+// frame, with the frame's work multiplier.
+func newStream(app *AppModel, rnd *rng.RNG, rtpIndex int, scale float64) *stream {
+	s := &stream{
+		app:          app,
+		rnd:          rnd,
+		scale:        scale,
+		rtpIndex:     rtpIndex,
+		texPerTile:   jcount(app.TexPerTile, scale),
+		depthPerTile: jcount(app.DepthPerTile, scale),
+		colorPerTile: jcount(app.ColorPerTile, scale),
+		vertexPerRTP: jcount(app.VertexPerRTP, scale),
+	}
+	if app.HiZCullFrac > 0 && rtpIndex > 0 {
+		// Overdraw culled by the coarse depth test: later RTPs touch
+		// fewer render-target lines (but still at least one each).
+		keep := 1 - app.HiZCullFrac
+		s.depthPerTile = jcount(s.depthPerTile, keep)
+		s.colorPerTile = jcount(s.colorPerTile, keep)
+	}
+	return s
+}
+
+// total returns the total accesses this stream will emit.
+func (s *stream) total() int {
+	hiz := 0
+	if s.app.HiZCullFrac > 0 {
+		hiz = 1
+	}
+	return s.vertexPerRTP + s.app.Tiles*(hiz+s.texPerTile+s.depthPerTile+s.colorPerTile)
+}
+
+// next returns the next access, or ok=false at end of RTP.
+func (s *stream) next() (access, bool) {
+	app := s.app
+	for {
+		switch s.phase {
+		case phaseVertex:
+			if s.idx < s.vertexPerRTP {
+				a := access{
+					class: mem.ClassVertex,
+					addr:  mem.VertexBase + uint64(s.rtpIndex*s.vertexPerRTP+s.idx)*mem.LineSize,
+				}
+				s.idx++
+				s.emitted++
+				return a, true
+			}
+			s.phase, s.idx = phaseHiZ, 0
+		case phaseHiZ:
+			if s.app.HiZCullFrac > 0 && s.idx == 0 {
+				s.idx++
+				s.emitted++
+				return access{
+					class: mem.ClassHiZ,
+					addr:  mem.HiZBase + uint64(s.tile)*mem.LineSize,
+				}, true
+			}
+			s.phase, s.idx = phaseTex, 0
+		case phaseTex:
+			if s.idx < s.texPerTile {
+				var off uint64
+				if s.rnd.Bool(app.TexHotFrac) && app.TexHotBytes >= mem.LineSize {
+					off = s.rnd.Uint64n(app.TexHotBytes) &^ (mem.LineSize - 1)
+				} else if app.TexFootprint >= mem.LineSize {
+					off = s.rnd.Uint64n(app.TexFootprint) &^ (mem.LineSize - 1)
+				}
+				s.idx++
+				s.emitted++
+				return access{class: mem.ClassTexture, addr: mem.TextureBase + off}, true
+			}
+			s.phase, s.idx = phaseDepth, 0
+		case phaseDepth:
+			if s.idx < s.depthPerTile {
+				a := access{
+					class: mem.ClassDepth,
+					addr:  mem.DepthBase + uint64(s.tile*s.depthPerTile+s.idx)*mem.LineSize,
+					write: true, // depth test reads then updates
+				}
+				s.idx++
+				s.emitted++
+				return a, true
+			}
+			s.phase, s.idx = phaseColor, 0
+		case phaseColor:
+			if s.idx < s.colorPerTile {
+				a := access{
+					class: mem.ClassColor,
+					addr:  mem.ColorBase + uint64(s.tile*s.colorPerTile+s.idx)*mem.LineSize,
+					write: true,
+				}
+				s.idx++
+				s.emitted++
+				return a, true
+			}
+			// Next tile.
+			s.tile++
+			s.idx = 0
+			if s.tile >= app.Tiles {
+				s.phase = phaseDone
+				return access{}, false
+			}
+			s.phase = phaseHiZ
+		case phaseDone:
+			return access{}, false
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+func streamApp() *AppModel {
+	return &AppModel{
+		Name: "s", Frames: 2, Tiles: 8, RTPs: 2,
+		TexPerTile: 3, DepthPerTile: 2, ColorPerTile: 2, VertexPerRTP: 4,
+		TexFootprint: 1 << 14, TexHotBytes: 1 << 12, TexHotFrac: 0.5,
+		ShaderCyclesPerRTP: 10, Seed: 5,
+	}
+}
+
+func drainStream(s *stream) []access {
+	var out []access
+	for {
+		a, ok := s.next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func TestStreamEmitsExpectedCounts(t *testing.T) {
+	app := streamApp()
+	s := newStream(app, rng.New(1), 0, 1.0)
+	got := drainStream(s)
+	want := s.total()
+	if len(got) != want {
+		t.Fatalf("emitted %d accesses, total() said %d", len(got), want)
+	}
+	counts := map[mem.Class]int{}
+	for _, a := range got {
+		counts[a.class]++
+	}
+	if counts[mem.ClassVertex] != 4 {
+		t.Fatalf("vertex count %d", counts[mem.ClassVertex])
+	}
+	if counts[mem.ClassTexture] != 8*3 || counts[mem.ClassDepth] != 8*2 || counts[mem.ClassColor] != 8*2 {
+		t.Fatalf("counts: %v", counts)
+	}
+}
+
+func TestStreamAddressesInRegions(t *testing.T) {
+	app := streamApp()
+	s := newStream(app, rng.New(2), 1, 1.0)
+	for _, a := range drainStream(s) {
+		switch a.class {
+		case mem.ClassTexture:
+			if a.addr < mem.TextureBase || a.addr >= mem.TextureBase+app.TexFootprint {
+				t.Fatalf("texture addr %#x out of region", a.addr)
+			}
+		case mem.ClassDepth:
+			if a.addr < mem.DepthBase || !a.write {
+				t.Fatalf("bad depth access %+v", a)
+			}
+		case mem.ClassColor:
+			if a.addr < mem.ColorBase || !a.write {
+				t.Fatalf("bad color access %+v", a)
+			}
+		case mem.ClassVertex:
+			if a.addr < mem.VertexBase {
+				t.Fatalf("bad vertex access %+v", a)
+			}
+		}
+	}
+}
+
+func TestDepthColorAddressesRepeatAcrossRTPs(t *testing.T) {
+	// The same render-target lines are touched by every RTP — that is
+	// what creates the LLC reuse the paper's §II discusses.
+	app := streamApp()
+	collect := func(rtp int) map[uint64]bool {
+		s := newStream(app, rng.New(3), rtp, 1.0)
+		set := map[uint64]bool{}
+		for _, a := range drainStream(s) {
+			if a.class == mem.ClassDepth {
+				set[a.addr] = true
+			}
+		}
+		return set
+	}
+	a, b := collect(0), collect(1)
+	if len(a) != len(b) {
+		t.Fatalf("depth sets differ in size: %d vs %d", len(a), len(b))
+	}
+	for addr := range a {
+		if !b[addr] {
+			t.Fatalf("depth address %#x not reused in next RTP", addr)
+		}
+	}
+}
+
+func TestWorkScaleChangesCounts(t *testing.T) {
+	app := streamApp()
+	full := newStream(app, rng.New(4), 0, 1.0).total()
+	half := newStream(app, rng.New(4), 0, 0.5).total()
+	if half >= full {
+		t.Fatalf("half-scale stream not smaller: %d vs %d", half, full)
+	}
+	// Non-zero base counts never jitter to zero.
+	tiny := newStream(app, rng.New(4), 0, 0.01)
+	if tiny.texPerTile < 1 || tiny.depthPerTile < 1 {
+		t.Fatalf("counts collapsed to zero: %+v", tiny)
+	}
+}
+
+// Property: for any app shape, the stream terminates and emits
+// exactly total() accesses, all line-aligned.
+func TestQuickStreamTerminates(t *testing.T) {
+	f := func(tiles, rtps, tex, depth, color, vert uint8) bool {
+		app := &AppModel{
+			Name: "q", Frames: 1,
+			Tiles:        int(tiles%16) + 1,
+			RTPs:         int(rtps%4) + 1,
+			TexPerTile:   int(tex % 8),
+			DepthPerTile: int(depth % 8),
+			ColorPerTile: int(color % 8),
+			VertexPerRTP: int(vert % 8),
+			TexFootprint: 1 << 12, TexHotBytes: 1 << 10, TexHotFrac: 0.5,
+		}
+		s := newStream(app, rng.New(9), 0, 1.0)
+		got := drainStream(s)
+		if len(got) != s.total() {
+			return false
+		}
+		for _, a := range got {
+			if a.addr%mem.LineSize != 0 {
+				return false
+			}
+		}
+		// A second call after exhaustion stays exhausted.
+		if _, ok := s.next(); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHiZCullingReducesROPWork(t *testing.T) {
+	app := streamApp()
+	app.HiZCullFrac = 0.5
+	first := newStream(app, rng.New(1), 0, 1.0)
+	second := newStream(app, rng.New(1), 1, 1.0)
+	// The first RTP is never culled; later RTPs lose half their
+	// depth/color lines.
+	if first.depthPerTile != app.DepthPerTile {
+		t.Fatalf("first RTP culled: %d", first.depthPerTile)
+	}
+	if second.depthPerTile >= first.depthPerTile {
+		t.Fatalf("hi-Z did not cull: %d vs %d", second.depthPerTile, first.depthPerTile)
+	}
+	// Hi-Z probe accesses appear, one per tile.
+	hiz := 0
+	for _, a := range drainStream(second) {
+		if a.class == mem.ClassHiZ {
+			hiz++
+			if a.addr < mem.HiZBase {
+				t.Fatalf("hi-Z address %#x out of region", a.addr)
+			}
+		}
+	}
+	if hiz != app.Tiles {
+		t.Fatalf("hi-Z probes = %d, want %d", hiz, app.Tiles)
+	}
+}
+
+func TestHiZSpeedsUpOverdrawnFrames(t *testing.T) {
+	run := func(cull float64) int {
+		app := testApp()
+		app.RTPs = 4
+		app.DepthPerTile = 24
+		app.ColorPerTile = 24
+		app.ShaderCyclesPerRTP = 0
+		app.HiZCullFrac = cull
+		g := New(DefaultConfig(64), app)
+		s := newStub(40)
+		s.gpu = g
+		g.Issue = s.issue
+		for i := 0; i < 120000; i++ {
+			s.tick()
+			g.Tick(s.cycle)
+		}
+		return g.FramesDone
+	}
+	off, on := run(0), run(0.6)
+	if off == 0 {
+		t.Fatalf("no frames without culling")
+	}
+	if on <= off {
+		t.Fatalf("hi-Z culling did not speed up frames: %d vs %d", on, off)
+	}
+}
+
+func TestHiZDisabledByDefault(t *testing.T) {
+	app := streamApp() // HiZCullFrac zero
+	for _, a := range drainStream(newStream(app, rng.New(2), 1, 1.0)) {
+		if a.class == mem.ClassHiZ {
+			t.Fatalf("hi-Z access emitted with culling disabled")
+		}
+	}
+}

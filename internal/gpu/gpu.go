@@ -1,0 +1,502 @@
+package gpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// ThrottleGate is the GTT port gate the access-throttling unit
+// controls: before the GPU memory interface injects an LLC access it
+// asks Allow; OnIssue reports the access going out. A nil gate means
+// the baseline unthrottled GPU.
+type ThrottleGate interface {
+	Allow(gpuCycle uint64) bool
+	OnIssue(gpuCycle uint64)
+}
+
+// ShaderThrottle models shader-core-centric concurrency management
+// (CM-BAL, paper §IV): the returned scale in (0,1] is the fraction of
+// texture-issue slots the active thread count sustains. Only texture
+// traffic is affected — the fixed-function ROP (depth/color) pipeline
+// does not run on shader cores, which is exactly why the paper finds
+// this class of mechanisms unable to regulate the frame rate.
+type ShaderThrottle interface {
+	TextureIssueScale() float64
+}
+
+// stallObserver is optionally implemented by a ShaderThrottle that
+// adapts to memory-system stalls (CM-BAL's controller input).
+type stallObserver interface {
+	Observe(gpuCycle uint64, stalled bool)
+}
+
+// RTPInfo is the per-render-target-plane record the frame-rate
+// prediction unit consumes (paper §III-A1: updates, cycles, tiles,
+// LLC accesses).
+type RTPInfo struct {
+	Frame       int
+	Index       int
+	Updates     uint64
+	Cycles      uint64
+	Tiles       int
+	LLCAccesses uint64
+}
+
+// FrameInfo summarizes a completed frame.
+type FrameInfo struct {
+	Index       int
+	Cycles      uint64
+	LLCAccesses uint64
+	RTPs        int
+}
+
+// Observer receives pipeline progress events; the QoS controller
+// implements it.
+type Observer interface {
+	RTPComplete(RTPInfo)
+	FrameComplete(FrameInfo)
+}
+
+// Config describes the GPU microarchitecture (Table I), with cache
+// capacities divided by the scale factor. The per-sampler 2 KB L0
+// texture caches and per-ROP 2 KB L1 depth/color caches are folded
+// into the shared levels (see DESIGN.md).
+type Config struct {
+	IssueWidth    int // pipeline accesses generated per GPU cycle
+	MSHRs         int // outstanding LLC read misses (latency tolerance)
+	OutQ          int // memory-interface request buffer entries
+	IssuePerCycle int // LLC requests injected per GPU cycle
+	TexL1         cache.Config
+	TexL2         cache.Config
+	DepthL2       cache.Config
+	ColorL2       cache.Config
+	Vertex        cache.Config
+	HiZ           cache.Config
+}
+
+// DefaultConfig returns the Table I GPU scaled by scale (>=1).
+func DefaultConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		IssueWidth:    8,
+		MSHRs:         12,
+		OutQ:          16,
+		IssuePerCycle: 4,
+		TexL1: cache.Config{
+			Name: "texL1", SizeBytes: 64 * 1024 / scale, Ways: 16, Policy: cache.LRU,
+		},
+		TexL2: cache.Config{
+			Name: "texL2", SizeBytes: 384 * 1024 / scale, Ways: 48, Policy: cache.LRU,
+		},
+		DepthL2: cache.Config{
+			Name: "depthL2", SizeBytes: 32 * 1024 / scale, Ways: 32, Policy: cache.LRU,
+		},
+		ColorL2: cache.Config{
+			Name: "colorL2", SizeBytes: 32 * 1024 / scale, Ways: 32, Policy: cache.LRU,
+		},
+		Vertex: cache.Config{
+			Name: "vertex", SizeBytes: 16 * 1024 / scale, Ways: 16, Policy: cache.LRU,
+		},
+		HiZ: cache.Config{
+			Name: "hiz", SizeBytes: 16 * 1024 / scale, Ways: 16, Policy: cache.LRU,
+		},
+	}
+}
+
+// GPU executes one AppModel's rendering on the modeled pipeline.
+type GPU struct {
+	cfg Config
+	app *AppModel
+	rnd *rng.RNG
+
+	texL1, texL2, depthL2, colorL2, vertex, hiz *cache.Cache
+	mshr                                        *cache.MSHR
+
+	// Issue injects a request toward the LLC (ring); false = retry.
+	// The system builder wires it.
+	Issue func(r *mem.Request) bool
+	// Gate is the ATU's GTT port gate (nil = unthrottled).
+	Gate ThrottleGate
+	// Shader is the optional shader-core concurrency throttle
+	// (CM-BAL); nil = full concurrency.
+	Shader ShaderThrottle
+	// Observer receives RTP/frame completions (nil = none).
+	Observer Observer
+
+	outQ []*mem.Request
+
+	cycle    uint64 // GPU cycles
+	cpuCycle uint64
+
+	frame      int // index within the app's frame sequence
+	rtp        int
+	str        *stream
+	curAcc     access
+	curValid   bool
+	compute    uint64
+	sceneScale float64
+
+	rtpStart    uint64
+	rtpLLC      uint64
+	rtpUpdates  uint64
+	frameStart  uint64
+	frameLLC    uint64
+	texCredit   float64
+	nextID      uint64
+	pendingRead map[uint64]mem.Class // line -> class awaiting fill
+
+	// Results and stats.
+	FramesDone  int
+	FrameCycles []uint64
+	StallIssue  uint64 // GPU cycles with the gate or queue blocking
+	IssuedLLC   uint64
+	WritebackWB uint64
+}
+
+// New builds a GPU running app.
+func New(cfg Config, app *AppModel) *GPU {
+	g := &GPU{
+		cfg:         cfg,
+		app:         app,
+		rnd:         rng.New(app.Seed),
+		texL1:       cache.New(cfg.TexL1),
+		texL2:       cache.New(cfg.TexL2),
+		depthL2:     cache.New(cfg.DepthL2),
+		colorL2:     cache.New(cfg.ColorL2),
+		vertex:      cache.New(cfg.Vertex),
+		hiz:         cache.New(cfg.HiZ),
+		mshr:        cache.NewMSHR(cfg.MSHRs),
+		sceneScale:  1.0,
+		pendingRead: make(map[uint64]mem.Class),
+	}
+	g.startRTP()
+	return g
+}
+
+// App returns the running application model.
+func (g *GPU) App() *AppModel { return g.app }
+
+// Cycle returns the current GPU cycle.
+func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// FrameStartCycle returns the GPU cycle the in-flight frame began.
+func (g *GPU) FrameStartCycle() uint64 { return g.frameStart }
+
+// OutstandingLLC returns in-flight LLC read misses (for HeLM's
+// latency-tolerance sampling).
+func (g *GPU) OutstandingLLC() int { return g.mshr.Len() }
+
+// frameScale returns the work multiplier for the upcoming frame.
+func (g *GPU) frameScale() float64 {
+	app := g.app
+	if app.SceneChangeEvery > 0 && g.FramesDone > 0 && g.FramesDone%app.SceneChangeEvery == 0 {
+		g.sceneScale = 1 + app.SceneChangeMag*(2*g.rnd.Float64()-1)
+	}
+	s := g.sceneScale
+	if app.WorkJitter > 0 {
+		s *= 1 + app.WorkJitter*(2*g.rnd.Float64()-1)
+	}
+	if s < 0.05 {
+		s = 0.05
+	}
+	return s
+}
+
+// startRTP begins the next RTP (possibly starting a new frame).
+func (g *GPU) startRTP() {
+	if g.rtp == 0 {
+		g.frameStart = g.cycle
+		g.frameLLC = 0
+	}
+	scale := 1.0
+	if g.str != nil {
+		scale = g.str.scale
+	}
+	if g.rtp == 0 {
+		scale = g.frameScale()
+	}
+	g.str = newStream(g.app, g.rnd, g.rtp, scale)
+	g.compute = uint64(float64(g.app.ShaderCyclesPerRTP)*scale + 0.5)
+	g.rtpStart = g.cycle
+	g.rtpLLC = 0
+	g.rtpUpdates = 0
+	g.curValid = false
+}
+
+// finishRTP records completion and advances the pipeline.
+func (g *GPU) finishRTP() {
+	info := RTPInfo{
+		Frame:       g.frame,
+		Index:       g.rtp,
+		Updates:     g.rtpUpdates,
+		Cycles:      g.cycle - g.rtpStart,
+		Tiles:       g.app.Tiles,
+		LLCAccesses: g.rtpLLC,
+	}
+	if g.Observer != nil {
+		g.Observer.RTPComplete(info)
+	}
+	g.rtp++
+	if g.rtp >= g.app.RTPs {
+		fi := FrameInfo{
+			Index:       g.frame,
+			Cycles:      g.cycle - g.frameStart,
+			LLCAccesses: g.frameLLC,
+			RTPs:        g.app.RTPs,
+		}
+		g.FramesDone++
+		g.FrameCycles = append(g.FrameCycles, fi.Cycles)
+		if g.Observer != nil {
+			g.Observer.FrameComplete(fi)
+		}
+		g.frame = (g.frame + 1) % g.app.Frames
+		g.rtp = 0
+	}
+	g.startRTP()
+}
+
+// Tick advances the GPU one GPU cycle. cpuCycle timestamps requests.
+func (g *GPU) Tick(cpuCycle uint64) {
+	g.cycle++
+	g.cpuCycle = cpuCycle
+
+	g.drainOut()
+
+	if g.compute > 0 {
+		g.compute--
+	}
+
+	// Shader concurrency scaling: accrue texture-issue credits at the
+	// throttled rate (full rate = IssueWidth credits per cycle).
+	if g.Shader != nil {
+		g.texCredit += g.Shader.TextureIssueScale() * float64(g.cfg.IssueWidth)
+		if max := float64(2 * g.cfg.IssueWidth); g.texCredit > max {
+			g.texCredit = max
+		}
+	}
+
+	// Generate pipeline accesses.
+	stalled := false
+	for i := 0; i < g.cfg.IssueWidth; i++ {
+		if !g.curValid {
+			a, ok := g.str.next()
+			if !ok {
+				break
+			}
+			g.curAcc, g.curValid = a, true
+		}
+		if g.Shader != nil && g.curAcc.class == mem.ClassTexture {
+			if g.texCredit < 1 {
+				g.StallIssue++
+				stalled = true
+				break
+			}
+		}
+		if !g.tryAccess(g.curAcc) {
+			g.StallIssue++
+			stalled = true
+			break
+		}
+		if g.Shader != nil && g.curAcc.class == mem.ClassTexture {
+			g.texCredit--
+		}
+		g.curValid = false
+	}
+	if so, ok := g.Shader.(stallObserver); ok {
+		so.Observe(g.cycle, stalled)
+	}
+
+	// RTP completion.
+	if !g.curValid && g.str.phase == phaseDone &&
+		g.compute == 0 && g.mshr.Len() == 0 && len(g.outQ) == 0 {
+		g.finishRTP()
+	}
+}
+
+// drainOut injects buffered LLC requests through the throttle gate.
+func (g *GPU) drainOut() {
+	for n := 0; n < g.cfg.IssuePerCycle && len(g.outQ) > 0; n++ {
+		if g.Gate != nil && !g.Gate.Allow(g.cycle) {
+			return
+		}
+		r := g.outQ[0]
+		r.Born = g.cpuCycle
+		if g.Issue == nil || !g.Issue(r) {
+			return
+		}
+		g.outQ = g.outQ[1:]
+		if g.Gate != nil {
+			g.Gate.OnIssue(g.cycle)
+		}
+		g.IssuedLLC++
+		g.rtpLLC++
+		g.frameLLC++
+	}
+}
+
+// tryAccess routes one pipeline access through the internal caches.
+// It returns false on a structural hazard (retry next cycle).
+func (g *GPU) tryAccess(a access) bool {
+	if len(g.outQ) >= g.cfg.OutQ {
+		return false
+	}
+	switch a.class {
+	case mem.ClassTexture:
+		if a.write {
+			break
+		}
+		if g.texL1.Access(a.addr, false) {
+			return true
+		}
+		if g.texL2.Access(a.addr, false) {
+			g.fillCache(g.texL1, a.addr, false)
+			return true
+		}
+		return g.readMiss(a)
+	case mem.ClassVertex:
+		if g.vertex.Access(a.addr, false) {
+			return true
+		}
+		return g.readMiss(a)
+	case mem.ClassHiZ:
+		if g.hiz.Access(a.addr, false) {
+			return true
+		}
+		return g.readMiss(a)
+	case mem.ClassDepth:
+		if g.depthL2.Access(a.addr, true) {
+			g.rtpUpdates++
+			return true
+		}
+		if g.readMiss(a) {
+			g.rtpUpdates++
+			return true
+		}
+		return false
+	case mem.ClassColor:
+		g.rtpUpdates++
+		if g.colorL2.Access(a.addr, true) {
+			return true
+		}
+		// ROPs create fully dirty color lines without fetching
+		// (paper footnote 6): allocate directly.
+		g.fillCache(g.colorL2, a.addr, true)
+		return true
+	}
+	return true
+}
+
+// readMiss files an LLC read for the access's line, coalescing on the
+// GPU MSHRs.
+func (g *GPU) readMiss(a access) bool {
+	line := a.addr &^ (mem.LineSize - 1)
+	if g.mshr.Pending(line) {
+		_, ok := g.mshr.Allocate(line)
+		return ok
+	}
+	if g.mshr.Full() {
+		return false
+	}
+	g.mshr.Allocate(line)
+	g.pendingRead[line] = a.class
+	g.nextID++
+	g.outQ = append(g.outQ, &mem.Request{
+		ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
+		Addr:  line,
+		Src:   mem.SourceGPU,
+		Class: a.class,
+		Born:  g.cpuCycle,
+	})
+	return true
+}
+
+// fillCache installs a line into one internal cache, turning dirty
+// victims into LLC write-backs.
+func (g *GPU) fillCache(c *cache.Cache, addr uint64, dirty bool) {
+	if v, ev := c.Fill(addr, dirty, mem.SourceGPU, classOf(c)); ev && v.Dirty {
+		g.nextID++
+		g.outQ = append(g.outQ, &mem.Request{
+			ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
+			Addr:  v.Tag << mem.LineShift,
+			Write: true,
+			Src:   mem.SourceGPU,
+			Class: v.Class,
+			Born:  g.cpuCycle,
+		})
+		g.WritebackWB++
+	}
+}
+
+// classOf maps an internal cache to the data class it holds.
+func classOf(c *cache.Cache) mem.Class {
+	switch c.Config().Name {
+	case "texL1", "texL2":
+		return mem.ClassTexture
+	case "depthL2":
+		return mem.ClassDepth
+	case "colorL2":
+		return mem.ClassColor
+	case "vertex":
+		return mem.ClassVertex
+	case "hiz":
+		return mem.ClassHiZ
+	}
+	return mem.ClassShader
+}
+
+// OnFill delivers a completed LLC/DRAM read to the GPU.
+func (g *GPU) OnFill(r *mem.Request) {
+	line := r.LineAddr()
+	class, ok := g.pendingRead[line]
+	if !ok {
+		class = r.Class
+	}
+	delete(g.pendingRead, line)
+	g.mshr.Release(line)
+	switch class {
+	case mem.ClassTexture:
+		g.fillCache(g.texL2, line, false)
+		g.fillCache(g.texL1, line, false)
+	case mem.ClassVertex:
+		g.fillCache(g.vertex, line, false)
+	case mem.ClassHiZ:
+		g.fillCache(g.hiz, line, false)
+	case mem.ClassDepth:
+		// Depth read-modify-write: the fetched line is updated.
+		g.fillCache(g.depthL2, line, true)
+	case mem.ClassColor:
+		g.fillCache(g.colorL2, line, true)
+	}
+}
+
+// Caches returns the internal caches for stats/tests, keyed by name.
+func (g *GPU) Caches() map[string]*cache.Cache {
+	return map[string]*cache.Cache{
+		"texL1":   g.texL1,
+		"texL2":   g.texL2,
+		"depthL2": g.depthL2,
+		"colorL2": g.colorL2,
+		"vertex":  g.vertex,
+		"hiz":     g.hiz,
+	}
+}
+
+// AvgFrameCycles returns the mean GPU cycles per completed frame over
+// the most recent n frames (all if n<=0 or fewer completed).
+func (g *GPU) AvgFrameCycles(n int) float64 {
+	fc := g.FrameCycles
+	if n > 0 && len(fc) > n {
+		fc = fc[len(fc)-n:]
+	}
+	if len(fc) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, c := range fc {
+		sum += c
+	}
+	return float64(sum) / float64(len(fc))
+}

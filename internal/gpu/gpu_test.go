@@ -1,0 +1,314 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// stubMem services GPU LLC requests after a fixed latency.
+type stubMem struct {
+	latency  uint64
+	cycle    uint64
+	inflight []*mem.Request
+	gpu      *GPU
+	reads    int
+	writes   int
+	byClass  map[mem.Class]int
+}
+
+func newStub(lat uint64) *stubMem {
+	return &stubMem{latency: lat, byClass: map[mem.Class]int{}}
+}
+
+func (s *stubMem) issue(r *mem.Request) bool {
+	s.byClass[r.Class]++
+	if r.Write {
+		s.writes++
+		return true
+	}
+	s.reads++
+	r.Born = s.cycle
+	s.inflight = append(s.inflight, r)
+	return true
+}
+
+func (s *stubMem) tick() {
+	s.cycle++
+	for i := 0; i < len(s.inflight); {
+		r := s.inflight[i]
+		if s.cycle >= r.Born+s.latency {
+			r.Complete(s.cycle)
+			s.gpu.OnFill(r)
+			s.inflight[i] = s.inflight[len(s.inflight)-1]
+			s.inflight = s.inflight[:len(s.inflight)-1]
+		} else {
+			i++
+		}
+	}
+}
+
+func testApp() *AppModel {
+	return &AppModel{
+		Name:               "testgame",
+		API:                "DX",
+		Frames:             4,
+		Tiles:              16,
+		RTPs:               3,
+		TexPerTile:         4,
+		DepthPerTile:       4,
+		ColorPerTile:       4,
+		VertexPerRTP:       8,
+		TexFootprint:       1 << 16,
+		TexHotBytes:        1 << 12,
+		TexHotFrac:         0.7,
+		ShaderCyclesPerRTP: 500,
+		Seed:               99,
+	}
+}
+
+// observer records pipeline events.
+type recorder struct {
+	rtps   []RTPInfo
+	frames []FrameInfo
+}
+
+func (r *recorder) RTPComplete(i RTPInfo)     { r.rtps = append(r.rtps, i) }
+func (r *recorder) FrameComplete(f FrameInfo) { r.frames = append(r.frames, f) }
+
+func runGPU(app *AppModel, lat uint64, cycles int) (*GPU, *stubMem, *recorder) {
+	g := New(DefaultConfig(64), app)
+	s := newStub(lat)
+	s.gpu = g
+	rec := &recorder{}
+	g.Issue = s.issue
+	g.Observer = rec
+	for i := 0; i < cycles; i++ {
+		s.tick()
+		g.Tick(s.cycle)
+	}
+	return g, s, rec
+}
+
+func TestFramesComplete(t *testing.T) {
+	g, _, rec := runGPU(testApp(), 30, 60000)
+	if g.FramesDone < 3 {
+		t.Fatalf("only %d frames done", g.FramesDone)
+	}
+	if len(rec.frames) != g.FramesDone {
+		t.Fatalf("observer saw %d frames, GPU %d", len(rec.frames), g.FramesDone)
+	}
+	if len(rec.rtps) != g.FramesDone*3+len(rec.rtps)%3 {
+		// Every completed frame contributed exactly RTPs observations.
+		if len(rec.rtps)/3 < g.FramesDone {
+			t.Fatalf("rtps %d for %d frames", len(rec.rtps), g.FramesDone)
+		}
+	}
+}
+
+func TestRTPStatsPopulated(t *testing.T) {
+	_, _, rec := runGPU(testApp(), 30, 60000)
+	if len(rec.rtps) == 0 {
+		t.Fatalf("no RTPs observed")
+	}
+	for _, r := range rec.rtps {
+		if r.Cycles == 0 || r.Tiles != 16 || r.Updates == 0 {
+			t.Fatalf("bad RTP info: %+v", r)
+		}
+	}
+	// At least some RTPs must reach the LLC.
+	llc := uint64(0)
+	for _, r := range rec.rtps {
+		llc += r.LLCAccesses
+	}
+	if llc == 0 {
+		t.Fatalf("no LLC accesses recorded")
+	}
+}
+
+func TestSlowerMemorySlowsFrames(t *testing.T) {
+	fastApp, slowApp := testApp(), testApp()
+	fast, _, _ := runGPU(fastApp, 20, 80000)
+	slow, _, _ := runGPU(slowApp, 400, 80000)
+	if fast.FramesDone <= slow.FramesDone {
+		t.Fatalf("frames fast=%d slow=%d", fast.FramesDone, slow.FramesDone)
+	}
+}
+
+func TestClosedGateStallsGPU(t *testing.T) {
+	app := testApp()
+	g := New(DefaultConfig(64), app)
+	s := newStub(20)
+	s.gpu = g
+	g.Issue = s.issue
+	g.Gate = deniedGate{}
+	for i := 0; i < 20000; i++ {
+		s.tick()
+		g.Tick(s.cycle)
+	}
+	if g.FramesDone != 0 {
+		t.Fatalf("frames completed with a fully closed gate: %d", g.FramesDone)
+	}
+	if g.IssuedLLC != 0 {
+		t.Fatalf("LLC accesses slipped past a closed gate: %d", g.IssuedLLC)
+	}
+}
+
+type deniedGate struct{}
+
+func (deniedGate) Allow(uint64) bool { return false }
+func (deniedGate) OnIssue(uint64)    {}
+
+// rateGate admits one access every n GPU cycles, like the ATU window.
+type rateGate struct {
+	n    uint64
+	next uint64
+}
+
+func (r *rateGate) Allow(c uint64) bool { return c >= r.next }
+func (r *rateGate) OnIssue(c uint64)    { r.next = c + r.n }
+
+func TestRateGateSlowsButDoesNotStop(t *testing.T) {
+	app := testApp()
+	g := New(DefaultConfig(64), app)
+	s := newStub(20)
+	s.gpu = g
+	g.Issue = s.issue
+	g.Gate = &rateGate{n: 8}
+	for i := 0; i < 120000; i++ {
+		s.tick()
+		g.Tick(s.cycle)
+	}
+	if g.FramesDone == 0 {
+		t.Fatalf("no frames with a rate gate")
+	}
+	base, _, _ := runGPU(testApp(), 20, 120000)
+	if g.FramesDone >= base.FramesDone {
+		t.Fatalf("gated GPU (%d frames) not slower than baseline (%d)",
+			g.FramesDone, base.FramesDone)
+	}
+}
+
+func TestColorTrafficProducesWritebacks(t *testing.T) {
+	app := testApp()
+	app.ColorPerTile = 16
+	app.Tiles = 64 // overflow the scaled color cache
+	_, s, _ := runGPU(app, 20, 120000)
+	if s.writes == 0 {
+		t.Fatalf("no GPU write-backs reached the LLC")
+	}
+	if s.byClass[mem.ClassColor] == 0 {
+		t.Fatalf("no color-class traffic: %v", s.byClass)
+	}
+}
+
+func TestTextureHitRateRespondsToFootprint(t *testing.T) {
+	small := testApp()
+	small.TexFootprint = 1 << 10
+	small.TexHotBytes = 1 << 9
+	gs, ss, _ := runGPU(small, 20, 60000)
+	big := testApp()
+	big.TexFootprint = 1 << 22
+	big.TexHotBytes = 1 << 21
+	big.TexHotFrac = 0.1
+	gb, sb, _ := runGPU(big, 20, 60000)
+	smallPerFrame := float64(ss.byClass[mem.ClassTexture]) / float64(gs.FramesDone+1)
+	bigPerFrame := float64(sb.byClass[mem.ClassTexture]) / float64(gb.FramesDone+1)
+	if bigPerFrame <= smallPerFrame {
+		t.Fatalf("texture traffic small=%.1f big=%.1f per frame", smallPerFrame, bigPerFrame)
+	}
+}
+
+func TestDeterministicFrames(t *testing.T) {
+	a, _, _ := runGPU(testApp(), 35, 50000)
+	b, _, _ := runGPU(testApp(), 35, 50000)
+	if a.FramesDone != b.FramesDone {
+		t.Fatalf("non-deterministic frames: %d vs %d", a.FramesDone, b.FramesDone)
+	}
+	for i := range a.FrameCycles {
+		if a.FrameCycles[i] != b.FrameCycles[i] {
+			t.Fatalf("frame %d cycles differ", i)
+		}
+	}
+}
+
+func TestWorkJitterVariesFrames(t *testing.T) {
+	app := testApp()
+	app.WorkJitter = 0.3
+	g, _, _ := runGPU(app, 20, 120000)
+	if g.FramesDone < 4 {
+		t.Skipf("not enough frames (%d)", g.FramesDone)
+	}
+	allSame := true
+	for i := 1; i < len(g.FrameCycles); i++ {
+		if g.FrameCycles[i] != g.FrameCycles[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatalf("30%% jitter produced identical frame times")
+	}
+}
+
+func TestSceneChangeShiftsWork(t *testing.T) {
+	app := testApp()
+	app.SceneChangeEvery = 2
+	app.SceneChangeMag = 0.5
+	g, _, _ := runGPU(app, 20, 150000)
+	if g.FramesDone < 5 {
+		t.Skipf("not enough frames (%d)", g.FramesDone)
+	}
+	// Some pair of frames should differ noticeably.
+	var min, max uint64 = ^uint64(0), 0
+	for _, c := range g.FrameCycles {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max-min) < 0.1*float64(max) {
+		t.Fatalf("scene changes did not vary frame work: min=%d max=%d", min, max)
+	}
+}
+
+func TestOnFillUnknownLineHarmless(t *testing.T) {
+	g := New(DefaultConfig(64), testApp())
+	r := &mem.Request{Addr: 0x123400, Src: mem.SourceGPU, Class: mem.ClassTexture}
+	r.Complete(1)
+	g.OnFill(r) // no pendingRead entry: must not panic
+	if g.Caches()["texL2"].Probe(0x123400) == nil {
+		t.Fatalf("fallback class routing failed")
+	}
+}
+
+func TestOutstandingLLCTracksMSHR(t *testing.T) {
+	app := testApp()
+	g := New(DefaultConfig(64), app)
+	issued := []*mem.Request{}
+	g.Issue = func(r *mem.Request) bool {
+		if !r.Write {
+			issued = append(issued, r)
+		}
+		return true
+	}
+	for i := 0; i < 200 && g.OutstandingLLC() == 0; i++ {
+		g.Tick(uint64(i))
+	}
+	if g.OutstandingLLC() == 0 {
+		t.Fatalf("no outstanding misses after 200 cycles")
+	}
+	// Drain the memory-interface buffer so every allocated MSHR entry
+	// has a matching issued request, then complete them all.
+	for i := 200; i < 1000 && len(issued) < g.OutstandingLLC(); i++ {
+		g.Tick(uint64(i))
+	}
+	for _, r := range issued {
+		r.Complete(1000)
+		g.OnFill(r)
+	}
+	if g.OutstandingLLC() != 0 {
+		t.Fatalf("outstanding misses leaked: %d", g.OutstandingLLC())
+	}
+}

@@ -1,0 +1,76 @@
+package gpu
+
+import "testing"
+
+// fixedShader throttles texture issue to a fixed fraction.
+type fixedShader struct{ scale float64 }
+
+func (f fixedShader) TextureIssueScale() float64 { return f.scale }
+
+// TestShaderThrottleSlowsTextureHeavyApp: with most of the work in
+// texture sampling, cutting shader concurrency must cost frames.
+func TestShaderThrottleSlowsTextureHeavyApp(t *testing.T) {
+	app := testApp()
+	app.TexPerTile = 32
+	app.DepthPerTile = 1
+	app.ColorPerTile = 1
+	app.ShaderCyclesPerRTP = 0
+
+	run := func(scale float64) int {
+		g := New(DefaultConfig(64), app)
+		s := newStub(20)
+		s.gpu = g
+		g.Issue = s.issue
+		if scale < 1 {
+			g.Shader = fixedShader{scale}
+		}
+		for i := 0; i < 100000; i++ {
+			s.tick()
+			g.Tick(s.cycle)
+		}
+		return g.FramesDone
+	}
+	full, throttled := run(1.0), run(0.05)
+	if full == 0 {
+		t.Fatalf("no frames at full concurrency")
+	}
+	if throttled >= full {
+		t.Fatalf("texture-heavy app unaffected by shader throttle: %d vs %d", throttled, full)
+	}
+}
+
+// TestShaderThrottleBarelyTouchesROPBoundApp reproduces the paper's
+// §IV argument: a workload dominated by fixed-function depth/color
+// traffic does not slow down when shader concurrency drops, because
+// the ROP does not run on shader cores.
+func TestShaderThrottleBarelyTouchesROPBoundApp(t *testing.T) {
+	app := testApp()
+	app.TexPerTile = 1
+	app.DepthPerTile = 24
+	app.ColorPerTile = 24
+	app.ShaderCyclesPerRTP = 0
+
+	run := func(scale float64) int {
+		g := New(DefaultConfig(64), app)
+		s := newStub(20)
+		s.gpu = g
+		g.Issue = s.issue
+		if scale < 1 {
+			g.Shader = fixedShader{scale}
+		}
+		for i := 0; i < 100000; i++ {
+			s.tick()
+			g.Tick(s.cycle)
+		}
+		return g.FramesDone
+	}
+	full, throttled := run(1.0), run(0.1)
+	if full == 0 {
+		t.Fatalf("no frames at full concurrency")
+	}
+	// ROP-bound: the slowdown must be small relative to the texture-
+	// heavy case (<25%).
+	if float64(throttled) < 0.75*float64(full) {
+		t.Fatalf("ROP-bound app slowed too much by shader throttle: %d vs %d", throttled, full)
+	}
+}

@@ -1,0 +1,307 @@
+// Package llc implements the shared last-level cache of the
+// heterogeneous CMP (Table I): 16 MB, 16-way, 64 B blocks, 10-cycle
+// lookup, two-bit SRRIP insertion/replacement, inclusive for CPU
+// blocks (evictions back-invalidate the owning core's private
+// hierarchy) and non-inclusive for GPU blocks.
+//
+// The LLC is where the paper's two key dynamics play out:
+//
+//   - throttling the GPU access rate ages GPU blocks faster under
+//     SRRIP (CPU insertions keep advancing RRPVs while GPU lines stop
+//     being re-referenced), shifting capacity to the CPUs; and
+//   - a bypass policy hook lets GPU read-miss fills skip allocation
+//     (HeLM and the Fig. 3 forced-bypass study), trading GPU LLC
+//     reuse for CPU capacity at the cost of extra DRAM traffic.
+package llc
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// BypassPolicy decides whether a GPU read miss should fill the LLC.
+// It is consulted once per miss, at request time.
+type BypassPolicy interface {
+	ShouldBypass(r *mem.Request) bool
+}
+
+// Config describes the LLC.
+type Config struct {
+	Cache   cache.Config
+	Lookup  uint64 // tag + data access latency in CPU cycles
+	MSHRs   int    // outstanding DRAM-bound misses
+	Ports   int    // requests started per CPU cycle
+	RetryQ  int    // parked requests awaiting DRAM queue space
+	InQueue int    // request input queue capacity (ring back-pressures beyond it)
+}
+
+// DefaultConfig returns the Table I LLC scaled by scale (>=1).
+func DefaultConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Cache: cache.Config{
+			Name: "LLC", SizeBytes: 16 * 1024 * 1024 / scale, Ways: 16, Policy: cache.SRRIP,
+		},
+		Lookup:  10,
+		MSHRs:   128,
+		Ports:   2,
+		RetryQ:  128,
+		InQueue: 64,
+	}
+}
+
+// pendingResp is a hit response waiting out the lookup latency.
+type pendingResp struct {
+	r  *mem.Request
+	at uint64
+}
+
+// LLC is the shared last-level cache.
+type LLC struct {
+	cfg  Config
+	tags *cache.Cache
+	mshr *cache.MSHR
+
+	inQ     []*mem.Request
+	hits    []pendingResp
+	waiting map[uint64][]*mem.Request // line -> requests riding one DRAM miss
+	retryQ  []*mem.Request            // DRAM-bound requests the controller rejected
+	wbQ     []*mem.Request            // dirty-victim write-backs toward DRAM
+
+	cycle uint64
+
+	// ToDRAM enqueues a request at the memory controllers; false
+	// means the channel queue is full and the LLC retries.
+	ToDRAM func(r *mem.Request) bool
+	// Respond returns a completed read toward its requester (the
+	// system builder routes it over the ring).
+	Respond func(r *mem.Request)
+	// BackInvalidate tells a CPU core to drop a line (inclusive LLC).
+	BackInvalidate func(core mem.Source, lineAddr uint64)
+	// Bypass is the GPU read-fill bypass policy (nil = always fill).
+	Bypass BypassPolicy
+
+	// Stats, split by requester type.
+	AccessesBySrc [mem.NumSources]uint64
+	MissesBySrc   [mem.NumSources]uint64
+	BackInvals    uint64
+	Bypassed      uint64
+	WriteFills    uint64
+}
+
+// New builds the LLC.
+func New(cfg Config) *LLC {
+	return &LLC{
+		cfg:     cfg,
+		tags:    cache.New(cfg.Cache),
+		mshr:    cache.NewMSHR(cfg.MSHRs),
+		waiting: make(map[uint64][]*mem.Request),
+	}
+}
+
+// Tags exposes the tag array (stats, occupancy inspection).
+func (l *LLC) Tags() *cache.Cache { return l.tags }
+
+// CanAccept reports whether the input queue has room; the ring
+// holds messages when it does not.
+func (l *LLC) CanAccept() bool { return len(l.inQ) < l.cfg.InQueue }
+
+// Enqueue admits a request from the interconnect.
+func (l *LLC) Enqueue(r *mem.Request) bool {
+	if !l.CanAccept() {
+		return false
+	}
+	l.inQ = append(l.inQ, r)
+	return true
+}
+
+// Tick advances the LLC one CPU cycle.
+func (l *LLC) Tick() {
+	l.cycle++
+
+	// Deliver hit responses that are due.
+	for i := 0; i < len(l.hits); {
+		if l.hits[i].at <= l.cycle {
+			r := l.hits[i].r
+			r.ServedBy = mem.ServedLLC
+			r.Complete(l.cycle)
+			if l.Respond != nil {
+				l.Respond(r)
+			}
+			l.hits[i] = l.hits[len(l.hits)-1]
+			l.hits = l.hits[:len(l.hits)-1]
+		} else {
+			i++
+		}
+	}
+
+	// Retry write-backs and parked misses toward DRAM.
+	for len(l.wbQ) > 0 && l.ToDRAM != nil && l.ToDRAM(l.wbQ[0]) {
+		l.wbQ = l.wbQ[1:]
+	}
+	for len(l.retryQ) > 0 && l.ToDRAM != nil && l.ToDRAM(l.retryQ[0]) {
+		l.retryQ = l.retryQ[1:]
+	}
+
+	// Start new lookups. A request blocked on a structural hazard
+	// (MSHR or retry space) must not head-of-line-block the queue —
+	// the LLC's banked MSHRs admit younger requests past it.
+	served := 0
+	for i := 0; i < len(l.inQ) && served < l.cfg.Ports; {
+		if l.lookup(l.inQ[i]) {
+			l.inQ = append(l.inQ[:i], l.inQ[i+1:]...)
+			served++
+		} else {
+			i++
+		}
+	}
+}
+
+// lookup performs one tag access; false means the request could not
+// be handled this cycle (no counters move on that path, so retries
+// are not double-counted).
+func (l *LLC) lookup(r *mem.Request) bool {
+	line := r.LineAddr()
+
+	if r.Write {
+		// Write-backs and GPU color/depth flushes allocate (paper
+		// footnote 6: fully dirty lines are flushed to the LLC for
+		// allocation without a DRAM read).
+		if r.Src < mem.NumSources {
+			l.AccessesBySrc[r.Src]++
+		}
+		if !l.tags.Access(line, true) {
+			l.fill(line, true, r.Src, r.Class)
+			l.WriteFills++
+		}
+		return true
+	}
+
+	if l.tags.Access(line, false) {
+		if r.Src < mem.NumSources {
+			l.AccessesBySrc[r.Src]++
+		}
+		l.hits = append(l.hits, pendingResp{r: r, at: l.cycle + l.cfg.Lookup})
+		return true
+	}
+
+	// Read miss.
+	if l.mshr.Pending(line) {
+		if _, ok := l.mshr.Allocate(line); !ok {
+			return false
+		}
+		l.countMiss(r)
+		l.waiting[line] = append(l.waiting[line], r)
+		return true
+	}
+	if l.mshr.Full() || len(l.retryQ) >= l.cfg.RetryQ {
+		return false
+	}
+	if l.Bypass != nil && r.Src == mem.SourceGPU && l.Bypass.ShouldBypass(r) {
+		r.Bypass = true
+		l.Bypassed++
+	}
+	l.countMiss(r)
+	l.mshr.Allocate(line)
+	l.waiting[line] = append(l.waiting[line], r)
+	if l.ToDRAM == nil || !l.ToDRAM(r) {
+		l.retryQ = append(l.retryQ, r)
+	}
+	return true
+}
+
+// countMiss commits access+miss counters for an accepted read miss.
+func (l *LLC) countMiss(r *mem.Request) {
+	if r.Src < mem.NumSources {
+		l.AccessesBySrc[r.Src]++
+		l.MissesBySrc[r.Src]++
+	}
+}
+
+// fill installs a line, handling dirty write-backs and inclusive
+// back-invalidation of CPU victims.
+func (l *LLC) fill(line uint64, dirty bool, owner mem.Source, class mem.Class) {
+	v, ev := l.tags.Fill(line, dirty, owner, class)
+	if !ev {
+		return
+	}
+	vAddr := v.Tag << mem.LineShift
+	if v.Owner.IsCPU() {
+		// Inclusive for CPU blocks: the private hierarchy must drop
+		// its copy (the core pushes its dirty data back if any).
+		l.BackInvals++
+		if l.BackInvalidate != nil {
+			l.BackInvalidate(v.Owner, vAddr)
+		}
+	}
+	if v.Dirty {
+		l.wbQ = append(l.wbQ, &mem.Request{
+			Addr:  vAddr,
+			Write: true,
+			Src:   v.Owner,
+			Class: v.Class,
+			Born:  l.cycle,
+		})
+	}
+}
+
+// OnDRAMComplete receives finished DRAM transactions: reads fill
+// (unless bypassed) and wake their waiters; writes need no action
+// beyond the controller's accounting.
+func (l *LLC) OnDRAMComplete(r *mem.Request) {
+	if r.Write {
+		return
+	}
+	line := r.LineAddr()
+	if !r.Bypass {
+		l.fill(line, false, r.Src, r.Class)
+	}
+	l.mshr.Release(line)
+	ws := l.waiting[line]
+	delete(l.waiting, line)
+	for _, w := range ws {
+		if !w.Done {
+			w.ServedBy = mem.ServedDRAM
+			w.Complete(l.cycle)
+		}
+		if l.Respond != nil {
+			l.Respond(w)
+		}
+	}
+}
+
+// GPUOccupancy returns the fraction of valid LLC lines owned by the
+// GPU.
+func (l *LLC) GPUOccupancy() float64 {
+	occ := l.tags.OccupancyByOwner()
+	total := 0
+	for _, n := range occ {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(occ[mem.SourceGPU]) / float64(total)
+}
+
+// CPUMisses returns total read misses from all CPU cores.
+func (l *LLC) CPUMisses() uint64 {
+	var n uint64
+	for s := mem.Source(0); s < mem.SourceGPU; s++ {
+		n += l.MissesBySrc[s]
+	}
+	return n
+}
+
+// GPUMisses returns read misses from the GPU.
+func (l *LLC) GPUMisses() uint64 { return l.MissesBySrc[mem.SourceGPU] }
+
+// ResetStats zeroes counters after warm-up.
+func (l *LLC) ResetStats() {
+	l.AccessesBySrc = [mem.NumSources]uint64{}
+	l.MissesBySrc = [mem.NumSources]uint64{}
+	l.BackInvals, l.Bypassed, l.WriteFills = 0, 0, 0
+	l.tags.ResetStats()
+}

@@ -1,0 +1,235 @@
+package llc
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+func smallConfig() Config {
+	return Config{
+		Cache:   cache.Config{Name: "LLC", SizeBytes: 4 * 1024, Ways: 4, Policy: cache.SRRIP},
+		Lookup:  10,
+		MSHRs:   8,
+		Ports:   2,
+		RetryQ:  8,
+		InQueue: 16,
+	}
+}
+
+type harness struct {
+	llc      *LLC
+	dramQ    []*mem.Request
+	resps    []*mem.Request
+	backInvs []uint64
+	reject   bool
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{llc: New(cfg)}
+	h.llc.ToDRAM = func(r *mem.Request) bool {
+		if h.reject {
+			return false
+		}
+		h.dramQ = append(h.dramQ, r)
+		return true
+	}
+	h.llc.Respond = func(r *mem.Request) { h.resps = append(h.resps, r) }
+	h.llc.BackInvalidate = func(_ mem.Source, line uint64) { h.backInvs = append(h.backInvs, line) }
+	return h
+}
+
+// dramServe completes all queued DRAM requests.
+func (h *harness) dramServe() {
+	q := h.dramQ
+	h.dramQ = nil
+	for _, r := range q {
+		r.Complete(0)
+		h.llc.OnDRAMComplete(r)
+	}
+}
+
+func (h *harness) run(n int) {
+	for i := 0; i < n; i++ {
+		h.llc.Tick()
+	}
+}
+
+func read(addr uint64, src mem.Source) *mem.Request {
+	return &mem.Request{Addr: addr, Src: src, Class: mem.ClassCPUData}
+}
+
+func TestMissGoesToDRAMThenHits(t *testing.T) {
+	h := newHarness(smallConfig())
+	r := read(0x1000, mem.SourceCPU0)
+	h.llc.Enqueue(r)
+	h.run(2)
+	if len(h.dramQ) != 1 {
+		t.Fatalf("miss did not reach DRAM: %d", len(h.dramQ))
+	}
+	h.dramServe()
+	if len(h.resps) != 1 || !h.resps[0].Done {
+		t.Fatalf("no response after DRAM completion")
+	}
+	// Second access hits with lookup latency.
+	r2 := read(0x1000, mem.SourceCPU0)
+	h.llc.Enqueue(r2)
+	h.run(1)
+	if len(h.resps) != 1 {
+		t.Fatalf("hit responded before lookup latency")
+	}
+	h.run(11)
+	if len(h.resps) != 2 || h.resps[1].ServedBy != mem.ServedLLC {
+		t.Fatalf("hit response missing: %d", len(h.resps))
+	}
+}
+
+func TestCoalescedMissesOneDRAMRequest(t *testing.T) {
+	h := newHarness(smallConfig())
+	h.llc.Enqueue(read(0x2000, mem.SourceCPU0))
+	h.llc.Enqueue(read(0x2000, mem.SourceCPU1))
+	h.run(3)
+	if len(h.dramQ) != 1 {
+		t.Fatalf("coalesced misses produced %d DRAM requests", len(h.dramQ))
+	}
+	h.dramServe()
+	if len(h.resps) != 2 {
+		t.Fatalf("expected 2 responses, got %d", len(h.resps))
+	}
+}
+
+func TestBypassSkipsAllocation(t *testing.T) {
+	cfg := smallConfig()
+	h := newHarness(cfg)
+	h.llc.Bypass = bypassAll{}
+	g := &mem.Request{Addr: 0x3000, Src: mem.SourceGPU, Class: mem.ClassTexture}
+	h.llc.Enqueue(g)
+	h.run(2)
+	h.dramServe()
+	if len(h.resps) != 1 {
+		t.Fatalf("bypassed read not answered")
+	}
+	if h.llc.Tags().Probe(0x3000) != nil {
+		t.Fatalf("bypassed fill allocated in LLC")
+	}
+	if h.llc.Bypassed != 1 {
+		t.Fatalf("Bypassed counter = %d", h.llc.Bypassed)
+	}
+	// CPU reads are never bypassed even with the policy installed.
+	c := read(0x4000, mem.SourceCPU0)
+	h.llc.Enqueue(c)
+	h.run(2)
+	h.dramServe()
+	if h.llc.Tags().Probe(0x4000) == nil {
+		t.Fatalf("CPU fill was bypassed")
+	}
+}
+
+type bypassAll struct{}
+
+func (bypassAll) ShouldBypass(*mem.Request) bool { return true }
+
+func TestCPUVictimBackInvalidated(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cache = cache.Config{Name: "LLC", SizeBytes: 2 * mem.LineSize, Ways: 2, Policy: cache.SRRIP}
+	h := newHarness(cfg)
+	fill := func(addr uint64, src mem.Source) {
+		r := read(addr, src)
+		r.Class = mem.ClassCPUData
+		if src == mem.SourceGPU {
+			r.Class = mem.ClassTexture
+		}
+		h.llc.Enqueue(r)
+		h.run(2)
+		h.dramServe()
+		h.run(1)
+	}
+	fill(0*mem.LineSize, mem.SourceCPU0)
+	fill(1*mem.LineSize, mem.SourceGPU)
+	fill(2*mem.LineSize, mem.SourceGPU)
+	fill(3*mem.LineSize, mem.SourceGPU)
+	if len(h.backInvs) == 0 {
+		t.Fatalf("CPU line evicted without back-invalidation")
+	}
+	if h.backInvs[0] != 0 {
+		t.Fatalf("back-invalidated %#x, want 0x0", h.backInvs[0])
+	}
+}
+
+func TestGPUWriteAllocatesDirty(t *testing.T) {
+	h := newHarness(smallConfig())
+	w := &mem.Request{Addr: 0x5000, Write: true, Src: mem.SourceGPU, Class: mem.ClassColor}
+	h.llc.Enqueue(w)
+	h.run(1)
+	l := h.llc.Tags().Probe(0x5000)
+	if l == nil || !l.Dirty || l.Owner != mem.SourceGPU {
+		t.Fatalf("GPU write fill wrong: %+v", l)
+	}
+	if len(h.dramQ) != 0 {
+		t.Fatalf("GPU color flush triggered a DRAM access")
+	}
+	if h.llc.WriteFills != 1 {
+		t.Fatalf("WriteFills = %d", h.llc.WriteFills)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cache = cache.Config{Name: "LLC", SizeBytes: mem.LineSize, Ways: 1, Policy: cache.SRRIP}
+	h := newHarness(cfg)
+	h.llc.Enqueue(&mem.Request{Addr: 0, Write: true, Src: mem.SourceGPU, Class: mem.ClassColor})
+	h.run(1)
+	h.llc.Enqueue(&mem.Request{Addr: 4096, Write: true, Src: mem.SourceGPU, Class: mem.ClassColor})
+	h.run(2)
+	found := false
+	for _, r := range h.dramQ {
+		if r.Write && r.Addr == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dirty victim not written back: %d DRAM reqs", len(h.dramQ))
+	}
+}
+
+func TestRetryWhenDRAMRejects(t *testing.T) {
+	h := newHarness(smallConfig())
+	h.reject = true
+	h.llc.Enqueue(read(0x6000, mem.SourceCPU2))
+	h.run(3)
+	if len(h.dramQ) != 0 {
+		t.Fatalf("request reached rejecting DRAM")
+	}
+	h.reject = false
+	h.run(2)
+	if len(h.dramQ) != 1 {
+		t.Fatalf("parked request not retried")
+	}
+}
+
+func TestInputQueueBackPressure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.InQueue = 2
+	h := newHarness(cfg)
+	if !h.llc.Enqueue(read(0, mem.SourceCPU0)) || !h.llc.Enqueue(read(64, mem.SourceCPU0)) {
+		t.Fatalf("queue rejected before capacity")
+	}
+	if h.llc.Enqueue(read(128, mem.SourceCPU0)) {
+		t.Fatalf("queue accepted past capacity")
+	}
+}
+
+func TestPerSourceStats(t *testing.T) {
+	h := newHarness(smallConfig())
+	h.llc.Enqueue(read(0x100, mem.SourceCPU0))
+	h.llc.Enqueue(&mem.Request{Addr: 0x9000, Src: mem.SourceGPU, Class: mem.ClassTexture})
+	h.run(2)
+	h.dramServe()
+	if h.llc.AccessesBySrc[mem.SourceCPU0] != 1 || h.llc.AccessesBySrc[mem.SourceGPU] != 1 {
+		t.Fatalf("access stats: %v", h.llc.AccessesBySrc)
+	}
+	if h.llc.CPUMisses() != 1 || h.llc.GPUMisses() != 1 {
+		t.Fatalf("miss stats cpu=%d gpu=%d", h.llc.CPUMisses(), h.llc.GPUMisses())
+	}
+}

@@ -1,0 +1,68 @@
+package llc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestOnDRAMCompleteUnknownLine: a completion for a line with no
+// waiters (e.g. after a mid-run reset) must not panic or corrupt
+// state.
+func TestOnDRAMCompleteUnknownLine(t *testing.T) {
+	h := newHarness(smallConfig())
+	r := &mem.Request{Addr: 0xDEAD00, Src: mem.SourceCPU0}
+	r.Complete(5)
+	h.llc.OnDRAMComplete(r)
+	if len(h.resps) != 0 {
+		t.Fatalf("phantom response delivered")
+	}
+	// The fill still installs (harmless warm line).
+	if h.llc.Tags().Probe(0xDEAD00) == nil {
+		t.Fatalf("completion did not fill")
+	}
+}
+
+// TestWriteCompletionIgnored: DRAM write completions need no LLC
+// action.
+func TestWriteCompletionIgnored(t *testing.T) {
+	h := newHarness(smallConfig())
+	w := &mem.Request{Addr: 0xBEEF00, Write: true, Src: mem.SourceGPU, Class: mem.ClassColor}
+	w.Complete(9)
+	h.llc.OnDRAMComplete(w)
+	if h.llc.Tags().Probe(0xBEEF00) != nil {
+		t.Fatalf("write completion allocated a line")
+	}
+}
+
+// TestHiZClassFlowsThrough: the hierarchical-depth class behaves like
+// any other GPU read at the LLC.
+func TestHiZClassFlowsThrough(t *testing.T) {
+	h := newHarness(smallConfig())
+	r := &mem.Request{Addr: mem.HiZBase, Src: mem.SourceGPU, Class: mem.ClassHiZ}
+	h.llc.Enqueue(r)
+	h.run(2)
+	if len(h.dramQ) != 1 {
+		t.Fatalf("hi-Z miss did not reach DRAM")
+	}
+	h.dramServe()
+	if len(h.resps) != 1 || h.llc.Tags().Probe(mem.HiZBase) == nil {
+		t.Fatalf("hi-Z fill broken")
+	}
+}
+
+// TestPrefetchRequestTreatedAsRead: CPU prefetches allocate and
+// respond like demand reads at the LLC level.
+func TestPrefetchRequestTreatedAsRead(t *testing.T) {
+	h := newHarness(smallConfig())
+	r := &mem.Request{Addr: 0x1000, Src: mem.SourceCPU0, Prefetch: true}
+	h.llc.Enqueue(r)
+	h.run(2)
+	h.dramServe()
+	if len(h.resps) != 1 || !h.resps[0].Prefetch {
+		t.Fatalf("prefetch lost its flag through the LLC")
+	}
+	if h.llc.Tags().Probe(0x1000) == nil {
+		t.Fatalf("prefetch fill skipped")
+	}
+}

@@ -1,0 +1,170 @@
+// Package mem defines the memory request/response types, request
+// sources and classes, and the physical address map shared by every
+// component of the heterogeneous CMP model: CPU cores, the GPU, the
+// shared LLC, the ring interconnect, and the DRAM controllers.
+//
+// A Request is created by a core or by the GPU memory interface,
+// travels down the hierarchy, and is marked Done (with a completion
+// cycle) when its data would have returned to the requester. Requests
+// are single-owner mutable objects; the simulator is single-threaded
+// per system instance, so no locking is needed.
+package mem
+
+import "fmt"
+
+// LineSize is the cache line size in bytes used throughout the model
+// (Table I of the paper: 64 B blocks everywhere).
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// Source identifies the agent that issued a request.
+type Source uint8
+
+// Well-known sources. CPU cores are Source(0) .. Source(NumCPUs-1);
+// the GPU is SourceGPU. Keeping CPUs at small integer values lets
+// per-source stat arrays be indexed directly.
+const (
+	SourceCPU0 Source = iota
+	SourceCPU1
+	SourceCPU2
+	SourceCPU3
+	SourceGPU
+	NumSources
+)
+
+// IsCPU reports whether the source is one of the CPU cores.
+func (s Source) IsCPU() bool { return s < SourceGPU }
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s.IsCPU() {
+		return fmt.Sprintf("CPU%d", int(s))
+	}
+	if s == SourceGPU {
+		return "GPU"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Class describes what kind of data a request touches. The LLC
+// management policies (HeLM, forced bypass) and the GPU cache
+// hierarchy dispatch on it.
+type Class uint8
+
+// Request classes.
+const (
+	ClassCPUData Class = iota
+	ClassTexture
+	ClassDepth
+	ClassColor
+	ClassVertex
+	ClassShader
+	ClassHiZ
+	NumClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCPUData:
+		return "cpu"
+	case ClassTexture:
+		return "tex"
+	case ClassDepth:
+		return "depth"
+	case ClassColor:
+		return "color"
+	case ClassVertex:
+		return "vertex"
+	case ClassShader:
+		return "shader"
+	case ClassHiZ:
+		return "hiz"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// IsGPU reports whether the class belongs to the GPU's rendering
+// pipeline.
+func (c Class) IsGPU() bool { return c != ClassCPUData }
+
+// Request is a memory transaction at cache-line granularity.
+type Request struct {
+	ID    uint64
+	Addr  uint64 // byte address; the line address is Addr &^ (LineSize-1)
+	Write bool   // true for stores / write-backs / ROP color+depth flushes
+	Src   Source
+	Class Class
+
+	// Born is the CPU cycle at which the request entered the shared
+	// part of the memory system (the GPU memory interface or the
+	// core's L2 miss path).
+	Born uint64
+
+	// Done is set, with DoneCycle, when the request's data is back at
+	// the requester.
+	Done      bool
+	DoneCycle uint64
+
+	// Bypass marks a fill that must not allocate in the LLC (HeLM and
+	// the forced-bypass study of Fig. 3 set it on GPU read misses).
+	Bypass bool
+
+	// Prefetch marks a speculative CPU request issued by the L2
+	// streamer; it never blocks the core and fills L2 only.
+	Prefetch bool
+
+	// ServedBy records where the request was satisfied, for stats.
+	ServedBy ServiceLevel
+}
+
+// ServiceLevel records the level of the hierarchy that supplied data.
+type ServiceLevel uint8
+
+// Service levels.
+const (
+	ServedNowhere ServiceLevel = iota
+	ServedLLC
+	ServedDRAM
+)
+
+// LineAddr returns the cache-line-aligned address of the request.
+func (r *Request) LineAddr() uint64 { return r.Addr &^ (LineSize - 1) }
+
+// Complete marks the request done at the given cycle.
+func (r *Request) Complete(cycle uint64) {
+	r.Done = true
+	r.DoneCycle = cycle
+}
+
+// Latency returns the observed round-trip latency in CPU cycles. It
+// panics if the request is not complete, which would always be a
+// simulator bug.
+func (r *Request) Latency() uint64 {
+	if !r.Done {
+		panic("mem: Latency on incomplete request")
+	}
+	return r.DoneCycle - r.Born
+}
+
+// Address map. Each agent gets a private region so that CPU and GPU
+// data never alias; region sizes are generous (16 GiB apart) so that
+// scaled working sets always fit.
+const (
+	// CPUBase is the base of core 0's region; core i uses
+	// CPUBase + i*CPUStride.
+	CPUBase   uint64 = 0x10_0000_0000
+	CPUStride uint64 = 0x4_0000_0000
+
+	// GPU regions.
+	TextureBase uint64 = 0x80_0000_0000
+	VertexBase  uint64 = 0x90_0000_0000
+	DepthBase   uint64 = 0xA0_0000_0000
+	ColorBase   uint64 = 0xB0_0000_0000
+	HiZBase     uint64 = 0xC0_0000_0000
+)
+
+// CPURegion returns the base address of the given core's data region.
+func CPURegion(core int) uint64 { return CPUBase + uint64(core)*CPUStride }

@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceClassification(t *testing.T) {
+	for s := SourceCPU0; s < SourceGPU; s++ {
+		if !s.IsCPU() {
+			t.Fatalf("%v should be CPU", s)
+		}
+	}
+	if SourceGPU.IsCPU() {
+		t.Fatalf("GPU classified as CPU")
+	}
+	if SourceCPU2.String() != "CPU2" || SourceGPU.String() != "GPU" {
+		t.Fatalf("string: %s %s", SourceCPU2, SourceGPU)
+	}
+}
+
+func TestClassProperties(t *testing.T) {
+	if ClassCPUData.IsGPU() {
+		t.Fatalf("CPU data classified as GPU")
+	}
+	for _, c := range []Class{ClassTexture, ClassDepth, ClassColor, ClassVertex, ClassShader} {
+		if !c.IsGPU() {
+			t.Fatalf("%v should be GPU", c)
+		}
+	}
+	if ClassTexture.String() != "tex" {
+		t.Fatalf("class string: %s", ClassTexture)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	r := Request{Addr: 0x1234}
+	if r.LineAddr() != 0x1200 {
+		t.Fatalf("line addr %#x", r.LineAddr())
+	}
+}
+
+func TestCompleteAndLatency(t *testing.T) {
+	r := Request{Born: 100}
+	r.Complete(350)
+	if !r.Done || r.Latency() != 250 {
+		t.Fatalf("latency: %+v", r)
+	}
+}
+
+func TestLatencyPanicsIfIncomplete(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	(&Request{}).Latency()
+}
+
+func TestCPURegionsDisjoint(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			lo1, hi1 := CPURegion(i), CPURegion(i)+CPUStride
+			lo2 := CPURegion(j)
+			if lo2 >= lo1 && lo2 < hi1 {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	// GPU regions sit far above all CPU regions.
+	if TextureBase < CPURegion(3)+CPUStride {
+		t.Fatalf("texture region overlaps CPU space")
+	}
+}
+
+// Property: LineAddr is idempotent and alignment-preserving.
+func TestQuickLineAddr(t *testing.T) {
+	f := func(addr uint64) bool {
+		r := Request{Addr: addr}
+		l := r.LineAddr()
+		return l%LineSize == 0 && l <= addr && addr-l < LineSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package policy implements the LLC-side baseline management schemes
+// the paper compares against:
+//
+//   - ForcedBypass: every GPU read-miss fill bypasses the LLC — the
+//     motivation study of Fig. 3, which shows that indiscriminate
+//     bypass trades a small LLC-capacity gain for a DRAM-bandwidth
+//     loss (mean CPU speedup ~0.98x).
+//   - HeLM (Mekkat et al., PACT 2013): GPU read misses originating
+//     from shader cores bypass the LLC while the GPU's measured
+//     latency tolerance is above a threshold, opportunistically
+//     shifting LLC capacity to the CPU. The paper finds HeLM's gains
+//     are limited by the extra DRAM traffic of the bypassed fills.
+package policy
+
+import (
+	"repro/internal/mem"
+)
+
+// ForcedBypass bypasses all GPU read-miss fills (paper Fig. 3).
+type ForcedBypass struct{}
+
+// ShouldBypass implements llc.BypassPolicy.
+func (ForcedBypass) ShouldBypass(r *mem.Request) bool {
+	return r.Src == mem.SourceGPU && !r.Write
+}
+
+// HeLM approximates the heterogeneous LLC management policy. The
+// original samples per-warp latency tolerance via thread-level
+// parallelism; this model uses the GPU memory interface's MSHR
+// headroom as the tolerance signal: when the GPU holds few
+// outstanding misses relative to capacity, its shader threads have
+// latency to spare and shader-originated fills (texture, vertex,
+// shader data) bypass the LLC.
+type HeLM struct {
+	// Tolerance returns the current latency-tolerance metric in
+	// [0,1]; 1 = fully tolerant (no outstanding-miss pressure). The
+	// system builder wires it to 1 - MSHR occupancy.
+	Tolerance func() float64
+
+	// Threshold above which shader fills bypass (default 0.5).
+	Threshold float64
+
+	// Stats.
+	Consults uint64
+	Bypasses uint64
+}
+
+// NewHeLM returns a HeLM policy with the default threshold. The
+// threshold is calibrated to the GPU memory interface's MSHR pool:
+// during rendering the pool runs nearly full, so even modest headroom
+// indicates threads with latency to spare.
+func NewHeLM(tolerance func() float64) *HeLM {
+	return &HeLM{Tolerance: tolerance, Threshold: 0.25}
+}
+
+// ShouldBypass implements llc.BypassPolicy: only shader-originated
+// read classes are candidates (the ROP's depth/color traffic does not
+// pass through the shader cores).
+func (h *HeLM) ShouldBypass(r *mem.Request) bool {
+	if r.Src != mem.SourceGPU || r.Write {
+		return false
+	}
+	switch r.Class {
+	case mem.ClassTexture, mem.ClassVertex, mem.ClassShader:
+	default:
+		return false
+	}
+	h.Consults++
+	if h.Tolerance == nil {
+		return false
+	}
+	if h.Tolerance() >= h.Threshold {
+		h.Bypasses++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func req(src mem.Source, class mem.Class, write bool) *mem.Request {
+	return &mem.Request{Src: src, Class: class, Write: write}
+}
+
+func TestForcedBypassGPUReadsOnly(t *testing.T) {
+	var p ForcedBypass
+	if !p.ShouldBypass(req(mem.SourceGPU, mem.ClassTexture, false)) {
+		t.Fatalf("GPU read not bypassed")
+	}
+	if !p.ShouldBypass(req(mem.SourceGPU, mem.ClassDepth, false)) {
+		t.Fatalf("GPU depth read not bypassed")
+	}
+	if p.ShouldBypass(req(mem.SourceGPU, mem.ClassColor, true)) {
+		t.Fatalf("GPU write bypassed")
+	}
+	if p.ShouldBypass(req(mem.SourceCPU0, mem.ClassCPUData, false)) {
+		t.Fatalf("CPU read bypassed")
+	}
+}
+
+func TestHeLMTolerantBypassesShaderClasses(t *testing.T) {
+	h := NewHeLM(func() float64 { return 0.9 })
+	if !h.ShouldBypass(req(mem.SourceGPU, mem.ClassTexture, false)) {
+		t.Fatalf("tolerant texture read not bypassed")
+	}
+	if !h.ShouldBypass(req(mem.SourceGPU, mem.ClassVertex, false)) {
+		t.Fatalf("tolerant vertex read not bypassed")
+	}
+	// ROP traffic never bypasses: it does not come from shader cores.
+	if h.ShouldBypass(req(mem.SourceGPU, mem.ClassDepth, false)) {
+		t.Fatalf("depth read bypassed")
+	}
+	if h.ShouldBypass(req(mem.SourceGPU, mem.ClassColor, true)) {
+		t.Fatalf("color write bypassed")
+	}
+	if h.Bypasses != 2 || h.Consults != 2 {
+		t.Fatalf("stats: %d/%d", h.Bypasses, h.Consults)
+	}
+}
+
+func TestHeLMIntolerantKeepsFills(t *testing.T) {
+	h := NewHeLM(func() float64 { return 0.1 })
+	if h.ShouldBypass(req(mem.SourceGPU, mem.ClassTexture, false)) {
+		t.Fatalf("intolerant GPU bypassed")
+	}
+	if h.Bypasses != 0 {
+		t.Fatalf("bypass count = %d", h.Bypasses)
+	}
+}
+
+func TestHeLMNilToleranceSafe(t *testing.T) {
+	h := &HeLM{Threshold: 0.5}
+	if h.ShouldBypass(req(mem.SourceGPU, mem.ClassTexture, false)) {
+		t.Fatalf("nil tolerance should not bypass")
+	}
+}
+
+func TestHeLMThresholdBoundary(t *testing.T) {
+	h := NewHeLM(func() float64 { return 0.5 })
+	if !h.ShouldBypass(req(mem.SourceGPU, mem.ClassTexture, false)) {
+		t.Fatalf("tolerance == threshold should bypass")
+	}
+}

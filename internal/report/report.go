@@ -1,0 +1,161 @@
+// Package report renders experiment reports (internal/exp.Report) in
+// the formats the cmd/experiments tool offers: plain text, CSV, JSON,
+// and ASCII bar charts that echo the paper's figures in a terminal.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// Format selects an output renderer.
+type Format string
+
+// Supported formats.
+const (
+	FormatText  Format = "text"
+	FormatCSV   Format = "csv"
+	FormatJSON  Format = "json"
+	FormatChart Format = "chart"
+)
+
+// ParseFormat validates a format string.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, FormatCSV, FormatJSON, FormatChart:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (text, csv, json, chart)", s)
+}
+
+// Write renders rep to w in the given format.
+func Write(w io.Writer, rep exp.Report, f Format) error {
+	switch f {
+	case FormatText:
+		_, err := io.WriteString(w, rep.String())
+		return err
+	case FormatCSV:
+		return writeCSV(w, rep)
+	case FormatJSON:
+		return writeJSON(w, rep)
+	case FormatChart:
+		return writeChart(w, rep)
+	}
+	return fmt.Errorf("report: unknown format %q", f)
+}
+
+// writeCSV emits a header row (label + union of cell names in first-
+// appearance order) and one row per result.
+func writeCSV(w io.Writer, rep exp.Report) error {
+	cols := columnOrder(rep)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"label"}, cols...)); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		rec := []string{r.Label}
+		for _, c := range cols {
+			rec = append(rec, fmt.Sprintf("%g", r.Get(c)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the JSON wire shape.
+type jsonReport struct {
+	ID      string           `json:"id"`
+	Title   string           `json:"title"`
+	Summary string           `json:"summary,omitempty"`
+	Rows    []map[string]any `json:"rows"`
+}
+
+func writeJSON(w io.Writer, rep exp.Report) error {
+	out := jsonReport{ID: rep.ID, Title: rep.Title, Summary: rep.Summary}
+	for _, r := range rep.Rows {
+		row := map[string]any{"label": r.Label}
+		for _, c := range r.Cells {
+			row[c.Name] = c.Value
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeChart draws one horizontal ASCII bar group per row: every cell
+// becomes a bar scaled to the report-wide maximum of its column, so
+// figures like Fig. 9's grouped bars read directly in a terminal.
+func writeChart(w io.Writer, rep exp.Report) error {
+	const width = 42
+	cols := columnOrder(rep)
+	maxv := map[string]float64{}
+	for _, r := range rep.Rows {
+		for _, c := range cols {
+			if v := r.Get(c); v > maxv[c] {
+				maxv[c] = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", rep.ID, rep.Title); err != nil {
+		return err
+	}
+	nameW := 6
+	for _, c := range cols {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	for _, r := range rep.Rows {
+		if _, err := fmt.Fprintf(w, "%s\n", r.Label); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			v := r.Get(c)
+			n := 0
+			if maxv[c] > 0 {
+				n = int(v / maxv[c] * width)
+			}
+			if n > width {
+				n = width
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s %8.3f |%s\n",
+				nameW, c, v, strings.Repeat("#", n)); err != nil {
+				return err
+			}
+		}
+	}
+	if rep.Summary != "" {
+		if _, err := fmt.Fprintf(w, "-- %s\n", rep.Summary); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// columnOrder returns cell names in first-appearance order across
+// rows (stable, deterministic).
+func columnOrder(rep exp.Report) []string {
+	seen := map[string]int{}
+	var cols []string
+	for _, r := range rep.Rows {
+		for _, c := range r.Cells {
+			if _, ok := seen[c.Name]; !ok {
+				seen[c.Name] = len(cols)
+				cols = append(cols, c.Name)
+			}
+		}
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return seen[cols[i]] < seen[cols[j]] })
+	return cols
+}

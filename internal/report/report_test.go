@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func sample() exp.Report {
+	return exp.Report{
+		ID:    "fig9",
+		Title: "throttling",
+		Rows: []exp.Row{
+			{Label: "M7", Cells: []exp.Cell{{Name: "fpsBase", Value: 55.5}, {Name: "cpuPri", Value: 1.5}}},
+			{Label: "M13", Cells: []exp.Cell{{Name: "fpsBase", Value: 80}, {Name: "cpuPri", Value: 2}}},
+		},
+		Summary: "done",
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range []string{"text", "csv", "json", "chart"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatalf("xml accepted")
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := Write(&b, sample(), FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fpsBase=55.500") {
+		t.Fatalf("text output: %q", b.String())
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := Write(&b, sample(), FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 3 CSV records, got %d", len(recs))
+	}
+	if recs[0][0] != "label" || recs[0][1] != "fpsBase" || recs[0][2] != "cpuPri" {
+		t.Fatalf("header: %v", recs[0])
+	}
+	if recs[1][0] != "M7" || recs[1][1] != "55.5" {
+		t.Fatalf("row: %v", recs[1])
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := Write(&b, sample(), FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		ID   string           `json:"id"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "fig9" || len(out.Rows) != 2 {
+		t.Fatalf("json: %+v", out)
+	}
+	if out.Rows[1]["fpsBase"].(float64) != 80 {
+		t.Fatalf("json cell: %v", out.Rows[1])
+	}
+}
+
+func TestChartFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := Write(&b, sample(), FormatChart); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no bars drawn: %q", s)
+	}
+	// The larger value draws the longer bar.
+	lines := strings.Split(s, "\n")
+	var m7, m13 int
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "M7") {
+			m7 = strings.Count(lines[i+1], "#")
+		}
+		if strings.HasPrefix(ln, "M13") {
+			m13 = strings.Count(lines[i+1], "#")
+		}
+	}
+	if m13 <= m7 {
+		t.Fatalf("bar lengths not proportional: M7=%d M13=%d", m7, m13)
+	}
+}
+
+func TestChartEmptyReport(t *testing.T) {
+	var b bytes.Buffer
+	if err := Write(&b, exp.Report{ID: "x", Title: "t"}, FormatChart); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnOrderFirstAppearance(t *testing.T) {
+	rep := exp.Report{Rows: []exp.Row{
+		{Label: "a", Cells: []exp.Cell{{Name: "z", Value: 1}}},
+		{Label: "b", Cells: []exp.Cell{{Name: "a", Value: 2}, {Name: "z", Value: 3}}},
+	}}
+	cols := columnOrder(rep)
+	if len(cols) != 2 || cols[0] != "z" || cols[1] != "a" {
+		t.Fatalf("cols: %v", cols)
+	}
+}

@@ -1,0 +1,196 @@
+// Package ring models the bidirectional ring interconnect of the
+// heterogeneous CMP (Table I: bi-directional ring, single-cycle hop).
+//
+// The ring is slotted: each direction has one slot per node, and all
+// slots advance one hop per cycle. A node injects a message into a
+// passing empty slot of the direction with the shorter path to the
+// destination (falling back to the other direction when its slot is
+// free and the preferred one is not, to avoid pathological blocking).
+// Messages are removed when the slot passes their destination.
+//
+// Agents (CPU L2s, the GPU memory interface, the LLC, the two memory
+// controllers) attach to nodes and exchange ring.Msg values; delivery
+// happens through a per-node output queue drained by the owner.
+package ring
+
+import "fmt"
+
+// NodeID identifies a ring stop.
+type NodeID int
+
+// Msg is one transfer on the ring. Payload is owned by the endpoints;
+// the ring only moves it.
+type Msg struct {
+	From, To NodeID
+	Payload  any
+	// injected records the cycle of injection, for latency stats.
+	injected uint64
+}
+
+type slot struct {
+	valid bool
+	msg   Msg
+}
+
+// Ring is a bidirectional slotted ring. Slot movement is virtual:
+// instead of copying the slot arrays every cycle, a rotation offset
+// maps node positions onto the fixed arrays (slot j sits at node
+// (j+t) mod n clockwise after t ticks), keeping Tick O(occupied).
+type Ring struct {
+	n     int
+	shift int    // ticks elapsed mod n
+	cw    []slot // clockwise-moving slots (virtual rotation +1/tick)
+	ccw   []slot // counter-clockwise-moving slots (-1/tick)
+
+	inq  [][]Msg // per-node injection queues (unbounded; sources self-limit via MSHRs)
+	outq [][]Msg // per-node delivery queues
+
+	cycle uint64
+
+	// Stats.
+	Injected   uint64
+	Delivered  uint64
+	TotalHops  uint64
+	TotalWait  uint64 // cycles messages spent in injection queues
+	MaxInQueue int
+}
+
+// New creates a ring with n nodes. n must be at least 2.
+func New(n int) *Ring {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: need >=2 nodes, got %d", n))
+	}
+	r := &Ring{
+		n:    n,
+		cw:   make([]slot, n),
+		ccw:  make([]slot, n),
+		inq:  make([][]Msg, n),
+		outq: make([][]Msg, n),
+	}
+	return r
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return r.n }
+
+// Send enqueues a message for injection at msg.From.
+func (r *Ring) Send(msg Msg) {
+	if int(msg.From) < 0 || int(msg.From) >= r.n || int(msg.To) < 0 || int(msg.To) >= r.n {
+		panic(fmt.Sprintf("ring: bad endpoints %d->%d on %d-node ring", msg.From, msg.To, r.n))
+	}
+	if msg.From == msg.To {
+		// Local turnaround: deliver next Tick without consuming a slot.
+		r.outq[msg.To] = append(r.outq[msg.To], msg)
+		r.Delivered++
+		return
+	}
+	msg.injected = r.cycle
+	r.inq[msg.From] = append(r.inq[msg.From], msg)
+	if len(r.inq[msg.From]) > r.MaxInQueue {
+		r.MaxInQueue = len(r.inq[msg.From])
+	}
+}
+
+// Receive drains and returns all messages delivered to node.
+func (r *Ring) Receive(node NodeID) []Msg {
+	q := r.outq[node]
+	r.outq[node] = nil
+	return q
+}
+
+// dist returns hops from a to b in the clockwise direction.
+func (r *Ring) cwDist(a, b NodeID) int {
+	d := int(b) - int(a)
+	if d < 0 {
+		d += r.n
+	}
+	return d
+}
+
+// cwSlot returns the clockwise slot currently at node i.
+func (r *Ring) cwSlot(i int) *slot {
+	j := i - r.shift
+	j %= r.n
+	if j < 0 {
+		j += r.n
+	}
+	return &r.cw[j]
+}
+
+// ccwSlot returns the counter-clockwise slot currently at node i.
+func (r *Ring) ccwSlot(i int) *slot {
+	j := (i + r.shift) % r.n
+	return &r.ccw[j]
+}
+
+// Tick advances all slots one hop (virtually), delivers arrivals,
+// then injects queued messages into freed slots.
+func (r *Ring) Tick() {
+	r.cycle++
+	r.shift++
+	if r.shift >= r.n {
+		r.shift = 0
+	}
+
+	// Deliver.
+	for i := 0; i < r.n; i++ {
+		if s := r.cwSlot(i); s.valid && s.msg.To == NodeID(i) {
+			r.deliver(s.msg)
+			s.valid = false
+		}
+		if s := r.ccwSlot(i); s.valid && s.msg.To == NodeID(i) {
+			r.deliver(s.msg)
+			s.valid = false
+		}
+	}
+
+	// Inject. Preferred direction is the shorter path; if that slot
+	// is occupied but the other direction's slot is free, take it.
+	for i := 0; i < r.n; i++ {
+		for len(r.inq[i]) > 0 {
+			msg := r.inq[i][0]
+			d := r.cwDist(NodeID(i), msg.To)
+			preferCW := d <= r.n-d
+			cs, cc := r.cwSlot(i), r.ccwSlot(i)
+			var s *slot
+			switch {
+			case preferCW && !cs.valid:
+				s = cs
+			case !preferCW && !cc.valid:
+				s = cc
+			case !cs.valid:
+				s = cs
+			case !cc.valid:
+				s = cc
+			}
+			if s == nil {
+				break // both slots busy this cycle; retry next Tick
+			}
+			s.valid = true
+			s.msg = msg
+			r.inq[i] = r.inq[i][1:]
+			r.Injected++
+			r.TotalWait += r.cycle - msg.injected
+		}
+	}
+}
+
+func (r *Ring) deliver(m Msg) {
+	r.outq[m.To] = append(r.outq[m.To], m)
+	r.Delivered++
+	hops := r.cwDist(m.From, m.To)
+	if back := r.n - hops; back < hops {
+		hops = back
+	}
+	r.TotalHops += uint64(hops)
+}
+
+// Quiesced reports whether no message is in flight or queued.
+func (r *Ring) Quiesced() bool {
+	for i := 0; i < r.n; i++ {
+		if r.cw[i].valid || r.ccw[i].valid || len(r.inq[i]) > 0 || len(r.outq[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}

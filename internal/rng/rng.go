@@ -1,0 +1,57 @@
+// Package rng provides a tiny, fast, deterministic pseudo-random
+// number generator (xorshift64*) used by the synthetic workload
+// generators and the probabilistic SMS batch scheduler. Determinism
+// across runs matters: every experiment in the repository must be
+// exactly reproducible, so all randomness flows from fixed seeds.
+package rng
+
+// RNG is an xorshift64* generator. The zero value is not usable; use
+// New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed (0 is mapped to a fixed
+// non-zero constant, since xorshift has an all-zero fixed point).
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

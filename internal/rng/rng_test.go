@@ -1,0 +1,100 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatalf("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %.3f", frac)
+	}
+}
+
+func TestRoughUniformity(t *testing.T) {
+	r := New(99)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, b := range buckets {
+		if b < n/16*8/10 || b > n/16*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform", i, b)
+		}
+	}
+}
+
+// Property: different seeds produce different streams (first 8 draws).
+func TestQuickSeedSeparation(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := New(s1), New(s2)
+		same := 0
+		for i := 0; i < 8; i++ {
+			if a.Uint64() == b.Uint64() {
+				same++
+			}
+		}
+		return same < 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

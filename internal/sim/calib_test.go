@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// calibCfg is the shared probe configuration.
+func calibCfg() Config {
+	cfg := DefaultConfig(32)
+	cfg.WarmupInstr = 300_000
+	cfg.MeasureInstr = 1_000_000
+	cfg.MinFrames = 3
+	cfg.WarmupFrames = 8
+	cfg.MaxCycles = 80_000_000
+	return cfg
+}
+
+// TestCalibFig1 probes the motivation experiment: 1 CPU + 1 GPU vs
+// standalone (paper Fig. 1: both lose ~22% on average). Dev tool.
+func TestCalibFig1(t *testing.T) {
+	if os.Getenv("HETSIM_CALIB") == "" {
+		t.Skip("calibration probe; set HETSIM_CALIB=1 to run")
+	}
+	cfg := calibCfg()
+	cfg.NumCPUs = 1
+	for _, id := range []string{"W7", "W13", "W9", "W6"} {
+		m, _ := workloads.MixByID(id)
+		ga := RunGPUAlone(cfg, m.Game)
+		ipcAlone := RunCPUAlone(cfg, m.SpecIDs[0])
+		r := RunMix(cfg, m)
+		fmt.Printf("%s %-12s+%d: cpuRatio=%.2f gpuRatio=%.2f (aloneFPS=%.1f heteroFPS=%.1f)\n",
+			id, m.Game, m.SpecIDs[0], r.IPC[0]/ipcAlone, r.GPUFPS/ga.GPUFPS, ga.GPUFPS, r.GPUFPS)
+	}
+}
+
+// TestCalibFig9 probes the evaluation: M-mix baseline vs throttled vs
+// throttled+CPUprio (paper Fig. 9: FPS pinned near 40, CPU +11%/+18%).
+func TestCalibFig9(t *testing.T) {
+	if os.Getenv("HETSIM_CALIB") == "" {
+		t.Skip("calibration probe; set HETSIM_CALIB=1 to run")
+	}
+	cfg := calibCfg()
+	for _, id := range []string{"M7", "M13"} {
+		m, _ := workloads.MixByID(id)
+		base := RunMix(cfg, m)
+		cfgT := cfg
+		cfgT.Policy = PolicyThrottle
+		thr := RunMix(cfgT, m)
+		cfgP := cfg
+		cfgP.Policy = PolicyThrottleCPUPrio
+		pri := RunMix(cfgP, m)
+		ws := func(r Result) float64 {
+			s := 0.0
+			for i := range r.IPC {
+				s += r.IPC[i] / base.IPC[i]
+			}
+			return s / float64(len(r.IPC))
+		}
+		fmt.Printf("%s: FPS base=%.1f thr=%.1f pri=%.1f | CPU thr=%.2fx pri=%.2fx | gpuMiss thr=%.2fx bw thr=%.2fx\n",
+			id, base.GPUFPS, thr.GPUFPS, pri.GPUFPS, ws(thr), ws(pri),
+			float64(thr.GPULLCMisses)/float64(base.GPULLCMisses),
+			(float64(thr.GPUBandwidthBytes())/float64(thr.MeasuredCycles))/(float64(base.GPUBandwidthBytes())/float64(base.MeasuredCycles)))
+	}
+}

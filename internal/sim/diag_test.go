@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// TestDiag prints internals for calibration work. Dev tool.
+func TestDiag(t *testing.T) {
+	if os.Getenv("HETSIM_CALIB") == "" {
+		t.Skip("diagnostic probe; set HETSIM_CALIB=1 to run")
+	}
+	cfg := DefaultConfig(32)
+	cfg.WarmupInstr = 300_000
+	cfg.MeasureInstr = 1_000_000
+	cfg.MinFrames = 3
+	cfg.MaxCycles = 80_000_000
+	m, _ := workloads.MixByID("M7")
+
+	game, apps := MixWorkload(cfg, m)
+	s := NewSystem(cfg, game, apps)
+	Run(s)
+	occ := s.LLC.Tags().OccupancyByOwner()
+	fmt.Printf("hetero: rowHit=%.2f occ=%v\n", s.Mem.RowHitRate(), occ)
+	for i, c := range s.Cores {
+		fmt.Printf("  core%d: avgMissLat=%.0f stalls=%d retired=%d llcReq=%d l2miss%%=%.1f\n",
+			i, c.AvgMissLatency(), c.StallCycles, c.Retired(), c.LLCRequests, 100*c.L2().MissRate())
+	}
+	fmt.Printf("  gpu: issued=%d stallIssue=%d\n", s.GPU.IssuedLLC, s.GPU.StallIssue)
+	fmt.Printf("  llc: gpuOcc=%.2f backInv=%d writeFills=%d\n", s.LLC.GPUOccupancy(), s.LLC.BackInvals, s.LLC.WriteFills)
+	fmt.Printf("  dram: busUtil=%.2f avgQWait=%.0f issued=%d\n", s.Mem.BusUtilization(), s.Mem.AvgQueueWait(), s.Mem.IssuedCount)
+
+	alone := cfg
+	alone.MinFrames = 0
+	sa := NewSystem(alone, nil, []trace.Params{workloads.MustSpec(m.SpecIDs[0]).Params})
+	Run(sa)
+	fmt.Printf("alone %d: avgMissLat=%.0f rowHit=%.2f ipc=%.3f llcReq=%d\n",
+		m.SpecIDs[0], sa.Cores[0].AvgMissLatency(), sa.Mem.RowHitRate(), sa.Cores[0].IPC(), sa.Cores[0].LLCRequests)
+}

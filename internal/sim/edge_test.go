@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func TestEmptySystemTerminates(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 0
+	cfg.MinFrames = 0
+	s := NewSystem(cfg, nil, nil)
+	r := Run(s)
+	if r.HitCap {
+		t.Fatalf("empty system hit the cap")
+	}
+	if len(r.IPC) != 0 || r.GPUFrames != 0 {
+		t.Fatalf("empty system produced results: %+v", r)
+	}
+}
+
+func TestFewerAppsThanCores(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 4
+	cfg.MinFrames = 0
+	apps := []trace.Params{workloads.MustSpec(403).Params, workloads.MustSpec(462).Params}
+	s := NewSystem(cfg, nil, apps)
+	r := Run(s)
+	if len(r.IPC) != 2 {
+		t.Fatalf("want 2 cores, got %d", len(r.IPC))
+	}
+}
+
+func TestMoreAppsThanCoresTruncated(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 2
+	apps := []trace.Params{
+		workloads.MustSpec(403).Params, workloads.MustSpec(462).Params,
+		workloads.MustSpec(429).Params,
+	}
+	s := NewSystem(cfg, nil, apps)
+	if len(s.Cores) != 2 {
+		t.Fatalf("system built %d cores for NumCPUs=2", len(s.Cores))
+	}
+}
+
+func TestNumCPUsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for NumCPUs=9")
+		}
+	}()
+	cfg := fastCfg()
+	cfg.NumCPUs = 9
+	NewSystem(cfg, nil, nil)
+}
+
+func TestFrameStatsPopulated(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinFrames = 3
+	r := RunGPUAlone(cfg, "COR")
+	fs := r.FrameStats
+	if fs.Frames < 3 {
+		t.Fatalf("frame stats missing: %+v", fs)
+	}
+	if fs.P50Cycles <= 0 || fs.P99Cycles < fs.P50Cycles {
+		t.Fatalf("bad percentiles: %+v", fs)
+	}
+	if float64(fs.MinCycles) > fs.P50Cycles || float64(fs.MaxCycles) < fs.P99Cycles {
+		t.Fatalf("percentiles outside min/max: %+v", fs)
+	}
+}
+
+func TestPrefetchConfigPlumbing(t *testing.T) {
+	cfg := fastCfg()
+	cfg.CPUPrefetch = true
+	cfg.NumCPUs = 1
+	cfg.MinFrames = 0
+	s := NewSystem(cfg, nil, []trace.Params{workloads.MustSpec(462).Params})
+	if s.Cores[0].Prefetcher() == nil {
+		t.Fatalf("prefetcher not enabled through sim.Config")
+	}
+	Run(s)
+	if s.Cores[0].Prefetcher().Issued == 0 {
+		t.Fatalf("prefetcher idle on a streaming app")
+	}
+}
+
+func TestScaleOneConfigBuilds(t *testing.T) {
+	// The full paper-size machine must at least build and tick (we
+	// don't run a full experiment at scale 1 in tests).
+	cfg := DefaultConfig(1)
+	game, apps := MixWorkload(cfg, workloads.EvalMixes()[0])
+	s := NewSystem(cfg, game, apps)
+	for i := 0; i < 2000; i++ {
+		s.Tick()
+	}
+	if s.Cycle() != 2000 {
+		t.Fatalf("cycle = %d", s.Cycle())
+	}
+}
+
+func TestLLCDRRIPPlumbing(t *testing.T) {
+	cfg := fastCfg()
+	cfg.LLCDRRIP = true
+	cfg.MinFrames = 0
+	cfg.NumCPUs = 1
+	s := NewSystem(cfg, nil, []trace.Params{workloads.MustSpec(429).Params})
+	r := Run(s)
+	if len(r.IPC) != 1 || r.IPC[0] <= 0 {
+		t.Fatalf("DRRIP system made no progress")
+	}
+	// The selector must have been trained by leader-set misses.
+	if s.LLC.Tags().PSEL() == pselDefault() {
+		t.Logf("PSEL untouched (possible but unlikely); misses=%d", s.LLC.CPUMisses())
+	}
+}
+
+// pselDefault mirrors cache's zero-value selector for the plumbing test.
+func pselDefault() int { return 0 }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Result captures one run's measured-window metrics.
+type Result struct {
+	MixID  string
+	Policy Policy
+
+	// MeasuredCycles is the measurement window length in CPU cycles.
+	MeasuredCycles uint64
+
+	// IPC per core over each core's representative instruction
+	// window.
+	IPC []float64
+
+	// GPU metrics (zero when no GPU workload).
+	GPUFPS         float64
+	GPUFrames      int
+	GPUFrameCycles []uint64
+
+	// LLC metrics over the window.
+	CPULLCMisses   uint64
+	GPULLCMisses   uint64
+	CPULLCAccesses uint64
+	GPULLCAccesses uint64
+
+	// DRAM traffic over the window, bytes.
+	CPUReadBytes, CPUWriteBytes uint64
+	GPUReadBytes, GPUWriteBytes uint64
+
+	// FrameStats summarizes the frame-time distribution (tail
+	// latency, jank, frames missing the QoS budget).
+	FrameStats stats.FrameStats
+
+	// FRPU accuracy (throttling and DynPrio policies only).
+	FRPUMeanErrPct    float64
+	FRPUMeanAbsErrPct float64
+	FRPURelearns      int
+
+	// HitCap is set when the run ended on MaxCycles rather than on
+	// its completion conditions.
+	HitCap bool
+}
+
+// GPUBandwidthBytes returns total GPU DRAM traffic.
+func (r Result) GPUBandwidthBytes() uint64 { return r.GPUReadBytes + r.GPUWriteBytes }
+
+// MeanIPC returns the arithmetic mean of per-core IPCs.
+func (r Result) MeanIPC() float64 { return stats.Mean(r.IPC) }
+
+// Run executes the system through warm-up and measurement and
+// returns the results. It is deterministic for a given config and
+// workload.
+func Run(s *System) Result {
+	cfg := s.Cfg
+	res := Result{Policy: cfg.Policy}
+
+	// Phase 1: warm-up. Every core must retire WarmupInstr and the
+	// GPU (if present) must complete one frame, so that the caches,
+	// the row buffers, and the FRPU's learning phase have state.
+	warmCap := cfg.MaxCycles / 4
+	for s.cycle < warmCap && !warmDone(s) {
+		s.Tick()
+	}
+
+	// Snapshot measurement baselines.
+	s.LLC.ResetStats()
+	s.Mem.ResetStats()
+	startCycle := s.cycle
+	coreBase := make([]uint64, len(s.Cores))
+	for i, c := range s.Cores {
+		coreBase[i] = c.Retired()
+	}
+	frameBase := 0
+	if s.GPU != nil {
+		frameBase = len(s.GPU.FrameCycles)
+	}
+	finish := make([]uint64, len(s.Cores))
+
+	// Phase 2: measure until every core has its representative
+	// instructions and the GPU has MinFrames.
+	for s.cycle-startCycle < cfg.MaxCycles {
+		s.Tick()
+		done := true
+		for i, c := range s.Cores {
+			if c.Retired()-coreBase[i] >= cfg.MeasureInstr {
+				if finish[i] == 0 {
+					finish[i] = s.cycle
+				}
+			} else {
+				done = false
+			}
+		}
+		if s.GPU != nil && len(s.GPU.FrameCycles)-frameBase < cfg.MinFrames {
+			done = false
+		}
+		if done {
+			break
+		}
+	}
+	res.MeasuredCycles = s.cycle - startCycle
+	if s.cycle-startCycle >= cfg.MaxCycles {
+		res.HitCap = true
+	}
+
+	// Per-core IPC over each core's own window (early finishers keep
+	// running, as in the paper's methodology).
+	for i, c := range s.Cores {
+		end := finish[i]
+		retired := cfg.MeasureInstr
+		if end == 0 {
+			end = s.cycle
+			retired = c.Retired() - coreBase[i]
+		}
+		den := float64(end - startCycle)
+		if den <= 0 {
+			den = 1
+		}
+		res.IPC = append(res.IPC, float64(retired)/den)
+	}
+
+	// GPU metrics over frames completed inside the window.
+	if s.GPU != nil {
+		fc := s.GPU.FrameCycles[frameBase:]
+		res.GPUFrames = len(fc)
+		res.GPUFrameCycles = append(res.GPUFrameCycles, fc...)
+		var sum uint64
+		for _, c := range fc {
+			sum += c
+		}
+		if len(fc) > 0 {
+			res.GPUFPS = stats.FPS(float64(sum)/float64(len(fc)), cfg.GPUFreqHz, cfg.Scale)
+		}
+		targetCycles := 0.0
+		if cfg.TargetFPS > 0 {
+			targetCycles = cfg.GPUFreqHz / (cfg.TargetFPS * float64(cfg.Scale))
+		}
+		res.FrameStats = stats.AnalyzeFrames(fc, targetCycles)
+	}
+
+	// LLC and DRAM counters (reset at window start).
+	res.GPULLCMisses = s.LLC.GPUMisses()
+	res.CPULLCMisses = s.LLC.CPUMisses()
+	res.GPULLCAccesses = s.LLC.AccessesBySrc[mem.SourceGPU]
+	for i := 0; i < len(s.Cores); i++ {
+		res.CPULLCAccesses += s.LLC.AccessesBySrc[mem.Source(i)]
+	}
+	res.GPUReadBytes, res.GPUWriteBytes = s.Mem.GPUBytes()
+	for i := 0; i < len(s.Cores); i++ {
+		rb, wb := s.Mem.TotalBytes(mem.Source(i))
+		res.CPUReadBytes += rb
+		res.CPUWriteBytes += wb
+	}
+
+	// FRPU accuracy.
+	switch {
+	case s.Ctrl != nil:
+		res.FRPUMeanErrPct = s.Ctrl.FRPU.MeanErrorPct()
+		res.FRPUMeanAbsErrPct = s.Ctrl.FRPU.MeanAbsErrorPct()
+		res.FRPURelearns = s.Ctrl.FRPU.Relearns
+	case s.Dyn != nil:
+		res.FRPUMeanErrPct = s.Dyn.FRPU.MeanErrorPct()
+		res.FRPUMeanAbsErrPct = s.Dyn.FRPU.MeanAbsErrorPct()
+		res.FRPURelearns = s.Dyn.FRPU.Relearns
+	}
+
+	return res
+}
+
+func warmDone(s *System) bool {
+	for i, c := range s.Cores {
+		_ = i
+		if c.Retired() < s.Cfg.WarmupInstr {
+			return false
+		}
+	}
+	want := s.Cfg.WarmupFrames
+	if want < 1 {
+		want = 1
+	}
+	if s.GPU != nil && s.GPU.FramesDone < want {
+		return false
+	}
+	return true
+}
+
+// RunMix builds and runs one heterogeneous mix under cfg.
+func RunMix(cfg Config, m workloads.Mix) Result {
+	game, apps := MixWorkload(cfg, m)
+	s := NewSystem(cfg, game, apps)
+	r := Run(s)
+	r.MixID = m.ID
+	return r
+}
+
+// RunCPUAlone measures one CPU application running alone on the CMP
+// (core 0, GPU idle) and returns its standalone IPC.
+func RunCPUAlone(cfg Config, specID int) float64 {
+	app := workloads.MustSpec(specID)
+	alone := cfg
+	alone.Policy = PolicyBaseline
+	alone.MinFrames = 0
+	s := NewSystem(alone, nil, []trace.Params{app.Params})
+	r := Run(s)
+	if len(r.IPC) == 0 {
+		return 0
+	}
+	return r.IPC[0]
+}
+
+// RunGPUAlone measures a game running alone on the CMP (no CPU
+// applications) and returns the result (standalone FPS etc.).
+func RunGPUAlone(cfg Config, gameName string) Result {
+	game := workloads.MustGame(gameName).Model(cfg.Scale, cfg.GPUFreqHz)
+	alone := cfg
+	alone.Policy = PolicyBaseline
+	s := NewSystem(alone, game, nil)
+	r := Run(s)
+	r.MixID = gameName
+	return r
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// fastCfg returns a configuration small enough for unit tests.
+func fastCfg() Config {
+	cfg := DefaultConfig(128)
+	cfg.WarmupInstr = 100_000
+	cfg.WarmupFrames = 3
+	cfg.MeasureInstr = 250_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 40_000_000
+	return cfg
+}
+
+func TestBaselineMixRunCompletes(t *testing.T) {
+	r := RunMix(fastCfg(), workloads.EvalMixes()[6]) // M7
+	if r.HitCap {
+		t.Fatalf("baseline run hit the cycle cap")
+	}
+	if len(r.IPC) != 4 {
+		t.Fatalf("want 4 IPCs, got %v", r.IPC)
+	}
+	for i, ipc := range r.IPC {
+		if ipc <= 0 {
+			t.Fatalf("core%d IPC = %v", i, ipc)
+		}
+	}
+	if r.GPUFPS <= 0 || r.GPUFrames < 2 {
+		t.Fatalf("GPU made no progress: fps=%v frames=%d", r.GPUFPS, r.GPUFrames)
+	}
+	if r.GPULLCAccesses == 0 || r.CPULLCAccesses == 0 {
+		t.Fatalf("no LLC traffic: %+v", r)
+	}
+	if r.GPUReadBytes == 0 {
+		t.Fatalf("no GPU DRAM traffic")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	m := workloads.EvalMixes()[6]
+	a := RunMix(fastCfg(), m)
+	b := RunMix(fastCfg(), m)
+	if a.GPUFPS != b.GPUFPS || a.MeasuredCycles != b.MeasuredCycles {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.GPUFPS, a.MeasuredCycles, b.GPUFPS, b.MeasuredCycles)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("IPC[%d] differs", i)
+		}
+	}
+}
+
+func TestStandaloneGPUFasterThanHetero(t *testing.T) {
+	cfg := fastCfg()
+	m := workloads.EvalMixes()[6] // DOOM3
+	alone := RunGPUAlone(cfg, m.Game)
+	het := RunMix(cfg, m)
+	if het.GPUFPS > alone.GPUFPS*1.05 {
+		t.Fatalf("hetero GPU (%.1f) faster than standalone (%.1f)", het.GPUFPS, alone.GPUFPS)
+	}
+}
+
+func TestThrottleShiftsPerformanceToCPU(t *testing.T) {
+	cfg := fastCfg()
+	cfg.WarmupFrames = 6
+	m := workloads.EvalMixes()[12] // M13/UT2004, far above target
+	base := RunMix(cfg, m)
+	cfg.Policy = PolicyThrottleCPUPrio
+	pri := RunMix(cfg, m)
+	if base.GPUFPS < 40 {
+		t.Skipf("baseline FPS %.1f below target at this scale; throttle not exercised", base.GPUFPS)
+	}
+	if pri.GPUFPS >= base.GPUFPS {
+		t.Fatalf("throttled GPU not slower: %.1f vs %.1f", pri.GPUFPS, base.GPUFPS)
+	}
+	ws := 0.0
+	for i := range pri.IPC {
+		ws += pri.IPC[i] / base.IPC[i]
+	}
+	ws /= float64(len(pri.IPC))
+	if ws <= 1.0 {
+		t.Fatalf("throttling did not improve CPU mix: ws=%.3f", ws)
+	}
+	// The GPU must not collapse far below the QoS target.
+	if pri.GPUFPS < cfg.TargetFPS*0.6 {
+		t.Fatalf("throttled GPU fell to %.1f FPS (target %.0f)", pri.GPUFPS, cfg.TargetFPS)
+	}
+}
+
+func TestLowFPSMixNotThrottled(t *testing.T) {
+	cfg := fastCfg()
+	m := workloads.EvalMixes()[5] // M6/Crysis, ~7 FPS
+	base := RunMix(cfg, m)
+	cfg.Policy = PolicyThrottleCPUPrio
+	thr := RunMix(cfg, m)
+	if base.GPUFPS > 40 {
+		t.Skipf("Crysis unexpectedly above target (%.1f)", base.GPUFPS)
+	}
+	lo, hi := base.GPUFPS*0.93, base.GPUFPS*1.07
+	if thr.GPUFPS < lo || thr.GPUFPS > hi {
+		t.Fatalf("below-target GPU was perturbed: base %.2f vs throttled %.2f", base.GPUFPS, thr.GPUFPS)
+	}
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	m := workloads.EvalMixes()[6]
+	for _, p := range []Policy{
+		PolicyBaseline, PolicyThrottle, PolicyThrottleCPUPrio,
+		PolicySMS09, PolicySMS0, PolicyDynPrio, PolicyHeLM, PolicyForcedBypass,
+	} {
+		cfg := fastCfg()
+		cfg.Policy = p
+		r := RunMix(cfg, m)
+		if r.HitCap {
+			t.Errorf("%v: hit cycle cap", p)
+		}
+		if r.GPUFrames == 0 {
+			t.Errorf("%v: no frames", p)
+		}
+	}
+}
+
+func TestForcedBypassLeavesNoGPUFills(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyForcedBypass
+	m := workloads.EvalMixes()[6]
+	game, apps := MixWorkload(cfg, m)
+	s := NewSystem(cfg, game, apps)
+	Run(s)
+	if s.LLC.Bypassed == 0 {
+		t.Fatalf("forced bypass never bypassed")
+	}
+	// GPU may still hold write-allocated (color/depth flush) lines,
+	// but read fills should be gone; occupancy must be well below the
+	// baseline's ~60-80%.
+	if occ := s.LLC.GPUOccupancy(); occ > 0.9 {
+		t.Fatalf("GPU occupies %.0f%% of LLC despite read bypass", occ*100)
+	}
+}
+
+func TestHeLMBypassesOnlyShaderClasses(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyHeLM
+	m := workloads.EvalMixes()[6]
+	game, apps := MixWorkload(cfg, m)
+	s := NewSystem(cfg, game, apps)
+	Run(s)
+	if s.HeLM == nil {
+		t.Fatalf("HeLM policy not installed")
+	}
+	if s.HeLM.Consults == 0 {
+		t.Fatalf("HeLM never consulted")
+	}
+}
+
+func TestFRPUAccuracyUnderThrottle(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyThrottle
+	cfg.WarmupFrames = 5
+	m := workloads.EvalMixes()[6]
+	r := RunMix(cfg, m)
+	if r.FRPUMeanAbsErrPct > 15 {
+		t.Fatalf("FRPU |error| = %.1f%%, want near paper's <6%%", r.FRPUMeanAbsErrPct)
+	}
+}
+
+func TestCPUAloneBeatsHetero(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	m := workloads.MotivationMixes()[6] // W7
+	alone := RunCPUAlone(cfg, m.SpecIDs[0])
+	het := RunMix(cfg, m)
+	if len(het.IPC) != 1 {
+		t.Fatalf("want 1 core, got %d", len(het.IPC))
+	}
+	if het.IPC[0] > alone*1.05 {
+		t.Fatalf("hetero CPU (%.3f) faster than standalone (%.3f)", het.IPC[0], alone)
+	}
+}
+
+func TestGPUAloneNoCPUNoCrash(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 0
+	r := RunGPUAlone(cfg, "UT2004")
+	if r.GPUFrames < 2 || len(r.IPC) != 0 {
+		t.Fatalf("bad standalone GPU run: %+v", r)
+	}
+}
+
+func TestCMBALPolicyRunsAndFailsToRegulate(t *testing.T) {
+	// The paper's §IV analysis: shader-core throttling cannot pull
+	// the frame rate down to the QoS target the way the GTT gate can.
+	cfg := fastCfg()
+	m := workloads.EvalMixes()[12] // UT2004, far above target
+	base := RunMix(cfg, m)
+	if base.GPUFPS < 40 {
+		t.Skipf("baseline below target at this scale (%.1f)", base.GPUFPS)
+	}
+	cfg.Policy = PolicyCMBAL
+	game, apps := MixWorkload(cfg, m)
+	s := NewSystem(cfg, game, apps)
+	r := Run(s)
+	if s.CMBAL == nil {
+		t.Fatalf("CM-BAL not installed")
+	}
+	if r.GPUFrames == 0 {
+		t.Fatalf("CM-BAL run made no progress")
+	}
+	cfgT := cfg
+	cfgT.Policy = PolicyThrottleCPUPrio
+	thr := RunMix(cfgT, m)
+	// The GTT gate must get (much) closer to the 40 FPS target than
+	// shader-core throttling does.
+	if !(thr.GPUFPS < r.GPUFPS) {
+		t.Fatalf("GTT throttling (%.1f FPS) did not undercut CM-BAL (%.1f FPS)",
+			thr.GPUFPS, r.GPUFPS)
+	}
+}

@@ -1,0 +1,329 @@
+// Package sim wires the substrates into the simulated heterogeneous
+// CMP of Table I — four (configurable) CPU cores, one GPU, a shared
+// LLC on a bidirectional ring, and two DDR3-2133 memory controllers —
+// and runs heterogeneous and standalone experiments under each of the
+// paper's memory-system management policies.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	qos "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/gpu"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/ring"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Policy selects the memory-system management scheme for a run.
+type Policy int
+
+// Policies evaluated in the paper.
+const (
+	// PolicyBaseline: FR-FCFS DRAM scheduling, no gate, no bypass.
+	PolicyBaseline Policy = iota
+	// PolicyThrottle: the proposal's FRPU+ATU GPU access throttling.
+	PolicyThrottle
+	// PolicyThrottleCPUPrio: throttling plus boosted CPU priority in
+	// the DRAM scheduler while throttled (the full proposal,
+	// "ThrotCPUprio" in Figs. 12–14).
+	PolicyThrottleCPUPrio
+	// PolicySMS09: staged memory scheduler, shortest-batch-first
+	// probability 0.9.
+	PolicySMS09
+	// PolicySMS0: staged memory scheduler, pure round-robin.
+	PolicySMS0
+	// PolicyDynPrio: dynamic priority scheduling (GPU express lane in
+	// the last decile of the frame-time budget).
+	PolicyDynPrio
+	// PolicyHeLM: selective LLC bypass of latency-tolerant GPU shader
+	// fills.
+	PolicyHeLM
+	// PolicyForcedBypass: all GPU read-miss fills bypass the LLC
+	// (the Fig. 3 motivation study).
+	PolicyForcedBypass
+	// PolicyCMBAL: shader-core-centric concurrency throttling (§IV),
+	// reproduced to show why it cannot regulate the frame rate.
+	PolicyCMBAL
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "Baseline"
+	case PolicyThrottle:
+		return "Throttled"
+	case PolicyThrottleCPUPrio:
+		return "ThrotCPUprio"
+	case PolicySMS09:
+		return "SMS-0.9"
+	case PolicySMS0:
+		return "SMS-0"
+	case PolicyDynPrio:
+		return "DynPrio"
+	case PolicyHeLM:
+		return "HeLM"
+	case PolicyForcedBypass:
+		return "ForcedBypass"
+	case PolicyCMBAL:
+		return "CM-BAL"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterizes a simulated system.
+type Config struct {
+	Scale      int     // capacity/work divisor (1 = paper-size)
+	NumCPUs    int     // CPU cores (4 for evaluation, 1 for motivation)
+	CPUFreqHz  float64 // 4 GHz
+	GPUFreqHz  float64 // 1 GHz
+	GPUDivider uint64  // CPU cycles per GPU cycle
+	TargetFPS  float64 // QoS threshold (40 FPS)
+	Policy     Policy
+	// CPUPrefetch enables the cores' L2 stride streamers (off in the
+	// paper configurations; exercised by the prefetch ablation).
+	CPUPrefetch bool
+	// LLCDRRIP switches the shared LLC from the paper's SRRIP to
+	// set-dueling DRRIP (beyond-paper LLC-policy ablation).
+	LLCDRRIP bool
+
+	// Termination.
+	WarmupInstr  uint64 // per-core warm-up instructions (caches warm)
+	WarmupFrames int    // GPU frames before measurement (controller settles)
+	MeasureInstr uint64 // per-core representative instructions
+	MinFrames    int    // GPU frames required inside the window
+	MaxCycles    uint64 // hard cap
+}
+
+// DefaultConfig returns the evaluation configuration at the given
+// scale factor, termination sized for bench runs.
+func DefaultConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Scale:        scale,
+		NumCPUs:      4,
+		CPUFreqHz:    4e9,
+		GPUFreqHz:    1e9,
+		GPUDivider:   4,
+		TargetFPS:    40,
+		WarmupInstr:  uint64(200_000_000 / scale / 2),
+		WarmupFrames: 6,
+		MeasureInstr: uint64(450_000_000 / scale / 2),
+		MinFrames:    4,
+		MaxCycles:    uint64(3_000_000_000 / scale),
+	}
+}
+
+// System is one fully wired simulated CMP instance.
+type System struct {
+	Cfg Config
+
+	Cores []*cpu.Core
+	GPU   *gpu.GPU
+	LLC   *llc.LLC
+	Mem   *dram.Memory
+	Ring  *ring.Ring
+
+	// Ctrl is non-nil for the throttling policies.
+	Ctrl *qos.Controller
+	// Dyn is non-nil for DynPrio.
+	Dyn *qos.DynPrio
+	// HeLM is non-nil for the HeLM policy.
+	HeLM *policy.HeLM
+	// CMBAL is non-nil for the CM-BAL policy.
+	CMBAL *qos.CMBAL
+
+	cycle    uint64
+	llcNode  ring.NodeID
+	gpuNode  ring.NodeID
+	spill    []*mem.Request
+	maxNodes int
+}
+
+// NewSystem builds a system running game (nil = no GPU workload) and
+// the given CPU applications (may be empty).
+func NewSystem(cfg Config, game *gpu.AppModel, cpuApps []trace.Params) *System {
+	if cfg.NumCPUs < 0 || cfg.NumCPUs > int(mem.SourceGPU) {
+		panic(fmt.Sprintf("sim: NumCPUs %d out of range", cfg.NumCPUs))
+	}
+	s := &System{Cfg: cfg}
+
+	nodes := cfg.NumCPUs + 2 // cores + GPU + LLC
+	if nodes < 3 {
+		nodes = 3
+	}
+	s.Ring = ring.New(nodes)
+	s.gpuNode = ring.NodeID(cfg.NumCPUs)
+	s.llcNode = ring.NodeID(cfg.NumCPUs + 1)
+
+	lcfg := llc.DefaultConfig(cfg.Scale)
+	if cfg.LLCDRRIP {
+		lcfg.Cache.Policy = cache.DRRIP
+	}
+	s.LLC = llc.New(lcfg)
+
+	// DRAM with the policy's scheduler.
+	dcfg := dram.DefaultConfig()
+	var schedFactory func() dram.Scheduler
+	switch cfg.Policy {
+	case PolicySMS09:
+		seed := uint64(0)
+		schedFactory = func() dram.Scheduler { seed++; return dram.NewSMS(0.9, 0x51ED+seed) }
+	case PolicySMS0:
+		seed := uint64(0)
+		schedFactory = func() dram.Scheduler { seed++; return dram.NewSMS(0.0, 0x52ED+seed) }
+	case PolicyThrottle, PolicyThrottleCPUPrio:
+		mode := qos.ModeThrottle
+		if cfg.Policy == PolicyThrottleCPUPrio {
+			mode = qos.ModeThrottleCPUPrio
+		}
+		s.Ctrl = qos.NewController(mode, cfg.TargetFPS, cfg.GPUFreqHz, cfg.Scale)
+		schedFactory = func() dram.Scheduler { return dram.NewPrio(s.Ctrl.Boost) }
+	case PolicyDynPrio:
+		s.Dyn = qos.NewDynPrio(qos.NewFRPU(), nil)
+		s.Dyn.TargetCycles = cfg.GPUFreqHz / (cfg.TargetFPS * float64(cfg.Scale))
+		schedFactory = func() dram.Scheduler { return dram.NewPrio(s.Dyn.Boost) }
+	default:
+		schedFactory = dram.NewFRFCFS
+	}
+	s.Mem = dram.New(dcfg, schedFactory)
+
+	// CPU cores.
+	for i, p := range cpuApps {
+		if i >= cfg.NumCPUs {
+			break
+		}
+		gen := trace.NewGenerator(p.Scale(cfg.Scale), mem.CPURegion(i))
+		ccfg := cpu.DefaultConfig(i, cfg.Scale)
+		ccfg.Prefetch = cfg.CPUPrefetch
+		c := cpu.New(ccfg, gen)
+		node := ring.NodeID(i)
+		c.Issue = func(r *mem.Request) bool {
+			s.Ring.Send(ring.Msg{From: node, To: s.llcNode, Payload: r})
+			return true
+		}
+		s.Cores = append(s.Cores, c)
+	}
+
+	// GPU.
+	if game != nil {
+		s.GPU = gpu.New(gpu.DefaultConfig(cfg.Scale), game)
+		s.GPU.Issue = func(r *mem.Request) bool {
+			s.Ring.Send(ring.Msg{From: s.gpuNode, To: s.llcNode, Payload: r})
+			return true
+		}
+		switch cfg.Policy {
+		case PolicyThrottle, PolicyThrottleCPUPrio:
+			s.GPU.Gate = s.Ctrl
+			s.GPU.Observer = s.Ctrl
+		case PolicyDynPrio:
+			s.Dyn.FrameElapsed = func() uint64 { return s.GPU.Cycle() - s.GPU.FrameStartCycle() }
+			s.GPU.Observer = s.Dyn
+		case PolicyHeLM:
+			// Latency-tolerance signal: a windowed EMA of the GPU
+			// pipeline's issue-stall fraction (HeLM samples thread-level
+			// parallelism; a pipeline that rarely stalls on memory has
+			// latency to spare).
+			var lastCyc, lastStall uint64
+			ema := 0.7
+			s.HeLM = policy.NewHeLM(func() float64 {
+				c, st := s.GPU.Cycle(), s.GPU.StallIssue
+				if c > lastCyc+256 {
+					frac := float64(st-lastStall) / float64(c-lastCyc)
+					if frac > 1 {
+						frac = 1
+					}
+					ema = 0.5*ema + 0.5*(1-frac)
+					lastCyc, lastStall = c, st
+				}
+				return ema
+			})
+			s.LLC.Bypass = s.HeLM
+		case PolicyForcedBypass:
+			s.LLC.Bypass = policy.ForcedBypass{}
+		case PolicyCMBAL:
+			s.CMBAL = qos.NewCMBAL()
+			s.GPU.Shader = s.CMBAL
+		}
+	}
+
+	// LLC wiring. The two memory controllers hang off the LLC stop
+	// (the extra ring hops are folded into DRAM service; DESIGN.md).
+	s.LLC.ToDRAM = s.Mem.Enqueue
+	s.Mem.OnComplete = s.LLC.OnDRAMComplete
+	s.LLC.Respond = func(r *mem.Request) {
+		to := ring.NodeID(int(r.Src))
+		if r.Src == mem.SourceGPU {
+			to = s.gpuNode
+		}
+		s.Ring.Send(ring.Msg{From: s.llcNode, To: to, Payload: r})
+	}
+	s.LLC.BackInvalidate = func(src mem.Source, line uint64) {
+		if int(src) < len(s.Cores) {
+			s.Cores[src].Invalidate(line)
+		}
+	}
+
+	return s
+}
+
+// Cycle returns the current CPU cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Tick advances the whole system one CPU cycle.
+func (s *System) Tick() {
+	s.cycle++
+	s.Ring.Tick()
+
+	// Deliver ring arrivals.
+	for _, m := range s.Ring.Receive(s.llcNode) {
+		s.spill = append(s.spill, m.Payload.(*mem.Request))
+	}
+	for len(s.spill) > 0 && s.LLC.Enqueue(s.spill[0]) {
+		s.spill = s.spill[1:]
+	}
+	for i := range s.Cores {
+		for _, m := range s.Ring.Receive(ring.NodeID(i)) {
+			r := m.Payload.(*mem.Request)
+			if !r.Write {
+				s.Cores[i].OnFill(r)
+			}
+		}
+	}
+	if s.GPU != nil {
+		for _, m := range s.Ring.Receive(s.gpuNode) {
+			r := m.Payload.(*mem.Request)
+			if !r.Write {
+				s.GPU.OnFill(r)
+			}
+		}
+	}
+
+	s.LLC.Tick()
+	s.Mem.Tick()
+	if s.GPU != nil && s.cycle%s.Cfg.GPUDivider == 0 {
+		s.GPU.Tick(s.cycle)
+	}
+	for _, c := range s.Cores {
+		c.Tick()
+	}
+}
+
+// MixWorkload resolves a workloads.Mix into model inputs.
+func MixWorkload(cfg Config, m workloads.Mix) (*gpu.AppModel, []trace.Params) {
+	game := workloads.MustGame(m.Game).Model(cfg.Scale, cfg.GPUFreqHz)
+	var apps []trace.Params
+	for _, id := range m.SpecIDs {
+		apps = append(apps, workloads.MustSpec(id).Params)
+	}
+	return game, apps
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "sort"
+
+// FrameStats summarizes a run's frame-time distribution — the metrics
+// a QoS mechanism is judged by beyond the mean FPS: tail latency
+// (p95/p99 frame times) and jank (frames that blow past the budget).
+// The paper verifies "each frame within the sequence meets the target
+// frame rate" (§VI); BelowTarget makes that check explicit.
+type FrameStats struct {
+	Frames int
+
+	// Cycle statistics over per-frame durations.
+	MeanCycles float64
+	P50Cycles  float64
+	P95Cycles  float64
+	P99Cycles  float64
+	MinCycles  uint64
+	MaxCycles  uint64
+
+	// BelowTarget counts frames slower than the target frame time
+	// (only meaningful when a target was supplied).
+	BelowTarget int
+
+	// Jank counts frames slower than 1.5x the median — visible
+	// stutter even when the mean looks fine.
+	Jank int
+}
+
+// AnalyzeFrames computes FrameStats from per-frame GPU cycle counts.
+// targetCycles is the frame budget at the QoS target (0 = no target).
+func AnalyzeFrames(frameCycles []uint64, targetCycles float64) FrameStats {
+	fs := FrameStats{Frames: len(frameCycles)}
+	if len(frameCycles) == 0 {
+		return fs
+	}
+	sorted := make([]uint64, len(frameCycles))
+	copy(sorted, frameCycles)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum uint64
+	for _, c := range sorted {
+		sum += c
+	}
+	fs.MeanCycles = float64(sum) / float64(len(sorted))
+	fs.MinCycles = sorted[0]
+	fs.MaxCycles = sorted[len(sorted)-1]
+	fs.P50Cycles = percentile(sorted, 0.50)
+	fs.P95Cycles = percentile(sorted, 0.95)
+	fs.P99Cycles = percentile(sorted, 0.99)
+
+	jankLine := 1.5 * fs.P50Cycles
+	for _, c := range frameCycles {
+		if float64(c) > jankLine {
+			fs.Jank++
+		}
+		if targetCycles > 0 && float64(c) > targetCycles {
+			fs.BelowTarget++
+		}
+	}
+	return fs
+}
+
+// percentile returns the p-quantile (0..1) of an ascending slice by
+// nearest-rank.
+func percentile(sorted []uint64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx])
+}
+
+// FPSAt converts a frame-cycle figure into de-scaled FPS (see FPS).
+func (fs FrameStats) FPSAt(cycles float64, gpuFreqHz float64, scale int) float64 {
+	return FPS(cycles, gpuFreqHz, scale)
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeFramesBasics(t *testing.T) {
+	fc := []uint64{100, 110, 90, 105, 95, 100, 300} // one jank frame
+	fs := AnalyzeFrames(fc, 0)
+	if fs.Frames != 7 {
+		t.Fatalf("frames = %d", fs.Frames)
+	}
+	if fs.MinCycles != 90 || fs.MaxCycles != 300 {
+		t.Fatalf("min/max = %d/%d", fs.MinCycles, fs.MaxCycles)
+	}
+	if fs.P50Cycles != 100 {
+		t.Fatalf("p50 = %v", fs.P50Cycles)
+	}
+	if fs.Jank != 1 {
+		t.Fatalf("jank = %d, want 1 (the 300-cycle frame)", fs.Jank)
+	}
+	if fs.P99Cycles != 300 {
+		t.Fatalf("p99 = %v", fs.P99Cycles)
+	}
+}
+
+func TestAnalyzeFramesTarget(t *testing.T) {
+	fc := []uint64{100, 200, 150, 90}
+	fs := AnalyzeFrames(fc, 120)
+	if fs.BelowTarget != 2 {
+		t.Fatalf("below target = %d, want 2 (200 and 150)", fs.BelowTarget)
+	}
+}
+
+func TestAnalyzeFramesEmpty(t *testing.T) {
+	fs := AnalyzeFrames(nil, 100)
+	if fs.Frames != 0 || fs.MeanCycles != 0 || fs.Jank != 0 {
+		t.Fatalf("empty stats not zero: %+v", fs)
+	}
+}
+
+func TestAnalyzeFramesSingle(t *testing.T) {
+	fs := AnalyzeFrames([]uint64{42}, 0)
+	if fs.P50Cycles != 42 || fs.P99Cycles != 42 || fs.MeanCycles != 42 {
+		t.Fatalf("%+v", fs)
+	}
+}
+
+// Property: percentiles are monotone (p50 <= p95 <= p99 <= max) and
+// bounded by min/max, for any frame sequence.
+func TestQuickFrameStatsMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fc := make([]uint64, len(raw))
+		for i, r := range raw {
+			fc[i] = uint64(r) + 1
+		}
+		fs := AnalyzeFrames(fc, 0)
+		return fs.P50Cycles <= fs.P95Cycles &&
+			fs.P95Cycles <= fs.P99Cycles &&
+			fs.P99Cycles <= float64(fs.MaxCycles) &&
+			float64(fs.MinCycles) <= fs.P50Cycles &&
+			fs.MeanCycles >= float64(fs.MinCycles) &&
+			fs.MeanCycles <= float64(fs.MaxCycles)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

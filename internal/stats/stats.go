@@ -1,0 +1,86 @@
+// Package stats provides the performance metrics the paper reports:
+// weighted speedup for multi-programmed CPU mixes, frames per second
+// for the GPU, geometric means across workloads, and DRAM bandwidth
+// accounting.
+package stats
+
+import "math"
+
+// WeightedSpeedup returns the weighted speedup of a multi-programmed
+// mix: sum over applications of IPC_shared/IPC_alone. The paper
+// reports it normalized to the baseline configuration's weighted
+// speedup.
+func WeightedSpeedup(ipcShared, ipcAlone []float64) float64 {
+	if len(ipcShared) != len(ipcAlone) {
+		panic("stats: mismatched IPC vectors")
+	}
+	var s float64
+	for i := range ipcShared {
+		if ipcAlone[i] > 0 {
+			s += ipcShared[i] / ipcAlone[i]
+		}
+	}
+	return s
+}
+
+// GMean returns the geometric mean of xs (skipping non-positive
+// entries, which would otherwise poison the log).
+func GMean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// FPS converts mean GPU cycles per frame into frames per second,
+// de-scaling the workload: a frame whose scaled work took C cycles
+// at gpuFreqHz represents a full-size frame of C*scale cycles.
+func FPS(meanFrameCycles float64, gpuFreqHz float64, scale int) float64 {
+	if meanFrameCycles <= 0 {
+		return 0
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return gpuFreqHz / (meanFrameCycles * float64(scale))
+}
+
+// BandwidthGBps converts bytes transferred over a cycle interval at
+// cpuFreqHz into GB/s.
+func BandwidthGBps(bytes uint64, cycles uint64, cpuFreqHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / cpuFreqHz
+	return float64(bytes) / seconds / 1e9
+}
+
+// Combined returns the equal-weight CPU+GPU performance metric of
+// Fig. 14: the geometric mean of the CPU speedup and the GPU speedup
+// over baseline.
+func Combined(cpuSpeedup, gpuSpeedup float64) float64 {
+	if cpuSpeedup <= 0 || gpuSpeedup <= 0 {
+		return 0
+	}
+	return math.Sqrt(cpuSpeedup * gpuSpeedup)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	got := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if got != 1.5 {
+		t.Fatalf("got %v, want 1.5", got)
+	}
+}
+
+func TestWeightedSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on mismatched lengths")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestGMean(t *testing.T) {
+	got := GMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("got %v, want 2", got)
+	}
+	if GMean(nil) != 0 {
+		t.Fatalf("empty gmean should be 0")
+	}
+	// Non-positive entries are skipped, not poisoning the result.
+	if g := GMean([]float64{0, 2, -1, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("got %v, want 4", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatalf("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatalf("empty mean should be 0")
+	}
+}
+
+func TestFPSDescaling(t *testing.T) {
+	// A frame of 1e6 GPU cycles at 1 GHz and scale 32 represents a
+	// full-size frame of 3.2e7 cycles -> 31.25 FPS.
+	got := FPS(1e6, 1e9, 32)
+	if math.Abs(got-31.25) > 1e-9 {
+		t.Fatalf("got %v, want 31.25", got)
+	}
+	if FPS(0, 1e9, 32) != 0 {
+		t.Fatalf("zero cycles should give 0 FPS")
+	}
+}
+
+func TestBandwidthGBps(t *testing.T) {
+	// 4e9 bytes over 4e9 cycles at 4 GHz = 4 GB/s.
+	got := BandwidthGBps(4e9, 4e9, 4e9)
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("got %v, want 4", got)
+	}
+	if BandwidthGBps(100, 0, 4e9) != 0 {
+		t.Fatalf("zero cycles should give 0")
+	}
+}
+
+func TestCombined(t *testing.T) {
+	if got := Combined(2, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("got %v, want 1", got)
+	}
+	if Combined(0, 1) != 0 || Combined(1, -1) != 0 {
+		t.Fatalf("non-positive inputs should give 0")
+	}
+}
+
+// Property: GMean lies between min and max of positive inputs.
+func TestQuickGMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GMean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

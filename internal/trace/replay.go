@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements trace recording and replay. The synthetic
+// generators substitute for SPEC SimPoint traces (DESIGN.md §1);
+// users who do have real address traces — from a binary-instrumented
+// run, another simulator, or a recorded hetsim run — can replay them
+// through the same Core model instead.
+//
+// The format is a dense little-endian binary stream of 12-byte
+// records:
+//
+//	[0:2)  uint16 nonMem   — plain instructions before the reference
+//	[2:3)  uint8  flags    — bit 0: write
+//	[3:11) uint64 addr     — byte address
+//	[11:12) reserved
+//
+// preceded by an 8-byte magic header. A Recorder writes it; a
+// ReplayGenerator implements the same Next() contract as Generator
+// (looping at EOF so streams are infinite, like the synthetic ones).
+
+// recMagic identifies trace files ("HETTRC1\n").
+var recMagic = [8]byte{'H', 'E', 'T', 'T', 'R', 'C', '1', '\n'}
+
+const recSize = 12
+
+// Recorder serializes a stream of Ops.
+type Recorder struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewRecorder writes a trace header to w and returns a recorder.
+func NewRecorder(w io.Writer) (*Recorder, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(recMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Recorder{w: bw}, nil
+}
+
+// Record appends one operation. NonMem saturates at 65535.
+func (r *Recorder) Record(op Op) error {
+	var rec [recSize]byte
+	nm := op.NonMem
+	if nm > 0xFFFF {
+		nm = 0xFFFF
+	}
+	if nm < 0 {
+		nm = 0
+	}
+	binary.LittleEndian.PutUint16(rec[0:2], uint16(nm))
+	if op.Write {
+		rec[2] = 1
+	}
+	binary.LittleEndian.PutUint64(rec[3:11], op.Addr)
+	if _, err := r.w.Write(rec[:]); err != nil {
+		return err
+	}
+	r.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (r *Recorder) Count() uint64 { return r.count }
+
+// Flush completes the trace.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// ReplayGenerator replays a recorded trace. It satisfies the same
+// Next() contract as Generator; the trace loops when exhausted so the
+// stream is infinite. The whole trace is held in memory (records are
+// 12 bytes; a hundred-million-reference trace is ~1.2 GB — slice
+// windows before recording if that is too large).
+type ReplayGenerator struct {
+	ops  []Op
+	next int
+	// Loops counts how many times the trace wrapped.
+	Loops int
+}
+
+// NewReplay parses a recorded trace from rd.
+func NewReplay(rd io.Reader) (*ReplayGenerator, error) {
+	br := bufio.NewReader(rd)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if hdr != recMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	g := &ReplayGenerator{}
+	var rec [recSize]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated record %d: %w", len(g.ops), err)
+		}
+		g.ops = append(g.ops, Op{
+			NonMem: int(binary.LittleEndian.Uint16(rec[0:2])),
+			Write:  rec[2]&1 != 0,
+			Addr:   binary.LittleEndian.Uint64(rec[3:11]),
+		})
+	}
+	if len(g.ops) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return g, nil
+}
+
+// Len returns the number of records in the trace.
+func (g *ReplayGenerator) Len() int { return len(g.ops) }
+
+// Next returns the next operation, looping at the end of the trace.
+func (g *ReplayGenerator) Next() Op {
+	op := g.ops[g.next]
+	g.next++
+	if g.next >= len(g.ops) {
+		g.next = 0
+		g.Loops++
+	}
+	return op
+}

@@ -1,0 +1,155 @@
+// Package trace generates synthetic per-application CPU instruction
+// and memory-reference streams.
+//
+// The paper drives its CPU cores with SimPoint regions of SPEC CPU
+// 2006 applications. Those binaries and traces are proprietary, so
+// this reproduction substitutes deterministic synthetic streams whose
+// first-order memory behaviour — access rate, working-set size,
+// hot-set reuse, streaming (row-buffer-friendly) fraction, and write
+// fraction — is parameterized per application. The throttling
+// proposal never inspects CPU instruction semantics; it interacts
+// with the CPU workload only through LLC capacity and DRAM bandwidth
+// contention, which these parameters fully determine.
+//
+// A stream is a sequence of Ops: "nonMem" plain instructions followed
+// by one memory reference. All randomness is drawn from a fixed
+// per-application seed, so every run of every experiment is exactly
+// reproducible.
+package trace
+
+import "repro/internal/rng"
+
+// Params characterizes one synthetic CPU application.
+type Params struct {
+	// Name is a human-readable label (e.g. "429.mcf-like").
+	Name string
+
+	// MemPerKilo is the number of memory references per 1000
+	// instructions (load+store L1 accesses).
+	MemPerKilo int
+
+	// WriteFrac is the fraction of memory references that are stores.
+	WriteFrac float64
+
+	// StreamFrac is the fraction of references that walk sequentially
+	// through the working set — row-buffer friendly, cache-unfriendly
+	// once the set exceeds cache capacity.
+	StreamFrac float64
+
+	// HotFrac is the fraction of references that fall in the hot set
+	// (cache-resident reuse).
+	HotFrac float64
+
+	// HotBytes is the hot-set size; choose it relative to cache
+	// capacities to set hit rates.
+	HotBytes uint64
+
+	// WSBytes is the total working-set size; random references are
+	// uniform over it.
+	WSBytes uint64
+
+	// Seed selects the deterministic random stream.
+	Seed uint64
+}
+
+// Op is one step of the stream: NonMem plain instructions, then a
+// memory reference at Addr.
+type Op struct {
+	NonMem int
+	Addr   uint64
+	Write  bool
+}
+
+// Source produces an instruction/memory stream; the synthetic
+// Generator and the ReplayGenerator both implement it, so a core can
+// run either.
+type Source interface {
+	Next() Op
+}
+
+// Generator produces the deterministic stream for one application
+// instance. It is not safe for concurrent use; each core owns one.
+type Generator struct {
+	p       Params
+	base    uint64
+	rnd     *rng.RNG
+	stream  uint64 // streaming cursor (byte offset into WS)
+	gapBase int
+}
+
+// NewGenerator returns a generator for p with addresses offset by
+// base (each core gets a disjoint region via mem.CPURegion).
+func NewGenerator(p Params, base uint64) *Generator {
+	if p.MemPerKilo <= 0 {
+		p.MemPerKilo = 1
+	}
+	if p.WSBytes == 0 {
+		p.WSBytes = 1 << 20
+	}
+	if p.HotBytes == 0 || p.HotBytes > p.WSBytes {
+		p.HotBytes = p.WSBytes / 4
+		if p.HotBytes == 0 {
+			p.HotBytes = 64
+		}
+	}
+	return &Generator{
+		p:       p,
+		base:    base,
+		rnd:     rng.New(p.Seed),
+		gapBase: 1000 / p.MemPerKilo,
+	}
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// Next returns the next operation. The stream is infinite.
+func (g *Generator) Next() Op {
+	// Jitter the instruction gap by +/- 50% around the mean so memory
+	// references don't beat against pipeline width.
+	gap := g.gapBase
+	if gap > 1 {
+		gap = gap/2 + g.rnd.Intn(gap)
+	}
+
+	var off uint64
+	r := g.rnd.Float64()
+	switch {
+	case r < g.p.StreamFrac:
+		off = g.stream
+		g.stream += 64
+		if g.stream >= g.p.WSBytes {
+			g.stream = 0
+		}
+	case r < g.p.StreamFrac+g.p.HotFrac:
+		off = g.rnd.Uint64n(g.p.HotBytes) &^ 63
+	default:
+		off = g.rnd.Uint64n(g.p.WSBytes) &^ 63
+	}
+
+	return Op{
+		NonMem: gap,
+		Addr:   g.base + off,
+		Write:  g.rnd.Bool(g.p.WriteFrac),
+	}
+}
+
+// Scale returns a copy of p with the working and hot sets divided by
+// factor (minimum one line each). The run harness scales workloads
+// and cache capacities together so that capacity pressure is
+// preserved; see DESIGN.md §1.
+func (p Params) Scale(factor int) Params {
+	if factor <= 1 {
+		return p
+	}
+	q := p
+	q.WSBytes /= uint64(factor)
+	if q.WSBytes < 64 {
+		q.WSBytes = 64
+	}
+	q.HotBytes /= uint64(factor)
+	if q.HotBytes < 64 {
+		q.HotBytes = 64
+	}
+	return q
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func params(seed uint64) Params {
+	return Params{
+		Name:       "test",
+		MemPerKilo: 100,
+		WriteFrac:  0.3,
+		StreamFrac: 0.4,
+		HotFrac:    0.4,
+		HotBytes:   1 << 12,
+		WSBytes:    1 << 16,
+		Seed:       seed,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(params(7), 0x1000)
+	g2 := NewGenerator(params(7), 0x1000)
+	for i := 0; i < 10000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	g1 := NewGenerator(params(1), 0)
+	g2 := NewGenerator(params(2), 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next() == g2.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical ops", same)
+	}
+}
+
+func TestAddressesWithinRegion(t *testing.T) {
+	p := params(3)
+	base := uint64(0xABC00000)
+	g := NewGenerator(p, base)
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Addr < base || op.Addr >= base+p.WSBytes {
+			t.Fatalf("address %#x outside [%#x, %#x)", op.Addr, base, base+p.WSBytes)
+		}
+		if op.Addr%64 != 0 {
+			t.Fatalf("address %#x not line-aligned", op.Addr)
+		}
+	}
+}
+
+func TestMemRateMatchesParams(t *testing.T) {
+	p := params(11)
+	g := NewGenerator(p, 0)
+	const n = 50000
+	instr := 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		instr += op.NonMem + 1
+	}
+	perKilo := float64(n) / float64(instr) * 1000
+	want := float64(p.MemPerKilo)
+	if perKilo < want*0.8 || perKilo > want*1.2 {
+		t.Fatalf("mem ops per kilo-instruction = %.1f, want ~%.0f", perKilo, want)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p := params(13)
+	g := NewGenerator(p, 0)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < p.WriteFrac-0.05 || frac > p.WriteFrac+0.05 {
+		t.Fatalf("write fraction %.3f, want ~%.2f", frac, p.WriteFrac)
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	p := params(17)
+	p.StreamFrac = 0
+	p.HotFrac = 0.9
+	g := NewGenerator(p, 0)
+	inHot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Addr < p.HotBytes {
+			inHot++
+		}
+	}
+	// 90% hot plus the random references that also land below
+	// HotBytes by chance.
+	if float64(inHot)/n < 0.85 {
+		t.Fatalf("only %.2f%% of references in hot set", 100*float64(inHot)/n)
+	}
+}
+
+func TestScalePreservesFloors(t *testing.T) {
+	p := params(1)
+	q := p.Scale(1 << 30)
+	if q.WSBytes != 64 || q.HotBytes != 64 {
+		t.Fatalf("scale floor violated: %+v", q)
+	}
+	if r := p.Scale(1); r != p {
+		t.Fatalf("Scale(1) changed params")
+	}
+}
+
+// Property: generators normalize degenerate params rather than
+// panicking, and always stay line-aligned in-region.
+func TestQuickRobustParams(t *testing.T) {
+	f := func(memPerKilo int16, ws, hot uint32, seed uint64) bool {
+		p := Params{
+			MemPerKilo: int(memPerKilo),
+			WSBytes:    uint64(ws),
+			HotBytes:   uint64(hot),
+			StreamFrac: 0.3,
+			HotFrac:    0.3,
+			Seed:       seed,
+		}
+		g := NewGenerator(p, 1<<40)
+		for i := 0; i < 200; i++ {
+			op := g.Next()
+			if op.Addr < 1<<40 || op.NonMem < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Resolution constants of Table II.
+var resolutions = map[string][2]int{
+	"R1": {1280, 1024},
+	"R2": {1920, 1200},
+	"R3": {1600, 1200},
+}
+
+// Game describes one Table II 3D rendering workload and the model
+// parameters that reproduce its character.
+type Game struct {
+	Name   string
+	API    string // "DX" or "OGL"
+	Frames int    // length of the simulated frame sequence
+	Res    string // "R1".."R3"
+	// TableFPS is the paper's reported baseline standalone frame rate
+	// (Table II, last column) — the calibration target.
+	TableFPS float64
+
+	// Model shape parameters (full-scale).
+	RTPs         int     // overdraw batches per frame
+	TexPerTile   int     // texture line reads per tile per RTP
+	DepthPerTile int     // depth lines per tile per RTP
+	ColorPerTile int     // color lines per tile per RTP
+	TexMB        int     // texture footprint in MiB
+	TexHotFrac   float64 // fraction of texture reads in the hot set
+	ComputeFrac  float64 // shader compute as a fraction of the frame budget
+	Jitter       float64 // per-frame work jitter
+}
+
+// gameCatalog is Table II. Frame counts come from the paper's frame
+// ranges (e.g. DOOM3 300–314 = 15 frames). A 32x32-pixel tile holds
+// 64 color and 64 depth lines; per-tile texture reads track each
+// title's texturing intensity.
+var gameCatalog = []Game{
+	{"3DMark06GT1", "DX", 2, "R1", 6.0, 6, 280, 64, 64, 384, 0.65, 0.78, 0.02},
+	{"3DMark06GT2", "DX", 2, "R1", 13.8, 6, 240, 64, 64, 320, 0.65, 0.78, 0.02},
+	{"3DMark06HDR1", "DX", 2, "R1", 16.0, 5, 240, 64, 64, 320, 0.65, 0.78, 0.02},
+	{"3DMark06HDR2", "DX", 2, "R1", 20.8, 5, 240, 64, 64, 256, 0.65, 0.78, 0.02},
+	{"COD2", "DX", 2, "R2", 18.1, 4, 240, 64, 64, 256, 0.70, 0.78, 0.02},
+	{"Crysis", "DX", 2, "R2", 6.6, 6, 320, 64, 64, 448, 0.60, 0.78, 0.02},
+	{"DOOM3", "OGL", 15, "R3", 81.0, 4, 200, 64, 64, 192, 0.75, 0.78, 0.02},
+	{"HL2", "DX", 9, "R3", 75.9, 4, 180, 64, 64, 192, 0.75, 0.78, 0.02},
+	{"L4D", "DX", 5, "R1", 32.5, 4, 220, 64, 64, 224, 0.70, 0.95, 0.02},
+	{"NFS", "DX", 8, "R1", 62.3, 4, 200, 64, 64, 192, 0.75, 0.78, 0.02},
+	{"Quake4", "OGL", 10, "R3", 80.8, 4, 200, 64, 64, 192, 0.75, 0.78, 0.02},
+	{"COR", "OGL", 15, "R1", 111.0, 3, 180, 64, 64, 160, 0.80, 0.78, 0.02},
+	{"UT2004", "OGL", 18, "R3", 130.7, 3, 160, 64, 64, 128, 0.80, 0.78, 0.02},
+	{"UT3", "DX", 2, "R1", 26.8, 5, 240, 64, 64, 288, 0.65, 0.78, 0.02},
+}
+
+// Games returns the Table II catalog in paper order (W1..W14).
+func Games() []Game {
+	out := make([]Game, len(gameCatalog))
+	copy(out, gameCatalog)
+	return out
+}
+
+// GameByName looks a title up by name.
+func GameByName(name string) (Game, error) {
+	for _, g := range gameCatalog {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Game{}, fmt.Errorf("workloads: unknown game %q", name)
+}
+
+// MustGame is GameByName for static names from the mix tables.
+func MustGame(name string) Game {
+	g, err := GameByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Resolution returns the game's render-target width and height in
+// pixels.
+func (g Game) Resolution() (w, h int) {
+	r := resolutions[g.Res]
+	return r[0], r[1]
+}
+
+// Tiles returns the full-scale RTT count of the game's render target.
+func (g Game) Tiles() int {
+	w, h := g.Resolution()
+	return (w * h) / (gpu.TileSide * gpu.TileSide)
+}
+
+// Model derives the gpu.AppModel for the game at a given scale
+// factor and GPU frequency. The shader compute budget is derived from
+// the Table II frame rate so that the standalone GPU is (mostly)
+// compute-bound at its published FPS, with the memory system sized to
+// run just under the compute budget; heterogeneous contention then
+// pushes memory past compute, which is the paper's §II observation.
+func (g Game) Model(scale int, gpuFreqHz float64) *gpu.AppModel {
+	if scale < 1 {
+		scale = 1
+	}
+	tiles := g.Tiles() / scale
+	if tiles < 4 {
+		tiles = 4
+	}
+	frameBudget := gpuFreqHz / (g.TableFPS * float64(scale)) // GPU cycles/frame
+	shaderPerRTP := uint64(g.ComputeFrac * frameBudget / float64(g.RTPs))
+
+	texFoot := uint64(g.TexMB) << 20 / uint64(scale)
+	if texFoot < 64 {
+		texFoot = 64
+	}
+	hot := texFoot / 16
+	if hot < 64 {
+		hot = 64
+	}
+
+	return &gpu.AppModel{
+		Name:               g.Name,
+		API:                g.API,
+		Frames:             g.Frames,
+		Tiles:              tiles,
+		RTPs:               g.RTPs,
+		TexPerTile:         g.TexPerTile,
+		DepthPerTile:       g.DepthPerTile,
+		ColorPerTile:       g.ColorPerTile,
+		VertexPerRTP:       tiles / 2,
+		TexFootprint:       texFoot,
+		TexHotBytes:        hot,
+		TexHotFrac:         g.TexHotFrac,
+		ShaderCyclesPerRTP: shaderPerRTP,
+		WorkJitter:         g.Jitter,
+		Seed:               nameSeed(g.Name),
+	}
+}
+
+// nameSeed derives a stable per-title seed (FNV-1a).
+func nameSeed(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

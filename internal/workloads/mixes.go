@@ -1,0 +1,93 @@
+package workloads
+
+import "fmt"
+
+// Mix is one heterogeneous workload: a GPU title plus CPU
+// applications (four for the evaluation mixes M1–M14, one for the
+// motivation workloads W1–W14).
+type Mix struct {
+	ID      string // "M7" or "W7"
+	Game    string
+	SpecIDs []int
+}
+
+// EvalMixes returns Table III's M1–M14 (4 CPU apps + 1 GPU app each).
+func EvalMixes() []Mix {
+	return []Mix{
+		{"M1", "3DMark06GT1", []int{403, 450, 481, 482}},
+		{"M2", "3DMark06GT2", []int{403, 429, 434, 462}},
+		{"M3", "3DMark06HDR1", []int{401, 437, 450, 470}},
+		{"M4", "3DMark06HDR2", []int{401, 462, 470, 471}},
+		{"M5", "COD2", []int{401, 437, 450, 470}},
+		{"M6", "Crysis", []int{429, 433, 434, 482}},
+		{"M7", "DOOM3", []int{410, 433, 462, 471}},
+		{"M8", "HL2", []int{410, 429, 433, 434}},
+		{"M9", "L4D", []int{410, 433, 462, 471}},
+		{"M10", "NFS", []int{410, 429, 433, 471}},
+		{"M11", "Quake4", []int{401, 437, 450, 481}},
+		{"M12", "COR", []int{403, 437, 450, 481}},
+		{"M13", "UT2004", []int{401, 437, 462, 470}},
+		{"M14", "UT3", []int{403, 437, 450, 481}},
+	}
+}
+
+// MotivationMixes returns Table III's W1–W14 (1 CPU app + 1 GPU app),
+// used by the §II motivation experiments (Figs. 1–3).
+func MotivationMixes() []Mix {
+	return []Mix{
+		{"W1", "3DMark06GT1", []int{481}},
+		{"W2", "3DMark06GT2", []int{471}},
+		{"W3", "3DMark06HDR1", []int{470}},
+		{"W4", "3DMark06HDR2", []int{482}},
+		{"W5", "COD2", []int{470}},
+		{"W6", "Crysis", []int{429}},
+		{"W7", "DOOM3", []int{462}},
+		{"W8", "HL2", []int{403}},
+		{"W9", "L4D", []int{462}},
+		{"W10", "NFS", []int{437}},
+		{"W11", "Quake4", []int{410}},
+		{"W12", "COR", []int{434}},
+		{"W13", "UT2004", []int{450}},
+		{"W14", "UT3", []int{434}},
+	}
+}
+
+// MixByID resolves "M1".."M14" or "W1".."W14".
+func MixByID(id string) (Mix, error) {
+	for _, m := range EvalMixes() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	for _, m := range MotivationMixes() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workloads: unknown mix %q", id)
+}
+
+// HighFPSMixes returns the evaluation mixes whose GPU titles exceed
+// the 40 FPS target in Table II — the six mixes the proposal
+// throttles (Figs. 9–12).
+func HighFPSMixes() []Mix {
+	var out []Mix
+	for _, m := range EvalMixes() {
+		if MustGame(m.Game).TableFPS > 40 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// LowFPSMixes returns the evaluation mixes whose GPU titles never
+// reach 40 FPS (the proposal stays disabled; Figs. 13–14).
+func LowFPSMixes() []Mix {
+	var out []Mix
+	for _, m := range EvalMixes() {
+		if MustGame(m.Game).TableFPS <= 40 {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestGameCatalogMatchesTableII(t *testing.T) {
+	games := Games()
+	if len(games) != 14 {
+		t.Fatalf("Table II has 14 titles, catalog has %d", len(games))
+	}
+	// Spot-check paper rows.
+	checks := []struct {
+		name   string
+		api    string
+		frames int
+		res    string
+		fps    float64
+	}{
+		{"DOOM3", "OGL", 15, "R3", 81.0},
+		{"UT2004", "OGL", 18, "R3", 130.7},
+		{"Crysis", "DX", 2, "R2", 6.6},
+		{"L4D", "DX", 5, "R1", 32.5},
+		{"COR", "OGL", 15, "R1", 111.0},
+	}
+	for _, c := range checks {
+		g := MustGame(c.name)
+		if g.API != c.api || g.Frames != c.frames || g.Res != c.res || g.TableFPS != c.fps {
+			t.Fatalf("%s: got %+v, want %+v", c.name, g, c)
+		}
+	}
+}
+
+func TestSixHighFPSTitles(t *testing.T) {
+	// Paper §VI: exactly six applications exceed the 40 FPS target
+	// (DOOM3, HL2, NFS, Quake4, COR, UT2004).
+	high := HighFPSMixes()
+	if len(high) != 6 {
+		t.Fatalf("%d high-FPS mixes, want 6", len(high))
+	}
+	want := map[string]bool{"DOOM3": true, "HL2": true, "NFS": true,
+		"Quake4": true, "COR": true, "UT2004": true}
+	for _, m := range high {
+		if !want[m.Game] {
+			t.Fatalf("unexpected high-FPS title %s", m.Game)
+		}
+	}
+	if len(LowFPSMixes()) != 8 {
+		t.Fatalf("%d low-FPS mixes, want 8", len(LowFPSMixes()))
+	}
+}
+
+func TestEvalMixesMatchTableIII(t *testing.T) {
+	mixes := EvalMixes()
+	if len(mixes) != 14 {
+		t.Fatalf("Table III has 14 mixes")
+	}
+	m7, err := MixByID("M7")
+	if err != nil || m7.Game != "DOOM3" {
+		t.Fatalf("M7 = %+v (%v)", m7, err)
+	}
+	want := []int{410, 433, 462, 471}
+	for i, id := range m7.SpecIDs {
+		if id != want[i] {
+			t.Fatalf("M7 SPEC ids = %v", m7.SpecIDs)
+		}
+	}
+	for _, m := range mixes {
+		if len(m.SpecIDs) != 4 {
+			t.Fatalf("%s has %d CPU apps", m.ID, len(m.SpecIDs))
+		}
+		for _, id := range m.SpecIDs {
+			if _, err := Spec(id); err != nil {
+				t.Fatalf("%s references %v", m.ID, err)
+			}
+		}
+		if _, err := GameByName(m.Game); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMotivationMixesSingleCPU(t *testing.T) {
+	for _, m := range MotivationMixes() {
+		if len(m.SpecIDs) != 1 {
+			t.Fatalf("%s has %d CPU apps, want 1", m.ID, len(m.SpecIDs))
+		}
+	}
+	w10, _ := MixByID("W10")
+	if w10.Game != "NFS" || w10.SpecIDs[0] != 437 {
+		t.Fatalf("W10 = %+v", w10)
+	}
+}
+
+func TestUnknownLookupsError(t *testing.T) {
+	if _, err := Spec(999); err == nil {
+		t.Fatal("Spec(999) succeeded")
+	}
+	if _, err := GameByName("Minesweeper"); err == nil {
+		t.Fatal("GameByName(Minesweeper) succeeded")
+	}
+	if _, err := MixByID("M99"); err == nil {
+		t.Fatal("MixByID(M99) succeeded")
+	}
+}
+
+func TestModelDerivation(t *testing.T) {
+	g := MustGame("DOOM3")
+	m := g.Model(64, 1e9)
+	if m.Tiles < 4 || m.RTPs != 4 {
+		t.Fatalf("model shape: %+v", m)
+	}
+	// Compute budget: ComputeFrac x frame budget.
+	frameBudget := 1e9 / (81.0 * 64)
+	wantShader := uint64(g.ComputeFrac * frameBudget / 4)
+	if m.ShaderCyclesPerRTP != wantShader {
+		t.Fatalf("shader cycles = %d, want %d", m.ShaderCyclesPerRTP, wantShader)
+	}
+	// Seeds must differ between titles.
+	if MustGame("HL2").Model(64, 1e9).Seed == m.Seed {
+		t.Fatalf("seed collision between titles")
+	}
+}
+
+func TestModelScaleOneIsFullSize(t *testing.T) {
+	g := MustGame("UT2004")
+	m := g.Model(1, 1e9)
+	if m.Tiles != g.Tiles() {
+		t.Fatalf("scale-1 tiles = %d, want %d", m.Tiles, g.Tiles())
+	}
+	if m.TexFootprint != uint64(g.TexMB)<<20 {
+		t.Fatalf("scale-1 texture footprint = %d", m.TexFootprint)
+	}
+}
+
+func TestSpecCatalogCoversMixes(t *testing.T) {
+	ids := SpecIDs()
+	if len(ids) != 13 {
+		t.Fatalf("catalog has %d SPEC apps, want 13", len(ids))
+	}
+	a := MustSpec(429)
+	if a.Name != "mcf" || a.Params.WSBytes != 64<<20 {
+		t.Fatalf("429 = %+v", a)
+	}
+}
+
+func TestSpecParamsScaleWithFloor(t *testing.T) {
+	p := MustSpec(470).Params.Scale(64)
+	if p.WSBytes != (64<<20)/64 {
+		t.Fatalf("scaled WS = %d", p.WSBytes)
+	}
+	var _ trace.Params = p
+	_ = mem.LineSize
+}
