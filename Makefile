@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is the gate every change must
+# pass: vet, build, the full test suite under the race detector, and
+# the short-scale benchmarks (alloc regressions show up in -benchmem).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race gate: -short keeps the simulation-heavy tests out, while the
+# concurrency tests (Runner singleflight, parallel determinism entry
+# points) always run, so the memoization layer is exercised under
+# -race on every ci invocation.
+race:
+	$(GO) test -race -short ./...
+
+# Short-scale benchmarks: one pass over the hot-path benches with
+# -benchmem so allocation regressions in ring/Tick are visible.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTickReceive' -benchtime 10000x -benchmem ./internal/ring
+	$(GO) test -run '^$$' -bench 'BenchmarkTick' -benchtime 10000x -benchmem ./internal/sim
+
+ci: vet build test race bench

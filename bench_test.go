@@ -11,7 +11,10 @@
 //
 // HETSIM_SCALE overrides the scale factor (default 96; smaller values
 // run closer to the paper's full-size system and take proportionally
-// longer).
+// longer). HETSIM_PARALLEL overrides the shared Runner's worker-pool
+// width (default GOMAXPROCS); each benchmark prefetches its
+// experiment's run plan so the first iteration's simulations execute
+// concurrently, while memoization keeps later iterations cheap.
 package repro
 
 import (
@@ -47,6 +50,9 @@ func benchRunner() *hetsim.Runner {
 func runExperiment(b *testing.B, id string, metrics func(rep hetsim.Report, b *testing.B)) {
 	b.Helper()
 	x := benchRunner()
+	if err := x.Prefetch(id); err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		rep, err := x.ByID(id)
 		if err != nil {

@@ -3,30 +3,65 @@
 // paper's Table II FPS (which the paper measured on the 4-CPU
 // heterogeneous baseline). It is the development tool used to tune
 // the per-game model parameters in internal/workloads.
+//
+// Each title needs two independent simulations (standalone and
+// heterogeneous); all of them run concurrently on a bounded pool
+// (-workers, default HETSIM_PARALLEL or GOMAXPROCS) and the table
+// prints in catalog order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"sync"
 
 	"repro/hetsim"
 )
 
 func main() {
 	scale := flag.Int("scale", 64, "scale factor")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := hetsim.DefaultConfig(*scale)
+	mixes := hetsim.EvalMixes()
+
+	n := *workers
+	if n <= 0 {
+		n = hetsim.DefaultWorkers()
+	}
+	sem := make(chan struct{}, n)
+	type row struct {
+		alone, het hetsim.Result
+	}
+	rows := make([]row, len(mixes))
+	var wg sync.WaitGroup
+	for i, m := range mixes {
+		wg.Add(1)
+		go func(i int, m hetsim.Mix) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i].alone = hetsim.RunGPUAlone(cfg, m.Game)
+		}(i, m)
+		wg.Add(1)
+		go func(i int, m hetsim.Mix) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i].het = hetsim.RunMix(cfg, m)
+		}(i, m)
+	}
+	wg.Wait()
+
 	fmt.Printf("%-14s %10s %10s %10s %8s\n", "title", "alone", "hetero", "tableII", "ratio")
-	for _, m := range hetsim.EvalMixes() {
+	for i, m := range mixes {
 		g, _ := hetsim.GameByName(m.Game)
-		alone := hetsim.RunGPUAlone(cfg, m.Game)
-		het := hetsim.RunMix(cfg, m)
 		ratio := 0.0
 		if g.TableFPS > 0 {
-			ratio = het.GPUFPS / g.TableFPS
+			ratio = rows[i].het.GPUFPS / g.TableFPS
 		}
 		fmt.Printf("%-14s %10.1f %10.1f %10.1f %8.2f\n",
-			m.Game, alone.GPUFPS, het.GPUFPS, g.TableFPS, ratio)
+			m.Game, rows[i].alone.GPUFPS, rows[i].het.GPUFPS, g.TableFPS, ratio)
 	}
 }

@@ -2,8 +2,14 @@
 //
 //	experiments -exp fig9            # one experiment
 //	experiments -all                 # everything, paper order
+//	experiments -all -workers 8      # 8 simulations in flight at once
 //	experiments -exp fig12 -scale 32 # heavier, closer-to-paper run
 //	experiments -ablate step -mix M7 # beyond-paper ablations
+//
+// Every experiment's full (mix, policy) run set is dispatched to the
+// runner's worker pool up front (default width: HETSIM_PARALLEL or
+// GOMAXPROCS), so independent simulations execute concurrently while
+// reports print in order. Output is byte-identical to a serial run.
 //
 // Output is one printable block per experiment with the headline
 // aggregate the paper quotes; EXPERIMENTS.md records a reference run.
@@ -31,6 +37,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv, json, chart")
 		save    = flag.String("save", "", "write the run's reports to a JSON archive")
 		compare = flag.String("compare", "", "diff this run against a saved archive (>=5% drift)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -48,6 +55,7 @@ func main() {
 		cfg.MinFrames = 3
 	}
 	runner := hetsim.NewRunner(cfg)
+	runner.Workers = *workers
 
 	if *ablate != "" {
 		runAblation(runner, *ablate, *mixID, outFormat)
@@ -61,6 +69,12 @@ func main() {
 			os.Exit(2)
 		}
 		ids = []string{*expID}
+	}
+	// Dispatch every experiment's run set to the pool, then assemble
+	// and print in order; assembly joins the in-flight runs.
+	if err := runner.Prefetch(ids...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	arch := exp.NewArchive(*scale)
 	for _, id := range ids {

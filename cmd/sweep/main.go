@@ -4,6 +4,10 @@
 //
 //	sweep -mix M7 -targets 30,40,50,60 -policies baseline,throttle+prio
 //	sweep -mix M13 -scale 48 > m13.csv
+//
+// Grid cells are independent simulations and run concurrently on a
+// bounded pool (-workers, default HETSIM_PARALLEL or GOMAXPROCS);
+// rows are emitted in grid order regardless of completion order.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/hetsim"
 )
@@ -35,6 +40,7 @@ func main() {
 		targets  = flag.String("targets", "30,40,50", "comma-separated QoS targets (FPS)")
 		policies = flag.String("policies", "baseline,throttle,throttle+prio", "comma-separated policies")
 		prefetch = flag.Bool("prefetch", false, "enable the CPU L2 stride prefetchers")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -62,18 +68,45 @@ func main() {
 		pols = append(pols, pol)
 	}
 
-	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
+	type cell struct {
+		pol hetsim.Policy
+		tgt float64
+	}
+	var grid []cell
 	for _, pol := range pols {
 		for _, tgt := range tgts {
+			grid = append(grid, cell{pol, tgt})
+		}
+	}
+
+	n := *workers
+	if n <= 0 {
+		n = hetsim.DefaultWorkers()
+	}
+	sem := make(chan struct{}, n)
+	rows := make([]string, len(grid))
+	var wg sync.WaitGroup
+	for i, c := range grid {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			cfg := hetsim.DefaultConfig(*scale)
-			cfg.Policy = pol
-			cfg.TargetFPS = tgt
+			cfg.Policy = c.pol
+			cfg.TargetFPS = c.tgt
 			cfg.CPUPrefetch = *prefetch
 			r := hetsim.RunMix(cfg, mix)
-			fmt.Printf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d\n",
-				mix.ID, pol, tgt, r.GPUFPS, r.MeanIPC(),
+			rows[i] = fmt.Sprintf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d",
+				mix.ID, c.pol, c.tgt, r.GPUFPS, r.MeanIPC(),
 				r.FrameStats.P95Cycles, r.FrameStats.Jank, r.FrameStats.BelowTarget,
 				r.GPUBandwidthBytes(), r.CPULLCMisses)
-		}
+		}(i, c)
+	}
+	wg.Wait()
+
+	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }

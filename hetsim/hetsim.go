@@ -73,8 +73,11 @@ type TraceParams = trace.Params
 // System is a fully wired simulated CMP (for custom workloads).
 type System = sim.System
 
-// Runner memoizes simulation runs and regenerates the paper's tables
-// and figures.
+// Runner regenerates the paper's tables and figures on a bounded
+// worker pool with memoized, singleflight-deduplicated simulation
+// runs. Set Runner.Workers to bound concurrency (0 = DefaultWorkers,
+// 1 = serial); RunAll/Prefetch dispatch an experiment set's full run
+// plan to the pool. Parallel output is byte-identical to serial.
 type Runner = exp.Runner
 
 // Report is a rendered experiment result.
@@ -105,6 +108,11 @@ func Run(s *System) Result { return sim.Run(s) }
 
 // NewRunner builds the experiment harness over cfg.
 func NewRunner(cfg Config) *Runner { return exp.NewRunner(cfg) }
+
+// DefaultWorkers is the worker-pool width used when Runner.Workers
+// is 0: the HETSIM_PARALLEL environment variable when set, else
+// runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return exp.DefaultWorkers() }
 
 // ExperimentIDs lists every reproducible table/figure id.
 func ExperimentIDs() []string { return exp.AllIDs() }

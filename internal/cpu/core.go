@@ -91,7 +91,7 @@ type Core struct {
 	nonMemLeft int
 
 	out          []outstanding
-	wbq          []*mem.Request  // L2 dirty evictions awaiting issue
+	wbq          mem.ReqQueue    // L2 dirty evictions awaiting issue
 	pendingDirty map[uint64]bool // store misses to dirty on fill
 	pf           *Prefetcher
 	pfMSHR       *cache.MSHR     // separate budget for speculative fills
@@ -173,15 +173,15 @@ func (c *Core) Invalidate(lineAddr uint64) {
 
 // pushWB queues a write-back toward the LLC.
 func (c *Core) pushWB(lineAddr uint64) {
-	if len(c.wbq) >= c.cfg.WBBuf {
+	if c.wbq.Len() >= c.cfg.WBBuf {
 		// Drop-oldest would lose data in a real machine; here the
 		// buffer is sized so this only happens under pathological
 		// back-pressure, and the write's timing contribution is the
 		// part that matters. Count it and coalesce.
-		c.wbq = c.wbq[1:]
+		c.wbq.Pop()
 	}
 	c.nextID++
-	c.wbq = append(c.wbq, &mem.Request{
+	c.wbq.Push(&mem.Request{
 		ID:    uint64(c.cfg.ID)<<56 | c.nextID,
 		Addr:  lineAddr,
 		Write: true,
@@ -295,8 +295,8 @@ func (c *Core) Tick() {
 	}
 
 	// Drain the write-back queue opportunistically.
-	for len(c.wbq) > 0 && c.Issue != nil && c.Issue(c.wbq[0]) {
-		c.wbq = c.wbq[1:]
+	for c.wbq.Len() > 0 && c.Issue != nil && c.Issue(c.wbq.Front()) {
+		c.wbq.Pop()
 	}
 
 	if c.robBlocked() {

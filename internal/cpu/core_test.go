@@ -227,8 +227,8 @@ func TestWriteBackBufferOverflowCoalesces(t *testing.T) {
 	for i := uint64(0); i < 5; i++ {
 		core.pushWB(0x1000 + i*64)
 	}
-	if len(core.wbq) > 2 {
-		t.Fatalf("write-back buffer grew past its cap: %d", len(core.wbq))
+	if core.wbq.Len() > 2 {
+		t.Fatalf("write-back buffer grew past its cap: %d", core.wbq.Len())
 	}
 }
 

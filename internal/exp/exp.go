@@ -74,76 +74,78 @@ func (rep Report) String() string {
 	return b.String()
 }
 
-// Runner runs experiments with memoized simulation results so that
-// figures sharing runs (9–12, 13–14) do not repeat them.
+// Runner runs experiments on a bounded worker pool with memoized,
+// singleflight-deduplicated simulation results: figures sharing runs
+// (9–12, 13–14) reuse both completed and still-in-flight simulations.
+// Each simulation is an independent System, so runs execute in
+// parallel without locks in the simulation core, and because every
+// run is deterministic for its (config, workload) key, parallel and
+// serial execution produce byte-identical reports.
 type Runner struct {
 	Cfg sim.Config
 
+	// Workers bounds how many simulations execute concurrently.
+	// 0 means DefaultWorkers() (HETSIM_PARALLEL or GOMAXPROCS);
+	// 1 gives strictly serial execution. Set it before the first
+	// run is dispatched.
+	Workers int
+
 	mu       sync.Mutex
-	mixRuns  map[string]sim.Result // key: mixID/policy
-	gpuAlone map[string]sim.Result // key: game (always baseline policy)
-	cpuAlone map[string]float64    // key: specID/ncpus
+	sem      chan struct{} // worker-pool tokens, sized on first use
+	started  int           // simulations executed (leaders only)
+	wg       sync.WaitGroup
+	mixRuns  map[string]*flight[sim.Result] // key: mixID/policy
+	gpuAlone map[string]*flight[sim.Result] // key: game (always baseline policy)
+	cpuAlone map[string]*flight[float64]    // key: specID
 }
 
 // NewRunner builds a runner over the given base configuration.
 func NewRunner(cfg sim.Config) *Runner {
 	return &Runner{
 		Cfg:      cfg,
-		mixRuns:  make(map[string]sim.Result),
-		gpuAlone: make(map[string]sim.Result),
-		cpuAlone: make(map[string]float64),
+		mixRuns:  make(map[string]*flight[sim.Result]),
+		gpuAlone: make(map[string]*flight[sim.Result]),
+		cpuAlone: make(map[string]*flight[float64]),
 	}
 }
 
 // mix runs (and caches) one mix under a policy, with NumCPUs taken
-// from the mix size.
+// from the mix size. Concurrent callers of the same key share one
+// run.
 func (x *Runner) mix(m workloads.Mix, p sim.Policy) sim.Result {
 	key := fmt.Sprintf("%s/%d", m.ID, p)
-	x.mu.Lock()
-	if r, ok := x.mixRuns[key]; ok {
-		x.mu.Unlock()
-		return r
+	f, leader := forKey(x, x.mixRuns, key)
+	if !leader {
+		<-f.done
+		return f.val
 	}
-	x.mu.Unlock()
-	cfg := x.Cfg
-	cfg.Policy = p
-	cfg.NumCPUs = len(m.SpecIDs)
-	r := sim.RunMix(cfg, m)
-	x.mu.Lock()
-	x.mixRuns[key] = r
-	x.mu.Unlock()
-	return r
+	return lead(x, f, func() sim.Result {
+		cfg := x.Cfg
+		cfg.Policy = p
+		cfg.NumCPUs = len(m.SpecIDs)
+		return sim.RunMix(cfg, m)
+	})
 }
 
 // gpuStandalone runs (and caches) a game alone.
 func (x *Runner) gpuStandalone(game string) sim.Result {
-	x.mu.Lock()
-	if r, ok := x.gpuAlone[game]; ok {
-		x.mu.Unlock()
-		return r
+	f, leader := forKey(x, x.gpuAlone, game)
+	if !leader {
+		<-f.done
+		return f.val
 	}
-	x.mu.Unlock()
-	r := sim.RunGPUAlone(x.Cfg, game)
-	x.mu.Lock()
-	x.gpuAlone[game] = r
-	x.mu.Unlock()
-	return r
+	return lead(x, f, func() sim.Result { return sim.RunGPUAlone(x.Cfg, game) })
 }
 
 // cpuStandalone runs (and caches) one SPEC app alone.
 func (x *Runner) cpuStandalone(specID int) float64 {
 	key := fmt.Sprintf("%d", specID)
-	x.mu.Lock()
-	if v, ok := x.cpuAlone[key]; ok {
-		x.mu.Unlock()
-		return v
+	f, leader := forKey(x, x.cpuAlone, key)
+	if !leader {
+		<-f.done
+		return f.val
 	}
-	x.mu.Unlock()
-	v := sim.RunCPUAlone(x.Cfg, specID)
-	x.mu.Lock()
-	x.cpuAlone[key] = v
-	x.mu.Unlock()
-	return v
+	return lead(x, f, func() float64 { return sim.RunCPUAlone(x.Cfg, specID) })
 }
 
 // weightedSpeedup computes the mix's weighted speedup normalized to

@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// detCfg is the smallest configuration that still runs every
+// subsystem: determinism and concurrency tests need many full runs,
+// not meaningful numbers.
+func detCfg() sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.WarmupInstr = 10_000
+	cfg.WarmupFrames = 1
+	cfg.MeasureInstr = 30_000
+	cfg.MinFrames = 1
+	cfg.MaxCycles = 10_000_000
+	return cfg
+}
+
+// render concatenates the reports the way cmd/experiments prints
+// them, so "byte-identical" means byte-identical observable output.
+func render(reps []Report) string {
+	var b strings.Builder
+	for _, rep := range reps {
+		b.WriteString(rep.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the same-seed→same-output guarantee
+// extended to the pool: the parallel Runner must produce output
+// byte-identical to the serial one at every worker count, because
+// scheduling may only change WHEN a simulation runs, never what it
+// computes.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ids := []string{"fig2", "fig3"}
+	baseline := ""
+	for _, workers := range []int{1, 2, 4, 8} {
+		x := NewRunner(detCfg())
+		x.Workers = workers
+		reps, err := x.RunAll(ids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Wait()
+		out := render(reps)
+		if baseline == "" {
+			baseline = out
+			continue
+		}
+		if out != baseline {
+			t.Fatalf("workers=%d output differs from serial output:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, baseline, workers, out)
+		}
+	}
+}
+
+// TestPlanMatchesFigures: prefetching an experiment's plan and then
+// assembling it must start zero additional simulations — otherwise
+// the plan table in plan.go has drifted from the figure code and part
+// of the work silently runs serially.
+func TestPlanMatchesFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	x := NewRunner(detCfg())
+	x.Workers = 4
+	for _, id := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig9"} {
+		if err := x.Prefetch(id); err != nil {
+			t.Fatal(err)
+		}
+		x.Wait()
+		before := x.Started()
+		if _, err := x.ByID(id); err != nil {
+			t.Fatal(err)
+		}
+		if after := x.Started(); after != before {
+			t.Errorf("%s: assembly started %d runs not covered by its plan", id, after-before)
+		}
+	}
+}
+
+func TestPlanUnknownID(t *testing.T) {
+	x := NewRunner(detCfg())
+	if err := x.Prefetch("fig99"); err == nil {
+		t.Fatal("no error for unknown experiment id")
+	}
+	if _, err := x.RunAll("nope"); err == nil {
+		t.Fatal("no error for unknown experiment id")
+	}
+}
+
+// TestRunnerConcurrentUse hammers one Runner from many goroutines on
+// colliding keys and checks singleflight deduplication: every caller
+// must observe the one shared run. This test runs even in -short mode
+// so the -race gate always exercises the memoization layer.
+func TestRunnerConcurrentUse(t *testing.T) {
+	x := NewRunner(detCfg())
+	x.Workers = 4
+	m := mixByIDOrDie(t, "W3")
+	var wg sync.WaitGroup
+	results := make([]sim.Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = x.mix(m, sim.PolicyBaseline)
+		}(i)
+	}
+	var alone [4]float64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			alone[i] = x.cpuStandalone(m.SpecIDs[0])
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if results[i].MeasuredCycles != results[0].MeasuredCycles ||
+			results[i].GPUFPS != results[0].GPUFPS {
+			t.Fatalf("goroutine %d observed a different result for the same key", i)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if alone[i] != alone[0] {
+			t.Fatalf("goroutine %d observed a different standalone IPC", i)
+		}
+	}
+	if got := x.Started(); got != 2 {
+		t.Fatalf("started %d runs, want 2 (12 colliding callers, 2 unique keys)", got)
+	}
+}
+
+// TestConcurrentPrefetchDedup overlaps Prefetch calls with direct
+// accessor calls whose keys sit inside the prefetched plan, and
+// checks the total run count is exactly the plan's unique-key count.
+func TestConcurrentPrefetchDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	x := NewRunner(detCfg())
+	x.Workers = 4
+	m := mixByIDOrDie(t, "W3")
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := x.Prefetch("fig3"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x.mix(m, sim.PolicyBaseline) // collides with the plan
+	}()
+	wg.Wait()
+	x.Wait()
+	// fig3 is 14 mixes x 2 policies; prefetching it twice plus the
+	// direct call must still run each key exactly once.
+	if got := x.Started(); got != 28 {
+		t.Fatalf("started %d runs, want 28 (deduplicated)", got)
+	}
+}
+
+// TestParallelSpeedup checks the wall-clock point of the pool: with
+// N≥4 workers the experiment set must regenerate at least 2x faster
+// than serially. Needs real hardware parallelism, so it skips on
+// smaller machines (GOMAXPROCS < 4) where the workers would just
+// time-slice one another.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs >=4 CPUs, have GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	}
+	ids := []string{"fig2", "fig3"}
+	run := func(workers int) (time.Duration, string) {
+		x := NewRunner(detCfg())
+		x.Workers = workers
+		start := time.Now()
+		reps, err := x.RunAll(ids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Wait()
+		return time.Since(start), render(reps)
+	}
+	serial, serialOut := run(1)
+	parallel, parallelOut := run(4)
+	if parallelOut != serialOut {
+		t.Fatal("parallel output differs from serial output")
+	}
+	if parallel > serial/2 {
+		t.Errorf("4 workers: %v, serial: %v — speedup %.2fx, want >=2x",
+			parallel, serial, float64(serial)/float64(parallel))
+	}
+}

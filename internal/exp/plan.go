@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// A task is one simulation an experiment needs: a heterogeneous mix
+// under a policy, a standalone game, or a standalone CPU application.
+// Plans enumerate tasks so Prefetch can dispatch an experiment's
+// whole run set to the worker pool before any row is assembled —
+// without plans, the figure code's sequential row loops would leave
+// the pool idle.
+type task struct {
+	mix    workloads.Mix // valid when kind == taskMix
+	policy sim.Policy
+	game   string // valid when kind == taskGPUAlone
+	specID int    // valid when kind == taskCPUAlone
+	kind   taskKind
+}
+
+type taskKind uint8
+
+const (
+	taskMix taskKind = iota
+	taskGPUAlone
+	taskCPUAlone
+)
+
+// run executes (or joins) the task through the memoizing accessors.
+func (x *Runner) run(t task) {
+	switch t.kind {
+	case taskMix:
+		x.mix(t.mix, t.policy)
+	case taskGPUAlone:
+		x.gpuStandalone(t.game)
+	case taskCPUAlone:
+		x.cpuStandalone(t.specID)
+	}
+}
+
+// mixTasks expands mixes × policies, optionally with each mix's
+// standalone runs alongside.
+func mixTasks(mixes []workloads.Mix, policies ...sim.Policy) []task {
+	var out []task
+	for _, m := range mixes {
+		for _, p := range policies {
+			out = append(out, task{kind: taskMix, mix: m, policy: p})
+		}
+	}
+	return out
+}
+
+// plan returns every simulation experiment id depends on. It must
+// stay in sync with the figure implementations; the plan consistency
+// test asserts that assembling an experiment after prefetching its
+// plan starts no additional runs.
+func plan(id string) ([]task, error) {
+	throttlePolicies := []sim.Policy{
+		sim.PolicyBaseline, sim.PolicyThrottle, sim.PolicyThrottleCPUPrio,
+	}
+	switch id {
+	case "table1", "table3":
+		return nil, nil
+	case "table2":
+		var out []task
+		for _, g := range workloads.Games() {
+			out = append(out, task{kind: taskGPUAlone, game: g.Name})
+		}
+		return out, nil
+	case "fig1":
+		out := mixTasks(workloads.MotivationMixes(), sim.PolicyBaseline)
+		for _, m := range workloads.MotivationMixes() {
+			out = append(out,
+				task{kind: taskCPUAlone, specID: m.SpecIDs[0]},
+				task{kind: taskGPUAlone, game: m.Game})
+		}
+		return out, nil
+	case "fig2":
+		out := mixTasks(workloads.MotivationMixes(), sim.PolicyBaseline)
+		for _, m := range workloads.MotivationMixes() {
+			out = append(out, task{kind: taskGPUAlone, game: m.Game})
+		}
+		return out, nil
+	case "fig3":
+		return mixTasks(workloads.MotivationMixes(),
+			sim.PolicyBaseline, sim.PolicyForcedBypass), nil
+	case "fig8":
+		return mixTasks(workloads.EvalMixes(), sim.PolicyDynPrio), nil
+	case "fig9", "fig10", "fig11":
+		return mixTasks(workloads.HighFPSMixes(), throttlePolicies...), nil
+	case "fig12":
+		return mixTasks(workloads.HighFPSMixes(), comparisonPolicies...), nil
+	case "fig13", "fig14":
+		return mixTasks(workloads.LowFPSMixes(), comparisonPolicies...), nil
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (fig1-3, fig8-14, table1-3)", id)
+}
+
+// Prefetch dispatches every simulation the given experiments depend
+// on to the worker pool and returns without waiting. Duplicate runs
+// across experiments (e.g. the shared baselines of figs. 9–12) are
+// coalesced by the singleflight cache. Use Wait to block for
+// completion, or simply assemble the experiments — their accessors
+// join the in-flight runs.
+func (x *Runner) Prefetch(ids ...string) error {
+	var tasks []task
+	for _, id := range ids {
+		ts, err := plan(id)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, ts...)
+	}
+	for _, t := range tasks {
+		x.wg.Add(1)
+		go func(t task) {
+			defer x.wg.Done()
+			x.run(t)
+		}(t)
+	}
+	return nil
+}
+
+// RunAll regenerates the given experiments (all of AllIDs when none
+// are named) with every underlying simulation dispatched to the
+// worker pool up front, and returns the reports in request order.
+// Output is byte-identical to running the experiments serially: the
+// pool only changes when simulations execute, never what any of them
+// computes.
+func (x *Runner) RunAll(ids ...string) ([]Report, error) {
+	if len(ids) == 0 {
+		ids = AllIDs()
+	}
+	if err := x.Prefetch(ids...); err != nil {
+		return nil, err
+	}
+	reports := make([]Report, 0, len(ids))
+	for _, id := range ids {
+		rep, err := x.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

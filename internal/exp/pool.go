@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// DefaultWorkers returns the width of a Runner's worker pool when
+// Runner.Workers is left at 0: the HETSIM_PARALLEL environment
+// variable when it holds a positive integer, else
+// runtime.GOMAXPROCS(0). Every simulation is an independent,
+// self-contained System, so the pool scales across cores without any
+// locking inside the simulation core.
+func DefaultWorkers() int {
+	if s := os.Getenv("HETSIM_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// flight is one memoized simulation in singleflight style: the first
+// requester (the leader) runs it and closes done; concurrent
+// requesters for the same key wait on done and share the in-flight
+// run instead of starting a duplicate.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+}
+
+// forKey returns the flight registered under key in m, creating and
+// registering a new one when absent. leader reports whether the
+// caller must execute the run and close done. Callers must hold no
+// locks; the Runner mutex is taken here only for the map access.
+func forKey[T any](x *Runner, m map[string]*flight[T], key string) (f *flight[T], leader bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if f, ok := m[key]; ok {
+		return f, false
+	}
+	f = &flight[T]{done: make(chan struct{})}
+	m[key] = f
+	return f, true
+}
+
+// semaphore returns the pool's token channel, sizing it on first use
+// from Workers (0 = DefaultWorkers()).
+func (x *Runner) semaphore() chan struct{} {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.sem == nil {
+		n := x.Workers
+		if n <= 0 {
+			n = DefaultWorkers()
+		}
+		if n < 1 {
+			n = 1
+		}
+		x.sem = make(chan struct{}, n)
+	}
+	return x.sem
+}
+
+// lead executes fn as the leader of a flight: it occupies one worker
+// slot for the duration of the simulation and counts the run. Waiting
+// flights hold no slot, so a figure assembling rows can block on
+// results without starving the pool.
+func lead[T any](x *Runner, f *flight[T], fn func() T) T {
+	sem := x.semaphore()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	defer close(f.done)
+	x.mu.Lock()
+	x.started++
+	x.mu.Unlock()
+	f.val = fn()
+	return f.val
+}
+
+// Started returns how many simulations this Runner has executed
+// (deduplicated runs count once). It is the observable the plan
+// consistency test uses: after Prefetch of an experiment, assembling
+// it must start no further runs.
+func (x *Runner) Started() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.started
+}
+
+// Wait blocks until every run dispatched by Prefetch has completed.
+func (x *Runner) Wait() { x.wg.Wait() }

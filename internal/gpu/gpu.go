@@ -126,7 +126,7 @@ type GPU struct {
 	// Observer receives RTP/frame completions (nil = none).
 	Observer Observer
 
-	outQ []*mem.Request
+	outQ mem.ReqQueue
 
 	cycle    uint64 // GPU cycles
 	cpuCycle uint64
@@ -311,23 +311,23 @@ func (g *GPU) Tick(cpuCycle uint64) {
 
 	// RTP completion.
 	if !g.curValid && g.str.phase == phaseDone &&
-		g.compute == 0 && g.mshr.Len() == 0 && len(g.outQ) == 0 {
+		g.compute == 0 && g.mshr.Len() == 0 && g.outQ.Len() == 0 {
 		g.finishRTP()
 	}
 }
 
 // drainOut injects buffered LLC requests through the throttle gate.
 func (g *GPU) drainOut() {
-	for n := 0; n < g.cfg.IssuePerCycle && len(g.outQ) > 0; n++ {
+	for n := 0; n < g.cfg.IssuePerCycle && g.outQ.Len() > 0; n++ {
 		if g.Gate != nil && !g.Gate.Allow(g.cycle) {
 			return
 		}
-		r := g.outQ[0]
+		r := g.outQ.Front()
 		r.Born = g.cpuCycle
 		if g.Issue == nil || !g.Issue(r) {
 			return
 		}
-		g.outQ = g.outQ[1:]
+		g.outQ.Pop()
 		if g.Gate != nil {
 			g.Gate.OnIssue(g.cycle)
 		}
@@ -340,7 +340,7 @@ func (g *GPU) drainOut() {
 // tryAccess routes one pipeline access through the internal caches.
 // It returns false on a structural hazard (retry next cycle).
 func (g *GPU) tryAccess(a access) bool {
-	if len(g.outQ) >= g.cfg.OutQ {
+	if g.outQ.Len() >= g.cfg.OutQ {
 		return false
 	}
 	switch a.class {
@@ -403,7 +403,7 @@ func (g *GPU) readMiss(a access) bool {
 	g.mshr.Allocate(line)
 	g.pendingRead[line] = a.class
 	g.nextID++
-	g.outQ = append(g.outQ, &mem.Request{
+	g.outQ.Push(&mem.Request{
 		ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
 		Addr:  line,
 		Src:   mem.SourceGPU,
@@ -418,7 +418,7 @@ func (g *GPU) readMiss(a access) bool {
 func (g *GPU) fillCache(c *cache.Cache, addr uint64, dirty bool) {
 	if v, ev := c.Fill(addr, dirty, mem.SourceGPU, classOf(c)); ev && v.Dirty {
 		g.nextID++
-		g.outQ = append(g.outQ, &mem.Request{
+		g.outQ.Push(&mem.Request{
 			ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
 			Addr:  v.Tag << mem.LineShift,
 			Write: true,

@@ -67,8 +67,8 @@ type LLC struct {
 	inQ     []*mem.Request
 	hits    []pendingResp
 	waiting map[uint64][]*mem.Request // line -> requests riding one DRAM miss
-	retryQ  []*mem.Request            // DRAM-bound requests the controller rejected
-	wbQ     []*mem.Request            // dirty-victim write-backs toward DRAM
+	retryQ  mem.ReqQueue              // DRAM-bound requests the controller rejected
+	wbQ     mem.ReqQueue              // dirty-victim write-backs toward DRAM
 
 	cycle uint64
 
@@ -138,11 +138,11 @@ func (l *LLC) Tick() {
 	}
 
 	// Retry write-backs and parked misses toward DRAM.
-	for len(l.wbQ) > 0 && l.ToDRAM != nil && l.ToDRAM(l.wbQ[0]) {
-		l.wbQ = l.wbQ[1:]
+	for l.wbQ.Len() > 0 && l.ToDRAM != nil && l.ToDRAM(l.wbQ.Front()) {
+		l.wbQ.Pop()
 	}
-	for len(l.retryQ) > 0 && l.ToDRAM != nil && l.ToDRAM(l.retryQ[0]) {
-		l.retryQ = l.retryQ[1:]
+	for l.retryQ.Len() > 0 && l.ToDRAM != nil && l.ToDRAM(l.retryQ.Front()) {
+		l.retryQ.Pop()
 	}
 
 	// Start new lookups. A request blocked on a structural hazard
@@ -196,7 +196,7 @@ func (l *LLC) lookup(r *mem.Request) bool {
 		l.waiting[line] = append(l.waiting[line], r)
 		return true
 	}
-	if l.mshr.Full() || len(l.retryQ) >= l.cfg.RetryQ {
+	if l.mshr.Full() || l.retryQ.Len() >= l.cfg.RetryQ {
 		return false
 	}
 	if l.Bypass != nil && r.Src == mem.SourceGPU && l.Bypass.ShouldBypass(r) {
@@ -207,7 +207,7 @@ func (l *LLC) lookup(r *mem.Request) bool {
 	l.mshr.Allocate(line)
 	l.waiting[line] = append(l.waiting[line], r)
 	if l.ToDRAM == nil || !l.ToDRAM(r) {
-		l.retryQ = append(l.retryQ, r)
+		l.retryQ.Push(r)
 	}
 	return true
 }
@@ -237,7 +237,7 @@ func (l *LLC) fill(line uint64, dirty bool, owner mem.Source, class mem.Class) {
 		}
 	}
 	if v.Dirty {
-		l.wbQ = append(l.wbQ, &mem.Request{
+		l.wbQ.Push(&mem.Request{
 			Addr:  vAddr,
 			Write: true,
 			Src:   v.Owner,

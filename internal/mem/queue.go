@@ -1,0 +1,48 @@
+package mem
+
+// ReqQueue is a FIFO of requests used on per-cycle paths (core
+// write-back buffers, the GPU's LLC-bound queue, the LLC's DRAM retry
+// and write-back queues, the system's ring-spill buffer). Pop
+// advances a head index instead of re-slicing, so the backing array
+// is recycled across cycles rather than shifted — the classic
+// `q = q[1:]` pattern keeps the drained prefix reachable and pins the
+// whole array for the run. Drained slots are nilled for the GC and
+// the prefix is compacted away once it dominates the array.
+//
+// The zero value is an empty queue.
+type ReqQueue struct {
+	q    []*Request
+	head int
+}
+
+// Len returns the number of queued requests.
+func (f *ReqQueue) Len() int { return len(f.q) - f.head }
+
+// Push appends a request.
+func (f *ReqQueue) Push(r *Request) { f.q = append(f.q, r) }
+
+// Front returns the oldest request. It panics when empty.
+func (f *ReqQueue) Front() *Request { return f.q[f.head] }
+
+// Pop removes and returns the oldest request. It panics when empty.
+func (f *ReqQueue) Pop() *Request {
+	r := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	switch {
+	case f.head == len(f.q):
+		// Drained: reuse the array from the start.
+		f.q = f.q[:0]
+		f.head = 0
+	case f.head > 32 && f.head*2 >= len(f.q):
+		// The dead prefix dominates: compact in place so the array
+		// stops growing even if the queue never fully drains.
+		n := copy(f.q, f.q[f.head:])
+		for i := n; i < len(f.q); i++ {
+			f.q[i] = nil
+		}
+		f.q = f.q[:n]
+		f.head = 0
+	}
+	return r
+}

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+func TestReqQueueFIFO(t *testing.T) {
+	var q ReqQueue
+	if q.Len() != 0 {
+		t.Fatalf("zero value not empty")
+	}
+	rs := make([]*Request, 5)
+	for i := range rs {
+		rs[i] = &Request{ID: uint64(i)}
+		q.Push(rs[i])
+	}
+	if q.Len() != 5 || q.Front() != rs[0] {
+		t.Fatalf("Len=%d Front=%v", q.Len(), q.Front())
+	}
+	for i := range rs {
+		if got := q.Pop(); got != rs[i] {
+			t.Fatalf("pop %d: got %v", i, got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("not empty after draining")
+	}
+	// Interleaved push/pop keeps FIFO order across the drain reset.
+	q.Push(rs[1])
+	q.Push(rs[2])
+	if q.Pop() != rs[1] || q.Pop() != rs[2] {
+		t.Fatalf("FIFO order lost after reuse")
+	}
+}
+
+func TestReqQueueSteadyStateNoAllocs(t *testing.T) {
+	var q ReqQueue
+	r := &Request{}
+	for i := 0; i < 64; i++ { // establish capacity
+		q.Push(r)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			q.Push(r)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestReqQueueCompactsDeadPrefix(t *testing.T) {
+	// Never fully drained: one element always remains. The compaction
+	// rule must still bound the backing array (the old q[1:] pattern
+	// grows it by one forever).
+	var q ReqQueue
+	r := &Request{}
+	q.Push(r)
+	for i := 0; i < 100_000; i++ {
+		q.Push(r)
+		q.Pop()
+	}
+	if c := cap(q.q); c > 1024 {
+		t.Fatalf("backing array grew to %d despite compaction", c)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", q.Len())
+	}
+}

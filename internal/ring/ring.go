@@ -32,6 +32,29 @@ type slot struct {
 	msg   Msg
 }
 
+// inQueue is a FIFO injection queue that pops by advancing a head
+// index instead of re-slicing, so the backing array is reused (and
+// fully reclaimed on drain) rather than shifted and pinned.
+type inQueue struct {
+	q    []Msg
+	head int
+}
+
+func (iq *inQueue) push(m Msg) { iq.q = append(iq.q, m) }
+
+func (iq *inQueue) pending() int { return len(iq.q) - iq.head }
+
+func (iq *inQueue) front() Msg { return iq.q[iq.head] }
+
+func (iq *inQueue) pop() {
+	iq.q[iq.head] = Msg{} // drop payload reference for GC
+	iq.head++
+	if iq.head == len(iq.q) {
+		iq.q = iq.q[:0]
+		iq.head = 0
+	}
+}
+
 // Ring is a bidirectional slotted ring. Slot movement is virtual:
 // instead of copying the slot arrays every cycle, a rotation offset
 // maps node positions onto the fixed arrays (slot j sits at node
@@ -42,8 +65,9 @@ type Ring struct {
 	cw    []slot // clockwise-moving slots (virtual rotation +1/tick)
 	ccw   []slot // counter-clockwise-moving slots (-1/tick)
 
-	inq  [][]Msg // per-node injection queues (unbounded; sources self-limit via MSHRs)
-	outq [][]Msg // per-node delivery queues
+	inq   []inQueue // per-node injection queues (unbounded; sources self-limit via MSHRs)
+	outq  [][]Msg   // per-node delivery queues
+	spare [][]Msg   // recycled delivery buffers (double-buffer per node)
 
 	cycle uint64
 
@@ -61,11 +85,12 @@ func New(n int) *Ring {
 		panic(fmt.Sprintf("ring: need >=2 nodes, got %d", n))
 	}
 	r := &Ring{
-		n:    n,
-		cw:   make([]slot, n),
-		ccw:  make([]slot, n),
-		inq:  make([][]Msg, n),
-		outq: make([][]Msg, n),
+		n:     n,
+		cw:    make([]slot, n),
+		ccw:   make([]slot, n),
+		inq:   make([]inQueue, n),
+		outq:  make([][]Msg, n),
+		spare: make([][]Msg, n),
 	}
 	return r
 }
@@ -85,16 +110,24 @@ func (r *Ring) Send(msg Msg) {
 		return
 	}
 	msg.injected = r.cycle
-	r.inq[msg.From] = append(r.inq[msg.From], msg)
-	if len(r.inq[msg.From]) > r.MaxInQueue {
-		r.MaxInQueue = len(r.inq[msg.From])
+	iq := &r.inq[msg.From]
+	iq.push(msg)
+	if iq.pending() > r.MaxInQueue {
+		r.MaxInQueue = iq.pending()
 	}
 }
 
-// Receive drains and returns all messages delivered to node.
+// Receive drains and returns all messages delivered to node. The
+// returned slice is only valid until the next Receive on the same
+// node: the ring keeps two delivery buffers per node and alternates
+// between them, so steady-state delivery does not allocate.
 func (r *Ring) Receive(node NodeID) []Msg {
 	q := r.outq[node]
-	r.outq[node] = nil
+	r.outq[node] = r.spare[node][:0]
+	r.spare[node] = q
+	if len(q) == 0 {
+		return nil
+	}
 	return q
 }
 
@@ -147,8 +180,8 @@ func (r *Ring) Tick() {
 	// Inject. Preferred direction is the shorter path; if that slot
 	// is occupied but the other direction's slot is free, take it.
 	for i := 0; i < r.n; i++ {
-		for len(r.inq[i]) > 0 {
-			msg := r.inq[i][0]
+		for iq := &r.inq[i]; iq.pending() > 0; {
+			msg := iq.front()
 			d := r.cwDist(NodeID(i), msg.To)
 			preferCW := d <= r.n-d
 			cs, cc := r.cwSlot(i), r.ccwSlot(i)
@@ -168,7 +201,7 @@ func (r *Ring) Tick() {
 			}
 			s.valid = true
 			s.msg = msg
-			r.inq[i] = r.inq[i][1:]
+			iq.pop()
 			r.Injected++
 			r.TotalWait += r.cycle - msg.injected
 		}
@@ -188,7 +221,7 @@ func (r *Ring) deliver(m Msg) {
 // Quiesced reports whether no message is in flight or queued.
 func (r *Ring) Quiesced() bool {
 	for i := 0; i < r.n; i++ {
-		if r.cw[i].valid || r.ccw[i].valid || len(r.inq[i]) > 0 || len(r.outq[i]) > 0 {
+		if r.cw[i].valid || r.ccw[i].valid || r.inq[i].pending() > 0 || len(r.outq[i]) > 0 {
 			return false
 		}
 	}

@@ -87,6 +87,59 @@ func TestContentionAllDelivered(t *testing.T) {
 	}
 }
 
+// The delivery path must be allocation-free in steady state: Receive
+// recycles each node's previous buffer instead of abandoning it, so
+// the per-cycle Send/Tick/Receive pattern of System.Tick settles onto
+// two backing arrays per node.
+func TestReceiveSteadyStateNoAllocs(t *testing.T) {
+	r := New(4)
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			r.Send(Msg{From: NodeID(i), To: NodeID((i + 1) % 4)})
+		}
+		r.Tick()
+		for i := 0; i < 4; i++ {
+			r.Receive(NodeID(i))
+		}
+	}
+	for i := 0; i < 16; i++ { // warm both buffers of every node
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state Send/Tick/Receive allocates %.1f allocs/cycle, want 0", avg)
+	}
+}
+
+// A slice returned by Receive stays valid until the next Receive on
+// the same node — the documented double-buffer contract.
+func TestReceiveBufferValidUntilNextReceive(t *testing.T) {
+	r := New(4)
+	r.Send(Msg{From: 0, To: 1, Payload: "a"})
+	got := drainAll(r, 50)
+	if len(got) != 1 || got[0].Payload != "a" {
+		t.Fatalf("setup: %v", got)
+	}
+	r.Send(Msg{From: 0, To: 1, Payload: "b"})
+	var first []Msg
+	for c := 0; c < 50 && len(first) == 0; c++ {
+		r.Tick()
+		first = r.Receive(1)
+	}
+	if len(first) != 1 || first[0].Payload != "b" {
+		t.Fatalf("second delivery: %v", first)
+	}
+	// No further Receive(1) has happened: the slice must be intact
+	// even after more traffic to other nodes.
+	r.Send(Msg{From: 2, To: 3, Payload: "c"})
+	for c := 0; c < 50; c++ {
+		r.Tick()
+		r.Receive(3)
+	}
+	if first[0].Payload != "b" {
+		t.Fatalf("buffer clobbered before next Receive: %v", first)
+	}
+}
+
 func TestBadEndpointsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// benchCfg is a small-but-real configuration: high scale keeps the
+// caches tiny so a bench iteration is cheap, while every subsystem
+// (ring, LLC, DRAM, GPU pipeline, FRPU/ATU) stays on its real code
+// path.
+func benchCfg(p Policy) Config {
+	cfg := DefaultConfig(192)
+	cfg.Policy = p
+	cfg.WarmupInstr = 40_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 120_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 30_000_000
+	return cfg
+}
+
+func benchSystem(b *testing.B, p Policy) *System {
+	b.Helper()
+	m, err := workloads.MixByID("M7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(p)
+	cfg.NumCPUs = len(m.SpecIDs)
+	game, apps := MixWorkload(cfg, m)
+	return NewSystem(cfg, game, apps)
+}
+
+// BenchmarkTick measures the per-cycle cost of the whole system —
+// ring movement, spill drain, LLC, DRAM, GPU and core ticks — after
+// the caches and queue buffers have warmed up. The steady-state
+// ring/spill path contributes 0 allocs; the remaining floor is the
+// per-miss *mem.Request churn (see DESIGN.md §6).
+func BenchmarkTick(b *testing.B) {
+	s := benchSystem(b, PolicyBaseline)
+	for i := 0; i < 200_000; i++ {
+		s.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkTickThrottled is BenchmarkTick under the full proposal, so
+// the FRPU/ATU/priority machinery is on the measured path too.
+func BenchmarkTickThrottled(b *testing.B) {
+	s := benchSystem(b, PolicyThrottleCPUPrio)
+	for i := 0; i < 200_000; i++ {
+		s.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkRunMix measures one complete measurement run (build,
+// warm-up, measure) of mix M7 under the baseline policy.
+func BenchmarkRunMix(b *testing.B) {
+	m, err := workloads.MixByID("M7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(PolicyBaseline)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunMix(cfg, m)
+	}
+}

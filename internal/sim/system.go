@@ -142,10 +142,12 @@ type System struct {
 	// CMBAL is non-nil for the CM-BAL policy.
 	CMBAL *qos.CMBAL
 
-	cycle    uint64
-	llcNode  ring.NodeID
-	gpuNode  ring.NodeID
-	spill    []*mem.Request
+	cycle   uint64
+	llcNode ring.NodeID
+	gpuNode ring.NodeID
+	// spill buffers ring arrivals the LLC could not accept this
+	// cycle; the queue recycles its backing array (mem.ReqQueue).
+	spill    mem.ReqQueue
 	maxNodes int
 }
 
@@ -286,10 +288,10 @@ func (s *System) Tick() {
 
 	// Deliver ring arrivals.
 	for _, m := range s.Ring.Receive(s.llcNode) {
-		s.spill = append(s.spill, m.Payload.(*mem.Request))
+		s.spill.Push(m.Payload.(*mem.Request))
 	}
-	for len(s.spill) > 0 && s.LLC.Enqueue(s.spill[0]) {
-		s.spill = s.spill[1:]
+	for s.spill.Len() > 0 && s.LLC.Enqueue(s.spill.Front()) {
+		s.spill.Pop()
 	}
 	for i := range s.Cores {
 		for _, m := range s.Ring.Receive(ring.NodeID(i)) {
