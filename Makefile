@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench cover ci
 
 all: ci
 
@@ -25,9 +25,22 @@ race:
 	$(GO) test -race -short ./...
 
 # Short-scale benchmarks: one pass over the hot-path benches with
-# -benchmem so allocation regressions in ring/Tick are visible.
+# -benchmem so allocation regressions in ring/Tick are visible. The
+# BenchmarkTick pattern also covers BenchmarkTickObsDisabled/Enabled,
+# pinning the observability layer's zero-overhead-when-disabled claim.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTickReceive' -benchtime 10000x -benchmem ./internal/ring
 	$(GO) test -run '^$$' -bench 'BenchmarkTick' -benchtime 10000x -benchmem ./internal/sim
 
-ci: vet build test race bench
+# Coverage gate for the observability layer: internal/obs is pure
+# bookkeeping that every experiment's output flows through, so its
+# statements must stay >= 80% covered by its own unit tests.
+OBS_MIN_COVER = 80
+cover:
+	$(GO) test -cover -coverprofile=/tmp/obs.cover ./internal/obs
+	@total=$$($(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total% (floor $(OBS_MIN_COVER)%)"; \
+	awk "BEGIN {exit !($$total >= $(OBS_MIN_COVER))}" || \
+		{ echo "FAIL: internal/obs coverage $$total% below $(OBS_MIN_COVER)%"; exit 1; }
+
+ci: vet build test race bench cover

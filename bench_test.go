@@ -49,6 +49,7 @@ func benchRunner() *hetsim.Runner {
 // surface its headline numbers.
 func runExperiment(b *testing.B, id string, metrics func(rep hetsim.Report, b *testing.B)) {
 	b.Helper()
+	b.ReportAllocs()
 	x := benchRunner()
 	if err := x.Prefetch(id); err != nil {
 		b.Fatal(err)
@@ -167,6 +168,7 @@ func BenchmarkFig14Combined(b *testing.B) {
 // Ablations beyond the paper (DESIGN.md §4).
 
 func BenchmarkAblationWindowStep(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationWindowStep("M7", []uint64{1, 2, 4, 8})
@@ -180,6 +182,7 @@ func BenchmarkAblationWindowStep(b *testing.B) {
 }
 
 func BenchmarkAblationTargetFPS(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationTargetFPS("M7", []float64{30, 40, 50})
@@ -193,6 +196,7 @@ func BenchmarkAblationTargetFPS(b *testing.B) {
 }
 
 func BenchmarkAblationUpdateLaw(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationUpdateLaw("M7")
@@ -206,6 +210,7 @@ func BenchmarkAblationUpdateLaw(b *testing.B) {
 }
 
 func BenchmarkAblationCMBAL(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationCMBAL("M13")
@@ -219,6 +224,7 @@ func BenchmarkAblationCMBAL(b *testing.B) {
 }
 
 func BenchmarkAblationPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationPrefetch("M7")
@@ -232,6 +238,7 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 }
 
 func BenchmarkAblationLLCPolicy(b *testing.B) {
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rep, err := x.AblationLLCPolicy("M7")
@@ -250,6 +257,7 @@ func BenchmarkAblationRTPTableSize(b *testing.B) {
 	// accumulation path indirectly by running the throttled policy on
 	// the highest-RTP-count title and reporting FRPU accuracy, which
 	// would degrade if the table were too small for the frame shape.
+	b.ReportAllocs()
 	x := benchRunner()
 	for i := 0; i < b.N; i++ {
 		m, err := hetsim.MixByID("M1") // 3DMark06GT1: most RTPs per frame

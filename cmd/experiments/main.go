@@ -38,6 +38,9 @@ func main() {
 		save    = flag.String("save", "", "write the run's reports to a JSON archive")
 		compare = flag.String("compare", "", "diff this run against a saved archive (>=5% drift)")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
+		metrics = flag.String("metrics-out", "", "write every run's sampled time series (CSV sections) here")
+		traceF  = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per run)")
+		stride  = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,33 @@ func main() {
 	}
 	runner := hetsim.NewRunner(cfg)
 	runner.Workers = *workers
+
+	// Observability: one isolated recorder per simulation, emitted in
+	// sorted key order — output is identical for any -workers setting.
+	var coll *hetsim.Collection
+	if *metrics != "" || *traceF != "" {
+		coll = hetsim.NewCollection(*stride)
+		runner.Observe = coll.Recorder
+	}
+	defer func() {
+		if coll == nil {
+			return
+		}
+		if *metrics != "" {
+			if err := coll.SaveMetrics(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", coll.Len(), *metrics)
+		}
+		if *traceF != "" {
+			if err := coll.SaveTrace(*traceF); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
+		}
+	}()
 
 	if *ablate != "" {
 		runAblation(runner, *ablate, *mixID, outFormat)

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -40,6 +41,9 @@ func main() {
 		scale   = flag.Int("scale", 64, "scale factor (1 = paper-size)")
 		target  = flag.Float64("target", 40, "QoS target FPS")
 		frames  = flag.Int("frames", 4, "minimum GPU frames in the window")
+		metrics = flag.String("metrics-out", "", "write sampled time-series CSV here")
+		traceF  = flag.String("trace-out", "", "write Chrome trace_event JSON here (chrome://tracing, Perfetto)")
+		stride  = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,14 @@ func main() {
 	cfg.TargetFPS = *target
 	cfg.MinFrames = *frames
 
+	// rec stays nil (observability fully off) unless an output flag
+	// asks for it.
+	var rec *hetsim.Recorder
+	if *metrics != "" || *traceF != "" {
+		rec = hetsim.NewRecorder(*stride)
+	}
+
+	var label string
 	switch {
 	case *mixID != "":
 		m, err := hetsim.MixByID(*mixID)
@@ -60,18 +72,49 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		r := hetsim.RunMix(cfg, m)
+		r := hetsim.RunMixObs(cfg, m, rec)
+		label = m.ID
 		printResult(m.ID+" ("+m.Game+")", r)
 	case *gpuName != "":
-		r := hetsim.RunGPUAlone(cfg, *gpuName)
+		r := hetsim.RunGPUAloneObs(cfg, *gpuName, rec)
+		label = *gpuName
 		printResult(*gpuName+" standalone", r)
 	case *cpuID != 0:
-		ipc := hetsim.RunCPUAlone(cfg, *cpuID)
+		ipc := hetsim.RunCPUAloneObs(cfg, *cpuID, rec)
+		label = fmt.Sprintf("spec%d", *cpuID)
 		fmt.Printf("SPEC %d standalone IPC: %.3f\n", *cpuID, ipc)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *metrics != "" {
+		if err := saveTo(*metrics, rec.WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metrics)
+	}
+	if *traceF != "" {
+		err := saveTo(*traceF, func(w io.Writer) error { return rec.WriteTrace(w, label) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
+	}
+}
+
+func saveTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(label string, r hetsim.Result) {

@@ -41,6 +41,9 @@ func main() {
 		policies = flag.String("policies", "baseline,throttle,throttle+prio", "comma-separated policies")
 		prefetch = flag.Bool("prefetch", false, "enable the CPU L2 stride prefetchers")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
+		metrics  = flag.String("metrics-out", "", "write every cell's sampled time series (CSV sections) here")
+		traceF   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per cell)")
+		stride   = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 	)
 	flag.Parse()
 
@@ -79,6 +82,13 @@ func main() {
 		}
 	}
 
+	// Per-cell isolated recorders keyed by grid coordinates; a nil
+	// collection hands out nil recorders (observability off).
+	var coll *hetsim.Collection
+	if *metrics != "" || *traceF != "" {
+		coll = hetsim.NewCollection(*stride)
+	}
+
 	n := *workers
 	if n <= 0 {
 		n = hetsim.DefaultWorkers()
@@ -96,7 +106,8 @@ func main() {
 			cfg.Policy = c.pol
 			cfg.TargetFPS = c.tgt
 			cfg.CPUPrefetch = *prefetch
-			r := hetsim.RunMix(cfg, mix)
+			rec := coll.Recorder(fmt.Sprintf("%s/%s/%.0f", mix.ID, c.pol, c.tgt))
+			r := hetsim.RunMixObs(cfg, mix, rec)
 			rows[i] = fmt.Sprintf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d",
 				mix.ID, c.pol, c.tgt, r.GPUFPS, r.MeanIPC(),
 				r.FrameStats.P95Cycles, r.FrameStats.Jank, r.FrameStats.BelowTarget,
@@ -108,5 +119,20 @@ func main() {
 	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
 	for _, row := range rows {
 		fmt.Println(row)
+	}
+
+	if *metrics != "" {
+		if err := coll.SaveMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics for %d cells written to %s\n", coll.Len(), *metrics)
+	}
+	if *traceF != "" {
+		if err := coll.SaveTrace(*traceF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
 	}
 }

@@ -28,6 +28,7 @@ package hetsim
 import (
 	"repro/internal/exp"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -96,6 +97,37 @@ func RunCPUAlone(cfg Config, specID int) float64 { return sim.RunCPUAlone(cfg, s
 
 // RunGPUAlone measures a game's standalone frame rate.
 func RunGPUAlone(cfg Config, game string) Result { return sim.RunGPUAlone(cfg, game) }
+
+// Recorder is a per-run observability recorder: a pull-based metrics
+// registry sampled every stride cycles plus a Chrome trace_event
+// span collector. A nil *Recorder is valid and disables observability
+// at zero cost.
+type Recorder = obs.Recorder
+
+// Collection is a keyed set of recorders for multi-run tools; output
+// is emitted in sorted key order, so it is deterministic under any
+// worker count.
+type Collection = obs.Collection
+
+// NewRecorder builds a recorder sampling every stride cycles
+// (0 = obs.DefaultStride).
+func NewRecorder(stride uint64) *Recorder { return obs.NewRecorder(stride) }
+
+// NewCollection builds a recorder collection with the given stride.
+func NewCollection(stride uint64) *Collection { return obs.NewCollection(stride) }
+
+// RunMixObs is RunMix with a recorder attached (nil = off).
+func RunMixObs(cfg Config, m Mix, rec *Recorder) Result { return sim.RunMixObs(cfg, m, rec) }
+
+// RunCPUAloneObs is RunCPUAlone with a recorder attached (nil = off).
+func RunCPUAloneObs(cfg Config, specID int, rec *Recorder) float64 {
+	return sim.RunCPUAloneObs(cfg, specID, rec)
+}
+
+// RunGPUAloneObs is RunGPUAlone with a recorder attached (nil = off).
+func RunGPUAloneObs(cfg Config, game string, rec *Recorder) Result {
+	return sim.RunGPUAloneObs(cfg, game, rec)
+}
 
 // NewSystem builds a custom system: any GPU workload model (nil for
 // CPU-only) plus any set of CPU trace parameters. Drive it with Run.

@@ -1,0 +1,135 @@
+package core
+
+import "testing"
+
+// TestATUFig6WindowGrowth pins the paper's Fig. 6 window-update law
+// (Feedback off): with CT=1000, CP=500, A=10 the closed-form bound is
+// (CT-CP)/A = 50 GPU cycles, approached in WindowStep=2 increments and
+// never exceeded.
+func TestATUFig6WindowGrowth(t *testing.T) {
+	a := NewATU() // Feedback false by default; NewController opts in
+	const (
+		cp = 500.0
+		ct = 1000.0
+		A  = 10.0
+	)
+	want := (ct - cp) / A // 50
+
+	var prev uint64
+	for i := 0; i < 40; i++ {
+		a.Update(cp, ct, A, true)
+		if a.NG != 1 {
+			t.Fatalf("update %d: NG = %d, want 1 (Fig. 6 fixes NG)", i, a.NG)
+		}
+		grew := a.WG - prev
+		if float64(prev) < want {
+			if grew != a.WindowStep {
+				t.Fatalf("update %d: WG grew by %d below the bound, want step %d", i, grew, a.WindowStep)
+			}
+		} else if grew != 0 {
+			t.Fatalf("update %d: WG grew past the (CT-CP)/A bound: %d -> %d", i, prev, a.WG)
+		}
+		prev = a.WG
+	}
+	if float64(a.WG) < want || float64(a.WG) >= want+float64(a.WindowStep) {
+		t.Errorf("steady-state WG = %d, want first step value >= %.0f", a.WG, want)
+	}
+}
+
+// TestATUFig6Reset pins the left branch of Fig. 6: a predicted frame
+// slower than the target disables throttling entirely (NG=1, WG=0).
+func TestATUFig6Reset(t *testing.T) {
+	a := NewATU()
+	for i := 0; i < 5; i++ {
+		a.Update(500, 1000, 10, true)
+	}
+	if !a.Active() {
+		t.Fatal("ATU not throttling after 5 below-target updates")
+	}
+	a.Update(1200, 1000, 10, true) // CP > CT
+	if a.WG != 0 || a.NG != 1 {
+		t.Errorf("after CP > CT: (NG, WG) = (%d, %d), want (1, 0)", a.NG, a.WG)
+	}
+	if a.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", a.Resets)
+	}
+	// Growth restarts from zero afterwards.
+	a.Update(500, 1000, 10, true)
+	if a.WG != a.WindowStep {
+		t.Errorf("post-reset WG = %d, want one step (%d)", a.WG, a.WindowStep)
+	}
+}
+
+// TestATUInvalidPredictionDisables: without a valid FRPU prediction
+// (learning phase, or A=0) the gate must be wide open.
+func TestATUInvalidPredictionDisables(t *testing.T) {
+	a := NewATU()
+	for i := 0; i < 5; i++ {
+		a.Update(500, 1000, 10, true)
+	}
+	a.Update(500, 1000, 10, false)
+	if a.Active() {
+		t.Error("ATU still throttling with an invalid prediction")
+	}
+	for i := 0; i < 5; i++ {
+		a.Update(500, 1000, 10, true)
+	}
+	a.Update(500, 1000, 0, true) // A == 0
+	if a.Active() {
+		t.Error("ATU still throttling with zero accesses per frame")
+	}
+}
+
+// TestATUGateWindow drives the Allow/OnIssue port gate: with NG=1 and
+// WG=8, exactly one access passes per 8-GPU-cycle window.
+func TestATUGateWindow(t *testing.T) {
+	a := NewATU()
+	a.NG, a.WG = 1, 8
+
+	if !a.Allow(0) {
+		t.Fatal("first access of window denied")
+	}
+	a.OnIssue(0)
+	for c := uint64(1); c < 8; c++ {
+		if a.Allow(c) {
+			t.Fatalf("cycle %d: second access allowed inside the window", c)
+		}
+	}
+	if !a.Allow(8) {
+		t.Fatal("access denied after window expiry")
+	}
+	a.OnIssue(8)
+	if a.DeniedAcc != 7 || a.AllowedAcc != 2 {
+		t.Errorf("denied/allowed = %d/%d, want 7/2", a.DeniedAcc, a.AllowedAcc)
+	}
+
+	// WG=0 disables the gate entirely.
+	a.WG = 0
+	for c := uint64(0); c < 4; c++ {
+		if !a.Allow(c) {
+			t.Fatal("unthrottled gate denied an access")
+		}
+	}
+}
+
+// TestATUFeedbackLaw pins the integral variant the controller enables:
+// growth below 95% of target, multiplicative back-off at/after target.
+func TestATUFeedbackLaw(t *testing.T) {
+	a := NewATU()
+	a.Feedback = true
+
+	for i := 0; i < 4; i++ {
+		a.Update(900, 1000, 10, true) // 90% of target: grow
+	}
+	if a.WG != 4*a.WindowStep {
+		t.Fatalf("WG = %d after 4 grow updates, want %d", a.WG, 4*a.WindowStep)
+	}
+	a.Update(970, 1000, 10, true) // deadband: 95%..100% holds
+	if a.WG != 4*a.WindowStep {
+		t.Errorf("WG = %d inside the deadband, want unchanged %d", a.WG, 4*a.WindowStep)
+	}
+	a.Update(1000, 1000, 10, true) // at target: halve
+	if a.WG != 2*a.WindowStep {
+		t.Errorf("WG = %d after back-off, want %d", a.WG, 2*a.WindowStep)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// rtp builds a learning/prediction RTP observation.
+func rtp(idx int, cycles, updates, accesses uint64) gpu.RTPInfo {
+	return gpu.RTPInfo{
+		Index:       idx,
+		Cycles:      cycles,
+		Updates:     updates,
+		Tiles:       4,
+		LLCAccesses: accesses,
+	}
+}
+
+// learnFrame drives the FRPU through one learning frame with the given
+// per-RTP cycle counts (updates=10, accesses=20 per RTP).
+func learnFrame(f *FRPU, cycles ...uint64) {
+	for i, c := range cycles {
+		f.ObserveRTP(rtp(i, c, 10, 20))
+	}
+	var sum uint64
+	for _, c := range cycles {
+		sum += c
+	}
+	f.ObserveFrame(gpu.FrameInfo{Index: 0, Cycles: sum, RTPs: len(cycles)})
+}
+
+// TestFRPUEq3HandComputed pins Eq. 3, F = (λ·C_inter + (1−λ)·C_avg) ·
+// N_rtp, against a hand-computed fixture: learned frame [100,200,300]
+// gives C_avg=200, N_rtp=3; one observed 150-cycle RTP gives λ=1/3,
+// C_inter=150, so F = (50 + 400/3)·3 = 550.
+func TestFRPUEq3HandComputed(t *testing.T) {
+	f := NewFRPU()
+	learnFrame(f, 100, 200, 300)
+	if f.Phase() != Prediction {
+		t.Fatal("FRPU did not enter prediction after a learned frame")
+	}
+	if a, ok := f.AccessesPerFrame(); !ok || a != 60 {
+		t.Fatalf("AccessesPerFrame = %v, %v; want 60, true", a, ok)
+	}
+
+	f.ObserveRTP(rtp(0, 150, 10, 20))
+	got, ok := f.PredictedFrameCycles()
+	if !ok {
+		t.Fatal("no prediction in prediction phase")
+	}
+	const want = 550.0
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Eq. 3 prediction = %v, want %v", got, want)
+	}
+
+	// Second RTP at 250 cycles: λ=2/3, C_inter=200, F = (400/3 +
+	// 200/3)·3 = 600.
+	f.ObserveRTP(rtp(1, 250, 10, 20))
+	got, _ = f.PredictedFrameCycles()
+	if diff := got - 600; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Eq. 3 prediction after 2 RTPs = %v, want 600", got)
+	}
+}
+
+// TestFRPUEq3LambdaClamp: observing more RTPs than the learned N_rtp
+// clamps λ at 1, so F degenerates to C_inter · N_rtp.
+func TestFRPUEq3LambdaClamp(t *testing.T) {
+	f := NewFRPU()
+	learnFrame(f, 100, 100)
+	for i := 0; i < 4; i++ { // 4 observed > 2 learned
+		f.ObserveRTP(rtp(i%TableEntries, 300, 10, 20))
+	}
+	got, ok := f.PredictedFrameCycles()
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if got != 600 { // C_inter=300 · N_rtp=2
+		t.Errorf("clamped prediction = %v, want 600", got)
+	}
+}
+
+// TestFRPUNoPredictionWhileLearning: Eq. 3 is unavailable until one
+// full frame has been learned.
+func TestFRPUNoPredictionWhileLearning(t *testing.T) {
+	f := NewFRPU()
+	if _, ok := f.PredictedFrameCycles(); ok {
+		t.Error("fresh FRPU produced a prediction")
+	}
+	f.ObserveRTP(rtp(0, 100, 10, 20))
+	if _, ok := f.PredictedFrameCycles(); ok {
+		t.Error("mid-learning FRPU produced a prediction")
+	}
+	if _, ok := f.AccessesPerFrame(); ok {
+		t.Error("mid-learning FRPU reported accesses per frame")
+	}
+	// A zero-RTP frame must not switch phases (no profile learned).
+	f2 := NewFRPU()
+	f2.ObserveFrame(gpu.FrameInfo{Index: 0, Cycles: 0, RTPs: 0})
+	if f2.Phase() != Learning {
+		t.Error("FRPU entered prediction off an empty frame")
+	}
+}
+
+// TestFRPUDivergenceFallback pins the Fig. 4 point-B transition: a
+// prediction-phase RTP whose work diverges from the learned profile by
+// more than Threshold discards the table and re-enters learning, and
+// the diverging RTP seeds the fresh pass.
+func TestFRPUDivergenceFallback(t *testing.T) {
+	f := NewFRPU() // Threshold 0.5
+	learnFrame(f, 100, 200, 300)
+
+	// Boundary: exactly threshold divergence (updates 10 -> 15,
+	// |d|/learned = 0.5) must NOT relearn — the check is strict.
+	f.ObserveRTP(rtp(0, 150, 15, 20))
+	if f.Phase() != Prediction || f.Relearns != 0 {
+		t.Fatalf("relearned at exactly-threshold divergence (phase %v, relearns %d)",
+			f.Phase(), f.Relearns)
+	}
+
+	// Past threshold (updates 10 -> 16, 0.6 > 0.5): relearn.
+	f.ObserveRTP(rtp(1, 150, 16, 20))
+	if f.Phase() != Learning {
+		t.Fatal("FRPU stayed in prediction past the divergence threshold")
+	}
+	if f.Relearns != 1 {
+		t.Errorf("Relearns = %d, want 1", f.Relearns)
+	}
+	tab := f.Table()
+	if !tab[0].Valid || tab[0].Updates != 16 {
+		t.Errorf("diverging RTP did not seed the fresh learning pass: %+v", tab[0])
+	}
+	if tab[1].Valid {
+		t.Error("stale learned entries survived the relearn")
+	}
+
+	// Divergence on LLC accesses alone also triggers the fallback.
+	f2 := NewFRPU()
+	learnFrame(f2, 100, 200, 300)
+	f2.ObserveRTP(rtp(0, 150, 10, 31)) // accesses 20 -> 31: 0.55 > 0.5
+	if f2.Phase() != Learning || f2.Relearns != 1 {
+		t.Error("access-count divergence did not trigger a relearn")
+	}
+
+	// Cycles are deliberately NOT checked for divergence (throttling
+	// legitimately stretches them; see FRPU.Threshold).
+	f3 := NewFRPU()
+	learnFrame(f3, 100, 200, 300)
+	f3.ObserveRTP(rtp(0, 5000, 10, 20))
+	if f3.Phase() != Prediction {
+		t.Error("cycle-only divergence triggered a relearn")
+	}
+}
+
+// TestFRPUProfileRefresh: each completed prediction-phase frame
+// refreshes the learned averages so the profile tracks slow drift.
+func TestFRPUProfileRefresh(t *testing.T) {
+	f := NewFRPU()
+	learnFrame(f, 100, 100)
+
+	// A frame of 200-cycle RTPs (same work profile) completes.
+	f.ObserveRTP(rtp(0, 200, 10, 20))
+	f.ObserveRTP(rtp(1, 200, 10, 20))
+	f.ObserveFrame(gpu.FrameInfo{Index: 1, Cycles: 400, RTPs: 2})
+
+	// The next frame's first RTP predicts against the refreshed
+	// C_avg=200: λ=1/2, F = (0.5·200 + 0.5·200)·2 = 400.
+	f.ObserveRTP(rtp(0, 200, 10, 20))
+	got, _ := f.PredictedFrameCycles()
+	if got != 400 {
+		t.Errorf("prediction after profile refresh = %v, want 400", got)
+	}
+	if len(f.Errors) != 1 {
+		t.Errorf("Errors has %d entries after one predicted frame, want 1", len(f.Errors))
+	}
+}

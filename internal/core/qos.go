@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dram"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 )
 
 // Mode selects which pieces of the proposal are active.
@@ -131,6 +132,35 @@ func (c *Controller) Boost() dram.BoostState {
 	return dram.BoostNone
 }
 
+// RegisterObs registers the controller's FRPU phase, ATU window
+// state, and DRAM priority boost with the observability registry —
+// the time-series behaviors behind the paper's Fig. 6 controller
+// dynamics.
+func (c *Controller) RegisterObs(reg *obs.Registry) {
+	c.FRPU.RegisterObs(reg)
+	c.ATU.RegisterObs(reg)
+	reg.Gauge("dram.boost", func() float64 { return float64(c.Boost()) })
+}
+
+// RegisterObs registers the FRPU's phase and accuracy counters.
+func (f *FRPU) RegisterObs(reg *obs.Registry) {
+	reg.Gauge("frpu.phase", func() float64 { return float64(f.phase) })
+	reg.Counter("frpu.relearns", func() uint64 { return uint64(f.Relearns) })
+	reg.Gauge("frpu.predicted_cycles", func() float64 {
+		p, _ := f.PredictedFrameCycles()
+		return p
+	})
+}
+
+// RegisterObs registers the ATU's window parameters and gate
+// counters.
+func (a *ATU) RegisterObs(reg *obs.Registry) {
+	reg.Gauge("atu.wg", func() float64 { return float64(a.WG) })
+	reg.Gauge("atu.ng", func() float64 { return float64(a.NG) })
+	reg.Counter("atu.denied", func() uint64 { return a.DeniedAcc })
+	reg.Counter("atu.resets", func() uint64 { return a.Resets })
+}
+
 // DynPrio is the dynamic priority DRAM scheduler provider of Jeong et
 // al. (DAC 2012) as the paper evaluates it (§IV): CPU accesses have
 // higher priority by default; the GPU is raised to equal priority
@@ -164,6 +194,13 @@ func (d *DynPrio) RTPComplete(info gpu.RTPInfo) { d.FRPU.ObserveRTP(info) }
 
 // FrameComplete implements gpu.Observer.
 func (d *DynPrio) FrameComplete(info gpu.FrameInfo) { d.FRPU.ObserveFrame(info) }
+
+// RegisterObs registers the provider's FRPU state and the current
+// three-level priority decision with the observability registry.
+func (d *DynPrio) RegisterObs(reg *obs.Registry) {
+	d.FRPU.RegisterObs(reg)
+	reg.Gauge("dram.boost", func() float64 { return float64(d.Boost()) })
+}
 
 // Boost implements the three-level DynPrio policy.
 func (d *DynPrio) Boost() dram.BoostState {

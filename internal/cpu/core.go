@@ -17,8 +17,11 @@
 package cpu
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -99,11 +102,13 @@ type Core struct {
 	nextID       uint64
 
 	// Stats (cumulative; the harness snapshots around windows).
-	StallCycles   uint64
-	LoadMisses    uint64
-	LLCRequests   uint64
-	TotalMissLat  uint64
-	CompletedMiss uint64
+	StallCycles    uint64
+	LoadMisses     uint64
+	LLCRequests    uint64 // demand read requests injected toward the ring
+	TotalMissLat   uint64
+	CompletedMiss  uint64
+	PrefetchIssued uint64 // speculative read requests injected
+	FillsReceived  uint64 // read responses delivered back (OnFill)
 }
 
 // New builds a core reading from gen (a synthetic trace.Generator or
@@ -193,6 +198,7 @@ func (c *Core) pushWB(lineAddr uint64) {
 
 // OnFill delivers a completed LLC/DRAM response to the core.
 func (c *Core) OnFill(r *mem.Request) {
+	c.FillsReceived++
 	line := r.LineAddr()
 	if r.Prefetch {
 		delete(c.pendingPf, line)
@@ -428,7 +434,20 @@ func (c *Core) issuePrefetches(targets []uint64) {
 		}
 		c.pfMSHR.Allocate(line)
 		c.pendingPf[line] = true
+		c.PrefetchIssued++
 	}
+}
+
+// RegisterObs registers the core's per-window IPC and miss counters
+// with the observability registry, prefixed "cpu<id>.".
+func (c *Core) RegisterObs(reg *obs.Registry) {
+	p := fmt.Sprintf("cpu%d.", c.cfg.ID)
+	reg.Ratio(p+"ipc",
+		func() uint64 { return c.retired },
+		func() uint64 { return c.cycle })
+	reg.Counter(p+"llc_reqs", func() uint64 { return c.LLCRequests })
+	reg.Counter(p+"stalls", func() uint64 { return c.StallCycles })
+	reg.Gauge(p+"mshr_inflight", func() float64 { return float64(c.mshr.Len()) })
 }
 
 // Prefetcher exposes the streamer (nil when disabled).

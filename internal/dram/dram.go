@@ -21,6 +21,7 @@ package dram
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Config describes the memory subsystem.
@@ -364,6 +365,30 @@ func (ch *channel) finish(r *mem.Request) {
 	if m.OnComplete != nil {
 		m.OnComplete(r)
 	}
+}
+
+// RegisterObs registers the memory system's row-hit rate, traffic,
+// queue occupancy, and bus utilization with the observability
+// registry.
+func (m *Memory) RegisterObs(reg *obs.Registry) {
+	reg.Ratio("dram.rowhit_rate",
+		func() uint64 { return m.RowHits },
+		func() uint64 { return m.RowHits + m.RowMisses })
+	reg.Counter("dram.cpu_bytes", func() uint64 {
+		var n uint64
+		for s := mem.Source(0); s < mem.SourceGPU; s++ {
+			n += m.ReadBytes[s] + m.WriteBytes[s]
+		}
+		return n
+	})
+	reg.Counter("dram.gpu_bytes", func() uint64 {
+		return m.ReadBytes[mem.SourceGPU] + m.WriteBytes[mem.SourceGPU]
+	})
+	reg.Ratio("dram.bus_util",
+		func() uint64 { return m.BusBusy },
+		func() uint64 { return m.DRAMCycles * uint64(m.cfg.Channels) })
+	reg.Gauge("dram.qdepth", func() float64 { return float64(m.QueueDepth()) })
+	reg.Counter("dram.refreshes", func() uint64 { return m.Refreshes })
 }
 
 // TotalBytes returns cumulative (read, write) DRAM traffic for src.

@@ -221,9 +221,12 @@ func (s *SMS) Pick(ch *channel, q []*request, now uint64) int {
 	if len(q) > 0 && q[0].batch == nil {
 		return pickFRFCFS(ch, q, now, nil)
 	}
-	// Force-close forming batches that have aged out.
-	for src, b := range s.forming {
-		if now-b.openedAt > s.timeout {
+	// Force-close forming batches that have aged out. Sources are
+	// scanned in fixed order: map-order iteration would make the ready
+	// queue's batch order (and so the whole run) nondeterministic when
+	// several batches age out in one call.
+	for src := mem.Source(0); src <= mem.SourceGPU; src++ {
+		if b := s.forming[src]; b != nil && now-b.openedAt > s.timeout {
 			s.close(src)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -90,6 +91,14 @@ type Runner struct {
 	// run is dispatched.
 	Workers int
 
+	// Observe, when non-nil, supplies a per-run recorder for each
+	// simulation the runner launches, keyed "mix/<mixID>/<policy>",
+	// "gpu/<game>", or "cpu/<specID>". Each leader gets its own
+	// recorder (obs.Collection.Recorder fits directly), so runs stay
+	// isolated and output stays deterministic under any Workers
+	// setting. Returning nil disables observability for that run.
+	Observe func(key string) *obs.Recorder
+
 	mu       sync.Mutex
 	sem      chan struct{} // worker-pool tokens, sized on first use
 	started  int           // simulations executed (leaders only)
@@ -123,8 +132,16 @@ func (x *Runner) mix(m workloads.Mix, p sim.Policy) sim.Result {
 		cfg := x.Cfg
 		cfg.Policy = p
 		cfg.NumCPUs = len(m.SpecIDs)
-		return sim.RunMix(cfg, m)
+		return sim.RunMixObs(cfg, m, x.observe("mix/"+key))
 	})
+}
+
+// observe resolves the per-run recorder hook (nil when unset).
+func (x *Runner) observe(key string) *obs.Recorder {
+	if x.Observe == nil {
+		return nil
+	}
+	return x.Observe(key)
 }
 
 // gpuStandalone runs (and caches) a game alone.
@@ -134,7 +151,9 @@ func (x *Runner) gpuStandalone(game string) sim.Result {
 		<-f.done
 		return f.val
 	}
-	return lead(x, f, func() sim.Result { return sim.RunGPUAlone(x.Cfg, game) })
+	return lead(x, f, func() sim.Result {
+		return sim.RunGPUAloneObs(x.Cfg, game, x.observe("gpu/"+game))
+	})
 }
 
 // cpuStandalone runs (and caches) one SPEC app alone.
@@ -145,7 +164,9 @@ func (x *Runner) cpuStandalone(specID int) float64 {
 		<-f.done
 		return f.val
 	}
-	return lead(x, f, func() float64 { return sim.RunCPUAlone(x.Cfg, specID) })
+	return lead(x, f, func() float64 {
+		return sim.RunCPUAloneObs(x.Cfg, specID, x.observe("cpu/"+key))
+	})
 }
 
 // weightedSpeedup computes the mix's weighted speedup normalized to

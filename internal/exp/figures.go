@@ -550,4 +550,3 @@ func (x *Runner) AblationLLCPolicy(mixID string) (Report, error) {
 	}
 	return rep, nil
 }
-

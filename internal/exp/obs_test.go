@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func obsTestCfg() sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.WarmupInstr = 30_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 80_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 20_000_000
+	return cfg
+}
+
+// runObserved dispatches the same small run set (two policies on one
+// mix plus a standalone game) at the given worker count and returns
+// the merged observability streams.
+func runObserved(t *testing.T, workers int) ([]byte, []byte, []sim.Result) {
+	t.Helper()
+	x := NewRunner(obsTestCfg())
+	x.Workers = workers
+	coll := obs.NewCollection(0)
+	x.Observe = coll.Recorder
+
+	m := workloads.EvalMixes()[6] // M7
+	done := make(chan sim.Result, 3)
+	go func() { done <- x.mix(m, sim.PolicyBaseline) }()
+	go func() { done <- x.mix(m, sim.PolicyThrottleCPUPrio) }()
+	go func() { done <- x.gpuStandalone(m.Game) }()
+	results := make([]sim.Result, 3)
+	for i := range results {
+		results[i] = <-done
+	}
+
+	var metrics, trace bytes.Buffer
+	if err := coll.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return metrics.Bytes(), trace.Bytes(), results
+}
+
+// TestObserveDeterministicAcrossWorkers pins the ISSUE's headline
+// determinism claim: the merged metrics and trace files are
+// byte-identical whether the runner executes serially or with a
+// worker pool racing the three simulations.
+func TestObserveDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	m1, t1, _ := runObserved(t, 1)
+	m4, t4, _ := runObserved(t, 4)
+	if len(m1) == 0 || len(t1) == 0 {
+		t.Fatal("observed run set produced empty streams")
+	}
+	if !bytes.Equal(m1, m4) {
+		t.Error("metrics stream differs between -workers 1 and 4")
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Error("trace stream differs between -workers 1 and 4")
+	}
+}
+
+// TestObserveKeysAndIsolation: the runner hands each simulation its
+// own keyed recorder, and cached (singleflight-deduplicated) rerequests
+// do not re-observe.
+func TestObserveKeysAndIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	x := NewRunner(obsTestCfg())
+	x.Workers = 2
+	coll := obs.NewCollection(0)
+	x.Observe = coll.Recorder
+
+	m := workloads.EvalMixes()[6]
+	a := x.mix(m, sim.PolicyBaseline)
+	b := x.mix(m, sim.PolicyBaseline) // memoized: same flight
+	if a.MeasuredCycles != b.MeasuredCycles {
+		t.Fatal("memoized run returned a different result")
+	}
+
+	keys := coll.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("collection keys = %v, want exactly one (memoized rerun must not add)", keys)
+	}
+	wantKey := "mix/" + m.ID + "/0"
+	if keys[0] != wantKey {
+		t.Errorf("recorder key = %q, want %q", keys[0], wantKey)
+	}
+	if coll.Recorder(wantKey).Samples() == 0 {
+		t.Error("observed run recorded no samples")
+	}
+}
+
+// TestNilObserveIsOff: a runner without the hook runs fully unobserved
+// (the default path must stay allocation-identical to PR 1).
+func TestNilObserveIsOff(t *testing.T) {
+	x := NewRunner(obsTestCfg())
+	if rec := x.observe("mix/any"); rec != nil {
+		t.Fatal("observe() returned a live recorder without a hook installed")
+	}
+}

@@ -3,6 +3,7 @@ package gpu
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -149,11 +150,13 @@ type GPU struct {
 	pendingRead map[uint64]mem.Class // line -> class awaiting fill
 
 	// Results and stats.
-	FramesDone  int
-	FrameCycles []uint64
-	StallIssue  uint64 // GPU cycles with the gate or queue blocking
-	IssuedLLC   uint64
-	WritebackWB uint64
+	FramesDone    int
+	FrameCycles   []uint64
+	StallIssue    uint64 // GPU cycles with the gate or queue blocking
+	IssuedLLC     uint64
+	WritebackWB   uint64
+	ReadsIssued   uint64 // LLC read requests injected toward the ring
+	FillsReceived uint64 // read responses delivered back (OnFill)
 }
 
 // New builds a GPU running app.
@@ -332,6 +335,9 @@ func (g *GPU) drainOut() {
 			g.Gate.OnIssue(g.cycle)
 		}
 		g.IssuedLLC++
+		if !r.Write {
+			g.ReadsIssued++
+		}
 		g.rtpLLC++
 		g.frameLLC++
 	}
@@ -449,6 +455,7 @@ func classOf(c *cache.Cache) mem.Class {
 
 // OnFill delivers a completed LLC/DRAM read to the GPU.
 func (g *GPU) OnFill(r *mem.Request) {
+	g.FillsReceived++
 	line := r.LineAddr()
 	class, ok := g.pendingRead[line]
 	if !ok {
@@ -482,6 +489,15 @@ func (g *GPU) Caches() map[string]*cache.Cache {
 		"vertex":  g.vertex,
 		"hiz":     g.hiz,
 	}
+}
+
+// RegisterObs registers the GPU pipeline's progress and traffic
+// counters with the observability registry.
+func (g *GPU) RegisterObs(reg *obs.Registry) {
+	reg.Counter("gpu.frames", func() uint64 { return uint64(g.FramesDone) })
+	reg.Counter("gpu.llc_issued", func() uint64 { return g.IssuedLLC })
+	reg.Counter("gpu.stall_issue", func() uint64 { return g.StallIssue })
+	reg.Gauge("gpu.mshr_inflight", func() float64 { return float64(g.mshr.Len()) })
 }
 
 // AvgFrameCycles returns the mean GPU cycles per completed frame over

@@ -17,6 +17,7 @@ package llc
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // BypassPolicy decides whether a GPU read miss should fill the LLC.
@@ -270,6 +271,51 @@ func (l *LLC) OnDRAMComplete(r *mem.Request) {
 			l.Respond(w)
 		}
 	}
+}
+
+// PendingReads returns the number of read requests currently inside
+// the LLC: queued at the input, waiting out a hit's lookup latency, or
+// riding a DRAM miss (the waiting map holds every such request exactly
+// once, including those parked in the DRAM retry queue). The
+// observability audit uses it for request-conservation checks.
+func (l *LLC) PendingReads() int {
+	n := len(l.hits)
+	for _, ws := range l.waiting {
+		n += len(ws)
+	}
+	for _, r := range l.inQ {
+		if !r.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// cpuAccesses sums read+write LLC accesses from all CPU cores.
+func (l *LLC) cpuAccesses() uint64 {
+	var n uint64
+	for s := mem.Source(0); s < mem.SourceGPU; s++ {
+		n += l.AccessesBySrc[s]
+	}
+	return n
+}
+
+// RegisterObs registers the LLC's hit rates, occupancy, and traffic
+// counters with the observability registry. Hit rates fold writes into
+// accesses (writes always "hit" by allocating), matching the counters
+// sim.Result reports.
+func (l *LLC) RegisterObs(reg *obs.Registry) {
+	reg.Ratio("llc.cpu_hitrate",
+		func() uint64 { return l.cpuAccesses() - l.CPUMisses() },
+		l.cpuAccesses)
+	reg.Ratio("llc.gpu_hitrate",
+		func() uint64 { return l.AccessesBySrc[mem.SourceGPU] - l.GPUMisses() },
+		func() uint64 { return l.AccessesBySrc[mem.SourceGPU] })
+	reg.Counter("llc.cpu_misses", l.CPUMisses)
+	reg.Counter("llc.gpu_misses", l.GPUMisses)
+	reg.Counter("llc.back_invals", func() uint64 { return l.BackInvals })
+	reg.Counter("llc.bypassed", func() uint64 { return l.Bypassed })
+	reg.Gauge("llc.gpu_occupancy", l.GPUOccupancy)
 }
 
 // GPUOccupancy returns the fraction of valid LLC lines owned by the

@@ -24,6 +24,15 @@ func (f *ReqQueue) Push(r *Request) { f.q = append(f.q, r) }
 // Front returns the oldest request. It panics when empty.
 func (f *ReqQueue) Front() *Request { return f.q[f.head] }
 
+// Scan calls fn for each queued request in FIFO order. The
+// observability audit uses it to count in-flight requests without
+// disturbing the queue.
+func (f *ReqQueue) Scan(fn func(*Request)) {
+	for _, r := range f.q[f.head:] {
+		fn(r)
+	}
+}
+
 // Pop removes and returns the oldest request. It panics when empty.
 func (f *ReqQueue) Pop() *Request {
 	r := f.q[f.head]

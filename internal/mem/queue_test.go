@@ -53,6 +53,61 @@ func TestReqQueueSteadyStateNoAllocs(t *testing.T) {
 	}
 }
 
+func TestReqQueueNeverYieldsNil(t *testing.T) {
+	// The simulator dereferences Front()/Pop() results without nil
+	// checks, so a non-empty queue must never surface a nil request —
+	// including across the head-compaction and reuse paths.
+	var q ReqQueue
+	rs := make([]*Request, 8)
+	for i := range rs {
+		rs[i] = &Request{ID: uint64(i)}
+	}
+	for round := 0; round < 2000; round++ {
+		for _, r := range rs {
+			q.Push(r)
+		}
+		// Drain partially so the head walks the backing array.
+		for i := 0; i < len(rs)-1; i++ {
+			if q.Front() == nil {
+				t.Fatalf("round %d: Front() = nil with Len %d", round, q.Len())
+			}
+			if q.Pop() == nil {
+				t.Fatalf("round %d: Pop() = nil", round)
+			}
+		}
+	}
+	for q.Len() > 0 {
+		if q.Pop() == nil {
+			t.Fatal("final drain returned nil")
+		}
+	}
+}
+
+func TestReqQueueScan(t *testing.T) {
+	var q ReqQueue
+	rs := make([]*Request, 6)
+	for i := range rs {
+		rs[i] = &Request{ID: uint64(i)}
+		q.Push(rs[i])
+	}
+	q.Pop()
+	q.Pop()
+	// Scan must visit exactly the live entries, in FIFO order,
+	// skipping the popped prefix.
+	var seen []uint64
+	q.Scan(func(r *Request) { seen = append(seen, r.ID) })
+	if len(seen) != 4 {
+		t.Fatalf("Scan visited %d entries, want 4", len(seen))
+	}
+	for i, id := range seen {
+		if id != uint64(i+2) {
+			t.Fatalf("Scan order: got %v", seen)
+		}
+	}
+	var empty ReqQueue
+	empty.Scan(func(*Request) { t.Fatal("Scan visited an entry of an empty queue") })
+}
+
 func TestReqQueueCompactsDeadPrefix(t *testing.T) {
 	// Never fully drained: one element always remains. The compaction
 	// rule must still bound the backing array (the old q[1:] pattern

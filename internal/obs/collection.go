@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Collection hands out one isolated Recorder per run key, so
+// concurrent simulations (the exp.Runner worker pool, the sweep grid)
+// never share mutable observability state. Output is emitted with the
+// keys sorted, which makes the merged metrics and trace files
+// byte-identical regardless of worker count or completion order.
+type Collection struct {
+	stride uint64
+
+	mu   sync.Mutex
+	recs map[string]*Recorder
+}
+
+// NewCollection builds a collection whose recorders sample every
+// stride cycles (DefaultStride when 0).
+func NewCollection(stride uint64) *Collection {
+	if stride == 0 {
+		stride = DefaultStride
+	}
+	return &Collection{stride: stride, recs: make(map[string]*Recorder)}
+}
+
+// Recorder returns the recorder registered under key, creating it on
+// first use. A nil collection returns a nil (disabled) recorder, so
+// callers can thread an optional *Collection straight through.
+func (c *Collection) Recorder(key string) *Recorder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.recs[key]; ok {
+		return r
+	}
+	r := NewRecorder(c.stride)
+	c.recs[key] = r
+	return r
+}
+
+// Len returns the number of registered runs.
+func (c *Collection) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Keys returns the registered run keys, sorted.
+func (c *Collection) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.recs))
+	for k := range c.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetrics emits every run's sampled time series, sorted by run
+// key, each section introduced by a "# run <key>" line.
+func (c *Collection) WriteMetrics(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	for _, key := range c.Keys() {
+		if _, err := fmt.Fprintf(w, "# run %s\n", key); err != nil {
+			return err
+		}
+		if err := c.Recorder(key).WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrace merges every run's span trace into one Chrome trace file,
+// one process per run, processes ordered by run key.
+func (c *Collection) WriteTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	keys := c.Keys()
+	procs := make([]traceProc, 0, len(keys))
+	for _, key := range keys {
+		procs = append(procs, traceProc{name: key, events: c.Recorder(key).trace.events})
+	}
+	return writeTraceJSON(w, procs)
+}
+
+// SaveMetrics writes the merged metrics stream to path.
+func (c *Collection) SaveMetrics(path string) error {
+	return c.saveTo(path, c.WriteMetrics)
+}
+
+// SaveTrace writes the merged Chrome trace to path.
+func (c *Collection) SaveTrace(path string) error {
+	return c.saveTo(path, c.WriteTrace)
+}
+
+func (c *Collection) saveTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterEmitsDeltas(t *testing.T) {
+	var v uint64
+	r := NewRecorder(1)
+	r.Counter("c", func() uint64 { return v })
+
+	v = 5
+	r.Sample(1)
+	v = 12
+	r.Sample(2)
+	r.Sample(3) // no movement
+
+	want := []float64{5, 7, 0}
+	for i, w := range want {
+		if got := r.rows[i][0]; got != w {
+			t.Errorf("sample %d: delta = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCounterSurvivesStatsReset(t *testing.T) {
+	var v uint64 = 100
+	r := NewRecorder(1)
+	r.Counter("c", func() uint64 { return v })
+
+	r.Sample(1)
+	// Upstream ResetStats(): the cumulative count restarts from zero.
+	v = 30
+	r.Sample(2)
+	if got := r.rows[1][0]; got != 30 {
+		t.Errorf("post-reset delta = %v, want 30 (baseline must restart at 0)", got)
+	}
+}
+
+func TestGaugeIsInstantaneous(t *testing.T) {
+	v := 1.5
+	r := NewRecorder(1)
+	r.Gauge("g", func() float64 { return v })
+	r.Sample(1)
+	v = -2.25
+	r.Sample(2)
+	if r.rows[0][0] != 1.5 || r.rows[1][0] != -2.25 {
+		t.Errorf("gauge samples = %v, %v; want 1.5, -2.25", r.rows[0][0], r.rows[1][0])
+	}
+}
+
+func TestRatioPerWindow(t *testing.T) {
+	var num, den uint64
+	r := NewRecorder(1)
+	r.Ratio("ipc", func() uint64 { return num }, func() uint64 { return den })
+
+	num, den = 50, 100
+	r.Sample(1)
+	if got := r.rows[0][0]; got != 0.5 {
+		t.Errorf("first window ratio = %v, want 0.5", got)
+	}
+	num, den = 80, 200 // window delta: 30/100
+	r.Sample(2)
+	if got := r.rows[1][0]; got != 0.3 {
+		t.Errorf("second window ratio = %v, want 0.3", got)
+	}
+	r.Sample(3) // denominator did not move
+	if got := r.rows[2][0]; got != 0 {
+		t.Errorf("stalled window ratio = %v, want 0", got)
+	}
+	num, den = 10, 40 // reset upstream
+	r.Sample(4)
+	if got := r.rows[3][0]; got != 0.25 {
+		t.Errorf("post-reset ratio = %v, want 0.25", got)
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series name did not panic")
+		}
+	}()
+	var reg Registry
+	reg.Counter("x", func() uint64 { return 0 })
+	reg.Gauge("x", func() float64 { return 0 })
+}
+
+func TestNamesFollowRegistrationOrder(t *testing.T) {
+	var reg Registry
+	reg.Gauge("b", func() float64 { return 0 })
+	reg.Counter("a", func() uint64 { return 0 })
+	reg.Ratio("c", func() uint64 { return 0 }, func() uint64 { return 1 })
+	got := strings.Join(reg.Names(), ",")
+	if got != "b,a,c" {
+		t.Errorf("Names() = %q, want \"b,a,c\"", got)
+	}
+}
+
+func TestOnTickSamplesOnStride(t *testing.T) {
+	r := NewRecorder(10)
+	r.Gauge("g", func() float64 { return 1 })
+	for c := uint64(1); c <= 35; c++ {
+		r.OnTick(c)
+	}
+	if r.Samples() != 3 {
+		t.Errorf("Samples() = %d after 35 ticks at stride 10, want 3", r.Samples())
+	}
+	if r.cycles[0] != 10 || r.cycles[2] != 30 {
+		t.Errorf("sampled cycles = %v, want [10 20 30]", r.cycles)
+	}
+}
+
+func TestValue(t *testing.T) {
+	v := 2.0
+	r := NewRecorder(1)
+	r.Gauge("g", func() float64 { return v })
+	if _, ok := r.Value("g"); ok {
+		t.Error("Value() reported ok before any sample")
+	}
+	r.Sample(1)
+	v = 7
+	r.Sample(2)
+	if got, ok := r.Value("g"); !ok || got != 7 {
+		t.Errorf("Value(g) = %v, %v; want 7, true", got, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Error("Value() reported ok for unknown series")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var c uint64
+	r := NewRecorder(1)
+	r.Counter("hits", func() uint64 { return c })
+	r.Gauge("depth", func() float64 { return 0.125 })
+
+	c = 3
+	r.Sample(100)
+	c = 10
+	r.Sample(200)
+
+	var b bytes.Buffer
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,hits,depth\n100,3,0.125\n200,7,0.125\n"
+	if b.String() != want {
+		t.Errorf("WriteCSV:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	r := NewRecorder(1)
+	r.Trace().Complete(TIDFrames, "gpu", "frame 0", 100, 400)
+	r.Trace().Complete(TIDFRPU, "frpu", "learning", 0, 500)
+
+	var b bytes.Buffer
+	if err := r.WriteTrace(&b, "M7"); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if f.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", f.Unit)
+	}
+	var spans, meta int
+	for _, e := range f.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["name"] == "frame 0" {
+				if e["ts"].(float64) != 100 || e["dur"].(float64) != 300 {
+					t.Errorf("frame span ts/dur = %v/%v, want 100/300", e["ts"], e["dur"])
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	// 1 process_name + 2 thread_name (frames, frpu) metadata records.
+	if spans != 2 || meta != 3 {
+		t.Errorf("trace has %d spans, %d metadata events; want 2, 3", spans, meta)
+	}
+}
+
+func TestCollectionDeterministicAcrossInsertionOrder(t *testing.T) {
+	// Same runs, registered in opposite orders (as racing workers
+	// would): emitted output must match byte for byte.
+	build := func(keys []string) (string, string) {
+		vals := map[string]uint64{"a/1": 1, "b/2": 2, "c/3": 3}
+		coll := NewCollection(1)
+		for _, k := range keys {
+			rec := coll.Recorder(k)
+			n := vals[k]
+			rec.Counter("n", func() uint64 { return n })
+			rec.Sample(1)
+			rec.Trace().Complete(TIDFrames, "gpu", "frame", 0, n*10)
+		}
+		var m, tr bytes.Buffer
+		if err := coll.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.WriteTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), tr.String()
+	}
+	m1, t1 := build([]string{"a/1", "b/2", "c/3"})
+	m2, t2 := build([]string{"c/3", "b/2", "a/1"})
+	if m1 != m2 {
+		t.Errorf("metrics differ across insertion order:\n%q\nvs\n%q", m1, m2)
+	}
+	if t1 != t2 {
+		t.Errorf("traces differ across insertion order:\n%q\nvs\n%q", t1, t2)
+	}
+	if !strings.HasPrefix(m1, "# run a/1\n") {
+		t.Errorf("metrics do not start with sorted first key: %q", m1)
+	}
+}
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	r.OnTick(1)
+	r.Sample(2)
+	if r.Samples() != 0 || r.Stride() != 0 {
+		t.Error("nil recorder reported samples or a stride")
+	}
+	if _, ok := r.Value("x"); ok {
+		t.Error("nil recorder returned a value")
+	}
+	var b bytes.Buffer
+	if err := r.WriteCSV(&b); err != nil || b.Len() != 0 {
+		t.Error("nil recorder wrote CSV output")
+	}
+	if err := r.WriteTrace(&b, "x"); err != nil || b.Len() != 0 {
+		t.Error("nil recorder wrote trace output")
+	}
+	r.Trace().Complete(TIDFrames, "", "span", 0, 1)
+	if r.Trace().Len() != 0 {
+		t.Error("nil trace recorded an event")
+	}
+
+	var c *Collection
+	if c.Recorder("k") != nil {
+		t.Error("nil collection handed out a live recorder")
+	}
+	if c.Len() != 0 || c.Keys() != nil {
+		t.Error("nil collection reported contents")
+	}
+	if err := c.WriteMetrics(&b); err != nil || b.Len() != 0 {
+		t.Error("nil collection wrote metrics")
+	}
+}
+
+func TestNilOnTickDoesNotAllocate(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.OnTick(12345)
+	})
+	if allocs != 0 {
+		t.Errorf("nil OnTick allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestEnabledOffStrideTickDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(1 << 20)
+	r.Gauge("g", func() float64 { return 1 })
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.OnTick(3) // never lands on the stride
+	})
+	if allocs != 0 {
+		t.Errorf("off-stride OnTick allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Track ids inside one traced run (Chrome trace_event "tid"). Each
+// kind of span gets its own named track so Perfetto lays them out as
+// parallel swimlanes.
+const (
+	TIDFrames   = iota // completed frames
+	TIDRTPs            // render-target-plane spans within a frame
+	TIDFRPU            // FRPU learning/prediction phases
+	TIDThrottle        // ATU throttle episodes (WG > 0)
+	numTIDs
+)
+
+var tidNames = [numTIDs]string{"frames", "rtps", "frpu", "throttle"}
+
+// Event is one Chrome trace_event entry. Timestamps are GPU cycles
+// reported as microseconds: the absolute unit is arbitrary for a
+// simulator, but relative span lengths are exact and deterministic.
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// Trace accumulates span events for one run. It is written either
+// standalone (Recorder.WriteTrace) or merged across runs by a
+// Collection, one process per run.
+type Trace struct {
+	events []Event
+}
+
+// Complete appends an "X" (complete) span on the given track covering
+// [start, end] in GPU cycles.
+func (t *Trace) Complete(tid int, cat, name string, start, end uint64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: float64(start), Dur: float64(end - start), TID: tid,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events (shared slice; callers must not
+// mutate).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// traceProc is one process (one run) in a merged trace file.
+type traceProc struct {
+	name   string
+	events []Event
+}
+
+// traceFile is the on-disk Chrome trace format.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// writeTraceJSON emits one JSON trace with a process per run: metadata
+// names each process after its run key and each track after its span
+// kind, then the spans follow in recording order. The output loads
+// directly in chrome://tracing and Perfetto.
+func writeTraceJSON(w io.Writer, procs []traceProc) error {
+	var all []Event
+	for pid, p := range procs {
+		all = append(all, Event{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": p.name},
+		})
+		used := map[int]bool{}
+		for _, e := range p.events {
+			used[e.TID] = true
+		}
+		tids := make([]int, 0, len(used))
+		for tid := range used {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			name := "track"
+			if tid >= 0 && tid < numTIDs {
+				name = tidNames[tid]
+			}
+			all = append(all, Event{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": name},
+			})
+		}
+		for _, e := range p.events {
+			e.PID = pid
+			all = append(all, e)
+		}
+	}
+	data, err := json.Marshal(traceFile{TraceEvents: all, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteTrace emits the recorder's span trace as a standalone Chrome
+// trace file with a single process named label.
+func (r *Recorder) WriteTrace(w io.Writer, label string) error {
+	if r == nil {
+		return nil
+	}
+	return writeTraceJSON(w, []traceProc{{name: label, events: r.trace.events}})
+}

@@ -13,7 +13,11 @@
 // happens through a per-node output queue drained by the owner.
 package ring
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // NodeID identifies a ring stop.
 type NodeID int
@@ -216,6 +220,45 @@ func (r *Ring) deliver(m Msg) {
 		hops = back
 	}
 	r.TotalHops += uint64(hops)
+}
+
+// CountPending returns the number of messages matching pred that are
+// anywhere inside the ring: awaiting injection, riding a slot, or
+// delivered but not yet drained by Receive. The observability audit
+// uses it for request-conservation checks.
+func (r *Ring) CountPending(pred func(Msg) bool) int {
+	n := 0
+	for i := 0; i < r.n; i++ {
+		iq := &r.inq[i]
+		for _, m := range iq.q[iq.head:] {
+			if pred(m) {
+				n++
+			}
+		}
+		for _, m := range r.outq[i] {
+			if pred(m) {
+				n++
+			}
+		}
+		if s := &r.cw[i]; s.valid && pred(s.msg) {
+			n++
+		}
+		if s := &r.ccw[i]; s.valid && pred(s.msg) {
+			n++
+		}
+	}
+	return n
+}
+
+// RegisterObs registers the ring's traffic counters and in-flight
+// occupancy with the observability registry.
+func (r *Ring) RegisterObs(reg *obs.Registry) {
+	reg.Counter("ring.injected", func() uint64 { return r.Injected })
+	reg.Counter("ring.delivered", func() uint64 { return r.Delivered })
+	reg.Counter("ring.hops", func() uint64 { return r.TotalHops })
+	reg.Gauge("ring.inflight", func() float64 {
+		return float64(r.CountPending(func(Msg) bool { return true }))
+	})
 }
 
 // Quiesced reports whether no message is in flight or queued.

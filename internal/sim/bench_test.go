@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -54,6 +55,41 @@ func BenchmarkTick(b *testing.B) {
 // the FRPU/ATU/priority machinery is on the measured path too.
 func BenchmarkTickThrottled(b *testing.B) {
 	s := benchSystem(b, PolicyThrottleCPUPrio)
+	for i := 0; i < 200_000; i++ {
+		s.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkTickObsDisabled pins the tentpole's zero-overhead claim:
+// with no recorder attached (the default), the observability hook in
+// Tick is one nil compare, and the steady-state tick must allocate
+// exactly as much as BenchmarkTick did before the obs layer existed.
+// The allocs/op line is the contract — it must stay at BenchmarkTick's
+// floor.
+func BenchmarkTickObsDisabled(b *testing.B) {
+	s := benchSystem(b, PolicyThrottleCPUPrio)
+	// AttachObs deliberately NOT called.
+	for i := 0; i < 200_000; i++ {
+		s.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkTickObsEnabled measures the same path with a recorder at
+// the default stride, bounding the cost of enabling observability
+// (one row allocation per stride, amortized).
+func BenchmarkTickObsEnabled(b *testing.B) {
+	s := benchSystem(b, PolicyThrottleCPUPrio)
+	s.AttachObs(obs.NewRecorder(0))
 	for i := 0; i < 200_000; i++ {
 		s.Tick()
 	}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from this run")
+
+// goldenPolicies is every policy the paper evaluates; each gets its
+// own golden hash.
+var goldenPolicies = []Policy{
+	PolicyBaseline, PolicyThrottle, PolicyThrottleCPUPrio,
+	PolicySMS09, PolicySMS0, PolicyDynPrio,
+	PolicyHeLM, PolicyForcedBypass, PolicyCMBAL,
+}
+
+// goldenCfg is deliberately tiny: the hashes pin exact behavior, not
+// paper-scale numbers, so the whole suite stays a few seconds.
+func goldenCfg(p Policy) Config {
+	cfg := DefaultConfig(256)
+	cfg.Policy = p
+	cfg.WarmupInstr = 30_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 80_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 20_000_000
+	return cfg
+}
+
+// goldenDigest runs one policy with observability attached and hashes
+// everything a regression could perturb: the full Result, the sampled
+// metrics CSV, and the trace JSON.
+func goldenDigest(t *testing.T, p Policy) string {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	r := RunMixObs(goldenCfg(p), workloads.EvalMixes()[6], rec) // M7
+
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n", r)
+	if err := rec.WriteCSV(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteTrace(h, p.String()); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenRuns hashes a full run (Result + metrics stream + trace)
+// for every policy against checked-in golden hashes. Any change to
+// simulation timing, stat accounting, or observability encoding shows
+// up here; refresh intentionally with:
+//
+//	go test ./internal/sim -run TestGoldenRuns -update
+func TestGoldenRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs skipped in -short mode")
+	}
+	path := filepath.Join("testdata", "golden.json")
+
+	got := make(map[string]string, len(goldenPolicies))
+	for _, p := range goldenPolicies {
+		got[p.String()] = goldenDigest(t, p)
+	}
+
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden hashes rewritten: %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (%v); run with -update to create it", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range goldenPolicies {
+		name := p.String()
+		if want[name] == "" {
+			t.Errorf("%s: no golden hash recorded; run with -update", name)
+			continue
+		}
+		if got[name] != want[name] {
+			t.Errorf("%s: run digest %s… != golden %s… (intentional change? re-run with -update)",
+				name, got[name][:12], want[name][:12])
+		}
+	}
+}
+
+// TestGoldenRepeatByteIdentity reruns one observed policy twice in the
+// same process and compares the raw output streams byte for byte —
+// the determinism claim the golden hashes rest on.
+func TestGoldenRepeatByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	run := func() (string, []byte, []byte) {
+		rec := obs.NewRecorder(0)
+		r := RunMixObs(goldenCfg(PolicyThrottleCPUPrio), workloads.EvalMixes()[6], rec)
+		var csv, tr bytes.Buffer
+		if err := rec.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteTrace(&tr, "repeat"); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", r), csv.Bytes(), tr.Bytes()
+	}
+	r1, c1, t1 := run()
+	r2, c2, t2 := run()
+	if r1 != r2 {
+		t.Error("Result differs across identical runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("metrics CSV differs across identical runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace JSON differs across identical runs")
+	}
+	if len(c1) == 0 || len(t1) == 0 {
+		t.Error("observed run produced empty output streams")
+	}
+}
+
+// TestObsDoesNotPerturbResults: attaching a recorder must leave the
+// simulation byte-identical to an unobserved run — observability is
+// strictly read-only.
+func TestObsDoesNotPerturbResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	m := workloads.EvalMixes()[6]
+	for _, p := range []Policy{PolicyBaseline, PolicyThrottleCPUPrio, PolicyDynPrio} {
+		plain := RunMix(goldenCfg(p), m)
+		observed := RunMixObs(goldenCfg(p), m, obs.NewRecorder(0))
+		if fmt.Sprintf("%+v", plain) != fmt.Sprintf("%+v", observed) {
+			t.Errorf("%s: observability changed the simulation:\n%+v\nvs\n%+v", p, plain, observed)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// invariantTicks bounds the manual tick loops so the suite stays fast
+// under -race.
+const invariantTicks = 400_000
+
+// auditEvery is how often (in CPU cycles) the conservation snapshot is
+// taken inside the tick loops.
+const auditEvery = 4096
+
+// TestReadConservation drives full systems tick by tick and asserts
+// the read-request conservation invariant at every sampled cycle:
+// every read ever injected toward the memory system is either
+// delivered back to its requester or accounted in exactly one
+// in-flight location (ring, spill buffer, LLC, or DRAM via the LLC's
+// waiting list).
+func TestReadConservation(t *testing.T) {
+	m := workloads.EvalMixes()[6] // M7
+	for _, p := range []Policy{PolicyBaseline, PolicyThrottleCPUPrio, PolicyHeLM, PolicySMS09} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := fastCfg()
+			cfg.Policy = p
+			game, apps := MixWorkload(cfg, m)
+			s := NewSystem(cfg, game, apps)
+			for i := 0; i < invariantTicks; i++ {
+				s.Tick()
+				if s.Cycle()%auditEvery != 0 {
+					continue
+				}
+				a := s.AuditReads()
+				if !a.Conserved() {
+					t.Fatalf("cycle %d: reads not conserved: injected %d != delivered %d + in-flight %d",
+						s.Cycle(), a.Injected, a.Delivered, a.InFlight)
+				}
+			}
+			// The run must have actually exercised the memory system.
+			final := s.AuditReads()
+			if final.Injected == 0 || final.Delivered == 0 {
+				t.Fatalf("no read traffic flowed: %+v", final)
+			}
+		})
+	}
+}
+
+// TestReadConservationCPUOnly covers the no-GPU wiring (standalone CPU
+// runs drop the GPU node entirely).
+func TestReadConservationCPUOnly(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinFrames = 0
+	_, apps := MixWorkload(cfg, workloads.EvalMixes()[6])
+	s := NewSystem(cfg, nil, apps)
+	for i := 0; i < invariantTicks; i++ {
+		s.Tick()
+		if s.Cycle()%auditEvery == 0 {
+			if a := s.AuditReads(); !a.Conserved() {
+				t.Fatalf("cycle %d: %+v not conserved", s.Cycle(), a)
+			}
+		}
+	}
+}
+
+// TestMonotoneCounters asserts that the cycle and cumulative-work
+// counters the observability layer samples never move backwards
+// during a run (ResetStats is a run-phase boundary, not a tick-level
+// event, and is exercised separately by the Recorder tests).
+func TestMonotoneCounters(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Policy = PolicyThrottleCPUPrio
+	game, apps := MixWorkload(cfg, workloads.EvalMixes()[6])
+	s := NewSystem(cfg, game, apps)
+
+	var lastCycle, lastGPU uint64
+	lastRetired := make([]uint64, len(s.Cores))
+	for i := 0; i < invariantTicks; i++ {
+		s.Tick()
+		if s.Cycle() <= lastCycle {
+			t.Fatalf("system cycle did not advance: %d -> %d", lastCycle, s.Cycle())
+		}
+		lastCycle = s.Cycle()
+		if s.Cycle()%auditEvery != 0 {
+			continue
+		}
+		if g := s.GPU.Cycle(); g < lastGPU {
+			t.Fatalf("GPU cycle went backwards: %d -> %d", lastGPU, g)
+		} else {
+			lastGPU = g
+		}
+		for ci, c := range s.Cores {
+			if r := c.Retired(); r < lastRetired[ci] {
+				t.Fatalf("core %d retired went backwards: %d -> %d", ci, lastRetired[ci], r)
+			} else {
+				lastRetired[ci] = r
+			}
+		}
+	}
+	if lastGPU == 0 {
+		t.Fatal("GPU never ticked")
+	}
+}
+
+// TestAuditReadsIsReadOnly: taking the snapshot must not perturb the
+// simulation (the invariant and golden suites interleave audits with
+// measured runs).
+func TestAuditReadsIsReadOnly(t *testing.T) {
+	cfg := fastCfg()
+	m := workloads.EvalMixes()[6]
+	game, apps := MixWorkload(cfg, m)
+
+	plain := NewSystem(cfg, game, apps)
+	audited := NewSystem(cfg, game, apps)
+	for i := 0; i < invariantTicks/4; i++ {
+		plain.Tick()
+		audited.Tick()
+		if i%1000 == 0 {
+			audited.AuditReads()
+			audited.AuditReads() // twice: must be idempotent too
+		}
+	}
+	a, b := plain.AuditReads(), audited.AuditReads()
+	if a != b {
+		t.Fatalf("audit perturbed the run: %+v vs %+v", a, b)
+	}
+	if plain.Cycle() != audited.Cycle() || plain.GPU.Cycle() != audited.GPU.Cycle() {
+		t.Fatal("audited system diverged from plain system")
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+
+	qos "repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/ring"
+)
+
+// AttachObs enables observability on a freshly built system: every
+// component registers its probes with the recorder's registry (in the
+// fixed order below, so column layout is deterministic), and — when a
+// GPU workload is present — the GPU's observer chain is teed so frame,
+// RTP, FRPU-phase, and throttle-episode spans land in the recorder's
+// Chrome trace. A nil recorder leaves the system untouched: the
+// per-cycle hook then costs one pointer compare and zero allocations.
+// Call it after NewSystem and before the first Tick.
+func (s *System) AttachObs(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.rec = rec
+	reg := &rec.Registry
+	for _, c := range s.Cores {
+		c.RegisterObs(reg)
+	}
+	if s.GPU != nil {
+		s.GPU.RegisterObs(reg)
+	}
+	s.LLC.RegisterObs(reg)
+	s.Mem.RegisterObs(reg)
+	s.Ring.RegisterObs(reg)
+	switch {
+	case s.Ctrl != nil:
+		s.Ctrl.RegisterObs(reg)
+	case s.Dyn != nil:
+		s.Dyn.RegisterObs(reg)
+	}
+
+	if s.GPU != nil {
+		tee := &obsTee{inner: s.GPU.Observer, g: s.GPU, tr: rec.Trace()}
+		switch {
+		case s.Ctrl != nil:
+			tee.frpu = s.Ctrl.FRPU
+			tee.atu = s.Ctrl.ATU
+		case s.Dyn != nil:
+			tee.frpu = s.Dyn.FRPU
+		}
+		if tee.frpu != nil {
+			tee.phase = tee.frpu.Phase()
+		}
+		s.GPU.Observer = tee
+		s.tee = tee
+	}
+}
+
+// Obs returns the attached recorder (nil when observability is off).
+func (s *System) Obs() *obs.Recorder { return s.rec }
+
+// FinishObs closes any spans still open in the trace (the trailing
+// FRPU phase and an in-progress throttle episode). Run calls it at the
+// end of the measurement; it is idempotent and a no-op when
+// observability is off.
+func (s *System) FinishObs() {
+	if s.tee != nil {
+		s.tee.finish()
+	}
+}
+
+// obsTee interposes on the GPU observer chain: it forwards each event
+// to the policy's observer first (so FRPU/ATU state advances exactly
+// as without observability), then records trace spans from the
+// post-update state. It never mutates simulation state, so attaching
+// it cannot change any measured result.
+type obsTee struct {
+	inner gpu.Observer
+	g     *gpu.GPU
+	tr    *obs.Trace
+
+	frpu *qos.FRPU
+	atu  *qos.ATU
+
+	phase         qos.Phase
+	phaseStart    uint64
+	throttling    bool
+	throttleStart uint64
+	done          bool
+}
+
+// RTPComplete implements gpu.Observer.
+func (o *obsTee) RTPComplete(info gpu.RTPInfo) {
+	if o.inner != nil {
+		o.inner.RTPComplete(info)
+	}
+	end := o.g.Cycle()
+	o.tr.Complete(obs.TIDRTPs, "gpu", fmt.Sprintf("rtp %d", info.Index), end-info.Cycles, end)
+	o.transitions(end)
+}
+
+// FrameComplete implements gpu.Observer.
+func (o *obsTee) FrameComplete(info gpu.FrameInfo) {
+	if o.inner != nil {
+		o.inner.FrameComplete(info)
+	}
+	end := o.g.Cycle()
+	o.tr.Complete(obs.TIDFrames, "gpu", fmt.Sprintf("frame %d", info.Index), end-info.Cycles, end)
+	o.transitions(end)
+}
+
+// transitions closes/opens the FRPU-phase and throttle-episode spans.
+// Both states only change inside observer callbacks (the ATU window
+// law runs on RTP/frame completion), so sampling here is exact.
+func (o *obsTee) transitions(now uint64) {
+	if o.frpu != nil {
+		if p := o.frpu.Phase(); p != o.phase {
+			o.tr.Complete(obs.TIDFRPU, "frpu", o.phase.String(), o.phaseStart, now)
+			o.phase = p
+			o.phaseStart = now
+		}
+	}
+	if o.atu != nil {
+		active := o.atu.Active()
+		switch {
+		case active && !o.throttling:
+			o.throttleStart = now
+		case !active && o.throttling:
+			o.tr.Complete(obs.TIDThrottle, "atu", "throttle", o.throttleStart, now)
+		}
+		o.throttling = active
+	}
+}
+
+// finish closes open spans at the current GPU cycle.
+func (o *obsTee) finish() {
+	if o.done {
+		return
+	}
+	o.done = true
+	now := o.g.Cycle()
+	if o.frpu != nil && now > o.phaseStart {
+		o.tr.Complete(obs.TIDFRPU, "frpu", o.phase.String(), o.phaseStart, now)
+	}
+	if o.throttling && now > o.throttleStart {
+		o.tr.Complete(obs.TIDThrottle, "atu", "throttle", o.throttleStart, now)
+	}
+}
+
+// ReadAudit is a consistent snapshot of read-request conservation:
+// every read injected into the shared memory system is either
+// delivered back to its requester or accounted in exactly one
+// in-flight location (ring, spill buffer, or LLC). The invariant test
+// suite asserts Injected == Delivered + InFlight at every sampled
+// cycle.
+type ReadAudit struct {
+	Injected  uint64 // reads issued by cores (demand + prefetch) and the GPU
+	Delivered uint64 // read fills handed back via OnFill
+	InFlight  uint64 // reads inside ring/spill/LLC right now
+}
+
+// Conserved reports whether the snapshot balances.
+func (a ReadAudit) Conserved() bool {
+	return a.Injected == a.Delivered+a.InFlight
+}
+
+// AuditReads walks the system between Ticks and returns the read
+// conservation snapshot. It is read-only and safe to call at any tick
+// boundary.
+func (s *System) AuditReads() ReadAudit {
+	var a ReadAudit
+	for _, c := range s.Cores {
+		a.Injected += c.LLCRequests + c.PrefetchIssued
+		a.Delivered += c.FillsReceived
+	}
+	if s.GPU != nil {
+		a.Injected += s.GPU.ReadsIssued
+		a.Delivered += s.GPU.FillsReceived
+	}
+	isRead := func(m ring.Msg) bool {
+		r, ok := m.Payload.(*mem.Request)
+		return ok && !r.Write
+	}
+	a.InFlight += uint64(s.Ring.CountPending(isRead))
+	a.InFlight += uint64(s.LLC.PendingReads())
+	s.spill.Scan(func(r *mem.Request) {
+		if !r.Write {
+			a.InFlight++
+		}
+	})
+	return a
+}

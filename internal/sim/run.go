@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -170,6 +171,12 @@ func Run(s *System) Result {
 		res.FRPURelearns = s.Dyn.FRPU.Relearns
 	}
 
+	// Flush observability: capture the trailing partial window and
+	// close any open trace spans. Both are nil-safe no-ops when
+	// observability is off.
+	s.rec.Sample(s.cycle)
+	s.FinishObs()
+
 	return res
 }
 
@@ -192,8 +199,15 @@ func warmDone(s *System) bool {
 
 // RunMix builds and runs one heterogeneous mix under cfg.
 func RunMix(cfg Config, m workloads.Mix) Result {
+	return RunMixObs(cfg, m, nil)
+}
+
+// RunMixObs is RunMix with an optional recorder attached; a nil
+// recorder makes it identical to RunMix.
+func RunMixObs(cfg Config, m workloads.Mix, rec *obs.Recorder) Result {
 	game, apps := MixWorkload(cfg, m)
 	s := NewSystem(cfg, game, apps)
+	s.AttachObs(rec)
 	r := Run(s)
 	r.MixID = m.ID
 	return r
@@ -202,11 +216,17 @@ func RunMix(cfg Config, m workloads.Mix) Result {
 // RunCPUAlone measures one CPU application running alone on the CMP
 // (core 0, GPU idle) and returns its standalone IPC.
 func RunCPUAlone(cfg Config, specID int) float64 {
+	return RunCPUAloneObs(cfg, specID, nil)
+}
+
+// RunCPUAloneObs is RunCPUAlone with an optional recorder attached.
+func RunCPUAloneObs(cfg Config, specID int, rec *obs.Recorder) float64 {
 	app := workloads.MustSpec(specID)
 	alone := cfg
 	alone.Policy = PolicyBaseline
 	alone.MinFrames = 0
 	s := NewSystem(alone, nil, []trace.Params{app.Params})
+	s.AttachObs(rec)
 	r := Run(s)
 	if len(r.IPC) == 0 {
 		return 0
@@ -217,10 +237,16 @@ func RunCPUAlone(cfg Config, specID int) float64 {
 // RunGPUAlone measures a game running alone on the CMP (no CPU
 // applications) and returns the result (standalone FPS etc.).
 func RunGPUAlone(cfg Config, gameName string) Result {
+	return RunGPUAloneObs(cfg, gameName, nil)
+}
+
+// RunGPUAloneObs is RunGPUAlone with an optional recorder attached.
+func RunGPUAloneObs(cfg Config, gameName string, rec *obs.Recorder) Result {
 	game := workloads.MustGame(gameName).Model(cfg.Scale, cfg.GPUFreqHz)
 	alone := cfg
 	alone.Policy = PolicyBaseline
 	s := NewSystem(alone, game, nil)
+	s.AttachObs(rec)
 	r := Run(s)
 	r.MixID = gameName
 	return r

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/llc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/ring"
 	"repro/internal/trace"
@@ -149,6 +150,10 @@ type System struct {
 	// cycle; the queue recycles its backing array (mem.ReqQueue).
 	spill    mem.ReqQueue
 	maxNodes int
+
+	// rec/tee are nil unless AttachObs enabled observability.
+	rec *obs.Recorder
+	tee *obsTee
 }
 
 // NewSystem builds a system running game (nil = no GPU workload) and
@@ -318,6 +323,7 @@ func (s *System) Tick() {
 	for _, c := range s.Cores {
 		c.Tick()
 	}
+	s.rec.OnTick(s.cycle)
 }
 
 // MixWorkload resolves a workloads.Mix into model inputs.
