@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover ci
+.PHONY: all build vet test race bench cover chaos ci
 
 all: ci
 
@@ -14,15 +14,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -timeout 10m turns a hung run (a livelock the watchdog missed, a
+# deadlocked pool) into a stack-dumping failure instead of a CI job
+# that sits until the runner's global timeout kills it opaquely.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # Race gate: -short keeps the simulation-heavy tests out, while the
 # concurrency tests (Runner singleflight, parallel determinism entry
 # points) always run, so the memoization layer is exercised under
-# -race on every ci invocation.
+# -race on every ci invocation. The race detector slows the sim suite
+# ~4x, so this gate gets double the hang budget.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 20m ./...
+
+# Chaos gate: the fault-injection suite plus the watchdog/journal/
+# panic-isolation robustness tests, under -race. Proves the PR 2
+# invariants (read conservation, monotone counters) survive injected
+# back-pressure bursts, DRAM stalls, and dropped fills, and that the
+# fault-tolerance layer itself is data-race-free.
+chaos:
+	$(GO) test -race -timeout 10m -count=1 ./internal/faultinject
+	$(GO) test -race -timeout 10m -count=1 -run 'Watchdog|Interrupt|WarmupCapped|ConfigValidate' ./internal/sim
+	$(GO) test -race -timeout 10m -count=1 -run 'Journal|Replay|Quarantin|Cancelled|Timeout' ./internal/exp
 
 # Short-scale benchmarks: one pass over the hot-path benches with
 # -benchmem so allocation regressions in ring/Tick are visible. The
@@ -43,4 +57,4 @@ cover:
 	awk "BEGIN {exit !($$total >= $(OBS_MIN_COVER))}" || \
 		{ echo "FAIL: internal/obs coverage $$total% below $(OBS_MIN_COVER)%"; exit 1; }
 
-ci: vet build test race bench cover
+ci: vet build test race bench cover chaos

@@ -7,23 +7,33 @@
 // Each title needs two independent simulations (standalone and
 // heterogeneous); all of them run concurrently on a bounded pool
 // (-workers, default HETSIM_PARALLEL or GOMAXPROCS) and the table
-// prints in catalog order.
+// prints in catalog order. A title whose simulation fails is reported
+// on stderr while the rest of the table still prints.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime/debug"
 	"sync"
 
 	"repro/hetsim"
+	"repro/internal/cliutil"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	scale := flag.Int("scale", 64, "scale factor")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := hetsim.DefaultConfig(*scale)
+	if err := cfg.Validate(); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
 	mixes := hetsim.EvalMixes()
 
 	n := *workers
@@ -33,29 +43,44 @@ func main() {
 	sem := make(chan struct{}, n)
 	type row struct {
 		alone, het hetsim.Result
+		err        error
 	}
 	rows := make([]row, len(mixes))
+	var mu sync.Mutex
 	var wg sync.WaitGroup
+	// launch isolates one simulation: a panic fails only this title's
+	// row, not the whole calibration table.
+	launch := func(i int, what string, run func() hetsim.Result, dst *hetsim.Result) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					rows[i].err = fmt.Errorf("%s panicked: %v\n%s", what, p, debug.Stack())
+					mu.Unlock()
+				}
+			}()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			*dst = run()
+		}()
+	}
 	for i, m := range mixes {
-		wg.Add(1)
-		go func(i int, m hetsim.Mix) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i].alone = hetsim.RunGPUAlone(cfg, m.Game)
-		}(i, m)
-		wg.Add(1)
-		go func(i int, m hetsim.Mix) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i].het = hetsim.RunMix(cfg, m)
-		}(i, m)
+		i, m := i, m
+		launch(i, m.Game+" standalone", func() hetsim.Result { return hetsim.RunGPUAlone(cfg, m.Game) }, &rows[i].alone)
+		launch(i, m.Game+" heterogeneous", func() hetsim.Result { return hetsim.RunMix(cfg, m) }, &rows[i].het)
 	}
 	wg.Wait()
 
 	fmt.Printf("%-14s %10s %10s %10s %8s\n", "title", "alone", "hetero", "tableII", "ratio")
+	failed := 0
 	for i, m := range mixes {
+		if rows[i].err != nil {
+			cliutil.Errorf("%v", rows[i].err)
+			failed++
+			continue
+		}
 		g, _ := hetsim.GameByName(m.Game)
 		ratio := 0.0
 		if g.TableFPS > 0 {
@@ -64,4 +89,9 @@ func main() {
 		fmt.Printf("%-14s %10.1f %10.1f %10.1f %8.2f\n",
 			m.Game, rows[i].alone.GPUFPS, rows[i].het.GPUFPS, g.TableFPS, ratio)
 	}
+	if failed > 0 {
+		cliutil.Errorf("%d title(s) failed", failed)
+		return cliutil.ExitRuntime
+	}
+	return cliutil.ExitOK
 }

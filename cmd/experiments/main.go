@@ -11,6 +11,12 @@
 // GOMAXPROCS), so independent simulations execute concurrently while
 // reports print in order. Output is byte-identical to a serial run.
 //
+// Long runs are resumable: -journal appends every finished simulation
+// to a crash-safe JSONL journal and -resume replays one so only the
+// missing runs execute; a resumed run's reports are byte-identical to
+// an uninterrupted run. Ctrl-C drains the pool and flushes the
+// journal; -run-timeout bounds each simulation's wall-clock time.
+//
 // Output is one printable block per experiment with the headline
 // aggregate the paper quotes; EXPERIMENTS.md records a reference run.
 package main
@@ -22,32 +28,41 @@ import (
 	"strings"
 
 	"repro/hetsim"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/report"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the whole run so deferred cleanup (journal flush,
+// signal release, observability saves) executes before the process
+// exits; main wraps it in the one os.Exit.
+func realMain() int {
 	var (
-		expID   = flag.String("exp", "", "experiment id: "+strings.Join(hetsim.ExperimentIDs(), ", "))
-		all     = flag.Bool("all", false, "run every experiment in paper order")
-		scale   = flag.Int("scale", 64, "scale factor (smaller = slower, closer to paper size)")
-		fast    = flag.Bool("fast", false, "shorter windows (smoke-test quality)")
-		ablate  = flag.String("ablate", "", "ablation: step, target, law, cmbal, prefetch, llc")
-		mixID   = flag.String("mix", "M7", "mix for ablations")
-		format  = flag.String("format", "text", "output format: text, csv, json, chart")
-		save    = flag.String("save", "", "write the run's reports to a JSON archive")
-		compare = flag.String("compare", "", "diff this run against a saved archive (>=5% drift)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
-		metrics = flag.String("metrics-out", "", "write every run's sampled time series (CSV sections) here")
-		traceF  = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per run)")
-		stride  = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
+		expID      = flag.String("exp", "", "experiment id: "+strings.Join(hetsim.ExperimentIDs(), ", "))
+		all        = flag.Bool("all", false, "run every experiment in paper order")
+		scale      = flag.Int("scale", 64, "scale factor (smaller = slower, closer to paper size)")
+		fast       = flag.Bool("fast", false, "shorter windows (smoke-test quality)")
+		ablate     = flag.String("ablate", "", "ablation: step, target, law, cmbal, prefetch, llc")
+		mixID      = flag.String("mix", "M7", "mix for ablations")
+		format     = flag.String("format", "text", "output format: text, csv, json, chart")
+		save       = flag.String("save", "", "write the run's reports to a JSON archive")
+		compare    = flag.String("compare", "", "diff this run against a saved archive (>=5% drift)")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
+		journalF   = flag.String("journal", "", "append each finished simulation to this crash-safe JSONL journal")
+		resumeF    = flag.String("resume", "", "resume from this journal (implies -journal on the same file)")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
+		metrics    = flag.String("metrics-out", "", "write every run's sampled time series (CSV sections) here")
+		traceF     = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per run)")
+		stride     = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 	)
 	flag.Parse()
 
 	outFormat, err := report.ParseFormat(*format)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
 	}
 
 	cfg := hetsim.DefaultConfig(*scale)
@@ -57,8 +72,50 @@ func main() {
 		cfg.WarmupFrames = 4
 		cfg.MinFrames = 3
 	}
+	if err := cfg.Validate(); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
+	// Fail on unwritable outputs before hours of simulation, not after.
+	for _, out := range []string{*metrics, *traceF, *save} {
+		if out == "" {
+			continue
+		}
+		if err := cliutil.EnsureWritable(out); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
 	runner := hetsim.NewRunner(cfg)
 	runner.Workers = *workers
+	runner.Ctx = ctx
+	runner.RunTimeout = *runTimeout
+
+	// Journal: -resume implies journaling to the same file, so a twice-
+	// interrupted run keeps accumulating into one journal.
+	journalPath := *journalF
+	if *resumeF != "" {
+		journalPath = *resumeF
+	}
+	if journalPath != "" {
+		j, recs, skipped, err := hetsim.OpenJournal(journalPath)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		defer j.Close()
+		runner.Journal = j
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s)\n", journalPath, skipped)
+		}
+		if n := runner.ReplayJournal(recs); *resumeF != "" {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d run(s) journaled\n", journalPath, n)
+		}
+	}
 
 	// Observability: one isolated recorder per simulation, emitted in
 	// sorted key order — output is identical for any -workers setting.
@@ -67,71 +124,76 @@ func main() {
 		coll = hetsim.NewCollection(*stride)
 		runner.Observe = coll.Recorder
 	}
-	defer func() {
+	saveObs := func() int {
 		if coll == nil {
-			return
+			return cliutil.ExitOK
 		}
 		if *metrics != "" {
 			if err := coll.SaveMetrics(*metrics); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitRuntime
 			}
 			fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", coll.Len(), *metrics)
 		}
 		if *traceF != "" {
 			if err := coll.SaveTrace(*traceF); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitRuntime
 			}
 			fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
 		}
-	}()
+		return cliutil.ExitOK
+	}
 
 	if *ablate != "" {
-		runAblation(runner, *ablate, *mixID, outFormat)
-		return
+		return runAblation(runner, *ablate, *mixID, outFormat)
 	}
 
 	ids := hetsim.ExperimentIDs()
 	if !*all {
 		if *expID == "" {
 			flag.Usage()
-			os.Exit(2)
+			return cliutil.ExitUsage
 		}
 		ids = []string{*expID}
 	}
 	// Dispatch every experiment's run set to the pool, then assemble
 	// and print in order; assembly joins the in-flight runs.
 	if err := runner.Prefetch(ids...); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
 	}
 	arch := exp.NewArchive(*scale)
 	for _, id := range ids {
 		rep, err := runner.ByID(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cliutil.Errorf("%v", err)
+			reportRunErrors(runner)
+			saveObs()
+			return cliutil.ExitRuntime
 		}
 		arch.Add(rep)
 		if err := report.Write(os.Stdout, rep, outFormat); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Println()
 	}
+	if code := saveObs(); code != cliutil.ExitOK {
+		return code
+	}
 	if *save != "" {
 		if err := arch.Save(*save); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Fprintf(os.Stderr, "archive saved to %s\n", *save)
 	}
 	if *compare != "" {
 		old, err := exp.LoadArchive(*compare)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		deltas := exp.Diff(old, arch, 0.05)
 		if len(deltas) == 0 {
@@ -142,9 +204,23 @@ func main() {
 				d.Experiment, d.Row, d.Cell, d.Old, d.New, 100*d.Rel)
 		}
 	}
+	return cliutil.ExitOK
 }
 
-func runAblation(runner *hetsim.Runner, kind, mixID string, f report.Format) {
+// reportRunErrors prints every quarantined simulation failure, so a
+// partially failed run tells the user exactly which keys to re-run
+// (or -resume past).
+func reportRunErrors(runner *hetsim.Runner) {
+	for _, e := range runner.Errors() {
+		fmt.Fprintln(os.Stderr, "  ", e)
+	}
+}
+
+func runAblation(runner *hetsim.Runner, kind, mixID string, f report.Format) int {
+	if _, err := hetsim.MixByID(mixID); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
 	var (
 		rep hetsim.Report
 		err error
@@ -163,14 +239,16 @@ func runAblation(runner *hetsim.Runner, kind, mixID string, f report.Format) {
 	case "llc":
 		rep, err = runner.AblationLLCPolicy(mixID)
 	default:
-		err = fmt.Errorf("unknown ablation %q (step, target, law, cmbal, prefetch, llc)", kind)
+		cliutil.Errorf("unknown ablation %q (step, target, law, cmbal, prefetch, llc)", kind)
+		return cliutil.ExitUsage
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
 	}
 	if err := report.Write(os.Stdout, rep, f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
 	}
+	return cliutil.ExitOK
 }

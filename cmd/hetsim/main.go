@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/hetsim"
+	"repro/internal/cliutil"
 )
 
 var policies = map[string]hetsim.Policy{
@@ -32,7 +33,9 @@ var policies = map[string]hetsim.Policy{
 	"cmbal":         hetsim.PolicyCMBAL,
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
 		mixID   = flag.String("mix", "", "mix id (M1..M14, W1..W14)")
 		gpuName = flag.String("gpu", "", "run a game standalone")
@@ -49,13 +52,27 @@ func main() {
 
 	p, ok := policies[*policy]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q (want one of %s)\n", *policy, keys())
-		os.Exit(2)
+		cliutil.Errorf("unknown policy %q (want one of %s)", *policy, keys())
+		return cliutil.ExitUsage
 	}
 	cfg := hetsim.DefaultConfig(*scale)
 	cfg.Policy = p
 	cfg.TargetFPS = *target
 	cfg.MinFrames = *frames
+	if err := cfg.Validate(); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
+	// Fail on unwritable outputs before the simulation, not after it.
+	for _, out := range []string{*metrics, *traceF} {
+		if out == "" {
+			continue
+		}
+		if err := cliutil.EnsureWritable(out); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+	}
 
 	// rec stays nil (observability fully off) unless an output flag
 	// asks for it.
@@ -69,40 +86,50 @@ func main() {
 	case *mixID != "":
 		m, err := hetsim.MixByID(*mixID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
 		}
+		cfg.NumCPUs = len(m.SpecIDs)
 		r := hetsim.RunMixObs(cfg, m, rec)
 		label = m.ID
 		printResult(m.ID+" ("+m.Game+")", r)
 	case *gpuName != "":
+		if _, err := hetsim.GameByName(*gpuName); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
 		r := hetsim.RunGPUAloneObs(cfg, *gpuName, rec)
 		label = *gpuName
 		printResult(*gpuName+" standalone", r)
 	case *cpuID != 0:
+		if _, err := hetsim.Spec(*cpuID); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
 		ipc := hetsim.RunCPUAloneObs(cfg, *cpuID, rec)
 		label = fmt.Sprintf("spec%d", *cpuID)
 		fmt.Printf("SPEC %d standalone IPC: %.3f\n", *cpuID, ipc)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return cliutil.ExitUsage
 	}
 
 	if *metrics != "" {
 		if err := saveTo(*metrics, rec.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metrics)
 	}
 	if *traceF != "" {
 		err := saveTo(*traceF, func(w io.Writer) error { return rec.WriteTrace(w, label) })
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
 	}
+	return cliutil.ExitOK
 }
 
 func saveTo(path string, write func(io.Writer) error) error {
@@ -120,6 +147,12 @@ func saveTo(path string, write func(io.Writer) error) error {
 func printResult(label string, r hetsim.Result) {
 	fmt.Printf("%s under %s\n", label, r.Policy)
 	fmt.Printf("  window: %d cycles (hit cap: %v)\n", r.MeasuredCycles, r.HitCap)
+	if r.Stalled {
+		fmt.Printf("  WARNING: watchdog stalled the run at cycle %d (no forward progress)\n", r.StallCycle)
+	}
+	if r.WarmupCapped {
+		fmt.Println("  WARNING: warm-up hit its cycle cap before completing")
+	}
 	for i, ipc := range r.IPC {
 		fmt.Printf("  core%d IPC: %.3f\n", i, ipc)
 	}

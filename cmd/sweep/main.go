@@ -8,17 +8,26 @@
 // Grid cells are independent simulations and run concurrently on a
 // bounded pool (-workers, default HETSIM_PARALLEL or GOMAXPROCS);
 // rows are emitted in grid order regardless of completion order.
+//
+// Long sweeps are resumable: -journal appends every finished cell to
+// a crash-safe JSONL journal, and -resume replays one so only the
+// missing cells simulate. A resumed sweep's CSV is byte-identical to
+// an uninterrupted run. Ctrl-C stops dispatching, drains in-flight
+// cells, and flushes the journal before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 
 	"repro/hetsim"
+	"repro/internal/cliutil"
 )
 
 var policyNames = map[string]hetsim.Policy{
@@ -33,14 +42,38 @@ var policyNames = map[string]hetsim.Policy{
 	"cmbal":         hetsim.PolicyCMBAL,
 }
 
-func main() {
+// cellKey is the journal key for one grid cell. %g keeps the float
+// form canonical so the same target always produces the same key.
+func cellKey(mixID string, pol hetsim.Policy, tgt float64) string {
+	return fmt.Sprintf("%s/%d/%g", mixID, pol, tgt)
+}
+
+// formatRow renders one CSV row from a cell's result. It is a pure
+// function of the Result, which is what makes a resumed sweep's CSV
+// byte-identical to an uninterrupted one.
+func formatRow(mixID string, pol hetsim.Policy, tgt float64, r hetsim.Result) string {
+	return fmt.Sprintf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d",
+		mixID, pol, tgt, r.GPUFPS, r.MeanIPC(),
+		r.FrameStats.P95Cycles, r.FrameStats.Jank, r.FrameStats.BelowTarget,
+		r.GPUBandwidthBytes(), r.CPULLCMisses)
+}
+
+func main() { os.Exit(realMain()) }
+
+// realMain carries the whole run so deferred cleanup (journal flush,
+// signal release) executes before the process exits; main wraps it in
+// the one os.Exit.
+func realMain() int {
 	var (
 		mixID    = flag.String("mix", "M7", "mix id")
 		scale    = flag.Int("scale", 96, "scale factor")
 		targets  = flag.String("targets", "30,40,50", "comma-separated QoS targets (FPS)")
 		policies = flag.String("policies", "baseline,throttle,throttle+prio", "comma-separated policies")
 		prefetch = flag.Bool("prefetch", false, "enable the CPU L2 stride prefetchers")
+		fast     = flag.Bool("fast", false, "shorter windows (smoke-test quality)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
+		journalF = flag.String("journal", "", "append each finished cell to this crash-safe JSONL journal")
+		resumeF  = flag.String("resume", "", "resume from this journal (implies -journal on the same file)")
 		metrics  = flag.String("metrics-out", "", "write every cell's sampled time series (CSV sections) here")
 		traceF   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per cell)")
 		stride   = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
@@ -49,15 +82,15 @@ func main() {
 
 	mix, err := hetsim.MixByID(*mixID)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
 	}
 	var tgts []float64
 	for _, t := range strings.Split(*targets, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
 		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "bad target %q\n", t)
-			os.Exit(2)
+			cliutil.Errorf("bad target %q", t)
+			return cliutil.ExitUsage
 		}
 		tgts = append(tgts, v)
 	}
@@ -65,10 +98,63 @@ func main() {
 	for _, p := range strings.Split(*policies, ",") {
 		pol, ok := policyNames[strings.TrimSpace(p)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown policy %q\n", p)
-			os.Exit(2)
+			cliutil.Errorf("unknown policy %q", p)
+			return cliutil.ExitUsage
 		}
 		pols = append(pols, pol)
+	}
+
+	baseCfg := hetsim.DefaultConfig(*scale)
+	baseCfg.NumCPUs = len(mix.SpecIDs)
+	baseCfg.CPUPrefetch = *prefetch
+	if *fast {
+		baseCfg.WarmupInstr /= 8
+		baseCfg.MeasureInstr /= 8
+		baseCfg.WarmupFrames = 2
+		baseCfg.MinFrames = 2
+	}
+	if err := baseCfg.Validate(); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
+	// Fail on unwritable outputs before hours of simulation, not after.
+	for _, out := range []string{*metrics, *traceF} {
+		if out == "" {
+			continue
+		}
+		if err := cliutil.EnsureWritable(out); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+	}
+
+	// Journal: -resume implies journaling to the same file, so a twice-
+	// interrupted sweep keeps accumulating into one journal.
+	journalPath := *journalF
+	if *resumeF != "" {
+		journalPath = *resumeF
+	}
+	cached := map[string]hetsim.Result{}
+	var journal *hetsim.Journal
+	if journalPath != "" {
+		j, recs, skipped, err := hetsim.OpenJournal(journalPath)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		defer j.Close()
+		journal = j
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s)\n", journalPath, skipped)
+		}
+		for _, rec := range recs {
+			if rec.Kind == "cell" && rec.Result != nil {
+				cached[rec.Key] = *rec.Result
+			}
+		}
+		if *resumeF != "" {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d cell(s) journaled\n", journalPath, len(cached))
+		}
 	}
 
 	type cell struct {
@@ -89,50 +175,94 @@ func main() {
 		coll = hetsim.NewCollection(*stride)
 	}
 
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
 	n := *workers
 	if n <= 0 {
 		n = hetsim.DefaultWorkers()
 	}
 	sem := make(chan struct{}, n)
 	rows := make([]string, len(grid))
+	cellErrs := make([]error, len(grid))
 	var wg sync.WaitGroup
 	for i, c := range grid {
+		key := cellKey(mix.ID, c.pol, c.tgt)
+		if r, ok := cached[key]; ok {
+			rows[i] = formatRow(mix.ID, c.pol, c.tgt, r)
+			continue
+		}
 		wg.Add(1)
-		go func(i int, c cell) {
+		go func(i int, c cell, key string) {
 			defer wg.Done()
+			// A panicking cell fails only itself: siblings keep
+			// running and the journal keeps every completed result.
+			defer func() {
+				if p := recover(); p != nil {
+					cellErrs[i] = fmt.Errorf("cell %s panicked: %v\n%s", key, p, debug.Stack())
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cfg := hetsim.DefaultConfig(*scale)
+			if ctx.Err() != nil {
+				cellErrs[i] = fmt.Errorf("cell %s: %w", key, context.Cause(ctx))
+				return
+			}
+			cfg := baseCfg
 			cfg.Policy = c.pol
 			cfg.TargetFPS = c.tgt
-			cfg.CPUPrefetch = *prefetch
-			rec := coll.Recorder(fmt.Sprintf("%s/%s/%.0f", mix.ID, c.pol, c.tgt))
+			cfg.Interrupt = func() bool { return ctx.Err() != nil }
+			rec := coll.Recorder(key)
 			r := hetsim.RunMixObs(cfg, mix, rec)
-			rows[i] = fmt.Sprintf("%s,%s,%.0f,%.2f,%.4f,%.0f,%d,%d,%d,%d",
-				mix.ID, c.pol, c.tgt, r.GPUFPS, r.MeanIPC(),
-				r.FrameStats.P95Cycles, r.FrameStats.Jank, r.FrameStats.BelowTarget,
-				r.GPUBandwidthBytes(), r.CPULLCMisses)
-		}(i, c)
+			if r.Interrupted {
+				// Wall-clock-dependent partial result: never journaled.
+				cellErrs[i] = fmt.Errorf("cell %s: interrupted", key)
+				return
+			}
+			if journal != nil {
+				if err := journal.Append(hetsim.JournalRecord{Kind: "cell", Key: key, Result: &r}); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+			rows[i] = formatRow(mix.ID, c.pol, c.tgt, r)
+		}(i, c, key)
 	}
 	wg.Wait()
 
 	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
-	for _, row := range rows {
+	failed := 0
+	for i, row := range rows {
+		if cellErrs[i] != nil {
+			cliutil.Errorf("%v", cellErrs[i])
+			failed++
+			continue
+		}
 		fmt.Println(row)
 	}
 
 	if *metrics != "" {
 		if err := coll.SaveMetrics(*metrics); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Fprintf(os.Stderr, "metrics for %d cells written to %s\n", coll.Len(), *metrics)
 	}
 	if *traceF != "" {
 		if err := coll.SaveTrace(*traceF); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceF)
 	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+	}
+	if failed > 0 {
+		cliutil.Errorf("%d of %d cell(s) failed; rerun with -resume to fill them in", failed, len(grid))
+		return cliutil.ExitRuntime
+	}
+	return cliutil.ExitOK
 }

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/hetsim"
+)
+
+// sweepArgs is the grid both subprocess tests run: 6 cells, serial,
+// fast windows — big enough that a kill lands mid-sweep, small enough
+// to keep the test under a few seconds per run.
+var sweepArgs = []string{
+	"-mix", "W3", "-scale", "256", "-fast", "-workers", "1",
+	"-targets", "30,40,50", "-policies", "baseline,throttle",
+}
+
+// buildSweep compiles this package into a throwaway binary so the
+// tests can exercise the real process boundary: SIGKILL, exit codes,
+// fsynced journal state.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweep")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runSweep(t *testing.T, bin string, extra ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, append(append([]string{}, sweepArgs...), extra...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sweep %v: %v\n%s", extra, err, stderr.Bytes())
+	}
+	return stdout.Bytes()
+}
+
+// journalLines counts complete (newline-terminated) lines in the
+// journal file, tolerating the file not existing yet.
+func journalLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return bytes.Count(data, []byte{'\n'})
+}
+
+// TestKillAndResumeByteIdentical is the ISSUE's headline acceptance
+// test: SIGKILL a journaling sweep after at least one cell has been
+// fsynced, resume it, and require the resumed CSV to be byte-for-byte
+// identical to an uninterrupted run's.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildSweep(t)
+
+	// Reference: one uninterrupted run.
+	want := runSweep(t, bin)
+	if len(want) == 0 {
+		t.Fatal("uninterrupted sweep produced no output")
+	}
+
+	// Victim: same grid, journaling, killed after >=1 journaled cell.
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	victim := exec.Command(bin, append(append([]string{}, sweepArgs...), "-journal", journal)...)
+	victim.Stdout, victim.Stderr = nil, nil
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for journalLines(journal) < 1 {
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			t.Fatal("journal never received a record")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := victim.Wait()
+	if err == nil {
+		// The sweep won the race and finished cleanly; resume still
+		// must reproduce the reference, so the test stays valid, just
+		// weaker. Log it so a systematically-too-fast grid is noticed.
+		t.Log("sweep finished before SIGKILL landed; resume will find a complete journal")
+	}
+
+	done := journalLines(journal)
+	if done < 1 {
+		t.Fatalf("killed sweep left %d journaled cells", done)
+	}
+	t.Logf("killed after %d of 6 cells", done)
+
+	// Survivor: resume from the dead sweep's journal.
+	got := runSweep(t, bin, "-resume", journal)
+	if sha256.Sum256(got) != sha256.Sum256(want) {
+		t.Fatalf("resumed CSV differs from uninterrupted run\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// And the journal now covers the whole grid: a second resume runs
+	// nothing and still reproduces the report.
+	if n := journalLines(journal); n < 6 {
+		t.Fatalf("journal holds %d cells after resume, want 6", n)
+	}
+	again := runSweep(t, bin, "-resume", journal)
+	if !bytes.Equal(again, want) {
+		t.Fatal("second resume (fully cached) differs from uninterrupted run")
+	}
+}
+
+// TestResumeRepairsTornJournal chops the journal mid-line — what a
+// crash inside the unsynced tail looks like — and requires resume to
+// discard the torn record, re-run that cell, and still emit the
+// byte-identical CSV.
+func TestResumeRepairsTornJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildSweep(t)
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	want := runSweep(t, bin, "-journal", journal)
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journalLines(journal) != 6 {
+		t.Fatalf("complete run journaled %d cells, want 6", journalLines(journal))
+	}
+	// Tear the last record: drop its newline and half its payload.
+	torn := data[:len(data)-40]
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := runSweep(t, bin, "-resume", journal)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resume after torn journal differs\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// The torn line must have been truncated away and replaced by a
+	// valid re-run record.
+	j, recs, skipped, err := hetsim.OpenJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if skipped != 0 || len(recs) != 6 {
+		t.Fatalf("repaired journal: %d records, %d skipped; want 6, 0", len(recs), skipped)
+	}
+}

@@ -27,6 +27,7 @@ package hetsim
 
 import (
 	"repro/internal/exp"
+	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -175,3 +176,34 @@ func HighFPSMixes() []Mix { return workloads.HighFPSMixes() }
 
 // LowFPSMixes returns the eight mixes where it stays disabled.
 func LowFPSMixes() []Mix { return workloads.LowFPSMixes() }
+
+// RunError is one quarantined simulation failure (validation error,
+// recovered panic, timeout); see Runner.Errors.
+type RunError = exp.RunError
+
+// Journal is the crash-safe, append-only JSONL run journal behind the
+// sweep tools' -journal/-resume flags (DESIGN.md §8).
+type Journal = exp.Journal
+
+// JournalRecord is one journaled run result.
+type JournalRecord = exp.Record
+
+// OpenJournal opens (creating if absent) a run journal, returning the
+// valid records already present and how many corrupt lines were
+// skipped. Attach the journal to a Runner to make a sweep resumable,
+// and seed a fresh Runner with Runner.ReplayJournal to resume one.
+func OpenJournal(path string) (*Journal, []JournalRecord, int, error) {
+	return exp.OpenJournal(path)
+}
+
+// FaultInjector lets tests and chaos harnesses perturb a simulated
+// system deterministically via Config.Faults; see the
+// internal/faultinject package for the standard implementation.
+type FaultInjector = sim.FaultInjector
+
+// FaultSpec parameterizes the deterministic fault injector.
+type FaultSpec = faultinject.Spec
+
+// NewFaultInjector builds a deterministic injector from spec; wire it
+// into Config.Faults.
+func NewFaultInjector(spec FaultSpec) FaultInjector { return faultinject.New(spec) }

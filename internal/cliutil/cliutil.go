@@ -1,0 +1,67 @@
+// Package cliutil holds the small amount of plumbing the command-line
+// tools share: the exit-code convention, pre-flight output checks, and
+// signal-driven cancellation.
+//
+// Exit codes (DESIGN.md §8): 0 success, 1 runtime/IO failure (a
+// simulation died, an output could not be written, the run was
+// interrupted), 2 usage error (bad flags, unknown workload or policy,
+// invalid configuration) — matching flag.ExitOnError's own convention.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Exit codes for the CLI tools.
+const (
+	ExitOK      = 0
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// Errorf prints a formatted message to stderr with the program name
+// prefixed, for consistent error reporting across the tools.
+func Errorf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog(), fmt.Sprintf(format, args...))
+}
+
+func prog() string {
+	if len(os.Args) > 0 && os.Args[0] != "" {
+		return trimPath(os.Args[0])
+	}
+	return "hetsim"
+}
+
+func trimPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// EnsureWritable verifies that path can be created or overwritten by
+// opening it for writing (creating it if absent) and closing it again.
+// Tools call this before starting hours of simulation so an unwritable
+// -metrics-out or -trace-out fails in milliseconds, not at save time.
+func EnsureWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("output %s not writable: %w", path, err)
+	}
+	return f.Close()
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, so
+// Ctrl-C drains worker pools and flushes journals instead of killing
+// the process mid-write. The returned stop function releases the
+// signal handler; a second signal then kills the process immediately
+// (the default Go behavior), which is the desired escalation.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}

@@ -1,0 +1,43 @@
+package exp
+
+import "fmt"
+
+// RunError quarantines one failed simulation: the key identifies the
+// memoized run ("M7/2", a game name, a SPEC id), Phase says which
+// accessor dispatched it, and Stack is non-empty when the failure was
+// a recovered panic. A RunError poisons only its own flight — every
+// waiter for the same key gets the same error while sibling runs in
+// the sweep complete normally.
+type RunError struct {
+	Key   string // memo key within the phase
+	Phase string // "mix", "gpu", "cpu", or "dispatch"
+	Err   error
+	Stack string // goroutine stack at the recovered panic, else ""
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("exp: run %s/%s: %v", e.Phase, e.Key, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// record registers a RunError on the runner's error log and returns
+// it, so accessors can `return x.record(...)` in one expression.
+func (x *Runner) record(e *RunError) *RunError {
+	x.mu.Lock()
+	x.errs = append(x.errs, e)
+	x.mu.Unlock()
+	return e
+}
+
+// Errors returns every RunError recorded so far (validation failures,
+// recovered panics, interrupted runs), in completion order. Sweeps
+// that tolerate partial failure render their report from whatever
+// succeeded and then consult this list.
+func (x *Runner) Errors() []*RunError {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]*RunError(nil), x.errs...)
+}

@@ -11,9 +11,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -99,10 +101,27 @@ type Runner struct {
 	// setting. Returning nil disables observability for that run.
 	Observe func(key string) *obs.Recorder
 
+	// Ctx, when non-nil, cancels the sweep: queued runs fail fast at
+	// dispatch and in-flight simulations bail at their next interrupt
+	// poll, so Ctrl-C drains the pool instead of abandoning it.
+	Ctx context.Context
+
+	// RunTimeout, when positive, bounds each simulation's wall-clock
+	// time; a run that exceeds it is reported as a RunError for its
+	// key while siblings continue. Timed-out (and cancelled) runs are
+	// wall-clock dependent, so they are never journaled.
+	RunTimeout time.Duration
+
+	// Journal, when non-nil, receives a Record for every successfully
+	// completed leader run; see OpenJournal/ReplayJournal for the
+	// resume side.
+	Journal *Journal
+
 	mu       sync.Mutex
 	sem      chan struct{} // worker-pool tokens, sized on first use
 	started  int           // simulations executed (leaders only)
 	wg       sync.WaitGroup
+	errs     []*RunError
 	mixRuns  map[string]*flight[sim.Result] // key: mixID/policy
 	gpuAlone map[string]*flight[sim.Result] // key: game (always baseline policy)
 	cpuAlone map[string]*flight[float64]    // key: specID
@@ -118,21 +137,62 @@ func NewRunner(cfg sim.Config) *Runner {
 	}
 }
 
+// arm threads the runner's cancellation and wall-clock timeout into
+// one run's config. The simulator polls the hook on a cycle stride,
+// so the closure must stay cheap; it reads a deadline and a context
+// error, no channels.
+func (x *Runner) arm(cfg sim.Config) sim.Config {
+	if x.Ctx == nil && x.RunTimeout <= 0 {
+		return cfg
+	}
+	ctx := x.Ctx
+	var deadline time.Time
+	if x.RunTimeout > 0 {
+		deadline = time.Now().Add(x.RunTimeout)
+	}
+	cfg.Interrupt = func() bool {
+		if ctx != nil && ctx.Err() != nil {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+	return cfg
+}
+
+// interruptCause names what ended an interrupted run.
+func (x *Runner) interruptCause() error {
+	if x.Ctx != nil && x.Ctx.Err() != nil {
+		return x.Ctx.Err()
+	}
+	return fmt.Errorf("run exceeded timeout %v", x.RunTimeout)
+}
+
 // mix runs (and caches) one mix under a policy, with NumCPUs taken
 // from the mix size. Concurrent callers of the same key share one
-// run.
-func (x *Runner) mix(m workloads.Mix, p sim.Policy) sim.Result {
+// run; a failed run shares its error the same way.
+func (x *Runner) mix(m workloads.Mix, p sim.Policy) (sim.Result, error) {
 	key := fmt.Sprintf("%s/%d", m.ID, p)
 	f, leader := forKey(x, x.mixRuns, key)
 	if !leader {
 		<-f.done
-		return f.val
+		return f.val, f.err
 	}
-	return lead(x, f, func() sim.Result {
+	return lead(x, f, "mix", key, func() (sim.Result, error) {
+		if err := m.Validate(); err != nil {
+			return sim.Result{}, err
+		}
 		cfg := x.Cfg
 		cfg.Policy = p
 		cfg.NumCPUs = len(m.SpecIDs)
-		return sim.RunMixObs(cfg, m, x.observe("mix/"+key))
+		if err := cfg.Validate(); err != nil {
+			return sim.Result{}, err
+		}
+		r := sim.RunMixObs(x.arm(cfg), m, x.observe("mix/"+key))
+		if r.Interrupted {
+			return sim.Result{}, x.interruptCause()
+		}
+		x.journalAppend(Record{Kind: "mix", Key: key, Result: &r})
+		return r, nil
 	})
 }
 
@@ -145,35 +205,65 @@ func (x *Runner) observe(key string) *obs.Recorder {
 }
 
 // gpuStandalone runs (and caches) a game alone.
-func (x *Runner) gpuStandalone(game string) sim.Result {
+func (x *Runner) gpuStandalone(game string) (sim.Result, error) {
 	f, leader := forKey(x, x.gpuAlone, game)
 	if !leader {
 		<-f.done
-		return f.val
+		return f.val, f.err
 	}
-	return lead(x, f, func() sim.Result {
-		return sim.RunGPUAloneObs(x.Cfg, game, x.observe("gpu/"+game))
+	return lead(x, f, "gpu", game, func() (sim.Result, error) {
+		if _, err := workloads.GameByName(game); err != nil {
+			return sim.Result{}, err
+		}
+		if err := x.Cfg.Validate(); err != nil {
+			return sim.Result{}, err
+		}
+		r := sim.RunGPUAloneObs(x.arm(x.Cfg), game, x.observe("gpu/"+game))
+		if r.Interrupted {
+			return sim.Result{}, x.interruptCause()
+		}
+		x.journalAppend(Record{Kind: "gpu", Key: game, Result: &r})
+		return r, nil
 	})
 }
 
 // cpuStandalone runs (and caches) one SPEC app alone.
-func (x *Runner) cpuStandalone(specID int) float64 {
+func (x *Runner) cpuStandalone(specID int) (float64, error) {
 	key := fmt.Sprintf("%d", specID)
 	f, leader := forKey(x, x.cpuAlone, key)
 	if !leader {
 		<-f.done
-		return f.val
+		return f.val, f.err
 	}
-	return lead(x, f, func() float64 {
-		return sim.RunCPUAloneObs(x.Cfg, specID, x.observe("cpu/"+key))
+	return lead(x, f, "cpu", key, func() (float64, error) {
+		if _, err := workloads.Spec(specID); err != nil {
+			return 0, err
+		}
+		if err := x.Cfg.Validate(); err != nil {
+			return 0, err
+		}
+		r := sim.RunCPUAloneResult(x.arm(x.Cfg), specID, x.observe("cpu/"+key))
+		if r.Interrupted {
+			return 0, x.interruptCause()
+		}
+		ipc := 0.0
+		if len(r.IPC) > 0 {
+			ipc = r.IPC[0]
+		}
+		x.journalAppend(Record{Kind: "cpu", Key: key, IPC: ipc})
+		return ipc, nil
 	})
 }
 
 // weightedSpeedup computes the mix's weighted speedup normalized to
-// the baseline run of the same mix.
-func weightedSpeedup(r, base sim.Result) float64 {
+// the baseline run of the same mix. A per-core IPC mismatch between
+// the two runs used to produce a silent 0 — a bogus datapoint that
+// would quietly drag every geometric mean to zero; it is now an
+// error.
+func weightedSpeedup(r, base sim.Result) (float64, error) {
 	if len(r.IPC) != len(base.IPC) || len(r.IPC) == 0 {
-		return 0
+		return 0, fmt.Errorf("exp: weighted speedup of %s: %d-core run vs %d-core baseline",
+			r.MixID, len(r.IPC), len(base.IPC))
 	}
 	s := 0.0
 	for i := range r.IPC {
@@ -181,7 +271,7 @@ func weightedSpeedup(r, base sim.Result) float64 {
 			s += r.IPC[i] / base.IPC[i]
 		}
 	}
-	return s / float64(len(r.IPC))
+	return s / float64(len(r.IPC)), nil
 }
 
 // bwGBps converts a run's GPU DRAM traffic into GB/s.

@@ -66,11 +66,17 @@ func TestAllIDsDispatchable(t *testing.T) {
 
 func TestTable1And3Static(t *testing.T) {
 	x := NewRunner(tinyCfg())
-	t1 := x.Table1()
+	t1, err := x.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(t1.Rows) < 10 {
 		t.Fatalf("Table1 rows: %d", len(t1.Rows))
 	}
-	t3 := x.Table3()
+	t3, err := x.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(t3.Rows) != 14 {
 		t.Fatalf("Table3 rows: %d", len(t3.Rows))
 	}
@@ -79,8 +85,14 @@ func TestTable1And3Static(t *testing.T) {
 func TestMemoizationReusesRuns(t *testing.T) {
 	x := NewRunner(tinyCfg())
 	m := mixByIDOrDie(t, "M13")
-	a := x.mix(m, sim.PolicyBaseline)
-	b := x.mix(m, sim.PolicyBaseline)
+	a, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.MeasuredCycles != b.MeasuredCycles || a.GPUFPS != b.GPUFPS {
 		t.Fatalf("memoized run differs")
 	}
@@ -94,7 +106,10 @@ func TestFig9ShapeSmall(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	x := NewRunner(tinyCfg())
-	rep := x.Fig9()
+	rep, err := x.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Rows) != 6 {
 		t.Fatalf("Fig9 must cover the 6 high-FPS mixes, got %d", len(rep.Rows))
 	}

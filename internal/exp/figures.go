@@ -12,13 +12,22 @@ import (
 // + one GPU app) in heterogeneous mode, with CPU and GPU performance
 // normalized to their standalone runs. The paper reports ~22% mean
 // loss on both sides.
-func (x *Runner) Fig1() Report {
+func (x *Runner) Fig1() (Report, error) {
 	rep := Report{ID: "fig1", Title: "CPU and GPU performance, heterogeneous / standalone (W1-W14)"}
 	var cpuR, gpuR []float64
 	for _, m := range workloads.MotivationMixes() {
-		het := x.mix(m, sim.PolicyBaseline)
-		aloneIPC := x.cpuStandalone(m.SpecIDs[0])
-		aloneGPU := x.gpuStandalone(m.Game)
+		het, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
+		aloneIPC, err := x.cpuStandalone(m.SpecIDs[0])
+		if err != nil {
+			return Report{}, err
+		}
+		aloneGPU, err := x.gpuStandalone(m.Game)
+		if err != nil {
+			return Report{}, err
+		}
 		cr, gr := 0.0, 0.0
 		if aloneIPC > 0 && len(het.IPC) > 0 {
 			cr = het.IPC[0] / aloneIPC
@@ -34,78 +43,121 @@ func (x *Runner) Fig1() Report {
 	}
 	rep.Summary = fmt.Sprintf("GMEAN cpu=%.3f gpu=%.3f (paper: ~0.78 both)",
 		stats.GMean(cpuR), stats.GMean(gpuR))
-	return rep
+	return rep, nil
 }
 
 // Fig2 reproduces the frame-rate comparison: per GPU application,
 // standalone vs heterogeneous FPS, against the 30 FPS satisfaction
 // line and 40 FPS target.
-func (x *Runner) Fig2() Report {
+func (x *Runner) Fig2() (Report, error) {
 	rep := Report{ID: "fig2", Title: "GPU frame rate, standalone vs heterogeneous (30 FPS line)"}
 	above := 0
 	for _, m := range workloads.MotivationMixes() {
-		alone := x.gpuStandalone(m.Game)
-		het := x.mix(m, sim.PolicyBaseline)
+		alone, err := x.gpuStandalone(m.Game)
+		if err != nil {
+			return Report{}, err
+		}
+		het, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
+		game, err := workloads.GameByName(m.Game)
+		if err != nil {
+			return Report{}, err
+		}
 		if het.GPUFPS > 40 {
 			above++
 		}
 		rep.Rows = append(rep.Rows, Row{Label: m.Game, Cells: []Cell{
 			{"standalone", alone.GPUFPS}, {"hetero", het.GPUFPS},
-			{"tableFPS", workloads.MustGame(m.Game).TableFPS},
+			{"tableFPS", game.TableFPS},
 		}})
 	}
 	rep.Summary = fmt.Sprintf("%d of 14 titles above the 40 FPS target in heterogeneous mode (paper: 6)", above)
-	return rep
+	return rep, nil
 }
 
 // Fig3 reproduces the forced-bypass study: CPU speedup over the
 // heterogeneous baseline when ALL GPU read-miss fills bypass the LLC.
 // The paper reports a ~2% mean CPU loss with wide spread (+10%/-14%).
-func (x *Runner) Fig3() Report {
+func (x *Runner) Fig3() (Report, error) {
 	rep := Report{ID: "fig3", Title: "CPU speedup when all GPU read misses bypass the LLC (W1-W14)"}
 	var sp []float64
 	for _, m := range workloads.MotivationMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
-		byp := x.mix(m, sim.PolicyForcedBypass)
-		s := weightedSpeedup(byp, base)
+		base, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
+		byp, err := x.mix(m, sim.PolicyForcedBypass)
+		if err != nil {
+			return Report{}, err
+		}
+		s, err := weightedSpeedup(byp, base)
+		if err != nil {
+			return Report{}, err
+		}
 		sp = append(sp, s)
 		rep.Rows = append(rep.Rows, Row{Label: m.ID, Cells: []Cell{{"speedup", s}}})
 	}
 	rep.Summary = fmt.Sprintf("GMEAN speedup=%.3f (paper: ~0.98)", stats.GMean(sp))
-	return rep
+	return rep, nil
 }
 
 // Fig8 reproduces the frame-rate estimation accuracy study: percent
 // error of the FRPU's in-frame prediction per GPU application. The
 // paper reports |error| <= 6% with mean below 1%.
-func (x *Runner) Fig8() Report {
+func (x *Runner) Fig8() (Report, error) {
 	rep := Report{ID: "fig8", Title: "Percent error in dynamic frame rate estimation"}
 	var absErrs []float64
 	for _, m := range workloads.EvalMixes() {
 		// DynPrio exercises the FRPU without the throttle's feedback
 		// perturbing frame times, isolating estimator accuracy.
-		r := x.mix(m, sim.PolicyDynPrio)
+		r, err := x.mix(m, sim.PolicyDynPrio)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: m.Game, Cells: []Cell{
 			{"errPct", r.FRPUMeanErrPct}, {"absErrPct", r.FRPUMeanAbsErrPct},
 		}})
 		absErrs = append(absErrs, r.FRPUMeanAbsErrPct)
 	}
 	rep.Summary = fmt.Sprintf("mean |error| = %.2f%% (paper: <1%%, max 6%%)", stats.Mean(absErrs))
-	return rep
+	return rep, nil
+}
+
+// throttleTriple fetches the baseline/Throttled/ThrotCPUprio runs of
+// one mix — the shared shape of Figs. 9–11.
+func (x *Runner) throttleTriple(m workloads.Mix) (base, thr, pri sim.Result, err error) {
+	if base, err = x.mix(m, sim.PolicyBaseline); err != nil {
+		return
+	}
+	if thr, err = x.mix(m, sim.PolicyThrottle); err != nil {
+		return
+	}
+	pri, err = x.mix(m, sim.PolicyThrottleCPUPrio)
+	return
 }
 
 // Fig9 reproduces the core throttling evaluation on the six mixes
 // whose GPU exceeds the 40 FPS target: FPS under baseline, Throttled,
 // and Throttled+CPUprio (left panel), and the normalized weighted CPU
 // speedups (right panel; paper: +11% and +18%).
-func (x *Runner) Fig9() Report {
+func (x *Runner) Fig9() (Report, error) {
 	rep := Report{ID: "fig9", Title: "Access throttling: GPU FPS and CPU weighted speedup (high-FPS mixes)"}
 	var thrS, priS []float64
 	for _, m := range workloads.HighFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
-		thr := x.mix(m, sim.PolicyThrottle)
-		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
-		st, sp := weightedSpeedup(thr, base), weightedSpeedup(pri, base)
+		base, thr, pri, err := x.throttleTriple(m)
+		if err != nil {
+			return Report{}, err
+		}
+		st, err := weightedSpeedup(thr, base)
+		if err != nil {
+			return Report{}, err
+		}
+		sp, err := weightedSpeedup(pri, base)
+		if err != nil {
+			return Report{}, err
+		}
 		thrS = append(thrS, st)
 		priS = append(priS, sp)
 		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: []Cell{
@@ -115,19 +167,20 @@ func (x *Runner) Fig9() Report {
 	}
 	rep.Summary = fmt.Sprintf("GMEAN cpu speedup: throttled=%.3f throttled+prio=%.3f (paper: 1.11 / 1.18)",
 		stats.GMean(thrS), stats.GMean(priS))
-	return rep
+	return rep, nil
 }
 
 // Fig10 reproduces the LLC miss analysis: GPU (left) and CPU (right)
 // LLC miss counts under the two throttling configurations, normalized
 // to baseline. The paper reports GPU +39%/+42% and CPU -4%/-4.5%.
-func (x *Runner) Fig10() Report {
+func (x *Runner) Fig10() (Report, error) {
 	rep := Report{ID: "fig10", Title: "Normalized LLC miss counts under throttling (high-FPS mixes)"}
 	var gT, gP, cT, cP []float64
 	for _, m := range workloads.HighFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
-		thr := x.mix(m, sim.PolicyThrottle)
-		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
+		base, thr, pri, err := x.throttleTriple(m)
+		if err != nil {
+			return Report{}, err
+		}
 		// Misses are normalized per frame / per instruction so that
 		// window-length differences between runs cancel.
 		gpuT := perFrame(thr.GPULLCMisses, thr.GPUFrames) / perFrame(base.GPULLCMisses, base.GPUFrames)
@@ -141,7 +194,7 @@ func (x *Runner) Fig10() Report {
 	}
 	rep.Summary = fmt.Sprintf("mean: GPU thr=%.2fx pri=%.2fx, CPU thr=%.2fx pri=%.2fx (paper: 1.39/1.42, 0.96/0.955)",
 		stats.Mean(gT), stats.Mean(gP), stats.Mean(cT), stats.Mean(cP))
-	return rep
+	return rep, nil
 }
 
 // perFrame normalizes a count by completed frames.
@@ -175,13 +228,14 @@ func perCycleRate(r sim.Result) float64 {
 // Fig11 reproduces the GPU DRAM bandwidth study: read and write GB/s
 // under throttling, normalized to baseline. The paper reports demand
 // dropping 35%/37%.
-func (x *Runner) Fig11() Report {
+func (x *Runner) Fig11() (Report, error) {
 	rep := Report{ID: "fig11", Title: "Normalized GPU DRAM bandwidth under throttling (high-FPS mixes)"}
 	var tot []float64
 	for _, m := range workloads.HighFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
-		thr := x.mix(m, sim.PolicyThrottle)
-		pri := x.mix(m, sim.PolicyThrottleCPUPrio)
+		base, thr, pri, err := x.throttleTriple(m)
+		if err != nil {
+			return Report{}, err
+		}
 		br, bw := bwGBps(base, x.Cfg.CPUFreqHz)
 		tr, tw := bwGBps(thr, x.Cfg.CPUFreqHz)
 		pr, pw := bwGBps(pri, x.Cfg.CPUFreqHz)
@@ -194,7 +248,7 @@ func (x *Runner) Fig11() Report {
 		}})
 	}
 	rep.Summary = fmt.Sprintf("mean normalized GPU bandwidth=%.2fx (paper: 0.65 throttled / 0.63 +prio)", stats.Mean(tot))
-	return rep
+	return rep, nil
 }
 
 // comparisonPolicies is the Figs. 12-14 lineup.
@@ -207,19 +261,31 @@ var comparisonPolicies = []sim.Policy{
 // absolute FPS (top panel) and normalized weighted CPU speedup
 // (bottom panel) for SMS-0.9, SMS-0, DynPrio, HeLM and the proposal.
 // Paper means: +4%, +4%, +10%, +3%, +18%.
-func (x *Runner) Fig12() Report {
+func (x *Runner) Fig12() (Report, error) {
 	rep := Report{ID: "fig12", Title: "Policy comparison, high-FPS mixes: FPS and CPU weighted speedup"}
 	sums := map[sim.Policy][]float64{}
 	for _, m := range workloads.HighFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
+		base, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
 		cells := []Cell{}
 		for _, p := range comparisonPolicies {
-			r := x.mix(m, p)
+			r, err := x.mix(m, p)
+			if err != nil {
+				return Report{}, err
+			}
 			cells = append(cells, Cell{"fps" + p.String(), r.GPUFPS})
 		}
 		for _, p := range comparisonPolicies[1:] {
-			r := x.mix(m, p)
-			s := weightedSpeedup(r, base)
+			r, err := x.mix(m, p)
+			if err != nil {
+				return Report{}, err
+			}
+			s, err := weightedSpeedup(r, base)
+			if err != nil {
+				return Report{}, err
+			}
 			sums[p] = append(sums[p], s)
 			cells = append(cells, Cell{"cpu" + p.String(), s})
 		}
@@ -230,27 +296,36 @@ func (x *Runner) Fig12() Report {
 		stats.GMean(sums[sim.PolicySMS09]), stats.GMean(sums[sim.PolicySMS0]),
 		stats.GMean(sums[sim.PolicyDynPrio]), stats.GMean(sums[sim.PolicyHeLM]),
 		stats.GMean(sums[sim.PolicyThrottleCPUPrio]))
-	return rep
+	return rep, nil
 }
 
 // Fig13 reproduces the low-FPS mix comparison: normalized FPS (top)
 // and CPU weighted speedup (bottom). The proposal must stay disabled
 // (FPS and CPU at baseline); SMS trades big GPU losses for CPU gains;
 // HeLM loses ~7% FPS; DynPrio tracks baseline.
-func (x *Runner) Fig13() Report {
+func (x *Runner) Fig13() (Report, error) {
 	rep := Report{ID: "fig13", Title: "Policy comparison, low-FPS mixes: normalized FPS and CPU speedup"}
 	fpsSums := map[sim.Policy][]float64{}
 	cpuSums := map[sim.Policy][]float64{}
 	for _, m := range workloads.LowFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
+		base, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
 		cells := []Cell{}
 		for _, p := range comparisonPolicies[1:] {
-			r := x.mix(m, p)
+			r, err := x.mix(m, p)
+			if err != nil {
+				return Report{}, err
+			}
 			nf := 0.0
 			if base.GPUFPS > 0 {
 				nf = r.GPUFPS / base.GPUFPS
 			}
-			s := weightedSpeedup(r, base)
+			s, err := weightedSpeedup(r, base)
+			if err != nil {
+				return Report{}, err
+			}
 			fpsSums[p] = append(fpsSums[p], nf)
 			cpuSums[p] = append(cpuSums[p], s)
 			cells = append(cells, Cell{"fps" + p.String(), nf}, Cell{"cpu" + p.String(), s})
@@ -265,25 +340,35 @@ func (x *Runner) Fig13() Report {
 		stats.GMean(cpuSums[sim.PolicySMS09]), stats.GMean(cpuSums[sim.PolicySMS0]),
 		stats.GMean(cpuSums[sim.PolicyDynPrio]), stats.GMean(cpuSums[sim.PolicyHeLM]),
 		stats.GMean(cpuSums[sim.PolicyThrottleCPUPrio]))
-	return rep
+	return rep, nil
 }
 
 // Fig14 reproduces the equal-weight combined CPU+GPU metric on the
 // low-FPS mixes. The paper: the proposal and DynPrio deliver baseline
 // performance; SMS variants lose; HeLM ends ~1% below baseline.
-func (x *Runner) Fig14() Report {
+func (x *Runner) Fig14() (Report, error) {
 	rep := Report{ID: "fig14", Title: "Combined CPU+GPU performance, low-FPS mixes (equal weight)"}
 	sums := map[sim.Policy][]float64{}
 	for _, m := range workloads.LowFPSMixes() {
-		base := x.mix(m, sim.PolicyBaseline)
+		base, err := x.mix(m, sim.PolicyBaseline)
+		if err != nil {
+			return Report{}, err
+		}
 		cells := []Cell{}
 		for _, p := range comparisonPolicies[1:] {
-			r := x.mix(m, p)
+			r, err := x.mix(m, p)
+			if err != nil {
+				return Report{}, err
+			}
 			gpuSp := 0.0
 			if base.GPUFPS > 0 {
 				gpuSp = r.GPUFPS / base.GPUFPS
 			}
-			c := stats.Combined(weightedSpeedup(r, base), gpuSp)
+			ws, err := weightedSpeedup(r, base)
+			if err != nil {
+				return Report{}, err
+			}
+			c := stats.Combined(ws, gpuSp)
 			sums[p] = append(sums[p], c)
 			cells = append(cells, Cell{p.String(), c})
 		}
@@ -294,12 +379,12 @@ func (x *Runner) Fig14() Report {
 		stats.GMean(sums[sim.PolicySMS09]), stats.GMean(sums[sim.PolicySMS0]),
 		stats.GMean(sums[sim.PolicyDynPrio]), stats.GMean(sums[sim.PolicyHeLM]),
 		stats.GMean(sums[sim.PolicyThrottleCPUPrio]))
-	return rep
+	return rep, nil
 }
 
 // Table1 renders the simulated configuration (Table I) as implemented
 // (paper-scale values; the runner's Scale divides capacities).
-func (x *Runner) Table1() Report {
+func (x *Runner) Table1() (Report, error) {
 	rep := Report{ID: "table1", Title: "Simulation environment (Table I), scale-1 values"}
 	add := func(label string, kv ...Cell) {
 		rep.Rows = append(rep.Rows, Row{Label: label, Cells: kv})
@@ -316,15 +401,18 @@ func (x *Runner) Table1() Report {
 	add("LLC", Cell{"MB", 16}, Cell{"ways", 16}, Cell{"lookupCyc", 10})
 	add("DRAM", Cell{"channels", 2}, Cell{"banks", 8}, Cell{"tCL", 14}, Cell{"tRCD", 14}, Cell{"tRP", 14})
 	rep.Summary = fmt.Sprintf("running at scale=%d (capacities and per-frame work divided accordingly)", x.Cfg.Scale)
-	return rep
+	return rep, nil
 }
 
 // Table2 reports the game catalog with measured standalone FPS next
 // to the paper's Table II baseline FPS.
-func (x *Runner) Table2() Report {
+func (x *Runner) Table2() (Report, error) {
 	rep := Report{ID: "table2", Title: "Graphics frame details (Table II): measured vs paper FPS"}
 	for _, g := range workloads.Games() {
-		alone := x.gpuStandalone(g.Name)
+		alone, err := x.gpuStandalone(g.Name)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: g.Name, Cells: []Cell{
 			{"frames", float64(g.Frames)},
 			{"standaloneFPS", alone.GPUFPS},
@@ -332,22 +420,26 @@ func (x *Runner) Table2() Report {
 		}})
 	}
 	rep.Summary = "tableFPS is the paper's heterogeneous-baseline FPS; see fig2 for the heterogeneous comparison"
-	return rep
+	return rep, nil
 }
 
 // Table3 lists the heterogeneous mixes.
-func (x *Runner) Table3() Report {
+func (x *Runner) Table3() (Report, error) {
 	rep := Report{ID: "table3", Title: "Heterogeneous workload mixes (Table III)"}
 	for _, m := range workloads.EvalMixes() {
 		cells := []Cell{}
 		for _, id := range m.SpecIDs {
-			cells = append(cells, Cell{workloads.MustSpec(id).Name, float64(id)})
+			app, err := workloads.Spec(id)
+			if err != nil {
+				return Report{}, err
+			}
+			cells = append(cells, Cell{app.Name, float64(id)})
 		}
 		rep.Rows = append(rep.Rows, Row{Label: m.ID + "/" + m.Game, Cells: cells})
 	}
 	rep.Summary = fmt.Sprintf("%d evaluation mixes, %d motivation mixes",
 		len(workloads.EvalMixes()), len(workloads.MotivationMixes()))
-	return rep
+	return rep, nil
 }
 
 // ByID dispatches an experiment by identifier ("fig1".."fig14",
@@ -355,31 +447,31 @@ func (x *Runner) Table3() Report {
 func (x *Runner) ByID(id string) (Report, error) {
 	switch id {
 	case "fig1":
-		return x.Fig1(), nil
+		return x.Fig1()
 	case "fig2":
-		return x.Fig2(), nil
+		return x.Fig2()
 	case "fig3":
-		return x.Fig3(), nil
+		return x.Fig3()
 	case "fig8":
-		return x.Fig8(), nil
+		return x.Fig8()
 	case "fig9":
-		return x.Fig9(), nil
+		return x.Fig9()
 	case "fig10":
-		return x.Fig10(), nil
+		return x.Fig10()
 	case "fig11":
-		return x.Fig11(), nil
+		return x.Fig11()
 	case "fig12":
-		return x.Fig12(), nil
+		return x.Fig12()
 	case "fig13":
-		return x.Fig13(), nil
+		return x.Fig13()
 	case "fig14":
-		return x.Fig14(), nil
+		return x.Fig14()
 	case "table1":
-		return x.Table1(), nil
+		return x.Table1()
 	case "table2":
-		return x.Table2(), nil
+		return x.Table2()
 	case "table3":
-		return x.Table3(), nil
+		return x.Table3()
 	}
 	return Report{}, fmt.Errorf("exp: unknown experiment %q (fig1-3, fig8-14, table1-3)", id)
 }
@@ -402,7 +494,10 @@ func (x *Runner) AblationWindowStep(mixID string, steps []uint64) (Report, error
 		return Report{}, err
 	}
 	rep := Report{ID: "ablation-step", Title: "ATU window growth step sweep on " + mixID}
-	base := x.mix(m, sim.PolicyBaseline)
+	base, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		return Report{}, err
+	}
 	for _, st := range steps {
 		cfg := x.Cfg
 		cfg.Policy = sim.PolicyThrottleCPUPrio
@@ -411,8 +506,12 @@ func (x *Runner) AblationWindowStep(mixID string, steps []uint64) (Report, error
 		s := sim.NewSystem(cfg, game, apps)
 		s.Ctrl.ATU.WindowStep = st
 		r := sim.Run(s)
+		sp, err := weightedSpeedup(r, base)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("step=%d", st), Cells: []Cell{
-			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+			{"fps", r.GPUFPS}, {"cpu", sp},
 		}})
 	}
 	return rep, nil
@@ -425,15 +524,22 @@ func (x *Runner) AblationTargetFPS(mixID string, targets []float64) (Report, err
 		return Report{}, err
 	}
 	rep := Report{ID: "ablation-target", Title: "QoS target sweep on " + mixID}
-	base := x.mix(m, sim.PolicyBaseline)
+	base, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		return Report{}, err
+	}
 	for _, tf := range targets {
 		cfg := x.Cfg
 		cfg.Policy = sim.PolicyThrottleCPUPrio
 		cfg.TargetFPS = tf
 		cfg.NumCPUs = len(m.SpecIDs)
 		r := sim.RunMix(cfg, m)
+		sp, err := weightedSpeedup(r, base)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("target=%.0f", tf), Cells: []Cell{
-			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+			{"fps", r.GPUFPS}, {"cpu", sp},
 		}})
 	}
 	return rep, nil
@@ -447,7 +553,10 @@ func (x *Runner) AblationUpdateLaw(mixID string) (Report, error) {
 		return Report{}, err
 	}
 	rep := Report{ID: "ablation-law", Title: "ATU update law: Fig.6 closed form vs feedback, " + mixID}
-	base := x.mix(m, sim.PolicyBaseline)
+	base, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		return Report{}, err
+	}
 	for _, feedback := range []bool{false, true} {
 		cfg := x.Cfg
 		cfg.Policy = sim.PolicyThrottleCPUPrio
@@ -460,8 +569,12 @@ func (x *Runner) AblationUpdateLaw(mixID string) (Report, error) {
 		if feedback {
 			label = "feedback"
 		}
+		sp, err := weightedSpeedup(r, base)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: label, Cells: []Cell{
-			{"fps", r.GPUFPS}, {"cpu", weightedSpeedup(r, base)},
+			{"fps", r.GPUFPS}, {"cpu", sp},
 		}})
 	}
 	return rep, nil
@@ -478,13 +591,23 @@ func (x *Runner) AblationCMBAL(mixID string) (Report, error) {
 		return Report{}, err
 	}
 	rep := Report{ID: "ablation-cmbal", Title: "Shader-core vs GTT-port throttling (paper §IV), " + mixID}
-	base := x.mix(m, sim.PolicyBaseline)
+	base, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		return Report{}, err
+	}
 	for _, p := range []sim.Policy{sim.PolicyCMBAL, sim.PolicyThrottleCPUPrio} {
-		r := x.mix(m, p)
+		r, err := x.mix(m, p)
+		if err != nil {
+			return Report{}, err
+		}
+		sp, err := weightedSpeedup(r, base)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Rows = append(rep.Rows, Row{Label: p.String(), Cells: []Cell{
 			{"fps", r.GPUFPS},
 			{"fpsVsBase", r.GPUFPS / base.GPUFPS},
-			{"cpu", weightedSpeedup(r, base)},
+			{"cpu", sp},
 		}})
 	}
 	rep.Summary = "the paper finds CM-BAL unable to pull the frame rate to the QoS target; the GTT gate does"

@@ -34,11 +34,20 @@ func TestWeightedSpeedupHelper(t *testing.T) {
 	base := sim.Result{IPC: []float64{1, 2}}
 	r := sim.Result{IPC: []float64{2, 2}}
 	// (2/1 + 2/2)/2 = 1.5
-	if got := weightedSpeedup(r, base); got != 1.5 {
+	got, err := weightedSpeedup(r, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
 		t.Fatalf("ws = %v", got)
 	}
-	if weightedSpeedup(sim.Result{}, base) != 0 {
-		t.Fatalf("mismatched lengths should give 0")
+	// A per-core IPC mismatch used to yield a silent 0 datapoint; it
+	// must now be a reported error.
+	if _, err := weightedSpeedup(sim.Result{}, base); err == nil {
+		t.Fatal("mismatched IPC lengths must error, not return 0")
+	}
+	if _, err := weightedSpeedup(sim.Result{IPC: []float64{1}}, base); err == nil {
+		t.Fatal("1-core run vs 2-core baseline must error")
 	}
 }
 

@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Record is one journaled simulation result: one line of the JSONL
+// run journal (DESIGN.md §8). Kind selects the memo map ("mix",
+// "gpu", "cpu"; CLIs may journal their own kinds, e.g. cmd/sweep's
+// "cell"), Key is the memo key within it, and exactly one of Result
+// or IPC carries the payload. Hash is a sha256 over the record's JSON
+// with Hash itself cleared, so a torn or bit-rotted line is detected
+// and skipped on replay instead of resurrecting a corrupt result.
+type Record struct {
+	Kind   string      `json:"kind"`
+	Key    string      `json:"key"`
+	IPC    float64     `json:"ipc,omitempty"`    // payload for kind "cpu"
+	Result *sim.Result `json:"result,omitempty"` // payload for the other kinds
+	Hash   string      `json:"hash"`
+}
+
+// hashRecord computes the integrity hash: sha256 over the canonical
+// JSON encoding with the Hash field empty. encoding/json marshals
+// struct fields in declaration order and floats in their shortest
+// round-trippable form, so the encoding — and therefore the hash — is
+// deterministic.
+func hashRecord(rec Record) (string, error) {
+	rec.Hash = ""
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Journal is a crash-safe, append-only JSONL file of completed runs.
+// Every Append is fsynced before it returns, so a record either made
+// it to disk whole or is detected as torn on the next open — a killed
+// sweep loses at most the run that was in flight.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error // first append/sync failure; sticky
+}
+
+// OpenJournal opens (creating if absent) the journal at path, returns
+// the valid records already present and how many lines were skipped
+// as corrupt, and leaves the journal open for appends. A torn trailing
+// line (the signature of a crash mid-write) is truncated away so new
+// appends start on a clean line boundary; corrupt lines elsewhere are
+// skipped but preserved.
+func OpenJournal(path string) (*Journal, []Record, int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	recs, skipped, validLen := decodeJournal(data)
+	if validLen < int64(len(data)) {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("journal: repair %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return &Journal{f: f}, recs, skipped, nil
+}
+
+// decodeJournal parses the journal bytes line by line. validLen is
+// the length of the leading portion that ends on a newline — anything
+// past it is a torn trailing write and counts as one skipped line.
+func decodeJournal(data []byte) (recs []Record, skipped int, validLen int64) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			skipped++ // torn trailing line, no terminator
+			return recs, skipped, validLen
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		validLen += int64(nl + 1)
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			skipped++
+			continue
+		}
+		want, err := hashRecord(rec)
+		if err != nil || rec.Hash != want {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, skipped, validLen
+}
+
+// Append hashes rec, writes it as one JSONL line, and fsyncs. Safe
+// for concurrent use by pool workers. After the first failure the
+// journal stops accepting appends and Err reports the cause — runs
+// continue, they just stop being resumable.
+func (j *Journal) Append(rec Record) error {
+	h, err := hashRecord(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s/%s: %w", rec.Kind, rec.Key, err)
+	}
+	rec.Hash = h
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s/%s: %w", rec.Kind, rec.Key, err)
+	}
+	data = append(data, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return fmt.Errorf("journal: append after Close")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		j.err = fmt.Errorf("journal: write: %w", err)
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("journal: fsync: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// Err returns the first append failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// journalAppend records a completed run in the runner's journal; a
+// nil journal makes it a no-op, and append failures are recorded but
+// never fail the run itself (the sweep degrades to non-resumable).
+func (x *Runner) journalAppend(rec Record) {
+	if x.Journal == nil {
+		return
+	}
+	if err := x.Journal.Append(rec); err != nil {
+		x.record(&RunError{Key: rec.Key, Phase: "journal", Err: err})
+	}
+}
+
+// ReplayJournal seeds the runner's memo maps from journaled records
+// so only missing runs execute after a resume; it returns how many
+// records were adopted. Unknown kinds and duplicate keys are ignored,
+// which also makes replaying a journal from a different sweep merely
+// useless, not harmful.
+func (x *Runner) ReplayJournal(recs []Record) int {
+	n := 0
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "mix":
+			if rec.Result != nil && seedFlight(x, x.mixRuns, rec.Key, *rec.Result) {
+				n++
+			}
+		case "gpu":
+			if rec.Result != nil && seedFlight(x, x.gpuAlone, rec.Key, *rec.Result) {
+				n++
+			}
+		case "cpu":
+			if seedFlight(x, x.cpuAlone, rec.Key, rec.IPC) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// seedFlight installs an already-completed flight under key, unless
+// one exists. Seeded flights look exactly like finished runs to the
+// accessors: done is closed, val is set, no worker slot was consumed.
+func seedFlight[T any](x *Runner, m map[string]*flight[T], key string, v T) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := m[key]; ok {
+		return false
+	}
+	done := make(chan struct{})
+	close(done)
+	m[key] = &flight[T]{done: done, val: v}
+	return true
+}

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "runs.jsonl")
+}
+
+// TestJournalRoundTrip: records appended to a journal come back
+// verbatim (and uncorrupted) on reopen.
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, recs, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || skipped != 0 {
+		t.Fatalf("fresh journal: %d records, %d skipped", len(recs), skipped)
+	}
+	want := []Record{
+		{Kind: "mix", Key: "M7/0", Result: &sim.Result{MixID: "M7", MeasuredCycles: 123, IPC: []float64{1.5, 0.5}}},
+		{Kind: "gpu", Key: "DOOM3", Result: &sim.Result{GPUFPS: 41.25}},
+		{Kind: "cpu", Key: "462", IPC: 1.875},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if skipped != 0 {
+		t.Fatalf("skipped %d lines on clean reopen", skipped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Key != want[i].Key {
+			t.Fatalf("record %d = %s/%s, want %s/%s", i, got[i].Kind, got[i].Key, want[i].Kind, want[i].Key)
+		}
+		if got[i].Hash == "" {
+			t.Fatalf("record %d has no integrity hash", i)
+		}
+	}
+	if got[0].Result.MeasuredCycles != 123 || got[0].Result.IPC[1] != 0.5 {
+		t.Fatalf("mix payload mangled: %+v", got[0].Result)
+	}
+	if got[2].IPC != 1.875 {
+		t.Fatalf("cpu payload mangled: %v", got[2].IPC)
+	}
+}
+
+// TestJournalTornTailTruncated: a partial trailing line — the
+// signature of a crash mid-write — is counted as skipped, truncated
+// away on open, and the journal keeps accepting appends on a clean
+// line boundary.
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: "cpu", Key: "401", IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate the torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"cpu","key":"403","ip`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || skipped != 1 {
+		t.Fatalf("after torn tail: %d records, %d skipped; want 1, 1", len(recs), skipped)
+	}
+	if err := j2.Append(Record{Kind: "cpu", Key: "403", IPC: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, recs, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(recs) != 2 || skipped != 0 {
+		t.Fatalf("after repair+append: %d records, %d skipped; want 2, 0", len(recs), skipped)
+	}
+	if recs[1].Key != "403" || recs[1].IPC != 3 {
+		t.Fatalf("post-repair append mangled: %+v", recs[1])
+	}
+}
+
+// TestJournalCorruptLineSkipped: a corrupt line in the middle of the
+// file (bad JSON, or valid JSON whose integrity hash no longer
+// matches) is skipped without losing the records around it.
+func TestJournalCorruptLineSkipped(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Kind: "cpu", Key: fmt.Sprint(400 + i), IPC: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines", len(lines))
+	}
+
+	// Case 1: middle line is not JSON at all.
+	mangled := lines[0] + "!!not json!!\n" + lines[2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("bad JSON line: %d records, %d skipped; want 2, 1", len(recs), skipped)
+	}
+	if recs[0].Key != "400" || recs[1].Key != "402" {
+		t.Fatalf("wrong survivors: %s, %s", recs[0].Key, recs[1].Key)
+	}
+
+	// Case 2: middle line is valid JSON but its payload was tampered
+	// with after hashing.
+	tampered := strings.Replace(lines[1], `"ipc":1`, `"ipc":9`, 1)
+	if tampered == lines[1] {
+		t.Fatalf("tamper target not found in %q", lines[1])
+	}
+	if err := os.WriteFile(path, []byte(lines[0]+tampered+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, skipped, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("hash-tampered line: %d records, %d skipped; want 2, 1", len(recs), skipped)
+	}
+	for _, rec := range recs {
+		if rec.Key == "401" {
+			t.Fatal("tampered record resurrected")
+		}
+	}
+}
+
+// TestReplayJournalSeedsMemo: a journaled sweep replayed into a fresh
+// runner starts zero new simulations and reproduces the original
+// results bit-for-bit — the heart of -resume.
+func TestReplayJournalSeedsMemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	path := tmpJournal(t)
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewRunner(detCfg())
+	x.Workers = 2
+	x.Journal = j
+	m := mixByIDOrDie(t, "W3")
+	r1, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := x.gpuStandalone(m.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := x.cpuStandalone(m.SpecIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, recs, skipped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(recs) != 3 {
+		t.Fatalf("journal: %d records, %d skipped; want 3, 0", len(recs), skipped)
+	}
+
+	y := NewRunner(detCfg())
+	if n := y.ReplayJournal(recs); n != 3 {
+		t.Fatalf("replayed %d records, want 3", n)
+	}
+	// Replaying the same journal again must be a no-op.
+	if n := y.ReplayJournal(recs); n != 0 {
+		t.Fatalf("second replay adopted %d records, want 0", n)
+	}
+	r2, err := y.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := y.gpuStandalone(m.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := y.cpuStandalone(m.SpecIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := y.Started(); got != 0 {
+		t.Fatalf("resumed runner started %d simulations, want 0", got)
+	}
+	if fmt.Sprintf("%+v", r1) != fmt.Sprintf("%+v", r2) {
+		t.Fatal("replayed mix result differs from the original run")
+	}
+	if fmt.Sprintf("%+v", g1) != fmt.Sprintf("%+v", g2) {
+		t.Fatal("replayed gpu result differs from the original run")
+	}
+	if c1 != c2 {
+		t.Fatalf("replayed cpu IPC %v != original %v", c2, c1)
+	}
+}

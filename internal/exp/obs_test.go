@@ -31,9 +31,15 @@ func runObserved(t *testing.T, workers int) ([]byte, []byte, []sim.Result) {
 
 	m := workloads.EvalMixes()[6] // M7
 	done := make(chan sim.Result, 3)
-	go func() { done <- x.mix(m, sim.PolicyBaseline) }()
-	go func() { done <- x.mix(m, sim.PolicyThrottleCPUPrio) }()
-	go func() { done <- x.gpuStandalone(m.Game) }()
+	send := func(r sim.Result, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		done <- r
+	}
+	go func() { send(x.mix(m, sim.PolicyBaseline)) }()
+	go func() { send(x.mix(m, sim.PolicyThrottleCPUPrio)) }()
+	go func() { send(x.gpuStandalone(m.Game)) }()
 	results := make([]sim.Result, 3)
 	for i := range results {
 		results[i] = <-done
@@ -83,8 +89,14 @@ func TestObserveKeysAndIsolation(t *testing.T) {
 	x.Observe = coll.Recorder
 
 	m := workloads.EvalMixes()[6]
-	a := x.mix(m, sim.PolicyBaseline)
-	b := x.mix(m, sim.PolicyBaseline) // memoized: same flight
+	a, err := x.mix(m, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := x.mix(m, sim.PolicyBaseline) // memoized: same flight
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.MeasuredCycles != b.MeasuredCycles {
 		t.Fatal("memoized run returned a different result")
 	}

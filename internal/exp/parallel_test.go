@@ -114,7 +114,11 @@ func TestRunnerConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = x.mix(m, sim.PolicyBaseline)
+			r, err := x.mix(m, sim.PolicyBaseline)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
 		}(i)
 	}
 	var alone [4]float64
@@ -122,7 +126,11 @@ func TestRunnerConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			alone[i] = x.cpuStandalone(m.SpecIDs[0])
+			v, err := x.cpuStandalone(m.SpecIDs[0])
+			if err != nil {
+				t.Error(err)
+			}
+			alone[i] = v
 		}(i)
 	}
 	wg.Wait()
@@ -165,7 +173,9 @@ func TestConcurrentPrefetchDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		x.mix(m, sim.PolicyBaseline) // collides with the plan
+		if _, err := x.mix(m, sim.PolicyBaseline); err != nil { // collides with the plan
+			t.Error(err)
+		}
 	}()
 	wg.Wait()
 	x.Wait()

@@ -30,14 +30,17 @@ const (
 )
 
 // run executes (or joins) the task through the memoizing accessors.
+// Prefetch is fire-and-forget: failures stay memoized on the flight
+// (and in Errors()), and the figure assembling the rows re-surfaces
+// them with full context.
 func (x *Runner) run(t task) {
 	switch t.kind {
 	case taskMix:
-		x.mix(t.mix, t.policy)
+		_, _ = x.mix(t.mix, t.policy)
 	case taskGPUAlone:
-		x.gpuStandalone(t.game)
+		_, _ = x.gpuStandalone(t.game)
 	case taskCPUAlone:
-		x.cpuStandalone(t.specID)
+		_, _ = x.cpuStandalone(t.specID)
 	}
 }
 

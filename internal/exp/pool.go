@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 )
 
@@ -24,10 +26,13 @@ func DefaultWorkers() int {
 // flight is one memoized simulation in singleflight style: the first
 // requester (the leader) runs it and closes done; concurrent
 // requesters for the same key wait on done and share the in-flight
-// run instead of starting a duplicate.
+// run instead of starting a duplicate. A failed run memoizes its
+// error the same way — the key is quarantined, every requester gets
+// the same *RunError, and no retry storms hit the pool.
 type flight[T any] struct {
 	done chan struct{}
 	val  T
+	err  error
 }
 
 // forKey returns the flight registered under key in m, creating and
@@ -67,16 +72,44 @@ func (x *Runner) semaphore() chan struct{} {
 // slot for the duration of the simulation and counts the run. Waiting
 // flights hold no slot, so a figure assembling rows can block on
 // results without starving the pool.
-func lead[T any](x *Runner, f *flight[T], fn func() T) T {
+//
+// lead is also the runner's isolation boundary (phase/key identify
+// the run in errors): a panic inside fn — a corrupt workload table, a
+// bug in one policy's controller — is recovered into a *RunError with
+// the goroutine stack attached, failing only this flight while
+// sibling runs proceed. A runner whose Ctx is already cancelled
+// refuses to start new work, which is how Ctrl-C drains the pool:
+// in-flight simulations notice via their Interrupt hook, queued ones
+// fail fast here without consuming a slot's worth of simulation.
+func lead[T any](x *Runner, f *flight[T], phase, key string, fn func() (T, error)) (T, error) {
+	defer close(f.done)
+	if x.Ctx != nil && x.Ctx.Err() != nil {
+		f.err = x.record(&RunError{Key: key, Phase: "dispatch", Err: x.Ctx.Err()})
+		return f.val, f.err
+	}
 	sem := x.semaphore()
 	sem <- struct{}{}
 	defer func() { <-sem }()
-	defer close(f.done)
 	x.mu.Lock()
 	x.started++
 	x.mu.Unlock()
-	f.val = fn()
-	return f.val
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = x.record(&RunError{
+					Key: key, Phase: phase,
+					Err:   fmt.Errorf("panic: %v", r),
+					Stack: string(debug.Stack()),
+				})
+			}
+		}()
+		var err error
+		f.val, err = fn()
+		if err != nil {
+			f.err = x.record(&RunError{Key: key, Phase: phase, Err: err})
+		}
+	}()
+	return f.val, f.err
 }
 
 // Started returns how many simulations this Runner has executed

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// panicInjector blows up the first time the simulator consults it,
+// standing in for any bug deep inside a run.
+type panicInjector struct{}
+
+func (panicInjector) HoldLLCIntake(cycle uint64) bool { panic("injected fault: boom") }
+func (panicInjector) HoldDRAM(cycle uint64) bool      { return false }
+func (panicInjector) DropFill(cycle uint64) bool      { return false }
+
+// TestPanicQuarantinedToKey: a run that panics becomes a RunError with
+// the goroutine stack attached, every waiter on the same key sees the
+// same error without re-running it, and the runner stays usable.
+func TestPanicQuarantinedToKey(t *testing.T) {
+	cfg := detCfg()
+	cfg.Faults = panicInjector{}
+	x := NewRunner(cfg)
+	x.Workers = 2
+	m := mixByIDOrDie(t, "W3")
+
+	_, err := x.mix(m, sim.PolicyBaseline)
+	if err == nil {
+		t.Fatal("panicking run returned no error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RunError", err)
+	}
+	if re.Phase != "mix" || re.Key != m.ID+"/0" {
+		t.Fatalf("RunError = %s/%s, want mix/%s/0", re.Phase, re.Key, m.ID)
+	}
+	if !strings.Contains(re.Err.Error(), "injected fault: boom") {
+		t.Fatalf("cause lost: %v", re.Err)
+	}
+	if re.Stack == "" || !strings.Contains(re.Stack, "goroutine") {
+		t.Fatal("recovered panic carries no stack trace")
+	}
+
+	// A second caller joins the poisoned flight: same error, no rerun.
+	_, err2 := x.mix(m, sim.PolicyBaseline)
+	if err2 != err {
+		t.Fatalf("waiter got %v, want the memoized %v", err2, err)
+	}
+	if got := x.Started(); got != 1 {
+		t.Fatalf("started %d runs, want 1 (no retry storm)", got)
+	}
+	if errs := x.Errors(); len(errs) != 1 || errs[0] != re {
+		t.Fatalf("Errors() = %v, want the one RunError", errs)
+	}
+}
+
+// TestBadInputQuarantinedWhileSiblingsComplete: an invalid mix fails
+// validation before any simulation starts, and a healthy sibling on
+// the same runner is unaffected.
+func TestBadInputQuarantinedWhileSiblingsComplete(t *testing.T) {
+	x := NewRunner(detCfg())
+	x.Workers = 2
+	bad := workloads.Mix{ID: "Mbad", Game: "NoSuchGame", SpecIDs: []int{401}}
+	if _, err := x.mix(bad, sim.PolicyBaseline); err == nil {
+		t.Fatal("invalid mix ran without error")
+	}
+	good := mixByIDOrDie(t, "W3")
+	r, err := x.mix(good, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatalf("healthy sibling failed after quarantined key: %v", err)
+	}
+	if r.MeasuredCycles == 0 {
+		t.Fatal("healthy sibling produced an empty result")
+	}
+	if errs := x.Errors(); len(errs) != 1 || errs[0].Key != "Mbad/0" {
+		t.Fatalf("Errors() = %v, want exactly the quarantined Mbad/0", errs)
+	}
+}
+
+// TestCancelledContextFailsDispatchFast: with the runner's context
+// already cancelled, new runs fail at dispatch without simulating.
+func TestCancelledContextFailsDispatchFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := NewRunner(detCfg())
+	x.Ctx = ctx
+	m := mixByIDOrDie(t, "W3")
+
+	start := time.Now()
+	_, err := x.mix(m, sim.PolicyBaseline)
+	if err == nil {
+		t.Fatal("cancelled runner still ran")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in its chain", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Phase != "dispatch" {
+		t.Fatalf("error = %v, want a dispatch-phase RunError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled dispatch took %v", elapsed)
+	}
+	if got := x.Started(); got != 0 {
+		t.Fatalf("cancelled runner started %d simulations", got)
+	}
+}
+
+// TestRunTimeoutInterrupts: a per-run wall-clock timeout ends the
+// simulation at its next interrupt poll and surfaces as an error, not
+// as a half-measured result (which would be wall-clock-dependent and
+// must never be journaled or memoized as data).
+func TestRunTimeoutInterrupts(t *testing.T) {
+	x := NewRunner(detCfg())
+	x.RunTimeout = time.Nanosecond
+	m := mixByIDOrDie(t, "W3")
+	_, err := x.mix(m, sim.PolicyBaseline)
+	if err == nil {
+		t.Fatal("timed-out run returned no error")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("error = %v, want a timeout cause", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injectors for the simulator's chaos suite (DESIGN.md §8). Each
+// injector implements sim.FaultInjector and perturbs a running system
+// in one of three ways:
+//
+//   - queue-full back-pressure bursts: the LLC intake refuses ring
+//     arrivals for a stretch of cycles (requests wait, nothing lost);
+//   - DRAM bank stalls: the memory controllers skip whole cycles;
+//   - dropped fills: read responses vanish on the way back (lost ring
+//     slots), which breaks read conservation by design and livelocks
+//     the requester — the scenario the progress watchdog exists for.
+//
+// Everything is a pure function of the spec, the seed, and the cycle
+// sequence, so a faulted run is exactly as reproducible as a healthy
+// one: same spec + same workload → byte-identical sim.Result.
+//
+// CorruptConfig covers the fourth fault class — malformed
+// configuration — by mutating one field per seed; every corruption it
+// produces must be caught by (sim.Config).Validate before a
+// simulation starts.
+package faultinject
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Spec parameterizes an Injector. Zero-valued fields disable the
+// corresponding fault, so Spec{} injects nothing.
+type Spec struct {
+	// Seed phase-shifts the periodic bursts so different seeds hit
+	// different alignments of the same workload.
+	Seed uint64
+
+	// LLC intake back-pressure: every LLCHoldPeriod cycles the intake
+	// refuses arrivals for LLCHoldLen cycles (0 period = off).
+	LLCHoldPeriod, LLCHoldLen uint64
+
+	// DRAM bank stalls: every DRAMStallPeriod cycles the controllers
+	// skip DRAMStallLen cycles (0 period = off).
+	DRAMStallPeriod, DRAMStallLen uint64
+
+	// Dropped fills: every DropEveryNthFill-th read fill delivery is
+	// lost (0 = off), up to MaxDrops total (0 = unlimited).
+	DropEveryNthFill uint64
+	MaxDrops         int
+}
+
+// Injector is a deterministic sim.FaultInjector built from a Spec.
+type Injector struct {
+	spec      Spec
+	llcPhase  uint64
+	dramPhase uint64
+	fills     uint64
+	drops     int
+
+	// Burst/hold tallies, exported for test assertions.
+	HeldLLC  uint64 // cycles the LLC intake was held
+	HeldDRAM uint64 // cycles the DRAM controllers were held
+}
+
+var _ sim.FaultInjector = (*Injector)(nil)
+
+// New builds an injector; the burst phase offsets derive from
+// Spec.Seed so runs with different seeds stress different cycle
+// alignments, deterministically.
+func New(spec Spec) *Injector {
+	r := rng.New(spec.Seed)
+	inj := &Injector{spec: spec}
+	if spec.LLCHoldPeriod > 0 {
+		inj.llcPhase = r.Uint64n(spec.LLCHoldPeriod)
+	}
+	if spec.DRAMStallPeriod > 0 {
+		inj.dramPhase = r.Uint64n(spec.DRAMStallPeriod)
+	}
+	return inj
+}
+
+// Drops returns how many fills have been dropped so far.
+func (inj *Injector) Drops() int { return inj.drops }
+
+// HoldLLCIntake implements sim.FaultInjector.
+func (inj *Injector) HoldLLCIntake(cycle uint64) bool {
+	if inj.spec.LLCHoldPeriod == 0 {
+		return false
+	}
+	if (cycle+inj.llcPhase)%inj.spec.LLCHoldPeriod < inj.spec.LLCHoldLen {
+		inj.HeldLLC++
+		return true
+	}
+	return false
+}
+
+// HoldDRAM implements sim.FaultInjector.
+func (inj *Injector) HoldDRAM(cycle uint64) bool {
+	if inj.spec.DRAMStallPeriod == 0 {
+		return false
+	}
+	if (cycle+inj.dramPhase)%inj.spec.DRAMStallPeriod < inj.spec.DRAMStallLen {
+		inj.HeldDRAM++
+		return true
+	}
+	return false
+}
+
+// DropFill implements sim.FaultInjector. The decision counts fill
+// deliveries, not cycles, so it is deterministic regardless of how
+// many fills share a cycle.
+func (inj *Injector) DropFill(uint64) bool {
+	n := inj.spec.DropEveryNthFill
+	if n == 0 {
+		return false
+	}
+	if inj.spec.MaxDrops > 0 && inj.drops >= inj.spec.MaxDrops {
+		return false
+	}
+	inj.fills++
+	if inj.fills%n == 0 {
+		inj.drops++
+		return true
+	}
+	return false
+}
+
+// CorruptConfig returns cfg with one field deterministically broken
+// by seed — the config-fuzz half of the chaos suite. Each corruption
+// models a real operator mistake (zero scale, too many cores, a
+// mistyped frequency) and must be rejected by cfg.Validate.
+func CorruptConfig(cfg sim.Config, seed uint64) sim.Config {
+	switch seed % 8 {
+	case 0:
+		cfg.Scale = 0
+	case 1:
+		cfg.NumCPUs = -1
+	case 2:
+		cfg.NumCPUs = 1 << 10
+	case 3:
+		cfg.CPUFreqHz = 0
+	case 4:
+		cfg.GPUFreqHz = -1e9
+	case 5:
+		cfg.GPUDivider = 0
+	case 6:
+		cfg.MeasureInstr = 0
+	case 7:
+		cfg.MaxCycles = 0
+	}
+	return cfg
+}

@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// chaosCfg is a small mix configuration for the fault suite: big
+// enough to exercise every queue, small enough to run under -race.
+func chaosCfg() sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.WarmupInstr = 30_000
+	cfg.WarmupFrames = 2
+	cfg.MeasureInstr = 80_000
+	cfg.MinFrames = 2
+	cfg.MaxCycles = 20_000_000
+	return cfg
+}
+
+// burstSpec injects back-pressure and DRAM stalls but loses nothing:
+// faults that slow the system down must never break its invariants.
+func burstSpec(seed uint64) Spec {
+	return Spec{
+		Seed:            seed,
+		LLCHoldPeriod:   1_000,
+		LLCHoldLen:      120,
+		DRAMStallPeriod: 2_500,
+		DRAMStallLen:    300,
+	}
+}
+
+// TestInjectorDeterminism: two injectors built from the same spec
+// make identical decisions for the same cycle/fill sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	spec := burstSpec(7)
+	spec.DropEveryNthFill = 3
+	a, b := New(spec), New(spec)
+	for cycle := uint64(1); cycle <= 200_000; cycle++ {
+		if a.HoldLLCIntake(cycle) != b.HoldLLCIntake(cycle) {
+			t.Fatalf("cycle %d: HoldLLCIntake diverged", cycle)
+		}
+		if a.HoldDRAM(cycle) != b.HoldDRAM(cycle) {
+			t.Fatalf("cycle %d: HoldDRAM diverged", cycle)
+		}
+		if cycle%7 == 0 && a.DropFill(cycle) != b.DropFill(cycle) {
+			t.Fatalf("cycle %d: DropFill diverged", cycle)
+		}
+	}
+	if a.HeldLLC == 0 || a.HeldDRAM == 0 || a.Drops() == 0 {
+		t.Fatalf("spec injected nothing: HeldLLC=%d HeldDRAM=%d Drops=%d",
+			a.HeldLLC, a.HeldDRAM, a.Drops())
+	}
+	// Different seeds must shift the burst phase.
+	c := New(burstSpec(99))
+	same := true
+	for cycle := uint64(1); cycle <= 10_000; cycle++ {
+		if New(burstSpec(7)).llcPhase != c.llcPhase {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 99 produced identical burst phases")
+	}
+}
+
+// TestConservationUnderBackPressure: with hold faults active (nothing
+// lost), PR 2's read-conservation invariant must hold at every sampled
+// cycle and traffic must still flow end to end.
+func TestConservationUnderBackPressure(t *testing.T) {
+	m := workloads.EvalMixes()[6] // M7
+	cfg := chaosCfg()
+	inj := New(burstSpec(13))
+	cfg.Faults = inj
+	game, apps := sim.MixWorkload(cfg, m)
+	s := sim.NewSystem(cfg, game, apps)
+	for i := 0; i < 300_000; i++ {
+		s.Tick()
+		if s.Cycle()%4096 != 0 {
+			continue
+		}
+		if a := s.AuditReads(); !a.Conserved() {
+			t.Fatalf("cycle %d: reads not conserved under back-pressure: injected %d != delivered %d + in-flight %d",
+				s.Cycle(), a.Injected, a.Delivered, a.InFlight)
+		}
+	}
+	if inj.HeldLLC == 0 || inj.HeldDRAM == 0 {
+		t.Fatalf("faults never fired: HeldLLC=%d HeldDRAM=%d", inj.HeldLLC, inj.HeldDRAM)
+	}
+	if a := s.AuditReads(); a.Injected == 0 || a.Delivered == 0 {
+		t.Fatalf("no read traffic flowed under faults: %+v", a)
+	}
+}
+
+// TestMonotoneCountersUnderFaults: hold faults must not make any
+// sampled counter move backwards.
+func TestMonotoneCountersUnderFaults(t *testing.T) {
+	cfg := chaosCfg()
+	cfg.Policy = sim.PolicyThrottleCPUPrio
+	cfg.Faults = New(burstSpec(29))
+	game, apps := sim.MixWorkload(cfg, workloads.EvalMixes()[6])
+	s := sim.NewSystem(cfg, game, apps)
+
+	var lastCycle, lastGPU uint64
+	lastRetired := make([]uint64, len(s.Cores))
+	for i := 0; i < 300_000; i++ {
+		s.Tick()
+		if s.Cycle() <= lastCycle {
+			t.Fatalf("system cycle did not advance: %d -> %d", lastCycle, s.Cycle())
+		}
+		lastCycle = s.Cycle()
+		if s.Cycle()%4096 != 0 {
+			continue
+		}
+		if g := s.GPU.Cycle(); g < lastGPU {
+			t.Fatalf("GPU cycle went backwards: %d -> %d", lastGPU, g)
+		} else {
+			lastGPU = g
+		}
+		for ci, c := range s.Cores {
+			if r := c.Retired(); r < lastRetired[ci] {
+				t.Fatalf("core %d retired went backwards: %d -> %d", ci, lastRetired[ci], r)
+			} else {
+				lastRetired[ci] = r
+			}
+		}
+	}
+}
+
+// TestFaultedRunDeterministic: a faulted run is as reproducible as a
+// healthy one — two runs with fresh injectors from the same spec give
+// byte-identical results.
+func TestFaultedRunDeterministic(t *testing.T) {
+	m := workloads.EvalMixes()[6]
+	run := func() sim.Result {
+		cfg := chaosCfg()
+		cfg.Faults = New(burstSpec(41)) // fresh injector: they are stateful
+		return sim.RunMix(cfg, m)
+	}
+	r1, r2 := run(), run()
+	if fmt.Sprintf("%+v", r1) != fmt.Sprintf("%+v", r2) {
+		t.Errorf("faulted run not deterministic:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if r1.MeasuredCycles == 0 {
+		t.Error("faulted run measured nothing")
+	}
+}
+
+// TestWatchdogFiresUnderDroppedFills: losing every fill livelocks the
+// whole mix (cores and GPU), and the progress watchdog must end the
+// run deterministically instead of spinning to MaxCycles.
+func TestWatchdogFiresUnderDroppedFills(t *testing.T) {
+	m := workloads.EvalMixes()[6]
+	run := func() sim.Result {
+		cfg := chaosCfg()
+		cfg.Faults = New(Spec{Seed: 3, DropEveryNthFill: 1})
+		cfg.StallWindow = 50_000
+		cfg.StallWindows = 2
+		return sim.RunMix(cfg, m)
+	}
+	r := run()
+	if !r.Stalled {
+		t.Fatalf("dropped-fill livelock did not trip the watchdog: %+v", r)
+	}
+	if r.HitCap {
+		t.Error("stalled run should bail before MaxCycles")
+	}
+	if r2 := run(); fmt.Sprintf("%+v", r) != fmt.Sprintf("%+v", r2) {
+		t.Errorf("stalled verdict not deterministic:\n%+v\nvs\n%+v", r, r2)
+	}
+}
+
+// TestDropFillBounded: MaxDrops caps the injected losses.
+func TestDropFillBounded(t *testing.T) {
+	inj := New(Spec{DropEveryNthFill: 1, MaxDrops: 5})
+	dropped := 0
+	for i := uint64(0); i < 100; i++ {
+		if inj.DropFill(i) {
+			dropped++
+		}
+	}
+	if dropped != 5 || inj.Drops() != 5 {
+		t.Errorf("dropped %d fills (Drops()=%d), want exactly 5", dropped, inj.Drops())
+	}
+}
+
+// TestCorruptConfigRejected: every corruption CorruptConfig can
+// produce must be caught by Validate before a simulation starts.
+func TestCorruptConfigRejected(t *testing.T) {
+	base := sim.DefaultConfig(64)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config invalid: %v", err)
+	}
+	for seed := uint64(0); seed < 16; seed++ {
+		bad := CorruptConfig(base, seed)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("seed %d: corrupted config passed Validate: %+v", seed, bad)
+		}
+	}
+}

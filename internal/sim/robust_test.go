@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// dropAllFills is the harshest possible fault: every read fill is
+// lost, so the first core miss stalls the pipeline forever. Only the
+// progress watchdog can end such a run before MaxCycles.
+type dropAllFills struct{}
+
+func (dropAllFills) HoldLLCIntake(uint64) bool { return false }
+func (dropAllFills) HoldDRAM(uint64) bool      { return false }
+func (dropAllFills) DropFill(uint64) bool      { return true }
+
+// stalledCfg is a small CPU-only system with a tight watchdog.
+func stalledCfg() Config {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	cfg.MinFrames = 0
+	cfg.Faults = dropAllFills{}
+	cfg.StallWindow = 50_000
+	cfg.StallWindows = 2
+	return cfg
+}
+
+func runCPUOnly(t *testing.T, cfg Config, specID int) Result {
+	t.Helper()
+	app, err := workloads.Spec(specID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(NewSystem(cfg, nil, []trace.Params{app.Params}))
+}
+
+// TestWatchdogFiresOnLivelock: with every fill dropped the run makes
+// no forward progress, and the watchdog must end it deterministically
+// long before MaxCycles.
+func TestWatchdogFiresOnLivelock(t *testing.T) {
+	cfg := stalledCfg()
+	r := runCPUOnly(t, cfg, 429)
+	if !r.Stalled {
+		t.Fatalf("run with all fills dropped did not stall: %+v", r)
+	}
+	if r.StallCycle == 0 || r.StallCycle >= cfg.MaxCycles {
+		t.Errorf("StallCycle = %d, want in (0, MaxCycles)", r.StallCycle)
+	}
+	if !r.WarmupCapped {
+		t.Error("a run stalled during warm-up should also report WarmupCapped")
+	}
+	if r.HitCap {
+		t.Error("stalled run should bail before the MaxCycles cap")
+	}
+
+	// The stall verdict is part of the deterministic result.
+	r2 := runCPUOnly(t, cfg, 429)
+	if fmt.Sprintf("%+v", r) != fmt.Sprintf("%+v", r2) {
+		t.Errorf("stalled result not deterministic:\n%+v\nvs\n%+v", r, r2)
+	}
+}
+
+// TestWatchdogDisabled: StallWindows < 0 turns the watchdog off, so
+// the same livelocked run must instead grind to the MaxCycles cap.
+func TestWatchdogDisabled(t *testing.T) {
+	cfg := stalledCfg()
+	cfg.StallWindows = -1
+	cfg.MaxCycles = 400_000 // keep the capped run cheap
+	r := runCPUOnly(t, cfg, 429)
+	if r.Stalled {
+		t.Errorf("watchdog disabled but run reported Stalled: %+v", r)
+	}
+	if !r.HitCap {
+		t.Errorf("livelocked run without watchdog should hit MaxCycles: %+v", r)
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun: a normal run must never trip the
+// watchdog, even with an aggressive window.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	cfg.MinFrames = 0
+	cfg.StallWindow = 50_000
+	cfg.StallWindows = 2
+	r := runCPUOnly(t, cfg, 429)
+	if r.Stalled || r.Interrupted {
+		t.Errorf("healthy run tripped the watchdog: %+v", r)
+	}
+}
+
+// TestInterruptEndsRun: a config interrupt hook ends the run at the
+// next poll with Interrupted set.
+func TestInterruptEndsRun(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	cfg.MinFrames = 0
+	cfg.Interrupt = func() bool { return true }
+	r := runCPUOnly(t, cfg, 429)
+	if !r.Interrupted {
+		t.Fatalf("always-true Interrupt did not end the run: %+v", r)
+	}
+	// First poll happens one interrupt stride in.
+	if r.Stalled || r.HitCap {
+		t.Errorf("interrupted run should not also report Stalled/HitCap: %+v", r)
+	}
+}
+
+// TestWarmupCappedRecorded: warm-up that exits on its cycle cap (not
+// on warmDone) must be reported instead of silently measuring a cold
+// system.
+func TestWarmupCappedRecorded(t *testing.T) {
+	cfg := fastCfg()
+	cfg.NumCPUs = 1
+	cfg.MinFrames = 0
+	cfg.WarmupInstr = 1 << 62 // unreachable: warm-up must cap
+	cfg.MaxCycles = 400_000
+	r := runCPUOnly(t, cfg, 429)
+	if !r.WarmupCapped {
+		t.Errorf("unreachable WarmupInstr did not set WarmupCapped: %+v", r)
+	}
+
+	// And a run whose warm-up completes normally must not set it.
+	healthy := fastCfg()
+	healthy.NumCPUs = 1
+	healthy.MinFrames = 0
+	if r := runCPUOnly(t, healthy, 429); r.WarmupCapped {
+		t.Errorf("healthy warm-up reported WarmupCapped: %+v", r)
+	}
+}
+
+// TestConfigValidate exercises every rejection path plus the happy
+// path the CLIs rely on.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(64).Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Scale = 0 },
+		func(c *Config) { c.NumCPUs = -1 },
+		func(c *Config) { c.NumCPUs = 99 },
+		func(c *Config) { c.CPUFreqHz = 0 },
+		func(c *Config) { c.GPUFreqHz = -1 },
+		func(c *Config) { c.GPUDivider = 0 },
+		func(c *Config) { c.TargetFPS = -40 },
+		func(c *Config) { c.MeasureInstr = 0 },
+		func(c *Config) { c.MaxCycles = 0 },
+		func(c *Config) { c.MinFrames = -1 },
+		func(c *Config) { c.WarmupFrames = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(64)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config #%d passed Validate: %+v", i, cfg)
+		}
+	}
+}

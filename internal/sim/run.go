@@ -47,6 +47,26 @@ type Result struct {
 	// HitCap is set when the run ended on MaxCycles rather than on
 	// its completion conditions.
 	HitCap bool
+
+	// WarmupCapped is set when warm-up ended on its cycle cap
+	// (MaxCycles/4) before every core reached WarmupInstr and the GPU
+	// completed its warm-up frames: measurement then starts from a
+	// colder state than configured. This previously went unreported.
+	WarmupCapped bool
+
+	// Stalled is set when the progress watchdog observed StallWindows
+	// consecutive windows with zero forward progress (no core retired,
+	// no GPU fill arrived, no frame completed) and abandoned the run;
+	// StallCycle is the cycle it fired. A stalled result is still
+	// deterministic for its (config, workload) key.
+	Stalled    bool
+	StallCycle uint64
+
+	// Interrupted is set when Config.Interrupt ended the run early
+	// (context cancellation or a wall-clock timeout). Interrupted
+	// results are partial and wall-clock dependent — the experiment
+	// Runner reports them as errors and never journals them.
+	Interrupted bool
 }
 
 // GPUBandwidthBytes returns total GPU DRAM traffic.
@@ -55,6 +75,77 @@ func (r Result) GPUBandwidthBytes() uint64 { return r.GPUReadBytes + r.GPUWriteB
 // MeanIPC returns the arithmetic mean of per-core IPCs.
 func (r Result) MeanIPC() float64 { return stats.Mean(r.IPC) }
 
+// Progress-watchdog and interrupt-polling defaults (DESIGN.md §8).
+const (
+	// DefaultStallWindow / DefaultStallWindows: a run that makes zero
+	// forward progress for 4 consecutive 2M-cycle windows (~8.4M CPU
+	// cycles) is declared stalled. Any legitimate run — even a
+	// multi-million-cycle GPU frame — retires instructions or receives
+	// fills far more often than that; only a genuinely livelocked
+	// memory system goes this quiet.
+	DefaultStallWindow  uint64 = 2 << 20
+	DefaultStallWindows        = 4
+
+	// interruptStride is how many cycles pass between Interrupt
+	// polls: a power of two so the hot loop pays one mask-and-test.
+	interruptStride = 1 << 14
+)
+
+// progress is the watchdog's forward-progress count: total retired
+// instructions plus GPU fills received plus frames completed. A slow
+// run keeps at least one of these moving every window; a livelocked
+// system (e.g. a lost fill the core will wait on forever) moves none.
+func progress(s *System) uint64 {
+	var p uint64
+	for _, c := range s.Cores {
+		p += c.Retired()
+	}
+	if s.GPU != nil {
+		p += uint64(s.GPU.FramesDone) + s.GPU.FillsReceived
+	}
+	return p
+}
+
+// watchdog detects stalled runs: `need` consecutive windows of
+// `window` cycles each with no forward progress.
+type watchdog struct {
+	window uint64
+	need   int
+	next   uint64 // cycle of the next window boundary
+	last   uint64 // progress count at the last boundary
+	idle   int    // consecutive windows without progress
+}
+
+func newWatchdog(cfg Config, s *System) watchdog {
+	w := watchdog{window: cfg.StallWindow, need: cfg.StallWindows}
+	if w.window == 0 {
+		w.window = DefaultStallWindow
+	}
+	if w.need == 0 {
+		w.need = DefaultStallWindows
+	}
+	w.next = s.cycle + w.window
+	w.last = progress(s)
+	return w
+}
+
+// stalled reports whether the run has made no progress for `need`
+// consecutive windows. Called every cycle; cheap (one compare) except
+// at window boundaries.
+func (w *watchdog) stalled(s *System) bool {
+	if w.need < 0 || s.cycle < w.next {
+		return false
+	}
+	w.next = s.cycle + w.window
+	if p := progress(s); p != w.last {
+		w.last = p
+		w.idle = 0
+		return false
+	}
+	w.idle++
+	return w.idle >= w.need
+}
+
 // Run executes the system through warm-up and measurement and
 // returns the results. It is deterministic for a given config and
 // workload.
@@ -62,13 +153,35 @@ func Run(s *System) Result {
 	cfg := s.Cfg
 	res := Result{Policy: cfg.Policy}
 
+	// bail folds the two early-exit conditions — watchdog stall and
+	// external interrupt — into one per-cycle check shared by both
+	// phases. Interrupt is polled on a stride because it may read a
+	// channel or the clock; the watchdog is a single compare.
+	w := newWatchdog(cfg, s)
+	bail := func() bool {
+		if w.stalled(s) {
+			res.Stalled = true
+			res.StallCycle = s.cycle
+			return true
+		}
+		if cfg.Interrupt != nil && s.cycle%interruptStride == 0 && cfg.Interrupt() {
+			res.Interrupted = true
+			return true
+		}
+		return false
+	}
+
 	// Phase 1: warm-up. Every core must retire WarmupInstr and the
 	// GPU (if present) must complete one frame, so that the caches,
 	// the row buffers, and the FRPU's learning phase have state.
 	warmCap := cfg.MaxCycles / 4
 	for s.cycle < warmCap && !warmDone(s) {
 		s.Tick()
+		if bail() {
+			break
+		}
 	}
+	res.WarmupCapped = !warmDone(s)
 
 	// Snapshot measurement baselines.
 	s.LLC.ResetStats()
@@ -85,8 +198,9 @@ func Run(s *System) Result {
 	finish := make([]uint64, len(s.Cores))
 
 	// Phase 2: measure until every core has its representative
-	// instructions and the GPU has MinFrames.
-	for s.cycle-startCycle < cfg.MaxCycles {
+	// instructions and the GPU has MinFrames. A run already stalled or
+	// interrupted during warm-up skips measurement entirely.
+	for !res.Stalled && !res.Interrupted && s.cycle-startCycle < cfg.MaxCycles {
 		s.Tick()
 		done := true
 		for i, c := range s.Cores {
@@ -102,6 +216,9 @@ func Run(s *System) Result {
 			done = false
 		}
 		if done {
+			break
+		}
+		if bail() {
 			break
 		}
 	}
@@ -221,17 +338,24 @@ func RunCPUAlone(cfg Config, specID int) float64 {
 
 // RunCPUAloneObs is RunCPUAlone with an optional recorder attached.
 func RunCPUAloneObs(cfg Config, specID int, rec *obs.Recorder) float64 {
+	r := RunCPUAloneResult(cfg, specID, rec)
+	if len(r.IPC) == 0 {
+		return 0
+	}
+	return r.IPC[0]
+}
+
+// RunCPUAloneResult is RunCPUAloneObs returning the full Result, so
+// callers can distinguish a real IPC from a run that stalled or was
+// interrupted (core 0's standalone IPC is IPC[0]).
+func RunCPUAloneResult(cfg Config, specID int, rec *obs.Recorder) Result {
 	app := workloads.MustSpec(specID)
 	alone := cfg
 	alone.Policy = PolicyBaseline
 	alone.MinFrames = 0
 	s := NewSystem(alone, nil, []trace.Params{app.Params})
 	s.AttachObs(rec)
-	r := Run(s)
-	if len(r.IPC) == 0 {
-		return 0
-	}
-	return r.IPC[0]
+	return Run(s)
 }
 
 // RunGPUAlone measures a game running alone on the CMP (no CPU

@@ -79,6 +79,28 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// FaultInjector perturbs a running System deterministically; see
+// internal/faultinject for the seed-driven implementations used by the
+// chaos suite. Every hook is polled from inside Tick, so
+// implementations must be cheap and must depend only on their own
+// state and the cycle number — same injector state plus same cycle
+// sequence must produce the same faults, or run determinism is lost.
+type FaultInjector interface {
+	// HoldLLCIntake reports whether the LLC refuses ring arrivals this
+	// cycle (a queue-full back-pressure burst); held requests wait in
+	// the spill queue, nothing is lost.
+	HoldLLCIntake(cycle uint64) bool
+	// HoldDRAM reports whether the memory controllers skip this cycle
+	// (a bank-stall burst).
+	HoldDRAM(cycle uint64) bool
+	// DropFill reports whether this read-fill delivery is dropped on
+	// the response path (a lost ring slot). Dropping loses a request
+	// forever and breaks read conservation by design: it is how the
+	// chaos tests livelock a core to prove the progress watchdog
+	// fires.
+	DropFill(cycle uint64) bool
+}
+
 // Config parameterizes a simulated system.
 type Config struct {
 	Scale      int     // capacity/work divisor (1 = paper-size)
@@ -101,6 +123,57 @@ type Config struct {
 	MeasureInstr uint64 // per-core representative instructions
 	MinFrames    int    // GPU frames required inside the window
 	MaxCycles    uint64 // hard cap
+
+	// Robustness (DESIGN.md §8).
+
+	// StallWindow is the width in CPU cycles of one progress-watchdog
+	// window (0 = DefaultStallWindow). StallWindows is how many
+	// consecutive windows without any forward progress — no core
+	// retirement, no GPU fill, no completed frame — mark the run as
+	// stalled (0 = DefaultStallWindows; negative disables the
+	// watchdog).
+	StallWindow  uint64
+	StallWindows int
+	// Interrupt, when non-nil, is polled every few thousand cycles;
+	// once it returns true the run ends at the next poll with
+	// Result.Interrupted set. The experiment Runner threads context
+	// cancellation and its per-run wall-clock timeout through this
+	// hook.
+	Interrupt func() bool
+	// Faults, when non-nil, injects deterministic perturbations into
+	// Tick (back-pressure, DRAM stalls, dropped fills). Nil costs
+	// nothing and changes nothing.
+	Faults FaultInjector
+}
+
+// Validate reports whether the configuration describes a runnable
+// system. CLIs and the experiment Runner call it before any
+// simulation starts, so bad input fails with a clear error and a
+// non-zero exit instead of a stack trace from deep inside NewSystem.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Scale < 1:
+		return fmt.Errorf("sim: Scale %d out of range (want >= 1)", cfg.Scale)
+	case cfg.NumCPUs < 0 || cfg.NumCPUs > int(mem.SourceGPU):
+		return fmt.Errorf("sim: NumCPUs %d out of range [0, %d]", cfg.NumCPUs, int(mem.SourceGPU))
+	case cfg.CPUFreqHz <= 0:
+		return fmt.Errorf("sim: CPUFreqHz %g must be positive", cfg.CPUFreqHz)
+	case cfg.GPUFreqHz <= 0:
+		return fmt.Errorf("sim: GPUFreqHz %g must be positive", cfg.GPUFreqHz)
+	case cfg.GPUDivider < 1:
+		return fmt.Errorf("sim: GPUDivider %d out of range (want >= 1)", cfg.GPUDivider)
+	case cfg.TargetFPS < 0:
+		return fmt.Errorf("sim: TargetFPS %g must be non-negative", cfg.TargetFPS)
+	case cfg.MeasureInstr < 1:
+		return fmt.Errorf("sim: MeasureInstr must be positive")
+	case cfg.MaxCycles < 1:
+		return fmt.Errorf("sim: MaxCycles must be positive")
+	case cfg.MinFrames < 0:
+		return fmt.Errorf("sim: MinFrames %d must be non-negative", cfg.MinFrames)
+	case cfg.WarmupFrames < 0:
+		return fmt.Errorf("sim: WarmupFrames %d must be non-negative", cfg.WarmupFrames)
+	}
+	return nil
 }
 
 // DefaultConfig returns the evaluation configuration at the given
@@ -154,15 +227,20 @@ type System struct {
 	// rec/tee are nil unless AttachObs enabled observability.
 	rec *obs.Recorder
 	tee *obsTee
+
+	// faults is Cfg.Faults, cached so Tick's nil check stays cheap.
+	faults FaultInjector
 }
 
 // NewSystem builds a system running game (nil = no GPU workload) and
 // the given CPU applications (may be empty).
 func NewSystem(cfg Config, game *gpu.AppModel, cpuApps []trace.Params) *System {
-	if cfg.NumCPUs < 0 || cfg.NumCPUs > int(mem.SourceGPU) {
-		panic(fmt.Sprintf("sim: NumCPUs %d out of range", cfg.NumCPUs))
+	if err := cfg.Validate(); err != nil {
+		// Programmatic misuse still panics; CLIs and the Runner call
+		// Validate first so users see an error, not this stack trace.
+		panic(err.Error())
 	}
-	s := &System{Cfg: cfg}
+	s := &System{Cfg: cfg, faults: cfg.Faults}
 
 	nodes := cfg.NumCPUs + 2 // cores + GPU + LLC
 	if nodes < 3 {
@@ -291,17 +369,25 @@ func (s *System) Tick() {
 	s.cycle++
 	s.Ring.Tick()
 
+	// Fault-injection hooks (nil-guarded: the common no-faults path
+	// costs one comparison per Tick).
+	holdLLC := s.faults != nil && s.faults.HoldLLCIntake(s.cycle)
+	holdDRAM := s.faults != nil && s.faults.HoldDRAM(s.cycle)
+
 	// Deliver ring arrivals.
 	for _, m := range s.Ring.Receive(s.llcNode) {
 		s.spill.Push(m.Payload.(*mem.Request))
 	}
-	for s.spill.Len() > 0 && s.LLC.Enqueue(s.spill.Front()) {
+	for !holdLLC && s.spill.Len() > 0 && s.LLC.Enqueue(s.spill.Front()) {
 		s.spill.Pop()
 	}
 	for i := range s.Cores {
 		for _, m := range s.Ring.Receive(ring.NodeID(i)) {
 			r := m.Payload.(*mem.Request)
 			if !r.Write {
+				if s.faults != nil && s.faults.DropFill(s.cycle) {
+					continue
+				}
 				s.Cores[i].OnFill(r)
 			}
 		}
@@ -310,13 +396,18 @@ func (s *System) Tick() {
 		for _, m := range s.Ring.Receive(s.gpuNode) {
 			r := m.Payload.(*mem.Request)
 			if !r.Write {
+				if s.faults != nil && s.faults.DropFill(s.cycle) {
+					continue
+				}
 				s.GPU.OnFill(r)
 			}
 		}
 	}
 
 	s.LLC.Tick()
-	s.Mem.Tick()
+	if !holdDRAM {
+		s.Mem.Tick()
+	}
 	if s.GPU != nil && s.cycle%s.Cfg.GPUDivider == 0 {
 		s.GPU.Tick(s.cycle)
 	}

@@ -11,6 +11,25 @@ type Mix struct {
 	SpecIDs []int
 }
 
+// Validate checks that every workload key in the mix resolves against
+// the catalogs, so a hand-built or mistyped mix is rejected with a
+// clear error before any simulation starts (MustGame/MustSpec would
+// otherwise panic from deep inside system construction).
+func (m Mix) Validate() error {
+	if _, err := GameByName(m.Game); err != nil {
+		return fmt.Errorf("mix %s: %w", m.ID, err)
+	}
+	if len(m.SpecIDs) == 0 {
+		return fmt.Errorf("mix %s: no CPU applications", m.ID)
+	}
+	for _, id := range m.SpecIDs {
+		if _, err := Spec(id); err != nil {
+			return fmt.Errorf("mix %s: %w", m.ID, err)
+		}
+	}
+	return nil
+}
+
 // EvalMixes returns Table III's M1–M14 (4 CPU apps + 1 GPU app each).
 func EvalMixes() []Mix {
 	return []Mix{
