@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover chaos ci
+.PHONY: all build vet test race bench bench-json cover chaos ci
 
 all: ci
 
@@ -46,6 +46,22 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTickReceive' -benchtime 10000x -benchmem ./internal/ring
 	$(GO) test -run '^$$' -bench 'BenchmarkTick' -benchtime 10000x -benchmem ./internal/sim
 
+# Perf tracking: run the headline full-system benchmark at a pinned
+# scale and record it as machine-readable JSON, with per-benchmark
+# speedups against the committed pre-PR-4 baseline. Informational, not
+# a gate — ns/op depends on the host, so `ci` runs it without failing
+# the build (the JSON is there for humans and tooling to diff).
+BENCH_SCALE = 96
+bench-json:
+	{ HETSIM_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkRun(Mix|GPUAlone|CPUAlone)$$' \
+		-benchtime 3x -benchmem -timeout 30m ./internal/sim && \
+	  HETSIM_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkFig9Throttling$$' \
+		-benchtime 1x -benchmem -timeout 30m . ; } | \
+		HETSIM_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchjson \
+		-baseline bench/BASELINE_PR4.txt -out BENCH_PR4.json
+
 # Coverage gate for the observability layer: internal/obs is pure
 # bookkeeping that every experiment's output flows through, so its
 # statements must stay >= 80% covered by its own unit tests.
@@ -58,3 +74,4 @@ cover:
 		{ echo "FAIL: internal/obs coverage $$total% below $(OBS_MIN_COVER)%"; exit 1; }
 
 ci: vet build test race bench cover chaos
+	-$(MAKE) bench-json

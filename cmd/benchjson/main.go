@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench` output into a small
+// machine-readable JSON report, optionally comparing against a saved
+// baseline run of the same benchmarks.
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH.json
+//	go test -bench RunMix -benchmem ./internal/sim | \
+//	    benchjson -baseline bench/BASELINE_PR4.txt -out BENCH_PR4.json
+//
+// The parser understands the standard benchmark result line
+//
+//	BenchmarkName[-P]  N  X ns/op  [Y B/op  Z allocs/op]
+//
+// and ignores everything else (goos/pkg headers, PASS/ok trailers,
+// sub-benchmark log output), so raw `go test` output can be piped or
+// tee'd in unmodified — the baseline file is simply a tee of a
+// previous run. Speedups are baseline_ns/current_ns (>1 = faster),
+// matched by benchmark name with the GOMAXPROCS suffix stripped, and
+// the aggregate is their geometric mean, the standard way to average
+// ratios. Exit codes follow the repo convention: 1 when the input
+// contains no benchmark lines, 2 for flag errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cliutil"
+)
+
+// mark is one parsed benchmark result line.
+type mark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// report is the JSON document benchjson emits.
+type report struct {
+	Scale      string  `json:"hetsim_scale,omitempty"`
+	Benchmarks []mark  `json:"benchmarks"`
+	Matched    int     `json:"baseline_matched,omitempty"`
+	GeoSpeedup float64 `json:"geomean_speedup,omitempty"`
+}
+
+// trimProcs strips the -P GOMAXPROCS suffix go test appends, so runs
+// from machines with different core counts still match by name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parse scans go test output for benchmark result lines.
+func parse(r io.Reader) ([]mark, error) {
+	var out []mark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		m := mark{Name: trimProcs(f[0]), Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		out = append(out, m)
+	}
+	return out, sc.Err()
+}
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		baseline = flag.String("baseline", "", "tee'd go test -bench output of a previous run to compare against")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	marks, err := parse(os.Stdin)
+	if err != nil {
+		cliutil.Errorf("reading stdin: %v", err)
+		return cliutil.ExitRuntime
+	}
+	if len(marks) == 0 {
+		cliutil.Errorf("no benchmark result lines on stdin")
+		return cliutil.ExitRuntime
+	}
+
+	rep := report{Scale: os.Getenv("HETSIM_SCALE"), Benchmarks: marks}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			cliutil.Errorf("reading %s: %v", *baseline, err)
+			return cliutil.ExitRuntime
+		}
+		byName := make(map[string]mark, len(base))
+		for _, b := range base {
+			byName[b.Name] = b
+		}
+		logSum := 0.0
+		for i := range rep.Benchmarks {
+			m := &rep.Benchmarks[i]
+			b, ok := byName[m.Name]
+			if !ok || m.NsPerOp <= 0 {
+				continue
+			}
+			m.BaselineNsPerOp = b.NsPerOp
+			m.Speedup = b.NsPerOp / m.NsPerOp
+			logSum += math.Log(m.Speedup)
+			rep.Matched++
+		}
+		if rep.Matched > 0 {
+			rep.GeoSpeedup = math.Exp(logSum / float64(rep.Matched))
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return cliutil.ExitOK
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	fmt.Printf("benchjson: %d benchmarks", len(rep.Benchmarks))
+	if rep.Matched > 0 {
+		fmt.Printf(", geomean speedup %.3fx over %s", rep.GeoSpeedup, *baseline)
+	}
+	fmt.Printf(" -> %s\n", *out)
+	return cliutil.ExitOK
+}

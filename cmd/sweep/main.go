@@ -77,8 +77,21 @@ func realMain() int {
 		metrics  = flag.String("metrics-out", "", "write every cell's sampled time series (CSV sections) here")
 		traceF   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per cell)")
 		stride   = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep here")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (live objects at exit) here")
 	)
 	flag.Parse()
+
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			cliutil.Errorf("%v", err)
+		}
+	}()
 
 	mix, err := hetsim.MixByID(*mixID)
 	if err != nil {

@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles turns on CPU and/or heap profiling for a tool run.
+// Either path may be empty to skip that profile. The returned stop
+// function flushes and closes whatever was started; call it exactly
+// once (a defer in realMain), and check its error — a profile that
+// fails to flush is worse than none, because it looks usable.
+//
+// The heap profile is written at stop time, after a GC, so it shows
+// live allocations at the end of the run (the go tool pprof default
+// -inuse_space view), matching `go test -memprofile`.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

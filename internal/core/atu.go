@@ -130,6 +130,25 @@ func (a *ATU) Allow(gpuCycle uint64) bool {
 	return false
 }
 
+// NextAllow implements gpu.WakeGate: the earliest GPU cycle >=
+// gpuCycle at which Allow would return true. With the gate open
+// (WG==0, a fresh window pending, or budget left) that is gpuCycle
+// itself; with the budget exhausted the ports stay disabled until the
+// window expires at windowStart+WG. Pure: no counters move.
+func (a *ATU) NextAllow(gpuCycle uint64) uint64 {
+	if a.WG == 0 || gpuCycle >= a.windowStart+a.WG || a.used < a.NG {
+		return gpuCycle
+	}
+	return a.windowStart + a.WG
+}
+
+// SkipDenied implements gpu.WakeGate: bulk-apply n denied Allow
+// calls. A denied call (closed gate, window not yet expired) touches
+// nothing but the denial counter, so that is all a skip replays.
+func (a *ATU) SkipDenied(n uint64) {
+	a.DeniedAcc += n
+}
+
 // OnIssue implements gpu.ThrottleGate: one access left the GTT port.
 func (a *ATU) OnIssue(gpuCycle uint64) {
 	if a.WG == 0 {

@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// TestNextAllowMatchesAllow is the gate's lower-bound contract:
+// NextAllow must return the exact first cycle at which Allow says
+// yes, and must itself be pure (no counters move on a probe).
+func TestNextAllowMatchesAllow(t *testing.T) {
+	a := NewATU()
+
+	// Gate disengaged: always now.
+	if got := a.NextAllow(7); got != 7 {
+		t.Fatalf("open-gate NextAllow = %d, want 7", got)
+	}
+
+	// Engage a 50-cycle window with a budget of 1 and spend it.
+	a.WG = 50
+	if !a.Allow(100) {
+		t.Fatal("first access of a fresh window denied")
+	}
+	a.OnIssue(100)
+
+	// Budget exhausted: every probe up to the window edge must report
+	// the expiry cycle and agree with Allow, without moving anything
+	// but the denial counter Allow itself owns.
+	for c := uint64(101); c < 150; c++ {
+		denied := a.DeniedAcc
+		if got := a.NextAllow(c); got != 150 {
+			t.Fatalf("NextAllow(%d) = %d, want window expiry 150", c, got)
+		}
+		if a.DeniedAcc != denied {
+			t.Fatalf("NextAllow(%d) moved the denial counter", c)
+		}
+		if a.Allow(c) {
+			t.Fatalf("Allow(%d) passed inside an exhausted window", c)
+		}
+	}
+	if got := a.NextAllow(150); got != 150 {
+		t.Fatalf("NextAllow at expiry = %d, want 150", got)
+	}
+	if !a.Allow(150) {
+		t.Fatal("Allow denied at the reported wake")
+	}
+
+	// SkipDenied replays exactly the counter movement of n denied
+	// Allow calls.
+	d := a.DeniedAcc
+	a.SkipDenied(9)
+	if a.DeniedAcc != d+9 {
+		t.Fatalf("SkipDenied moved DeniedAcc by %d, want 9", a.DeniedAcc-d)
+	}
+}

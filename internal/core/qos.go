@@ -122,6 +122,22 @@ func (c *Controller) OnIssue(gpuCycle uint64) {
 	}
 }
 
+// NextAllow implements gpu.WakeGate, delegating to the ATU (an
+// always-open gate in baseline mode).
+func (c *Controller) NextAllow(gpuCycle uint64) uint64 {
+	if c.Mode == ModeBaseline {
+		return gpuCycle
+	}
+	return c.ATU.NextAllow(gpuCycle)
+}
+
+// SkipDenied implements gpu.WakeGate.
+func (c *Controller) SkipDenied(n uint64) {
+	if c.Mode != ModeBaseline {
+		c.ATU.SkipDenied(n)
+	}
+}
+
 // Boost implements the DRAM scheduler priority provider: CPU requests
 // outrank GPU requests exactly while the GPU is being throttled and
 // the mode enables it (§III-C).

@@ -341,6 +341,39 @@ func (c *Core) Tick() {
 	}
 }
 
+// NextWake implements the engine's next-wake contract (DESIGN.md §9):
+// the earliest future cycle at which the core can change state on its
+// own. now+1 means busy. A core is only quiescent while ROB-blocked
+// with an empty write-back queue: every other state retires or probes
+// caches each cycle (cache probes move replacement state, so retry
+// loops cannot be skipped). While blocked, the only self-induced wake
+// is a local (L2-hit) fill coming due; remote fills arrive via OnFill
+// and are bounded by the memory-side components' own wakes.
+func (c *Core) NextWake(now uint64) uint64 {
+	if c.wbq.Len() > 0 || !c.robBlocked() {
+		return now + 1
+	}
+	wake := ^uint64(0)
+	for i := range c.out {
+		if c.out[i].local && c.out[i].at < wake {
+			wake = c.out[i].at
+		}
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// Skip advances a ROB-blocked core n cycles at once. Each elided tick
+// would have released no fill, drained nothing, and taken the
+// robBlocked early-return — exactly one stall cycle — so the bulk
+// update replicates naive ticking bit-for-bit.
+func (c *Core) Skip(n uint64) {
+	c.cycle += n
+	c.StallCycles += n
+}
+
 // memAccess performs one memory reference; it returns false when the
 // reference cannot proceed this cycle (MSHR or downstream full).
 func (c *Core) memAccess(addr uint64, write bool) bool {

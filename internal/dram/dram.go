@@ -230,6 +230,64 @@ func (m *Memory) Tick() {
 	}
 }
 
+// NextWake implements the engine's next-wake contract (DESIGN.md §9):
+// the earliest future system cycle at which the memory system can
+// change state, expressed relative to now (the caller's CPU cycle).
+// now+1 means busy. Internal events live on the DRAM command clock;
+// an event at DRAM cycle E fires at the Tick that raises cpuCycle to
+// E*ClockDivider, which is E*ClockDivider-cpuCycle Ticks away. The
+// arithmetic is kept on m.cpuCycle rather than now because the two
+// drift apart under injected HoldDRAM faults (held Ticks never reach
+// the controller); the engine only skips ranges it has proven
+// fault-free, so inside a skip one system cycle is one Tick.
+func (m *Memory) NextWake(now uint64) uint64 {
+	div := m.cfg.ClockDivider
+	next := ^uint64(0)
+	for _, ch := range m.channels {
+		if len(ch.readQ) > 0 || len(ch.writeQ) > 0 {
+			// Queued work issues at the next command tick.
+			return now + ((m.cpuCycle/div+1)*div - m.cpuCycle)
+		}
+		for i := range ch.completions {
+			if ch.completions[i].at < next {
+				next = ch.completions[i].at
+			}
+		}
+		if m.cfg.TREFI > 0 && ch.nextRefresh < next {
+			next = ch.nextRefresh
+		}
+	}
+	if next == ^uint64(0) {
+		return next
+	}
+	if next*div <= m.cpuCycle {
+		return now + 1
+	}
+	return now + (next*div - m.cpuCycle)
+}
+
+// Skip advances an idle memory system n Ticks at once. Each elided
+// Tick crossed at most the command-clock divider: the DRAM cycle and
+// cycle counters advance by the number of command ticks in the range,
+// and each of those ticks would have dropped write-drain mode (the
+// hysteresis check runs before the empty-queue early return), so the
+// flag is cleared exactly as naive ticking would have.
+func (m *Memory) Skip(n uint64) {
+	div := m.cfg.ClockDivider
+	crossed := (m.cpuCycle+n)/div - m.cpuCycle/div
+	m.cpuCycle += n
+	if crossed == 0 {
+		return
+	}
+	m.dramCycle += crossed
+	m.DRAMCycles += crossed
+	for _, ch := range m.channels {
+		if len(ch.writeQ) == 0 {
+			ch.draining = false
+		}
+	}
+}
+
 func (ch *channel) tick(now uint64) {
 	// All-bank refresh: occupy every bank for tRFC and close rows.
 	if ch.cfg.TREFI > 0 && now >= ch.nextRefresh {

@@ -1,0 +1,74 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestNextWakeRefreshBound: an idle memory's only self-induced event
+// is the periodic refresh; NextWake must report exactly its cycle,
+// with no refresh firing earlier.
+func TestNextWakeRefreshBound(t *testing.T) {
+	cfg := testConfig() // ClockDivider 1: CPU and DRAM clocks coincide
+	m := New(cfg, NewFRFCFS)
+	w := m.NextWake(0)
+	if w != cfg.TREFI {
+		t.Fatalf("idle NextWake = %d, want first refresh at %d", w, cfg.TREFI)
+	}
+	for i := uint64(0); i < w-1; i++ {
+		m.Tick()
+		if m.Refreshes != 0 {
+			t.Fatalf("refresh fired at tick %d, before reported wake %d", i+1, w)
+		}
+	}
+	m.Tick()
+	m.Tick()
+	if m.Refreshes == 0 {
+		t.Fatalf("no refresh at reported wake %d", w)
+	}
+}
+
+func TestNextWakeQueuedIsBusy(t *testing.T) {
+	m := New(testConfig(), NewFRFCFS)
+	if !m.Enqueue(newReq(0, false, mem.SourceCPU0)) {
+		t.Fatal("enqueue failed")
+	}
+	if got := m.NextWake(0); got != 1 {
+		t.Fatalf("queued request NextWake = %d, want now+1 (busy)", got)
+	}
+}
+
+// TestSkipMatchesIdleTicks exercises the divider-crossing arithmetic:
+// Skip(n) over an idle stretch (below the first refresh, as the
+// engine's wake bound guarantees) must leave the memory serving later
+// traffic on exactly the same schedule as n naive Ticks.
+func TestSkipMatchesIdleTicks(t *testing.T) {
+	cfg := DefaultConfig() // keeps the real CPU:DRAM clock divider
+	for _, n := range []uint64{1, cfg.ClockDivider - 1, cfg.ClockDivider, 777} {
+		if n == 0 {
+			continue
+		}
+		a, b := New(cfg, NewFRFCFS), New(cfg, NewFRFCFS)
+		for i := uint64(0); i < n; i++ {
+			a.Tick()
+		}
+		b.Skip(n)
+		if a.DRAMCycles != b.DRAMCycles {
+			t.Fatalf("skip %d: DRAMCycles %d naive vs %d skipped", n, a.DRAMCycles, b.DRAMCycles)
+		}
+
+		serve := func(m *Memory) int {
+			var done bool
+			m.OnComplete = func(*mem.Request) { done = true }
+			if !m.Enqueue(newReq(0, false, mem.SourceCPU0)) {
+				t.Fatal("enqueue failed")
+			}
+			return run(m, 10_000, func() bool { return done })
+		}
+		ta, tb := serve(a), serve(b)
+		if ta >= 10_000 || ta != tb {
+			t.Fatalf("skip %d: read completed after %d ticks naive vs %d skipped", n, ta, tb)
+		}
+	}
+}

@@ -59,7 +59,7 @@ type Injector struct {
 	HeldDRAM uint64 // cycles the DRAM controllers were held
 }
 
-var _ sim.FaultInjector = (*Injector)(nil)
+var _ sim.WakeFaultInjector = (*Injector)(nil)
 
 // New builds an injector; the burst phase offsets derive from
 // Spec.Seed so runs with different seeds stress different cycle
@@ -120,6 +120,33 @@ func (inj *Injector) DropFill(uint64) bool {
 		return true
 	}
 	return false
+}
+
+// NextFault implements sim.WakeFaultInjector: the earliest cycle >
+// now at which HoldLLCIntake or HoldDRAM may return true. Both bursts
+// are pure functions of the cycle ((cycle+phase)%period < len), and
+// calls that return false move no state, so the engine may elide them
+// wholesale up to this bound. DropFill is consulted only when a fill
+// is actually delivered — never during a quiescent stretch — so it
+// does not constrain the bound.
+func (inj *Injector) NextFault(now uint64) uint64 {
+	next := ^uint64(0)
+	burst := func(period, length, phase uint64) {
+		if period == 0 || length == 0 {
+			return
+		}
+		c := now + 1
+		at := c
+		if r := (c + phase) % period; r >= length {
+			at = c + (period - r)
+		}
+		if at < next {
+			next = at
+		}
+	}
+	burst(inj.spec.LLCHoldPeriod, inj.spec.LLCHoldLen, inj.llcPhase)
+	burst(inj.spec.DRAMStallPeriod, inj.spec.DRAMStallLen, inj.dramPhase)
+	return next
 }
 
 // CorruptConfig returns cfg with one field deterministically broken

@@ -16,6 +16,19 @@ type ThrottleGate interface {
 	OnIssue(gpuCycle uint64)
 }
 
+// WakeGate is optionally implemented by a ThrottleGate that can
+// predict itself (DESIGN.md §9): NextAllow returns the earliest GPU
+// cycle >= gpuCycle at which Allow would return true, and SkipDenied
+// bulk-applies the bookkeeping of n consecutive denied Allow calls
+// (one per elided GPU tick — drainOut asks the gate exactly once per
+// tick while it is closed). A gate without this interface keeps the
+// GPU unskippable while output is queued.
+type WakeGate interface {
+	ThrottleGate
+	NextAllow(gpuCycle uint64) uint64
+	SkipDenied(n uint64)
+}
+
 // ShaderThrottle models shader-core-centric concurrency management
 // (CM-BAL, paper §IV): the returned scale in (0,1] is the fraction of
 // texture-issue slots the active thread count sustains. Only texture
@@ -316,6 +329,80 @@ func (g *GPU) Tick(cpuCycle uint64) {
 	if !g.curValid && g.str.phase == phaseDone &&
 		g.compute == 0 && g.mshr.Len() == 0 && g.outQ.Len() == 0 {
 		g.finishRTP()
+	}
+}
+
+// NextWake implements the engine's next-wake contract (DESIGN.md §9)
+// in the GPU clock domain: the earliest future GPU cycle at which the
+// GPU can change state on its own; nowG+1 means busy. Only two states
+// are provably dead:
+//
+//   - the stream is between accesses (drained, or parked on a retry
+//     that fails on the pure output-queue-full check) while a closed
+//     gate pins the output queue: nothing moves until the gate's
+//     window expires (the ATU idling the GPU is exactly where the
+//     paper's throttling spends whole windows);
+//   - the stream is drained with an empty output queue: the RTP
+//     completes when the shader-compute countdown expires, or — if
+//     reads are still in flight on the MSHRs — only when a fill
+//     arrives (externally bounded by the memory-side wakes).
+//
+// Every other state issues, probes internal caches (which moves
+// replacement state), or feeds the shader throttle's per-cycle
+// controller, so it must tick.
+func (g *GPU) NextWake(nowG uint64) uint64 {
+	if g.Shader != nil {
+		return nowG + 1 // CM-BAL observes the pipeline every cycle
+	}
+	blockedFull := g.curValid && g.outQ.Len() >= g.cfg.OutQ
+	drained := !g.curValid && g.str.phase == phaseDone
+	if !blockedFull && !drained {
+		return nowG + 1
+	}
+	if g.outQ.Len() > 0 {
+		if g.Gate == nil {
+			return nowG + 1 // drains into the ring next tick
+		}
+		wg, ok := g.Gate.(WakeGate)
+		if !ok {
+			return nowG + 1
+		}
+		wake := wg.NextAllow(nowG + 1)
+		if wake <= nowG+1 {
+			return nowG + 1
+		}
+		return wake
+	}
+	// Drained, nothing queued: RTP completion waits on compute and
+	// outstanding fills.
+	if g.mshr.Len() > 0 {
+		return ^uint64(0)
+	}
+	if g.compute == 0 {
+		return nowG + 1 // completion fires on the very next tick
+	}
+	return nowG + g.compute
+}
+
+// Skip advances the GPU n GPU cycles at once through one of the dead
+// states above, replicating what each elided tick would have done:
+// decrement the compute countdown, count one issue-stall if a retry
+// is parked, and take one denied gate decision if the closed gate is
+// what pins the output queue.
+func (g *GPU) Skip(n uint64) {
+	g.cycle += n
+	if g.compute > n {
+		g.compute -= n
+	} else {
+		g.compute = 0
+	}
+	if g.curValid {
+		g.StallIssue += n
+	}
+	if g.outQ.Len() > 0 {
+		if wg, ok := g.Gate.(WakeGate); ok {
+			wg.SkipDenied(n)
+		}
 	}
 }
 

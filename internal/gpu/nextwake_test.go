@@ -1,0 +1,107 @@
+package gpu
+
+import "testing"
+
+// windowGate is a WakeGate test double: closed until openAt, open
+// after, with the denial accounting the ATU does.
+type windowGate struct {
+	openAt uint64
+	denied uint64
+}
+
+func (w *windowGate) Allow(c uint64) bool {
+	if c >= w.openAt {
+		return true
+	}
+	w.denied++
+	return false
+}
+
+func (w *windowGate) OnIssue(uint64) {}
+
+func (w *windowGate) NextAllow(c uint64) uint64 {
+	if c >= w.openAt {
+		return c
+	}
+	return w.openAt
+}
+
+func (w *windowGate) SkipDenied(n uint64) { w.denied += n }
+
+func TestNextWakeFreshGPUIsBusy(t *testing.T) {
+	g := New(DefaultConfig(0), testApp())
+	if got := g.NextWake(0); got != 1 {
+		t.Fatalf("fresh GPU NextWake = %d, want 1 (busy)", got)
+	}
+}
+
+// TestNextWakeGateWindow drives twin GPUs against a closed throttle
+// gate until the output queue pins the pipeline, checks NextWake
+// reports the gate's opening cycle, advances one twin with naive
+// Ticks and the other with Skip, then opens both gates and lets them
+// run: every counter (including the gate's own denial tally) must
+// agree at the barrier and the twins must finish frames in lockstep.
+func TestNextWakeGateWindow(t *testing.T) {
+	const opens = 1 << 30
+	mk := func() (*GPU, *stubMem, *windowGate) {
+		cfg := DefaultConfig(0)
+		cfg.OutQ = 4
+		g := New(cfg, testApp())
+		s := newStub(20)
+		s.gpu = g
+		g.Issue = s.issue
+		w := &windowGate{openAt: opens}
+		g.Gate = w
+		return g, s, w
+	}
+	a, sa, wa := mk()
+	b, sb, wb := mk()
+
+	var wake uint64
+	for i := 0; i < 10_000 && wake == 0; i++ {
+		sa.tick()
+		a.Tick(sa.cycle)
+		sb.tick()
+		b.Tick(sb.cycle)
+		if w := a.NextWake(a.cycle); w > a.cycle+1 {
+			wake = w
+		}
+	}
+	if wake == 0 {
+		t.Fatal("GPU never reached a gate-pinned dead state")
+	}
+	if wake != opens {
+		t.Fatalf("gate-pinned NextWake = %d, want gate opening at %d", wake, opens)
+	}
+
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.Tick(sa.cycle) // stub frozen: no fills land mid-range
+	}
+	b.Skip(n)
+	if a.cycle != b.cycle || a.StallIssue != b.StallIssue ||
+		a.IssuedLLC != b.IssuedLLC || wa.denied != wb.denied {
+		t.Fatalf("after jump: ticked cycle=%d stall=%d issued=%d denied=%d vs skipped cycle=%d stall=%d issued=%d denied=%d",
+			a.cycle, a.StallIssue, a.IssuedLLC, wa.denied,
+			b.cycle, b.StallIssue, b.IssuedLLC, wb.denied)
+	}
+
+	// Open the gates and run to completion in lockstep.
+	wa.openAt, wb.openAt = 0, 0
+	for i := 0; i < 2_000_000 && a.FramesDone < testApp().Frames; i++ {
+		sa.tick()
+		a.Tick(sa.cycle)
+		sb.tick()
+		b.Tick(sb.cycle)
+	}
+	if a.FramesDone != testApp().Frames {
+		t.Fatalf("ticked GPU finished %d of %d frames", a.FramesDone, testApp().Frames)
+	}
+	if a.FramesDone != b.FramesDone || a.IssuedLLC != b.IssuedLLC ||
+		a.ReadsIssued != b.ReadsIssued || a.FillsReceived != b.FillsReceived ||
+		a.StallIssue != b.StallIssue {
+		t.Fatalf("after resume: ticked frames=%d issued=%d reads=%d fills=%d stall=%d vs skipped frames=%d issued=%d reads=%d fills=%d stall=%d",
+			a.FramesDone, a.IssuedLLC, a.ReadsIssued, a.FillsReceived, a.StallIssue,
+			b.FramesDone, b.IssuedLLC, b.ReadsIssued, b.FillsReceived, b.StallIssue)
+	}
+}

@@ -160,6 +160,35 @@ func (l *LLC) Tick() {
 	}
 }
 
+// NextWake implements the engine's next-wake contract (DESIGN.md §9):
+// the earliest future cycle at which the LLC can change state on its
+// own. now+1 means busy. Queued input, parked DRAM-bound retries, and
+// pending write-backs all make progress every cycle; an otherwise-idle
+// LLC wakes only when a hit response's lookup latency expires.
+// Requests riding a DRAM miss (the waiting map) are woken externally
+// by OnDRAMComplete, which the memory controller's own wake bounds.
+func (l *LLC) NextWake(now uint64) uint64 {
+	if len(l.inQ) > 0 || l.retryQ.Len() > 0 || l.wbQ.Len() > 0 {
+		return now + 1
+	}
+	wake := ^uint64(0)
+	for i := range l.hits {
+		if l.hits[i].at < wake {
+			wake = l.hits[i].at
+		}
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// Skip advances an idle LLC n cycles at once; with no queued work and
+// no hit due inside the range, each elided tick only moved the clock.
+func (l *LLC) Skip(n uint64) {
+	l.cycle += n
+}
+
 // lookup performs one tag access; false means the request could not
 // be handled this cycle (no counters move on that path, so retries
 // are not double-counted).

@@ -261,6 +261,27 @@ func (r *Ring) RegisterObs(reg *obs.Registry) {
 	})
 }
 
+// NextWake implements the engine's next-wake contract (DESIGN.md §9):
+// the earliest future cycle at which the ring can change state.
+// now+1 means busy; a quiesced ring has no self-induced events at all
+// (slot rotation over empty slots is unobservable), so it never wakes
+// on its own.
+func (r *Ring) NextWake(now uint64) uint64 {
+	if r.Quiesced() {
+		return ^uint64(0)
+	}
+	return now + 1
+}
+
+// Skip advances a quiesced ring n cycles at once: rotating empty
+// slots only moves the clock and the virtual rotation offset. Callers
+// must ensure Quiesced() held for the whole range (the sim engine
+// does, via NextWake).
+func (r *Ring) Skip(n uint64) {
+	r.cycle += n
+	r.shift = int((uint64(r.shift) + n) % uint64(r.n))
+}
+
 // Quiesced reports whether no message is in flight or queued.
 func (r *Ring) Quiesced() bool {
 	for i := 0; i < r.n; i++ {

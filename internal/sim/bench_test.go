@@ -1,18 +1,32 @@
 package sim
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
+// benchScale returns the scale factor for the sim benchmarks:
+// HETSIM_SCALE when set (the same knob the root paper-figure benches
+// honor, so `make bench-json` can pin a comparable scale), else 192.
+func benchScale() int {
+	if s := os.Getenv("HETSIM_SCALE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return 192
+}
+
 // benchCfg is a small-but-real configuration: high scale keeps the
 // caches tiny so a bench iteration is cheap, while every subsystem
 // (ring, LLC, DRAM, GPU pipeline, FRPU/ATU) stays on its real code
 // path.
 func benchCfg(p Policy) Config {
-	cfg := DefaultConfig(192)
+	cfg := DefaultConfig(benchScale())
 	cfg.Policy = p
 	cfg.WarmupInstr = 40_000
 	cfg.WarmupFrames = 2
@@ -112,5 +126,77 @@ func BenchmarkRunMix(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		RunMix(cfg, m)
+	}
+}
+
+// BenchmarkRunMixNoFF is BenchmarkRunMix with quiescence fast-forward
+// disabled — the naive reference loop. The gap between the two is the
+// skip-ahead engine's net win on a busy 4-core mix (DESIGN.md §9);
+// the alone-run benches below show the win where quiescence is long.
+func BenchmarkRunMixNoFF(b *testing.B) {
+	m, err := workloads.MixByID("M7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(PolicyBaseline)
+	cfg.NoFastForward = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunMix(cfg, m)
+	}
+}
+
+// BenchmarkRunGPUAlone measures the GPU-standalone run every
+// experiment needs for its baselines: no cores, so the system is
+// quiescent between GPU divider ticks, during shader-compute
+// countdowns, and across throttle windows — the fast-forward engine's
+// best case.
+func BenchmarkRunGPUAlone(b *testing.B) {
+	cfg := benchCfg(PolicyBaseline)
+	game := workloads.Games()[0].Name
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunGPUAlone(cfg, game)
+	}
+}
+
+// BenchmarkRunGPUAloneNoFF is the naive-loop reference for
+// BenchmarkRunGPUAlone.
+func BenchmarkRunGPUAloneNoFF(b *testing.B) {
+	cfg := benchCfg(PolicyBaseline)
+	cfg.NoFastForward = true
+	game := workloads.Games()[0].Name
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunGPUAlone(cfg, game)
+	}
+}
+
+// BenchmarkRunCPUAlone measures a single-core standalone run (the
+// per-app IPC baselines): one memory-bound core quiesces the whole
+// system on every DRAM round trip.
+func BenchmarkRunCPUAlone(b *testing.B) {
+	cfg := benchCfg(PolicyBaseline)
+	id := workloads.SpecIDs()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunCPUAlone(cfg, id)
+	}
+}
+
+// BenchmarkRunCPUAloneNoFF is the naive-loop reference for
+// BenchmarkRunCPUAlone.
+func BenchmarkRunCPUAloneNoFF(b *testing.B) {
+	cfg := benchCfg(PolicyBaseline)
+	cfg.NoFastForward = true
+	id := workloads.SpecIDs()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunCPUAlone(cfg, id)
 	}
 }

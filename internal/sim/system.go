@@ -101,6 +101,22 @@ type FaultInjector interface {
 	DropFill(cycle uint64) bool
 }
 
+// WakeFaultInjector is optionally implemented by a FaultInjector that
+// can predict itself (DESIGN.md §9): NextFault returns the earliest
+// cycle > now at which HoldLLCIntake or HoldDRAM may return true
+// (^uint64(0) = never), so the fast-forward engine can elide the
+// provably-false polls in between. Implementations must guarantee
+// that a hold call returning false moves no observable state, and the
+// bound must be conservative: reporting a fault earlier than it fires
+// only costs a wasted tick, reporting it later breaks determinism.
+// An injector without this interface disables fast-forwarding for the
+// whole run (the safe fallback for the chaos suite's ad-hoc
+// injectors).
+type WakeFaultInjector interface {
+	FaultInjector
+	NextFault(now uint64) uint64
+}
+
 // Config parameterizes a simulated system.
 type Config struct {
 	Scale      int     // capacity/work divisor (1 = paper-size)
@@ -144,6 +160,14 @@ type Config struct {
 	// Tick (back-pressure, DRAM stalls, dropped fills). Nil costs
 	// nothing and changes nothing.
 	Faults FaultInjector
+
+	// NoFastForward disables the quiescence-driven fast-forward in
+	// Run (DESIGN.md §9), forcing the naive tick-every-cycle
+	// reference loop. Fast-forward is observably identical to naive
+	// ticking — this switch exists so the differential suite can
+	// prove exactly that, and as an escape hatch while debugging the
+	// engine itself.
+	NoFastForward bool
 }
 
 // Validate reports whether the configuration describes a runnable
@@ -415,6 +439,102 @@ func (s *System) Tick() {
 		c.Tick()
 	}
 	s.rec.OnTick(s.cycle)
+}
+
+// never is the next-wake sentinel for "no self-induced event at all".
+const never = ^uint64(0)
+
+// NextWake computes the earliest future cycle at which any part of
+// the system can change observable state: the minimum of every
+// component's next-wake report (DESIGN.md §9). s.cycle+1 means some
+// component is busy and the engine must tick normally. The GPU's
+// report is converted from its own clock domain — a busy GPU still
+// lets the system sleep until the next divider boundary, since
+// nothing runs it in between.
+func (s *System) NextWake() uint64 {
+	now := s.cycle
+	if s.spill.Len() > 0 || !s.Ring.Quiesced() {
+		return now + 1
+	}
+	wake := s.wakeFloor(now)
+	if s.faults != nil {
+		wf, ok := s.faults.(WakeFaultInjector)
+		if !ok {
+			return now + 1
+		}
+		// A fault firing before the first component event caps the
+		// sleep: the engine must land a real Tick on the fault cycle
+		// so the hold hooks run (and tally) exactly as naive ticking.
+		if f := wf.NextFault(now); f < wake {
+			wake = f
+		}
+	}
+	return wake
+}
+
+// wakeFloor is NextWake without the fault bound.
+func (s *System) wakeFloor(now uint64) uint64 {
+	wake := s.LLC.NextWake(now)
+	if wake == now+1 {
+		return wake
+	}
+	if v := s.Mem.NextWake(now); v == now+1 {
+		return v
+	} else if v < wake {
+		wake = v
+	}
+	for _, c := range s.Cores {
+		if v := c.NextWake(now); v == now+1 {
+			return v
+		} else if v < wake {
+			wake = v
+		}
+	}
+	if s.GPU != nil {
+		div := s.Cfg.GPUDivider
+		nowG := now / div
+		switch vg := s.GPU.NextWake(nowG); {
+		case vg == never:
+		case vg <= nowG+1:
+			// Busy in the GPU domain: it next runs at the following
+			// divider boundary.
+			if v := (nowG + 1) * div; v < wake {
+				wake = v
+			}
+		default:
+			if v := vg * div; v < wake {
+				wake = v
+			}
+		}
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// SkipTo bulk-advances the system clock to target without ticking.
+// Callers (sim.Run's fast-forward) must have proven via NextWake that
+// every cycle in (s.cycle, target] is dead; each component's Skip
+// then replicates exactly what its elided ticks would have done.
+func (s *System) SkipTo(target uint64) {
+	if target <= s.cycle {
+		return
+	}
+	n := target - s.cycle
+	if s.GPU != nil {
+		div := s.Cfg.GPUDivider
+		if ng := target/div - s.cycle/div; ng > 0 {
+			s.GPU.Skip(ng)
+		}
+	}
+	s.Ring.Skip(n)
+	s.LLC.Skip(n)
+	s.Mem.Skip(n)
+	for _, c := range s.Cores {
+		c.Skip(n)
+	}
+	s.cycle = target
 }
 
 // MixWorkload resolves a workloads.Mix into model inputs.
