@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json cover chaos ci
+.PHONY: all build vet test race bench bench-json cover chaos serve-smoke ci
 
 all: ci
 
@@ -37,6 +37,8 @@ chaos:
 	$(GO) test -race -timeout 10m -count=1 ./internal/faultinject
 	$(GO) test -race -timeout 10m -count=1 -run 'Watchdog|Interrupt|WarmupCapped|ConfigValidate' ./internal/sim
 	$(GO) test -race -timeout 10m -count=1 -run 'Journal|Replay|Quarantin|Cancelled|Timeout' ./internal/exp
+	$(GO) test -race -timeout 10m -count=1 ./internal/server
+	$(GO) test -race -timeout 15m -count=1 -run 'Chaos|ResumeRequires' ./cmd/hetsimd
 
 # Short-scale benchmarks: one pass over the hot-path benches with
 # -benchmem so allocation regressions in ring/Tick are visible. The
@@ -62,6 +64,26 @@ bench-json:
 		HETSIM_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchjson \
 		-baseline bench/BASELINE_PR4.txt -out BENCH_PR4.json
 
+# Service smoke gate: boot the real hetsimd binary, drive one run
+# through hetsimctl over HTTP, check the run is visible on /metricsz,
+# and shut the daemon down gracefully (SIGTERM must drain and exit 0).
+# The whole loop — daemon, admission, simulation, journal, client
+# retries — in one subprocess round trip.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf $$tmp; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o $$tmp ./cmd/hetsimd ./cmd/hetsimctl; \
+	$$tmp/hetsimd -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale 256 -fast \
+		-journal $$tmp/runs.jsonl & pid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/hetsimctl -addr $$addr wait-ready; \
+	$$tmp/hetsimctl -addr $$addr run cpu/462; \
+	$$tmp/hetsimctl -addr $$addr metrics | grep -q '^runs_completed 1$$'; \
+	kill -TERM $$pid; wait $$pid; pid=; \
+	echo "serve-smoke: OK"
+
 # Coverage gate for the observability layer: internal/obs is pure
 # bookkeeping that every experiment's output flows through, so its
 # statements must stay >= 80% covered by its own unit tests.
@@ -73,5 +95,5 @@ cover:
 	awk "BEGIN {exit !($$total >= $(OBS_MIN_COVER))}" || \
 		{ echo "FAIL: internal/obs coverage $$total% below $(OBS_MIN_COVER)%"; exit 1; }
 
-ci: vet build test race bench cover chaos
+ci: vet build test race bench cover chaos serve-smoke
 	-$(MAKE) bench-json

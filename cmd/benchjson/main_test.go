@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := `goos: linux
+BenchmarkTick-8   	   10000	      5221 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRunMix 	       3	 512345678 ns/op
+some sub-benchmark log line
+PASS
+`
+	marks, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 2 {
+		t.Fatalf("parsed %d marks, want 2", len(marks))
+	}
+	if marks[0].Name != "BenchmarkTick" || marks[0].NsPerOp != 5221 || marks[0].AllocsPerOp != 0 {
+		t.Fatalf("mark 0 = %+v", marks[0])
+	}
+	if marks[1].Name != "BenchmarkRunMix" || marks[1].Iterations != 3 {
+		t.Fatalf("mark 1 = %+v", marks[1])
+	}
+}
+
+// TestMissingBaselineWarnsNotFails: a -baseline path that doesn't
+// exist (fresh machine, CI cache miss) degrades to a comparison-free
+// report on exit 0 instead of failing the gate; any other open error
+// still fails.
+func TestMissingBaselineWarnsNotFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := filepath.Join(t.TempDir(), "benchjson")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-baseline", filepath.Join(t.TempDir(), "nope.txt"))
+	cmd.Stdin = strings.NewReader("BenchmarkFoo-8  100  5 ns/op\n")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("missing baseline exited non-zero: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "not found") {
+		t.Fatalf("no warning on stderr: %q", stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the JSON report: %v", err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Matched != 0 || rep.GeoSpeedup != 0 {
+		t.Fatalf("report = %+v, want 1 benchmark and no comparison", rep)
+	}
+}

@@ -115,17 +115,18 @@ func realMain() int {
 		journalPath = *resumeF
 	}
 	if journalPath != "" {
-		j, recs, skipped, err := hetsim.OpenJournal(journalPath)
+		j, recs, jstats, err := hetsim.OpenJournal(journalPath)
 		if err != nil {
 			cliutil.Errorf("%v", err)
 			return cliutil.ExitRuntime
 		}
 		defer j.Close()
 		runner.Journal = j
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s)\n", journalPath, skipped)
+		if jstats.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s), repaired %d torn tail(s)\n",
+				journalPath, jstats.CorruptLines, jstats.TornTail)
 		}
-		if n := runner.ReplayJournal(recs); *resumeF != "" {
+		if n, _ := runner.ReplayJournal(recs); *resumeF != "" {
 			fmt.Fprintf(os.Stderr, "resuming from %s: %d run(s) journaled\n", journalPath, n)
 		}
 	}

@@ -1,0 +1,184 @@
+// Command hetsimctl is the command-line client for hetsimd:
+//
+//	hetsimctl -addr 127.0.0.1:8080 run mix/M7/2 gpu/Doom3 cpu/462
+//	hetsimctl status mix/M7/2
+//	hetsimctl result mix/M7/2
+//	hetsimctl metrics
+//	hetsimctl wait-ready
+//
+// Task keys are the runner's memo keys: "mix/<mixID>/<policy#>",
+// "gpu/<game>", "cpu/<specID>". run submits and waits (retrying
+// through overload and server restarts — resubmission is idempotent);
+// submit returns immediately after admission.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() { os.Exit(realMain()) }
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port] [-timeout d] [-deadline d] run|submit|status|result|metrics|wait-ready [key ...]")
+	flag.PrintDefaults()
+}
+
+func realMain() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "hetsimd address (host:port)")
+		timeout  = flag.Duration("timeout", 0, "per-run deadline sent to the server (0 = none)")
+		deadline = flag.Duration("deadline", 0, "overall client deadline for this invocation (0 = none)")
+		verbose  = flag.Bool("v", false, "log client retries to stderr")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		return cliutil.ExitUsage
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	c := client.New("http://" + *addr)
+	if *verbose {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hetsimctl: "+format+"\n", args...)
+		}
+	}
+
+	cmd, keys := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "run", "submit":
+		if len(keys) == 0 {
+			cliutil.Errorf("%s: need at least one task key", cmd)
+			return cliutil.ExitUsage
+		}
+		specs := make([]exp.TaskSpec, len(keys))
+		for i, key := range keys {
+			spec, err := exp.ParseKey(key)
+			if err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			if err := spec.Validate(); err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			specs[i] = spec
+		}
+		failed := 0
+		for _, spec := range specs {
+			if cmd == "submit" {
+				sr, err := c.Submit(ctx, spec, *timeout)
+				if err != nil {
+					cliutil.Errorf("%v", err)
+					failed++
+					continue
+				}
+				fmt.Printf("%s\t%s\n", sr.Key, sr.Status)
+				continue
+			}
+			res, err := c.Run(ctx, spec, *timeout)
+			if err != nil {
+				cliutil.Errorf("run %s: %v", spec.Key(), err)
+				failed++
+				continue
+			}
+			fmt.Println(summary(spec.Key(), res))
+		}
+		if failed > 0 {
+			return cliutil.ExitRuntime
+		}
+		return cliutil.ExitOK
+
+	case "status":
+		if len(keys) != 1 {
+			cliutil.Errorf("status: need exactly one task key")
+			return cliutil.ExitUsage
+		}
+		sr, known, err := c.Status(ctx, keys[0], 0)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		if !known {
+			cliutil.Errorf("unknown run %s", keys[0])
+			return cliutil.ExitRuntime
+		}
+		fmt.Printf("%s\t%s", sr.Key, sr.Status)
+		if sr.Error != "" {
+			fmt.Printf("\t%s", sr.Error)
+		}
+		fmt.Println()
+		return cliutil.ExitOK
+
+	case "result":
+		if len(keys) != 1 {
+			cliutil.Errorf("result: need exactly one task key")
+			return cliutil.ExitUsage
+		}
+		rr, err := c.Result(ctx, keys[0])
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		fmt.Println(summary(rr.Key, rr.TaskResult))
+		return cliutil.ExitOK
+
+	case "metrics":
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%s %g\n", name, m[name])
+		}
+		return cliutil.ExitOK
+
+	case "wait-ready":
+		wctx := ctx
+		if *deadline == 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+		}
+		if err := c.Ready(wctx); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		fmt.Println("ready")
+		return cliutil.ExitOK
+	}
+	cliutil.Errorf("unknown command %q", cmd)
+	usage()
+	return cliutil.ExitUsage
+}
+
+// summary renders one finished task as a stable one-line record.
+func summary(key string, res exp.TaskResult) string {
+	if res.Result != nil {
+		return fmt.Sprintf("%s\tdone\tfps=%.2f\tmeanIPC=%.4f", key, res.Result.GPUFPS, res.Result.MeanIPC())
+	}
+	return fmt.Sprintf("%s\tdone\tipc=%.4f", key, res.IPC)
+}

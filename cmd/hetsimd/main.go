@@ -1,0 +1,183 @@
+// Command hetsimd serves simulations as a service: an HTTP JSON API
+// over the experiment runner, for driving campaigns from scripts and
+// notebooks without linking the simulator.
+//
+//	hetsimd -addr 127.0.0.1:8080 -journal runs.jsonl
+//	hetsimctl -addr 127.0.0.1:8080 run mix/M7/2
+//
+// The daemon is hardened for long-lived operation (DESIGN.md §10):
+// admission control sheds load past a bounded queue (429 + Retry-
+// After), per-request deadlines interrupt overlong simulations, a
+// per-family circuit breaker quarantines panicking configurations, and
+// /healthz, /readyz, /metricsz expose liveness, drain state, and every
+// admission/breaker/journal counter.
+//
+// Shutdown is crash-consistent: the first SIGINT/SIGTERM drains —
+// in-flight simulations finish (bounded by -grace) and journal their
+// results, queued-but-unstarted tasks are journaled as pending — and a
+// restart with -resume replays the journal, so completed runs serve
+// from the memo and pending ones re-enqueue. A second signal forces
+// exit. Killing the daemon outright (SIGKILL) loses nothing either:
+// the journal is fsynced per record, and retrying clients converge to
+// the same results after -resume.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the actual listen address here once serving (for scripts and tests)")
+		scale    = flag.Int("scale", 96, "scale factor for all simulations")
+		prefetch = flag.Bool("prefetch", false, "enable the CPU L2 stride prefetchers")
+		fast     = flag.Bool("fast", false, "shorter windows (smoke-test quality)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth; submissions beyond it are shed with 429")
+		timeout  = flag.Duration("run-timeout", 0, "per-simulation wall-clock cap (0 = unbounded)")
+		grace    = flag.Duration("grace", 30*time.Second, "drain grace: how long shutdown waits for in-flight runs")
+		brkN     = flag.Int("breaker-threshold", 3, "consecutive panics that trip a config family's breaker")
+		brkCool  = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped family stays open before a probe")
+		journalF = flag.String("journal", "", "append completed runs to this crash-safe JSONL journal")
+		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed runs memoize, pending ones re-enqueue")
+	)
+	flag.Parse()
+
+	if *resumeF && *journalF == "" {
+		cliutil.Errorf("-resume requires -journal")
+		return cliutil.ExitUsage
+	}
+
+	cfg := sim.DefaultConfig(*scale)
+	cfg.CPUPrefetch = *prefetch
+	if *fast {
+		cfg.WarmupInstr /= 8
+		cfg.MeasureInstr /= 8
+		cfg.WarmupFrames = 2
+		cfg.MinFrames = 2
+	}
+	if err := cfg.Validate(); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitUsage
+	}
+
+	runner := exp.NewRunner(cfg)
+	runner.RunTimeout = *timeout
+
+	// Journal: every completed run is fsynced before it reports done,
+	// and the drain writes pending records, so no outcome is lost to a
+	// crash at any instant.
+	var journal *exp.Journal
+	var pending []exp.TaskSpec
+	if *journalF != "" {
+		j, recs, jstats, err := exp.OpenJournal(*journalF)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		defer j.Close()
+		journal = j
+		runner.Journal = j
+		if jstats.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s), repaired %d torn tail(s)\n",
+				*journalF, jstats.CorruptLines, jstats.TornTail)
+		}
+		if *resumeF {
+			adopted, ignored := runner.ReplayJournal(recs)
+			for _, rec := range recs {
+				if rec.Kind == exp.KindQueued && rec.Spec != nil {
+					pending = append(pending, *rec.Spec)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "resumed from %s: %d run(s) memoized, %d ignored, %d pending re-enqueued\n",
+				*journalF, adopted, ignored, len(pending))
+		}
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	s := server.New(runner, server.Config{
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
+	})
+	if journal != nil {
+		journal.RegisterObs(s.Registry())
+	}
+	// The worker pool's base context is NOT the signal context: the
+	// first signal must stop admission and start the drain, not yank
+	// every in-flight simulation.
+	s.Start(context.Background())
+	for _, spec := range pending {
+		if err := s.Resubmit(spec); err != nil {
+			cliutil.Errorf("re-enqueue %s: %v", spec.Key(), err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hetsimd: serving on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	case <-ctx.Done():
+	}
+
+	// Drain: finish in-flight (bounded by -grace), journal the queue,
+	// then stop the listener. The HTTP server stays up through the
+	// drain so clients can still poll statuses of finishing runs.
+	fmt.Fprintln(os.Stderr, "hetsimd: draining...")
+	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+	defer dcancel()
+	queued, derr := s.Drain(dctx)
+	if derr != nil {
+		cliutil.Errorf("drain: %v", derr)
+	}
+	fmt.Fprintf(os.Stderr, "hetsimd: drained (%d queued task(s) journaled)\n", queued)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+	}
+	if derr != nil {
+		return cliutil.ExitRuntime
+	}
+	return cliutil.ExitOK
+}

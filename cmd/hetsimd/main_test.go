@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/exp"
+)
+
+// campaign is the task set the chaos test drives: small W-mixes and
+// standalones, run serially (-workers 1) so a SIGKILL reliably lands
+// while work is still pending.
+var campaign = []string{
+	"mix/W1/0", "mix/W2/0", "mix/W3/2", "mix/W6/2",
+	"cpu/462", "cpu/429", "gpu/DOOM3",
+}
+
+// buildHetsimd compiles this package into a throwaway binary so the
+// chaos test crosses a real process boundary: SIGKILL, fsync, exit
+// codes.
+func buildHetsimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hetsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches hetsimd and waits for its address file.
+func startDaemon(t *testing.T, bin, addr, journal string, resume bool) (*exec.Cmd, string) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	args := []string{
+		"-addr", addr, "-addr-file", addrFile,
+		"-scale", "256", "-fast", "-workers", "1",
+		"-journal", journal,
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			return cmd, string(raw)
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("hetsimd never wrote its address file; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// chaosClient is tuned for a campaign that must ride out a daemon
+// restart: fast, persistent retries.
+func chaosClient(addr string) *client.Client {
+	c := client.New("http://" + addr)
+	c.MaxAttempts = 60
+	c.BaseBackoff = 25 * time.Millisecond
+	c.MaxBackoff = 250 * time.Millisecond
+	c.PollWait = 500 * time.Millisecond
+	return c
+}
+
+// runCampaign drives every campaign task from its own goroutine and
+// returns key→canonical JSON of the result.
+func runCampaign(t *testing.T, addr string) map[string][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	results := make(map[string][]byte)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, key := range campaign {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			spec, err := exp.ParseKey(key)
+			if err != nil {
+				t.Errorf("parse %s: %v", key, err)
+				return
+			}
+			res, err := chaosClient(addr).Run(ctx, spec, 0)
+			if err != nil {
+				t.Errorf("run %s: %v", key, err)
+				return
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Errorf("marshal %s: %v", key, err)
+				return
+			}
+			mu.Lock()
+			results[key] = raw
+			mu.Unlock()
+		}(key)
+	}
+	wg.Wait()
+	return results
+}
+
+func journalLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return bytes.Count(data, []byte{'\n'})
+}
+
+// TestChaosKillResumeConverges is the tentpole's acceptance test:
+// SIGKILL the daemon mid-campaign under concurrent retrying clients,
+// restart it with -resume on the same journal and address, and require
+// every client to converge to results byte-identical to an
+// uninterrupted campaign's.
+func TestChaosKillResumeConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildHetsimd(t)
+
+	// Reference: uninterrupted campaign against a fresh daemon.
+	refJournal := filepath.Join(t.TempDir(), "ref.jsonl")
+	refCmd, refAddr := startDaemon(t, bin, "127.0.0.1:0", refJournal, false)
+	want := runCampaign(t, refAddr)
+	refCmd.Process.Signal(syscall.SIGTERM)
+	refCmd.Wait()
+	if t.Failed() {
+		t.Fatal("reference campaign failed; chaos run not attempted")
+	}
+	if len(want) != len(campaign) {
+		t.Fatalf("reference campaign returned %d results, want %d", len(want), len(campaign))
+	}
+
+	// Victim: same campaign, SIGKILLed after at least one journaled
+	// run, restarted on the same address with -resume while the clients
+	// keep retrying.
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	victim, addr := startDaemon(t, bin, "127.0.0.1:0", journal, false)
+
+	done := make(chan map[string][]byte, 1)
+	go func() { done <- runCampaign(t, addr) }()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for journalLines(journal) < 1 {
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			t.Fatal("victim journal never received a record")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killedAfter := journalLines(journal)
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	if killedAfter >= len(campaign) {
+		t.Logf("campaign finished before SIGKILL landed; resume still must converge")
+	} else {
+		t.Logf("SIGKILLed after %d of %d journaled runs", killedAfter, len(campaign))
+	}
+
+	// Restart on the SAME address so the already-running clients reach
+	// the survivor without rediscovery.
+	survivor, _ := startDaemon(t, bin, addr, journal, true)
+	defer func() {
+		survivor.Process.Signal(syscall.SIGTERM)
+		survivor.Wait()
+	}()
+
+	got := <-done
+	if t.Failed() {
+		t.FailNow()
+	}
+	for _, key := range campaign {
+		if !bytes.Equal(got[key], want[key]) {
+			t.Errorf("%s: post-crash result differs from uninterrupted run\nwant %s\ngot  %s",
+				key, want[key], got[key])
+		}
+	}
+}
+
+// TestResumeRequiresJournal: flag validation crosses the process
+// boundary with the usage exit code.
+func TestResumeRequiresJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildHetsimd(t)
+	err := exec.Command(bin, "-resume").Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("hetsimd -resume (no -journal) exited %v, want exit code 2", err)
+	}
+}

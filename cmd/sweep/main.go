@@ -30,18 +30,6 @@ import (
 	"repro/internal/cliutil"
 )
 
-var policyNames = map[string]hetsim.Policy{
-	"baseline":      hetsim.PolicyBaseline,
-	"throttle":      hetsim.PolicyThrottle,
-	"throttle+prio": hetsim.PolicyThrottleCPUPrio,
-	"sms09":         hetsim.PolicySMS09,
-	"sms0":          hetsim.PolicySMS0,
-	"dynprio":       hetsim.PolicyDynPrio,
-	"helm":          hetsim.PolicyHeLM,
-	"bypass":        hetsim.PolicyForcedBypass,
-	"cmbal":         hetsim.PolicyCMBAL,
-}
-
 // cellKey is the journal key for one grid cell. %g keeps the float
 // form canonical so the same target always produces the same key.
 func cellKey(mixID string, pol hetsim.Policy, tgt float64) string {
@@ -109,9 +97,9 @@ func realMain() int {
 	}
 	var pols []hetsim.Policy
 	for _, p := range strings.Split(*policies, ",") {
-		pol, ok := policyNames[strings.TrimSpace(p)]
-		if !ok {
-			cliutil.Errorf("unknown policy %q", p)
+		pol, err := hetsim.ParsePolicy(p)
+		if err != nil {
+			cliutil.Errorf("%v", err)
 			return cliutil.ExitUsage
 		}
 		pols = append(pols, pol)
@@ -150,15 +138,16 @@ func realMain() int {
 	cached := map[string]hetsim.Result{}
 	var journal *hetsim.Journal
 	if journalPath != "" {
-		j, recs, skipped, err := hetsim.OpenJournal(journalPath)
+		j, recs, jstats, err := hetsim.OpenJournal(journalPath)
 		if err != nil {
 			cliutil.Errorf("%v", err)
 			return cliutil.ExitRuntime
 		}
 		defer j.Close()
 		journal = j
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s)\n", journalPath, skipped)
+		if jstats.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s), repaired %d torn tail(s)\n",
+				journalPath, jstats.CorruptLines, jstats.TornTail)
 		}
 		for _, rec := range recs {
 			if rec.Kind == "cell" && rec.Result != nil {

@@ -150,12 +150,12 @@ func TestResumeRepairsTornJournal(t *testing.T) {
 	}
 	// The torn line must have been truncated away and replaced by a
 	// valid re-run record.
-	j, recs, skipped, err := hetsim.OpenJournal(journal)
+	j, recs, stats, err := hetsim.OpenJournal(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
-	if skipped != 0 || len(recs) != 6 {
-		t.Fatalf("repaired journal: %d records, %d skipped; want 6, 0", len(recs), skipped)
+	if stats.Skipped() != 0 || len(recs) != 6 {
+		t.Fatalf("repaired journal: %d records, %d skipped; want 6, 0", len(recs), stats.Skipped())
 	}
 }

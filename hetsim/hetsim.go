@@ -188,13 +188,35 @@ type Journal = exp.Journal
 // JournalRecord is one journaled run result.
 type JournalRecord = exp.Record
 
+// JournalStats accounts for the lines OpenJournal could not return as
+// records: corrupt lines and torn-tail repairs.
+type JournalStats = exp.JournalStats
+
 // OpenJournal opens (creating if absent) a run journal, returning the
-// valid records already present and how many corrupt lines were
-// skipped. Attach the journal to a Runner to make a sweep resumable,
-// and seed a fresh Runner with Runner.ReplayJournal to resume one.
-func OpenJournal(path string) (*Journal, []JournalRecord, int, error) {
+// valid records already present and the stats of what was skipped
+// (corrupt lines, torn-tail repairs). Attach the journal to a Runner
+// to make a sweep resumable, and seed a fresh Runner with
+// Runner.ReplayJournal to resume one.
+func OpenJournal(path string) (*Journal, []JournalRecord, JournalStats, error) {
 	return exp.OpenJournal(path)
 }
+
+// TaskSpec describes one simulation as a self-validating, JSON-ready
+// unit of work: the submission format of the hetsimd service, whose
+// Key doubles as the idempotency token.
+type TaskSpec = exp.TaskSpec
+
+// TaskResult is a completed TaskSpec's payload.
+type TaskResult = exp.TaskResult
+
+// ParsePolicy resolves a policy's CLI spelling ("baseline",
+// "throttle", "throttle+prio", ...) or String form, case-insensitively.
+func ParsePolicy(name string) (Policy, error) { return sim.ParsePolicy(name) }
+
+// ParseTaskKey reconstructs a TaskSpec from its Key form ("mix/M7/2",
+// "gpu/DOOM3", "cpu/462") — the inverse of TaskSpec.Key, used by
+// hetsimctl and the service's resume path.
+func ParseTaskKey(key string) (TaskSpec, error) { return exp.ParseKey(key) }
 
 // FaultInjector lets tests and chaos harnesses perturb a simulated
 // system deterministically via Config.Faults; see the

@@ -1,0 +1,305 @@
+// Package client is the Go client for the hetsimd service: submit a
+// task, ride out overload and restarts, and come back with the result.
+//
+// The retry loop leans on the service's idempotency contract: a task's
+// Key is its identity, so resubmitting after a dropped connection, a
+// shed (429), or even a server crash-and-restart never runs the
+// simulation twice — the server joins the submission to the live run or
+// serves the journal-replayed memo. That makes the client's policy
+// simple: retry everything retryable with exponential backoff and
+// jitter, honor the server's Retry-After hints, and treat only 4xx
+// validation errors as permanent.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+)
+
+// Client talks to one hetsimd instance. The zero value is not usable;
+// call New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// HTTP is the transport; New installs http.DefaultClient.
+	HTTP *http.Client
+
+	// MaxAttempts bounds each operation's retry loop (default 10).
+	MaxAttempts int
+
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// retries (defaults 100ms and 5s). The actual sleep is jittered to
+	// half-to-full of the computed delay so a fleet of retrying clients
+	// doesn't re-arrive in lockstep.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// PollWait is the long-poll duration used while waiting on a run
+	// (default 2s).
+	PollWait time.Duration
+
+	// Logf, when non-nil, receives retry/backoff diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// New returns a client for the hetsimd at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:     strings.TrimRight(baseURL, "/"),
+		HTTP:        http.DefaultClient,
+		MaxAttempts: 10,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		PollWait:    2 * time.Second,
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// PermanentError is a server response that retrying cannot fix: a
+// validation failure (400) or a run that completed with an error.
+type PermanentError struct {
+	Code int
+	Msg  string
+}
+
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("hetsimd: %s (HTTP %d)", e.Msg, e.Code)
+}
+
+// backoff computes the jittered delay before attempt n (0-based),
+// respecting the server's Retry-After hint when one was given.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	d := c.BaseBackoff << attempt
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	if hint > d {
+		d = hint
+	}
+	// Half-to-full jitter: spread retries without ever undercutting
+	// half the computed wait.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleep waits d or until ctx ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doJSON performs one HTTP exchange and decodes the body into out.
+// The response status code is returned even on decode failure.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit submits spec (with an optional per-run timeout) and retries
+// through overload, breaker rejections, and transport failures until
+// the task is accepted, already running, or already done. 400s are
+// permanent.
+func (c *Client) Submit(ctx context.Context, spec exp.TaskSpec, timeout time.Duration) (server.StatusResponse, error) {
+	req := server.SubmitRequest{TaskSpec: spec, TimeoutMS: timeout.Milliseconds()}
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		var sr server.StatusResponse
+		code, err := c.doJSON(ctx, http.MethodPost, "/v1/runs", req, &sr)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return server.StatusResponse{}, ctx.Err()
+		case err != nil:
+			lastErr = err // connection refused / reset: server restarting
+		case code == http.StatusOK || code == http.StatusAccepted:
+			return sr, nil
+		case code == http.StatusBadRequest:
+			return sr, &PermanentError{Code: code, Msg: sr.Error}
+		default: // 429 shed, 503 breaker/draining
+			lastErr = fmt.Errorf("hetsimd: %s (HTTP %d)", sr.Error, code)
+		}
+		// Honor the server's Retry-After hint (body form) when it gave one.
+		hint := time.Duration(sr.RetryAfterMS) * time.Millisecond
+		d := c.backoff(attempt, hint)
+		c.logf("submit %s: attempt %d failed (%v), retrying in %v", spec.Key(), attempt+1, lastErr, d)
+		if err := sleep(ctx, d); err != nil {
+			return server.StatusResponse{}, err
+		}
+	}
+	return server.StatusResponse{}, fmt.Errorf("submit %s: gave up after %d attempts: %w", spec.Key(), c.MaxAttempts, lastErr)
+}
+
+// Status fetches a run's state, long-polling up to wait when the run
+// is still queued or running. A 404 is reported via ok=false without
+// error: after a crash-restart the server may not know the key yet,
+// and the caller (Run) resubmits.
+func (c *Client) Status(ctx context.Context, key string, wait time.Duration) (server.StatusResponse, bool, error) {
+	path := "/v1/runs/" + key
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	var sr server.StatusResponse
+	code, err := c.doJSON(ctx, http.MethodGet, path, nil, &sr)
+	if err != nil {
+		return server.StatusResponse{}, false, err
+	}
+	if code == http.StatusNotFound {
+		return sr, false, nil
+	}
+	if code != http.StatusOK {
+		return sr, false, fmt.Errorf("status %s: HTTP %d: %s", key, code, sr.Error)
+	}
+	return sr, true, nil
+}
+
+// Result fetches a completed run's payload.
+func (c *Client) Result(ctx context.Context, key string) (server.ResultResponse, error) {
+	var rr server.ResultResponse
+	code, err := c.doJSON(ctx, http.MethodGet, "/v1/results/"+key, nil, &rr)
+	if err != nil {
+		return server.ResultResponse{}, err
+	}
+	if code != http.StatusOK {
+		return server.ResultResponse{}, fmt.Errorf("result %s: HTTP %d", key, code)
+	}
+	return rr, nil
+}
+
+// Run drives spec to completion: submit (with retries), poll until the
+// run resolves, fetch the result. It survives a server crash mid-run —
+// a restarted server that no longer knows the key gets the task
+// resubmitted, and the journal-replayed memo (or a genuine re-run of
+// never-finished work) converges to the same result. A run that
+// resolves failed is a PermanentError carrying the server's reason.
+func (c *Client) Run(ctx context.Context, spec exp.TaskSpec, timeout time.Duration) (exp.TaskResult, error) {
+	key := spec.Key()
+	if _, err := c.Submit(ctx, spec, timeout); err != nil {
+		return exp.TaskResult{}, err
+	}
+	transportFails := 0
+	for {
+		sr, known, err := c.Status(ctx, key, c.PollWait)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return exp.TaskResult{}, ctx.Err()
+		case err != nil:
+			// Server gone (restarting?): back off, then fall through to
+			// resubmission, which is idempotent.
+			transportFails++
+			if transportFails > c.MaxAttempts {
+				return exp.TaskResult{}, fmt.Errorf("run %s: server unreachable: %w", key, err)
+			}
+			if err := sleep(ctx, c.backoff(transportFails-1, 0)); err != nil {
+				return exp.TaskResult{}, err
+			}
+			fallthrough
+		case err == nil && !known:
+			// Restarted server with no memory of the run: resubmit.
+			c.logf("run %s: unknown to server, resubmitting", key)
+			if _, err := c.Submit(ctx, spec, timeout); err != nil {
+				return exp.TaskResult{}, err
+			}
+		case sr.Status == server.StatusFailed:
+			return exp.TaskResult{}, &PermanentError{Code: http.StatusInternalServerError, Msg: sr.Error}
+		case sr.Status == server.StatusDone:
+			rr, err := c.Result(ctx, key)
+			if err != nil {
+				return exp.TaskResult{}, err
+			}
+			return rr.TaskResult, nil
+		default:
+			transportFails = 0 // queued/running: healthy, keep polling
+		}
+	}
+}
+
+// Ready polls /readyz until the server accepts work or ctx expires.
+func (c *Client) Ready(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if err := sleep(ctx, 50*time.Millisecond); err != nil {
+			return fmt.Errorf("hetsimd never became ready: %w", err)
+		}
+	}
+}
+
+// Metrics fetches /metricsz into a name→value map.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metricsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var name string
+		var v float64
+		if _, err := fmt.Sscanf(line, "%s %g", &name, &v); err == nil {
+			m[name] = v
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+)
+
+// fastClient returns a client with waits compressed for tests.
+func fastClient(url string) *Client {
+	c := New(url)
+	c.MaxAttempts = 6
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 5 * time.Millisecond
+	c.PollWait = 10 * time.Millisecond
+	return c
+}
+
+// TestSubmitRetriesShedThenAccepts: 429s are retried until the server
+// admits the task; the retry count is visible to the script.
+func TestSubmitRetriesShedThenAccepts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.StatusResponse{Error: "queue full", RetryAfterMS: 1})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusQueued})
+	}))
+	defer ts.Close()
+
+	sr, err := fastClient(ts.URL).Submit(context.Background(), exp.CPUTaskSpec(462), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status != server.StatusQueued || calls.Load() != 3 {
+		t.Fatalf("status %q after %d calls, want queued after 3", sr.Status, calls.Load())
+	}
+}
+
+// TestSubmitValidationIsPermanent: a 400 is not retried.
+func TestSubmitValidationIsPermanent(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.StatusResponse{Error: "exp: unknown task kind"})
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Submit(context.Background(), exp.TaskSpec{Kind: "bogus"}, 0)
+	var pe *PermanentError
+	if !asPermanent(err, &pe) || pe.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want PermanentError(400)", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried %d times", calls.Load())
+	}
+}
+
+// asPermanent is errors.As without importing errors twice in tests.
+func asPermanent(err error, target **PermanentError) bool {
+	pe, ok := err.(*PermanentError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestRunResubmitsAfterRestart: a 404 from a post-restart server makes
+// Run resubmit, and the second submission's eventual result is
+// returned — the convergence path the chaos test exercises end to end.
+func TestRunResubmitsAfterRestart(t *testing.T) {
+	var submits, statuses atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodPost:
+			submits.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusQueued})
+		case r.URL.Path == "/v1/results/cpu/462":
+			json.NewEncoder(w).Encode(server.ResultResponse{Key: "cpu/462", TaskResult: exp.TaskResult{IPC: 1.5}})
+		default: // status
+			n := statuses.Add(1)
+			if n == 1 {
+				// "Restarted" server: no memory of the run.
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Error: "unknown run"})
+				return
+			}
+			json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusDone})
+		}
+	}))
+	defer ts.Close()
+
+	res, err := fastClient(ts.URL).Run(context.Background(), exp.CPUTaskSpec(462), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC != 1.5 {
+		t.Fatalf("IPC = %v, want 1.5", res.IPC)
+	}
+	if submits.Load() != 2 {
+		t.Fatalf("submitted %d times, want 2 (initial + post-404 resubmit)", submits.Load())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 )
 
@@ -21,6 +22,10 @@ const (
 	ExitOK      = 0
 	ExitRuntime = 1
 	ExitUsage   = 2
+	// ExitForced is the exit code of a second SIGINT/SIGTERM: the
+	// conventional 128+SIGINT, the shell's own code for an interrupted
+	// process.
+	ExitForced = 130
 )
 
 // Errorf prints a formatted message to stderr with the program name
@@ -57,11 +62,43 @@ func EnsureWritable(path string) error {
 	return f.Close()
 }
 
-// SignalContext returns a context cancelled on SIGINT or SIGTERM, so
-// Ctrl-C drains worker pools and flushes journals instead of killing
-// the process mid-write. The returned stop function releases the
-// signal handler; a second signal then kills the process immediately
-// (the default Go behavior), which is the desired escalation.
+// exitFunc is what a second signal invokes; tests swap it to observe
+// the escalation without dying.
+var exitFunc = os.Exit
+
+// SignalContext returns a context cancelled on the first SIGINT or
+// SIGTERM, so Ctrl-C drains worker pools and flushes journals instead
+// of killing the process mid-write. A second signal forces immediate
+// exit with code ExitForced (130) — the escape hatch when the drain
+// itself is wedged (a stuck pool, an unkillable run); before this
+// escalation a wedged drain could ignore Ctrl-C forever. The returned
+// stop function releases the handler and restores default signal
+// behavior.
 func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	released := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(released)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case <-ch:
+			cancel() // first signal: drain gracefully
+		case <-released:
+			return
+		}
+		select {
+		case <-ch:
+			exitFunc(ExitForced) // second signal: the drain is wedged
+		case <-released:
+		}
+	}()
+	return ctx, stop
 }

@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise sends sig to this process and fails the test on error.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignalContextTwoStage: the first signal cancels the context (a
+// graceful drain), the second forces exit with 130 even though the
+// "drain" here never finishes.
+func TestSignalContextTwoStage(t *testing.T) {
+	exited := make(chan int, 1)
+	exitFunc = func(code int) { exited <- code }
+	defer func() { exitFunc = os.Exit }()
+
+	ctx, stop := SignalContext()
+	defer stop()
+
+	raise(t, syscall.SIGINT)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first SIGINT did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first SIGINT already forced exit %d", code)
+	default:
+	}
+
+	raise(t, syscall.SIGINT)
+	select {
+	case code := <-exited:
+		if code != ExitForced {
+			t.Fatalf("second SIGINT exited %d, want %d", code, ExitForced)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT did not force an exit")
+	}
+}
+
+// TestSignalContextStopReleases: after stop, signals neither cancel a
+// fresh context nor force an exit through the released handler. (The
+// test re-registers its own handler first so the raised SIGTERM cannot
+// fall through to the runtime default and kill the test binary.)
+func TestSignalContextStopReleases(t *testing.T) {
+	exited := make(chan int, 1)
+	exitFunc = func(code int) { exited <- code }
+	defer func() { exitFunc = os.Exit }()
+
+	_, stop := SignalContext()
+	stop()
+
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	raise(t, syscall.SIGTERM)
+	select {
+	case <-guard:
+	case <-time.After(5 * time.Second):
+		t.Fatal("guard handler never saw the signal")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("released handler forced exit %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -125,6 +125,7 @@ type Runner struct {
 	mixRuns  map[string]*flight[sim.Result] // key: mixID/policy
 	gpuAlone map[string]*flight[sim.Result] // key: game (always baseline policy)
 	cpuAlone map[string]*flight[float64]    // key: specID
+	taskCtxs map[string]context.Context     // per-run contexts set by Do
 }
 
 // NewRunner builds a runner over the given base configuration.
@@ -137,21 +138,23 @@ func NewRunner(cfg sim.Config) *Runner {
 	}
 }
 
-// arm threads the runner's cancellation and wall-clock timeout into
-// one run's config. The simulator polls the hook on a cycle stride,
-// so the closure must stay cheap; it reads a deadline and a context
-// error, no channels.
-func (x *Runner) arm(cfg sim.Config) sim.Config {
-	if x.Ctx == nil && x.RunTimeout <= 0 {
+// arm threads the runner's cancellation, its wall-clock timeout, and
+// the per-request context a Do caller registered under key (the full
+// "kind/memo" form) into one run's config. The simulator polls the
+// hook on a cycle stride, so the closure must stay cheap; it reads a
+// deadline and two context errors, no channels.
+func (x *Runner) arm(cfg sim.Config, key string) sim.Config {
+	tctx := x.taskCtx(key)
+	if x.Ctx == nil && x.RunTimeout <= 0 && tctx == nil {
 		return cfg
 	}
 	ctx := x.Ctx
-	var deadline time.Time
-	if x.RunTimeout > 0 {
-		deadline = time.Now().Add(x.RunTimeout)
-	}
+	deadline := x.mergeDeadline(tctx)
 	cfg.Interrupt = func() bool {
 		if ctx != nil && ctx.Err() != nil {
+			return true
+		}
+		if tctx != nil && tctx.Err() != nil {
 			return true
 		}
 		return !deadline.IsZero() && time.Now().After(deadline)
@@ -160,9 +163,12 @@ func (x *Runner) arm(cfg sim.Config) sim.Config {
 }
 
 // interruptCause names what ended an interrupted run.
-func (x *Runner) interruptCause() error {
+func (x *Runner) interruptCause(key string) error {
 	if x.Ctx != nil && x.Ctx.Err() != nil {
 		return x.Ctx.Err()
+	}
+	if tctx := x.taskCtx(key); tctx != nil && tctx.Err() != nil {
+		return tctx.Err()
 	}
 	return fmt.Errorf("run exceeded timeout %v", x.RunTimeout)
 }
@@ -187,9 +193,9 @@ func (x *Runner) mix(m workloads.Mix, p sim.Policy) (sim.Result, error) {
 		if err := cfg.Validate(); err != nil {
 			return sim.Result{}, err
 		}
-		r := sim.RunMixObs(x.arm(cfg), m, x.observe("mix/"+key))
+		r := sim.RunMixObs(x.arm(cfg, "mix/"+key), m, x.observe("mix/"+key))
 		if r.Interrupted {
-			return sim.Result{}, x.interruptCause()
+			return sim.Result{}, x.interruptCause("mix/" + key)
 		}
 		x.journalAppend(Record{Kind: "mix", Key: key, Result: &r})
 		return r, nil
@@ -218,9 +224,9 @@ func (x *Runner) gpuStandalone(game string) (sim.Result, error) {
 		if err := x.Cfg.Validate(); err != nil {
 			return sim.Result{}, err
 		}
-		r := sim.RunGPUAloneObs(x.arm(x.Cfg), game, x.observe("gpu/"+game))
+		r := sim.RunGPUAloneObs(x.arm(x.Cfg, "gpu/"+game), game, x.observe("gpu/"+game))
 		if r.Interrupted {
-			return sim.Result{}, x.interruptCause()
+			return sim.Result{}, x.interruptCause("gpu/" + game)
 		}
 		x.journalAppend(Record{Kind: "gpu", Key: game, Result: &r})
 		return r, nil
@@ -242,9 +248,9 @@ func (x *Runner) cpuStandalone(specID int) (float64, error) {
 		if err := x.Cfg.Validate(); err != nil {
 			return 0, err
 		}
-		r := sim.RunCPUAloneResult(x.arm(x.Cfg), specID, x.observe("cpu/"+key))
+		r := sim.RunCPUAloneResult(x.arm(x.Cfg, "cpu/"+key), specID, x.observe("cpu/"+key))
 		if r.Interrupted {
-			return 0, x.interruptCause()
+			return 0, x.interruptCause("cpu/" + key)
 		}
 		ipc := 0.0
 		if len(r.IPC) > 0 {

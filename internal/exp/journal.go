@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,8 +26,14 @@ type Record struct {
 	Key    string      `json:"key"`
 	IPC    float64     `json:"ipc,omitempty"`    // payload for kind "cpu"
 	Result *sim.Result `json:"result,omitempty"` // payload for the other kinds
+	Spec   *TaskSpec   `json:"task,omitempty"`   // payload for kind "queued" (hetsimd drain)
 	Hash   string      `json:"hash"`
 }
+
+// KindQueued journals a task that was admitted but never executed —
+// what hetsimd writes for its queue during a graceful drain, so a
+// restart with -resume re-enqueues exactly the work that was pending.
+const KindQueued = "queued"
 
 // hashRecord computes the integrity hash: sha256 over the canonical
 // JSON encoding with the Hash field empty. encoding/json marshals
@@ -43,55 +50,74 @@ func hashRecord(rec Record) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// JournalStats accounts for everything OpenJournal found besides the
+// valid records: nothing is dropped silently. CorruptLines counts
+// newline-terminated lines that failed to parse or whose integrity
+// hash did not match (bit rot, tampering); TornTail is 1 when an
+// unterminated trailing write — the signature of a crash mid-append —
+// was truncated away so the file ends on a clean line boundary.
+type JournalStats struct {
+	Records      int `json:"records"`
+	CorruptLines int `json:"corrupt_lines"`
+	TornTail     int `json:"torn_tail"`
+}
+
+// Skipped is the total number of lines that did not come back as
+// records: corrupt lines plus the repaired torn tail.
+func (s JournalStats) Skipped() int { return s.CorruptLines + s.TornTail }
+
 // Journal is a crash-safe, append-only JSONL file of completed runs.
 // Every Append is fsynced before it returns, so a record either made
 // it to disk whole or is detected as torn on the next open — a killed
 // sweep loses at most the run that was in flight.
 type Journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	err error // first append/sync failure; sticky
+	mu      sync.Mutex
+	f       *os.File
+	err     error // first append/sync failure; sticky
+	stats   JournalStats
+	appends uint64 // records appended through this handle
+	aerrs   uint64 // appends that failed (write or fsync)
 }
 
 // OpenJournal opens (creating if absent) the journal at path, returns
-// the valid records already present and how many lines were skipped
-// as corrupt, and leaves the journal open for appends. A torn trailing
-// line (the signature of a crash mid-write) is truncated away so new
-// appends start on a clean line boundary; corrupt lines elsewhere are
-// skipped but preserved.
-func OpenJournal(path string) (*Journal, []Record, int, error) {
+// the valid records already present and the stats of what was not
+// (corrupt lines, torn-tail repairs), and leaves the journal open for
+// appends. A torn trailing line is truncated away so new appends start
+// on a clean line boundary; corrupt lines elsewhere are skipped but
+// preserved.
+func OpenJournal(path string) (*Journal, []Record, JournalStats, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("journal: open %s: %w", path, err)
+		return nil, nil, JournalStats{}, fmt.Errorf("journal: open %s: %w", path, err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("journal: read %s: %w", path, err)
+		return nil, nil, JournalStats{}, fmt.Errorf("journal: read %s: %w", path, err)
 	}
-	recs, skipped, validLen := decodeJournal(data)
+	recs, stats, validLen := decodeJournal(data)
 	if validLen < int64(len(data)) {
 		if err := f.Truncate(validLen); err != nil {
 			f.Close()
-			return nil, nil, 0, fmt.Errorf("journal: repair %s: %w", path, err)
+			return nil, nil, stats, fmt.Errorf("journal: repair %s: %w", path, err)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("journal: seek %s: %w", path, err)
+		return nil, nil, stats, fmt.Errorf("journal: seek %s: %w", path, err)
 	}
-	return &Journal{f: f}, recs, skipped, nil
+	return &Journal{f: f, stats: stats}, recs, stats, nil
 }
 
 // decodeJournal parses the journal bytes line by line. validLen is
 // the length of the leading portion that ends on a newline — anything
-// past it is a torn trailing write and counts as one skipped line.
-func decodeJournal(data []byte) (recs []Record, skipped int, validLen int64) {
+// past it is a torn trailing write.
+func decodeJournal(data []byte) (recs []Record, stats JournalStats, validLen int64) {
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
 		if nl < 0 {
-			skipped++ // torn trailing line, no terminator
-			return recs, skipped, validLen
+			stats.TornTail++ // torn trailing line, no terminator
+			break
 		}
 		line := data[:nl]
 		data = data[nl+1:]
@@ -101,17 +127,48 @@ func decodeJournal(data []byte) (recs []Record, skipped int, validLen int64) {
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			skipped++
+			stats.CorruptLines++
 			continue
 		}
 		want, err := hashRecord(rec)
 		if err != nil || rec.Hash != want {
-			skipped++
+			stats.CorruptLines++
 			continue
 		}
 		recs = append(recs, rec)
 	}
-	return recs, skipped, validLen
+	stats.Records = len(recs)
+	return recs, stats, validLen
+}
+
+// Stats returns what OpenJournal found when this journal was opened.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// RegisterObs exposes the journal's health as pull-based counters —
+// corrupt lines and torn-tail repairs seen at open, appends and append
+// failures since — so a service's /metricsz shows when a journal is
+// degrading instead of the damage surfacing only at the next restart.
+func (j *Journal) RegisterObs(g *obs.Registry) {
+	g.Counter("journal_corrupt_lines", func() uint64 {
+		return uint64(j.Stats().CorruptLines)
+	})
+	g.Counter("journal_torn_tail_repairs", func() uint64 {
+		return uint64(j.Stats().TornTail)
+	})
+	g.Counter("journal_appends", func() uint64 {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.appends
+	})
+	g.Counter("journal_append_errors", func() uint64 {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.aerrs
+	})
 }
 
 // Append hashes rec, writes it as one JSONL line, and fsyncs. Safe
@@ -140,12 +197,15 @@ func (j *Journal) Append(rec Record) error {
 	}
 	if _, err := j.f.Write(data); err != nil {
 		j.err = fmt.Errorf("journal: write: %w", err)
+		j.aerrs++
 		return j.err
 	}
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("journal: fsync: %w", err)
+		j.aerrs++
 		return j.err
 	}
+	j.appends++
 	return nil
 }
 
@@ -181,29 +241,30 @@ func (x *Runner) journalAppend(rec Record) {
 }
 
 // ReplayJournal seeds the runner's memo maps from journaled records
-// so only missing runs execute after a resume; it returns how many
-// records were adopted. Unknown kinds and duplicate keys are ignored,
-// which also makes replaying a journal from a different sweep merely
-// useless, not harmful.
-func (x *Runner) ReplayJournal(recs []Record) int {
-	n := 0
+// so only missing runs execute after a resume. It returns how many
+// records were adopted and how many were not — unknown kinds (a
+// CLI's own records, e.g. sweep "cell" or hetsimd "queued" lines),
+// payload-less records, and duplicate keys. Ignored records are
+// harmless — replaying a journal from a different sweep is merely
+// useless — but the count is surfaced so nothing disappears silently.
+func (x *Runner) ReplayJournal(recs []Record) (adopted, ignored int) {
 	for _, rec := range recs {
+		ok := false
 		switch rec.Kind {
-		case "mix":
-			if rec.Result != nil && seedFlight(x, x.mixRuns, rec.Key, *rec.Result) {
-				n++
-			}
-		case "gpu":
-			if rec.Result != nil && seedFlight(x, x.gpuAlone, rec.Key, *rec.Result) {
-				n++
-			}
-		case "cpu":
-			if seedFlight(x, x.cpuAlone, rec.Key, rec.IPC) {
-				n++
-			}
+		case KindMix:
+			ok = rec.Result != nil && seedFlight(x, x.mixRuns, rec.Key, *rec.Result)
+		case KindGPU:
+			ok = rec.Result != nil && seedFlight(x, x.gpuAlone, rec.Key, *rec.Result)
+		case KindCPU:
+			ok = seedFlight(x, x.cpuAlone, rec.Key, rec.IPC)
+		}
+		if ok {
+			adopted++
+		} else {
+			ignored++
 		}
 	}
-	return n
+	return adopted, ignored
 }
 
 // seedFlight installs an already-completed flight under key, unless

@@ -19,12 +19,12 @@ func tmpJournal(t *testing.T) string {
 // verbatim (and uncorrupted) on reopen.
 func TestJournalRoundTrip(t *testing.T) {
 	path := tmpJournal(t)
-	j, recs, skipped, err := OpenJournal(path)
+	j, recs, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 || skipped != 0 {
-		t.Fatalf("fresh journal: %d records, %d skipped", len(recs), skipped)
+	if len(recs) != 0 || stats.Skipped() != 0 {
+		t.Fatalf("fresh journal: %d records, %d skipped", len(recs), stats.Skipped())
 	}
 	want := []Record{
 		{Kind: "mix", Key: "M7/0", Result: &sim.Result{MixID: "M7", MeasuredCycles: 123, IPC: []float64{1.5, 0.5}}},
@@ -40,13 +40,16 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, got, skipped, err := OpenJournal(path)
+	j2, got, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	if skipped != 0 {
-		t.Fatalf("skipped %d lines on clean reopen", skipped)
+	if stats.Skipped() != 0 {
+		t.Fatalf("skipped %d lines on clean reopen", stats.Skipped())
+	}
+	if stats.Records != len(got) {
+		t.Fatalf("stats.Records = %d, want %d", stats.Records, len(got))
 	}
 	if len(got) != len(want) {
 		t.Fatalf("reopened %d records, want %d", len(got), len(want))
@@ -92,25 +95,28 @@ func TestJournalTornTailTruncated(t *testing.T) {
 	}
 	f.Close()
 
-	j2, recs, skipped, err := OpenJournal(path)
+	j2, recs, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 || skipped != 1 {
-		t.Fatalf("after torn tail: %d records, %d skipped; want 1, 1", len(recs), skipped)
+	if len(recs) != 1 || stats.TornTail != 1 || stats.CorruptLines != 0 {
+		t.Fatalf("after torn tail: %d records, stats %+v; want 1 record, 1 torn tail", len(recs), stats)
+	}
+	if got := j2.Stats(); got != stats {
+		t.Fatalf("Journal.Stats() = %+v, want %+v", got, stats)
 	}
 	if err := j2.Append(Record{Kind: "cpu", Key: "403", IPC: 3}); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
 
-	j3, recs, skipped, err := OpenJournal(path)
+	j3, recs, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j3.Close()
-	if len(recs) != 2 || skipped != 0 {
-		t.Fatalf("after repair+append: %d records, %d skipped; want 2, 0", len(recs), skipped)
+	if len(recs) != 2 || stats.Skipped() != 0 {
+		t.Fatalf("after repair+append: %d records, %d skipped; want 2, 0", len(recs), stats.Skipped())
 	}
 	if recs[1].Key != "403" || recs[1].IPC != 3 {
 		t.Fatalf("post-repair append mangled: %+v", recs[1])
@@ -147,12 +153,12 @@ func TestJournalCorruptLineSkipped(t *testing.T) {
 	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, skipped, err := OpenJournal(path)
+	_, recs, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 2 || skipped != 1 {
-		t.Fatalf("bad JSON line: %d records, %d skipped; want 2, 1", len(recs), skipped)
+	if len(recs) != 2 || stats.CorruptLines != 1 || stats.TornTail != 0 {
+		t.Fatalf("bad JSON line: %d records, stats %+v; want 2 records, 1 corrupt line", len(recs), stats)
 	}
 	if recs[0].Key != "400" || recs[1].Key != "402" {
 		t.Fatalf("wrong survivors: %s, %s", recs[0].Key, recs[1].Key)
@@ -167,12 +173,12 @@ func TestJournalCorruptLineSkipped(t *testing.T) {
 	if err := os.WriteFile(path, []byte(lines[0]+tampered+lines[2]), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, skipped, err = OpenJournal(path)
+	_, recs, stats, err = OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 2 || skipped != 1 {
-		t.Fatalf("hash-tampered line: %d records, %d skipped; want 2, 1", len(recs), skipped)
+	if len(recs) != 2 || stats.CorruptLines != 1 {
+		t.Fatalf("hash-tampered line: %d records, stats %+v; want 2 records, 1 corrupt line", len(recs), stats)
 	}
 	for _, rec := range recs {
 		if rec.Key == "401" {
@@ -211,21 +217,22 @@ func TestReplayJournalSeedsMemo(t *testing.T) {
 	}
 	j.Close()
 
-	_, recs, skipped, err := OpenJournal(path)
+	_, recs, stats, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 || len(recs) != 3 {
-		t.Fatalf("journal: %d records, %d skipped; want 3, 0", len(recs), skipped)
+	if stats.Skipped() != 0 || len(recs) != 3 {
+		t.Fatalf("journal: %d records, %d skipped; want 3, 0", len(recs), stats.Skipped())
 	}
 
 	y := NewRunner(detCfg())
-	if n := y.ReplayJournal(recs); n != 3 {
-		t.Fatalf("replayed %d records, want 3", n)
+	if n, ignored := y.ReplayJournal(recs); n != 3 || ignored != 0 {
+		t.Fatalf("replayed %d records (%d ignored), want 3 (0)", n, ignored)
 	}
-	// Replaying the same journal again must be a no-op.
-	if n := y.ReplayJournal(recs); n != 0 {
-		t.Fatalf("second replay adopted %d records, want 0", n)
+	// Replaying the same journal again must be a no-op, with every
+	// duplicate accounted for in the ignored count.
+	if n, ignored := y.ReplayJournal(recs); n != 0 || ignored != 3 {
+		t.Fatalf("second replay adopted %d records (%d ignored), want 0 (3)", n, ignored)
 	}
 	r2, err := y.mix(m, sim.PolicyBaseline)
 	if err != nil {

@@ -1,0 +1,311 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Task kinds, matching the journal Record kinds and the memo maps.
+const (
+	KindMix = "mix"
+	KindGPU = "gpu"
+	KindCPU = "cpu"
+)
+
+// TaskSpec is the exported description of one simulation: a
+// heterogeneous mix under a policy, a standalone game, or a standalone
+// CPU application. It is the unit of work the hetsimd service accepts
+// over the wire, so it is JSON-serializable and self-validating, and
+// its Key doubles as the idempotency token: two submissions with the
+// same Key are the same run and share one singleflight execution.
+type TaskSpec struct {
+	Kind   string     `json:"kind"`             // "mix", "gpu", or "cpu"
+	MixID  string     `json:"mix,omitempty"`    // kind "mix"
+	Policy sim.Policy `json:"policy,omitempty"` // kind "mix"
+	Game   string     `json:"game,omitempty"`   // kind "gpu"
+	SpecID int        `json:"spec,omitempty"`   // kind "cpu"
+}
+
+// Validate resolves the spec against the workload catalogs so a bad
+// submission fails at admission, not deep inside a worker.
+func (t TaskSpec) Validate() error {
+	switch t.Kind {
+	case KindMix:
+		if _, err := workloads.MixByID(t.MixID); err != nil {
+			return err
+		}
+		if t.Policy < sim.PolicyBaseline || t.Policy > sim.PolicyCMBAL {
+			return fmt.Errorf("exp: policy %d out of range", int(t.Policy))
+		}
+		return nil
+	case KindGPU:
+		_, err := workloads.GameByName(t.Game)
+		return err
+	case KindCPU:
+		_, err := workloads.Spec(t.SpecID)
+		return err
+	}
+	return fmt.Errorf("exp: unknown task kind %q (want mix, gpu, cpu)", t.Kind)
+}
+
+// Key returns the run's memo key with its kind prefix: "mix/M7/2",
+// "gpu/Doom3", "cpu/462". It matches the Runner.Observe key space.
+func (t TaskSpec) Key() string {
+	switch t.Kind {
+	case KindMix:
+		return fmt.Sprintf("mix/%s/%d", t.MixID, t.Policy)
+	case KindGPU:
+		return KindGPU + "/" + t.Game
+	case KindCPU:
+		return fmt.Sprintf("cpu/%d", t.SpecID)
+	}
+	return t.Kind + "/?"
+}
+
+// Family is the circuit-breaker grouping: every policy of one mix is
+// one family (a panicking controller poisons the mix, not the policy),
+// standalone runs are their own family.
+func (t TaskSpec) Family() string {
+	if t.Kind == KindMix {
+		return KindMix + "/" + t.MixID
+	}
+	return t.Key()
+}
+
+// TaskResult is the payload of one completed task: Result for mix and
+// gpu runs, IPC for cpu standalone runs.
+type TaskResult struct {
+	Result *sim.Result `json:"result,omitempty"`
+	IPC    float64     `json:"ipc,omitempty"`
+}
+
+// Do executes (or joins) the task through the runner's memoizing
+// accessors and blocks until it completes. When this call turns out to
+// be the run's singleflight leader, ctx's deadline and cancellation
+// are armed into the simulation's Interrupt hook alongside the
+// runner-wide Ctx and RunTimeout — a per-request deadline ends the
+// simulation at its next interrupt poll. A joined (non-leader) call
+// shares the in-flight run and its leader's deadline.
+func (x *Runner) Do(ctx context.Context, t TaskSpec) (TaskResult, error) {
+	if err := t.Validate(); err != nil {
+		return TaskResult{}, err
+	}
+	if ctx != nil {
+		x.setTaskCtx(t.Key(), ctx)
+		defer x.clearTaskCtx(t.Key())
+	}
+	switch t.Kind {
+	case KindMix:
+		m, err := workloads.MixByID(t.MixID)
+		if err != nil {
+			return TaskResult{}, err
+		}
+		r, err := x.mix(m, t.Policy)
+		if err != nil {
+			return TaskResult{}, err
+		}
+		return TaskResult{Result: &r}, nil
+	case KindGPU:
+		r, err := x.gpuStandalone(t.Game)
+		if err != nil {
+			return TaskResult{}, err
+		}
+		return TaskResult{Result: &r}, nil
+	default: // KindCPU, by Validate
+		ipc, err := x.cpuStandalone(t.SpecID)
+		if err != nil {
+			return TaskResult{}, err
+		}
+		return TaskResult{IPC: ipc}, nil
+	}
+}
+
+// setTaskCtx registers a per-run context consulted by arm when the
+// run's leader starts; clearTaskCtx removes it once Do returns. The
+// service guarantees one Do per key at a time, so last-writer-wins
+// semantics never race in practice.
+func (x *Runner) setTaskCtx(key string, ctx context.Context) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.taskCtxs == nil {
+		x.taskCtxs = make(map[string]context.Context)
+	}
+	x.taskCtxs[key] = ctx
+}
+
+func (x *Runner) clearTaskCtx(key string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.taskCtxs, key)
+}
+
+// taskCtx returns the context registered for key, if any.
+func (x *Runner) taskCtx(key string) context.Context {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.taskCtxs[key]
+}
+
+// splitKey separates a full task key into its kind and memo key.
+func splitKey(key string) (kind, memo string) {
+	i := strings.IndexByte(key, '/')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1:]
+}
+
+// Lookup returns the memoized outcome of the run under key ("mix/M7/2",
+// "gpu/Doom3", "cpu/462") when that run has already completed —
+// whether executed, joined, or seeded from a journal. ok is false for
+// unknown and still-in-flight keys, so Lookup never blocks.
+func (x *Runner) Lookup(key string) (TaskResult, error, bool) {
+	kind, memo := splitKey(key)
+	switch kind {
+	case KindMix:
+		f, ok := doneFlight(x, x.mixRuns, memo)
+		if !ok {
+			return TaskResult{}, nil, false
+		}
+		if f.err != nil {
+			return TaskResult{}, f.err, true
+		}
+		r := f.val
+		return TaskResult{Result: &r}, nil, true
+	case KindGPU:
+		f, ok := doneFlight(x, x.gpuAlone, memo)
+		if !ok {
+			return TaskResult{}, nil, false
+		}
+		if f.err != nil {
+			return TaskResult{}, f.err, true
+		}
+		r := f.val
+		return TaskResult{Result: &r}, nil, true
+	case KindCPU:
+		f, ok := doneFlight(x, x.cpuAlone, memo)
+		if !ok {
+			return TaskResult{}, nil, false
+		}
+		if f.err != nil {
+			return TaskResult{}, f.err, true
+		}
+		return TaskResult{IPC: f.val}, nil, true
+	}
+	return TaskResult{}, nil, false
+}
+
+// doneFlight fetches the completed flight under key, if one exists.
+func doneFlight[T any](x *Runner, m map[string]*flight[T], key string) (*flight[T], bool) {
+	x.mu.Lock()
+	f, ok := m[key]
+	x.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-f.done:
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+// Forget drops the memoized run under key if — and only if — it
+// completed with an error, so a deliberate retry (a circuit breaker's
+// half-open probe, a client resubmitting after a transient timeout)
+// re-executes it instead of replaying the quarantined failure forever.
+// Successful results and in-flight runs are never forgotten: they are
+// what keeps resubmission idempotent. Reports whether a flight was
+// removed.
+func (x *Runner) Forget(key string) bool {
+	kind, memo := splitKey(key)
+	switch kind {
+	case KindMix:
+		return forgetFailed(x, x.mixRuns, memo)
+	case KindGPU:
+		return forgetFailed(x, x.gpuAlone, memo)
+	case KindCPU:
+		return forgetFailed(x, x.cpuAlone, memo)
+	}
+	return false
+}
+
+// forgetFailed removes m[key] when its run is done and failed.
+func forgetFailed[T any](x *Runner, m map[string]*flight[T], key string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	f, ok := m[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-f.done:
+	default:
+		return false // still in flight; its waiters must all see one outcome
+	}
+	if f.err == nil {
+		return false
+	}
+	delete(m, key)
+	return true
+}
+
+// MixTaskSpec, GPUTaskSpec, and CPUTaskSpec are convenience
+// constructors for the three task kinds.
+func MixTaskSpec(mixID string, p sim.Policy) TaskSpec {
+	return TaskSpec{Kind: KindMix, MixID: mixID, Policy: p}
+}
+
+func GPUTaskSpec(game string) TaskSpec { return TaskSpec{Kind: KindGPU, Game: game} }
+
+func CPUTaskSpec(specID int) TaskSpec { return TaskSpec{Kind: KindCPU, SpecID: specID} }
+
+// ParseKey reconstructs a TaskSpec from its Key form, the inverse of
+// TaskSpec.Key; hetsimctl and the resume path use it to go from a
+// journaled key back to a runnable spec.
+func ParseKey(key string) (TaskSpec, error) {
+	kind, memo := splitKey(key)
+	switch kind {
+	case KindMix:
+		i := strings.LastIndexByte(memo, '/')
+		if i < 0 {
+			return TaskSpec{}, fmt.Errorf("exp: malformed mix key %q", key)
+		}
+		pol, err := strconv.Atoi(memo[i+1:])
+		if err != nil {
+			return TaskSpec{}, fmt.Errorf("exp: malformed mix key %q: %v", key, err)
+		}
+		return MixTaskSpec(memo[:i], sim.Policy(pol)), nil
+	case KindGPU:
+		return GPUTaskSpec(memo), nil
+	case KindCPU:
+		id, err := strconv.Atoi(memo)
+		if err != nil {
+			return TaskSpec{}, fmt.Errorf("exp: malformed cpu key %q: %v", key, err)
+		}
+		return CPUTaskSpec(id), nil
+	}
+	return TaskSpec{}, fmt.Errorf("exp: malformed task key %q", key)
+}
+
+// mergeDeadline folds the runner-wide RunTimeout and the per-task
+// context deadline into the earliest applicable wall-clock bound.
+func (x *Runner) mergeDeadline(tctx context.Context) time.Time {
+	var deadline time.Time
+	if x.RunTimeout > 0 {
+		deadline = time.Now().Add(x.RunTimeout)
+	}
+	if tctx != nil {
+		if d, ok := tctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+	}
+	return deadline
+}

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTaskKeyRoundTrip: Key and ParseKey are inverses for every task
+// kind — the property the service's idempotency and the journal's
+// resume path both stand on.
+func TestTaskKeyRoundTrip(t *testing.T) {
+	specs := []TaskSpec{
+		MixTaskSpec("M7", sim.PolicyCMBAL),
+		MixTaskSpec("W3", sim.PolicyBaseline),
+		GPUTaskSpec("DOOM3"),
+		CPUTaskSpec(462),
+	}
+	for _, spec := range specs {
+		got, err := ParseKey(spec.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", spec.Key(), err)
+		}
+		if got != spec {
+			t.Errorf("ParseKey(%q) = %+v, want %+v", spec.Key(), got, spec)
+		}
+	}
+	for _, bad := range []string{"", "mix", "mix/M7", "cpu/notanumber", "weird/x"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted a malformed key", bad)
+		}
+	}
+}
+
+// TestTaskValidate: admission-time validation resolves against the
+// real catalogs and the policy range.
+func TestTaskValidate(t *testing.T) {
+	valid := []TaskSpec{
+		MixTaskSpec("M1", sim.PolicyBaseline),
+		GPUTaskSpec("Crysis"),
+		CPUTaskSpec(429),
+	}
+	for _, spec := range valid {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", spec, err)
+		}
+	}
+	invalid := []TaskSpec{
+		{Kind: "mix", MixID: "M99"},
+		{Kind: "mix", MixID: "M1", Policy: sim.PolicyCMBAL + 1},
+		{Kind: "gpu", Game: "NoSuchGame"},
+		{Kind: "cpu", SpecID: 999},
+		{Kind: "quantum"},
+	}
+	for _, spec := range invalid {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestTaskFamily: all policies of a mix share one breaker family,
+// standalone runs are their own.
+func TestTaskFamily(t *testing.T) {
+	a := MixTaskSpec("M7", sim.PolicyBaseline).Family()
+	b := MixTaskSpec("M7", sim.PolicyCMBAL).Family()
+	if a != b || a != "mix/M7" {
+		t.Fatalf("mix families %q vs %q, want both mix/M7", a, b)
+	}
+	if f := CPUTaskSpec(462).Family(); f != "cpu/462" {
+		t.Fatalf("cpu family %q", f)
+	}
+}
+
+// TestDoLookupForget exercises the service-facing runner surface with
+// a real (tiny) simulation: Do memoizes, Lookup serves the memo
+// without blocking, Forget refuses to drop a success.
+func TestDoLookupForget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	x := NewRunner(detCfg())
+	spec := CPUTaskSpec(462)
+	key := spec.Key()
+
+	if _, _, ok := x.Lookup(key); ok {
+		t.Fatal("Lookup hit before any run")
+	}
+	res, err := x.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("Do IPC = %v, want > 0", res.IPC)
+	}
+	got, lerr, ok := x.Lookup(key)
+	if !ok || lerr != nil || got.IPC != res.IPC {
+		t.Fatalf("Lookup = (%+v, %v, %v), want the memoized result", got, lerr, ok)
+	}
+	if x.Forget(key) {
+		t.Fatal("Forget dropped a successful run")
+	}
+	if _, _, ok := x.Lookup(key); !ok {
+		t.Fatal("success evicted by Forget")
+	}
+}
+
+// TestDoCancelledThenForget: a Do whose context is already cancelled
+// fails (the per-request deadline path), the failure is memoized, and
+// Forget clears it so a deliberate retry re-runs and succeeds — the
+// exact sequence hetsimd uses after a breaker's half-open probe.
+func TestDoCancelledThenForget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	x := NewRunner(detCfg())
+	spec := CPUTaskSpec(429)
+	key := spec.Key()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Do(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, lerr, ok := x.Lookup(key); !ok || lerr == nil {
+		t.Fatalf("failure not memoized: (%v, %v)", lerr, ok)
+	}
+	if !x.Forget(key) {
+		t.Fatal("Forget refused to drop a memoized failure")
+	}
+	if _, _, ok := x.Lookup(key); ok {
+		t.Fatal("Lookup still hits after Forget")
+	}
+	res, err := x.Do(context.Background(), spec)
+	if err != nil || res.IPC <= 0 {
+		t.Fatalf("retry after Forget: (%+v, %v)", res, err)
+	}
+}

@@ -95,6 +95,53 @@ func (g *Registry) Names() []string {
 	return out
 }
 
+// Sample is one instantaneous probe reading, as returned by Snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot reads every registered probe's current value without
+// touching the recorders' windowed sampling state: counters and ratio
+// numerators report their raw cumulative totals (a ratio emits
+// num/den over all time, 0 when den is zero), gauges their
+// instantaneous value. Serving endpoints (hetsimd's /metricsz) call it
+// on demand; interleaving snapshots with Recorder sampling changes
+// neither.
+func (g *Registry) Snapshot() []Sample {
+	out := make([]Sample, len(g.series))
+	for i, s := range g.series {
+		out[i].Name = s.name
+		switch s.kind {
+		case kindCounter:
+			out[i].Value = float64(s.counter())
+		case kindGauge:
+			out[i].Value = s.gauge()
+		case kindRatio:
+			n, d := s.num(), s.den()
+			if d != 0 {
+				out[i].Value = float64(n) / float64(d)
+			}
+		}
+	}
+	return out
+}
+
+// WriteSnapshot emits the current snapshot as "name value" lines in
+// registration order, the text format behind /metricsz. Values use
+// strconv's shortest round-trip float form.
+func (g *Registry) WriteSnapshot(w io.Writer) error {
+	var buf []byte
+	for _, s := range g.Snapshot() {
+		buf = append(buf, s.Name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, s.Value, 'g', -1, 64)
+		buf = append(buf, '\n')
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
 // Recorder samples a Registry every stride cycles and accumulates the
 // rows, plus a span Trace (trace.go). The zero ("disabled") state is a
 // nil *Recorder: every method with a hot-path caller is nil-safe.

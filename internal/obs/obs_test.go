@@ -281,3 +281,37 @@ func TestEnabledOffStrideTickDoesNotAllocate(t *testing.T) {
 		t.Errorf("off-stride OnTick allocates %v per call, want 0", allocs)
 	}
 }
+
+// TestSnapshotReadsRawTotals: Snapshot reports cumulative counter
+// totals and all-time ratios without disturbing the Recorder's
+// windowed sampling — the /metricsz contract.
+func TestSnapshotReadsRawTotals(t *testing.T) {
+	var hits, accesses uint64
+	depth := 3.0
+	var g Registry
+	g.Counter("hits", func() uint64 { return hits })
+	g.Gauge("depth", func() float64 { return depth })
+	g.Ratio("hit_rate", func() uint64 { return hits }, func() uint64 { return accesses })
+
+	snap := g.Snapshot()
+	want := map[string]float64{"hits": 0, "depth": 3, "hit_rate": 0} // den 0 -> 0
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d samples, want %d", len(snap), len(want))
+	}
+	for _, s := range snap {
+		if s.Value != want[s.Name] {
+			t.Errorf("%s = %v, want %v", s.Name, s.Value, want[s.Name])
+		}
+	}
+
+	hits, accesses, depth = 8, 16, 1.5
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	wantText := "hits 8\ndepth 1.5\nhit_rate 0.5\n" // registration order
+	if got != wantText {
+		t.Fatalf("WriteSnapshot = %q, want %q", got, wantText)
+	}
+}

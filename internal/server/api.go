@@ -1,0 +1,75 @@
+// Package server is the hetsimd simulation service: an HTTP JSON API
+// over exp.Runner, hardened for long-lived multi-client operation —
+// admission control with a bounded queue and load shedding, per-request
+// deadlines threaded into the simulator's interrupt hook, a per-family
+// circuit breaker against panicking configurations, observable state
+// on /metricsz, and a crash-consistent graceful drain that journals
+// whatever never got to run. See DESIGN.md §10.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Run states reported by the API.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// SubmitRequest is the POST /v1/runs body: the task plus an optional
+// per-request deadline. The deadline clock starts at admission and
+// covers queue wait; when it expires the simulation (if started) ends
+// at its next interrupt poll and the run reports failed.
+type SubmitRequest struct {
+	exp.TaskSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// StatusResponse reports one run's state. RetryAfterMS is set only on
+// rejections (shed queue, open breaker, draining) as the suggested
+// client backoff, mirroring the Retry-After header.
+type StatusResponse struct {
+	Key          string `json:"key"`
+	Status       string `json:"status,omitempty"`
+	Error        string `json:"error,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ResultResponse is a completed run's payload.
+type ResultResponse struct {
+	Key string `json:"key"`
+	exp.TaskResult
+}
+
+// writeJSON emits v with the given HTTP status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeRejection emits a 429/503 with both the Retry-After header
+// (whole seconds, rounded up, minimum 1) and the machine-friendly
+// RetryAfterMS body field.
+func writeRejection(w http.ResponseWriter, code int, key, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, StatusResponse{
+		Key:          key,
+		Error:        msg,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}

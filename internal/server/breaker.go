@@ -1,0 +1,118 @@
+package server
+
+import "time"
+
+// breakerState is one node of the per-family circuit-breaker state
+// machine (DESIGN.md §10):
+//
+//	closed --(threshold consecutive panics)--> open
+//	open --(cooldown elapses; next submission becomes the probe)--> half-open
+//	half-open --(probe succeeds)--> closed
+//	half-open --(probe fails in any way)--> open
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// runOutcome classifies one finished run for the breaker.
+type runOutcome int
+
+const (
+	// outcomeOK: the run completed; the family is healthy.
+	outcomeOK runOutcome = iota
+	// outcomePanic: the run died in a recovered panic (exp.RunError
+	// with a stack) — the signal the breaker exists for: a corrupt
+	// workload table or a broken controller will panic again on every
+	// retry, and without a breaker every retry burns a full
+	// simulation's worth of worker time.
+	outcomePanic
+	// outcomeFail: the run failed without panicking (deadline,
+	// cancellation). Neutral in the closed state — a client's tight
+	// deadline says nothing about the config family — but a half-open
+	// probe that fails this way still re-opens: the family has not
+	// proven itself.
+	outcomeFail
+)
+
+// breaker is the circuit breaker for one config family. The server
+// serializes access through its own mutex; breaker methods assume the
+// caller holds it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	fails    int // consecutive panics while closed
+	openedAt time.Time
+	probing  bool // half-open: the single allowed probe is in flight
+}
+
+// allow reports whether a submission for this family may proceed at
+// now. When refused, retryAfter is the client's suggested wait. An
+// open breaker whose cooldown has elapsed moves to half-open and
+// admits exactly one submission as the probe.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	switch b.state {
+	case bkClosed:
+		return true, 0
+	case bkOpen:
+		since := now.Sub(b.openedAt)
+		if since < b.cooldown {
+			return false, b.cooldown - since
+		}
+		b.state = bkHalfOpen
+		b.probing = false
+		fallthrough
+	default: // bkHalfOpen
+		if b.probing {
+			return false, b.cooldown // one probe at a time
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record feeds one finished run back into the state machine.
+func (b *breaker) record(o runOutcome, now time.Time) (tripped bool) {
+	switch b.state {
+	case bkHalfOpen:
+		b.probing = false
+		if o == outcomeOK {
+			b.state = bkClosed
+			b.fails = 0
+			return false
+		}
+		b.state = bkOpen
+		b.openedAt = now
+		return true
+	case bkClosed:
+		switch o {
+		case outcomeOK:
+			b.fails = 0
+		case outcomePanic:
+			b.fails++
+			if b.fails >= b.threshold {
+				b.state = bkOpen
+				b.openedAt = now
+				b.fails = 0
+				return true
+			}
+		}
+	}
+	// bkOpen: a straggler admitted before the trip; its outcome says
+	// nothing the trip didn't.
+	return false
+}

@@ -1,0 +1,583 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// Config parameterizes the service's hardening, not the simulations
+// themselves (those come from the Runner's sim.Config).
+type Config struct {
+	// QueueDepth bounds the admission queue. A submission arriving
+	// with the queue full is shed with 429 + Retry-After instead of
+	// growing a goroutine or buffer — overload stays O(QueueDepth).
+	// Default 64.
+	QueueDepth int
+
+	// Workers is how many simulations execute concurrently. Default
+	// exp.DefaultWorkers().
+	Workers int
+
+	// MaxWait caps the ?wait long-poll duration. Default 30s.
+	MaxWait time.Duration
+
+	// ShedRetryAfter is the backoff hint attached to queue-full and
+	// drain rejections. Default 1s.
+	ShedRetryAfter time.Duration
+
+	// BreakerThreshold is how many consecutive panicking runs trip a
+	// config family's circuit breaker (default 3); BreakerCooldown is
+	// how long the family stays open before a half-open probe is
+	// admitted (default 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// RunFunc is the execution seam: nil means Runner.Do. Tests
+	// substitute failing/blocking executors to drive the shed, breaker
+	// and drain paths without real simulations.
+	RunFunc func(context.Context, exp.TaskSpec) (exp.TaskResult, error)
+
+	// Now is the clock seam: nil means time.Now (breaker tests
+	// compress the cooldown).
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = exp.DefaultWorkers()
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// job is one admitted task waiting for (or holding) a worker.
+type job struct {
+	spec   exp.TaskSpec
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc // non-nil when a per-request timeout is armed
+}
+
+// jobState is a run's externally visible lifecycle. done is closed
+// when the state reaches StatusDone or StatusFailed; a resubmission
+// after failure installs a fresh jobState, so old waiters keep their
+// (already closed) channel.
+type jobState struct {
+	status string
+	err    string
+	res    exp.TaskResult
+	done   chan struct{}
+}
+
+// Server serves simulations from a bounded worker pool over an
+// exp.Runner, whose singleflight memoization is what makes
+// resubmission idempotent: the same TaskSpec always maps to the same
+// key, and a completed key is never re-simulated.
+type Server struct {
+	cfg    Config
+	runner *exp.Runner
+	reg    *obs.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	jobs chan *job
+	quit chan struct{} // closed by Drain: workers finish their run and exit
+	wg   sync.WaitGroup
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	states   map[string]*jobState
+	breakers map[string]*breaker
+
+	inflight atomic.Int64
+
+	submitted, accepted, deduped         atomic.Uint64
+	shed, rejectedBreaker, rejectedDrain atomic.Uint64
+	completed, failed, panics, trips     atomic.Uint64
+}
+
+// New builds a server over runner. Call Start before serving.
+func New(runner *exp.Runner, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:      cfg,
+		runner:   runner,
+		reg:      &obs.Registry{},
+		jobs:     make(chan *job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		states:   make(map[string]*jobState),
+		breakers: make(map[string]*breaker),
+	}
+	s.registerObs()
+	return s
+}
+
+// registerObs wires every admission/breaker/queue observable into the
+// registry behind /metricsz.
+func (s *Server) registerObs() {
+	g := s.reg
+	g.Counter("submissions_total", s.submitted.Load)
+	g.Counter("submissions_accepted", s.accepted.Load)
+	g.Counter("submissions_deduped", s.deduped.Load)
+	g.Counter("submissions_shed", s.shed.Load)
+	g.Counter("submissions_rejected_breaker", s.rejectedBreaker.Load)
+	g.Counter("submissions_rejected_draining", s.rejectedDrain.Load)
+	g.Counter("runs_completed", s.completed.Load)
+	g.Counter("runs_failed", s.failed.Load)
+	g.Counter("run_panics", s.panics.Load)
+	g.Counter("breaker_trips", s.trips.Load)
+	g.Gauge("queue_depth", func() float64 { return float64(len(s.jobs)) })
+	g.Gauge("queue_capacity", func() float64 { return float64(cap(s.jobs)) })
+	g.Gauge("workers", func() float64 { return float64(s.cfg.Workers) })
+	g.Gauge("runs_inflight", func() float64 { return float64(s.inflight.Load()) })
+	g.Gauge("breakers_open", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, b := range s.breakers {
+			if b.state != bkClosed {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	g.Gauge("draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Registry exposes the server's observability registry so the daemon
+// can register more probes (the journal's health) on the same
+// /metricsz.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start launches the worker pool. Workers inherit parent through the
+// server's base context: cancelling parent (or a drain whose grace
+// expires) interrupts in-flight simulations via the runner's
+// Interrupt hook.
+func (s *Server) Start(parent context.Context) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(parent)
+	if s.runner.Ctx == nil {
+		s.runner.Ctx = s.baseCtx
+	}
+	if s.runner.Workers == 0 {
+		// Size the runner's own semaphore to the service pool so the
+		// two layers of bounding agree.
+		s.runner.Workers = s.cfg.Workers
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Server) now() time.Time { return s.cfg.Now() }
+
+// run executes one task through the configured seam.
+func (s *Server) run(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+	if s.cfg.RunFunc != nil {
+		return s.cfg.RunFunc(ctx, spec)
+	}
+	return s.runner.Do(ctx, spec)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Biased check first so a drain stops the pool even when jobs
+		// are still queued: drain means finish in-flight, not the queue.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job and feeds the outcome to the state map and the
+// family's breaker.
+func (s *Server) execute(j *job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.setStatus(j.key, StatusRunning)
+	res, err := s.run(j.ctx, j.spec)
+	if j.cancel != nil {
+		j.cancel()
+	}
+	now := s.now()
+	if err != nil {
+		s.failed.Add(1)
+		outcome := outcomeFail
+		var re *exp.RunError
+		if errors.As(err, &re) && re.Stack != "" {
+			outcome = outcomePanic
+			s.panics.Add(1)
+		}
+		s.breakerRecord(j.spec.Family(), outcome, now)
+		// Drop the quarantined flight so a deliberate resubmission (or
+		// the breaker's half-open probe) re-executes instead of
+		// replaying the failure forever. Failures stay visible in the
+		// state map and Runner.Errors().
+		s.runner.Forget(j.key)
+		s.finish(j.key, StatusFailed, err.Error(), exp.TaskResult{})
+		return
+	}
+	s.completed.Add(1)
+	s.breakerRecord(j.spec.Family(), outcomeOK, now)
+	s.finish(j.key, StatusDone, "", res)
+}
+
+// setStatus transitions a live (not finished) state.
+func (s *Server) setStatus(key, status string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.states[key]; ok && st.status != StatusDone && st.status != StatusFailed {
+		st.status = status
+	}
+}
+
+// finish resolves a run and wakes every long-poll waiter.
+func (s *Server) finish(key, status, errMsg string, res exp.TaskResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[key]
+	if !ok {
+		st = &jobState{done: make(chan struct{})}
+		s.states[key] = st
+	}
+	st.status, st.err, st.res = status, errMsg, res
+	select {
+	case <-st.done:
+	default:
+		close(st.done)
+	}
+}
+
+func (s *Server) breakerFor(family string) *breaker {
+	if b, ok := s.breakers[family]; ok {
+		return b
+	}
+	b := &breaker{threshold: s.cfg.BreakerThreshold, cooldown: s.cfg.BreakerCooldown}
+	s.breakers[family] = b
+	return b
+}
+
+func (s *Server) breakerRecord(family string, o runOutcome, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.breakerFor(family).record(o, now) {
+		s.trips.Add(1)
+	}
+}
+
+// BreakerState reports a family's breaker state ("closed", "open",
+// "half-open"), for tests and diagnostics.
+func (s *Server) BreakerState(family string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakerFor(family).state.String()
+}
+
+// admit is the admission-control pipeline shared by the HTTP submit
+// handler and the resume path: dedup against live states and the
+// runner's memos, breaker gate, bounded enqueue. It returns the
+// response document and HTTP status code.
+func (s *Server) admit(spec exp.TaskSpec, timeout time.Duration) (StatusResponse, int) {
+	s.submitted.Add(1)
+	if s.draining.Load() {
+		s.rejectedDrain.Add(1)
+		return StatusResponse{
+			Error:        "draining: not accepting new work",
+			RetryAfterMS: s.cfg.ShedRetryAfter.Milliseconds(),
+		}, http.StatusServiceUnavailable
+	}
+	if err := spec.Validate(); err != nil {
+		return StatusResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	key := spec.Key()
+
+	s.mu.Lock()
+	if st, ok := s.states[key]; ok && st.status != StatusFailed {
+		// Live or completed run: idempotent join.
+		resp := StatusResponse{Key: key, Status: st.status, Error: st.err}
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		code := http.StatusAccepted
+		if resp.Status == StatusDone {
+			code = http.StatusOK
+		}
+		return resp, code
+	}
+	s.mu.Unlock()
+
+	// After a restart the state map is empty but the journal replay
+	// seeded the runner's memos: a resubmitted key completes instantly
+	// and byte-identically.
+	if res, err, ok := s.runner.Lookup(key); ok && err == nil {
+		s.finish(key, StatusDone, "", res)
+		s.deduped.Add(1)
+		return StatusResponse{Key: key, Status: StatusDone}, http.StatusOK
+	}
+
+	// New (or retried-after-failure) work: gate on the family breaker.
+	now := s.now()
+	s.mu.Lock()
+	ok, retryAfter := s.breakerFor(spec.Family()).allow(now)
+	if !ok {
+		s.mu.Unlock()
+		s.rejectedBreaker.Add(1)
+		return StatusResponse{
+			Key:          key,
+			Error:        fmt.Sprintf("circuit breaker open for %s", spec.Family()),
+			RetryAfterMS: retryAfter.Milliseconds(),
+		}, http.StatusServiceUnavailable
+	}
+	// Clear any quarantined failure so the retry actually re-runs.
+	// (Forget is a no-op for unknown and successful keys.)
+	s.runner.Forget(key)
+
+	ctx := s.baseCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{spec: spec, key: key, ctx: ctx}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, timeout)
+	}
+	select {
+	case s.jobs <- j:
+		s.states[key] = &jobState{status: StatusQueued, done: make(chan struct{})}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		return StatusResponse{Key: key, Status: StatusQueued}, http.StatusAccepted
+	default:
+		s.mu.Unlock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		// Undo the breaker's half-open probe slot if we took it: the
+		// probe never ran.
+		s.mu.Lock()
+		if b := s.breakerFor(spec.Family()); b.state == bkHalfOpen {
+			b.probing = false
+		}
+		s.mu.Unlock()
+		s.shed.Add(1)
+		return StatusResponse{
+			Key:          key,
+			Error:        "queue full",
+			RetryAfterMS: s.cfg.ShedRetryAfter.Milliseconds(),
+		}, http.StatusTooManyRequests
+	}
+}
+
+// Resubmit re-enqueues a journaled-but-never-run task at startup (the
+// resume path for KindQueued drain records). Already-completed keys
+// are deduped against the replayed memos.
+func (s *Server) Resubmit(spec exp.TaskSpec) error {
+	resp, code := s.admit(spec, 0)
+	switch code {
+	case http.StatusOK, http.StatusAccepted:
+		return nil
+	}
+	return fmt.Errorf("resubmit %s: %s", resp.Key, resp.Error)
+}
+
+// state snapshots a key's current lifecycle.
+func (s *Server) state(key string) (jobState, chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[key]
+	if !ok {
+		return jobState{}, nil, false
+	}
+	return *st, st.done, true
+}
+
+// Drain stops admission and the queue, waits for in-flight runs to
+// finish (interrupting them if ctx expires first), then journals every
+// queued-but-unstarted task as a KindQueued record so a restart with
+// -resume re-enqueues exactly the pending work. It returns how many
+// queued tasks were journaled. Drain is idempotent; only the first
+// call does the work.
+func (s *Server) Drain(ctx context.Context) (queued int, err error) {
+	if !s.draining.CompareAndSwap(false, true) {
+		return 0, nil
+	}
+	close(s.quit)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: interrupt the in-flight simulations at their
+		// next poll and wait them out — a run either completes (and
+		// journals) or reports interrupted; nothing is abandoned
+		// mid-journal-write.
+		s.baseCancel()
+		<-done
+	}
+	for {
+		select {
+		case j := <-s.jobs:
+			if j.cancel != nil {
+				j.cancel()
+			}
+			queued++
+			if jnl := s.runner.Journal; jnl != nil {
+				spec := j.spec
+				if aerr := jnl.Append(exp.Record{Kind: exp.KindQueued, Key: j.key, Spec: &spec}); aerr != nil && err == nil {
+					err = aerr
+				}
+			}
+		default:
+			return queued, err
+		}
+	}
+}
+
+// Draining reports whether the server has begun (or finished) a drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/runs            submit (idempotent by task key)
+//	GET  /v1/runs/{key}      status, with optional ?wait= long-poll
+//	GET  /v1/results/{key}   completed run's payload
+//	GET  /healthz            liveness (always 200 while serving)
+//	GET  /readyz             readiness (503 once draining)
+//	GET  /metricsz           admission/breaker/queue/journal counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{key...}", s.handleStatus)
+	mux.HandleFunc("GET /v1/results/{key...}", s.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeRejection(w, http.StatusServiceUnavailable, "", "draining", s.cfg.ShedRetryAfter)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.WriteSnapshot(w)
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, StatusResponse{Error: "bad submit body: " + err.Error()})
+		return
+	}
+	resp, code := s.admit(req.TaskSpec, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		writeRejection(w, code, resp.Key, resp.Error, time.Duration(resp.RetryAfterMS)*time.Millisecond)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	st, doneCh, ok := s.state(key)
+	if !ok {
+		// Fall back to the replayed memos so a restarted server still
+		// answers for journaled runs that were never resubmitted.
+		if res, err, hit := s.runner.Lookup(key); hit {
+			if err != nil {
+				writeJSON(w, http.StatusOK, StatusResponse{Key: key, Status: StatusFailed, Error: err.Error()})
+				return
+			}
+			s.finish(key, StatusDone, "", res)
+			writeJSON(w, http.StatusOK, StatusResponse{Key: key, Status: StatusDone})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, StatusResponse{Key: key, Error: "unknown run"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && (st.status == StatusQueued || st.status == StatusRunning) {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, StatusResponse{Key: key, Error: "bad wait duration: " + err.Error()})
+			return
+		}
+		if wait > s.cfg.MaxWait {
+			wait = s.cfg.MaxWait
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-doneCh:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+		st, _, _ = s.state(key)
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{Key: key, Status: st.status, Error: st.err})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	st, _, ok := s.state(key)
+	if !ok {
+		if res, err, hit := s.runner.Lookup(key); hit && err == nil {
+			writeJSON(w, http.StatusOK, ResultResponse{Key: key, TaskResult: res})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, StatusResponse{Key: key, Error: "unknown run"})
+		return
+	}
+	switch st.status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, ResultResponse{Key: key, TaskResult: st.res})
+	case StatusFailed:
+		writeJSON(w, http.StatusInternalServerError, StatusResponse{Key: key, Status: StatusFailed, Error: st.err})
+	default:
+		writeJSON(w, http.StatusConflict, StatusResponse{Key: key, Status: st.status, Error: "run not complete"})
+	}
+}

@@ -1,0 +1,515 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// detCfg mirrors the exp package's smallest full-subsystem config:
+// service tests that exercise a real simulation need speed, not
+// meaningful numbers.
+func detCfg() sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.WarmupInstr = 10_000
+	cfg.WarmupFrames = 1
+	cfg.MeasureInstr = 30_000
+	cfg.MinFrames = 1
+	cfg.MaxCycles = 10_000_000
+	return cfg
+}
+
+// startServer builds, starts, and serves a Server over httptest,
+// registering cleanup for both.
+func startServer(t *testing.T, runner *exp.Runner, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(runner, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// submit POSTs one task and decodes the response.
+func submit(t *testing.T, base string, req SubmitRequest) (StatusResponse, int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr, resp.StatusCode, resp.Header
+}
+
+// await long-polls a run until it leaves the queued/running states.
+func await(t *testing.T, base, key string) StatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/runs/" + key + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr StatusResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Status == StatusDone || sr.Status == StatusFailed {
+			return sr
+		}
+	}
+	t.Fatalf("run %s never completed", key)
+	return StatusResponse{}
+}
+
+// metrics fetches /metricsz into a name→value map.
+func metrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var name string
+		var v float64
+		if _, err := fmt.Sscanf(line, "%s %g", &name, &v); err == nil {
+			m[name] = v
+		}
+	}
+	return m
+}
+
+// TestServiceRealRun drives one real simulation end to end through
+// the HTTP API: submit, long-poll to done, fetch the result, and
+// verify resubmission is an idempotent 200 that re-serves the memo.
+func TestServiceRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	runner := exp.NewRunner(detCfg())
+	_, ts := startServer(t, runner, Config{Workers: 2})
+
+	req := SubmitRequest{TaskSpec: exp.CPUTaskSpec(462)}
+	sr, code, _ := submit(t, ts.URL, req)
+	if code != http.StatusAccepted || sr.Status != StatusQueued {
+		t.Fatalf("submit: code %d status %q", code, sr.Status)
+	}
+	if sr.Key != "cpu/462" {
+		t.Fatalf("submit key %q", sr.Key)
+	}
+	fin := await(t, ts.URL, sr.Key)
+	if fin.Status != StatusDone {
+		t.Fatalf("run finished %q (%s)", fin.Status, fin.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/results/" + sr.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ResultResponse
+	err = json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: code %d err %v", resp.StatusCode, err)
+	}
+	if rr.IPC <= 0 {
+		t.Fatalf("result IPC = %v, want > 0", rr.IPC)
+	}
+
+	// Idempotent resubmission: same key, instant 200, no second run.
+	sr2, code2, _ := submit(t, ts.URL, req)
+	if code2 != http.StatusOK || sr2.Status != StatusDone {
+		t.Fatalf("resubmit: code %d status %q", code2, sr2.Status)
+	}
+	m := metrics(t, ts.URL)
+	if m["runs_completed"] != 1 {
+		t.Fatalf("runs_completed = %v, want 1", m["runs_completed"])
+	}
+	if m["submissions_deduped"] != 1 {
+		t.Fatalf("submissions_deduped = %v, want 1", m["submissions_deduped"])
+	}
+}
+
+// blockingRun is a RunFunc that parks every run until released.
+type blockingRun struct {
+	release chan struct{}
+	started chan string
+}
+
+func newBlockingRun() *blockingRun {
+	return &blockingRun{release: make(chan struct{}), started: make(chan string, 64)}
+}
+
+func (b *blockingRun) run(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+	b.started <- spec.Key()
+	select {
+	case <-b.release:
+		return exp.TaskResult{IPC: 1}, nil
+	case <-ctx.Done():
+		return exp.TaskResult{}, ctx.Err()
+	}
+}
+
+// TestServiceShedsWhenFull: with one worker and a queue of one, the
+// third concurrent submission is shed with 429 + Retry-After, and the
+// shed is counted on /metricsz. Overload is bounded and observable.
+func TestServiceShedsWhenFull(t *testing.T) {
+	blk := newBlockingRun()
+	runner := exp.NewRunner(detCfg())
+	_, ts := startServer(t, runner, Config{
+		Workers:        1,
+		QueueDepth:     1,
+		ShedRetryAfter: 1500 * time.Millisecond,
+		RunFunc:        blk.run,
+	})
+
+	specs := []exp.TaskSpec{exp.CPUTaskSpec(429), exp.CPUTaskSpec(433), exp.CPUTaskSpec(450)}
+	// First fills the worker...
+	if sr, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: specs[0]}); code != http.StatusAccepted {
+		t.Fatalf("submit 1: code %d (%s)", code, sr.Error)
+	}
+	<-blk.started // ...and is running, so the next occupies the queue slot.
+	if sr, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: specs[1]}); code != http.StatusAccepted {
+		t.Fatalf("submit 2: code %d (%s)", code, sr.Error)
+	}
+	sr, code, hdr := submit(t, ts.URL, SubmitRequest{TaskSpec: specs[2]})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("submit 3: code %d, want 429", code)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" { // 1500ms rounds up
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	if sr.RetryAfterMS != 1500 {
+		t.Fatalf("RetryAfterMS = %d, want 1500", sr.RetryAfterMS)
+	}
+	m := metrics(t, ts.URL)
+	if m["submissions_shed"] != 1 {
+		t.Fatalf("submissions_shed = %v, want 1", m["submissions_shed"])
+	}
+	if m["queue_depth"] != 1 || m["queue_capacity"] != 1 {
+		t.Fatalf("queue %v/%v, want 1/1", m["queue_depth"], m["queue_capacity"])
+	}
+
+	close(blk.release)
+	for _, spec := range specs[:2] {
+		if fin := await(t, ts.URL, spec.Key()); fin.Status != StatusDone {
+			t.Fatalf("%s finished %q", spec.Key(), fin.Status)
+		}
+	}
+}
+
+// TestServiceDeadline: a per-request timeout_ms expires the run even
+// though the executor never returns on its own, and the run reports
+// failed with the deadline error.
+func TestServiceDeadline(t *testing.T) {
+	blk := newBlockingRun() // never released: only ctx can end the run
+	runner := exp.NewRunner(detCfg())
+	s, ts := startServer(t, runner, Config{Workers: 1, RunFunc: blk.run})
+
+	sr, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.CPUTaskSpec(470), TimeoutMS: 50})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d (%s)", code, sr.Error)
+	}
+	fin := await(t, ts.URL, sr.Key)
+	if fin.Status != StatusFailed {
+		t.Fatalf("run finished %q, want failed", fin.Status)
+	}
+	if !strings.Contains(fin.Error, context.DeadlineExceeded.Error()) {
+		t.Fatalf("failure %q does not name the deadline", fin.Error)
+	}
+	// A deadline failure is neutral to the breaker: the family stays
+	// closed and a retry is admitted.
+	if st := s.BreakerState("cpu/470"); st != "closed" {
+		t.Fatalf("breaker %q after deadline failure, want closed", st)
+	}
+}
+
+// panicRun fabricates the breaker's trip signal: an exp.RunError
+// carrying a stack, exactly what the runner's panic quarantine
+// produces for a run that died inside the simulator.
+func panicRun(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+	return exp.TaskResult{}, &exp.RunError{Key: spec.Key(), Phase: "run", Err: fmt.Errorf("boom"), Stack: "fake stack"}
+}
+
+// TestServiceBreaker walks the whole state machine: threshold panics
+// trip the family open (503 + Retry-After), cooldown admits exactly
+// one half-open probe, a successful probe re-closes the family.
+func TestServiceBreaker(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	failing := true
+	run := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		mu.Lock()
+		f := failing
+		mu.Unlock()
+		if f {
+			return panicRun(ctx, spec)
+		}
+		return exp.TaskResult{IPC: 1}, nil
+	}
+
+	runner := exp.NewRunner(detCfg())
+	s, ts := startServer(t, runner, Config{
+		Workers:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		RunFunc:          run,
+		Now:              clock,
+	})
+
+	// Two panics in the family "mix/M1" (different policies, same mix).
+	for _, p := range []sim.Policy{sim.PolicyBaseline, sim.PolicyCMBAL} {
+		sr, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.MixTaskSpec("M1", p)})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit policy %d: code %d (%s)", p, code, sr.Error)
+		}
+		if fin := await(t, ts.URL, sr.Key); fin.Status != StatusFailed {
+			t.Fatalf("policy %d finished %q, want failed", p, fin.Status)
+		}
+	}
+	if st := s.BreakerState("mix/M1"); st != "open" {
+		t.Fatalf("breaker %q after %d panics, want open", st, 2)
+	}
+
+	// Open: rejected with 503 + Retry-After; other families unaffected.
+	sr, code, hdr := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.MixTaskSpec("M1", sim.PolicyHeLM)})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker submit: code %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" || sr.RetryAfterMS <= 0 {
+		t.Fatalf("open-breaker rejection lacks retry hints: hdr %q body %d", hdr.Get("Retry-After"), sr.RetryAfterMS)
+	}
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.MixTaskSpec("M2", sim.PolicyBaseline)}); code != http.StatusAccepted {
+		t.Fatalf("sibling family also rejected: code %d", code)
+	}
+	if fin := await(t, ts.URL, "mix/M2/0"); fin.Status != StatusFailed {
+		t.Fatalf("M2 run finished %q, want failed (executor still panicking)", fin.Status)
+	}
+
+	// Cooldown elapses; the family heals; the next submission is the
+	// single half-open probe and it succeeds.
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	advance(2 * time.Minute)
+	sr, code, _ = submit(t, ts.URL, SubmitRequest{TaskSpec: exp.MixTaskSpec("M1", sim.PolicyHeLM)})
+	if code != http.StatusAccepted {
+		t.Fatalf("half-open probe: code %d (%s)", code, sr.Error)
+	}
+	if fin := await(t, ts.URL, sr.Key); fin.Status != StatusDone {
+		t.Fatalf("probe finished %q, want done", fin.Status)
+	}
+	if st := s.BreakerState("mix/M1"); st != "closed" {
+		t.Fatalf("breaker %q after successful probe, want closed", st)
+	}
+	m := metrics(t, ts.URL)
+	if m["breaker_trips"] != 1 {
+		t.Fatalf("breaker_trips = %v, want 1", m["breaker_trips"])
+	}
+	if m["run_panics"] != 3 {
+		t.Fatalf("run_panics = %v, want 3", m["run_panics"])
+	}
+	if m["submissions_rejected_breaker"] != 1 {
+		t.Fatalf("submissions_rejected_breaker = %v, want 1", m["submissions_rejected_breaker"])
+	}
+}
+
+// TestServiceDrainJournalsQueue: a drain finishes the in-flight run,
+// journals the queued-but-unstarted task as a KindQueued record, and
+// the server refuses new work while /readyz reports 503. A fresh
+// server resuming from the journal re-runs exactly the pending task.
+func TestServiceDrainJournalsQueue(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "runs.jsonl")
+	j, _, _, err := exp.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := newBlockingRun()
+	runner := exp.NewRunner(detCfg())
+	runner.Journal = j
+	s, ts := startServer(t, runner, Config{Workers: 1, QueueDepth: 4, RunFunc: blk.run})
+
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.CPUTaskSpec(429)}); code != http.StatusAccepted {
+		t.Fatalf("submit running: code %d", code)
+	}
+	<-blk.started
+	queuedSpec := exp.MixTaskSpec("M3", sim.PolicyCMBAL)
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: queuedSpec}); code != http.StatusAccepted {
+		t.Fatalf("submit queued: code %d", code)
+	}
+
+	// Release the in-flight run and drain with ample grace.
+	close(blk.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	queued, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued != 1 {
+		t.Fatalf("drain journaled %d queued tasks, want 1", queued)
+	}
+
+	// Draining: no new work, not ready.
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.CPUTaskSpec(433)}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: code %d, want 503", code)
+	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal's KindQueued record round-trips into a runnable spec.
+	_, recs, _, err := exp.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *exp.TaskSpec
+	for _, r := range recs {
+		if r.Kind == exp.KindQueued {
+			found = r.Spec
+		}
+	}
+	if found == nil {
+		t.Fatal("no KindQueued record journaled by drain")
+	}
+	if found.Key() != queuedSpec.Key() {
+		t.Fatalf("journaled spec key %q, want %q", found.Key(), queuedSpec.Key())
+	}
+
+	// Resume path: a fresh server Resubmits the journaled spec.
+	blk2 := newBlockingRun()
+	close(blk2.release) // run immediately
+	runner2 := exp.NewRunner(detCfg())
+	s2, ts2 := startServer(t, runner2, Config{Workers: 1, RunFunc: blk2.run})
+	if err := s2.Resubmit(*found); err != nil {
+		t.Fatal(err)
+	}
+	if fin := await(t, ts2.URL, found.Key()); fin.Status != StatusDone {
+		t.Fatalf("resumed run finished %q", fin.Status)
+	}
+}
+
+// TestServiceBadRequests: malformed body, unknown workload, unknown
+// key.
+func TestServiceBadRequests(t *testing.T) {
+	runner := exp.NewRunner(detCfg())
+	_, ts := startServer(t, runner, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: code %d", resp.StatusCode)
+	}
+
+	if sr, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.GPUTaskSpec("NoSuchGame")}); code != http.StatusBadRequest || sr.Error == "" {
+		t.Fatalf("unknown game: code %d error %q", code, sr.Error)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/runs/cpu/999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: code %d", resp.StatusCode)
+	}
+}
+
+// TestServiceConcurrentSubmissions hammers the API from many clients
+// with overlapping keys under -race: every accepted run completes,
+// dedupe joins never produce a second execution, and the executor
+// sees each key at most once.
+func TestServiceConcurrentSubmissions(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	run := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		mu.Lock()
+		seen[spec.Key()]++
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return exp.TaskResult{IPC: 1}, nil
+	}
+	runner := exp.NewRunner(detCfg())
+	_, ts := startServer(t, runner, Config{Workers: 4, QueueDepth: 64, RunFunc: run})
+
+	specs := []exp.TaskSpec{
+		exp.CPUTaskSpec(429), exp.CPUTaskSpec(433), exp.CPUTaskSpec(450), exp.CPUTaskSpec(462),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, spec := range specs {
+			wg.Add(1)
+			go func(spec exp.TaskSpec) {
+				defer wg.Done()
+				// Retry shed submissions like a real client would.
+				for {
+					_, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: spec})
+					switch code {
+					case http.StatusAccepted, http.StatusOK:
+						return
+					case http.StatusTooManyRequests:
+						time.Sleep(5 * time.Millisecond)
+					default:
+						t.Errorf("submit %s: code %d", spec.Key(), code)
+						return
+					}
+				}
+			}(spec)
+		}
+	}
+	wg.Wait()
+	for _, spec := range specs {
+		if fin := await(t, ts.URL, spec.Key()); fin.Status != StatusDone {
+			t.Fatalf("%s finished %q", spec.Key(), fin.Status)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("executor ran %s %d times, want 1", key, n)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	qos "repro/internal/core"
@@ -77,6 +78,38 @@ func (p Policy) String() string {
 		return "CM-BAL"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// policyNames maps the CLI spellings to policies: the short flag forms
+// the tools accept plus each policy's canonical String form, all
+// matched case-insensitively by ParsePolicy.
+var policyNames = map[string]Policy{
+	"baseline":      PolicyBaseline,
+	"throttle":      PolicyThrottle,
+	"throttled":     PolicyThrottle,
+	"throttle+prio": PolicyThrottleCPUPrio,
+	"throtcpuprio":  PolicyThrottleCPUPrio,
+	"sms09":         PolicySMS09,
+	"sms-0.9":       PolicySMS09,
+	"sms0":          PolicySMS0,
+	"sms-0":         PolicySMS0,
+	"dynprio":       PolicyDynPrio,
+	"helm":          PolicyHeLM,
+	"bypass":        PolicyForcedBypass,
+	"forcedbypass":  PolicyForcedBypass,
+	"cmbal":         PolicyCMBAL,
+	"cm-bal":        PolicyCMBAL,
+}
+
+// ParsePolicy resolves a policy name as the command-line tools spell
+// it ("baseline", "throttle", "throttle+prio", "sms09", "sms0",
+// "dynprio", "helm", "bypass", "cmbal") or as Policy.String renders
+// it, case-insensitively.
+func ParsePolicy(name string) (Policy, error) {
+	if p, ok := policyNames[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("sim: unknown policy %q (baseline, throttle, throttle+prio, sms09, sms0, dynprio, helm, bypass, cmbal)", name)
 }
 
 // FaultInjector perturbs a running System deterministically; see
