@@ -32,37 +32,46 @@ race:
 # panic-isolation robustness tests, under -race. Proves the PR 2
 # invariants (read conservation, monotone counters) survive injected
 # back-pressure bursts, DRAM stalls, and dropped fills, and that the
-# fault-tolerance layer itself is data-race-free.
+# fault-tolerance layer itself is data-race-free. ParallelEquivalence
+# is the intra-run parallel engine's differential gate: all nine
+# policies, plus the fault-injected variant, digest-identical to the
+# sequential loop with the race detector watching the epoch barrier.
 chaos:
 	$(GO) test -race -timeout 10m -count=1 ./internal/faultinject
-	$(GO) test -race -timeout 10m -count=1 -run 'Watchdog|Interrupt|WarmupCapped|ConfigValidate' ./internal/sim
+	$(GO) test -race -timeout 15m -count=1 -run 'Watchdog|Interrupt|WarmupCapped|ConfigValidate|ParallelEquivalence' ./internal/sim
 	$(GO) test -race -timeout 10m -count=1 -run 'Journal|Replay|Quarantin|Cancelled|Timeout' ./internal/exp
 	$(GO) test -race -timeout 10m -count=1 ./internal/server
 	$(GO) test -race -timeout 15m -count=1 -run 'Chaos|ResumeRequires' ./cmd/hetsimd
 
 # Short-scale benchmarks: one pass over the hot-path benches with
 # -benchmem so allocation regressions in ring/Tick are visible. The
-# BenchmarkTick pattern also covers BenchmarkTickObsDisabled/Enabled,
-# pinning the observability layer's zero-overhead-when-disabled claim.
+# BenchmarkTick pattern also covers BenchmarkTickObsDisabled/Enabled
+# (the observability layer's zero-overhead-when-disabled claim) and
+# BenchmarkTickParallel (the parallel engine's steady-state
+# zero-allocs-per-cycle contract).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTickReceive' -benchtime 10000x -benchmem ./internal/ring
 	$(GO) test -run '^$$' -bench 'BenchmarkTick' -benchtime 10000x -benchmem ./internal/sim
 
-# Perf tracking: run the headline full-system benchmark at a pinned
-# scale and record it as machine-readable JSON, with per-benchmark
-# speedups against the committed pre-PR-4 baseline. Informational, not
-# a gate — ns/op depends on the host, so `ci` runs it without failing
+# Perf tracking: run the headline full-system benchmarks at a pinned
+# scale and record them as machine-readable JSON, with per-benchmark
+# speedups against the committed pre-PR-6 baseline (the commit before
+# the request pools, FR-FCFS early exit, and the parallel tick
+# engine). BenchmarkRunMixParallel has no baseline entry, so it is
+# reported without a speedup — on a single-core host it bounds the
+# barrier overhead rather than showing a win. Informational, not a
+# gate — ns/op depends on the host, so `ci` runs it without failing
 # the build (the JSON is there for humans and tooling to diff).
 BENCH_SCALE = 96
 bench-json:
 	{ HETSIM_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkRun(Mix|GPUAlone|CPUAlone)$$' \
+		-bench 'BenchmarkRun(Mix|MixParallel|GPUAlone|CPUAlone)$$' \
 		-benchtime 3x -benchmem -timeout 30m ./internal/sim && \
 	  HETSIM_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
 		-bench 'BenchmarkFig9Throttling$$' \
 		-benchtime 1x -benchmem -timeout 30m . ; } | \
 		HETSIM_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchjson \
-		-baseline bench/BASELINE_PR4.txt -out BENCH_PR4.json
+		-baseline bench/BASELINE_PR6.txt -out BENCH_PR6.json
 
 # Service smoke gate: boot the real hetsimd binary, drive one run
 # through hetsimctl over HTTP, check the run is visible on /metricsz,

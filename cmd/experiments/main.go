@@ -58,6 +58,7 @@ func realMain() int {
 		stride     = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile (live objects at exit) here")
+		seq        = flag.Bool("seq", false, "force the sequential tick engine (disable intra-run parallelism)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func realMain() int {
 	}
 
 	cfg := hetsim.DefaultConfig(*scale)
+	cfg.NoParallel = *seq
 	if *fast {
 		cfg.WarmupInstr /= 8
 		cfg.MeasureInstr /= 8

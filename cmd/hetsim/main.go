@@ -47,6 +47,7 @@ func realMain() int {
 		metrics = flag.String("metrics-out", "", "write sampled time-series CSV here")
 		traceF  = flag.String("trace-out", "", "write Chrome trace_event JSON here (chrome://tracing, Perfetto)")
 		stride  = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
+		seq     = flag.Bool("seq", false, "force the sequential tick engine (disable intra-run parallelism)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func realMain() int {
 	cfg.Policy = p
 	cfg.TargetFPS = *target
 	cfg.MinFrames = *frames
+	cfg.NoParallel = *seq
 	if err := cfg.Validate(); err != nil {
 		cliutil.Errorf("%v", err)
 		return cliutil.ExitUsage

@@ -54,6 +54,7 @@ func realMain() int {
 		brkCool  = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped family stays open before a probe")
 		journalF = flag.String("journal", "", "append completed runs to this crash-safe JSONL journal")
 		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed runs memoize, pending ones re-enqueue")
+		seq      = flag.Bool("seq", false, "daemon-wide default: sequential tick engine (a task's engine field still overrides)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func realMain() int {
 
 	cfg := sim.DefaultConfig(*scale)
 	cfg.CPUPrefetch = *prefetch
+	cfg.NoParallel = *seq
 	if *fast {
 		cfg.WarmupInstr /= 8
 		cfg.MeasureInstr /= 8
@@ -120,6 +122,9 @@ func realMain() int {
 	if journal != nil {
 		journal.RegisterObs(s.Registry())
 	}
+	// Engine counters (parallel vs sequential runs, epoch ticks, domain
+	// skips) land on /metricsz beside the journal and queue gauges.
+	sim.RegisterEngineObs(s.Registry())
 	// The worker pool's base context is NOT the signal context: the
 	// first signal must stop admission and start the drain, not yank
 	// every in-flight simulation.

@@ -67,6 +67,7 @@ func realMain() int {
 		stride   = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep here")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (live objects at exit) here")
+		seq      = flag.Bool("seq", false, "force the sequential tick engine (disable intra-run parallelism)")
 	)
 	flag.Parse()
 
@@ -108,6 +109,7 @@ func realMain() int {
 	baseCfg := hetsim.DefaultConfig(*scale)
 	baseCfg.NumCPUs = len(mix.SpecIDs)
 	baseCfg.CPUPrefetch = *prefetch
+	baseCfg.NoParallel = *seq
 	if *fast {
 		baseCfg.WarmupInstr /= 8
 		baseCfg.MeasureInstr /= 8

@@ -1,11 +1,17 @@
 package cache
 
-// MSHR models a bank of miss status holding registers: a bounded map
-// from outstanding line addresses to the number of coalesced waiters.
-// Components use it both to bound their memory-level parallelism and
-// to merge secondary misses to an in-flight line.
+// MSHR models a bank of miss status holding registers: a bounded set
+// of outstanding line addresses, each with the number of coalesced
+// waiters. Components use it both to bound their memory-level
+// parallelism and to merge secondary misses to an in-flight line.
+//
+// The bank is a dense slice rather than a map: capacities are small
+// (16 per core, 64 at the GPU, 128 at the LLC) and every core access
+// probes it, so a linear scan over a few cache lines beats map hashing
+// on the simulator's hot path. Lookup order never matters — entries
+// are only ever probed by line address — so Release swap-removes.
 type MSHR struct {
-	entries map[uint64]int
+	entries []mshrEntry
 	cap     int
 
 	// Stats.
@@ -14,12 +20,17 @@ type MSHR struct {
 	FullStalls  uint64
 }
 
+type mshrEntry struct {
+	line    uint64
+	waiters int
+}
+
 // NewMSHR builds an MSHR bank with the given capacity.
 func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &MSHR{entries: make(map[uint64]int, capacity), cap: capacity}
+	return &MSHR{entries: make([]mshrEntry, 0, capacity), cap: capacity}
 }
 
 // Cap returns the capacity.
@@ -31,10 +42,18 @@ func (m *MSHR) Len() int { return len(m.entries) }
 // Full reports whether no new line can be tracked.
 func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
 
+func (m *MSHR) find(lineAddr uint64) int {
+	for i := range m.entries {
+		if m.entries[i].line == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
 // Pending reports whether lineAddr already has an outstanding miss.
 func (m *MSHR) Pending(lineAddr uint64) bool {
-	_, ok := m.entries[lineAddr]
-	return ok
+	return m.find(lineAddr) >= 0
 }
 
 // Allocate registers a miss for lineAddr. It returns:
@@ -44,8 +63,8 @@ func (m *MSHR) Pending(lineAddr uint64) bool {
 //	primary=false, ok=true — coalesced onto an in-flight miss;
 //	ok=false      — the MSHR bank is full and the access must retry.
 func (m *MSHR) Allocate(lineAddr uint64) (primary, ok bool) {
-	if n, exists := m.entries[lineAddr]; exists {
-		m.entries[lineAddr] = n + 1
+	if i := m.find(lineAddr); i >= 0 {
+		m.entries[i].waiters++
 		m.Coalesced++
 		return false, true
 	}
@@ -53,7 +72,7 @@ func (m *MSHR) Allocate(lineAddr uint64) (primary, ok bool) {
 		m.FullStalls++
 		return false, false
 	}
-	m.entries[lineAddr] = 1
+	m.entries = append(m.entries, mshrEntry{line: lineAddr, waiters: 1})
 	m.Allocations++
 	return true, true
 }
@@ -62,14 +81,18 @@ func (m *MSHR) Allocate(lineAddr uint64) (primary, ok bool) {
 // (primary + coalesced) it satisfied. Releasing an absent line
 // returns 0; that happens only when a component resets mid-run.
 func (m *MSHR) Release(lineAddr uint64) int {
-	n := m.entries[lineAddr]
-	delete(m.entries, lineAddr)
+	i := m.find(lineAddr)
+	if i < 0 {
+		return 0
+	}
+	n := m.entries[i].waiters
+	last := len(m.entries) - 1
+	m.entries[i] = m.entries[last]
+	m.entries = m.entries[:last]
 	return n
 }
 
 // Reset drops all entries (between runs).
 func (m *MSHR) Reset() {
-	for k := range m.entries {
-		delete(m.entries, k)
-	}
+	m.entries = m.entries[:0]
 }

@@ -94,12 +94,14 @@ type Core struct {
 	nonMemLeft int
 
 	out          []outstanding
+	nLocal       int             // entries in out with local == true
 	wbq          mem.ReqQueue    // L2 dirty evictions awaiting issue
 	pendingDirty map[uint64]bool // store misses to dirty on fill
 	pf           *Prefetcher
 	pfMSHR       *cache.MSHR     // separate budget for speculative fills
 	pendingPf    map[uint64]bool // in-flight prefetch lines
 	nextID       uint64
+	pool         mem.Pool // free list for requests this core issues
 
 	// Stats (cumulative; the harness snapshots around windows).
 	StallCycles    uint64
@@ -146,6 +148,10 @@ func New(cfg Config, gen trace.Source) *Core {
 // Source returns the core's request source ID.
 func (c *Core) Source() mem.Source { return c.src }
 
+// Recycle returns a dead request this core issued to its free list.
+// The LLC calls it when it absorbs one of the core's write-backs.
+func (c *Core) Recycle(r *mem.Request) { c.pool.Put(r) }
+
 // Retired returns total retired instructions.
 func (c *Core) Retired() uint64 { return c.retired }
 
@@ -183,17 +189,19 @@ func (c *Core) pushWB(lineAddr uint64) {
 		// buffer is sized so this only happens under pathological
 		// back-pressure, and the write's timing contribution is the
 		// part that matters. Count it and coalesce.
-		c.wbq.Pop()
+		if old := c.wbq.Pop(); old != nil {
+			c.pool.Put(old)
+		}
 	}
 	c.nextID++
-	c.wbq.Push(&mem.Request{
-		ID:    uint64(c.cfg.ID)<<56 | c.nextID,
-		Addr:  lineAddr,
-		Write: true,
-		Src:   c.src,
-		Class: mem.ClassCPUData,
-		Born:  c.cycle,
-	})
+	r := c.pool.Get()
+	r.ID = uint64(c.cfg.ID)<<56 | c.nextID
+	r.Addr = lineAddr
+	r.Write = true
+	r.Src = c.src
+	r.Class = mem.ClassCPUData
+	r.Born = c.cycle
+	c.wbq.Push(r)
 }
 
 // OnFill delivers a completed LLC/DRAM response to the core.
@@ -217,6 +225,7 @@ func (c *Core) OnFill(r *mem.Request) {
 			c.fillPrivate(line, c.pendingDirty[line])
 			delete(c.pendingDirty, line)
 			c.clearOutstanding(line)
+			c.pool.Put(r)
 			return
 		}
 		if c.l2.Probe(line) == nil {
@@ -228,14 +237,19 @@ func (c *Core) OnFill(r *mem.Request) {
 				}
 			}
 		}
+		c.pool.Put(r)
 		return
 	}
-	c.fillPrivate(line, c.pendingDirty[line])
-	delete(c.pendingDirty, line)
+	dirty := len(c.pendingDirty) > 0 && c.pendingDirty[line]
+	c.fillPrivate(line, dirty)
+	if dirty {
+		delete(c.pendingDirty, line)
+	}
 	c.mshr.Release(line)
 	c.TotalMissLat += c.cycle - r.Born
 	c.CompletedMiss++
 	c.clearOutstanding(line)
+	c.pool.Put(r)
 }
 
 // fillPrivate installs a line in L2 and L1, generating write-backs
@@ -257,6 +271,9 @@ func (c *Core) fillPrivate(line uint64, write bool) {
 func (c *Core) clearOutstanding(line uint64) {
 	for i := 0; i < len(c.out); {
 		if c.out[i].line == line {
+			if c.out[i].local {
+				c.nLocal--
+			}
 			c.out = append(c.out[:i], c.out[i+1:]...)
 		} else {
 			i++
@@ -265,12 +282,15 @@ func (c *Core) clearOutstanding(line uint64) {
 }
 
 // robBlocked reports whether the oldest outstanding load has pinned
-// the window.
+// the window. Entries are appended in program order (instr is
+// nondecreasing) and removal preserves order, so the first non-write
+// entry is the oldest outstanding load and alone decides.
 func (c *Core) robBlocked() bool {
 	for i := range c.out {
-		if !c.out[i].write && c.retired-c.out[i].instr >= uint64(c.cfg.ROB) {
-			return true
+		if c.out[i].write {
+			continue
 		}
+		return c.retired-c.out[i].instr >= uint64(c.cfg.ROB)
 	}
 	return false
 }
@@ -281,15 +301,20 @@ func (c *Core) Tick() {
 
 	// Release local (L2-hit) fills that are due. A release satisfies
 	// every outstanding entry for the line, including loads that were
-	// coalesced onto the in-flight local fill.
-	for {
+	// coalesced onto the in-flight local fill. nLocal tracks how many
+	// local entries exist so the common no-local case skips the scan.
+	for c.nLocal > 0 {
 		released := false
 		for i := range c.out {
 			if c.out[i].local && c.out[i].at <= c.cycle {
 				line := c.out[i].line
 				c.mshr.Release(line)
-				c.fillPrivate(line, c.out[i].write || c.pendingDirty[line])
-				delete(c.pendingDirty, line)
+				dirty := c.out[i].write ||
+					(len(c.pendingDirty) > 0 && c.pendingDirty[line])
+				c.fillPrivate(line, dirty)
+				if dirty {
+					delete(c.pendingDirty, line)
+				}
 				c.clearOutstanding(line)
 				released = true
 				break
@@ -383,7 +408,7 @@ func (c *Core) memAccess(addr uint64, write bool) bool {
 	}
 	// L1 miss. A demand access to a line with an in-flight prefetch
 	// rides the prefetch (it satisfies outstanding entries on fill).
-	if c.pendingPf[line] {
+	if c.pf != nil && c.pendingPf[line] {
 		if write {
 			c.pendingDirty[line] = true
 		} else {
@@ -413,6 +438,7 @@ func (c *Core) memAccess(addr uint64, write bool) bool {
 			line: line, instr: c.retired, local: true,
 			at: c.cycle + c.cfg.L2Hit, write: write,
 		})
+		c.nLocal++
 		return true
 	}
 	// L2 miss: train the streamer and request from the shared memory
@@ -422,15 +448,15 @@ func (c *Core) memAccess(addr uint64, write bool) bool {
 	}
 	c.LoadMisses++
 	c.nextID++
-	r := &mem.Request{
-		ID:    uint64(c.cfg.ID)<<56 | c.nextID,
-		Addr:  line,
-		Write: false, // misses fetch the line; stores dirty it on fill
-		Src:   c.src,
-		Class: mem.ClassCPUData,
-		Born:  c.cycle,
-	}
+	r := c.pool.Get()
+	r.ID = uint64(c.cfg.ID)<<56 | c.nextID
+	r.Addr = line
+	// Write stays false: misses fetch the line; stores dirty it on fill.
+	r.Src = c.src
+	r.Class = mem.ClassCPUData
+	r.Born = c.cycle
 	if c.Issue == nil || !c.Issue(r) {
+		c.pool.Put(r)
 		return false
 	}
 	c.mshr.Allocate(line)
@@ -454,15 +480,15 @@ func (c *Core) issuePrefetches(targets []uint64) {
 			continue
 		}
 		c.nextID++
-		r := &mem.Request{
-			ID:       uint64(c.cfg.ID)<<56 | c.nextID,
-			Addr:     line,
-			Src:      c.src,
-			Class:    mem.ClassCPUData,
-			Born:     c.cycle,
-			Prefetch: true,
-		}
+		r := c.pool.Get()
+		r.ID = uint64(c.cfg.ID)<<56 | c.nextID
+		r.Addr = line
+		r.Src = c.src
+		r.Class = mem.ClassCPUData
+		r.Born = c.cycle
+		r.Prefetch = true
 		if c.Issue == nil || !c.Issue(r) {
+			c.pool.Put(r)
 			return
 		}
 		c.pfMSHR.Allocate(line)

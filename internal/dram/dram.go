@@ -100,6 +100,7 @@ type Memory struct {
 	dramCycle uint64
 	cpuCycle  uint64
 	seq       uint64
+	free      []*request // recycled wrappers: dead after OnIssue
 
 	// OnComplete is invoked (in CPU-cycle order) when a request's
 	// data transfer finishes. The LLC uses it to fill and forward
@@ -201,10 +202,26 @@ func (m *Memory) Enqueue(r *mem.Request) bool {
 		return false
 	}
 	m.seq++
-	req := &request{r: r, bank: bankIdx, row: row, arrive: m.dramCycle, seq: m.seq}
+	req := m.getReq()
+	req.r, req.bank, req.row = r, bankIdx, row
+	req.arrive, req.seq = m.dramCycle, m.seq
 	*q = append(*q, req)
 	ch.sched.OnEnqueue(req)
 	return true
+}
+
+// getReq returns a zeroed request wrapper from the free list. Wrappers
+// die at OnIssue (no scheduler keeps per-request references past it),
+// so recycling them removes one allocation per memory transaction.
+func (m *Memory) getReq() *request {
+	if n := len(m.free); n > 0 {
+		req := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		*req = request{}
+		return req
+	}
+	return &request{}
 }
 
 // QueueDepth returns total queued requests (reads+writes), for tests.
@@ -349,6 +366,7 @@ func (ch *channel) tick(now uint64) {
 		ch.readQ = append(ch.readQ[:idx], ch.readQ[idx+1:]...)
 	}
 	ch.sched.OnIssue(req)
+	ch.mem.free = append(ch.mem.free, req)
 }
 
 // refresh performs one all-bank refresh.

@@ -31,32 +31,45 @@ const starvationAge = 24
 // (nil = all): row-buffer hits first, oldest within a class, with an
 // anti-starvation override for very old requests.
 func pickFRFCFS(ch *channel, q []*request, now uint64, filter func(*request) bool) int {
-	bestHit, bestAny, bestOld := -1, -1, -1
-	var hitSeq, anySeq, oldSeq uint64
+	// Bank-readiness bitmask, computed once: if no bank can take a
+	// command this cycle nothing in q is issuable, and otherwise each
+	// candidate costs a shift instead of a banks[] load.
+	var ready uint64
+	for b := range ch.banks {
+		if ch.banks[b].readyAt <= now {
+			ready |= 1 << uint(b)
+		}
+	}
+	if ready == 0 {
+		return -1
+	}
+	// q is in arrival order (seq strictly increasing, arrive
+	// nondecreasing), which collapses the textbook three-running-minima
+	// formulation into an early-exit scan:
+	//   - aged requests form a prefix of q, so the first issuable aged
+	//     request IS the oldest one — the anti-starvation pick, which
+	//     wins outright;
+	//   - once a non-aged request is seen no later one can be aged, so
+	//     the first issuable row hit from then on is the first-ready
+	//     pick (no later candidate has a smaller seq);
+	//   - the first issuable request overall is the FCFS fallback.
+	bestAny := -1
 	for i, req := range q {
+		if ready>>uint(req.bank)&1 == 0 {
+			continue
+		}
 		if filter != nil && !filter(req) {
 			continue
 		}
-		if !ch.issuable(req, now) {
-			continue
-		}
-		if now-req.arrive > starvationAge && (bestOld == -1 || req.seq < oldSeq) {
-			bestOld, oldSeq = i, req.seq
+		if now-req.arrive > starvationAge {
+			return i
 		}
 		if ch.rowHit(req) {
-			if bestHit == -1 || req.seq < hitSeq {
-				bestHit, hitSeq = i, req.seq
-			}
+			return i
 		}
-		if bestAny == -1 || req.seq < anySeq {
-			bestAny, anySeq = i, req.seq
+		if bestAny == -1 {
+			bestAny = i
 		}
-	}
-	if bestOld != -1 {
-		return bestOld
-	}
-	if bestHit != -1 {
-		return bestHit
 	}
 	return bestAny
 }

@@ -13,6 +13,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -117,15 +118,16 @@ type Runner struct {
 	// resume side.
 	Journal *Journal
 
-	mu       sync.Mutex
-	sem      chan struct{} // worker-pool tokens, sized on first use
-	started  int           // simulations executed (leaders only)
-	wg       sync.WaitGroup
-	errs     []*RunError
-	mixRuns  map[string]*flight[sim.Result] // key: mixID/policy
-	gpuAlone map[string]*flight[sim.Result] // key: game (always baseline policy)
-	cpuAlone map[string]*flight[float64]    // key: specID
-	taskCtxs map[string]context.Context     // per-run contexts set by Do
+	mu          sync.Mutex
+	sem         chan struct{} // worker-pool tokens, sized on first use
+	started     int           // simulations executed (leaders only)
+	wg          sync.WaitGroup
+	errs        []*RunError
+	mixRuns     map[string]*flight[sim.Result] // key: mixID/policy
+	gpuAlone    map[string]*flight[sim.Result] // key: game (always baseline policy)
+	cpuAlone    map[string]*flight[float64]    // key: specID
+	taskCtxs    map[string]context.Context     // per-run contexts set by Do
+	taskEngines map[string]string              // per-run engine overrides set by Do
 }
 
 // NewRunner builds a runner over the given base configuration.
@@ -143,7 +145,34 @@ func NewRunner(cfg sim.Config) *Runner {
 // "kind/memo" form) into one run's config. The simulator polls the
 // hook on a cycle stride, so the closure must stay cheap; it reads a
 // deadline and two context errors, no channels.
+//
+// arm also budgets intra-run parallelism against the campaign pool:
+// when the caller left IntraThreads at 0 (auto) and HETSIM_INTRA is
+// unset, each run gets GOMAXPROCS divided by the pool width, floored
+// at 1 — campaign workers times intra-run threads never
+// oversubscribes the machine, and a width-GOMAXPROCS campaign keeps
+// today's one-run-per-core layout. An explicit HETSIM_INTRA bypasses
+// the split, and a per-task engine override registered by Do wins
+// over everything.
 func (x *Runner) arm(cfg sim.Config, key string) sim.Config {
+	// An explicit HETSIM_INTRA wins over the auto split: leaving
+	// IntraThreads at 0 lets the engine read the env itself.
+	if cfg.IntraThreads == 0 && sim.IntraEnv() == 0 {
+		if per := runtime.GOMAXPROCS(0) / x.poolWidth(); per > 1 {
+			cfg.IntraThreads = per
+		} else {
+			cfg.IntraThreads = 1
+		}
+	}
+	switch x.taskEngine(key) {
+	case EngineSeq:
+		cfg.NoParallel = true
+	case EngineParallel:
+		cfg.NoParallel = false
+		if cfg.IntraThreads < 2 {
+			cfg.IntraThreads = 2
+		}
+	}
 	tctx := x.taskCtx(key)
 	if x.Ctx == nil && x.RunTimeout <= 0 && tctx == nil {
 		return cfg

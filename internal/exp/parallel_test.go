@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -62,6 +63,68 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Fatalf("workers=%d output differs from serial output:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 				workers, baseline, workers, out)
 		}
+	}
+}
+
+// TestEngineDeterminism crosses campaign workers with intra-run
+// parallelism: forcing every run onto the intra-run parallel engine
+// (via the config, as hetsimd's TaskSpec.Engine ultimately does) must
+// leave the rendered reports byte-identical to the all-sequential
+// pool at every worker count — the thread budget changes wall-clock
+// layout, never results.
+func TestEngineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ids := []string{"fig2"}
+	baseline := ""
+	for _, c := range []struct {
+		workers, intra int
+	}{{1, 1}, {1, 2}, {2, 2}, {4, 3}} {
+		cfg := detCfg()
+		cfg.IntraThreads = c.intra
+		x := NewRunner(cfg)
+		x.Workers = c.workers
+		reps, err := x.RunAll(ids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Wait()
+		out := render(reps)
+		if baseline == "" {
+			baseline = out
+			continue
+		}
+		if out != baseline {
+			t.Fatalf("workers=%d intra=%d output differs from sequential:\n--- sequential ---\n%s\n--- got ---\n%s",
+				c.workers, c.intra, baseline, out)
+		}
+	}
+}
+
+// TestTaskEngineOverride checks the TaskSpec.Engine plumbing: a "seq"
+// and a "parallel" submission of the same task must both succeed and
+// agree on the result (the engines are observationally identical, and
+// the memo key deliberately ignores the engine choice).
+func TestTaskEngineOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	seq := NewRunner(detCfg())
+	a, err := seq.Do(nil, TaskSpec{Kind: KindMix, MixID: "W3", Policy: sim.PolicyBaseline, Engine: EngineSeq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewRunner(detCfg())
+	b, err := par.Do(nil, TaskSpec{Kind: KindMix, MixID: "W3", Policy: sim.PolicyBaseline, Engine: EngineParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av, bv := fmt.Sprintf("%+v", *a.Result), fmt.Sprintf("%+v", *b.Result); av != bv {
+		t.Errorf("engine override changed the result:\nseq: %s\npar: %s", av, bv)
+	}
+	if err := (TaskSpec{Kind: KindMix, MixID: "W3", Engine: "warp"}).Validate(); err == nil {
+		t.Error("bogus engine name passed Validate")
 	}
 }
 

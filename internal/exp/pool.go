@@ -68,6 +68,22 @@ func (x *Runner) semaphore() chan struct{} {
 	return x.sem
 }
 
+// poolWidth returns the pool's concurrency without allocating the
+// semaphore: Workers, else DefaultWorkers(), floored at 1. arm uses it
+// to split GOMAXPROCS between campaign workers and intra-run threads.
+func (x *Runner) poolWidth() int {
+	x.mu.Lock()
+	n := x.Workers
+	x.mu.Unlock()
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // lead executes fn as the leader of a flight: it occupies one worker
 // slot for the duration of the simulation and counts the run. Waiting
 // flights hold no slot, so a figure assembling rows can block on

@@ -18,6 +18,15 @@ const (
 	KindCPU = "cpu"
 )
 
+// Engine choices a TaskSpec may request. The default (empty or
+// EngineAuto) lets the runner pick: parallel when the run's thread
+// budget and domain count allow it, sequential otherwise.
+const (
+	EngineAuto     = "auto"
+	EngineParallel = "parallel"
+	EngineSeq      = "seq"
+)
+
 // TaskSpec is the exported description of one simulation: a
 // heterogeneous mix under a policy, a standalone game, or a standalone
 // CPU application. It is the unit of work the hetsimd service accepts
@@ -30,11 +39,25 @@ type TaskSpec struct {
 	Policy sim.Policy `json:"policy,omitempty"` // kind "mix"
 	Game   string     `json:"game,omitempty"`   // kind "gpu"
 	SpecID int        `json:"spec,omitempty"`   // kind "cpu"
+
+	// Engine selects the tick engine for this run: "" or "auto"
+	// (runner decides), "parallel" (force the intra-run parallel
+	// engine), or "seq" (force the sequential reference loop). The two
+	// engines are observationally identical, so Engine is deliberately
+	// NOT part of Key(): submissions differing only in Engine are the
+	// same run and share one execution — the first leader's choice
+	// applies.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Validate resolves the spec against the workload catalogs so a bad
 // submission fails at admission, not deep inside a worker.
 func (t TaskSpec) Validate() error {
+	switch t.Engine {
+	case "", EngineAuto, EngineParallel, EngineSeq:
+	default:
+		return fmt.Errorf("exp: unknown engine %q (want auto, parallel, seq)", t.Engine)
+	}
 	switch t.Kind {
 	case KindMix:
 		if _, err := workloads.MixByID(t.MixID); err != nil {
@@ -100,6 +123,10 @@ func (x *Runner) Do(ctx context.Context, t TaskSpec) (TaskResult, error) {
 		x.setTaskCtx(t.Key(), ctx)
 		defer x.clearTaskCtx(t.Key())
 	}
+	if t.Engine != "" && t.Engine != EngineAuto {
+		x.setTaskEngine(t.Key(), t.Engine)
+		defer x.clearTaskEngine(t.Key())
+	}
 	switch t.Kind {
 	case KindMix:
 		m, err := workloads.MixByID(t.MixID)
@@ -150,6 +177,32 @@ func (x *Runner) taskCtx(key string) context.Context {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.taskCtxs[key]
+}
+
+// setTaskEngine registers a per-run engine override consulted by arm
+// when the run's leader starts; clearTaskEngine removes it once Do
+// returns. Same last-writer-wins contract as setTaskCtx.
+func (x *Runner) setTaskEngine(key, engine string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.taskEngines == nil {
+		x.taskEngines = make(map[string]string)
+	}
+	x.taskEngines[key] = engine
+}
+
+func (x *Runner) clearTaskEngine(key string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.taskEngines, key)
+}
+
+// taskEngine returns the engine override registered for key ("" when
+// none).
+func (x *Runner) taskEngine(key string) string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.taskEngines[key]
 }
 
 // splitKey separates a full task key into its kind and memo key.

@@ -161,6 +161,7 @@ type GPU struct {
 	texCredit   float64
 	nextID      uint64
 	pendingRead map[uint64]mem.Class // line -> class awaiting fill
+	pool        mem.Pool             // free list for requests the GPU issues
 
 	// Results and stats.
 	FramesDone    int
@@ -194,6 +195,10 @@ func New(cfg Config, app *AppModel) *GPU {
 
 // App returns the running application model.
 func (g *GPU) App() *AppModel { return g.app }
+
+// Recycle returns a dead request the GPU issued to its free list. The
+// LLC calls it when it absorbs one of the GPU's write-backs.
+func (g *GPU) Recycle(r *mem.Request) { g.pool.Put(r) }
 
 // Cycle returns the current GPU cycle.
 func (g *GPU) Cycle() uint64 { return g.cycle }
@@ -496,13 +501,13 @@ func (g *GPU) readMiss(a access) bool {
 	g.mshr.Allocate(line)
 	g.pendingRead[line] = a.class
 	g.nextID++
-	g.outQ.Push(&mem.Request{
-		ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
-		Addr:  line,
-		Src:   mem.SourceGPU,
-		Class: a.class,
-		Born:  g.cpuCycle,
-	})
+	r := g.pool.Get()
+	r.ID = uint64(mem.SourceGPU)<<56 | g.nextID
+	r.Addr = line
+	r.Src = mem.SourceGPU
+	r.Class = a.class
+	r.Born = g.cpuCycle
+	g.outQ.Push(r)
 	return true
 }
 
@@ -511,14 +516,14 @@ func (g *GPU) readMiss(a access) bool {
 func (g *GPU) fillCache(c *cache.Cache, addr uint64, dirty bool) {
 	if v, ev := c.Fill(addr, dirty, mem.SourceGPU, classOf(c)); ev && v.Dirty {
 		g.nextID++
-		g.outQ.Push(&mem.Request{
-			ID:    uint64(mem.SourceGPU)<<56 | g.nextID,
-			Addr:  v.Tag << mem.LineShift,
-			Write: true,
-			Src:   mem.SourceGPU,
-			Class: v.Class,
-			Born:  g.cpuCycle,
-		})
+		r := g.pool.Get()
+		r.ID = uint64(mem.SourceGPU)<<56 | g.nextID
+		r.Addr = v.Tag << mem.LineShift
+		r.Write = true
+		r.Src = mem.SourceGPU
+		r.Class = v.Class
+		r.Born = g.cpuCycle
+		g.outQ.Push(r)
 		g.WritebackWB++
 	}
 }
@@ -564,6 +569,7 @@ func (g *GPU) OnFill(r *mem.Request) {
 	case mem.ClassColor:
 		g.fillCache(g.colorL2, line, true)
 	}
+	g.pool.Put(r)
 }
 
 // Caches returns the internal caches for stats/tests, keyed by name.

@@ -68,8 +68,10 @@ type LLC struct {
 	inQ     []*mem.Request
 	hits    []pendingResp
 	waiting map[uint64][]*mem.Request // line -> requests riding one DRAM miss
+	wfree   [][]*mem.Request          // recycled waiter slices (capacity reuse)
 	retryQ  mem.ReqQueue              // DRAM-bound requests the controller rejected
 	wbQ     mem.ReqQueue              // dirty-victim write-backs toward DRAM
+	pool    mem.Pool                  // free list: absorbed writes feed victim write-backs
 
 	cycle uint64
 
@@ -81,6 +83,11 @@ type LLC struct {
 	Respond func(r *mem.Request)
 	// BackInvalidate tells a CPU core to drop a line (inclusive LLC).
 	BackInvalidate func(core mem.Source, lineAddr uint64)
+	// Recycle routes a write the LLC absorbed back to its issuer's
+	// request free list (nil: the LLC keeps it on its own). Without
+	// it, write-heavy components allocate a fresh request per
+	// write-back while the LLC's free list grows unboundedly.
+	Recycle func(r *mem.Request)
 	// Bypass is the GPU read-fill bypass policy (nil = always fill).
 	Bypass BypassPolicy
 
@@ -198,13 +205,19 @@ func (l *LLC) lookup(r *mem.Request) bool {
 	if r.Write {
 		// Write-backs and GPU color/depth flushes allocate (paper
 		// footnote 6: fully dirty lines are flushed to the LLC for
-		// allocation without a DRAM read).
+		// allocation without a DRAM read). The write is absorbed here —
+		// no response flows back — so the request dies and is recycled.
 		if r.Src < mem.NumSources {
 			l.AccessesBySrc[r.Src]++
 		}
 		if !l.tags.Access(line, true) {
 			l.fill(line, true, r.Src, r.Class)
 			l.WriteFills++
+		}
+		if l.Recycle != nil {
+			l.Recycle(r)
+		} else {
+			l.pool.Put(r)
 		}
 		return true
 	}
@@ -235,7 +248,7 @@ func (l *LLC) lookup(r *mem.Request) bool {
 	}
 	l.countMiss(r)
 	l.mshr.Allocate(line)
-	l.waiting[line] = append(l.waiting[line], r)
+	l.waiting[line] = append(l.takeWaiters(), r)
 	if l.ToDRAM == nil || !l.ToDRAM(r) {
 		l.retryQ.Push(r)
 	}
@@ -267,13 +280,13 @@ func (l *LLC) fill(line uint64, dirty bool, owner mem.Source, class mem.Class) {
 		}
 	}
 	if v.Dirty {
-		l.wbQ.Push(&mem.Request{
-			Addr:  vAddr,
-			Write: true,
-			Src:   v.Owner,
-			Class: v.Class,
-			Born:  l.cycle,
-		})
+		r := l.pool.Get()
+		r.Addr = vAddr
+		r.Write = true
+		r.Src = v.Owner
+		r.Class = v.Class
+		r.Born = l.cycle
+		l.wbQ.Push(r)
 	}
 }
 
@@ -282,6 +295,9 @@ func (l *LLC) fill(line uint64, dirty bool, owner mem.Source, class mem.Class) {
 // beyond the controller's accounting.
 func (l *LLC) OnDRAMComplete(r *mem.Request) {
 	if r.Write {
+		// Every DRAM-bound write is an LLC victim write-back (core and
+		// GPU writes are absorbed at the LLC), so it dies here.
+		l.pool.Put(r)
 		return
 	}
 	line := r.LineAddr()
@@ -300,6 +316,24 @@ func (l *LLC) OnDRAMComplete(r *mem.Request) {
 			l.Respond(w)
 		}
 	}
+	if ws != nil {
+		for i := range ws {
+			ws[i] = nil
+		}
+		l.wfree = append(l.wfree, ws[:0])
+	}
+}
+
+// takeWaiters returns an empty waiter slice, reusing the capacity of a
+// retired one when available.
+func (l *LLC) takeWaiters() []*mem.Request {
+	if n := len(l.wfree); n > 0 {
+		ws := l.wfree[n-1]
+		l.wfree[n-1] = nil
+		l.wfree = l.wfree[:n-1]
+		return ws
+	}
+	return nil
 }
 
 // PendingReads returns the number of read requests currently inside

@@ -1,0 +1,44 @@
+package mem
+
+// Pool is a free list of Requests. The simulator allocates hundreds of
+// thousands of Requests per run (core demand misses, GPU reads, dirty
+// write-backs); each one dies at a well-defined point — a fill
+// delivered back to its requester, a write absorbed by the LLC, a
+// write-back completing at DRAM — so recycling them through a free
+// list removes the dominant allocation churn from the hot loop.
+//
+// A Pool is not safe for concurrent use. Ownership follows the same
+// single-owner discipline as the components themselves: each core, the
+// GPU, and the LLC own one pool, and the parallel tick engine's phase
+// barrier guarantees that a component (and therefore its pool) is only
+// ever touched by one goroutine at a time. Requests may migrate
+// between pools (a core-born write-back is freed by the LLC that
+// absorbed it); a free list only cares that Put receives dead objects.
+//
+// Get returns a zeroed Request. Put does NOT zero: the dead object
+// keeps its final field values until reuse, so stale readers (tests
+// inspecting a completed request) observe unchanged data rather than a
+// surprise reset.
+//
+// The zero value is an empty, ready-to-use Pool.
+type Pool struct {
+	free []*Request
+}
+
+// Get returns a zeroed Request, recycling a dead one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a dead Request. The caller must guarantee no live
+// reference remains anywhere in the simulated system.
+func (p *Pool) Put(r *Request) {
+	p.free = append(p.free, r)
+}

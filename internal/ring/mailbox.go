@@ -1,0 +1,44 @@
+package ring
+
+// Mailbox is a staging buffer for ring sends made off the conductor
+// goroutine. The parallel tick engine gives each domain (core, GPU)
+// its own Mailbox: during a parallel phase the domain's Issue hook
+// posts here instead of calling Ring.Send, and at the phase barrier
+// the conductor replays every mailbox into the ring in a fixed domain
+// order. Because the ring keeps one injection queue per source node
+// and a domain only ever posts from its own node, the replay order
+// across domains cannot change ring behavior — but fixing it anyway
+// makes the merge audit-trivially deterministic.
+//
+// A Mailbox is owned by exactly one goroutine at a time; the engine's
+// barrier provides the happens-before edge between the posting worker
+// and the flushing conductor.
+type Mailbox struct {
+	q []Msg
+}
+
+// Post stages one message for the next flush.
+func (mb *Mailbox) Post(m Msg) { mb.q = append(mb.q, m) }
+
+// Len returns the number of staged messages.
+func (mb *Mailbox) Len() int { return len(mb.q) }
+
+// Reserve pre-sizes the buffer so steady-state staging does not
+// allocate.
+func (mb *Mailbox) Reserve(n int) {
+	if cap(mb.q) < n {
+		q := make([]Msg, len(mb.q), n)
+		copy(q, mb.q)
+		mb.q = q
+	}
+}
+
+// FlushTo replays the staged sends into the ring in post order and
+// clears the buffer, dropping payload references for the GC.
+func (mb *Mailbox) FlushTo(r *Ring) {
+	for i := range mb.q {
+		r.Send(mb.q[i])
+		mb.q[i] = Msg{}
+	}
+	mb.q = mb.q[:0]
+}

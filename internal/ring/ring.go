@@ -73,6 +73,13 @@ type Ring struct {
 	outq  [][]Msg   // per-node delivery queues
 	spare [][]Msg   // recycled delivery buffers (double-buffer per node)
 
+	// Occupancy counters keep Tick and Quiesced O(live traffic):
+	// occ counts valid slots, inqTotal queued injections, outTotal
+	// delivered-but-undrained messages.
+	occ      int
+	inqTotal int
+	outTotal int
+
 	cycle uint64
 
 	// Stats.
@@ -110,12 +117,14 @@ func (r *Ring) Send(msg Msg) {
 	if msg.From == msg.To {
 		// Local turnaround: deliver next Tick without consuming a slot.
 		r.outq[msg.To] = append(r.outq[msg.To], msg)
+		r.outTotal++
 		r.Delivered++
 		return
 	}
 	msg.injected = r.cycle
 	iq := &r.inq[msg.From]
 	iq.push(msg)
+	r.inqTotal++
 	if iq.pending() > r.MaxInQueue {
 		r.MaxInQueue = iq.pending()
 	}
@@ -127,11 +136,12 @@ func (r *Ring) Send(msg Msg) {
 // between them, so steady-state delivery does not allocate.
 func (r *Ring) Receive(node NodeID) []Msg {
 	q := r.outq[node]
-	r.outq[node] = r.spare[node][:0]
-	r.spare[node] = q
 	if len(q) == 0 {
 		return nil
 	}
+	r.outq[node] = r.spare[node][:0]
+	r.spare[node] = q
+	r.outTotal -= len(q)
 	return q
 }
 
@@ -169,21 +179,49 @@ func (r *Ring) Tick() {
 		r.shift = 0
 	}
 
-	// Deliver.
-	for i := 0; i < r.n; i++ {
-		if s := r.cwSlot(i); s.valid && s.msg.To == NodeID(i) {
-			r.deliver(s.msg)
-			s.valid = false
+	// Deliver: walk the slot arrays directly (cw slot j sits at node
+	// (j+shift) mod n, ccw slot j at (j-shift) mod n), skipping empty
+	// slots without per-node modular lookups. Every clockwise delivery
+	// precedes the counter-clockwise ones, which matches the naive
+	// per-node loop's cw-then-ccw order: a node sees at most one slot
+	// per direction per cycle, and deliveries to different nodes land
+	// in disjoint output queues.
+	if r.occ > 0 {
+		for j := range r.cw {
+			s := &r.cw[j]
+			if !s.valid {
+				continue
+			}
+			node := j + r.shift
+			if node >= r.n {
+				node -= r.n
+			}
+			if s.msg.To == NodeID(node) {
+				r.deliver(s.msg)
+				s.valid = false
+				r.occ--
+			}
 		}
-		if s := r.ccwSlot(i); s.valid && s.msg.To == NodeID(i) {
-			r.deliver(s.msg)
-			s.valid = false
+		for j := range r.ccw {
+			s := &r.ccw[j]
+			if !s.valid {
+				continue
+			}
+			node := j - r.shift
+			if node < 0 {
+				node += r.n
+			}
+			if s.msg.To == NodeID(node) {
+				r.deliver(s.msg)
+				s.valid = false
+				r.occ--
+			}
 		}
 	}
 
 	// Inject. Preferred direction is the shorter path; if that slot
 	// is occupied but the other direction's slot is free, take it.
-	for i := 0; i < r.n; i++ {
+	for i := 0; r.inqTotal > 0 && i < r.n; i++ {
 		for iq := &r.inq[i]; iq.pending() > 0; {
 			msg := iq.front()
 			d := r.cwDist(NodeID(i), msg.To)
@@ -206,6 +244,8 @@ func (r *Ring) Tick() {
 			s.valid = true
 			s.msg = msg
 			iq.pop()
+			r.occ++
+			r.inqTotal--
 			r.Injected++
 			r.TotalWait += r.cycle - msg.injected
 		}
@@ -214,6 +254,7 @@ func (r *Ring) Tick() {
 
 func (r *Ring) deliver(m Msg) {
 	r.outq[m.To] = append(r.outq[m.To], m)
+	r.outTotal++
 	r.Delivered++
 	hops := r.cwDist(m.From, m.To)
 	if back := r.n - hops; back < hops {
@@ -284,10 +325,5 @@ func (r *Ring) Skip(n uint64) {
 
 // Quiesced reports whether no message is in flight or queued.
 func (r *Ring) Quiesced() bool {
-	for i := 0; i < r.n; i++ {
-		if r.cw[i].valid || r.ccw[i].valid || r.inq[i].pending() > 0 || len(r.outq[i]) > 0 {
-			return false
-		}
-	}
-	return true
+	return r.occ == 0 && r.inqTotal == 0 && r.outTotal == 0
 }

@@ -114,6 +114,45 @@ func BenchmarkTickObsEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkTickParallel is BenchmarkTick through the intra-run
+// parallel engine (two workers forced): per-cycle cost including the
+// epoch barrier, skip-debt bookkeeping, and mailbox merge. The
+// allocs/op line is the steady-state contract — after warm-up the
+// barrier, mailboxes, and request pools must all recycle, so the
+// engine adds zero allocations per cycle.
+func BenchmarkTickParallel(b *testing.B) {
+	s := benchSystem(b, PolicyThrottleCPUPrio)
+	s.Cfg.IntraThreads = 2
+	eng := newParEngine(s)
+	defer eng.finish()
+	for i := 0; i < 200_000; i++ {
+		eng.tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.tick()
+	}
+}
+
+// BenchmarkRunMixParallel is BenchmarkRunMix on the parallel engine
+// with two intra-run workers. On a multi-core host the gap to
+// BenchmarkRunMix is the tentpole's wall-clock win; on a single-core
+// host it bounds the barrier overhead instead.
+func BenchmarkRunMixParallel(b *testing.B) {
+	m, err := workloads.MixByID("M7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(PolicyBaseline)
+	cfg.IntraThreads = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunMix(cfg, m)
+	}
+}
+
 // BenchmarkRunMix measures one complete measurement run (build,
 // warm-up, measure) of mix M7 under the baseline policy.
 func BenchmarkRunMix(b *testing.B) {

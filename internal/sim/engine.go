@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// engine is the stepping strategy Run drives: one observable CPU cycle
+// per tick, plus the fast-forward contract (nextWake/skipTo) and an
+// end-of-run finish. Both implementations — the sequential reference
+// loop and the intra-run parallel engine (DESIGN.md §11) — are
+// observationally identical; the differential suite in
+// parallel_test.go proves it policy by policy.
+type engine interface {
+	// tick advances the system exactly one CPU cycle.
+	tick()
+	// nextWake returns System.NextWake with every domain's deferred
+	// state materialized, so a following skipTo is sound.
+	nextWake() uint64
+	// skipTo bulk-advances through a proven-dead range (SkipTo).
+	skipTo(target uint64)
+	// finish materializes all deferred state and releases any worker
+	// goroutines. Idempotent; Run both defers it (panic safety) and
+	// calls it before assembling results.
+	finish()
+}
+
+// DefaultEpochLen caps how many cycles of skip debt the parallel
+// engine lets a provably-dead domain accumulate between barrier
+// engagements. The floor for useful debt is the minimum cross-domain
+// latency (a ring round trip to the LLC, ~2·hops ≈ 6–8 cycles: sooner
+// than that, no cross-domain input can arrive anyway); 64 additionally
+// amortizes the barrier over the common DRAM-round-trip quiescence
+// (~50–100 CPU cycles) while keeping worst-case materialization work
+// trivial. Results are invariant under this value — see
+// TestParallelEpochLenInvariance.
+const DefaultEpochLen = 64
+
+// Engine selection counters, exported through EngineStats and the obs
+// registry (hetsimd /metricsz). Updated atomically: runs at start,
+// tick/skip totals when an engine finishes.
+var (
+	engParallelRuns   atomic.Uint64
+	engSequentialRuns atomic.Uint64
+	engParallelTicks  atomic.Uint64
+	engDomainSkips    atomic.Uint64
+)
+
+// EngineStats reports cumulative engine-selection and epoch counters
+// for this process: runs started on the parallel vs sequential engine,
+// parallel barrier cycles executed, and per-domain engagements elided
+// by skip debt.
+func EngineStats() (parallelRuns, sequentialRuns, parallelTicks, domainSkips uint64) {
+	return engParallelRuns.Load(), engSequentialRuns.Load(),
+		engParallelTicks.Load(), engDomainSkips.Load()
+}
+
+// RegisterEngineObs registers the process-wide engine counters with an
+// observability registry (hetsimd exposes them on /metricsz).
+func RegisterEngineObs(reg *obs.Registry) {
+	reg.Counter("engine.parallel_runs", engParallelRuns.Load)
+	reg.Counter("engine.sequential_runs", engSequentialRuns.Load)
+	reg.Counter("engine.parallel_ticks", engParallelTicks.Load)
+	reg.Counter("engine.domain_skips", engDomainSkips.Load)
+}
+
+// IntraEnv returns the HETSIM_INTRA override when it holds a positive
+// integer, else 0. Exported so schedulers layered above the simulator
+// (the exp campaign pool) can let an explicit operator override win
+// over their own thread budgeting.
+func IntraEnv() int {
+	if v := os.Getenv("HETSIM_INTRA"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// effectiveThreads resolves Config.IntraThreads: explicit values win,
+// 0 falls back to HETSIM_INTRA, then GOMAXPROCS.
+func effectiveThreads(cfg Config) int {
+	if cfg.IntraThreads != 0 {
+		return cfg.IntraThreads
+	}
+	if n := IntraEnv(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// newEngine picks the stepping strategy for one run: the parallel
+// engine when it is allowed (NoParallel unset), funded (>= 2 effective
+// threads), and useful (>= 2 steppable domains — CPU-alone and
+// GPU-alone runs have nothing to overlap and stay sequential).
+func newEngine(s *System) engine {
+	domains := len(s.Cores)
+	if s.GPU != nil {
+		domains++
+	}
+	if s.Cfg.NoParallel || domains < 2 || effectiveThreads(s.Cfg) < 2 {
+		engSequentialRuns.Add(1)
+		return seqEngine{s}
+	}
+	engParallelRuns.Add(1)
+	return newParEngine(s)
+}
+
+// seqEngine is the reference loop: System's own methods, unchanged.
+type seqEngine struct{ s *System }
+
+func (e seqEngine) tick()                { e.s.Tick() }
+func (e seqEngine) nextWake() uint64     { return e.s.NextWake() }
+func (e seqEngine) skipTo(target uint64) { e.s.SkipTo(target) }
+func (e seqEngine) finish()              {}

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/ring"
+)
+
+// This file implements the intra-run parallel tick engine (DESIGN.md
+// §11). The System is partitioned into independently steppable
+// domains — each CPU core and the GPU — whose Tick methods touch only
+// their own state plus their issue path. Every cycle splits into two
+// phases separated by a barrier:
+//
+//   - phase M (merge; conductor goroutine only): ring movement, fault
+//     polls, LLC intake and fills, LLC.Tick, Mem.Tick — everything in
+//     System.Tick up to the component ticks, in the identical order.
+//     Workers are barrier-idle, so phase M may mutate domain state
+//     directly (OnFill, Invalidate, skip-debt materialization).
+//   - phase C (compute; workers): the engaged domains' Core.Tick and
+//     GPU.Tick run concurrently. Cross-domain traffic they produce is
+//     not sent to the ring directly: each domain's Issue closure is
+//     redirected into a private staging ring.Mailbox.
+//
+// After the barrier the conductor flushes the mailboxes in fixed order
+// (GPU first, then cores ascending — the order the sequential loop
+// ticks them). Order across domains is in fact immaterial: the ring
+// keeps one injection queue per source node, so messages from
+// different domains never interleave within a queue; the fixed order
+// is belt and braces that keeps the merge trivially deterministic.
+//
+// Skip debt is the epoch mechanism. A domain whose cached NextWake
+// proves it dead at this cycle is not engaged; the conductor instead
+// increments its debt, up to Config.EpochLen. Debt is materialized
+// (Core.Skip/GPU.Skip — the same bulk-advance fast-forward uses,
+// proven by the PR 4 differential suite) before anything can observe
+// the domain: an arriving fill, a back-invalidation, a recorder
+// sample cycle, an engagement, or a fast-forward probe. Because
+// materialization replays exactly the stall cycles the elided ticks
+// would have burned, results are invariant under EpochLen
+// (TestParallelEpochLenInvariance randomizes it).
+//
+// GPU skip debt is counted in GPU cycles at divider boundaries, and is
+// disabled entirely under policies whose phase-M closures read GPU
+// state mid-cycle (DynPrio's FrameElapsed from the DRAM scheduler,
+// HeLM's latency-tolerance probe from LLC lookup): a stale g.cycle
+// there would diverge. Under those policies the GPU engages on every
+// divider boundary. The throttling controller's ATU is debt-safe: a
+// denied Allow against a closed, unexpired gate only increments the
+// denial counter, which GPU.Skip replays via SkipDenied.
+
+// parDomain is one independently steppable unit: a core or the GPU.
+type parDomain struct {
+	core *cpu.Core // nil for the GPU domain
+	mb   ring.Mailbox
+
+	// engage is written by the conductor before the phase-C signal and
+	// read by the owning worker after it (ordered by the cmd atomic).
+	engage bool
+
+	// wake caches the domain's NextWake from its last engagement
+	// (absolute CPU cycle for cores, GPU cycle for the GPU; 0 = busy).
+	wake uint64
+	// debt counts elided Ticks not yet materialized (CPU cycles for
+	// cores, GPU cycles for the GPU).
+	debt uint64
+}
+
+// parWorker is one phase-C goroutine and its domain share. cmd/ack are
+// monotone counters: the conductor bumps cmd to release a cycle of
+// work and spins on ack; sync/atomic gives the release/acquire
+// ordering the race detector recognizes, so everything the conductor
+// wrote before cmd.Add is visible to the worker and vice versa.
+type parWorker struct {
+	cmd, ack atomic.Uint64
+	domains  []*parDomain
+	panicVal any
+}
+
+type parEngine struct {
+	s        *System
+	cores    []*parDomain // index-aligned with s.Cores
+	gpu      *parDomain   // nil when no GPU
+	workers  []*parWorker // workers[0] runs inline on the conductor
+	epochLen uint64
+	stride   uint64 // recorder sampling stride (0 = no recorder)
+	gpuDebt  bool   // GPU skip debt allowed under this policy
+	spin     int    // barrier spin iterations before Gosched
+	curCycle uint64 // s.cycle of the phase C in flight (workers read)
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+	done bool
+
+	// Restored on finish.
+	savedIssues  []func(*mem.Request) bool
+	savedGPU     func(*mem.Request) bool
+	savedBackInv func(mem.Source, uint64)
+
+	// Local tallies, flushed to the package counters on finish.
+	ticks, skips uint64
+}
+
+func newParEngine(s *System) *parEngine {
+	e := &parEngine{
+		s:        s,
+		epochLen: uint64(s.Cfg.EpochLen),
+		stride:   s.rec.Stride(),
+		gpuDebt:  s.Dyn == nil && s.HeLM == nil,
+	}
+	if e.epochLen == 0 {
+		e.epochLen = DefaultEpochLen
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		e.spin = 200
+	}
+
+	// Build domains and redirect their issue paths into mailboxes.
+	for i, c := range s.Cores {
+		d := &parDomain{core: c}
+		d.mb.Reserve(8)
+		node := ring.NodeID(i)
+		e.savedIssues = append(e.savedIssues, c.Issue)
+		c.Issue = func(r *mem.Request) bool {
+			d.mb.Post(ring.Msg{From: node, To: s.llcNode, Payload: r})
+			return true
+		}
+		e.cores = append(e.cores, d)
+	}
+	if s.GPU != nil {
+		d := &parDomain{}
+		d.mb.Reserve(8)
+		e.savedGPU = s.GPU.Issue
+		s.GPU.Issue = func(r *mem.Request) bool {
+			d.mb.Post(ring.Msg{From: s.gpuNode, To: s.llcNode, Payload: r})
+			return true
+		}
+		e.gpu = d
+	}
+
+	// Back-invalidations reach a core from LLC.Tick (phase M): settle
+	// the core's debt first so the write-back it may push carries the
+	// right birth cycle, and force engagement — its state changed.
+	e.savedBackInv = s.LLC.BackInvalidate
+	s.LLC.BackInvalidate = func(src mem.Source, line uint64) {
+		if int(src) < len(e.cores) {
+			d := e.cores[src]
+			e.materialize(d)
+			d.wake = 0
+		}
+		e.savedBackInv(src, line)
+	}
+
+	// Round-robin domains over min(threads, domains) workers. Worker 0
+	// has no goroutine: the conductor runs its share inline while the
+	// others work, so two-thread runs cost one handoff, not two.
+	all := make([]*parDomain, 0, len(e.cores)+1)
+	if e.gpu != nil {
+		all = append(all, e.gpu)
+	}
+	for _, d := range e.cores {
+		all = append(all, d)
+	}
+	nw := effectiveThreads(s.Cfg)
+	if nw > len(all) {
+		nw = len(all)
+	}
+	e.workers = make([]*parWorker, nw)
+	for i := range e.workers {
+		e.workers[i] = &parWorker{}
+	}
+	for i, d := range all {
+		w := e.workers[i%nw]
+		w.domains = append(w.domains, d)
+	}
+	for _, w := range e.workers[1:] {
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+	return e
+}
+
+// materialize settles a domain's skip debt via the component's Skip.
+func (e *parEngine) materialize(d *parDomain) {
+	if d.debt == 0 {
+		return
+	}
+	if d.core != nil {
+		d.core.Skip(d.debt)
+	} else {
+		e.s.GPU.Skip(d.debt)
+	}
+	d.debt = 0
+}
+
+// runDomain executes one domain's Tick for the cycle in flight.
+func (e *parEngine) runDomain(d *parDomain) {
+	if d.core != nil {
+		d.core.Tick()
+	} else {
+		e.s.GPU.Tick(e.curCycle)
+	}
+}
+
+// workerLoop is the phase-C body of one goroutine worker.
+func (e *parEngine) workerLoop(w *parWorker) {
+	defer e.wg.Done()
+	var last uint64
+	for {
+		for i := 0; w.cmd.Load() == last; i++ {
+			if i >= e.spin {
+				runtime.Gosched()
+			}
+		}
+		last++
+		if e.stop.Load() {
+			return
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					w.panicVal = p
+				}
+			}()
+			for _, d := range w.domains {
+				if d.engage {
+					e.runDomain(d)
+				}
+			}
+		}()
+		w.ack.Store(last)
+	}
+}
+
+// tick advances the system one CPU cycle: phase M mirrors System.Tick
+// through Mem.Tick (any edit there must be replicated here — the
+// differential suite catches divergence), then phase C runs the
+// engaged domains concurrently, then the conductor merges.
+func (e *parEngine) tick() {
+	s := e.s
+	s.cycle++
+	e.ticks++
+	s.Ring.Tick()
+
+	holdLLC := s.faults != nil && s.faults.HoldLLCIntake(s.cycle)
+	holdDRAM := s.faults != nil && s.faults.HoldDRAM(s.cycle)
+
+	for _, m := range s.Ring.Receive(s.llcNode) {
+		s.spill.Push(m.Payload.(*mem.Request))
+	}
+	for !holdLLC && s.spill.Len() > 0 && s.LLC.Enqueue(s.spill.Front()) {
+		s.spill.Pop()
+	}
+	for i := range s.Cores {
+		for _, m := range s.Ring.Receive(ring.NodeID(i)) {
+			r := m.Payload.(*mem.Request)
+			if !r.Write {
+				if s.faults != nil && s.faults.DropFill(s.cycle) {
+					continue
+				}
+				d := e.cores[i]
+				e.materialize(d)
+				d.wake = 0 // fill may unblock the core: engage it
+				s.Cores[i].OnFill(r)
+			}
+		}
+	}
+	if s.GPU != nil {
+		for _, m := range s.Ring.Receive(s.gpuNode) {
+			r := m.Payload.(*mem.Request)
+			if !r.Write {
+				if s.faults != nil && s.faults.DropFill(s.cycle) {
+					continue
+				}
+				e.materialize(e.gpu)
+				e.gpu.wake = 0
+				s.GPU.OnFill(r)
+			}
+		}
+	}
+
+	s.LLC.Tick()
+	if !holdDRAM {
+		s.Mem.Tick()
+	}
+
+	// Phase C: decide engagement. A recorder sample lands on this cycle
+	// forces every domain to a consistent state first (the sample reads
+	// all counters); cores additionally engage so their Tick burns this
+	// cycle's stall itself, exactly as the sequential loop would.
+	force := e.stride > 0 && s.cycle%e.stride == 0
+	for _, d := range e.cores {
+		if !force && d.wake > s.cycle && d.debt < e.epochLen {
+			d.debt++
+			d.engage = false
+			e.skips++
+		} else {
+			e.materialize(d)
+			d.engage = true
+		}
+	}
+	div := s.Cfg.GPUDivider
+	onDiv := s.GPU != nil && s.cycle%div == 0
+	if e.gpu != nil {
+		nowG := s.cycle / div
+		switch {
+		case !onDiv:
+			// The GPU does not run between divider boundaries; only
+			// settle its debt if this cycle's sample will read it.
+			e.gpu.engage = false
+			if force {
+				e.materialize(e.gpu)
+			}
+		case !force && e.gpuDebt && e.gpu.wake > nowG && e.gpu.debt < e.epochLen:
+			e.gpu.debt++
+			e.gpu.engage = false
+			e.skips++
+		default:
+			e.materialize(e.gpu)
+			e.gpu.engage = true
+		}
+	}
+
+	// Release the goroutine workers that have work this cycle, run the
+	// conductor's own share, then wait for the acks.
+	e.curCycle = s.cycle
+	released := 0
+	for _, w := range e.workers[1:] {
+		for _, d := range w.domains {
+			if d.engage {
+				w.cmd.Add(1)
+				released++
+				break
+			}
+		}
+	}
+	for _, d := range e.workers[0].domains {
+		if d.engage {
+			e.runDomain(d)
+		}
+	}
+	if released > 0 {
+		for _, w := range e.workers[1:] {
+			want := w.cmd.Load()
+			for i := 0; w.ack.Load() != want; i++ {
+				if i >= e.spin {
+					runtime.Gosched()
+				}
+			}
+			if p := w.panicVal; p != nil {
+				panic(p) // preserve exp's per-run panic isolation
+			}
+		}
+	}
+
+	// Merge: refresh wake caches, flush staged traffic in fixed order,
+	// then the recorder hook — after all domain ticks, as in the
+	// sequential loop.
+	for i, d := range e.cores {
+		if d.engage {
+			d.wake = s.Cores[i].NextWake(s.cycle)
+		}
+	}
+	if e.gpu != nil && e.gpu.engage {
+		e.gpu.wake = s.GPU.NextWake(s.cycle / div)
+	}
+	if e.gpu != nil {
+		e.gpu.mb.FlushTo(s.Ring)
+	}
+	for _, d := range e.cores {
+		d.mb.FlushTo(s.Ring)
+	}
+	s.rec.OnTick(s.cycle)
+}
+
+// settleAll materializes every domain's debt, making the System's
+// state identical to the sequential loop's at this cycle.
+func (e *parEngine) settleAll() {
+	for _, d := range e.cores {
+		e.materialize(d)
+	}
+	if e.gpu != nil {
+		e.materialize(e.gpu)
+	}
+}
+
+func (e *parEngine) nextWake() uint64 {
+	e.settleAll()
+	return e.s.NextWake()
+}
+
+func (e *parEngine) skipTo(target uint64) {
+	e.settleAll()
+	e.s.SkipTo(target)
+}
+
+// finish settles all debt, restores the issue and back-invalidation
+// wiring, and joins the workers. Idempotent.
+func (e *parEngine) finish() {
+	if e.done {
+		return
+	}
+	e.done = true
+	e.settleAll()
+	for i, c := range e.s.Cores {
+		c.Issue = e.savedIssues[i]
+	}
+	if e.s.GPU != nil {
+		e.s.GPU.Issue = e.savedGPU
+	}
+	e.s.LLC.BackInvalidate = e.savedBackInv
+	e.stop.Store(true)
+	for _, w := range e.workers[1:] {
+		w.cmd.Add(1)
+	}
+	e.wg.Wait()
+	engParallelTicks.Add(e.ticks)
+	engDomainSkips.Add(e.skips)
+}

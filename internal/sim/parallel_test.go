@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// parCfg is the differential suite's run size: smaller than goldenCfg
+// so the full 9-policy parallel-vs-sequential matrix stays fast under
+// -race, but big enough that every subsystem (warm-up, frames, fills,
+// write drains, back-invalidations, fast-forward) gets exercised.
+func parCfg(p Policy) Config {
+	cfg := DefaultConfig(256)
+	cfg.Policy = p
+	cfg.WarmupInstr = 8_000
+	cfg.WarmupFrames = 1
+	cfg.MeasureInstr = 20_000
+	cfg.MinFrames = 1
+	cfg.MaxCycles = 20_000_000
+	// Force the goroutine engine regardless of the host's GOMAXPROCS:
+	// the differential property is about the engine, not the machine.
+	cfg.IntraThreads = 2
+	return cfg
+}
+
+// TestParallelEquivalence is the tentpole's differential proof: for
+// every policy the paper evaluates, the intra-run parallel engine and
+// the sequential reference loop must produce byte-identical Results
+// and identical observability streams (samples and trace) on the same
+// seed. Run under -race this also proves the epoch barrier's
+// happens-before edges are real, not accidental.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential runs skipped in -short mode")
+	}
+	mix := workloads.EvalMixes()[6] // M7, as the golden suite uses
+	for _, p := range goldenPolicies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			par := parCfg(p)
+			seq := par
+			seq.NoParallel = true
+
+			pr, pd := ffDigest(t, par, mix)
+			sr, sd := ffDigest(t, seq, mix)
+			if !reflect.DeepEqual(pr, sr) {
+				t.Errorf("Result diverged:\npar: %+v\nseq: %+v", pr, sr)
+			}
+			if pd != sd {
+				t.Errorf("obs stream diverged: par %s != seq %s", pd, sd)
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceUnderFaults proves the differential property
+// holds with fault injection active: hold bursts and dropped fills
+// must land on the exact same cycles in both engines, including the
+// per-fill DropFill poll order that feeds the injector's counter.
+func TestParallelEquivalenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential runs skipped in -short mode")
+	}
+	mix := workloads.EvalMixes()[6]
+	build := func(noPar bool, inj FaultInjector) Result {
+		cfg := parCfg(PolicyThrottleCPUPrio)
+		cfg.NoParallel = noPar
+		cfg.Faults = inj
+		return RunMix(cfg, mix)
+	}
+	spec := ffHoldInjector{
+		llcPeriod: 50_000, llcLen: 700,
+		dramPeriod: 80_000, dramLen: 900,
+		dropNth: 997,
+	}
+
+	pi, si, bi := spec, spec, spec
+	par := build(false, &pi)
+	seq := build(true, &si)
+	blind := build(false, blindInjector{&bi})
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("faulted run diverged:\npar: %+v\nseq: %+v", par, seq)
+	}
+	if !reflect.DeepEqual(blind, seq) {
+		t.Errorf("blind-injector run diverged:\nblind: %+v\nseq:   %+v", blind, seq)
+	}
+}
+
+// TestParallelEpochLenInvariance is the property probe: results must
+// be invariant under the epoch length, because skip-debt
+// materialization replays exactly the stall cycles the elided ticks
+// would have burned. The values cover degenerate (1 = engage every
+// cycle), prime, default, and absurdly large epochs.
+func TestParallelEpochLenInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property runs skipped in -short mode")
+	}
+	mix := workloads.EvalMixes()[6]
+	base := parCfg(PolicyThrottle)
+	base.NoParallel = true
+	_, want := ffDigest(t, base, mix)
+
+	for _, e := range []int{1, 2, 3, 5, 17, 64, 1000} {
+		cfg := parCfg(PolicyThrottle)
+		cfg.EpochLen = e
+		if _, got := ffDigest(t, cfg, mix); got != want {
+			t.Errorf("EpochLen=%d digest %s != sequential %s", e, got, want)
+		}
+	}
+}
+
+// TestParallelWorkerCountInvariance: the digest must not depend on how
+// many workers the domains are spread over — worker assignment is
+// topology, not semantics.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property runs skipped in -short mode")
+	}
+	mix := workloads.EvalMixes()[6]
+	var want string
+	for i, threads := range []int{2, 3, 5, 8} {
+		cfg := parCfg(PolicyDynPrio)
+		cfg.IntraThreads = threads
+		_, got := ffDigest(t, cfg, mix)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("IntraThreads=%d digest %s != %s", threads, got, want)
+		}
+	}
+}
+
+// TestParallelFallsBackToSequential: single-domain systems (CPU-alone,
+// GPU-alone) and IntraThreads=1 must select the sequential engine —
+// there is nothing to overlap.
+func TestParallelFallsBackToSequential(t *testing.T) {
+	cfg := parCfg(PolicyBaseline)
+
+	// CPU-alone: one core, no GPU — a single domain.
+	_, apps := MixWorkload(cfg, workloads.EvalMixes()[6])
+	s := NewSystem(cfg, nil, apps[:1])
+	if _, ok := newEngine(s).(seqEngine); !ok {
+		t.Errorf("single-core system selected the parallel engine")
+	}
+
+	// Full mix but IntraThreads=1: explicitly sequential.
+	one := cfg
+	one.IntraThreads = 1
+	game, apps := MixWorkload(one, workloads.EvalMixes()[6])
+	s = NewSystem(one, game, apps)
+	if _, ok := newEngine(s).(seqEngine); !ok {
+		t.Errorf("IntraThreads=1 selected the parallel engine")
+	}
+
+	// Full mix with threads: parallel.
+	game, apps = MixWorkload(cfg, workloads.EvalMixes()[6])
+	s = NewSystem(cfg, game, apps)
+	eng := newEngine(s)
+	pe, ok := eng.(*parEngine)
+	if !ok {
+		t.Fatalf("mix with IntraThreads=2 selected the sequential engine")
+	}
+	pe.finish()
+}
+
+// TestIntraEnvResolution pins the thread-budget resolution order:
+// explicit IntraThreads beats HETSIM_INTRA, HETSIM_INTRA beats the
+// GOMAXPROCS default, and garbage in the env reads as unset — the
+// contract exp.Runner.arm relies on to let an operator's env override
+// bypass its campaign-pool split.
+func TestIntraEnvResolution(t *testing.T) {
+	t.Setenv("HETSIM_INTRA", "3")
+	if got := IntraEnv(); got != 3 {
+		t.Errorf("IntraEnv() = %d, want 3", got)
+	}
+	var cfg Config
+	if got := effectiveThreads(cfg); got != 3 {
+		t.Errorf("effectiveThreads(auto) = %d, want 3 from HETSIM_INTRA", got)
+	}
+	cfg.IntraThreads = 5
+	if got := effectiveThreads(cfg); got != 5 {
+		t.Errorf("effectiveThreads(explicit 5) = %d, want 5", got)
+	}
+	t.Setenv("HETSIM_INTRA", "banana")
+	if got := IntraEnv(); got != 0 {
+		t.Errorf("IntraEnv() with garbage = %d, want 0", got)
+	}
+}

@@ -171,6 +171,14 @@ func Run(s *System) Result {
 		return false
 	}
 
+	// Stepping engine: the sequential reference loop, or the intra-run
+	// parallel engine when the config and machine allow it (DESIGN.md
+	// §11). The deferred finish keeps worker goroutines from leaking
+	// when a run panics; the explicit finish below settles state before
+	// results are read.
+	eng := newEngine(s)
+	defer eng.finish()
+
 	// Quiescence-driven fast-forward (DESIGN.md §9): before a tick,
 	// if every component reports itself dead until some future cycle,
 	// bulk-advance the clock to just before the earliest wake and
@@ -181,7 +189,11 @@ func Run(s *System) Result {
 	// the identical cycle, which is what keeps the golden hashes and
 	// obs streams byte-for-byte unchanged. A failed probe (some
 	// component busy) backs off exponentially so the probe itself
-	// stays off the hot path of active phases.
+	// stays off the hot path of active phases: capped at 255 cycles
+	// between probes, high enough that a run which never quiesces —
+	// a compute-bound core, a saturated mix — pays a vanishing probe
+	// tax, low enough that a newly-quiet system is caught within a
+	// fraction of a typical DRAM round trip.
 	ff := !cfg.NoFastForward
 	var ffWait, ffBackoff uint64
 	step := func(phaseEnd uint64) {
@@ -190,19 +202,19 @@ func Run(s *System) Result {
 			case ffWait > 0:
 				ffWait--
 			default:
-				t := ffTarget(s, &w, phaseEnd)
+				t := ffTarget(eng, s, &w, phaseEnd)
 				if t > s.cycle {
-					s.SkipTo(t)
+					eng.skipTo(t)
 					ffBackoff = 0
 				} else {
-					if ffBackoff < 64 {
+					if ffBackoff < 255 {
 						ffBackoff = 2*ffBackoff + 1
 					}
 					ffWait = ffBackoff
 				}
 			}
 		}
-		s.Tick()
+		eng.tick()
 	}
 
 	// Phase 1: warm-up. Every core must retire WarmupInstr and the
@@ -260,6 +272,10 @@ func Run(s *System) Result {
 	if s.cycle-startCycle >= cfg.MaxCycles {
 		res.HitCap = true
 	}
+
+	// Settle the engine before reading results: materializes any
+	// deferred domain state and joins worker goroutines.
+	eng.finish()
 
 	// Per-core IPC over each core's own window (early finishers keep
 	// running, as in the paper's methodology).
@@ -337,8 +353,8 @@ func Run(s *System) Result {
 // phase's loop condition; the other clamps keep watchdog boundaries,
 // interrupt polls, and recorder samples on their exact naive-loop
 // cycles.
-func ffTarget(s *System, w *watchdog, phaseEnd uint64) uint64 {
-	wake := s.NextWake()
+func ffTarget(eng engine, s *System, w *watchdog, phaseEnd uint64) uint64 {
+	wake := eng.nextWake()
 	if wake <= s.cycle+1 {
 		return s.cycle
 	}

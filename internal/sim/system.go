@@ -201,6 +201,27 @@ type Config struct {
 	// prove exactly that, and as an escape hatch while debugging the
 	// engine itself.
 	NoFastForward bool
+
+	// Intra-run parallel tick engine (DESIGN.md §11).
+
+	// NoParallel forces the sequential reference loop regardless of
+	// IntraThreads — the `-seq` flag on every CLI. Like NoFastForward
+	// it exists because the parallel engine is observationally
+	// identical and the differential suite proves it.
+	NoParallel bool
+	// IntraThreads is the worker budget for one run: 0 resolves at Run
+	// time (HETSIM_INTRA env var, else GOMAXPROCS), 1 keeps the run
+	// sequential, >= 2 engages the parallel engine when the system has
+	// at least two steppable domains. The experiment Runner divides
+	// GOMAXPROCS by its campaign worker count so intra-run threads and
+	// campaign workers never oversubscribe the machine.
+	IntraThreads int
+	// EpochLen caps, in cycles, how much skip debt the parallel engine
+	// lets a quiescent domain accumulate between engagements (0 =
+	// DefaultEpochLen). Results are invariant under EpochLen — the
+	// differential suite's property probe randomizes it to prove that —
+	// so it only trades barrier overhead against wake-bound staleness.
+	EpochLen int
 }
 
 // Validate reports whether the configuration describes a runnable
@@ -229,6 +250,10 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("sim: MinFrames %d must be non-negative", cfg.MinFrames)
 	case cfg.WarmupFrames < 0:
 		return fmt.Errorf("sim: WarmupFrames %d must be non-negative", cfg.WarmupFrames)
+	case cfg.IntraThreads < 0:
+		return fmt.Errorf("sim: IntraThreads %d must be non-negative", cfg.IntraThreads)
+	case cfg.EpochLen < 0:
+		return fmt.Errorf("sim: EpochLen %d must be non-negative", cfg.EpochLen)
 	}
 	return nil
 }
@@ -412,6 +437,17 @@ func NewSystem(cfg Config, game *gpu.AppModel, cpuApps []trace.Params) *System {
 	s.LLC.BackInvalidate = func(src mem.Source, line uint64) {
 		if int(src) < len(s.Cores) {
 			s.Cores[src].Invalidate(line)
+		}
+	}
+	// Absorbed writes flow back to the issuer's request free list, so
+	// every component's allocation reaches steady state (a core that
+	// only ever lost write-backs to the LLC would allocate forever).
+	s.LLC.Recycle = func(r *mem.Request) {
+		switch {
+		case r.Src.IsCPU() && int(r.Src) < len(s.Cores):
+			s.Cores[r.Src].Recycle(r)
+		case r.Src == mem.SourceGPU && s.GPU != nil:
+			s.GPU.Recycle(r)
 		}
 	}
 
