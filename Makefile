@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json cover chaos serve-smoke ci
+.PHONY: all build vet test race bench bench-json cover chaos fuzz soak serve-smoke ci
 
 all: ci
 
@@ -42,6 +42,39 @@ chaos:
 	$(GO) test -race -timeout 10m -count=1 -run 'Journal|Replay|Quarantin|Cancelled|Timeout' ./internal/exp
 	$(GO) test -race -timeout 10m -count=1 ./internal/server
 	$(GO) test -race -timeout 15m -count=1 -run 'Chaos|ResumeRequires' ./cmd/hetsimd
+	$(GO) test -race -timeout 10m -count=1 ./internal/scenario/...
+	HETSIM_SCENARIOS=$(CHAOS_SCENARIOS) $(GO) test -race -timeout 25m -count=1 -run 'TestScenario' ./internal/sim
+
+# The campaign gate (DESIGN.md §12): CHAOS_SCENARIOS random scenarios
+# on a fixed seed base, each proving read conservation + monotone
+# counters across phase boundaries, fast-forward-vs-naive and
+# parallel-vs-sequential digest equality, and journal round-trip
+# fidelity — under -race. A failing subtest is named seed=N; that seed
+# plus scenario.Rand reproduces the exact workload timeline.
+CHAOS_SCENARIOS = 200
+
+# Nightly-style randomized soak: a fresh base seed each invocation and
+# a larger scenario budget. The base seed is echoed up front (and every
+# failing subtest names its own seed), so a red soak is reproducible
+# with HETSIM_SCENARIO_SEED=<seed> make chaos.
+SOAK_SCENARIOS = 500
+soak:
+	@seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+	echo "soak: $(SOAK_SCENARIOS) scenarios, base seed $$seed (rerun: HETSIM_SCENARIO_SEED=$$seed)"; \
+	HETSIM_SCENARIOS=$(SOAK_SCENARIOS) HETSIM_SCENARIO_SEED=$$seed \
+		$(GO) test -race -timeout 60m -count=1 -run 'TestScenarioCampaign' ./internal/sim
+
+# Fuzz gate: each target runs FUZZ_TIME of coverage-guided mutation on
+# top of the seeded corpora under testdata/fuzz/. These parsers face
+# hand-written scenario files, crash-recovered journals, and network
+# submissions — the fuzzers hold their no-panic/invariant contracts.
+FUZZ_TIME = 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime $(FUZZ_TIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzMixValidate -fuzztime $(FUZZ_TIME) ./internal/workloads
+	$(GO) test -run '^$$' -fuzz FuzzJournalLine -fuzztime $(FUZZ_TIME) ./internal/exp
+	$(GO) test -run '^$$' -fuzz FuzzScenarioSpec -fuzztime $(FUZZ_TIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzTraceV2 -fuzztime $(FUZZ_TIME) ./internal/scenario
 
 # Short-scale benchmarks: one pass over the hot-path benches with
 # -benchmem so allocation regressions in ring/Tick are visible. The
@@ -77,7 +110,11 @@ bench-json:
 # through hetsimctl over HTTP, check the run is visible on /metricsz,
 # and shut the daemon down gracefully (SIGTERM must drain and exit 0).
 # The whole loop — daemon, admission, simulation, journal, client
-# retries — in one subprocess round trip.
+# retries — in one subprocess round trip. The checked-in example
+# scenario (tracev2 capture and all) is submitted twice: the client
+# inlines the capture, the daemon replays it, and the second
+# submission must come back byte-identical — idempotency by content
+# digest, observed end to end over the wire.
 serve-smoke:
 	@set -e; tmp=$$(mktemp -d); pid=; \
 	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf $$tmp; }; \
@@ -90,19 +127,29 @@ serve-smoke:
 	$$tmp/hetsimctl -addr $$addr wait-ready; \
 	$$tmp/hetsimctl -addr $$addr run cpu/462; \
 	$$tmp/hetsimctl -addr $$addr metrics | grep -q '^runs_completed 1$$'; \
+	$$tmp/hetsimctl -addr $$addr -scenario examples/scenario/launch.json \
+		-policy throttle+prio run > $$tmp/scn1; \
+	$$tmp/hetsimctl -addr $$addr -scenario examples/scenario/launch.json \
+		-policy throttle+prio run > $$tmp/scn2; \
+	cmp $$tmp/scn1 $$tmp/scn2; \
+	cat $$tmp/scn1; \
 	kill -TERM $$pid; wait $$pid; pid=; \
 	echo "serve-smoke: OK"
 
-# Coverage gate for the observability layer: internal/obs is pure
-# bookkeeping that every experiment's output flows through, so its
-# statements must stay >= 80% covered by its own unit tests.
-OBS_MIN_COVER = 80
+# Coverage gate for the pure-bookkeeping layers every experiment's
+# output flows through: the observability recorder, the workload
+# catalogs, and the synthetic trace generator must each stay >= 80%
+# covered by their own unit tests (-short keeps the gate fast; these
+# suites have no long-running tests behind the flag).
+MIN_COVER = 80
 cover:
-	$(GO) test -cover -coverprofile=/tmp/obs.cover ./internal/obs
-	@total=$$($(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "internal/obs coverage: $$total% (floor $(OBS_MIN_COVER)%)"; \
-	awk "BEGIN {exit !($$total >= $(OBS_MIN_COVER))}" || \
-		{ echo "FAIL: internal/obs coverage $$total% below $(OBS_MIN_COVER)%"; exit 1; }
+	@set -e; for pkg in obs workloads trace; do \
+		$(GO) test -short -cover -coverprofile=/tmp/$$pkg.cover ./internal/$$pkg >/dev/null; \
+		total=$$($(GO) tool cover -func=/tmp/$$pkg.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/$$pkg coverage: $$total% (floor $(MIN_COVER)%)"; \
+		awk "BEGIN {exit !($$total >= $(MIN_COVER))}" || \
+			{ echo "FAIL: internal/$$pkg coverage $$total% below $(MIN_COVER)%"; exit 1; }; \
+	done
 
 ci: vet build test race bench cover chaos serve-smoke
 	-$(MAKE) bench-json

@@ -8,6 +8,7 @@
 //	hetsim -mix W3 -policy baseline -scale 64
 //	hetsim -gpu DOOM3            # standalone GPU
 //	hetsim -cpu 429              # standalone CPU application
+//	hetsim -scenario launch.json # time-varying scenario (DESIGN.md §12)
 package main
 
 import (
@@ -40,6 +41,7 @@ func realMain() int {
 		mixID   = flag.String("mix", "", "mix id (M1..M14, W1..W14)")
 		gpuName = flag.String("gpu", "", "run a game standalone")
 		cpuID   = flag.Int("cpu", 0, "run a SPEC application standalone")
+		scnFile = flag.String("scenario", "", "run a time-varying scenario spec (JSON file)")
 		policy  = flag.String("policy", "baseline", "policy: "+keys())
 		scale   = flag.Int("scale", 64, "scale factor (1 = paper-size)")
 		target  = flag.Float64("target", 40, "QoS target FPS")
@@ -50,6 +52,17 @@ func realMain() int {
 		seq     = flag.Bool("seq", false, "force the sequential tick engine (disable intra-run parallelism)")
 	)
 	flag.Parse()
+
+	modes := 0
+	for _, set := range []bool{*mixID != "", *gpuName != "", *cpuID != 0, *scnFile != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		cliutil.Errorf("-mix, -gpu, -cpu, and -scenario are mutually exclusive")
+		return cliutil.ExitUsage
+	}
 
 	p, ok := policies[*policy]
 	if !ok {
@@ -111,6 +124,27 @@ func realMain() int {
 		ipc := hetsim.RunCPUAloneObs(cfg, *cpuID, rec)
 		label = fmt.Sprintf("spec%d", *cpuID)
 		fmt.Printf("SPEC %d standalone IPC: %.3f\n", *cpuID, ipc)
+	case *scnFile != "":
+		sp, err := hetsim.LoadScenario(*scnFile)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		if err := sp.Validate(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		r, err := hetsim.RunScenarioObs(cfg, sp, rec)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		label = r.MixID
+		name := sp.Name
+		if name == "" {
+			name = *scnFile
+		}
+		printResult("scenario "+name, r)
 	default:
 		flag.Usage()
 		return cliutil.ExitUsage

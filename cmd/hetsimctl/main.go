@@ -10,6 +10,15 @@
 // "gpu/<game>", "cpu/<specID>". run submits and waits (retrying
 // through overload and server restarts — resubmission is idempotent);
 // submit returns immediately after admission.
+//
+// Time-varying scenarios are submitted from spec files, not keys:
+//
+//	hetsimctl -scenario launch.json -policy throttle+prio run
+//
+// The spec travels self-contained — a referenced tracev2 capture is
+// inlined before submission — and is idempotent by content digest, so
+// rerunning the same file against the same server replays the
+// memoized result.
 package main
 
 import (
@@ -23,12 +32,14 @@ import (
 	"repro/internal/client"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() { os.Exit(realMain()) }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port] [-timeout d] [-deadline d] run|submit|status|result|metrics|wait-ready [key ...]")
+	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
 	flag.PrintDefaults()
 }
 
@@ -38,6 +49,8 @@ func realMain() int {
 		timeout  = flag.Duration("timeout", 0, "per-run deadline sent to the server (0 = none)")
 		deadline = flag.Duration("deadline", 0, "overall client deadline for this invocation (0 = none)")
 		verbose  = flag.Bool("v", false, "log client retries to stderr")
+		scnFile  = flag.String("scenario", "", "submit this scenario spec file (run/submit; combinable with task keys)")
+		policyF  = flag.String("policy", "baseline", "policy for -scenario submissions")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -64,8 +77,8 @@ func realMain() int {
 	cmd, keys := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "run", "submit":
-		if len(keys) == 0 {
-			cliutil.Errorf("%s: need at least one task key", cmd)
+		if len(keys) == 0 && *scnFile == "" {
+			cliutil.Errorf("%s: need at least one task key or -scenario file", cmd)
 			return cliutil.ExitUsage
 		}
 		specs := make([]exp.TaskSpec, len(keys))
@@ -80,6 +93,30 @@ func realMain() int {
 				return cliutil.ExitUsage
 			}
 			specs[i] = spec
+		}
+		if *scnFile != "" {
+			sp, err := scenario.LoadSpec(*scnFile)
+			if err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			// The server has no access to this filesystem: a trace
+			// reference must travel inline with the spec.
+			if err := sp.Inline(); err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			pol, err := sim.ParsePolicy(*policyF)
+			if err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			spec := exp.ScenarioTaskSpec(sp, pol)
+			if err := spec.Validate(); err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitUsage
+			}
+			specs = append(specs, spec)
 		}
 		failed := 0
 		for _, spec := range specs {

@@ -5,6 +5,10 @@
 //	hetsimd -addr 127.0.0.1:8080 -journal runs.jsonl
 //	hetsimctl -addr 127.0.0.1:8080 run mix/M7/2
 //
+// A time-varying scenario (DESIGN.md §12) can be enqueued at startup
+// with -scenario file [-scenario-policy p]; clients submit them with
+// hetsimctl -scenario.
+//
 // The daemon is hardened for long-lived operation (DESIGN.md §10):
 // admission control sheds load past a bounded queue (429 + Retry-
 // After), per-request deadlines interrupt overlong simulations, a
@@ -33,6 +37,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -55,12 +60,42 @@ func realMain() int {
 		journalF = flag.String("journal", "", "append completed runs to this crash-safe JSONL journal")
 		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed runs memoize, pending ones re-enqueue")
 		seq      = flag.Bool("seq", false, "daemon-wide default: sequential tick engine (a task's engine field still overrides)")
+		scnFile  = flag.String("scenario", "", "enqueue this scenario spec file at startup (a campaign is data, not code)")
+		scnPol   = flag.String("scenario-policy", "baseline", "policy for the -scenario run")
 	)
 	flag.Parse()
 
 	if *resumeF && *journalF == "" {
 		cliutil.Errorf("-resume requires -journal")
 		return cliutil.ExitUsage
+	}
+
+	// A bad scenario file is a usage error: reject it before binding
+	// the listener, exactly like a bad -scale. The spec is inlined so
+	// the enqueued task is self-contained (journal drain records of it
+	// replay without this filesystem).
+	var scnSpecs []exp.TaskSpec
+	if *scnFile != "" {
+		sp, err := scenario.LoadSpec(*scnFile)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		if err := sp.Inline(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		pol, err := sim.ParsePolicy(*scnPol)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		spec := exp.ScenarioTaskSpec(sp, pol)
+		if err := spec.Validate(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		scnSpecs = append(scnSpecs, spec)
 	}
 
 	cfg := sim.DefaultConfig(*scale)
@@ -129,7 +164,7 @@ func realMain() int {
 	// first signal must stop admission and start the drain, not yank
 	// every in-flight simulation.
 	s.Start(context.Background())
-	for _, spec := range pending {
+	for _, spec := range append(pending, scnSpecs...) {
 		if err := s.Resubmit(spec); err != nil {
 			cliutil.Errorf("re-enqueue %s: %v", spec.Key(), err)
 		}

@@ -4,6 +4,11 @@
 //
 //	sweep -mix M7 -targets 30,40,50,60 -policies baseline,throttle+prio
 //	sweep -mix M13 -scale 48 > m13.csv
+//	sweep -scenario launch.json -policies baseline,throttle+prio
+//
+// With -scenario the grid runs a time-varying scenario spec
+// (DESIGN.md §12) instead of a static mix; rows are keyed by the
+// spec's content digest.
 //
 // Grid cells are independent simulations and run concurrently on a
 // bounded pool (-workers, default HETSIM_PARALLEL or GOMAXPROCS);
@@ -54,6 +59,7 @@ func main() { os.Exit(realMain()) }
 func realMain() int {
 	var (
 		mixID    = flag.String("mix", "M7", "mix id")
+		scnFile  = flag.String("scenario", "", "sweep this scenario spec file instead of a mix")
 		scale    = flag.Int("scale", 96, "scale factor")
 		targets  = flag.String("targets", "30,40,50", "comma-separated QoS targets (FPS)")
 		policies = flag.String("policies", "baseline,throttle,throttle+prio", "comma-separated policies")
@@ -82,10 +88,31 @@ func realMain() int {
 		}
 	}()
 
-	mix, err := hetsim.MixByID(*mixID)
-	if err != nil {
-		cliutil.Errorf("%v", err)
-		return cliutil.ExitUsage
+	var (
+		mix   hetsim.Mix
+		scn   *hetsim.ScenarioSpec
+		label string
+	)
+	if *scnFile != "" {
+		sp, err := hetsim.LoadScenario(*scnFile)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		if err := sp.Validate(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		scn = sp
+		label = "scn:" + sp.Digest()
+	} else {
+		m, err := hetsim.MixByID(*mixID)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		mix = m
+		label = m.ID
 	}
 	var tgts []float64
 	for _, t := range strings.Split(*targets, ",") {
@@ -107,7 +134,9 @@ func realMain() int {
 	}
 
 	baseCfg := hetsim.DefaultConfig(*scale)
-	baseCfg.NumCPUs = len(mix.SpecIDs)
+	if scn == nil {
+		baseCfg.NumCPUs = len(mix.SpecIDs)
+	}
 	baseCfg.CPUPrefetch = *prefetch
 	baseCfg.NoParallel = *seq
 	if *fast {
@@ -191,9 +220,9 @@ func realMain() int {
 	cellErrs := make([]error, len(grid))
 	var wg sync.WaitGroup
 	for i, c := range grid {
-		key := cellKey(mix.ID, c.pol, c.tgt)
+		key := cellKey(label, c.pol, c.tgt)
 		if r, ok := cached[key]; ok {
-			rows[i] = formatRow(mix.ID, c.pol, c.tgt, r)
+			rows[i] = formatRow(label, c.pol, c.tgt, r)
 			continue
 		}
 		wg.Add(1)
@@ -217,7 +246,17 @@ func realMain() int {
 			cfg.TargetFPS = c.tgt
 			cfg.Interrupt = func() bool { return ctx.Err() != nil }
 			rec := coll.Recorder(key)
-			r := hetsim.RunMixObs(cfg, mix, rec)
+			var r hetsim.Result
+			if scn != nil {
+				var err error
+				r, err = hetsim.RunScenarioObs(cfg, scn, rec)
+				if err != nil {
+					cellErrs[i] = fmt.Errorf("cell %s: %w", key, err)
+					return
+				}
+			} else {
+				r = hetsim.RunMixObs(cfg, mix, rec)
+			}
 			if r.Interrupted {
 				// Wall-clock-dependent partial result: never journaled.
 				cellErrs[i] = fmt.Errorf("cell %s: interrupted", key)
@@ -228,7 +267,7 @@ func realMain() int {
 					fmt.Fprintln(os.Stderr, err)
 				}
 			}
-			rows[i] = formatRow(mix.ID, c.pol, c.tgt, r)
+			rows[i] = formatRow(label, c.pol, c.tgt, r)
 		}(i, c, key)
 	}
 	wg.Wait()

@@ -1,0 +1,53 @@
+// Scenario example: a time-varying workload declared as data
+// (DESIGN.md §12). launch.json describes an app launch on DOOM3 — two
+// SPEC cores, a phase boundary that swaps core 1's workload once the
+// launch settles, and a tracev2 capture (capture.jsonl) that replays
+// the captured CPU access streams and the GPU's per-frame work
+// envelope instead of the synthetic models.
+//
+// The same file drives every tool:
+//
+//	go run ./examples/scenario
+//	hetsim  -scenario examples/scenario/launch.json -policy throttle+prio
+//	sweep   -scenario examples/scenario/launch.json -policies baseline,throttle+prio
+//	hetsimctl -scenario examples/scenario/launch.json -policy throttle+prio run
+//
+// (the client inlines the capture before submission, so the daemon
+// needs no access to this directory), and rerunning any of them
+// reproduces the result exactly — scenarios are seed- and
+// content-deterministic.
+package main
+
+import (
+	"fmt"
+
+	"repro/hetsim"
+)
+
+func main() {
+	sp, err := hetsim.LoadScenario("examples/scenario/launch.json")
+	if err != nil {
+		panic(err)
+	}
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+
+	cfg := hetsim.DefaultConfig(96)
+
+	base, err := hetsim.RunScenario(cfg, sp)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Policy = hetsim.PolicyThrottleCPUPrio
+	prop, err := hetsim.RunScenario(cfg, sp)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("scenario %s (%s), digest %s\n\n", sp.Name, sp.Game, sp.Digest())
+	fmt.Printf("%-22s %10s %10s\n", "", "baseline", "proposal")
+	fmt.Printf("%-22s %10.2f %10.2f\n", "mean CPU IPC", base.MeanIPC(), prop.MeanIPC())
+	fmt.Printf("%-22s %10.1f %10.1f\n", "GPU FPS", base.GPUFPS, prop.GPUFPS)
+	fmt.Printf("%-22s %10d %10d\n", "frames below target", base.FrameStats.BelowTarget, prop.FrameStats.BelowTarget)
+}

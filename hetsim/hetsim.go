@@ -30,6 +30,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -229,3 +230,32 @@ type FaultSpec = faultinject.Spec
 // NewFaultInjector builds a deterministic injector from spec; wire it
 // into Config.Faults.
 func NewFaultInjector(spec FaultSpec) FaultInjector { return faultinject.New(spec) }
+
+// ScenarioSpec declares a time-varying workload: phase schedules that
+// retarget GPU frame work and swap per-core CPU streams at cycle
+// boundaries, optionally driven by a tracev2 capture (DESIGN.md §12).
+type ScenarioSpec = scenario.Spec
+
+// LoadScenario reads and strictly parses a scenario spec file.
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.LoadSpec(path) }
+
+// ParseScenario strictly parses a scenario spec from JSON bytes.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.ParseSpec(data) }
+
+// RandScenario derives a complete random scenario from one seed; the
+// property-based campaign suites are built on it.
+func RandScenario(seed uint64) *ScenarioSpec { return scenario.Rand(seed) }
+
+// RunScenario executes a scenario to completion under cfg.
+func RunScenario(cfg Config, sp *ScenarioSpec) (Result, error) { return scenario.Run(cfg, sp) }
+
+// RunScenarioObs is RunScenario with an observability recorder.
+func RunScenarioObs(cfg Config, sp *ScenarioSpec, rec *Recorder) (Result, error) {
+	return scenario.RunObs(cfg, sp, rec)
+}
+
+// BuildScenario wires a validated scenario into a runnable System.
+func BuildScenario(cfg Config, sp *ScenarioSpec) (*System, error) { return scenario.Build(cfg, sp) }
+
+// ScenarioTaskSpec builds the service task form of a scenario run.
+func ScenarioTaskSpec(sp *ScenarioSpec, p Policy) TaskSpec { return exp.ScenarioTaskSpec(sp, p) }

@@ -148,6 +148,15 @@ func New(cfg Config, gen trace.Source) *Core {
 // Source returns the core's request source ID.
 func (c *Core) Source() mem.Source { return c.src }
 
+// SetSource swaps the core's instruction stream mid-run (the scenario
+// engine's phase-transition lever). The swap takes effect at the next
+// fetch: the in-flight op, ROB occupancy, outstanding misses, and the
+// write-back queue all drain unchanged. Safe with outstanding skip
+// debt — Skip never reads the stream, so a swap followed by debt
+// materialization is indistinguishable from a swap under naive
+// ticking.
+func (c *Core) SetSource(gen trace.Source) { c.gen = gen }
+
 // Recycle returns a dead request this core issued to its free list.
 // The LLC calls it when it absorbs one of the core's write-backs.
 func (c *Core) Recycle(r *mem.Request) { c.pool.Put(r) }

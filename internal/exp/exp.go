@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -126,6 +127,7 @@ type Runner struct {
 	mixRuns     map[string]*flight[sim.Result] // key: mixID/policy
 	gpuAlone    map[string]*flight[sim.Result] // key: game (always baseline policy)
 	cpuAlone    map[string]*flight[float64]    // key: specID
+	scnRuns     map[string]*flight[sim.Result] // key: scenarioDigest/policy
 	taskCtxs    map[string]context.Context     // per-run contexts set by Do
 	taskEngines map[string]string              // per-run engine overrides set by Do
 }
@@ -137,6 +139,7 @@ func NewRunner(cfg sim.Config) *Runner {
 		mixRuns:  make(map[string]*flight[sim.Result]),
 		gpuAlone: make(map[string]*flight[sim.Result]),
 		cpuAlone: make(map[string]*flight[float64]),
+		scnRuns:  make(map[string]*flight[sim.Result]),
 	}
 }
 
@@ -227,6 +230,37 @@ func (x *Runner) mix(m workloads.Mix, p sim.Policy) (sim.Result, error) {
 			return sim.Result{}, x.interruptCause("mix/" + key)
 		}
 		x.journalAppend(Record{Kind: "mix", Key: key, Result: &r})
+		return r, nil
+	})
+}
+
+// scenarioRun runs (and caches) one scenario spec under a policy,
+// keyed by the spec's content digest — the scenario side of the
+// idempotency contract. NumCPUs comes from the spec inside
+// scenario.Build; everything else (scale, termination, faults)
+// follows the runner's base configuration.
+func (x *Runner) scenarioRun(sp *scenario.Spec, p sim.Policy) (sim.Result, error) {
+	key := fmt.Sprintf("%s/%d", sp.Digest(), p)
+	f, leader := forKey(x, x.scnRuns, key)
+	if !leader {
+		<-f.done
+		return f.val, f.err
+	}
+	return lead(x, f, KindScenario, key, func() (sim.Result, error) {
+		if err := sp.Validate(); err != nil {
+			return sim.Result{}, err
+		}
+		cfg := x.Cfg
+		cfg.Policy = p
+		r, err := scenario.RunObs(x.arm(cfg, "scn/"+key), sp, x.observe("scn/"+key))
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if r.Interrupted {
+			return sim.Result{}, x.interruptCause("scn/" + key)
+		}
+		spec := ScenarioTaskSpec(sp, p)
+		x.journalAppend(Record{Kind: KindScenario, Key: key, Result: &r, Spec: &spec})
 		return r, nil
 	})
 }

@@ -257,6 +257,8 @@ func (x *Runner) ReplayJournal(recs []Record) (adopted, ignored int) {
 			ok = rec.Result != nil && seedFlight(x, x.gpuAlone, rec.Key, *rec.Result)
 		case KindCPU:
 			ok = seedFlight(x, x.cpuAlone, rec.Key, rec.IPC)
+		case KindScenario:
+			ok = rec.Result != nil && seedFlight(x, x.scnRuns, rec.Key, *rec.Result)
 		}
 		if ok {
 			adopted++

@@ -7,15 +7,17 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
 // Task kinds, matching the journal Record kinds and the memo maps.
 const (
-	KindMix = "mix"
-	KindGPU = "gpu"
-	KindCPU = "cpu"
+	KindMix      = "mix"
+	KindGPU      = "gpu"
+	KindCPU      = "cpu"
+	KindScenario = "scn"
 )
 
 // Engine choices a TaskSpec may request. The default (empty or
@@ -34,11 +36,20 @@ const (
 // its Key doubles as the idempotency token: two submissions with the
 // same Key are the same run and share one singleflight execution.
 type TaskSpec struct {
-	Kind   string     `json:"kind"`             // "mix", "gpu", or "cpu"
+	Kind   string     `json:"kind"`             // "mix", "gpu", "cpu", or "scn"
 	MixID  string     `json:"mix,omitempty"`    // kind "mix"
-	Policy sim.Policy `json:"policy,omitempty"` // kind "mix"
+	Policy sim.Policy `json:"policy,omitempty"` // kinds "mix" and "scn"
 	Game   string     `json:"game,omitempty"`   // kind "gpu"
 	SpecID int        `json:"spec,omitempty"`   // kind "cpu"
+
+	// Scenario is the declarative time-varying workload for kind
+	// "scn" (DESIGN.md §12). Specs travel self-contained — a tracev2
+	// capture must be inlined (scenario.Spec.Inline) before
+	// submission, since the server has no access to the client's
+	// filesystem — and the spec's content digest participates in Key,
+	// so two submissions are idempotent exactly when their scenarios
+	// are identical.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 
 	// Engine selects the tick engine for this run: "" or "auto"
 	// (runner decides), "parallel" (force the intra-run parallel
@@ -73,8 +84,19 @@ func (t TaskSpec) Validate() error {
 	case KindCPU:
 		_, err := workloads.Spec(t.SpecID)
 		return err
+	case KindScenario:
+		if t.Policy < sim.PolicyBaseline || t.Policy > sim.PolicyCMBAL {
+			return fmt.Errorf("exp: policy %d out of range", int(t.Policy))
+		}
+		if t.Scenario == nil {
+			return fmt.Errorf("exp: scenario task without a scenario spec")
+		}
+		if t.Scenario.TracePath != "" {
+			return fmt.Errorf("exp: scenario task references trace file %q; inline it before submission", t.Scenario.TracePath)
+		}
+		return t.Scenario.Validate()
 	}
-	return fmt.Errorf("exp: unknown task kind %q (want mix, gpu, cpu)", t.Kind)
+	return fmt.Errorf("exp: unknown task kind %q (want mix, gpu, cpu, scn)", t.Kind)
 }
 
 // Key returns the run's memo key with its kind prefix: "mix/M7/2",
@@ -87,16 +109,27 @@ func (t TaskSpec) Key() string {
 		return KindGPU + "/" + t.Game
 	case KindCPU:
 		return fmt.Sprintf("cpu/%d", t.SpecID)
+	case KindScenario:
+		if t.Scenario == nil {
+			return KindScenario + "/?"
+		}
+		return fmt.Sprintf("scn/%s/%d", t.Scenario.Digest(), t.Policy)
 	}
 	return t.Kind + "/?"
 }
 
 // Family is the circuit-breaker grouping: every policy of one mix is
-// one family (a panicking controller poisons the mix, not the policy),
-// standalone runs are their own family.
+// one family (a panicking controller poisons the mix, not the
+// policy); scenarios group the same way by spec digest; standalone
+// runs are their own family.
 func (t TaskSpec) Family() string {
-	if t.Kind == KindMix {
+	switch t.Kind {
+	case KindMix:
 		return KindMix + "/" + t.MixID
+	case KindScenario:
+		if t.Scenario != nil {
+			return KindScenario + "/" + t.Scenario.Digest()
+		}
 	}
 	return t.Key()
 }
@@ -140,6 +173,12 @@ func (x *Runner) Do(ctx context.Context, t TaskSpec) (TaskResult, error) {
 		return TaskResult{Result: &r}, nil
 	case KindGPU:
 		r, err := x.gpuStandalone(t.Game)
+		if err != nil {
+			return TaskResult{}, err
+		}
+		return TaskResult{Result: &r}, nil
+	case KindScenario:
+		r, err := x.scenarioRun(t.Scenario, t.Policy)
 		if err != nil {
 			return TaskResult{}, err
 		}
@@ -250,6 +289,16 @@ func (x *Runner) Lookup(key string) (TaskResult, error, bool) {
 			return TaskResult{}, f.err, true
 		}
 		return TaskResult{IPC: f.val}, nil, true
+	case KindScenario:
+		f, ok := doneFlight(x, x.scnRuns, memo)
+		if !ok {
+			return TaskResult{}, nil, false
+		}
+		if f.err != nil {
+			return TaskResult{}, f.err, true
+		}
+		r := f.val
+		return TaskResult{Result: &r}, nil, true
 	}
 	return TaskResult{}, nil, false
 }
@@ -286,6 +335,8 @@ func (x *Runner) Forget(key string) bool {
 		return forgetFailed(x, x.gpuAlone, memo)
 	case KindCPU:
 		return forgetFailed(x, x.cpuAlone, memo)
+	case KindScenario:
+		return forgetFailed(x, x.scnRuns, memo)
 	}
 	return false
 }
@@ -320,6 +371,13 @@ func GPUTaskSpec(game string) TaskSpec { return TaskSpec{Kind: KindGPU, Game: ga
 
 func CPUTaskSpec(specID int) TaskSpec { return TaskSpec{Kind: KindCPU, SpecID: specID} }
 
+// ScenarioTaskSpec builds a task running sp under policy p. The spec
+// should be inlined (scenario.Spec.Inline) when it references a trace
+// file and the task is bound for a server.
+func ScenarioTaskSpec(sp *scenario.Spec, p sim.Policy) TaskSpec {
+	return TaskSpec{Kind: KindScenario, Policy: p, Scenario: sp}
+}
+
 // ParseKey reconstructs a TaskSpec from its Key form, the inverse of
 // TaskSpec.Key; hetsimctl and the resume path use it to go from a
 // journaled key back to a runnable spec.
@@ -344,6 +402,11 @@ func ParseKey(key string) (TaskSpec, error) {
 			return TaskSpec{}, fmt.Errorf("exp: malformed cpu key %q: %v", key, err)
 		}
 		return CPUTaskSpec(id), nil
+	case KindScenario:
+		// A digest cannot be expanded back into a spec: scenario tasks
+		// are submitted from spec files (hetsimctl -scenario), and the
+		// resume path re-enqueues them from the journaled Spec payload.
+		return TaskSpec{}, fmt.Errorf("exp: scenario key %q is not reconstructible; submit the spec file instead", key)
 	}
 	return TaskSpec{}, fmt.Errorf("exp: malformed task key %q", key)
 }

@@ -139,6 +139,15 @@ type GPU struct {
 	Shader ShaderThrottle
 	// Observer receives RTP/frame completions (nil = none).
 	Observer Observer
+	// FrameScale, when non-nil, overrides the per-frame work
+	// multiplier: it is consulted once per frame (at the frame's first
+	// RTP) with the completed-frame count, and a true second return
+	// value uses the returned scale verbatim (clamped to the 0.05
+	// floor) in place of the scene-change/jitter model for that frame.
+	// Nil — and a false return — leaves the model, including its RNG
+	// draw sequence, byte-identical. The tracev2 replay layer uses it
+	// to drive the GPU side of a captured trace.
+	FrameScale func(frame int) (float64, bool)
 
 	outQ mem.ReqQueue
 
@@ -210,8 +219,29 @@ func (g *GPU) FrameStartCycle() uint64 { return g.frameStart }
 // latency-tolerance sampling).
 func (g *GPU) OutstandingLLC() int { return g.mshr.Len() }
 
+// SetWorkScale retargets the scene work set-point (the scenario
+// engine's GPU lever). The new value takes effect at the next frame
+// start and composes with the app model's per-frame jitter; a later
+// scene-change event re-rolls it exactly as it re-rolls the model's
+// own set-point. Safe with outstanding skip debt — Skip never reads
+// the scale.
+func (g *GPU) SetWorkScale(mult float64) {
+	if mult < 0.05 {
+		mult = 0.05
+	}
+	g.sceneScale = mult
+}
+
 // frameScale returns the work multiplier for the upcoming frame.
 func (g *GPU) frameScale() float64 {
+	if g.FrameScale != nil {
+		if s, ok := g.FrameScale(g.FramesDone); ok {
+			if s < 0.05 {
+				s = 0.05
+			}
+			return s
+		}
+	}
 	app := g.app
 	if app.SceneChangeEvery > 0 && g.FramesDone > 0 && g.FramesDone%app.SceneChangeEvery == 0 {
 		g.sceneScale = 1 + app.SceneChangeMag*(2*g.rnd.Float64()-1)

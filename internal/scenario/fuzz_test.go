@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario/tracev2"
+)
+
+// FuzzScenarioSpec feeds arbitrary bytes to the spec parser — the
+// entry point for every hand-written scenario file and every hetsimd
+// submission. Properties: ParseSpec and Validate never panic; an
+// accepted spec digests stably, survives a JSON round trip with its
+// digest (and therefore its idempotency key) intact, and lays out a
+// schedule without panicking.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"game":"DOOM3","cores":[{"spec":429}]}`))
+	f.Add([]byte(`{"version":1,"cores":[{"params":{"Name":"x","MemPerKilo":200}}],` +
+		`"phases":[{"cycles":1000},{"cores":[{"core":0,"spec":462}]}]}`))
+	f.Add([]byte(`{"version":1,"game":"COD2","cores":[{"spec":429}],` +
+		`"phases":[{"cycles":5,"gpu_scale":1.5},{"name":"end"}]}`))
+	f.Add([]byte(`{"version":1,"cores":[{"spec":429}],"trace":"{\"v\":2,\"cores\":1}\n{\"t\":\"cpu\",\"core\":0,\"addr\":64}\n"}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"game":"DOOM3","phases":[{"gpu_scale":1e308}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			return
+		}
+		d := sp.Digest()
+		if len(d) != 12 {
+			t.Fatalf("digest %q is not 12 chars", d)
+		}
+		if sp.Digest() != d {
+			t.Fatal("digest is not stable")
+		}
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		again, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("valid spec failed to re-parse: %v", err)
+		}
+		if again.Digest() != d {
+			t.Fatalf("digest changed across a JSON round trip: %s -> %s", d, again.Digest())
+		}
+		// Schedule layout must hold for anything Validate accepts.
+		if sc := newSchedule(sp); sc != nil {
+			if next := sc.NextChange(0); next == 0 {
+				t.Fatal("NextChange(0) returned 0: a boundary before the first tick")
+			}
+		}
+	})
+}
+
+// FuzzTraceV2 feeds arbitrary bytes to the capture parser. Properties:
+// Parse never panics, and an accepted capture re-emits through Write
+// and re-parses equal to itself (canonical form is a fixed point).
+func FuzzTraceV2(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{"v":2,"cores":1}` + "\n" + `{"t":"cpu","core":0,"nm":3,"addr":64,"w":true}` + "\n"))
+	f.Add([]byte(`{"v":2,"cores":0,"game":"DOOM3"}` + "\n" + `{"t":"gpu","frame":0,"scale":1.5}` + "\n"))
+	f.Add([]byte(`{"v":1,"cores":1}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := tracev2.Parse(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := tracev2.Write(&buf, tr); err != nil {
+			t.Fatalf("accepted capture failed to re-emit: %v", err)
+		}
+		if _, err := tracev2.Parse(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("canonical re-emission failed to parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,485 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/scenario/tracev2"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// propCfg is the property suite's run size: tiny windows so hundreds
+// of scenarios stay fast under -race, but through warm-up, frames and
+// every phase boundary the generator can emit.
+func propCfg(p sim.Policy) sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.Policy = p
+	cfg.WarmupInstr = 2_000
+	cfg.WarmupFrames = 1
+	cfg.MeasureInstr = 5_000
+	cfg.MinFrames = 1
+	cfg.MaxCycles = 10_000_000
+	return cfg
+}
+
+// TestRandAlwaysValidates is the generator's own contract: every seed
+// yields a spec that validates, and the same seed yields the same
+// spec — a failing campaign seed is a complete reproduction recipe.
+func TestRandAlwaysValidates(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		sp := Rand(seed)
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if again := Rand(seed); !reflect.DeepEqual(sp, again) {
+			t.Fatalf("seed %d: Rand is not deterministic", seed)
+		}
+		if sp.Seed != seed {
+			t.Fatalf("seed %d: spec records seed %d", seed, sp.Seed)
+		}
+	}
+}
+
+// TestRandSeedsDiffer: distinct seeds must explore distinct scenarios,
+// or the campaign's breadth is an illusion.
+func TestRandSeedsDiffer(t *testing.T) {
+	seen := map[string]uint64{}
+	for seed := uint64(0); seed < 200; seed++ {
+		d := Rand(seed).Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("seeds %d and %d produced the same digest %s", prev, seed, d)
+		}
+		seen[d] = seed
+	}
+}
+
+// TestDigestIdentity: the digest is stable across calls, 12 lowercase
+// hex characters, and sensitive to every field that changes what runs.
+func TestDigestIdentity(t *testing.T) {
+	sp := Rand(42)
+	d := sp.Digest()
+	if d != sp.Digest() {
+		t.Fatal("digest is not stable")
+	}
+	if len(d) != 12 || strings.ToLower(d) != d {
+		t.Fatalf("digest %q is not 12 lowercase hex chars", d)
+	}
+	mut := *sp
+	mut.Seed++
+	if mut.Digest() == d {
+		t.Fatal("digest ignored a field change")
+	}
+}
+
+// TestScheduleLayout pins the phase semantics: phases are segments,
+// bounds are cumulative, a fresh schedule has already consumed phase 0
+// (Build applies it before the first tick), and NextChange reports the
+// exact next boundary or never.
+func TestScheduleLayout(t *testing.T) {
+	sp := &Spec{
+		Version: SpecVersion,
+		Cores:   []CoreSpec{{SpecID: 429}},
+		Phases: []Phase{
+			{Name: "a", Cycles: 1000},
+			{Name: "b", Cycles: 500},
+			{Name: "c"},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := newSchedule(sp)
+	if sc == nil {
+		t.Fatal("newSchedule returned nil for a 3-phase spec")
+	}
+	if want := []uint64{0, 1000, 1500}; !reflect.DeepEqual(sc.bounds, want) {
+		t.Fatalf("bounds %v, want %v", sc.bounds, want)
+	}
+	if sc.next != 1 {
+		t.Fatalf("fresh schedule next=%d, want 1 (phase 0 is Build's)", sc.next)
+	}
+	never := ^uint64(0)
+	if got := sc.NextChange(0); got != 1000 {
+		t.Fatalf("NextChange(0)=%d, want 1000", got)
+	}
+	if got := sc.NextChange(1000); got != 1500 {
+		t.Fatalf("NextChange(1000)=%d, want 1500", got)
+	}
+	if got := sc.NextChange(1500); got != never {
+		t.Fatalf("NextChange(1500)=%d, want never", got)
+	}
+
+	// Apply consumes every boundary at or before the given cycle, so a
+	// schedule can never be left behind the clock.
+	cfg := propCfg(sim.PolicyBaseline)
+	cfg.NumCPUs = 1
+	cfg.WarmupFrames, cfg.MinFrames = 0, 0
+	s := sim.NewSystem(cfg, nil, []trace.Params{workloads.MustSpec(429).Params})
+	sc.Apply(s, 1500)
+	if sc.next != 3 {
+		t.Fatalf("Apply(1500) left next=%d, want 3", sc.next)
+	}
+	if got := sc.NextChange(1500); got != never {
+		t.Fatalf("exhausted schedule NextChange=%d, want never", got)
+	}
+}
+
+// TestSingleOrNoPhaseIsStatic: specs with no mid-run transitions keep
+// Config.Scenario nil, which is what guarantees the golden suite's
+// static-mix hashes are unchanged by construction.
+func TestSingleOrNoPhaseIsStatic(t *testing.T) {
+	if sc := newSchedule(&Spec{Version: SpecVersion}); sc != nil {
+		t.Fatal("0-phase spec built a schedule")
+	}
+	one := &Spec{Version: SpecVersion, Phases: []Phase{{Name: "only"}}}
+	if sc := newSchedule(one); sc != nil {
+		t.Fatal("1-phase spec built a schedule")
+	}
+}
+
+// TestStaticSpecMatchesMix is the degenerate-case proof: a phase-less
+// scenario declaring exactly mix M7's workloads must produce the same
+// Result as the fixed-mix path, field for field (only the label
+// differs). The scenario engine costs nothing when nothing varies.
+func TestStaticSpecMatchesMix(t *testing.T) {
+	m := workloads.EvalMixes()[6] // M7
+	sp := &Spec{Version: SpecVersion, Game: m.Game}
+	for _, id := range m.SpecIDs {
+		sp.Cores = append(sp.Cores, CoreSpec{SpecID: id})
+	}
+
+	cfg := propCfg(sim.PolicyThrottleCPUPrio)
+	cfg.NumCPUs = len(m.SpecIDs)
+	want := sim.RunMix(cfg, m)
+
+	got, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MixID != "scn:"+sp.Digest() {
+		t.Fatalf("scenario result labeled %q", got.MixID)
+	}
+	got.MixID = want.MixID
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("static scenario diverged from the mix path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunDeterminism: the same spec under the same config produces the
+// same Result, run to run.
+func TestRunDeterminism(t *testing.T) {
+	sp := Rand(7)
+	cfg := propCfg(sim.PolicyBaseline)
+	a, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scenario run is not deterministic:\n  %+v\nvs %+v", a, b)
+	}
+}
+
+// TestBuildConcurrentSharedSpec: sweep cells share one parsed *Spec
+// across goroutines; Build must give each run private schedule and
+// source state. Run under -race this is the aliasing proof.
+func TestBuildConcurrentSharedSpec(t *testing.T) {
+	sp := Rand(11)
+	cfg := propCfg(sim.PolicyThrottle)
+	results := make([]sim.Result, 4)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := Run(cfg, sp)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent run %d diverged", i)
+		}
+	}
+}
+
+// TestValidateRejects is the table of malformed specs a hand-written
+// scenario file might contain; every one must fail loudly.
+func TestValidateRejects(t *testing.T) {
+	nan := math.NaN()
+	base := func() *Spec {
+		return &Spec{Version: SpecVersion, Game: "DOOM3", Cores: []CoreSpec{{SpecID: 429}}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"nil spec", nil},
+		{"wrong version", func(sp *Spec) { sp.Version = 99 }},
+		{"no workloads", func(sp *Spec) { sp.Game = ""; sp.Cores = nil }},
+		{"unknown game", func(sp *Spec) { sp.Game = "PONG" }},
+		{"unknown spec id", func(sp *Spec) { sp.Cores[0].SpecID = 999 }},
+		{"core with both", func(sp *Spec) { sp.Cores[0].Params = &trace.Params{MemPerKilo: 100} }},
+		{"core with neither", func(sp *Spec) { sp.Cores[0] = CoreSpec{} }},
+		{"params NaN fraction", func(sp *Spec) {
+			sp.Cores[0] = CoreSpec{Params: &trace.Params{MemPerKilo: 100, HotFrac: nan}}
+		}},
+		{"params fraction above one", func(sp *Spec) {
+			sp.Cores[0] = CoreSpec{Params: &trace.Params{MemPerKilo: 100, WriteFrac: 1.5}}
+		}},
+		{"params absurd working set", func(sp *Spec) {
+			sp.Cores[0] = CoreSpec{Params: &trace.Params{MemPerKilo: 100, WSBytes: maxWSBytes * 2}}
+		}},
+		{"zero-cycle interior phase", func(sp *Spec) {
+			sp.Phases = []Phase{{Name: "a"}, {Name: "b"}}
+		}},
+		{"timeline overflow", func(sp *Spec) {
+			sp.Phases = []Phase{{Cycles: ^uint64(0)}, {Cycles: 2}, {}}
+		}},
+		{"gpu_scale out of range", func(sp *Spec) {
+			sp.Phases = []Phase{{Cycles: 100, GPUScale: 101}, {}}
+		}},
+		{"gpu_scale NaN", func(sp *Spec) {
+			sp.Phases = []Phase{{Cycles: 100, GPUScale: nan}, {}}
+		}},
+		{"gpu_scale without game", func(sp *Spec) {
+			sp.Game = ""
+			sp.Phases = []Phase{{Cycles: 100, GPUScale: 1.5}, {}}
+		}},
+		{"core change out of range", func(sp *Spec) {
+			sp.Phases = []Phase{{Cycles: 100, Cores: []CoreChange{{Core: 5, SpecID: 429}}}, {}}
+		}},
+		{"core change unresolvable", func(sp *Spec) {
+			sp.Phases = []Phase{{Cycles: 100, Cores: []CoreChange{{Core: 0}}}, {}}
+		}},
+		{"trace_path and inline trace", func(sp *Spec) {
+			sp.TracePath = "x.jsonl"
+			sp.Trace = "{}"
+		}},
+		{"corrupt inline trace", func(sp *Spec) { sp.Trace = "not json\n" }},
+		{"trace drives more cores than spec", func(sp *Spec) {
+			sp.Trace = `{"v":2,"cores":2}` + "\n" +
+				`{"t":"cpu","core":0,"addr":64}` + "\n" +
+				`{"t":"cpu","core":1,"addr":64}` + "\n"
+		}},
+		{"trace frames without game", func(sp *Spec) {
+			sp.Game = ""
+			sp.Trace = `{"v":2,"cores":1}` + "\n" +
+				`{"t":"cpu","core":0,"addr":64}` + "\n" +
+				`{"t":"gpu","scale":1}` + "\n"
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var sp *Spec
+			if tc.mut != nil {
+				sp = base()
+				tc.mut(sp)
+			}
+			if err := sp.Validate(); err == nil {
+				t.Fatalf("Validate accepted %q", tc.name)
+			}
+		})
+	}
+}
+
+// TestParseSpecStrict: a typo in a scenario file is an error, not a
+// silently ignored field.
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"version":1,"game":"DOOM3","gpu_sclae":2}`)); err == nil {
+		t.Fatal("ParseSpec accepted an unknown field")
+	}
+	sp, err := ParseSpec([]byte(`{"version":1,"game":"DOOM3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeTempTrace materializes a small capture on disk for the
+// TracePath flows.
+func writeTempTrace(t *testing.T, cores int, frames []float64) string {
+	t.Helper()
+	tr := &tracev2.Trace{Header: tracev2.Header{V: tracev2.Version, Cores: cores}, Frames: frames}
+	for c := 0; c < cores; c++ {
+		var ops []trace.Op
+		for i := 0; i < 32; i++ {
+			ops = append(ops, trace.Op{NonMem: 3 + (i+c)%7, Addr: uint64(i * 64), Write: (i+c)%5 == 0})
+		}
+		tr.CPU = append(tr.CPU, ops)
+	}
+	var buf bytes.Buffer
+	if err := tracev2.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestInlineMakesSpecSelfContained: Inline swaps the path reference
+// for content, after which the spec no longer needs this filesystem.
+func TestInlineMakesSpecSelfContained(t *testing.T) {
+	path := writeTempTrace(t, 2, []float64{1.0, 1.3})
+	sp := &Spec{
+		Version:   SpecVersion,
+		Game:      "DOOM3",
+		Cores:     []CoreSpec{{SpecID: 429}, {SpecID: 462}},
+		TracePath: path,
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Inline(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.TracePath != "" || sp.Trace == "" {
+		t.Fatalf("Inline left TracePath=%q, len(Trace)=%d", sp.TracePath, len(sp.Trace))
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inlining twice is a no-op.
+	before := sp.Digest()
+	if err := sp.Inline(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Digest() != before {
+		t.Fatal("second Inline changed the spec")
+	}
+}
+
+// TestTraceReplayDeterminism: a replayed capture drives the machine
+// identically on every run, whether referenced by path or inlined.
+func TestTraceReplayDeterminism(t *testing.T) {
+	path := writeTempTrace(t, 2, []float64{1.0, 1.4, 0.8})
+	sp := &Spec{
+		Version:   SpecVersion,
+		Game:      "DOOM3",
+		Cores:     []CoreSpec{{SpecID: 429}, {SpecID: 462}},
+		TracePath: path,
+	}
+	cfg := propCfg(sim.PolicyThrottleCPUPrio)
+
+	byPath, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byPath, again) {
+		t.Fatal("trace replay is not deterministic")
+	}
+
+	inlined := *sp
+	if err := inlined.Inline(); err != nil {
+		t.Fatal(err)
+	}
+	byContent, err := Run(cfg, &inlined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The digests (and so the labels) differ — path vs content — but
+	// the simulation they describe is the same.
+	byContent.MixID, byPath.MixID = "", ""
+	if !reflect.DeepEqual(byContent, byPath) {
+		t.Fatal("inlined capture diverged from the path-referenced one")
+	}
+}
+
+// TestBuildRejects covers the Build-time failures Validate cannot see:
+// an unreadable TracePath and a capture/spec shape mismatch that only
+// materializes on read.
+func TestBuildRejects(t *testing.T) {
+	cfg := propCfg(sim.PolicyBaseline)
+	missing := &Spec{
+		Version:   SpecVersion,
+		Cores:     []CoreSpec{{SpecID: 429}},
+		TracePath: filepath.Join(t.TempDir(), "absent.jsonl"),
+	}
+	if _, err := Build(cfg, missing); err == nil {
+		t.Fatal("Build read a nonexistent trace")
+	}
+
+	path := writeTempTrace(t, 2, nil)
+	narrow := &Spec{
+		Version:   SpecVersion,
+		Cores:     []CoreSpec{{SpecID: 429}}, // trace drives 2 cores
+		TracePath: path,
+	}
+	if _, err := Build(cfg, narrow); err == nil {
+		t.Fatal("Build accepted a capture wider than the spec")
+	}
+}
+
+// TestPhaseBoundariesChangeBehavior is the engine's smoke-level sanity
+// check: a scenario that throttles GPU work mid-run must end with
+// different results than its phase-less prefix — the levers actually
+// move the machine.
+func TestPhaseBoundariesChangeBehavior(t *testing.T) {
+	static := &Spec{
+		Version: SpecVersion,
+		Game:    "DOOM3",
+		Cores:   []CoreSpec{{SpecID: 429}},
+	}
+	varying := &Spec{
+		Version: SpecVersion,
+		Game:    "DOOM3",
+		Cores:   []CoreSpec{{SpecID: 429}},
+		Phases: []Phase{
+			{Name: "calm", Cycles: 20_000},
+			{Name: "storm", GPUScale: 3.0, Cores: []CoreChange{{Core: 0, SpecID: 470}}},
+		},
+	}
+	cfg := propCfg(sim.PolicyBaseline)
+	a, err := Run(cfg, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, varying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.MixID, b.MixID = "", ""
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("phase transitions had no observable effect")
+	}
+}
+
+// TestRunObsLabel pins the journal/report label format.
+func TestRunObsLabel(t *testing.T) {
+	sp := &Spec{Version: SpecVersion, Cores: []CoreSpec{{SpecID: 429}}}
+	cfg := propCfg(sim.PolicyBaseline)
+	r, err := Run(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("scn:%s", sp.Digest())
+	if r.MixID != want {
+		t.Fatalf("MixID %q, want %q", r.MixID, want)
+	}
+}

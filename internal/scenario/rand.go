@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Rand derives a complete random scenario from one seed: core count,
+// per-core workloads (catalog SPEC apps or synthetic parameters drawn
+// from the declared distributions below), a game or none, and a phase
+// timeline with GPU-scale retargets and core swaps. The same seed
+// always produces the same spec — a failing property-suite seed is a
+// complete reproduction recipe — and every spec Rand returns
+// validates (a property the suite asserts directly).
+//
+// Distributions (chosen to straddle the machine's contention knees at
+// the scales the test suites run):
+//   - cores: 1–4, uniform; game: present with probability 3/4
+//   - per-core: catalog app (uniform over SpecIDs) or synthetic with
+//     MemPerKilo ∈ [100,400), WriteFrac ∈ [0.1,0.45), StreamFrac ∈
+//     [0,0.05), HotFrac ∈ [0.9,0.985), HotBytes ∈ {64,128,256} KiB,
+//     WSBytes log-uniform over 2–64 MiB
+//   - phases: 1–4 segments of 10k–120k cycles; each later phase
+//     retargets GPUScale ∈ [0.5,2.0) with probability 1/2 (game
+//     scenarios only) and reswaps each core with probability 1/3
+func Rand(seed uint64) *Spec {
+	r := rng.New(seed)
+	sp := &Spec{Version: SpecVersion, Seed: seed, Name: fmt.Sprintf("rand-%d", seed)}
+
+	games := workloads.Games()
+	if r.Bool(0.75) {
+		sp.Game = games[r.Intn(len(games))].Name
+	}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		sp.Cores = append(sp.Cores, randCore(r))
+	}
+
+	phases := 1 + r.Intn(4)
+	for i := 0; i < phases; i++ {
+		ph := Phase{Name: fmt.Sprintf("phase-%d", i)}
+		if i < phases-1 {
+			ph.Cycles = 10_000 + r.Uint64n(110_000)
+		}
+		if i > 0 {
+			if sp.Game != "" && r.Bool(0.5) {
+				ph.GPUScale = 0.5 + 1.5*r.Float64()
+			}
+			for c := 0; c < n; c++ {
+				if r.Bool(1.0 / 3.0) {
+					cs := randCore(r)
+					ph.Cores = append(ph.Cores, CoreChange{Core: c, SpecID: cs.SpecID, Params: cs.Params})
+				}
+			}
+		}
+		sp.Phases = append(sp.Phases, ph)
+	}
+	return sp
+}
+
+// randCore draws one core workload.
+func randCore(r *rng.RNG) CoreSpec {
+	if r.Bool(0.5) {
+		ids := workloads.SpecIDs()
+		return CoreSpec{SpecID: ids[r.Intn(len(ids))]}
+	}
+	return CoreSpec{Params: randParams(r)}
+}
+
+// randParams draws synthetic trace parameters from the package's
+// declared distributions.
+func randParams(r *rng.RNG) *trace.Params {
+	return &trace.Params{
+		Name:       fmt.Sprintf("synth-%04d", r.Intn(10_000)),
+		MemPerKilo: 100 + r.Intn(300),
+		WriteFrac:  0.1 + 0.35*r.Float64(),
+		StreamFrac: 0.05 * r.Float64(),
+		HotFrac:    0.9 + 0.085*r.Float64(),
+		HotBytes:   uint64(1) << (16 + r.Intn(3)),
+		WSBytes:    uint64(1) << (21 + r.Intn(6)),
+		Seed:       r.Uint64(),
+	}
+}

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/scenario/tracev2"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Build wires a validated spec into a runnable System over the base
+// configuration: NumCPUs comes from the spec's core list, phase 0's
+// settings are applied before the first tick, and — when a tracev2
+// capture is attached — the replay sources and the GPU frame envelope
+// replace the synthetic drivers for the cores and frames the capture
+// covers. Later phases may still swap a replayed core back to a
+// synthetic stream; the timeline always wins.
+func Build(cfg sim.Config, sp *Spec) (*sim.System, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := sp.loadTrace()
+	if err != nil {
+		return nil, err
+	}
+
+	var game *gpu.AppModel
+	if sp.Game != "" {
+		game = workloads.MustGame(sp.Game).Model(cfg.Scale, cfg.GPUFreqHz)
+	} else {
+		// No GPU: frame-based termination gates would never satisfy.
+		cfg.WarmupFrames = 0
+		cfg.MinFrames = 0
+	}
+	apps := make([]trace.Params, len(sp.Cores))
+	for i, c := range sp.Cores {
+		// Validate resolved every core already.
+		apps[i], _ = c.resolve()
+	}
+	cfg.NumCPUs = len(apps)
+	if sc := newSchedule(sp); sc != nil {
+		cfg.Scenario = sc
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := sim.NewSystem(cfg, game, apps)
+	if len(sp.Phases) > 0 {
+		applyPhase(s, sp.Phases[0])
+	}
+	if tr != nil {
+		for i := 0; i < tr.Header.Cores; i++ {
+			s.Cores[i].SetSource(tr.CoreSource(i))
+		}
+		if s.GPU != nil {
+			s.GPU.FrameScale = tr.FrameScaleFunc()
+		}
+	}
+	return s, nil
+}
+
+// loadTrace materializes the spec's capture: inline content wins,
+// else TracePath is read from disk. The parsed trace is cross-checked
+// against the spec shape either way.
+func (sp *Spec) loadTrace() (*tracev2.Trace, error) {
+	content := sp.Trace
+	if content == "" && sp.TracePath != "" {
+		data, err := os.ReadFile(sp.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %v", err)
+		}
+		content = string(data)
+	}
+	if content == "" {
+		return nil, nil
+	}
+	tr, err := tracev2.Parse(strings.NewReader(content))
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.checkTrace(tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Run executes the scenario to completion and returns the result,
+// labeled "scn:<digest>" so reports and journals identify it.
+func Run(cfg sim.Config, sp *Spec) (sim.Result, error) {
+	return RunObs(cfg, sp, nil)
+}
+
+// RunObs is Run with an optional observability recorder attached.
+func RunObs(cfg sim.Config, sp *Spec, rec *obs.Recorder) (sim.Result, error) {
+	s, err := Build(cfg, sp)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.AttachObs(rec)
+	r := sim.Run(s)
+	r.MixID = "scn:" + sp.Digest()
+	return r, nil
+}

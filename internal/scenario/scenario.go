@@ -1,0 +1,350 @@
+// Package scenario composes time-varying simulations: phase schedules
+// that retarget the GPU's frame workload and swap or perturb per-core
+// CPU trace parameters at declared cycle boundaries, seed-driven
+// random scenario generation for property-based campaigns, and replay
+// of externally captured CPU+GPU traces (the tracev2 subpackage).
+//
+// The paper evaluates its throttling proposal on a fixed matrix of
+// SPEC mixes × game regions, but the proposal's whole point is
+// reacting to time-varying GPU demand — app launches, scene changes,
+// frame-rate cliffs. A Spec expresses such a timeline declaratively;
+// Build wires it into a sim.System through the sim.Scenario hook,
+// which both the fast-forward engine (a boundary caps NextWake) and
+// the parallel engine (the conductor applies transitions at its
+// barrier) honor, so a scenario run is deterministic on every engine.
+// A static spec with no phases degenerates to exactly the fixed-mix
+// path — the golden suite's hashes are unchanged by construction.
+//
+// See DESIGN.md §12 for the phase semantics, the tracev2 format, and
+// the property-suite methodology built on this package.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/scenario/tracev2"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// SpecVersion is the spec-format generation this package understands.
+const SpecVersion = 1
+
+// maxWSBytes bounds declared working sets: beyond 64 GiB is spec
+// corruption, not a workload.
+const maxWSBytes = 1 << 36
+
+// CoreSpec selects one core's synthetic workload: a catalog SPEC id
+// (workloads.Spec) or explicit trace parameters, never both.
+type CoreSpec struct {
+	SpecID int           `json:"spec,omitempty"`
+	Params *trace.Params `json:"params,omitempty"`
+}
+
+// resolve returns the trace parameters the core spec denotes.
+func (c CoreSpec) resolve() (trace.Params, error) {
+	switch {
+	case c.SpecID != 0 && c.Params != nil:
+		return trace.Params{}, fmt.Errorf("scenario: core sets both spec %d and explicit params", c.SpecID)
+	case c.SpecID != 0:
+		sp, err := workloads.Spec(c.SpecID)
+		if err != nil {
+			return trace.Params{}, fmt.Errorf("scenario: %v", err)
+		}
+		return sp.Params, nil
+	case c.Params != nil:
+		if err := checkParams(*c.Params); err != nil {
+			return trace.Params{}, err
+		}
+		return *c.Params, nil
+	}
+	return trace.Params{}, fmt.Errorf("scenario: core needs a spec id or explicit params")
+}
+
+// checkParams rejects explicit trace parameters outside the ranges
+// the generator is meant for. The fraction checks are written to
+// catch NaN (which fails every comparison) as well as range errors.
+func checkParams(p trace.Params) error {
+	inUnit := func(f float64) bool { return f >= 0 && f <= 1 }
+	switch {
+	case p.MemPerKilo < 0 || p.MemPerKilo > 1000:
+		return fmt.Errorf("scenario: MemPerKilo %d out of range [0, 1000]", p.MemPerKilo)
+	case !inUnit(p.WriteFrac):
+		return fmt.Errorf("scenario: WriteFrac %g out of range [0, 1]", p.WriteFrac)
+	case !inUnit(p.StreamFrac):
+		return fmt.Errorf("scenario: StreamFrac %g out of range [0, 1]", p.StreamFrac)
+	case !inUnit(p.HotFrac):
+		return fmt.Errorf("scenario: HotFrac %g out of range [0, 1]", p.HotFrac)
+	case p.WSBytes > maxWSBytes:
+		return fmt.Errorf("scenario: WSBytes %d out of range [0, %d]", p.WSBytes, uint64(maxWSBytes))
+	case p.HotBytes > maxWSBytes:
+		return fmt.Errorf("scenario: HotBytes %d out of range [0, %d]", p.HotBytes, uint64(maxWSBytes))
+	}
+	return nil
+}
+
+// CoreChange re-targets one core's workload at a phase boundary.
+type CoreChange struct {
+	Core   int           `json:"core"`
+	SpecID int           `json:"spec,omitempty"`
+	Params *trace.Params `json:"params,omitempty"`
+}
+
+// Phase is one segment of the scenario timeline. Phase 0 begins at
+// cycle 0 (Build applies its settings before the first tick); phase i
+// begins when the previous phases' Cycles have elapsed. Every phase
+// except the last must have a positive duration; the last phase
+// persists to the end of the run regardless of its Cycles.
+type Phase struct {
+	// Name labels the segment ("app-launch", "alt-tab").
+	Name string `json:"name,omitempty"`
+	// Cycles is the segment duration in CPU cycles.
+	Cycles uint64 `json:"cycles,omitempty"`
+	// GPUScale, when positive, retargets the GPU scene-work set-point
+	// as the phase begins (1.0 = the app model's nominal frame).
+	GPUScale float64 `json:"gpu_scale,omitempty"`
+	// Cores swaps per-core workloads as the phase begins.
+	Cores []CoreChange `json:"cores,omitempty"`
+}
+
+// Spec is a complete declarative scenario: the initial workloads plus
+// the phase timeline, optionally driven by a tracev2 capture. It is
+// the unit that participates in the experiment idempotency key — see
+// Digest.
+type Spec struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	// Seed records the generator seed for Rand-produced specs (purely
+	// documentary for hand-written ones, but part of the digest).
+	Seed uint64 `json:"seed,omitempty"`
+	// Game names the GPU workload ("" = no GPU, a CPU-only scenario).
+	Game string `json:"game,omitempty"`
+	// Cores lists the initial per-core workloads; its length is the
+	// system's core count.
+	Cores []CoreSpec `json:"cores,omitempty"`
+	// Phases is the timeline (empty = static, the degenerate case).
+	Phases []Phase `json:"phases,omitempty"`
+
+	// TracePath names a tracev2 file on disk; Trace holds the same
+	// content inline (how a spec travels to a hetsimd server, which
+	// has no access to the client's filesystem — see Inline). At most
+	// one may be set.
+	TracePath string `json:"trace_path,omitempty"`
+	Trace     string `json:"trace,omitempty"`
+}
+
+// ParseSpec decodes a spec strictly: unknown fields are errors, so a
+// typo in a hand-written scenario file fails loudly instead of being
+// silently ignored.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	return &sp, nil
+}
+
+// LoadSpec reads and parses a scenario file. A relative TracePath is
+// resolved against the spec file's own directory — a spec references
+// its sibling capture the same way regardless of the caller's working
+// directory.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	sp, err := ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	if sp.TracePath != "" && !filepath.IsAbs(sp.TracePath) {
+		sp.TracePath = filepath.Join(filepath.Dir(path), sp.TracePath)
+	}
+	return sp, nil
+}
+
+// Validate reports whether the spec describes a runnable scenario.
+// It is pure: a TracePath is checked for shape only when Build (or
+// Inline) reads it.
+func (sp *Spec) Validate() error {
+	if sp == nil {
+		return fmt.Errorf("scenario: nil spec")
+	}
+	if sp.Version != SpecVersion {
+		return fmt.Errorf("scenario: spec version %d (this build understands %d)", sp.Version, SpecVersion)
+	}
+	if len(sp.Cores) > int(mem.SourceGPU) {
+		return fmt.Errorf("scenario: %d cores out of range [0, %d]", len(sp.Cores), int(mem.SourceGPU))
+	}
+	if sp.Game == "" && len(sp.Cores) == 0 {
+		return fmt.Errorf("scenario: needs at least one core or a game")
+	}
+	if sp.Game != "" {
+		if _, err := workloads.GameByName(sp.Game); err != nil {
+			return fmt.Errorf("scenario: %v", err)
+		}
+	}
+	for i, c := range sp.Cores {
+		if _, err := c.resolve(); err != nil {
+			return fmt.Errorf("core %d: %v", i, err)
+		}
+	}
+	var total uint64
+	for i, ph := range sp.Phases {
+		last := i == len(sp.Phases)-1
+		if ph.Cycles == 0 && !last {
+			return fmt.Errorf("scenario: phase %d (%q) has zero duration but is not last", i, ph.Name)
+		}
+		if t := total + ph.Cycles; t < total {
+			return fmt.Errorf("scenario: phase %d (%q) overflows the cycle timeline", i, ph.Name)
+		} else {
+			total = t
+		}
+		if ph.GPUScale != 0 {
+			if math.IsNaN(ph.GPUScale) || ph.GPUScale < 0.05 || ph.GPUScale > 100 {
+				return fmt.Errorf("scenario: phase %d (%q) gpu_scale %g out of range [0.05, 100]", i, ph.Name, ph.GPUScale)
+			}
+			if sp.Game == "" {
+				return fmt.Errorf("scenario: phase %d (%q) sets gpu_scale but the scenario has no game", i, ph.Name)
+			}
+		}
+		for _, ch := range ph.Cores {
+			if ch.Core < 0 || ch.Core >= len(sp.Cores) {
+				return fmt.Errorf("scenario: phase %d (%q) changes core %d, but the scenario has %d core(s)", i, ph.Name, ch.Core, len(sp.Cores))
+			}
+			if _, err := (CoreSpec{SpecID: ch.SpecID, Params: ch.Params}).resolve(); err != nil {
+				return fmt.Errorf("phase %d (%q) core %d: %v", i, ph.Name, ch.Core, err)
+			}
+		}
+	}
+	if sp.TracePath != "" && sp.Trace != "" {
+		return fmt.Errorf("scenario: trace_path and inline trace are mutually exclusive")
+	}
+	if sp.Trace != "" {
+		tr, err := tracev2.Parse(strings.NewReader(sp.Trace))
+		if err != nil {
+			return err
+		}
+		if err := sp.checkTrace(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTrace cross-checks a parsed capture against the spec shape.
+func (sp *Spec) checkTrace(tr *tracev2.Trace) error {
+	if tr.Header.Cores > len(sp.Cores) {
+		return fmt.Errorf("scenario: trace drives %d core(s) but the spec declares %d", tr.Header.Cores, len(sp.Cores))
+	}
+	if len(tr.Frames) > 0 && sp.Game == "" {
+		return fmt.Errorf("scenario: trace has GPU frame records but the spec has no game")
+	}
+	return nil
+}
+
+// Inline replaces a TracePath reference with the file's content, so
+// the spec becomes self-contained for submission to a server. A spec
+// without a TracePath is returned unchanged.
+func (sp *Spec) Inline() error {
+	if sp.TracePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(sp.TracePath)
+	if err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	if _, err := tracev2.Parse(strings.NewReader(string(data))); err != nil {
+		return err
+	}
+	sp.Trace = string(data)
+	sp.TracePath = ""
+	return nil
+}
+
+// Digest is the spec's identity in experiment keys: the first 12 hex
+// characters of the sha256 of its canonical JSON encoding. Two specs
+// digest equal exactly when every field — including an inlined trace —
+// is equal, which is what makes "scn/<digest>/<policy>" an idempotency
+// key.
+func (sp *Spec) Digest() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// schedule implements sim.Scenario for a validated spec: bounds[i] is
+// the absolute cycle at which phase i begins, next indexes the first
+// phase not yet applied. Phase 0 is applied by Build before the first
+// tick, so a fresh schedule starts with next = 1.
+type schedule struct {
+	phases []Phase
+	bounds []uint64
+	next   int
+}
+
+// newSchedule lays out the phase timeline; nil when the spec has no
+// transitions to apply mid-run (the static degenerate case keeps
+// Config.Scenario nil and costs nothing).
+func newSchedule(sp *Spec) *schedule {
+	if len(sp.Phases) < 2 {
+		return nil
+	}
+	sc := &schedule{phases: sp.Phases, next: 1}
+	sc.bounds = make([]uint64, len(sp.Phases))
+	var at uint64
+	for i, ph := range sp.Phases {
+		sc.bounds[i] = at
+		at += ph.Cycles
+	}
+	return sc
+}
+
+// Apply implements sim.Scenario.
+func (sc *schedule) Apply(s *sim.System, cycle uint64) {
+	for sc.next < len(sc.phases) && sc.bounds[sc.next] <= cycle {
+		applyPhase(s, sc.phases[sc.next])
+		sc.next++
+	}
+}
+
+// NextChange implements sim.Scenario.
+func (sc *schedule) NextChange(now uint64) uint64 {
+	for i := sc.next; i < len(sc.phases); i++ {
+		if sc.bounds[i] > now {
+			return sc.bounds[i]
+		}
+	}
+	return ^uint64(0)
+}
+
+// applyPhase drives the phase's settings through the System's levers.
+// Validate has already resolved every workload, so resolution cannot
+// fail here.
+func applyPhase(s *sim.System, ph Phase) {
+	if ph.GPUScale > 0 && s.GPU != nil {
+		s.GPU.SetWorkScale(ph.GPUScale)
+	}
+	for _, ch := range ph.Cores {
+		p, err := (CoreSpec{SpecID: ch.SpecID, Params: ch.Params}).resolve()
+		if err != nil {
+			continue
+		}
+		s.SetCoreWorkload(ch.Core, p)
+	}
+}

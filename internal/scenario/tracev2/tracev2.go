@@ -1,0 +1,199 @@
+// Package tracev2 defines the versioned JSONL trace-replay format the
+// scenario engine uses to drive both sides of the machine from an
+// externally captured CPU+GPU access trace (DESIGN.md §12).
+//
+// A tracev2 file is line-delimited JSON. The first line is a Header
+// ({"v":2,...}); every following line is one Record, either a CPU op
+// ({"t":"cpu","core":0,"nm":12,"addr":4096,"w":true} — nm plain
+// instructions, then one memory reference) or a GPU frame-work sample
+// ({"t":"gpu","frame":0,"scale":1.25}). CPU addresses are
+// region-relative: the replay source adds the owning core's address
+// region (mem.CPURegion), so captured traces stay disjoint across
+// cores exactly like synthetic streams. GPU records carry only the
+// per-frame work multiplier — the envelope the throttling policies
+// react to — while intra-frame access patterns remain the app model's;
+// see DESIGN.md for why that is the faithful replay boundary.
+//
+// Both replay directions loop when the simulation outlives the
+// capture, so trace length bounds fidelity, not run length. The
+// format is versioned by the header: readers reject any "v" they do
+// not understand instead of guessing.
+package tracev2
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Version is the format generation this package reads and writes.
+const Version = 2
+
+// MaxLine bounds one JSONL line; a longer line is corruption, not
+// data.
+const MaxLine = 1 << 20
+
+// Header is the first line of a tracev2 file.
+type Header struct {
+	V     int    `json:"v"`
+	Name  string `json:"name,omitempty"`
+	Cores int    `json:"cores"`
+	Game  string `json:"game,omitempty"`
+}
+
+// Record is one trace line after the header.
+type Record struct {
+	T      string  `json:"t"`                // "cpu" | "gpu"
+	Core   int     `json:"core,omitempty"`   // cpu: owning core index
+	NonMem int     `json:"nm,omitempty"`     // cpu: plain instructions before the reference
+	Addr   uint64  `json:"addr,omitempty"`   // cpu: region-relative byte address
+	Write  bool    `json:"w,omitempty"`      // cpu: the reference is a store
+	Frame  int     `json:"frame,omitempty"`  // gpu: frame index (informational)
+	Scale  float64 `json:"scale,omitempty"`  // gpu: work multiplier for that frame
+}
+
+// Trace is a fully parsed capture.
+type Trace struct {
+	Header Header
+	CPU    [][]trace.Op // per-core op streams, region-relative addresses
+	Frames []float64    // per-frame work multipliers, in file order
+}
+
+// Parse reads a tracev2 stream. Every line must parse, the header
+// version must match, and every declared core must have at least one
+// op (an empty stream cannot feed a core).
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxLine)
+	line := 0
+	var tr *Trace
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if tr == nil {
+			var h Header
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("tracev2: line %d: bad header: %v", line, err)
+			}
+			if h.V != Version {
+				return nil, fmt.Errorf("tracev2: line %d: version %d (this reader understands %d)", line, h.V, Version)
+			}
+			if h.Cores < 0 || h.Cores > int(mem.SourceGPU) {
+				return nil, fmt.Errorf("tracev2: line %d: cores %d out of range [0, %d]", line, h.Cores, int(mem.SourceGPU))
+			}
+			tr = &Trace{Header: h, CPU: make([][]trace.Op, h.Cores)}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("tracev2: line %d: %v", line, err)
+		}
+		switch rec.T {
+		case "cpu":
+			if rec.Core < 0 || rec.Core >= tr.Header.Cores {
+				return nil, fmt.Errorf("tracev2: line %d: core %d out of range [0, %d)", line, rec.Core, tr.Header.Cores)
+			}
+			if rec.NonMem < 0 {
+				return nil, fmt.Errorf("tracev2: line %d: negative nm %d", line, rec.NonMem)
+			}
+			tr.CPU[rec.Core] = append(tr.CPU[rec.Core], trace.Op{NonMem: rec.NonMem, Addr: rec.Addr, Write: rec.Write})
+		case "gpu":
+			if !(rec.Scale > 0) || rec.Scale > 1e6 {
+				return nil, fmt.Errorf("tracev2: line %d: scale %g out of range (0, 1e6]", line, rec.Scale)
+			}
+			tr.Frames = append(tr.Frames, rec.Scale)
+		default:
+			return nil, fmt.Errorf("tracev2: line %d: unknown record type %q", line, rec.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracev2: %v", err)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("tracev2: empty input (missing header)")
+	}
+	for i, ops := range tr.CPU {
+		if len(ops) == 0 {
+			return nil, fmt.Errorf("tracev2: core %d declared but has no ops", i)
+		}
+	}
+	return tr, nil
+}
+
+// Write emits tr in canonical order — header, then core 0's ops
+// through core N-1's, then the frame envelope — so writing a parsed
+// trace reproduces an equivalent file byte-for-byte.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := tr.Header
+	h.V = Version
+	h.Cores = len(tr.CPU)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for core, ops := range tr.CPU {
+		for _, op := range ops {
+			rec := Record{T: "cpu", Core: core, NonMem: op.NonMem, Addr: op.Addr, Write: op.Write}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for i, s := range tr.Frames {
+		if err := enc.Encode(Record{T: "gpu", Frame: i, Scale: s}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CoreSource returns a looping trace.Source over core i's captured
+// ops, with addresses offset into the core's address region. The
+// source is deterministic and not safe for concurrent use; each core
+// owns one, like a synthetic Generator.
+func (tr *Trace) CoreSource(i int) trace.Source {
+	return &loopSource{ops: tr.CPU[i], base: mem.CPURegion(i)}
+}
+
+// FrameScaleFunc returns the per-frame work-multiplier envelope for
+// gpu.GPU.FrameScale, looping over the captured frames; nil when the
+// capture has no GPU records (the model then drives itself).
+func (tr *Trace) FrameScaleFunc() func(frame int) (float64, bool) {
+	if len(tr.Frames) == 0 {
+		return nil
+	}
+	frames := tr.Frames
+	return func(frame int) (float64, bool) {
+		if frame < 0 {
+			frame = 0
+		}
+		return frames[frame%len(frames)], true
+	}
+}
+
+// loopSource replays a captured op stream forever.
+type loopSource struct {
+	ops  []trace.Op
+	base uint64
+	pos  int
+}
+
+// Next implements trace.Source.
+func (l *loopSource) Next() trace.Op {
+	op := l.ops[l.pos]
+	l.pos++
+	if l.pos == len(l.ops) {
+		l.pos = 0
+	}
+	op.Addr += l.base
+	return op
+}

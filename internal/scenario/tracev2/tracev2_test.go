@@ -1,0 +1,149 @@
+package tracev2
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// sample builds a small two-core capture with a GPU envelope.
+func sample() *Trace {
+	return &Trace{
+		Header: Header{V: Version, Name: "sample", Cores: 2, Game: "DOOM3"},
+		CPU: [][]trace.Op{
+			{{NonMem: 3, Addr: 64}, {NonMem: 0, Addr: 128, Write: true}},
+			{{NonMem: 9, Addr: 4096}},
+		},
+		Frames: []float64{1.0, 1.5, 0.75},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWriteCanonical: writing a parsed trace reproduces the writer's
+// own output byte-for-byte, which is what makes a capture re-emittable
+// without churn.
+func TestWriteCanonical(t *testing.T) {
+	var a bytes.Buffer
+	if err := Write(&a, sample()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Write(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("re-emitted capture is not byte-identical:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"blank lines only", "\n\n\n"},
+		{"bad header json", "{bad\n"},
+		{"wrong version", `{"v":1,"cores":1}` + "\n" + `{"t":"cpu","core":0}` + "\n"},
+		{"cores negative", `{"v":2,"cores":-1}` + "\n"},
+		{"cores too many", `{"v":2,"cores":999}` + "\n"},
+		{"bad record json", `{"v":2,"cores":1}` + "\n" + "{bad\n"},
+		{"core out of range", `{"v":2,"cores":1}` + "\n" + `{"t":"cpu","core":1,"addr":64}` + "\n"},
+		{"negative nm", `{"v":2,"cores":1}` + "\n" + `{"t":"cpu","core":0,"nm":-1}` + "\n"},
+		{"zero scale", `{"v":2,"cores":0}` + "\n" + `{"t":"gpu","scale":0}` + "\n"},
+		{"huge scale", `{"v":2,"cores":0}` + "\n" + `{"t":"gpu","scale":1e7}` + "\n"},
+		{"nan scale", `{"v":2,"cores":0}` + "\n" + `{"t":"gpu","scale":null}` + "\n"},
+		{"unknown type", `{"v":2,"cores":0}` + "\n" + `{"t":"dma"}` + "\n"},
+		{"declared core without ops", `{"v":2,"cores":2}` + "\n" + `{"t":"cpu","core":0,"addr":64}` + "\n"},
+		{"oversize line", `{"v":2,"cores":0}` + "\n" + `{"t":"gpu","scale":1,"pad":"` + strings.Repeat("x", MaxLine+1) + `"}` + "\n"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("Parse accepted %q", tc.name)
+			}
+		})
+	}
+}
+
+// TestParseSkipsBlankLines: interior blank lines are formatting, not
+// corruption.
+func TestParseSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"v":2,"cores":1}` + "\n\n" + `{"t":"cpu","core":0,"addr":64}` + "\n\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.CPU[0]) != 1 {
+		t.Fatalf("got %d ops, want 1", len(tr.CPU[0]))
+	}
+}
+
+// TestCoreSourceLoopsWithRegionOffset: the replay source must loop
+// forever and keep every address inside the owning core's region, like
+// a synthetic generator.
+func TestCoreSourceLoopsWithRegionOffset(t *testing.T) {
+	tr := sample()
+	src := tr.CoreSource(1)
+	base := mem.CPURegion(1)
+	for i := 0; i < 5; i++ {
+		op := src.Next()
+		if op.Addr != base+4096 {
+			t.Fatalf("iteration %d: addr %#x, want %#x", i, op.Addr, base+4096)
+		}
+		if op.NonMem != 9 {
+			t.Fatalf("iteration %d: nm %d, want 9", i, op.NonMem)
+		}
+	}
+	// Two independent sources over the same core do not share state.
+	a, b := tr.CoreSource(0), tr.CoreSource(0)
+	a.Next()
+	if got, want := b.Next().Addr, mem.CPURegion(0)+64; got != want {
+		t.Fatalf("sources share position: addr %#x, want %#x", got, want)
+	}
+}
+
+func TestFrameScaleFuncLoops(t *testing.T) {
+	tr := sample()
+	f := tr.FrameScaleFunc()
+	if f == nil {
+		t.Fatal("FrameScaleFunc returned nil for a capture with frames")
+	}
+	for frame, want := range []float64{1.0, 1.5, 0.75, 1.0, 1.5} {
+		got, ok := f(frame)
+		if !ok || got != want {
+			t.Fatalf("frame %d: got (%g, %v), want (%g, true)", frame, got, ok, want)
+		}
+	}
+	if got, ok := f(-3); !ok || got != 1.0 {
+		t.Fatalf("negative frame: got (%g, %v), want (1, true)", got, ok)
+	}
+
+	none := &Trace{Header: Header{V: Version}}
+	if none.FrameScaleFunc() != nil {
+		t.Fatal("FrameScaleFunc must be nil when the capture has no GPU records")
+	}
+}

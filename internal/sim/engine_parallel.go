@@ -244,6 +244,24 @@ func (e *parEngine) tick() {
 	s := e.s
 	s.cycle++
 	e.ticks++
+	// Scenario transitions mirror System.Tick's hook. Settling every
+	// domain first makes Apply observe — and mutate — the exact state
+	// the sequential loop would have at this cycle; boundaries are
+	// rare, so the extra materialization is noise.
+	if s.scenario != nil && s.cycle >= s.scNext {
+		e.settleAll()
+		s.scenario.Apply(s, s.cycle)
+		s.scNext = s.scenario.NextChange(s.cycle)
+		// A mutated domain's cached wake bound may no longer be a
+		// proof of deadness; engaging everything for this one cycle is
+		// always equivalent to the sequential loop.
+		for _, d := range e.cores {
+			d.wake = 0
+		}
+		if e.gpu != nil {
+			e.gpu.wake = 0
+		}
+	}
 	s.Ring.Tick()
 
 	holdLLC := s.faults != nil && s.faults.HoldLLCIntake(s.cycle)

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConfigValidate throws arbitrary field values at Config.Validate.
+// Properties: Validate never panics, is idempotent, and an accepted
+// configuration has finite float parameters (NaN fails every
+// comparison, so a naive range check would wave it through — the
+// Validate cases are written !(ok) to close exactly that hole).
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(96, 4, 4e9, 1e9, uint64(4), 40.0, uint64(50_000), 2, uint64(200_000), 4, uint64(1_000_000_000), 0, 0)
+	f.Add(1, 0, 1.0, 1.0, uint64(1), 0.0, uint64(1), 0, uint64(1), 0, uint64(1), 0, 0)
+	f.Add(256, 8, math.NaN(), 1e9, uint64(4), 40.0, uint64(1), 1, uint64(1), 1, uint64(1), 2, 64)
+	f.Add(-1, -1, -1.0, math.Inf(1), uint64(0), math.NaN(), uint64(0), -1, uint64(0), -1, uint64(0), -1, -1)
+	f.Fuzz(func(t *testing.T, scale, ncpu int, cpuHz, gpuHz float64, div uint64, fps float64,
+		warm uint64, warmF int, meas uint64, minF int, maxCycles uint64, threads, epoch int) {
+		cfg := Config{
+			Scale: scale, NumCPUs: ncpu,
+			CPUFreqHz: cpuHz, GPUFreqHz: gpuHz, GPUDivider: div,
+			TargetFPS:   fps,
+			WarmupInstr: warm, WarmupFrames: warmF,
+			MeasureInstr: meas, MinFrames: minF, MaxCycles: maxCycles,
+			IntraThreads: threads, EpochLen: epoch,
+		}
+		err := cfg.Validate()
+		if err2 := cfg.Validate(); (err == nil) != (err2 == nil) {
+			t.Fatalf("Validate is not idempotent: %v then %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{cfg.CPUFreqHz, cfg.GPUFreqHz, cfg.TargetFPS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Validate accepted a non-finite float: %+v", cfg)
+			}
+		}
+		if cfg.Scale < 1 || cfg.MeasureInstr < 1 || cfg.MaxCycles < 1 {
+			t.Fatalf("Validate accepted an unrunnable config: %+v", cfg)
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Campaign suite: randomized time-varying scenarios driven through
+// every engine the simulator has, asserting the cross-cutting
+// properties no single unit test can see (DESIGN.md §12). This lives
+// in package sim_test because it imports internal/scenario, which
+// imports sim.
+//
+// Per generated scenario (seed-deterministic; a failure names the
+// seed, which is a complete reproduction recipe via scenario.Rand):
+//
+//  1. conservation + monotonicity — a manual tick loop across phase
+//     boundaries holds the PR-2 read-conservation invariant at every
+//     audit and never moves a cycle/retired counter backwards;
+//  2. fast-forward equivalence — the quiescence-skipping run is
+//     digest-identical to the naive reference loop;
+//  3. engine equivalence — the intra-run parallel engine is
+//     digest-identical to the sequential one;
+//  4. journal fidelity — the result survives the crash-safe journal
+//     byte-identically and replays equal.
+//
+// Scenario count: HETSIM_SCENARIOS (make chaos runs 200+); base seed:
+// HETSIM_SCENARIO_SEED (make soak randomizes it and the log names it).
+package sim_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// campaignPolicies is every policy the paper evaluates; each scenario
+// draws one by seed so a 200-scenario campaign covers all nine many
+// times over.
+var campaignPolicies = []sim.Policy{
+	sim.PolicyBaseline,
+	sim.PolicyThrottle,
+	sim.PolicyThrottleCPUPrio,
+	sim.PolicySMS09,
+	sim.PolicySMS0,
+	sim.PolicyDynPrio,
+	sim.PolicyHeLM,
+	sim.PolicyForcedBypass,
+	sim.PolicyCMBAL,
+}
+
+// campaignCfg mirrors the scenario package's property-run size, with
+// one deliberate difference: MaxCycles is a small hard cap, so every
+// run costs a bounded, known number of ticks no matter what workload
+// the generator drew. A capped run is still fully deterministic — the
+// equivalence digests must match HitCap and all — which makes the cap
+// boundary itself a tested property (the engines must stop on the
+// same cycle), and is what lets a 200-scenario campaign finish under
+// -race on a small machine.
+func campaignCfg(p sim.Policy) sim.Config {
+	cfg := sim.DefaultConfig(256)
+	cfg.Policy = p
+	cfg.WarmupInstr = 1_000
+	cfg.WarmupFrames = 1
+	cfg.MeasureInstr = 2_500
+	cfg.MinFrames = 1
+	cfg.MaxCycles = 150_000
+	return cfg
+}
+
+// campaignSize resolves the scenario budget: the env knob wins (make
+// chaos sets 200, make soak more), else a commuter-size default keeps
+// plain `go test ./...` fast.
+func campaignSize(t *testing.T) (n int, base uint64) {
+	n, base = 24, 1
+	if v := os.Getenv("HETSIM_SCENARIOS"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			t.Fatalf("bad HETSIM_SCENARIOS %q", v)
+		}
+		n = k
+	}
+	if v := os.Getenv("HETSIM_SCENARIO_SEED"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad HETSIM_SCENARIO_SEED %q", v)
+		}
+		base = s
+	}
+	return n, base
+}
+
+// scenarioDigest runs the spec with full observability attached and
+// hashes the Result plus the sampled metrics CSV and trace JSON — the
+// same surface the golden and fast-forward suites pin, so "equal
+// digest" means observably indistinguishable, sample for sample.
+func scenarioDigest(t *testing.T, cfg sim.Config, sp *scenario.Spec) (sim.Result, string) {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	r, err := scenario.RunObs(cfg, sp, rec)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sp.Seed, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n", r)
+	if err := rec.WriteCSV(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteTrace(h, cfg.Policy.String()); err != nil {
+		t.Fatal(err)
+	}
+	return r, hex.EncodeToString(h.Sum(nil))
+}
+
+// campaignTicks bounds the per-scenario manual tick loop (property 1);
+// phase durations start at 10k cycles, so the loop crosses real
+// boundaries for most seeds.
+const campaignTicks = 12_288
+
+// campaignAudit is the conservation-snapshot stride.
+const campaignAudit = 2048
+
+// TestScenarioCampaign generates N random scenarios and proves the
+// four campaign properties on each. Subtests are named by seed: a
+// failure line carries everything needed to reproduce it.
+func TestScenarioCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign skipped in -short mode")
+	}
+	n, base := campaignSize(t)
+	t.Logf("campaign: %d scenarios, base seed %d", n, base)
+	for i := 0; i < n; i++ {
+		seed := base + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sp := scenario.Rand(seed)
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("seed %d: generator emitted an invalid spec: %v", seed, err)
+			}
+			cfg := campaignCfg(campaignPolicies[seed%uint64(len(campaignPolicies))])
+
+			checkInvariants(t, cfg, sp)
+
+			// Property 2+3 against one naive sequential reference.
+			ref := cfg
+			ref.NoParallel = true
+			ref.NoFastForward = true
+			refRes, refDigest := scenarioDigest(t, ref, sp)
+			if refRes.Interrupted || refRes.Stalled {
+				t.Fatalf("seed %d: reference run aborted: %+v", seed, refRes)
+			}
+
+			ff := cfg
+			ff.NoParallel = true
+			if _, d := scenarioDigest(t, ff, sp); d != refDigest {
+				t.Errorf("seed %d: fast-forward digest %s != naive %s", seed, d, refDigest)
+			}
+
+			par := cfg
+			par.IntraThreads = 2
+			if _, d := scenarioDigest(t, par, sp); d != refDigest {
+				t.Errorf("seed %d: parallel digest %s != sequential %s", seed, d, refDigest)
+			}
+
+			checkJournalFidelity(t, sp, refRes)
+		})
+	}
+}
+
+// checkInvariants is campaign property 1: drive a fresh system tick by
+// tick — phase transitions land through the same Tick hook the engines
+// use — and hold conservation and monotonicity at every audit.
+func checkInvariants(t *testing.T, cfg sim.Config, sp *scenario.Spec) {
+	t.Helper()
+	s, err := scenario.Build(cfg, sp)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sp.Seed, err)
+	}
+	var lastCycle, lastGPU uint64
+	lastRetired := make([]uint64, len(s.Cores))
+	for i := 0; i < campaignTicks; i++ {
+		s.Tick()
+		if s.Cycle() <= lastCycle {
+			t.Fatalf("seed %d cycle %d: clock did not advance", sp.Seed, s.Cycle())
+		}
+		lastCycle = s.Cycle()
+		if s.Cycle()%campaignAudit != 0 {
+			continue
+		}
+		if a := s.AuditReads(); !a.Conserved() {
+			t.Fatalf("seed %d cycle %d: reads not conserved: injected %d != delivered %d + in-flight %d",
+				sp.Seed, s.Cycle(), a.Injected, a.Delivered, a.InFlight)
+		}
+		if s.GPU != nil {
+			if g := s.GPU.Cycle(); g < lastGPU {
+				t.Fatalf("seed %d cycle %d: GPU cycle went backwards: %d -> %d", sp.Seed, s.Cycle(), lastGPU, g)
+			} else {
+				lastGPU = g
+			}
+		}
+		for ci, c := range s.Cores {
+			if r := c.Retired(); r < lastRetired[ci] {
+				t.Fatalf("seed %d cycle %d: core %d retired went backwards: %d -> %d",
+					sp.Seed, s.Cycle(), ci, lastRetired[ci], r)
+			} else {
+				lastRetired[ci] = r
+			}
+		}
+	}
+	if a := s.AuditReads(); a.Injected == 0 {
+		t.Fatalf("seed %d: no read traffic flowed in %d ticks", sp.Seed, campaignTicks)
+	}
+}
+
+// checkJournalFidelity is campaign property 4: the scenario's result
+// written through the crash-safe journal comes back DeepEqual on
+// reopen, and appending the identical record again produces a
+// byte-identical line — the determinism a resumed sweep's
+// byte-identical CSV stands on.
+func checkJournalFidelity(t *testing.T, sp *scenario.Spec, res sim.Result) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	key := fmt.Sprintf("%s/%d", sp.Digest(), res.Policy)
+	rec := exp.Record{Kind: exp.KindScenario, Key: key, Result: &res}
+
+	j, _, _, err := exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firstLine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, stats, err := exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped() != 0 {
+		t.Fatalf("seed %d: clean journal reported damage: %+v", sp.Seed, stats)
+	}
+	if len(recs) != 1 || recs[0].Kind != exp.KindScenario || recs[0].Key != key {
+		t.Fatalf("seed %d: journal replay returned %+v", sp.Seed, recs)
+	}
+	if recs[0].Result == nil || !reflect.DeepEqual(*recs[0].Result, res) {
+		t.Fatalf("seed %d: journaled result diverged:\n got %+v\nwant %+v", sp.Seed, recs[0].Result, res)
+	}
+	if err := j2.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	both, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := both[len(firstLine):]
+	if !bytes.Equal(second, firstLine) {
+		t.Fatalf("seed %d: re-journaled line is not byte-identical:\n%s\nvs\n%s", sp.Seed, second, firstLine)
+	}
+}
+
+// TestScenarioBoundaryOnEveryEngine pins the sharpest corner the
+// campaign samples only probabilistically: a phase boundary placed
+// mid-run must land on the exact same cycle under the naive loop, the
+// fast-forward engine (NextWake is capped by the boundary), and the
+// parallel engine (the conductor applies it at the epoch barrier).
+func TestScenarioBoundaryOnEveryEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential runs skipped in -short mode")
+	}
+	sp := &scenario.Spec{
+		Version: scenario.SpecVersion,
+		Game:    "DOOM3",
+		Cores:   []scenario.CoreSpec{{SpecID: 429}, {SpecID: 470}},
+		Phases: []scenario.Phase{
+			{Name: "launch", Cycles: 30_000},
+			{Name: "cutscene", Cycles: 25_000, GPUScale: 2.0},
+			{Name: "gameplay", GPUScale: 0.6,
+				Cores: []scenario.CoreChange{{Core: 0, SpecID: 462}, {Core: 1, SpecID: 450}}},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range campaignPolicies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			ref := campaignCfg(p)
+			ref.NoParallel = true
+			ref.NoFastForward = true
+			_, want := scenarioDigest(t, ref, sp)
+
+			ff := campaignCfg(p)
+			ff.NoParallel = true
+			if _, got := scenarioDigest(t, ff, sp); got != want {
+				t.Errorf("fast-forward digest %s != naive %s", got, want)
+			}
+
+			par := campaignCfg(p)
+			par.IntraThreads = 2
+			if _, got := scenarioDigest(t, par, sp); got != want {
+				t.Errorf("parallel digest %s != sequential %s", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioCPUOnlyEngines covers the no-GPU wiring on all three
+// engines (Build drops the frame gates; the GPU domain is absent from
+// the parallel conductor).
+func TestScenarioCPUOnlyEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential runs skipped in -short mode")
+	}
+	sp := &scenario.Spec{
+		Version: scenario.SpecVersion,
+		Cores:   []scenario.CoreSpec{{SpecID: 429}, {SpecID: 482}},
+		Phases: []scenario.Phase{
+			{Name: "warm", Cycles: 20_000},
+			{Name: "swap", Cores: []scenario.CoreChange{{Core: 1, SpecID: 437}}},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := campaignCfg(sim.PolicyThrottleCPUPrio)
+	ref.NoParallel = true
+	ref.NoFastForward = true
+	_, want := scenarioDigest(t, ref, sp)
+
+	ff := campaignCfg(sim.PolicyThrottleCPUPrio)
+	ff.NoParallel = true
+	if _, got := scenarioDigest(t, ff, sp); got != want {
+		t.Errorf("fast-forward digest %s != naive %s", got, want)
+	}
+	par := campaignCfg(sim.PolicyThrottleCPUPrio)
+	par.IntraThreads = 2
+	if _, got := scenarioDigest(t, par, sp); got != want {
+		t.Errorf("parallel digest %s != sequential %s", got, want)
+	}
+}

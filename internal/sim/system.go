@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/cache"
@@ -150,6 +151,28 @@ type WakeFaultInjector interface {
 	NextFault(now uint64) uint64
 }
 
+// Scenario mutates a running System at declared cycle boundaries —
+// phase schedules that retarget the GPU's frame workload or swap a
+// core's instruction stream mid-run (internal/scenario implements it;
+// the interface lives here, like FaultInjector, so sim need not import
+// the package that drives it). The contract mirrors
+// WakeFaultInjector: Apply must mutate only through the published
+// levers (SetCoreWorkload, Core.SetSource, GPU.SetWorkScale), all of
+// which are safe with outstanding skip debt, and NextChange must be
+// exact — the engines land a real Tick on every boundary it reports,
+// and never tick Apply between boundaries. Same schedule plus same
+// cycle sequence must produce the same mutations, or run determinism
+// (and the scenario property suite) is lost.
+type Scenario interface {
+	// Apply performs every transition due at or before cycle. It runs
+	// at the top of the boundary cycle's Tick, before any component
+	// steps.
+	Apply(s *System, cycle uint64)
+	// NextChange returns the earliest cycle > now at which Apply must
+	// run again (^uint64(0) = no further transitions).
+	NextChange(now uint64) uint64
+}
+
 // Config parameterizes a simulated system.
 type Config struct {
 	Scale      int     // capacity/work divisor (1 = paper-size)
@@ -194,6 +217,13 @@ type Config struct {
 	// nothing and changes nothing.
 	Faults FaultInjector
 
+	// Scenario, when non-nil, applies time-varying workload
+	// transitions at declared cycle boundaries (DESIGN.md §12). Nil —
+	// every static mix run — costs one comparison per Tick and changes
+	// nothing, which is why the golden hashes are the scenario
+	// engine's degenerate case.
+	Scenario Scenario
+
 	// NoFastForward disables the quiescence-driven fast-forward in
 	// Run (DESIGN.md §9), forcing the naive tick-every-cycle
 	// reference loop. Fast-forward is observably identical to naive
@@ -234,14 +264,16 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("sim: Scale %d out of range (want >= 1)", cfg.Scale)
 	case cfg.NumCPUs < 0 || cfg.NumCPUs > int(mem.SourceGPU):
 		return fmt.Errorf("sim: NumCPUs %d out of range [0, %d]", cfg.NumCPUs, int(mem.SourceGPU))
-	case cfg.CPUFreqHz <= 0:
-		return fmt.Errorf("sim: CPUFreqHz %g must be positive", cfg.CPUFreqHz)
-	case cfg.GPUFreqHz <= 0:
-		return fmt.Errorf("sim: GPUFreqHz %g must be positive", cfg.GPUFreqHz)
+	// The float checks are written as !(ok) so NaN — which fails every
+	// comparison — is rejected rather than slipping through.
+	case !(cfg.CPUFreqHz > 0) || math.IsInf(cfg.CPUFreqHz, 0):
+		return fmt.Errorf("sim: CPUFreqHz %g must be positive and finite", cfg.CPUFreqHz)
+	case !(cfg.GPUFreqHz > 0) || math.IsInf(cfg.GPUFreqHz, 0):
+		return fmt.Errorf("sim: GPUFreqHz %g must be positive and finite", cfg.GPUFreqHz)
 	case cfg.GPUDivider < 1:
 		return fmt.Errorf("sim: GPUDivider %d out of range (want >= 1)", cfg.GPUDivider)
-	case cfg.TargetFPS < 0:
-		return fmt.Errorf("sim: TargetFPS %g must be non-negative", cfg.TargetFPS)
+	case !(cfg.TargetFPS >= 0) || math.IsInf(cfg.TargetFPS, 0):
+		return fmt.Errorf("sim: TargetFPS %g must be non-negative and finite", cfg.TargetFPS)
 	case cfg.MeasureInstr < 1:
 		return fmt.Errorf("sim: MeasureInstr must be positive")
 	case cfg.MaxCycles < 1:
@@ -312,6 +344,11 @@ type System struct {
 
 	// faults is Cfg.Faults, cached so Tick's nil check stays cheap.
 	faults FaultInjector
+
+	// scenario is Cfg.Scenario, cached like faults; scNext is the next
+	// cycle at which it must run (never when exhausted or absent).
+	scenario Scenario
+	scNext   uint64
 }
 
 // NewSystem builds a system running game (nil = no GPU workload) and
@@ -322,7 +359,10 @@ func NewSystem(cfg Config, game *gpu.AppModel, cpuApps []trace.Params) *System {
 		// Validate first so users see an error, not this stack trace.
 		panic(err.Error())
 	}
-	s := &System{Cfg: cfg, faults: cfg.Faults}
+	s := &System{Cfg: cfg, faults: cfg.Faults, scenario: cfg.Scenario, scNext: never}
+	if s.scenario != nil {
+		s.scNext = s.scenario.NextChange(0)
+	}
 
 	nodes := cfg.NumCPUs + 2 // cores + GPU + LLC
 	if nodes < 3 {
@@ -460,6 +500,14 @@ func (s *System) Cycle() uint64 { return s.cycle }
 // Tick advances the whole system one CPU cycle.
 func (s *System) Tick() {
 	s.cycle++
+	// Scenario phase transitions fire before any component steps, so a
+	// swapped trace source or retargeted GPU scale is what this cycle
+	// simulates. The parallel engine mirrors this hook at the top of
+	// its barrier (engine_parallel.go).
+	if s.scenario != nil && s.cycle >= s.scNext {
+		s.scenario.Apply(s, s.cycle)
+		s.scNext = s.scenario.NextChange(s.cycle)
+	}
 	s.Ring.Tick()
 
 	// Fault-injection hooks (nil-guarded: the common no-faults path
@@ -538,6 +586,15 @@ func (s *System) NextWake() uint64 {
 			wake = f
 		}
 	}
+	// A scenario boundary caps the sleep the same way a predicted
+	// fault does: the engine must land a real Tick on the boundary
+	// cycle so Apply runs there, exactly as under naive ticking.
+	if s.scenario != nil && s.scNext < wake {
+		wake = s.scNext
+		if wake <= now {
+			wake = now + 1
+		}
+	}
 	return wake
 }
 
@@ -604,6 +661,20 @@ func (s *System) SkipTo(target uint64) {
 		c.Skip(n)
 	}
 	s.cycle = target
+}
+
+// SetCoreWorkload swaps core i's instruction stream for a fresh
+// generator over p, scaled and region-based exactly as NewSystem
+// builds the initial one. It is the scenario engine's CPU lever: the
+// swap takes effect at the core's next instruction fetch, touches no
+// in-flight state (the current op and outstanding misses drain
+// normally), and is deterministic under fast-forward and the parallel
+// engine because Core.Skip never reads the stream.
+func (s *System) SetCoreWorkload(i int, p trace.Params) {
+	if i < 0 || i >= len(s.Cores) {
+		return
+	}
+	s.Cores[i].SetSource(trace.NewGenerator(p.Scale(s.Cfg.Scale), mem.CPURegion(i)))
 }
 
 // MixWorkload resolves a workloads.Mix into model inputs.

@@ -1,0 +1,36 @@
+package workloads
+
+import "testing"
+
+// FuzzMixValidate drives Mix.Validate with arbitrary IDs, games, and
+// spec lists. Properties: Validate never panics, and a mix it accepts
+// is actually buildable — every Must* lookup the system constructors
+// perform on it succeeds (Validate's whole purpose is to front-run
+// those panics with a clear error).
+func FuzzMixValidate(f *testing.F) {
+	f.Add("M7", "DOOM3", 429, 462, 450, 470, 4)
+	f.Add("W3", "COD2", 481, 0, 0, 0, 1)
+	f.Add("", "", 0, 0, 0, 0, 0)
+	f.Add("M99", "PONG", -1, 999, 403, 403, 3)
+	f.Fuzz(func(t *testing.T, id, game string, a, b, c, d, n int) {
+		ids := []int{a, b, c, d}
+		if n < 0 {
+			n = 0
+		}
+		if n > len(ids) {
+			n = len(ids)
+		}
+		m := Mix{ID: id, Game: game, SpecIDs: ids[:n]}
+		if err := m.Validate(); err != nil {
+			return
+		}
+		// Accepted: the Must paths the simulator takes may not panic.
+		MustGame(m.Game)
+		for _, sid := range m.SpecIDs {
+			MustSpec(sid)
+		}
+		if len(m.SpecIDs) == 0 {
+			t.Fatalf("Validate accepted a mix with no CPU applications: %+v", m)
+		}
+	})
+}

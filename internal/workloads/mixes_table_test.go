@@ -1,0 +1,58 @@
+package workloads
+
+import "testing"
+
+// TestAllMixesValidateAndRoundTrip is the Table III drift guard: every
+// catalog mix (evaluation M1–M14 and motivation W1–W14) validates
+// against the game and SPEC catalogs, carries a unique ID, and round-
+// trips through MixByID to an identical value. A typo introduced into
+// any catalog table fails here, not inside a MustGame deep in a run.
+func TestAllMixesValidateAndRoundTrip(t *testing.T) {
+	all := append(EvalMixes(), MotivationMixes()...)
+	if len(all) != 28 {
+		t.Fatalf("catalog has %d mixes, want 28 (M1-M14 + W1-W14)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s does not validate: %v", m.ID, err)
+		}
+		if seen[m.ID] {
+			t.Errorf("duplicate mix ID %s", m.ID)
+		}
+		seen[m.ID] = true
+
+		got, err := MixByID(m.ID)
+		if err != nil {
+			t.Errorf("MixByID(%s): %v", m.ID, err)
+			continue
+		}
+		if got.ID != m.ID || got.Game != m.Game || len(got.SpecIDs) != len(m.SpecIDs) {
+			t.Errorf("MixByID(%s) round-tripped to %+v, want %+v", m.ID, got, m)
+			continue
+		}
+		for i := range m.SpecIDs {
+			if got.SpecIDs[i] != m.SpecIDs[i] {
+				t.Errorf("MixByID(%s).SpecIDs[%d] = %d, want %d", m.ID, i, got.SpecIDs[i], m.SpecIDs[i])
+			}
+		}
+	}
+	// The high/low FPS split partitions the evaluation mixes exactly.
+	hi, lo := HighFPSMixes(), LowFPSMixes()
+	if len(hi) != 6 || len(lo) != 8 {
+		t.Fatalf("FPS split is %d high + %d low, want 6 + 8", len(hi), len(lo))
+	}
+	split := map[string]bool{}
+	for _, m := range append(hi, lo...) {
+		if split[m.ID] {
+			t.Errorf("mix %s appears in both FPS classes", m.ID)
+		}
+		split[m.ID] = true
+		if m.ID[0] != 'M' {
+			t.Errorf("FPS-classified mix %s is not an evaluation mix", m.ID)
+		}
+	}
+	if len(split) != 14 {
+		t.Fatalf("FPS split covers %d mixes, want all 14 evaluation mixes", len(split))
+	}
+}
