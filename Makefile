@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json cover chaos fuzz soak serve-smoke ci
+.PHONY: all build vet test race bench bench-json cover chaos chaos-fleet fuzz soak serve-smoke ci
 
 all: ci
 
@@ -44,6 +44,19 @@ chaos:
 	$(GO) test -race -timeout 15m -count=1 -run 'Chaos|ResumeRequires' ./cmd/hetsimd
 	$(GO) test -race -timeout 10m -count=1 ./internal/scenario/...
 	HETSIM_SCENARIOS=$(CHAOS_SCENARIOS) $(GO) test -race -timeout 25m -count=1 -run 'TestScenario' ./internal/sim
+
+# Fleet chaos gate (DESIGN.md §13.5): the distributed tentpole's
+# acceptance test as choreography. A seed-deterministic 210-task
+# campaign runs against one plain hetsimd for reference bytes, then
+# against a 3-worker fleet that loses a worker to SIGKILL and then the
+# coordinator itself, restarted with -resume under live retrying
+# clients. Byte-identical convergence, zero recompute of keys the
+# coordinator had completed (checked against the workers' own run
+# journals), zero quarantines, and grant-ledger conservation over the
+# wire — plus the fleet package's own lease/steal/replay suite.
+chaos-fleet:
+	$(GO) test -race -timeout 10m -count=1 ./internal/fleet
+	$(GO) test -race -timeout 20m -count=1 -run 'ChaosFleet|FleetResumeRequires' ./cmd/hetsimfleet
 
 # The campaign gate (DESIGN.md §12): CHAOS_SCENARIOS random scenarios
 # on a fixed seed base, each proving read conservation + monotone
@@ -151,5 +164,5 @@ cover:
 			{ echo "FAIL: internal/$$pkg coverage $$total% below $(MIN_COVER)%"; exit 1; }; \
 	done
 
-ci: vet build test race bench cover chaos serve-smoke
+ci: vet build test race bench cover chaos chaos-fleet serve-smoke
 	-$(MAKE) bench-json

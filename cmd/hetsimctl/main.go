@@ -19,14 +19,25 @@
 // inlined before submission — and is idempotent by content digest, so
 // rerunning the same file against the same server replays the
 // memoized result.
+//
+// -addr accepts a comma-separated list of nodes. With several, each
+// task is routed to the node its key hashes to (stable FNV-1a
+// sharding, so resubmissions and status queries land on the same node
+// without any coordination), metrics aggregates every node's
+// /metricsz, and wait-ready waits for all of them, printing each
+// node's identity line (version, engine, uptime, queue depth). One
+// hetsimfleet coordinator address works the same way — the fleet does
+// its own sharding behind one public API.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/client"
@@ -39,13 +50,21 @@ import (
 func main() { os.Exit(realMain()) }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
+	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port[,host:port...]] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
 	flag.PrintDefaults()
+}
+
+// shard picks the node a key routes to: stable content hashing, so the
+// same key always lands on the same node of an unchanged -addr list.
+func shard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
 }
 
 func realMain() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "hetsimd address (host:port)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address(es), comma-separated; tasks shard across them by key hash")
 		timeout  = flag.Duration("timeout", 0, "per-run deadline sent to the server (0 = none)")
 		deadline = flag.Duration("deadline", 0, "overall client deadline for this invocation (0 = none)")
 		verbose  = flag.Bool("v", false, "log client retries to stderr")
@@ -67,11 +86,29 @@ func realMain() int {
 		defer cancel()
 	}
 
-	c := client.New("http://" + *addr)
-	if *verbose {
-		c.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "hetsimctl: "+format+"\n", args...)
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
 		}
+	}
+	if len(addrs) == 0 {
+		cliutil.Errorf("-addr: no addresses")
+		return cliutil.ExitUsage
+	}
+	clients := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = client.New("http://" + a)
+		if *verbose {
+			a := a
+			clients[i].Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hetsimctl["+a+"]: "+format+"\n", args...)
+			}
+		}
+	}
+	// clientFor routes a task key to its shard's node.
+	clientFor := func(key string) *client.Client {
+		return clients[shard(key, len(clients))]
 	}
 
 	cmd, keys := flag.Arg(0), flag.Args()[1:]
@@ -120,8 +157,9 @@ func realMain() int {
 		}
 		failed := 0
 		for _, spec := range specs {
+			cl := clientFor(spec.Key())
 			if cmd == "submit" {
-				sr, err := c.Submit(ctx, spec, *timeout)
+				sr, err := cl.Submit(ctx, spec, *timeout)
 				if err != nil {
 					cliutil.Errorf("%v", err)
 					failed++
@@ -130,7 +168,7 @@ func realMain() int {
 				fmt.Printf("%s\t%s\n", sr.Key, sr.Status)
 				continue
 			}
-			res, err := c.Run(ctx, spec, *timeout)
+			res, err := cl.Run(ctx, spec, *timeout)
 			if err != nil {
 				cliutil.Errorf("run %s: %v", spec.Key(), err)
 				failed++
@@ -148,7 +186,7 @@ func realMain() int {
 			cliutil.Errorf("status: need exactly one task key")
 			return cliutil.ExitUsage
 		}
-		sr, known, err := c.Status(ctx, keys[0], 0)
+		sr, known, err := clientFor(keys[0]).Status(ctx, keys[0], 0)
 		if err != nil {
 			cliutil.Errorf("%v", err)
 			return cliutil.ExitRuntime
@@ -169,7 +207,7 @@ func realMain() int {
 			cliutil.Errorf("result: need exactly one task key")
 			return cliutil.ExitUsage
 		}
-		rr, err := c.Result(ctx, keys[0])
+		rr, err := clientFor(keys[0]).Result(ctx, keys[0])
 		if err != nil {
 			cliutil.Errorf("%v", err)
 			return cliutil.ExitRuntime
@@ -178,18 +216,26 @@ func realMain() int {
 		return cliutil.ExitOK
 
 	case "metrics":
-		m, err := c.Metrics(ctx)
-		if err != nil {
-			cliutil.Errorf("%v", err)
-			return cliutil.ExitRuntime
+		// Aggregate across every node: same-named series sum, so a
+		// sharded campaign's totals read like one server's.
+		agg := make(map[string]float64)
+		for i, cl := range clients {
+			m, err := cl.Metrics(ctx)
+			if err != nil {
+				cliutil.Errorf("%s: %v", addrs[i], err)
+				return cliutil.ExitRuntime
+			}
+			for name, v := range m {
+				agg[name] += v
+			}
 		}
-		names := make([]string, 0, len(m))
-		for name := range m {
+		names := make([]string, 0, len(agg))
+		for name := range agg {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("%s %g\n", name, m[name])
+			fmt.Printf("%s %g\n", name, agg[name])
 		}
 		return cliutil.ExitOK
 
@@ -200,11 +246,21 @@ func realMain() int {
 			wctx, cancel = context.WithTimeout(ctx, 30*time.Second)
 			defer cancel()
 		}
-		if err := c.Ready(wctx); err != nil {
-			cliutil.Errorf("%v", err)
-			return cliutil.ExitRuntime
+		for i, cl := range clients {
+			if err := cl.Ready(wctx); err != nil {
+				cliutil.Errorf("%s: %v", addrs[i], err)
+				return cliutil.ExitRuntime
+			}
+			// Ready nodes identify themselves: version, engine, uptime,
+			// and queue depth, so scripts can spot a stale or cold node.
+			h, err := cl.Health(wctx)
+			if err != nil {
+				cliutil.Errorf("%s: %v", addrs[i], err)
+				return cliutil.ExitRuntime
+			}
+			fmt.Printf("ready\t%s\tversion=%s\tengine=%s\tuptime_s=%.1f\tqueue_depth=%d\n",
+				addrs[i], h.Version, h.Engine, h.UptimeS, h.QueueDepth)
 		}
-		fmt.Println("ready")
 		return cliutil.ExitOK
 	}
 	cliutil.Errorf("unknown command %q", cmd)

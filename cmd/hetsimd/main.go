@@ -24,6 +24,15 @@
 // exit. Killing the daemon outright (SIGKILL) loses nothing either:
 // the journal is fsynced per record, and retrying clients converge to
 // the same results after -resume.
+//
+// With -join, the daemon doubles as a fleet worker (DESIGN.md §13): it
+// registers with the hetsimfleet coordinator at the given URL, polls
+// for task leases, executes them through the same local runner (so
+// leased runs share the daemon's memo, journal, and engine config),
+// heartbeats while running, and reports typed outcomes. A worker that
+// loses its coordinator keeps polling with backoff and reattaches when
+// it returns; a worker killed outright simply stops heartbeating and
+// its leases are stolen by the rest of the fleet.
 package main
 
 import (
@@ -35,8 +44,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -62,6 +73,8 @@ func realMain() int {
 		seq      = flag.Bool("seq", false, "daemon-wide default: sequential tick engine (a task's engine field still overrides)")
 		scnFile  = flag.String("scenario", "", "enqueue this scenario spec file at startup (a campaign is data, not code)")
 		scnPol   = flag.String("scenario-policy", "baseline", "policy for the -scenario run")
+		joinURL  = flag.String("join", "", "hetsimfleet coordinator URL: also run as a fleet worker, executing leased tasks on this node")
+		workerID = flag.String("worker-id", "", "stable worker identity for -join (default: the listen address)")
 	)
 	flag.Parse()
 
@@ -187,6 +200,34 @@ func realMain() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// Fleet worker mode: lease tasks from the coordinator and execute
+	// them on this node's runner. The agent lives on the signal context
+	// — a shutdown stops leasing immediately; the in-flight lease is
+	// cancelled at its next interrupt poll and the coordinator re-grants
+	// it elsewhere, which is exactly what happens on SIGKILL too.
+	var agentDone chan struct{}
+	if *joinURL != "" {
+		id := *workerID
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		ag := &fleet.Agent{
+			Coordinator: client.New(*joinURL),
+			WorkerID:    id,
+			URL:         "http://" + ln.Addr().String(),
+			RunFunc:     runner.Do,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hetsimd: "+format+"\n", args...)
+			},
+		}
+		fmt.Fprintf(os.Stderr, "hetsimd: joining fleet at %s as %q\n", *joinURL, id)
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			_ = ag.Run(ctx)
+		}()
+	}
+
 	select {
 	case err := <-serveErr:
 		cliutil.Errorf("%v", err)
@@ -200,6 +241,14 @@ func realMain() int {
 	fmt.Fprintln(os.Stderr, "hetsimd: draining...")
 	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
 	defer dcancel()
+	if agentDone != nil {
+		// The agent saw the same signal; wait for it to deregister so
+		// the coordinator re-grants our leases without a TTL wait.
+		select {
+		case <-agentDone:
+		case <-dctx.Done():
+		}
+	}
 	queued, derr := s.Drain(dctx)
 	if derr != nil {
 		cliutil.Errorf("drain: %v", derr)

@@ -1,0 +1,146 @@
+// Command hetsimfleet coordinates a fleet of hetsimd workers
+// (DESIGN.md §13): it serves the same public API as one hetsimd —
+// hetsimctl and internal/client drive it unchanged — but instead of
+// simulating locally it shards the campaign across workers that joined
+// with `hetsimd -join`, using lease-based dispatch with heartbeat
+// renewal and work-stealing on expiry.
+//
+//	hetsimfleet -addr 127.0.0.1:9090 -journal fleet.jsonl
+//	hetsimd -addr 127.0.0.1:8081 -join http://127.0.0.1:9090 -journal w1.jsonl
+//	hetsimd -addr 127.0.0.1:8082 -join http://127.0.0.1:9090 -journal w2.jsonl
+//	hetsimctl -addr 127.0.0.1:9090 run mix/M7/2
+//
+// Results are content-addressed by task key: a completed key is never
+// executed again — not on resubmission, not after a worker SIGKILL
+// (its leases expire and are stolen), not after a coordinator restart
+// with -resume (the journal replays the store, the pending queue, and
+// re-arms in-flight leases). Tasks that panic on enough distinct
+// workers are quarantined with the stack preserved instead of rolling
+// through the whole fleet.
+//
+// The first SIGINT/SIGTERM drains: admission and new grants stop,
+// in-flight leases get up to -grace to report, and pending work stays
+// journaled for the next -resume. SIGKILL at any instant is equivalent
+// to a crash the journal already covers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/fleet"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "listen address (host:port, port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the actual listen address here once serving (for scripts and tests)")
+		queue    = flag.Int("queue", 4096, "pending-queue bound; submissions beyond it are shed with 429")
+		leaseTTL = flag.Duration("lease", 15*time.Second, "lease TTL: a grant not renewed within it is re-enqueued for stealing")
+		quarN    = flag.Int("quarantine-threshold", 2, "distinct workers whose panics quarantine a task")
+		maxAtt   = flag.Int("max-attempts", 16, "grants per task before it is quarantined as a lease black hole")
+		grace    = flag.Duration("grace", 30*time.Second, "drain grace: how long shutdown waits for in-flight leases")
+		journalF = flag.String("journal", "", "append fleet lifecycle + results to this crash-safe JSONL journal")
+		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed keys serve from the store, pending re-enqueue, leases re-arm")
+	)
+	flag.Parse()
+
+	if *resumeF && *journalF == "" {
+		cliutil.Errorf("-resume requires -journal")
+		return cliutil.ExitUsage
+	}
+
+	var journal *exp.Journal
+	var recs []exp.Record
+	if *journalF != "" {
+		j, r, jstats, err := exp.OpenJournal(*journalF)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		defer j.Close()
+		journal = j
+		recs = r
+		if jstats.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: skipped %d corrupt line(s), repaired %d torn tail(s)\n",
+				*journalF, jstats.CorruptLines, jstats.TornTail)
+		}
+	}
+
+	c := fleet.New(fleet.Config{
+		LeaseTTL:            *leaseTTL,
+		QueueDepth:          *queue,
+		QuarantineThreshold: *quarN,
+		MaxAttempts:         *maxAtt,
+		Journal:             journal,
+	})
+	if *resumeF {
+		st := c.Replay(recs)
+		fmt.Fprintf(os.Stderr,
+			"resumed from %s: %d completed, %d pending, %d lease(s) re-armed, %d quarantined, %d unrecoverable, %d foreign record(s)\n",
+			*journalF, st.Completed, st.Pending, st.Leased, st.Quarantined, st.Unrecoverable, st.Ignored)
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	// The lease sweeper outlives the first signal: expiry must keep
+	// working through the drain so stuck leases still release.
+	sweepCtx, sweepCancel := context.WithCancel(context.Background())
+	defer sweepCancel()
+	c.Start(sweepCtx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hetsimfleet: coordinating on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admission and grants, give in-flight leases -grace to
+	// report (the HTTP server stays up so completions still land), then
+	// stop. Pending tasks are already journaled from admission.
+	fmt.Fprintln(os.Stderr, "hetsimfleet: draining...")
+	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+	defer dcancel()
+	queued, inflight := c.Drain(dctx)
+	fmt.Fprintf(os.Stderr, "hetsimfleet: drained (%d pending journaled, %d lease(s) abandoned to the journal)\n", queued, inflight)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+	}
+	return cliutil.ExitOK
+}

@@ -1,0 +1,387 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// chaosCampaign derives a ≥200-task campaign from one seed: every
+// standalone, a random slice of the mix×policy grid, and a tail of
+// random scenarios (unique by content digest). Deterministic, so the
+// reference run and the chaos run drive the identical task set.
+func chaosCampaign(t *testing.T, seed int64) []exp.TaskSpec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var specs []exp.TaskSpec
+	for _, id := range workloads.SpecIDs() {
+		specs = append(specs, exp.CPUTaskSpec(id))
+	}
+	for _, g := range workloads.Games() {
+		specs = append(specs, exp.GPUTaskSpec(g.Name))
+	}
+	type combo struct {
+		mix string
+		pol sim.Policy
+	}
+	var combos []combo
+	for _, m := range append(workloads.EvalMixes(), workloads.MotivationMixes()...) {
+		for p := 0; p < 9; p++ {
+			combos = append(combos, combo{m.ID, sim.Policy(p)})
+		}
+	}
+	rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	for _, c := range combos[:43] {
+		specs = append(specs, exp.MixTaskSpec(c.mix, c.pol))
+	}
+	for len(specs) < 210 {
+		sp := scenario.Rand(rng.Uint64())
+		specs = append(specs, exp.ScenarioTaskSpec(sp, sim.Policy(rng.Intn(9))))
+	}
+	keys := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("campaign spec %s: %v", spec.Key(), err)
+		}
+		keys[spec.Key()] = true
+	}
+	if len(keys) < 200 {
+		t.Fatalf("campaign has %d distinct keys, want >= 200", len(keys))
+	}
+	return specs
+}
+
+// buildBin compiles one cmd package into a throwaway binary so the
+// chaos choreography crosses real process boundaries: SIGKILL, fsync,
+// exit codes, TCP reconnects.
+func buildBin(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// proc is one fleet process under test: the running command plus its
+// captured stderr for post-mortems.
+type proc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startProc launches bin with args plus an -addr/-addr-file pair and
+// waits for the address file.
+func startProc(t *testing.T, bin, addr string, args ...string) *proc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	full := append([]string{"-addr", addr, "-addr-file", addrFile}, args...)
+	p := &proc{cmd: exec.Command(bin, full...), stderr: &bytes.Buffer{}}
+	p.cmd.Stderr = p.stderr
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			p.addr = string(raw)
+			return p
+		}
+		if time.Now().After(deadline) {
+			p.cmd.Process.Kill()
+			t.Fatalf("%s never wrote its address file; stderr:\n%s", bin, p.stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// chaosClient is tuned to ride out a coordinator restart: fast,
+// persistent retries well past the kill→resume window.
+func chaosClient(addr string) *client.Client {
+	c := client.New("http://" + addr)
+	c.MaxAttempts = 60
+	c.BaseBackoff = 25 * time.Millisecond
+	c.MaxBackoff = 250 * time.Millisecond
+	c.PollWait = 500 * time.Millisecond
+	return c
+}
+
+// runCampaign drives every spec through a bounded submitter pool and
+// returns key→canonical JSON of the result.
+func runCampaign(t *testing.T, addr string, specs []exp.TaskSpec) map[string][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	results := make(map[string][]byte, len(specs))
+	var mu sync.Mutex
+	sem := make(chan struct{}, 32)
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		wg.Add(1)
+		go func(spec exp.TaskSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := chaosClient(addr).Run(ctx, spec, 0)
+			if err != nil {
+				t.Errorf("run %s: %v", spec.Key(), err)
+				return
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Errorf("marshal %s: %v", spec.Key(), err)
+				return
+			}
+			mu.Lock()
+			results[spec.Key()] = raw
+			mu.Unlock()
+		}(spec)
+	}
+	wg.Wait()
+	return results
+}
+
+// completionCounts parses a journal file into full-task-key →
+// completion-record count. Only execution records count (kinds mix/
+// gpu/cpu/scn); lease lifecycle and queued records are skipped, as is
+// a torn tail from a SIGKILL mid-append.
+func completionCounts(path string) map[string]int {
+	taskKinds := map[string]bool{
+		exp.KindMix: true, exp.KindGPU: true, exp.KindCPU: true, exp.KindScenario: true,
+	}
+	counts := map[string]int{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return counts
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec exp.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		if taskKinds[rec.Kind] {
+			counts[rec.Kind+"/"+rec.Key]++
+		}
+	}
+	return counts
+}
+
+func totalCompletions(path string) int {
+	n := 0
+	for _, c := range completionCounts(path) {
+		n += c
+	}
+	return n
+}
+
+// TestChaosFleetKillWorkerAndCoordinatorConverges is the tentpole's
+// acceptance test: a seed-deterministic ≥200-task campaign on a
+// 3-worker fleet, SIGKILL one worker mid-campaign, then SIGKILL the
+// coordinator, restart it with -resume on the same address and
+// journal, and require
+//
+//   - every client converges to results byte-identical to the same
+//     campaign against a single plain hetsimd (the fleet is pure
+//     orchestration);
+//   - zero recompute: no key completed at the coordinator before its
+//     SIGKILL is executed again afterwards, measured against the
+//     workers' own run journals;
+//   - nothing quarantined, and the resumed coordinator's grant
+//     counters conserve.
+func TestChaosFleetKillWorkerAndCoordinatorConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	specs := chaosCampaign(t, 20170529)
+	binDir := t.TempDir()
+	fleetBin := buildBin(t, binDir, "hetsimfleet", ".")
+	hetsimdBin := buildBin(t, binDir, "hetsimd", "repro/cmd/hetsimd")
+
+	// Reference: the same campaign against one plain hetsimd node. The
+	// fleet must reproduce these bytes exactly — same engine config,
+	// different orchestration.
+	ref := startProc(t, hetsimdBin, "127.0.0.1:0", "-scale", "256", "-fast", "-queue", "256")
+	want := runCampaign(t, ref.addr, specs)
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.cmd.Wait()
+	if t.Failed() {
+		t.Fatalf("reference campaign failed; chaos run not attempted; stderr:\n%s", ref.stderr.String())
+	}
+	if len(want) != len(specs) {
+		t.Fatalf("reference campaign returned %d results, want %d", len(want), len(specs))
+	}
+
+	// Fleet under chaos: coordinator + 3 joined workers, each with its
+	// own run journal (the execution evidence for the zero-recompute
+	// check). Lease TTL 5s: generous next to the TTL/3 heartbeat, short
+	// enough that stealing from a SIGKILLed worker doesn't stall the
+	// test.
+	dir := t.TempDir()
+	fleetJournal := filepath.Join(dir, "fleet.jsonl")
+	coord := startProc(t, fleetBin, "127.0.0.1:0",
+		"-journal", fleetJournal, "-lease", "5s", "-grace", "10s")
+
+	workerJournals := make([]string, 3)
+	workers := make([]*proc, 3)
+	for i := range workers {
+		workerJournals[i] = filepath.Join(dir, fmt.Sprintf("w%d.jsonl", i+1))
+		workers[i] = startProc(t, hetsimdBin, "127.0.0.1:0",
+			"-scale", "256", "-fast", "-workers", "1",
+			"-join", "http://"+coord.addr, "-worker-id", fmt.Sprintf("w%d", i+1),
+			"-journal", workerJournals[i])
+	}
+
+	done := make(chan map[string][]byte, 1)
+	go func() { done <- runCampaign(t, coord.addr, specs) }()
+
+	awaitCompletions := func(n int, what string) {
+		deadline := time.Now().Add(4 * time.Minute)
+		for totalCompletions(fleetJournal) < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("coordinator journal never reached %d completions before %s; stderr:\n%s",
+					n, what, coord.stderr.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Chaos step 1: SIGKILL a worker mid-campaign. Its leases stop
+	// heartbeating, expire, and are stolen by the survivors.
+	awaitCompletions(25, "worker SIGKILL")
+	if err := workers[2].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	workers[2].cmd.Wait()
+
+	// Chaos step 2: SIGKILL the coordinator itself, snapshotting what
+	// it had completed (journal is fsynced per record, so the snapshot
+	// is exactly the pre-crash store).
+	awaitCompletions(60, "coordinator SIGKILL")
+	if err := coord.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	coord.cmd.Wait()
+	completedPreKill := completionCounts(fleetJournal)
+	preKill := make([]map[string]int, len(workerJournals))
+	for i, j := range workerJournals {
+		preKill[i] = completionCounts(j)
+	}
+	t.Logf("SIGKILLed coordinator after %d of %d completions (worker w3 killed earlier)",
+		len(completedPreKill), len(specs))
+
+	// Restart on the SAME address with -resume: the journal replays the
+	// store and the pending queue, live workers reattach by themselves,
+	// and the already-running clients converge without rediscovery.
+	coord2 := startProc(t, fleetBin, coord.addr,
+		"-journal", fleetJournal, "-resume", "-lease", "5s", "-grace", "10s")
+
+	// The killed worker comes back too, resuming its own run journal:
+	// its memo replays, so a re-leased key it already executed serves
+	// from memory without a new execution record.
+	w3b := startProc(t, hetsimdBin, "127.0.0.1:0",
+		"-scale", "256", "-fast", "-workers", "1",
+		"-join", "http://"+coord.addr, "-worker-id", "w3",
+		"-journal", workerJournals[2], "-resume")
+
+	got := <-done
+	if t.Failed() {
+		t.Fatalf("chaos campaign failed; coordinator stderr:\n%s", coord2.stderr.String())
+	}
+	for _, spec := range specs {
+		key := spec.Key()
+		if !bytes.Equal(got[key], want[key]) {
+			t.Errorf("%s: fleet result differs from single-node run\nwant %s\ngot  %s",
+				key, want[key], got[key])
+		}
+	}
+
+	// Fleet health after convergence: nothing quarantined, every
+	// campaign key in the store, and the resumed coordinator's grant
+	// ledger conserves (granted = completed + expired + failed +
+	// in-flight).
+	mctx, mcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer mcancel()
+	m, err := chaosClient(coord2.addr).Metrics(mctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["fleet_quarantined"] != 0 {
+		t.Errorf("fleet_quarantined = %g, want 0", m["fleet_quarantined"])
+	}
+	if int(m["fleet_store_size"]) != len(specs) {
+		t.Errorf("fleet_store_size = %g, want %d", m["fleet_store_size"], len(specs))
+	}
+	if granted, acct := m["fleet_leases_granted"],
+		m["fleet_grants_completed"]+m["fleet_leases_expired"]+m["fleet_grants_failed"]+m["fleet_leases_inflight"]; granted != acct {
+		t.Errorf("grant ledger does not conserve: granted %g != completed+expired+failed+inflight %g", granted, acct)
+	}
+
+	// Graceful teardown: workers first (they deregister), the resumed
+	// coordinator last; all must exit 0.
+	for i, w := range []*proc{workers[0], workers[1], w3b} {
+		w.cmd.Process.Signal(syscall.SIGTERM)
+		if err := w.cmd.Wait(); err != nil {
+			t.Errorf("worker %d exit: %v; stderr:\n%s", i+1, err, w.stderr.String())
+		}
+	}
+	coord2.cmd.Process.Signal(syscall.SIGTERM)
+	if err := coord2.cmd.Wait(); err != nil {
+		t.Errorf("coordinator exit: %v; stderr:\n%s", err, coord2.stderr.String())
+	}
+
+	// Zero recompute, measured where execution actually happens: a key
+	// the coordinator had completed before its SIGKILL must gain no new
+	// execution record in any worker's journal afterwards. (Duplicates
+	// from before the crash — a worker that finished but died before
+	// reporting — are inherent to at-least-once dispatch and excluded.)
+	for key := range completedPreKill {
+		for i, j := range workerJournals {
+			if after := completionCounts(j)[key] - preKill[i][key]; after != 0 {
+				t.Errorf("completed key %s was re-executed %d time(s) on w%d after the coordinator crash",
+					key, after, i+1)
+			}
+		}
+	}
+}
+
+// TestFleetResumeRequiresJournal: flag validation crosses the process
+// boundary with the usage exit code.
+func TestFleetResumeRequiresJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildBin(t, t.TempDir(), "hetsimfleet", ".")
+	err := exec.Command(bin, "-resume").Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("hetsimfleet -resume (no -journal) exited %v, want exit code 2", err)
+	}
+}

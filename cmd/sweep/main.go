@@ -68,6 +68,7 @@ func realMain() int {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
 		journalF = flag.String("journal", "", "append each finished cell to this crash-safe JSONL journal")
 		resumeF  = flag.String("resume", "", "resume from this journal (implies -journal on the same file)")
+		compact  = flag.Bool("compact", false, "rewrite the journal to one record per cell before sweeping (requires -journal or -resume)")
 		metrics  = flag.String("metrics-out", "", "write every cell's sampled time series (CSV sections) here")
 		traceF   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON here (one process per cell)")
 		stride   = flag.Uint64("metrics-stride", 0, "CPU cycles between metric samples (0 = default)")
@@ -188,6 +189,19 @@ func realMain() int {
 		if *resumeF != "" {
 			fmt.Fprintf(os.Stderr, "resuming from %s: %d cell(s) journaled\n", journalPath, len(cached))
 		}
+		if *compact {
+			// Shed superseded records (atomic rename, replay-identical by
+			// construction: the journal keeps each cell's latest record).
+			kept, dropped, err := j.Compact()
+			if err != nil {
+				cliutil.Errorf("%v", err)
+				return cliutil.ExitRuntime
+			}
+			fmt.Fprintf(os.Stderr, "compacted %s: kept %d record(s), dropped %d\n", journalPath, kept, dropped)
+		}
+	} else if *compact {
+		cliutil.Errorf("-compact requires -journal or -resume")
+		return cliutil.ExitUsage
 	}
 
 	type cell struct {

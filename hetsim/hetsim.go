@@ -28,6 +28,7 @@ package hetsim
 import (
 	"repro/internal/exp"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -259,3 +260,20 @@ func BuildScenario(cfg Config, sp *ScenarioSpec) (*System, error) { return scena
 
 // ScenarioTaskSpec builds the service task form of a scenario run.
 func ScenarioTaskSpec(sp *ScenarioSpec, p Policy) TaskSpec { return exp.ScenarioTaskSpec(sp, p) }
+
+// FleetCoordinator shards campaigns across hetsimd workers with
+// lease-based dispatch, a content-addressed result store, and
+// journal-backed zero-recompute recovery (DESIGN.md §13). It serves
+// the same public HTTP API as one hetsimd node.
+type FleetCoordinator = fleet.Coordinator
+
+// FleetConfig parameterizes a FleetCoordinator.
+type FleetConfig = fleet.Config
+
+// FleetAgent is the worker half of the lease protocol: hetsimd -join
+// runs one next to its local API.
+type FleetAgent = fleet.Agent
+
+// NewFleetCoordinator builds a coordinator; pair with
+// Coordinator.Replay when resuming from a journal.
+func NewFleetCoordinator(cfg FleetConfig) *FleetCoordinator { return fleet.New(cfg) }

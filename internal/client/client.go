@@ -82,9 +82,12 @@ func (e *PermanentError) Error() string {
 	return fmt.Sprintf("hetsimd: %s (HTTP %d)", e.Msg, e.Code)
 }
 
-// backoff computes the jittered delay before attempt n (0-based),
-// respecting the server's Retry-After hint when one was given.
-func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+// Backoff computes the jittered delay before attempt n (0-based),
+// respecting the server's Retry-After hint when one was given. It is
+// exported as the fleet worker agent's retry policy: every
+// coordinator-facing loop (register, lease, complete) backs off with
+// the same half-to-full-jitter shape a retrying submit uses.
+func (c *Client) Backoff(attempt int, hint time.Duration) time.Duration {
 	d := c.BaseBackoff << attempt
 	if d > c.MaxBackoff || d <= 0 {
 		d = c.MaxBackoff
@@ -109,9 +112,12 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// doJSON performs one HTTP exchange and decodes the body into out.
-// The response status code is returned even on decode failure.
-func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) (int, error) {
+// DoJSON performs one HTTP exchange against the server and decodes
+// the body into out. The response status code is returned even on
+// decode failure. It is the transport primitive the retrying verbs
+// are built on, exported so the fleet agent can speak the
+// coordinator's lease endpoints with the same client.
+func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -149,7 +155,7 @@ func (c *Client) Submit(ctx context.Context, spec exp.TaskSpec, timeout time.Dur
 	var lastErr error
 	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
 		var sr server.StatusResponse
-		code, err := c.doJSON(ctx, http.MethodPost, "/v1/runs", req, &sr)
+		code, err := c.DoJSON(ctx, http.MethodPost, "/v1/runs", req, &sr)
 		switch {
 		case err != nil && ctx.Err() != nil:
 			return server.StatusResponse{}, ctx.Err()
@@ -164,7 +170,7 @@ func (c *Client) Submit(ctx context.Context, spec exp.TaskSpec, timeout time.Dur
 		}
 		// Honor the server's Retry-After hint (body form) when it gave one.
 		hint := time.Duration(sr.RetryAfterMS) * time.Millisecond
-		d := c.backoff(attempt, hint)
+		d := c.Backoff(attempt, hint)
 		c.logf("submit %s: attempt %d failed (%v), retrying in %v", spec.Key(), attempt+1, lastErr, d)
 		if err := sleep(ctx, d); err != nil {
 			return server.StatusResponse{}, err
@@ -183,7 +189,7 @@ func (c *Client) Status(ctx context.Context, key string, wait time.Duration) (se
 		path += "?wait=" + wait.String()
 	}
 	var sr server.StatusResponse
-	code, err := c.doJSON(ctx, http.MethodGet, path, nil, &sr)
+	code, err := c.DoJSON(ctx, http.MethodGet, path, nil, &sr)
 	if err != nil {
 		return server.StatusResponse{}, false, err
 	}
@@ -199,7 +205,7 @@ func (c *Client) Status(ctx context.Context, key string, wait time.Duration) (se
 // Result fetches a completed run's payload.
 func (c *Client) Result(ctx context.Context, key string) (server.ResultResponse, error) {
 	var rr server.ResultResponse
-	code, err := c.doJSON(ctx, http.MethodGet, "/v1/results/"+key, nil, &rr)
+	code, err := c.DoJSON(ctx, http.MethodGet, "/v1/results/"+key, nil, &rr)
 	if err != nil {
 		return server.ResultResponse{}, err
 	}
@@ -233,7 +239,7 @@ func (c *Client) Run(ctx context.Context, spec exp.TaskSpec, timeout time.Durati
 			if transportFails > c.MaxAttempts {
 				return exp.TaskResult{}, fmt.Errorf("run %s: server unreachable: %w", key, err)
 			}
-			if err := sleep(ctx, c.backoff(transportFails-1, 0)); err != nil {
+			if err := sleep(ctx, c.Backoff(transportFails-1, 0)); err != nil {
 				return exp.TaskResult{}, err
 			}
 			fallthrough
@@ -276,6 +282,20 @@ func (c *Client) Ready(ctx context.Context) error {
 			return fmt.Errorf("hetsimd never became ready: %w", err)
 		}
 	}
+}
+
+// Health fetches /healthz: the node's version, uptime, engine default,
+// and queue depth. It does not retry — health is a point-in-time probe.
+func (c *Client) Health(ctx context.Context) (server.Health, error) {
+	var h server.Health
+	code, err := c.DoJSON(ctx, http.MethodGet, "/healthz", nil, &h)
+	if err != nil {
+		return server.Health{}, err
+	}
+	if code != http.StatusOK {
+		return h, fmt.Errorf("healthz: HTTP %d", code)
+	}
+	return h, nil
 }
 
 // Metrics fetches /metricsz into a name→value map.

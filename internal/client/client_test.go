@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -115,5 +116,142 @@ func TestRunResubmitsAfterRestart(t *testing.T) {
 	}
 	if submits.Load() != 2 {
 		t.Fatalf("submitted %d times, want 2 (initial + post-404 resubmit)", submits.Load())
+	}
+}
+
+// TestBackoffJitterBounds: the computed delay always lands in
+// [d/2, d] of the un-jittered exponential (capped at MaxBackoff), and
+// a server Retry-After hint larger than the exponential raises the
+// floor to hint/2 — the half-to-full jitter contract that keeps a
+// retrying fleet from re-arriving in lockstep.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := New("http://unused")
+	c.BaseBackoff = 100 * time.Millisecond
+	c.MaxBackoff = 2 * time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		want := c.BaseBackoff << attempt
+		if want > c.MaxBackoff || want <= 0 {
+			want = c.MaxBackoff
+		}
+		for i := 0; i < 200; i++ {
+			got := c.Backoff(attempt, 0)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+	// A Retry-After hint beyond the exponential dominates it.
+	hint := 1500 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		got := c.Backoff(0, hint)
+		if got < hint/2 || got > hint {
+			t.Fatalf("hinted backoff %v outside [%v, %v]", got, hint/2, hint)
+		}
+	}
+	// A hint below the exponential does not shrink it.
+	for i := 0; i < 200; i++ {
+		if got := c.Backoff(4, time.Millisecond); got < (c.BaseBackoff<<4)/2 {
+			t.Fatalf("small hint shrank backoff to %v", got)
+		}
+	}
+}
+
+// TestRetryAfterHonored: the serverward Retry-After hint (body form,
+// as the admission layer sends it) stretches the sleep between
+// retries beyond the exponential schedule — observed via wall clock
+// across a 429 with a hint much larger than BaseBackoff.
+func TestRetryAfterHonored(t *testing.T) {
+	const hintMS = 150
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.StatusResponse{Error: "queue full", RetryAfterMS: hintMS})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusQueued})
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL) // BaseBackoff 1ms: any real wait comes from the hint
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), exp.CPUTaskSpec(462), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < hintMS/2*time.Millisecond {
+		t.Fatalf("retried after %v, want >= %v (half the Retry-After hint)", elapsed, hintMS/2*time.Millisecond)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestDeadlineExceededPropagates: a context that expires mid-retry
+// surfaces as the context's own error from Submit and Run — not as a
+// gave-up-after-N wrapper — so callers can tell budget exhaustion from
+// server failure.
+func TestDeadlineExceededPropagates(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.StatusResponse{Error: "queue full", RetryAfterMS: 50})
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxAttempts = 1000
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(ctx, exp.CPUTaskSpec(462), 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit error = %v, want context.DeadlineExceeded", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if _, err := c.Run(ctx2, exp.CPUTaskSpec(462), 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunResubmitsOn404AfterRestartOnlyOnce: the post-restart 404 path
+// resubmits exactly once per 404 (no storm), and a server that then
+// answers done serves the result without a third submission.
+func TestRunResubmitsOn404AfterRestartOnlyOnce(t *testing.T) {
+	var submits atomic.Int64
+	var notFounds atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodPost:
+			submits.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusQueued})
+		case r.URL.Path == "/v1/results/cpu/462":
+			json.NewEncoder(w).Encode(server.ResultResponse{Key: "cpu/462", TaskResult: exp.TaskResult{IPC: 2.25}})
+		default:
+			// First two status polls 404 ("restarted twice"), then done.
+			if notFounds.Load() < 2 {
+				notFounds.Add(1)
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Error: "unknown run"})
+				return
+			}
+			json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusDone})
+		}
+	}))
+	defer ts.Close()
+
+	res, err := fastClient(ts.URL).Run(context.Background(), exp.CPUTaskSpec(462), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC != 2.25 {
+		t.Fatalf("IPC = %v, want 2.25", res.IPC)
+	}
+	if got := submits.Load(); got != 3 { // initial + one per 404
+		t.Fatalf("submitted %d times, want 3", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/obs"
@@ -27,6 +28,8 @@ type Record struct {
 	IPC    float64     `json:"ipc,omitempty"`    // payload for kind "cpu"
 	Result *sim.Result `json:"result,omitempty"` // payload for the other kinds
 	Spec   *TaskSpec   `json:"task,omitempty"`   // payload for kind "queued" (hetsimd drain)
+	Worker string      `json:"worker,omitempty"` // fleet kinds: the lease-holding node
+	ErrMsg string      `json:"err,omitempty"`    // kind "quarantined": final failure + stack
 	Hash   string      `json:"hash"`
 }
 
@@ -34,6 +37,31 @@ type Record struct {
 // what hetsimd writes for its queue during a graceful drain, so a
 // restart with -resume re-enqueues exactly the work that was pending.
 const KindQueued = "queued"
+
+// Fleet-level record kinds (DESIGN.md §13). The coordinator journals a
+// task's lease lifecycle alongside its completion so a restarted fleet
+// reconstructs exactly which keys were pending, who held them, and
+// which finished — the crash-consistency contract PR 5 established for
+// one daemon, extended across nodes.
+const (
+	// KindLeased records a lease grant: Key is the full task key,
+	// Worker the node it was granted to. A leased record with no later
+	// completion means the task was in flight when the coordinator
+	// died; resume re-arms the lease so a surviving holder can still
+	// complete it before it expires and is re-enqueued.
+	KindLeased = "leased"
+
+	// KindStolen records a grant of a previously-leased task to a
+	// different worker — the work-stealing path after a lease expiry or
+	// a worker deregistration.
+	KindStolen = "stolen"
+
+	// KindQuarantined records a task poisoned by repeated RunError on
+	// distinct workers: ErrMsg carries the final failure (panic stack
+	// included), and resume keeps the key failed instead of re-running
+	// a task that kills every node it lands on.
+	KindQuarantined = "quarantined"
+)
 
 // hashRecord computes the integrity hash: sha256 over the canonical
 // JSON encoding with the Hash field empty. encoding/json marshals
@@ -73,6 +101,7 @@ func (s JournalStats) Skipped() int { return s.CorruptLines + s.TornTail }
 type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	err     error // first append/sync failure; sticky
 	stats   JournalStats
 	appends uint64 // records appended through this handle
@@ -106,7 +135,96 @@ func OpenJournal(path string) (*Journal, []Record, JournalStats, error) {
 		f.Close()
 		return nil, nil, stats, fmt.Errorf("journal: seek %s: %w", path, err)
 	}
-	return &Journal{f: f, stats: stats}, recs, stats, nil
+	return &Journal{f: f, path: path, stats: stats}, recs, stats, nil
+}
+
+// Compact rewrites the journal to hold only the latest record per
+// (kind, key) pair, in last-occurrence order. Long-lived fleet and
+// daemon journals accumulate superseded lease-lifecycle records across
+// resumes; the survivors replay to the identical state because every
+// replayer is keyed by (kind, key) and a run's payload is
+// deterministic for its key. The rewrite is crash-safe: the compacted
+// records are written to a temporary file in the same directory,
+// fsynced, and atomically renamed over the journal — at any kill
+// instant the path holds either the old bytes or the new, never a mix.
+// Appends continue on the compacted file. Returns how many records
+// were kept and how many duplicates were dropped.
+func (j *Journal) Compact() (kept, dropped int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, 0, j.err
+	}
+	if j.f == nil {
+		return 0, 0, fmt.Errorf("journal: compact after Close")
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("journal: compact read %s: %w", j.path, err)
+	}
+	recs, _, _ := decodeJournal(data)
+
+	// Latest record per (kind, key), preserving the order in which each
+	// survivor last appeared — so a replay walks the same effective
+	// sequence the uncompacted journal would have settled on.
+	type slot struct{ idx int }
+	latest := make(map[string]slot, len(recs))
+	for i, rec := range recs {
+		latest[rec.Kind+"\x00"+rec.Key] = slot{idx: i}
+	}
+	var out []byte
+	for i, rec := range recs {
+		if latest[rec.Kind+"\x00"+rec.Key].idx != i {
+			dropped++
+			continue
+		}
+		kept++
+		line, err := json.Marshal(rec) // Hash already set and verified by decode
+		if err != nil {
+			return 0, 0, fmt.Errorf("journal: compact encode %s/%s: %w", rec.Kind, rec.Key, err)
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+
+	tmp := j.path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, fmt.Errorf("journal: compact %s: %w", tmp, err)
+	}
+	if _, err := tf.Write(out); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact write %s: %w", tmp, err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact fsync %s: %w", tmp, err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("journal: compact rename: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if dir, derr := os.Open(filepath.Dir(j.path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	// Swap the append handle onto the compacted file: the old
+	// descriptor points at the unlinked inode.
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: reopen after compact: %w", err)
+		return kept, dropped, j.err
+	}
+	j.f.Close()
+	j.f = nf
+	return kept, dropped, nil
 }
 
 // decodeJournal parses the journal bytes line by line. validLen is

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -184,6 +186,109 @@ func TestJournalCorruptLineSkipped(t *testing.T) {
 		if rec.Key == "401" {
 			t.Fatal("tampered record resurrected")
 		}
+	}
+}
+
+// TestJournalCompact: compaction keeps only the latest record per
+// (kind, key), drops the duplicates a long-lived fleet journal
+// accumulates across resumes, and replays to byte-identical state —
+// and a second compaction is a byte-level no-op.
+func TestJournalCompact(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CPUTaskSpec(462)
+	history := []Record{
+		{Kind: KindQueued, Key: "cpu/462", Spec: &spec},
+		{Kind: KindLeased, Key: "cpu/462", Worker: "w1"},
+		{Kind: "cpu", Key: "462", IPC: 1.5},
+		{Kind: KindQueued, Key: "cpu/462", Spec: &spec}, // resubmitted across a resume
+		{Kind: KindLeased, Key: "cpu/462", Worker: "w2"},
+		{Kind: "cpu", Key: "462", IPC: 1.5}, // deterministic re-append
+		{Kind: "gpu", Key: "DOOM3", Result: &sim.Result{GPUFPS: 41.25}},
+		{Kind: KindStolen, Key: "cpu/462", Worker: "w3"},
+	}
+	for _, rec := range history {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// State a replayer would adopt from the uncompacted journal.
+	before := NewRunner(sim.DefaultConfig(96))
+	jb, recsBefore, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Close()
+	adoptedBefore, _ := before.ReplayJournal(recsBefore)
+
+	kept, dropped, err := j.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 records over 5 distinct (kind,key) pairs.
+	if kept != 5 || dropped != 3 {
+		t.Fatalf("Compact kept %d dropped %d, want 5/3", kept, dropped)
+	}
+
+	// Appends keep working on the compacted file.
+	if err := j.Append(Record{Kind: "cpu", Key: "429", IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, recs, stats, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped() != 0 {
+		t.Fatalf("compacted journal has %d skipped lines", stats.Skipped())
+	}
+	if len(recs) != 6 {
+		t.Fatalf("compacted journal holds %d records, want 6", len(recs))
+	}
+	after := NewRunner(sim.DefaultConfig(96))
+	adoptedAfter, _ := after.ReplayJournal(recs)
+	if adoptedAfter != adoptedBefore+1 { // +1: the post-compact cpu/429 append
+		t.Fatalf("replay adopted %d records after compaction, want %d", adoptedAfter, adoptedBefore+1)
+	}
+	for _, key := range []string{"cpu/462", "gpu/DOOM3", "cpu/429"} {
+		rb, eb, okb := before.Lookup(key)
+		ra, ea, oka := after.Lookup(key)
+		if key == "cpu/429" {
+			if !oka || ea != nil {
+				t.Fatalf("post-compact append %s not replayed", key)
+			}
+			continue
+		}
+		if !okb || !oka || eb != nil || ea != nil {
+			t.Fatalf("lookup %s: before ok=%v err=%v, after ok=%v err=%v", key, okb, eb, oka, ea)
+		}
+		wb, _ := json.Marshal(rb)
+		wa, _ := json.Marshal(ra)
+		if !bytes.Equal(wb, wa) {
+			t.Fatalf("%s replays differently after compaction:\nbefore %s\nafter  %s", key, wb, wa)
+		}
+	}
+
+	// Compacting an already-compact journal must not change a byte.
+	raw1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept, dropped, err := j2.Compact(); err != nil || dropped != 0 || kept != 6 {
+		t.Fatalf("second Compact = (%d, %d, %v), want (6, 0, nil)", kept, dropped, err)
+	}
+	j2.Close()
+	raw2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("idempotent compaction changed the journal bytes")
 	}
 }
 

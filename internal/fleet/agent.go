@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/exp"
+)
+
+// Agent is the worker half of the lease protocol: it registers with
+// the coordinator, polls for leases, executes each leased task through
+// the node's runner while heartbeating, and reports the outcome with a
+// typed failure class. Every coordinator-facing loop retries with
+// client.Backoff, so an agent rides out coordinator restarts the same
+// way a submitting client rides out hetsimd restarts.
+type Agent struct {
+	// Coordinator is the client bound to the coordinator's base URL
+	// (its retry knobs shape the agent's backoff).
+	Coordinator *client.Client
+
+	// WorkerID is this node's stable identity across restarts.
+	WorkerID string
+
+	// URL is advisory — where this worker's own API listens.
+	URL string
+
+	// Slots is how many leases the agent works concurrently (default 1:
+	// one hetsimd-grade node runs one simulation at full parallelism).
+	Slots int
+
+	// PollInterval paces lease polls when the queue is empty (default
+	// 250ms; jittered by client.Backoff's half-to-full shape).
+	PollInterval time.Duration
+
+	// RunFunc executes one leased task (tests stub it; hetsimd installs
+	// the daemon's runner.Do so leased runs share the local memo,
+	// journal, and engine selection).
+	RunFunc func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error)
+
+	// Logf, when non-nil, receives lease lifecycle diagnostics.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	held   map[string]context.CancelFunc // live leases → cancel for the running task
+	leased uint64                        // leases accepted (tests observe progress)
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// Leased reports how many leases this agent has accepted.
+func (a *Agent) Leased() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.leased
+}
+
+// Run drives the agent until ctx ends. It returns ctx.Err(): a worker
+// outliving its coordinator is normal (it keeps polling with backoff
+// until the coordinator returns or the node is told to stop).
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Coordinator == nil || a.WorkerID == "" || a.RunFunc == nil {
+		return errors.New("fleet: agent needs Coordinator, WorkerID, and RunFunc")
+	}
+	slots := a.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	poll := a.PollInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	a.mu.Lock()
+	a.held = make(map[string]context.CancelFunc)
+	a.mu.Unlock()
+
+	a.register(ctx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.slotLoop(ctx, poll)
+		}()
+	}
+	wg.Wait()
+	// Best-effort deregistration releases our leases immediately
+	// instead of letting them time out on the coordinator.
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, _ = a.Coordinator.DoJSON(dctx, http.MethodDelete, "/fleet/v1/workers/"+a.WorkerID, nil, nil)
+	return ctx.Err()
+}
+
+// register announces the worker, retrying until it lands or ctx ends.
+// Registration is advisory (lease calls auto-register), so a failure
+// after retries is logged, not fatal.
+func (a *Agent) register(ctx context.Context) {
+	req := RegisterRequest{Worker: a.WorkerID, URL: a.URL}
+	for attempt := 0; attempt < a.Coordinator.MaxAttempts; attempt++ {
+		code, err := a.Coordinator.DoJSON(ctx, http.MethodPost, "/fleet/v1/workers", req, &struct{}{})
+		if err == nil && code == http.StatusOK {
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		a.logf("fleet agent %s: register attempt %d failed (code=%d err=%v)", a.WorkerID, attempt+1, code, err)
+		if sleepCtx(ctx, a.Coordinator.Backoff(attempt, 0)) != nil {
+			return
+		}
+	}
+}
+
+// slotLoop is one lease slot: poll, execute, report, repeat.
+func (a *Agent) slotLoop(ctx context.Context, poll time.Duration) {
+	idleFails := 0
+	for ctx.Err() == nil {
+		var lease LeaseResponse
+		req := LeaseRequest{Worker: a.WorkerID}
+		code, err := a.Coordinator.DoJSON(ctx, http.MethodPost, "/fleet/v1/lease", req, &lease)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil || code != http.StatusOK:
+			// Coordinator down or restarting: back off and keep trying —
+			// an orphaned worker reattaches by itself.
+			idleFails++
+			if sleepCtx(ctx, a.Coordinator.Backoff(min(idleFails-1, 6), 0)) != nil {
+				return
+			}
+			continue
+		case lease.None || lease.Spec == nil:
+			// Empty queue (or draining coordinator): idle politely on a
+			// jittered poll interval.
+			idleFails = 0
+			d := poll
+			if lease.Draining {
+				d = 4 * poll
+			}
+			if sleepCtx(ctx, a.Coordinator.Backoff(0, d)) != nil {
+				return
+			}
+			continue
+		}
+		idleFails = 0
+		a.mu.Lock()
+		a.leased++
+		a.mu.Unlock()
+		a.execute(ctx, lease)
+	}
+}
+
+// execute runs one leased task under heartbeat and reports the outcome.
+func (a *Agent) execute(ctx context.Context, lease LeaseResponse) {
+	key := lease.Key
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	a.mu.Lock()
+	a.held[key] = cancel
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.held, key)
+		a.mu.Unlock()
+	}()
+
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	go a.heartbeat(runCtx, key, ttl/3, lost, hbDone)
+	go func() {
+		// A confirmed loss cancels the run: its result would be
+		// discarded as a duplicate, so finishing it is pure waste.
+		select {
+		case <-lost:
+			cancel()
+		case <-runCtx.Done():
+		}
+	}()
+
+	a.logf("fleet agent %s: leased %s (ttl %v)", a.WorkerID, key, ttl)
+	res, err := a.RunFunc(runCtx, *lease.Spec)
+	cancel() // stop the heartbeat before reporting
+	<-hbDone
+
+	select {
+	case <-lost:
+		// The lease was stolen or the coordinator forgot us; the result
+		// would be discarded as a duplicate, and a failure here is an
+		// artifact of our own cancellation. Report nothing.
+		a.logf("fleet agent %s: lease %s lost, dropping outcome", a.WorkerID, key)
+		return
+	default:
+	}
+	if ctx.Err() != nil && err != nil {
+		// Shutting down mid-run: the coordinator will expire the lease
+		// and re-grant; reporting a transient failure now would race
+		// our own deregistration.
+		return
+	}
+
+	report := CompleteRequest{Worker: a.WorkerID, Key: key}
+	if err == nil {
+		report.Result = &res
+	} else {
+		report.ErrMsg = err.Error()
+		report.Class = classify(runCtx, err)
+		var re *exp.RunError
+		if errors.As(err, &re) {
+			report.Stack = re.Stack
+		}
+	}
+	a.report(ctx, report)
+}
+
+// heartbeat renews the lease every interval until runCtx ends; a renew
+// that names key as lost closes lost, which cancels the run and
+// suppresses its outcome.
+func (a *Agent) heartbeat(runCtx context.Context, key string, interval time.Duration, lost chan<- struct{}, done chan<- struct{}) {
+	defer close(done)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-runCtx.Done():
+			return
+		case <-t.C:
+		}
+		var resp RenewResponse
+		req := RenewRequest{Worker: a.WorkerID, Keys: []string{key}}
+		code, err := a.Coordinator.DoJSON(runCtx, http.MethodPost, "/fleet/v1/renew", req, &resp)
+		if err != nil || code != http.StatusOK {
+			// A missed heartbeat is not a lost lease: the coordinator
+			// may be restarting, and resume re-arms our lease. Keep
+			// renewing until the run ends or the loss is confirmed.
+			continue
+		}
+		for _, k := range resp.Lost {
+			if k == key {
+				close(lost)
+				return
+			}
+		}
+	}
+}
+
+// report delivers the completion, retrying with backoff; completions
+// are idempotent coordinator-side, so double delivery is harmless.
+func (a *Agent) report(ctx context.Context, req CompleteRequest) {
+	for attempt := 0; attempt < a.Coordinator.MaxAttempts; attempt++ {
+		var resp CompleteResponse
+		code, err := a.Coordinator.DoJSON(ctx, http.MethodPost, "/fleet/v1/complete", req, &resp)
+		if err == nil && code == http.StatusOK {
+			if resp.Duplicate {
+				a.logf("fleet agent %s: %s was already complete (store hit)", a.WorkerID, req.Key)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		a.logf("fleet agent %s: complete %s attempt %d failed (code=%d err=%v)", a.WorkerID, req.Key, attempt+1, code, err)
+		if sleepCtx(ctx, a.Coordinator.Backoff(attempt, 0)) != nil {
+			return
+		}
+	}
+	a.logf("fleet agent %s: gave up reporting %s; lease will expire", a.WorkerID, req.Key)
+}
+
+// classify maps a run failure to its wire class: a recovered panic is
+// ClassPanic (poisons this worker for the task), a cancellation or
+// deadline is ClassTransient (retry elsewhere, no prejudice), anything
+// else — validation deep in the run, malformed scenario — is
+// ClassPermanent.
+func classify(runCtx context.Context, err error) string {
+	var re *exp.RunError
+	if errors.As(err, &re) && re.Stack != "" {
+		return ClassPanic
+	}
+	if runCtx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/exp"
+)
+
+// fastClient builds a client with test-speed retry knobs.
+func fastClient(base string) *client.Client {
+	c := client.New(base)
+	c.MaxAttempts = 20
+	c.BaseBackoff = 5 * time.Millisecond
+	c.MaxBackoff = 100 * time.Millisecond
+	c.PollWait = 200 * time.Millisecond
+	return c
+}
+
+// startAgent launches an agent against the coordinator at base and
+// returns it plus a stop func.
+func startAgent(t *testing.T, base, id string, run func(context.Context, exp.TaskSpec) (exp.TaskResult, error)) (*Agent, func()) {
+	t.Helper()
+	a := &Agent{
+		Coordinator:  fastClient(base),
+		WorkerID:     id,
+		Slots:        1,
+		PollInterval: 10 * time.Millisecond,
+		RunFunc:      run,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = a.Run(ctx)
+	}()
+	return a, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("agent did not stop")
+		}
+	}
+}
+
+// TestAgentsDrainCampaignOverHTTP drives a small campaign end to end:
+// tasks submitted through the public API, executed by two polling
+// agents via the lease protocol, results fetched by an unmodified
+// internal/client — the coordinator is wire-compatible with hetsimd.
+func TestAgentsDrainCampaignOverHTTP(t *testing.T) {
+	c := New(Config{LeaseTTL: 2 * time.Second})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	var executions atomic.Int64
+	run := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		executions.Add(1)
+		return exp.TaskResult{IPC: float64(spec.SpecID) / 100}, nil
+	}
+	_, stop1 := startAgent(t, ts.URL, "w1", run)
+	defer stop1()
+	_, stop2 := startAgent(t, ts.URL, "w2", run)
+	defer stop2()
+
+	ids := []int{401, 403, 410, 429, 433, 434, 437, 450}
+	cl := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		res, err := cl.Run(ctx, exp.CPUTaskSpec(id), 0)
+		if err != nil {
+			t.Fatalf("run cpu/%d: %v", id, err)
+		}
+		if want := float64(id) / 100; res.IPC != want {
+			t.Fatalf("cpu/%d IPC = %v, want %v", id, res.IPC, want)
+		}
+	}
+	// Resubmitting the whole campaign re-executes nothing.
+	before := executions.Load()
+	for _, id := range ids {
+		if _, err := cl.Run(ctx, exp.CPUTaskSpec(id), 0); err != nil {
+			t.Fatalf("rerun cpu/%d: %v", id, err)
+		}
+	}
+	if after := executions.Load(); after != before {
+		t.Fatalf("resubmission re-executed %d tasks", after-before)
+	}
+	if int(before) != len(ids) {
+		t.Fatalf("executions = %d, want %d (each key exactly once)", before, len(ids))
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["fleet_tasks_completed"] != float64(len(ids)) || m["fleet_workers"] != 2 {
+		t.Fatalf("metrics = completed %v workers %v", m["fleet_tasks_completed"], m["fleet_workers"])
+	}
+}
+
+// TestAgentClassifiesPanicsIntoQuarantine: a task whose run panics on
+// every node crosses the distinct-worker threshold and surfaces to the
+// client as a permanent failure with the stack preserved.
+func TestAgentClassifiesPanicsIntoQuarantine(t *testing.T) {
+	c := New(Config{LeaseTTL: 2 * time.Second, QuarantineThreshold: 2})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	run := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		if spec.SpecID == 462 {
+			return exp.TaskResult{}, &exp.RunError{
+				Key: spec.Key(), Phase: "cpu",
+				Err:   fmt.Errorf("induced panic"),
+				Stack: "goroutine 1 [running]:\ninduced",
+			}
+		}
+		return exp.TaskResult{IPC: 1}, nil
+	}
+	_, stop1 := startAgent(t, ts.URL, "w1", run)
+	defer stop1()
+	_, stop2 := startAgent(t, ts.URL, "w2", run)
+	defer stop2()
+
+	cl := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := cl.Run(ctx, exp.CPUTaskSpec(462), 0)
+	perr, ok := err.(*client.PermanentError)
+	if !ok {
+		t.Fatalf("run err = %v (%T), want PermanentError", err, err)
+	}
+	if perr.Msg == "" {
+		t.Fatal("quarantine reason lost")
+	}
+	// Healthy keys still complete on the same fleet.
+	if res, err := cl.Run(ctx, exp.CPUTaskSpec(470), 0); err != nil || res.IPC != 1 {
+		t.Fatalf("healthy run = %v, %v", res, err)
+	}
+	if got := c.Counters()["fleet_quarantined"]; got != 1 {
+		t.Fatalf("quarantined = %v, want 1", got)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgentDropsOutcomeOfLostLease: a worker whose lease is released
+// mid-run (deregistration here; expiry in production) has the run
+// cancelled by the heartbeat loss signal and reports nothing, while
+// the steal path completes the task elsewhere.
+func TestAgentDropsOutcomeOfLostLease(t *testing.T) {
+	c := New(Config{LeaseTTL: 500 * time.Millisecond, QuarantineThreshold: 1})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	w1Started := make(chan struct{}, 1)
+	w1Cancelled := make(chan struct{}, 1)
+	run1 := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		select {
+		case w1Started <- struct{}{}:
+		default:
+		}
+		// Block until the loss signal cancels us; a completed result
+		// here would be a wrong-answer hazard (IPC 999).
+		<-ctx.Done()
+		select {
+		case w1Cancelled <- struct{}{}:
+		default:
+		}
+		return exp.TaskResult{IPC: 999}, ctx.Err()
+	}
+	_, stop1 := startAgent(t, ts.URL, "w1", run1)
+	defer stop1()
+
+	cl := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cl.Submit(ctx, exp.CPUTaskSpec(481), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w1Started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("w1 never leased the task")
+	}
+	// Kick w1 off the lease; its next renew reports the loss, which
+	// must cancel the blocked run while the agent itself is still live.
+	c.Deregister("w1")
+	select {
+	case <-w1Cancelled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lost lease never cancelled w1's run")
+	}
+	// Retire w1 before the steal so it cannot re-lease the key and
+	// block again; then a healthy worker steals and completes it.
+	stop1()
+	run2 := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		return exp.TaskResult{IPC: 2.5}, nil
+	}
+	_, stop2 := startAgent(t, ts.URL, "w2", run2)
+	defer stop2()
+
+	res, err := cl.Run(ctx, exp.CPUTaskSpec(481), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC != 2.5 {
+		t.Fatalf("IPC = %v, want w2's 2.5 (w1's cancelled run must not land)", res.IPC)
+	}
+	if got := c.Counters()["fleet_quarantined"]; got != 0 {
+		t.Fatalf("lost-lease cancellation was misclassified: quarantined = %v", got)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

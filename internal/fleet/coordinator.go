@@ -1,0 +1,714 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// task is one admitted key's fleet-side state. A task is queued (on the
+// pending list), running (leased to exactly one worker, deadline
+// armed), done (result in the store), or failed (quarantined). done is
+// closed when the task resolves, waking long-poll waiters.
+type task struct {
+	spec   exp.TaskSpec
+	key    string
+	status string // server.StatusQueued/Running/Done/Failed
+
+	worker     string    // current lease holder while running
+	deadline   time.Time // lease expiry while running
+	lastWorker string    // most recent holder ever; a re-grant elsewhere is a steal
+	grants     int       // lifetime grant count (MaxAttempts backstop)
+	poisoned   map[string]bool
+	errMsg     string
+	done       chan struct{}
+}
+
+// workerState is the registry entry for one node.
+type workerState struct {
+	url      string
+	lastSeen time.Time
+	leases   int
+}
+
+// Coordinator shards a campaign across registered workers. It serves
+// the same public API as one hetsimd — submissions, status long-polls,
+// and results look identical to clients — while dispatching the actual
+// runs over the /fleet/v1 lease protocol.
+type Coordinator struct {
+	cfg     Config
+	reg     obs.Registry
+	started time.Time
+
+	mu       sync.Mutex
+	draining bool
+	tasks    map[string]*task
+	pending  []string // FIFO of queued keys (entries may be stale; grant skips non-queued)
+	store    map[string]exp.TaskResult
+	workers  map[string]*workerState
+
+	// Counters, all guarded by mu. The conservation law (checked by
+	// TestCountersConserved and the chaos gate) is grant-scoped:
+	//
+	//	granted == grantsCompleted + expired + grantsFailed + inflight
+	//
+	// Every grant ends exactly one way: its holder completes it
+	// (grantsCompleted), its holder reports failure (grantsFailed), or
+	// the lease dies — by timeout, worker deregistration, or
+	// displacement when another worker completes the key first (all
+	// expired).
+	submissions     uint64
+	storeHits       uint64
+	shed            uint64
+	granted         uint64
+	renewed         uint64
+	expired         uint64
+	stolen          uint64
+	grantsCompleted uint64
+	grantsFailed    uint64
+	tasksCompleted  uint64
+	quarantined     uint64
+	inflight        uint64
+}
+
+// New builds a coordinator. Pair with Replay (before serving) when
+// resuming from a journal, and Start for background lease expiry.
+func New(cfg Config) *Coordinator {
+	cfg.fillDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		started: cfg.Now(),
+		tasks:   make(map[string]*task),
+		store:   make(map[string]exp.TaskResult),
+		workers: make(map[string]*workerState),
+	}
+	c.registerObs()
+	return c
+}
+
+func (c *Coordinator) registerObs() {
+	counter := func(name string, p *uint64) {
+		c.reg.Counter(name, func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return *p
+		})
+	}
+	counter("fleet_submissions", &c.submissions)
+	counter("fleet_store_hits", &c.storeHits)
+	counter("fleet_shed", &c.shed)
+	counter("fleet_leases_granted", &c.granted)
+	counter("fleet_leases_renewed", &c.renewed)
+	counter("fleet_leases_expired", &c.expired)
+	counter("fleet_tasks_stolen", &c.stolen)
+	counter("fleet_grants_completed", &c.grantsCompleted)
+	counter("fleet_grants_failed", &c.grantsFailed)
+	counter("fleet_tasks_completed", &c.tasksCompleted)
+	counter("fleet_quarantined", &c.quarantined)
+	c.reg.Gauge("fleet_leases_inflight", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.inflight)
+	})
+	c.reg.Gauge("fleet_workers", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	c.reg.Gauge("fleet_queue_depth", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.queueDepthLocked())
+	})
+	c.reg.Gauge("fleet_store_size", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.store))
+	})
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.RegisterObs(&c.reg)
+	}
+}
+
+// queueDepthLocked counts genuinely queued tasks (the pending list may
+// hold stale entries for keys that completed while waiting).
+func (c *Coordinator) queueDepthLocked() int {
+	n := 0
+	for _, key := range c.pending {
+		if t := c.tasks[key]; t != nil && t.status == server.StatusQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// journalLocked appends under c.mu so journal order matches state
+// transition order; append failures degrade resumability, never the
+// fleet (same contract as Runner.journalAppend).
+func (c *Coordinator) journalLocked(rec exp.Record) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	_ = c.cfg.Journal.Append(rec)
+}
+
+// completionRecord shapes a finished run's journal record exactly as
+// exp.Runner would have journaled it — Kind is the task kind, Key the
+// memo part, scenario specs attached — so one replayer handles worker
+// and coordinator journals alike.
+func completionRecord(t *task, res exp.TaskResult) exp.Record {
+	kind, memo := splitTaskKey(t.key)
+	rec := exp.Record{Kind: kind, Key: memo}
+	if kind == exp.KindCPU {
+		rec.IPC = res.IPC
+	} else {
+		rec.Result = res.Result
+	}
+	if kind == exp.KindScenario {
+		spec := t.spec
+		rec.Spec = &spec
+	}
+	return rec
+}
+
+// splitTaskKey separates "mix/M7/2" into ("mix", "M7/2").
+func splitTaskKey(key string) (kind, memo string) {
+	i := strings.IndexByte(key, '/')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1:]
+}
+
+// Admit validates and enqueues spec, or joins it to existing state.
+// The returned code follows the hetsimd admission contract: 200 for a
+// known/completed key, 202 for a fresh enqueue, 400 on validation,
+// 429 when the queue is full, 503 while draining.
+func (c *Coordinator) Admit(spec exp.TaskSpec) (server.StatusResponse, int) {
+	key := spec.Key()
+	if err := spec.Validate(); err != nil {
+		return server.StatusResponse{Key: key, Error: err.Error()}, 400
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.Now())
+	c.submissions++
+
+	if _, hit := c.store[key]; hit {
+		c.storeHits++
+		return server.StatusResponse{Key: key, Status: server.StatusDone}, 200
+	}
+	if t, ok := c.tasks[key]; ok {
+		return server.StatusResponse{Key: key, Status: t.status, Error: t.errMsg}, 200
+	}
+	if c.draining {
+		return server.StatusResponse{
+			Key: key, Error: "coordinator draining",
+			RetryAfterMS: c.cfg.ShedRetryAfter.Milliseconds(),
+		}, 503
+	}
+	if c.queueDepthLocked() >= c.cfg.QueueDepth {
+		c.shed++
+		return server.StatusResponse{
+			Key: key, Error: "queue full",
+			RetryAfterMS: c.cfg.ShedRetryAfter.Milliseconds(),
+		}, 429
+	}
+
+	t := &task{spec: spec, key: key, status: server.StatusQueued, done: make(chan struct{})}
+	c.tasks[key] = t
+	c.pending = append(c.pending, key)
+	c.journalLocked(exp.Record{Kind: exp.KindQueued, Key: key, Spec: &t.spec})
+	return server.StatusResponse{Key: key, Status: server.StatusQueued}, 202
+}
+
+// Register upserts a worker's registry entry. Workers are also
+// auto-registered by any lease-protocol call, so registration is
+// advisory (it carries the URL); what matters is that deregistration
+// releases leases promptly instead of waiting out their TTL.
+func (c *Coordinator) Register(workerID, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(workerID, url)
+}
+
+func (c *Coordinator) touchWorkerLocked(workerID, url string) {
+	w := c.workers[workerID]
+	if w == nil {
+		w = &workerState{}
+		c.workers[workerID] = w
+	}
+	if url != "" {
+		w.url = url
+	}
+	w.lastSeen = c.cfg.Now()
+}
+
+// Deregister removes a worker and releases its leases for immediate
+// re-grant (counted as expired: the grants ended without completing).
+func (c *Coordinator) Deregister(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.workers, workerID)
+	for _, t := range c.tasks {
+		if t.status == server.StatusRunning && t.worker == workerID {
+			c.releaseLocked(t)
+		}
+	}
+}
+
+// releaseLocked ends t's live lease without resolving the task: the
+// grant is counted expired and the task re-enqueued for stealing.
+func (c *Coordinator) releaseLocked(t *task) {
+	c.expired++
+	c.inflight--
+	t.worker = ""
+	t.status = server.StatusQueued
+	c.pending = append(c.pending, t.key)
+}
+
+// expireLocked sweeps lease deadlines. It runs on every protocol entry
+// point plus the Start ticker, so expiry latency is bounded by
+// min(traffic, TTL/4) without a dedicated timer per lease.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, t := range c.tasks {
+		if t.status == server.StatusRunning && now.After(t.deadline) {
+			c.releaseLocked(t)
+		}
+	}
+}
+
+// Lease grants the oldest queued task to workerID, or reports none.
+func (c *Coordinator) Lease(workerID string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.touchWorkerLocked(workerID, "")
+	c.expireLocked(now)
+	if c.draining {
+		return LeaseResponse{None: true, Draining: true}
+	}
+	for len(c.pending) > 0 {
+		key := c.pending[0]
+		c.pending = c.pending[1:]
+		t := c.tasks[key]
+		if t == nil || t.status != server.StatusQueued {
+			continue // stale entry: completed, quarantined, or re-leased already
+		}
+		if t.grants >= c.cfg.MaxAttempts {
+			c.quarantineLocked(t, workerID, fmt.Sprintf("gave up after %d grants without a completion", t.grants))
+			continue
+		}
+		t.grants++
+		t.status = server.StatusRunning
+		t.worker = workerID
+		t.deadline = now.Add(c.cfg.LeaseTTL)
+		c.granted++
+		c.inflight++
+		if w := c.workers[workerID]; w != nil {
+			w.leases++
+		}
+		kind := exp.KindLeased
+		if t.lastWorker != "" && t.lastWorker != workerID {
+			c.stolen++
+			kind = exp.KindStolen
+		}
+		t.lastWorker = workerID
+		c.journalLocked(exp.Record{Kind: kind, Key: key, Worker: workerID})
+		spec := t.spec
+		return LeaseResponse{Key: key, Spec: &spec, TTLMS: c.cfg.LeaseTTL.Milliseconds()}
+	}
+	return LeaseResponse{None: true}
+}
+
+// Renew extends the deadlines of the leases workerID still holds and
+// reports the ones it lost.
+func (c *Coordinator) Renew(workerID string, keys []string) RenewResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.touchWorkerLocked(workerID, "")
+	c.expireLocked(now)
+	var resp RenewResponse
+	for _, key := range keys {
+		t := c.tasks[key]
+		if t != nil && t.status == server.StatusRunning && t.worker == workerID {
+			t.deadline = now.Add(c.cfg.LeaseTTL)
+			c.renewed++
+			continue
+		}
+		resp.Lost = append(resp.Lost, key)
+	}
+	return resp
+}
+
+// Complete records one run outcome from a worker. Success installs the
+// result in the content-addressed store (first writer wins; duplicates
+// are store hits) and resolves the task; failure is classified and the
+// task re-enqueued or quarantined.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(req.Worker, "")
+	c.expireLocked(c.cfg.Now())
+
+	if _, hit := c.store[req.Key]; hit {
+		// The key already completed — this worker raced a steal or
+		// recomputed after a lost lease. Its payload is discarded: the
+		// store is first-writer-wins so every reader sees one result.
+		c.storeHits++
+		return CompleteResponse{Accepted: true, Duplicate: true}
+	}
+	t := c.tasks[req.Key]
+	if t == nil {
+		return CompleteResponse{} // unknown key: coordinator restarted without this task
+	}
+
+	if req.Result != nil {
+		c.store[req.Key] = *req.Result
+		c.tasksCompleted++
+		if t.status == server.StatusRunning {
+			c.inflight--
+			if t.worker == req.Worker {
+				c.grantsCompleted++
+			} else {
+				// A displaced holder is still running the key; its grant
+				// ends as expired and its next renew reports the loss.
+				c.expired++
+			}
+		}
+		t.worker = ""
+		t.status = server.StatusDone
+		t.errMsg = ""
+		close(t.done)
+		c.journalLocked(completionRecord(t, *req.Result))
+		return CompleteResponse{Accepted: true}
+	}
+
+	// Failure report. Only the current holder's failure ends a grant;
+	// a stale report from an expired lease changes nothing.
+	if t.status != server.StatusRunning || t.worker != req.Worker {
+		return CompleteResponse{}
+	}
+	c.grantsFailed++
+	c.inflight--
+	t.worker = ""
+	switch req.Class {
+	case ClassPermanent:
+		c.quarantineLocked(t, req.Worker, failureMessage(req))
+	case ClassPanic:
+		if t.poisoned == nil {
+			t.poisoned = make(map[string]bool)
+		}
+		t.poisoned[req.Worker] = true
+		if len(t.poisoned) >= c.cfg.QuarantineThreshold {
+			c.quarantineLocked(t, req.Worker, failureMessage(req))
+		} else {
+			t.status = server.StatusQueued
+			c.pending = append(c.pending, t.key)
+		}
+	default: // ClassTransient and anything unclassified: retry elsewhere
+		t.status = server.StatusQueued
+		c.pending = append(c.pending, t.key)
+	}
+	return CompleteResponse{Accepted: true}
+}
+
+func failureMessage(req CompleteRequest) string {
+	msg := req.ErrMsg
+	if msg == "" {
+		msg = "unspecified failure"
+	}
+	if req.Stack != "" {
+		msg += "\n" + req.Stack
+	}
+	return msg
+}
+
+// quarantineLocked resolves t as failed for good.
+func (c *Coordinator) quarantineLocked(t *task, workerID, msg string) {
+	t.status = server.StatusFailed
+	t.errMsg = msg
+	t.worker = ""
+	c.quarantined++
+	close(t.done)
+	c.journalLocked(exp.Record{Kind: exp.KindQuarantined, Key: t.key, Worker: workerID, ErrMsg: msg})
+}
+
+// state snapshots one key's status for the HTTP layer.
+func (c *Coordinator) state(key string) (status, errMsg string, res exp.TaskResult, done chan struct{}, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, hit := c.store[key]; hit {
+		return server.StatusDone, "", r, nil, true
+	}
+	if t, found := c.tasks[key]; found {
+		return t.status, t.errMsg, exp.TaskResult{}, t.done, true
+	}
+	return "", "", exp.TaskResult{}, nil, false
+}
+
+// Health reports the coordinator's identity and load in the same shape
+// as a hetsimd node; Engine is "fleet" so wait-ready output names the
+// node type.
+func (c *Coordinator) Health() server.Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return server.Health{
+		Version:    server.Version,
+		UptimeS:    c.cfg.Now().Sub(c.started).Seconds(),
+		Engine:     "fleet",
+		QueueDepth: c.queueDepthLocked(),
+		Draining:   c.draining,
+	}
+}
+
+// Workers snapshots the registry: worker id → held lease count, for
+// the /fleet/v1/workers listing.
+func (c *Coordinator) Workers() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.workers))
+	for id := range c.workers {
+		out[id] = 0
+	}
+	for _, t := range c.tasks {
+		if t.status == server.StatusRunning {
+			out[t.worker]++
+		}
+	}
+	return out
+}
+
+// Start launches the background lease sweeper; it stops when ctx ends.
+// Without it, expiry still happens on every protocol call — the ticker
+// only bounds latency when all traffic stops (e.g. every worker died).
+func (c *Coordinator) Start(ctx context.Context) {
+	tick := c.cfg.LeaseTTL / 4
+	if tick <= 0 {
+		tick = time.Second
+	}
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.mu.Lock()
+				c.expireLocked(c.cfg.Now())
+				c.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Drain stops admission and new grants, then waits (up to ctx) for
+// in-flight leases to complete; completions are accepted throughout.
+// Pending tasks stay journaled from admission, so a restart with
+// -resume re-enqueues exactly the unfinished work. Returns the queued
+// and still-in-flight counts at exit. Idempotent.
+func (c *Coordinator) Drain(ctx context.Context) (queued, inflight int) {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		c.expireLocked(c.cfg.Now())
+		queued, inflight = c.queueDepthLocked(), int(c.inflight)
+		c.mu.Unlock()
+		if inflight == 0 {
+			return queued, 0
+		}
+		select {
+		case <-ctx.Done():
+			return queued, inflight
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// ReplayStats accounts for what Replay reconstructed.
+type ReplayStats struct {
+	Completed     int // keys restored straight into the store
+	Quarantined   int // keys restored as failed
+	Pending       int // keys re-enqueued
+	Leased        int // keys re-armed with a fresh lease for their last holder
+	Unrecoverable int // keys with no spec and an unparseable key (lost)
+	Ignored       int // records of foreign kinds (e.g. sweep "cell")
+}
+
+// Replay rebuilds coordinator state from journal records before
+// serving. It is order-tolerant — a completion or quarantine wins for
+// its key no matter where the records landed — because grants are
+// journaled concurrently with admissions and a compacted journal keeps
+// only each (kind, key)'s last record.
+//
+// An incomplete leased key is re-armed: its last holder gets a fresh
+// TTL (counted as a grant, so conservation holds for the new process)
+// and can renew or complete as if the coordinator never died; if the
+// holder died too, the lease expires and the task is stolen normally.
+func (c *Coordinator) Replay(recs []exp.Record) ReplayStats {
+	type keyState struct {
+		spec       *exp.TaskSpec
+		worker     string
+		leased     bool
+		res        *exp.TaskResult
+		quarantine string
+		hasQ       bool
+	}
+	states := make(map[string]*keyState)
+	var order []string
+	var stats ReplayStats
+	get := func(key string) *keyState {
+		ks := states[key]
+		if ks == nil {
+			ks = &keyState{}
+			states[key] = ks
+			order = append(order, key)
+		}
+		return ks
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case exp.KindQueued:
+			ks := get(rec.Key)
+			if rec.Spec != nil && ks.spec == nil {
+				spec := *rec.Spec
+				ks.spec = &spec
+			}
+		case exp.KindLeased, exp.KindStolen:
+			ks := get(rec.Key)
+			ks.leased = true
+			ks.worker = rec.Worker
+		case exp.KindQuarantined:
+			ks := get(rec.Key)
+			ks.hasQ = true
+			ks.quarantine = rec.ErrMsg
+		case exp.KindMix, exp.KindGPU, exp.KindScenario:
+			if rec.Result == nil {
+				stats.Ignored++
+				continue
+			}
+			ks := get(rec.Kind + "/" + rec.Key)
+			ks.res = &exp.TaskResult{Result: rec.Result}
+			if rec.Spec != nil && ks.spec == nil {
+				spec := *rec.Spec
+				ks.spec = &spec
+			}
+		case exp.KindCPU:
+			ks := get(rec.Kind + "/" + rec.Key)
+			ks.res = &exp.TaskResult{IPC: rec.IPC}
+		default:
+			stats.Ignored++
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	for _, key := range order {
+		ks := states[key]
+		switch {
+		case ks.res != nil:
+			c.store[key] = *ks.res
+			stats.Completed++
+		case ks.hasQ:
+			t := &task{key: key, status: server.StatusFailed, errMsg: ks.quarantine, done: make(chan struct{})}
+			if ks.spec != nil {
+				t.spec = *ks.spec
+			}
+			close(t.done)
+			c.tasks[key] = t
+			stats.Quarantined++
+		default:
+			spec := ks.spec
+			if spec == nil {
+				if parsed, err := exp.ParseKey(key); err == nil {
+					spec = &parsed
+				} else {
+					// A lease record with no admission record and an
+					// opaque key (scenario digests): the task cannot be
+					// reconstructed. Counted, never silent.
+					stats.Unrecoverable++
+					continue
+				}
+			}
+			t := &task{spec: *spec, key: key, status: server.StatusQueued, done: make(chan struct{})}
+			c.tasks[key] = t
+			if ks.leased && ks.worker != "" {
+				t.status = server.StatusRunning
+				t.worker = ks.worker
+				t.lastWorker = ks.worker
+				t.deadline = now.Add(c.cfg.LeaseTTL)
+				t.grants = 1
+				c.granted++
+				c.inflight++
+				c.touchWorkerLocked(ks.worker, "")
+				stats.Leased++
+			} else {
+				c.pending = append(c.pending, key)
+				stats.Pending++
+			}
+		}
+	}
+	return stats
+}
+
+// Counters snapshots every registered fleet series (tests assert the
+// conservation law and monotonicity against it).
+func (c *Coordinator) Counters() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range c.reg.Snapshot() {
+		out[s.Name] = s.Value
+	}
+	return out
+}
+
+// CheckConservation verifies the grant accounting identity; the chaos
+// gate and unit tests call it after every settling point.
+func (c *Coordinator) CheckConservation() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.granted != c.grantsCompleted+c.expired+c.grantsFailed+c.inflight {
+		return fmt.Errorf("fleet: lease accounting violated: granted=%d != completed=%d + expired=%d + failed=%d + inflight=%d",
+			c.granted, c.grantsCompleted, c.expired, c.grantsFailed, c.inflight)
+	}
+	if c.quarantined > c.grantsFailed+c.granted {
+		return fmt.Errorf("fleet: quarantined=%d exceeds failure budget", c.quarantined)
+	}
+	return nil
+}
+
+// PendingKeys lists queued keys in dispatch order (tests and hetsimctl
+// debugging; not part of the lease protocol).
+func (c *Coordinator) PendingKeys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	seen := make(map[string]bool)
+	for _, key := range c.pending {
+		if t := c.tasks[key]; t != nil && t.status == server.StatusQueued && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

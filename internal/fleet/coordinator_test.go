@@ -1,0 +1,462 @@
+package fleet
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// fakeClock is a mutable test clock threaded through Config.Now.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func testCoordinator(t *testing.T, mutate func(*Config)) (*Coordinator, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	cfg := Config{LeaseTTL: 10 * time.Second, Now: clk.Now}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg), clk
+}
+
+func mustAdmit(t *testing.T, c *Coordinator, spec exp.TaskSpec) string {
+	t.Helper()
+	resp, code := c.Admit(spec)
+	if code != 202 && code != 200 {
+		t.Fatalf("admit %s: code %d (%s)", spec.Key(), code, resp.Error)
+	}
+	return resp.Key
+}
+
+func mustConserve(t *testing.T, c *Coordinator) {
+	t.Helper()
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func okResult() *exp.TaskResult { return &exp.TaskResult{IPC: 1.25} }
+
+func TestLeaseGrantCompleteAndStoreHit(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	key := mustAdmit(t, c, exp.CPUTaskSpec(470))
+
+	lease := c.Lease("w1")
+	if lease.None || lease.Key != key || lease.Spec == nil || lease.Spec.SpecID != 470 {
+		t.Fatalf("lease = %+v, want grant of %s", lease, key)
+	}
+	if lease.TTLMS != (10 * time.Second).Milliseconds() {
+		t.Fatalf("lease TTL %dms, want 10000", lease.TTLMS)
+	}
+	// Queue empty now.
+	if l2 := c.Lease("w2"); !l2.None {
+		t.Fatalf("second lease granted %q from an empty queue", l2.Key)
+	}
+
+	cr := c.Complete(CompleteRequest{Worker: "w1", Key: key, Result: okResult()})
+	if !cr.Accepted || cr.Duplicate {
+		t.Fatalf("complete = %+v", cr)
+	}
+	mustConserve(t, c)
+
+	// Resubmission of a completed key is a store hit, answered done.
+	resp, code := c.Admit(exp.CPUTaskSpec(470))
+	if code != 200 || resp.Status != server.StatusDone {
+		t.Fatalf("resubmit: code %d status %q", code, resp.Status)
+	}
+	// Duplicate completion (a racing worker) is acknowledged, discarded.
+	dup := c.Complete(CompleteRequest{Worker: "w2", Key: key, Result: &exp.TaskResult{IPC: 99}})
+	if !dup.Accepted || !dup.Duplicate {
+		t.Fatalf("duplicate complete = %+v", dup)
+	}
+	cnt := c.Counters()
+	if cnt["fleet_store_hits"] != 2 {
+		t.Fatalf("store hits = %v, want 2 (resubmit + duplicate)", cnt["fleet_store_hits"])
+	}
+	if cnt["fleet_leases_granted"] != 1 || cnt["fleet_grants_completed"] != 1 {
+		t.Fatalf("grant counters = %+v", cnt)
+	}
+	status, _, res, _, ok := c.state(key)
+	if !ok || status != server.StatusDone || res.IPC != 1.25 {
+		t.Fatalf("state = %q %v %v; first writer must win", status, res, ok)
+	}
+	mustConserve(t, c)
+}
+
+func TestLeaseExpiryStealsToNextWorker(t *testing.T) {
+	c, clk := testCoordinator(t, nil)
+	key := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+
+	if l := c.Lease("w1"); l.None || l.Key != key {
+		t.Fatalf("grant to w1 = %+v", l)
+	}
+	// Heartbeats keep the lease alive past its original deadline.
+	clk.Advance(6 * time.Second)
+	if r := c.Renew("w1", []string{key}); len(r.Lost) != 0 {
+		t.Fatalf("renew lost %v", r.Lost)
+	}
+	clk.Advance(6 * time.Second)
+	if l := c.Lease("w2"); !l.None {
+		t.Fatalf("renewed lease was stolen: %+v", l)
+	}
+
+	// Silence for a full TTL expires it; the next poller steals it.
+	clk.Advance(11 * time.Second)
+	steal := c.Lease("w2")
+	if steal.None || steal.Key != key {
+		t.Fatalf("steal = %+v, want %s", steal, key)
+	}
+	cnt := c.Counters()
+	if cnt["fleet_leases_expired"] != 1 || cnt["fleet_tasks_stolen"] != 1 {
+		t.Fatalf("expired=%v stolen=%v, want 1/1", cnt["fleet_leases_expired"], cnt["fleet_tasks_stolen"])
+	}
+	// The displaced worker's renew now reports the loss.
+	if r := c.Renew("w1", []string{key}); len(r.Lost) != 1 || r.Lost[0] != key {
+		t.Fatalf("w1 renew = %+v, want lost %s", r, key)
+	}
+	// w1's late completion still lands (first writer), displacing w2.
+	if cr := c.Complete(CompleteRequest{Worker: "w1", Key: key, Result: okResult()}); !cr.Accepted || cr.Duplicate {
+		t.Fatalf("late complete = %+v", cr)
+	}
+	cnt = c.Counters()
+	if cnt["fleet_leases_expired"] != 2 { // w2's displaced grant
+		t.Fatalf("expired = %v, want 2 after displacement", cnt["fleet_leases_expired"])
+	}
+	if cnt["fleet_leases_inflight"] != 0 {
+		t.Fatalf("inflight = %v, want 0", cnt["fleet_leases_inflight"])
+	}
+	mustConserve(t, c)
+}
+
+func TestFailureClassification(t *testing.T) {
+	c, _ := testCoordinator(t, func(cfg *Config) { cfg.QuarantineThreshold = 2 })
+	key := mustAdmit(t, c, exp.GPUTaskSpec("DOOM3"))
+
+	// Transient: re-enqueued, no poison.
+	c.Lease("w1")
+	c.Complete(CompleteRequest{Worker: "w1", Key: key, ErrMsg: "interrupted", Class: ClassTransient})
+	if st, _, _, _, _ := c.state(key); st != server.StatusQueued {
+		t.Fatalf("after transient: %q, want queued", st)
+	}
+
+	// First panic: poisoned for w1, still retryable.
+	c.Lease("w1")
+	c.Complete(CompleteRequest{Worker: "w1", Key: key, ErrMsg: "boom", Stack: "goroutine 1 [running]", Class: ClassPanic})
+	if st, _, _, _, _ := c.state(key); st != server.StatusQueued {
+		t.Fatalf("after first panic: %q, want queued", st)
+	}
+	// Same worker panicking again proves nothing new — still one
+	// distinct worker, still retryable.
+	c.Lease("w1")
+	c.Complete(CompleteRequest{Worker: "w1", Key: key, ErrMsg: "boom", Stack: "goroutine 1 [running]", Class: ClassPanic})
+	if st, _, _, _, _ := c.state(key); st != server.StatusQueued {
+		t.Fatalf("after repeat panic on one worker: %q, want queued", st)
+	}
+	// A second distinct worker panicking crosses the threshold.
+	c.Lease("w2")
+	c.Complete(CompleteRequest{Worker: "w2", Key: key, ErrMsg: "boom", Stack: "goroutine 7 [running]", Class: ClassPanic})
+	st, errMsg, _, _, _ := c.state(key)
+	if st != server.StatusFailed {
+		t.Fatalf("after second distinct panic: %q, want failed", st)
+	}
+	if !strings.Contains(errMsg, "goroutine 7") {
+		t.Fatalf("quarantine message lost the stack: %q", errMsg)
+	}
+	cnt := c.Counters()
+	if cnt["fleet_quarantined"] != 1 || cnt["fleet_grants_failed"] != 4 {
+		t.Fatalf("quarantined=%v failed=%v", cnt["fleet_quarantined"], cnt["fleet_grants_failed"])
+	}
+	mustConserve(t, c)
+
+	// Permanent failures skip the voting entirely.
+	key2 := mustAdmit(t, c, exp.CPUTaskSpec(462))
+	c.Lease("w3")
+	c.Complete(CompleteRequest{Worker: "w3", Key: key2, ErrMsg: "bad scenario", Class: ClassPermanent})
+	if st, _, _, _, _ := c.state(key2); st != server.StatusFailed {
+		t.Fatalf("after permanent: %q, want failed", st)
+	}
+	mustConserve(t, c)
+}
+
+func TestMaxAttemptsBackstop(t *testing.T) {
+	c, clk := testCoordinator(t, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	key := mustAdmit(t, c, exp.CPUTaskSpec(433))
+	// Grant and silently expire three times: a worker black hole.
+	for i := 0; i < 3; i++ {
+		if l := c.Lease("w1"); l.None {
+			t.Fatalf("grant %d refused", i)
+		}
+		clk.Advance(11 * time.Second)
+	}
+	if l := c.Lease("w1"); !l.None {
+		t.Fatalf("fourth grant handed out %q, want quarantine", l.Key)
+	}
+	if st, errMsg, _, _, _ := c.state(key); st != server.StatusFailed || !strings.Contains(errMsg, "gave up") {
+		t.Fatalf("backstop state = %q %q", st, errMsg)
+	}
+	mustConserve(t, c)
+}
+
+func TestDeregisterReleasesLeases(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	key := mustAdmit(t, c, exp.CPUTaskSpec(470))
+	c.Lease("w1")
+	c.Deregister("w1")
+	// No clock advance needed: the lease was released immediately.
+	if l := c.Lease("w2"); l.None || l.Key != key {
+		t.Fatalf("post-deregister lease = %+v", l)
+	}
+	cnt := c.Counters()
+	if cnt["fleet_leases_expired"] != 1 || cnt["fleet_tasks_stolen"] != 1 {
+		t.Fatalf("expired=%v stolen=%v", cnt["fleet_leases_expired"], cnt["fleet_tasks_stolen"])
+	}
+	mustConserve(t, c)
+}
+
+func TestDrainStopsAdmissionAndGrants(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	mustAdmit(t, c, exp.CPUTaskSpec(470))
+	key2 := mustAdmit(t, c, exp.CPUTaskSpec(462))
+	lease := c.Lease("w1") // one in flight
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		queued, inflight := c.Drain(context.Background())
+		if queued != 1 || inflight != 0 {
+			t.Errorf("drain = (%d queued, %d inflight), want (1, 0)", queued, inflight)
+		}
+	}()
+
+	// Draining: no new admissions, no new grants, completions accepted.
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, code := c.Admit(exp.CPUTaskSpec(401)); code != 503 {
+		t.Fatalf("admission while draining: code %d, want 503", code)
+	}
+	if l := c.Lease("w2"); !l.Draining {
+		t.Fatalf("lease while draining = %+v, want Draining", l)
+	}
+	_ = key2
+	if cr := c.Complete(CompleteRequest{Worker: "w1", Key: lease.Key, Result: okResult()}); !cr.Accepted {
+		t.Fatalf("complete while draining = %+v", cr)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never returned after inflight hit zero")
+	}
+	mustConserve(t, c)
+}
+
+// TestCountersMonotoneAndConserved drives a mixed lifecycle and checks,
+// after every step, that every fleet counter is non-decreasing and the
+// grant conservation law holds (satellite 6).
+func TestCountersMonotoneAndConserved(t *testing.T) {
+	c, clk := testCoordinator(t, func(cfg *Config) { cfg.QuarantineThreshold = 2 })
+	counterNames := []string{
+		"fleet_submissions", "fleet_store_hits", "fleet_shed",
+		"fleet_leases_granted", "fleet_leases_renewed", "fleet_leases_expired",
+		"fleet_tasks_stolen", "fleet_grants_completed", "fleet_grants_failed",
+		"fleet_tasks_completed", "fleet_quarantined",
+	}
+	prev := c.Counters()
+	check := func(step string) {
+		t.Helper()
+		cur := c.Counters()
+		for _, name := range counterNames {
+			if cur[name] < prev[name] {
+				t.Fatalf("%s: counter %s went backwards (%v -> %v)", step, name, prev[name], cur[name])
+			}
+		}
+		if err := c.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		prev = cur
+	}
+
+	keys := []string{
+		mustAdmit(t, c, exp.CPUTaskSpec(470)),
+		mustAdmit(t, c, exp.CPUTaskSpec(462)),
+		mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyBaseline)),
+		mustAdmit(t, c, exp.GPUTaskSpec("DOOM3")),
+	}
+	check("admit")
+
+	l1, l2 := c.Lease("w1"), c.Lease("w2")
+	check("grant")
+	c.Renew("w1", []string{l1.Key})
+	check("renew")
+	c.Complete(CompleteRequest{Worker: "w1", Key: l1.Key, Result: okResult()})
+	check("complete")
+	clk.Advance(11 * time.Second) // expire w2's lease
+	c.Lease("w3")                 // steals l2's task (or takes next)
+	check("steal")
+	c.Complete(CompleteRequest{Worker: "w2", Key: l2.Key, Result: okResult()}) // late, displaced or stale
+	check("late-complete")
+	c.Lease("w1")
+	c.Complete(CompleteRequest{Worker: "w1", Key: keys[2], ErrMsg: "boom", Stack: "s", Class: ClassPanic})
+	check("panic-1")
+	c.Lease("w2")
+	c.Complete(CompleteRequest{Worker: "w2", Key: keys[2], ErrMsg: "boom", Stack: "s", Class: ClassPanic})
+	check("panic-2-quarantine")
+	c.Admit(exp.CPUTaskSpec(470)) // store hit
+	check("store-hit")
+	_ = keys
+}
+
+func TestReplayRebuildsFleetState(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fleet.jsonl")
+	jnl, _, _, err := exp.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	c1 := New(Config{LeaseTTL: 10 * time.Second, Now: clk.Now, Journal: jnl})
+
+	doneKey := mustAdmit(t, c1, exp.CPUTaskSpec(470))
+	leasedKey := mustAdmit(t, c1, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+	pendingKey := mustAdmit(t, c1, exp.GPUTaskSpec("DOOM3"))
+	poisonKey := mustAdmit(t, c1, exp.CPUTaskSpec(462))
+
+	if l := c1.Lease("w1"); l.Key != doneKey {
+		t.Fatalf("setup grant = %+v", l)
+	}
+	c1.Complete(CompleteRequest{Worker: "w1", Key: doneKey, Result: okResult()})
+	if l := c1.Lease("w2"); l.Key != leasedKey {
+		t.Fatalf("setup grant 2 = %+v", l)
+	}
+	if l := c1.Lease("w3"); l.Key != pendingKey {
+		t.Fatalf("setup grant 3 = %+v", l)
+	}
+	if l := c1.Lease("w1"); l.Key != poisonKey {
+		t.Fatalf("setup grant 4 = %+v", l)
+	}
+	c1.Complete(CompleteRequest{Worker: "w1", Key: poisonKey, ErrMsg: "bad", Class: ClassPermanent})
+	// Crash now: doneKey completed, poisonKey quarantined, leasedKey
+	// held by w2, pendingKey held by w3 (who will die with the crash).
+	jnl.Close()
+
+	// "Restart": reopen the journal and replay into a fresh coordinator.
+	jnl2, recs, _, err := exp.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	c2 := New(Config{LeaseTTL: 10 * time.Second, Now: clk.Now, Journal: jnl2})
+	stats := c2.Replay(recs)
+	if stats.Completed != 1 || stats.Quarantined != 1 || stats.Leased == 0 {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+	if stats.Unrecoverable != 0 {
+		t.Fatalf("replay lost %d tasks", stats.Unrecoverable)
+	}
+
+	// Completed key: served from the store, never re-leased.
+	if st, _, res, _, ok := c2.state(doneKey); !ok || st != server.StatusDone || res.IPC != 1.25 {
+		t.Fatalf("replayed done key: %q %v %v", st, res, ok)
+	}
+	// Quarantined key: still failed.
+	if st, msg, _, _, _ := c2.state(poisonKey); st != server.StatusFailed || !strings.Contains(msg, "bad") {
+		t.Fatalf("replayed quarantined key: %q %q", st, msg)
+	}
+	// The re-armed lease belongs to its last holder: w2's renew holds it.
+	if r := c2.Renew("w2", []string{leasedKey}); len(r.Lost) != 0 {
+		t.Fatalf("re-armed lease not renewable by holder: %+v", r)
+	}
+	// Its holder can complete it without a new grant.
+	if cr := c2.Complete(CompleteRequest{Worker: "w2", Key: leasedKey, Result: okResult()}); !cr.Accepted || cr.Duplicate {
+		t.Fatalf("re-armed complete = %+v", cr)
+	}
+	mustConserve(t, c2)
+
+	// w3 died with the crash: its re-armed lease never renews, expires,
+	// and pendingKey is stolen by the next poller. The completed keys
+	// never come back — zero recompute.
+	clk.Advance(11 * time.Second)
+	granted := map[string]bool{}
+	for {
+		l := c2.Lease("w9")
+		if l.None {
+			break
+		}
+		granted[l.Key] = true
+	}
+	if granted[doneKey] || granted[leasedKey] {
+		t.Fatalf("completed key re-leased after replay (recompute): %v", granted)
+	}
+	if !granted[pendingKey] {
+		t.Fatalf("pending key not re-leased after replay (got %v)", granted)
+	}
+	if c2.Counters()["fleet_tasks_stolen"] == 0 {
+		t.Fatal("steal of the dead worker's lease was not counted")
+	}
+	mustConserve(t, c2)
+}
+
+func TestReplayUnrecoverableScenarioLease(t *testing.T) {
+	// A lease record for a scenario key with no admission record cannot
+	// be turned back into a spec (the digest is one-way); replay counts
+	// it instead of dropping it silently.
+	c, _ := testCoordinator(t, nil)
+	stats := c.Replay([]exp.Record{{Kind: exp.KindLeased, Key: "scn/deadbeef/2", Worker: "w1"}})
+	if stats.Unrecoverable != 1 {
+		t.Fatalf("stats = %+v, want 1 unrecoverable", stats)
+	}
+	// A mix lease without admission is reconstructible from its key.
+	stats = c.Replay([]exp.Record{{Kind: exp.KindLeased, Key: "mix/M1/0", Worker: "w1"}})
+	if stats.Leased != 1 || stats.Unrecoverable != 0 {
+		t.Fatalf("stats = %+v, want 1 leased", stats)
+	}
+}
+
+func TestQueueShedAndValidation(t *testing.T) {
+	c, _ := testCoordinator(t, func(cfg *Config) { cfg.QueueDepth = 1 })
+	if _, code := c.Admit(exp.TaskSpec{Kind: "nope"}); code != 400 {
+		t.Fatalf("bad spec admitted: code %d", code)
+	}
+	mustAdmit(t, c, exp.CPUTaskSpec(470))
+	resp, code := c.Admit(exp.CPUTaskSpec(462))
+	if code != 429 || resp.RetryAfterMS <= 0 {
+		t.Fatalf("overflow: code %d resp %+v, want 429 with hint", code, resp)
+	}
+	if c.Counters()["fleet_shed"] != 1 {
+		t.Fatalf("shed = %v", c.Counters()["fleet_shed"])
+	}
+	// Shed keys were not admitted: unknown to status.
+	if _, _, _, _, ok := c.state("cpu/462"); ok {
+		t.Fatal("shed key has state")
+	}
+}

@@ -1,0 +1,184 @@
+// Package fleet shards simulation campaigns across many hetsimd-style
+// worker nodes behind one coordinator (DESIGN.md §13).
+//
+// The coordinator owns three pieces of state:
+//
+//   - a pending queue of admitted tasks, fed by the same public
+//     /v1/runs API one hetsimd serves, so internal/client and
+//     hetsimctl drive a fleet unchanged;
+//   - a lease table: each task is leased to exactly one worker with a
+//     deadline, renewed by heartbeat while the run executes; an
+//     expired lease re-enqueues the task for work-stealing by whichever
+//     worker asks next;
+//   - a content-addressed result store keyed by exp.TaskSpec.Key — the
+//     idempotency token that already names a run by its content (mix,
+//     policy, scenario digest). A key present in the store is never
+//     executed again: resubmissions, duplicate completions, and
+//     post-restart re-leases all resolve to a store hit.
+//
+// Crash consistency rides the PR 3/PR 5 journal machinery: the
+// coordinator journals a task's admission (KindQueued), every lease
+// grant (KindLeased, or KindStolen when the grant moves a task between
+// workers), each first completion (the run's natural result record),
+// and poisoned tasks (KindQuarantined, panic stack attached). A
+// coordinator restarted with -resume replays the journal into the
+// store, the pending queue, and re-armed leases, so a fleet that lost
+// its coordinator — or any worker, by SIGKILL — converges to byte-
+// identical results with zero recomputation of completed keys.
+//
+// Failure classification is typed: transient failures (a run
+// interrupted by shutdown or a lost lease) re-enqueue without
+// prejudice; a panicking run marks the task poisoned by that worker,
+// and the same task panicking on enough distinct workers is
+// quarantined — the PR 5 circuit-breaker idea at fleet granularity,
+// proving the fault travels with the task, not the node.
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Failure classes a worker reports with a failed completion.
+const (
+	// ClassTransient marks a failure external to the task itself — the
+	// worker was shutting down, the lease was lost, a deadline expired.
+	// The task re-enqueues with no poison mark.
+	ClassTransient = "transient"
+
+	// ClassPanic marks a RunError with a recovered panic stack. The
+	// reporting worker is recorded against the task; ClassPanic reports
+	// from QuarantineThreshold distinct workers quarantine it.
+	ClassPanic = "panic"
+
+	// ClassPermanent marks a failure retrying cannot fix (validation
+	// rejected deep in the run). The task is quarantined immediately.
+	ClassPermanent = "permanent"
+)
+
+// RegisterRequest announces a worker to the coordinator. Worker is the
+// node's stable identity across restarts (hetsimd derives it from
+// -worker-id or its listen address); URL is advisory, for operators
+// reading /metricsz.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+	URL    string `json:"url,omitempty"`
+}
+
+// LeaseRequest asks for one task lease. Workers with idle slots poll
+// this endpoint — the pull model is what makes stealing free: an idle
+// worker's next poll picks up whatever an expired lease put back.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one task (Key+Spec, with TTLMS the renewal
+// budget) or reports none available. Draining tells agents to back off
+// without deregistering: a draining coordinator still accepts
+// completions for in-flight leases.
+type LeaseResponse struct {
+	Key      string        `json:"key,omitempty"`
+	Spec     *exp.TaskSpec `json:"spec,omitempty"`
+	TTLMS    int64         `json:"ttl_ms,omitempty"`
+	None     bool          `json:"none,omitempty"`
+	Draining bool          `json:"draining,omitempty"`
+}
+
+// RenewRequest is the heartbeat: the worker lists every lease it still
+// holds, and the coordinator extends their deadlines.
+type RenewRequest struct {
+	Worker string   `json:"worker"`
+	Keys   []string `json:"keys"`
+}
+
+// RenewResponse lists the keys the worker no longer holds — expired
+// and re-granted elsewhere, completed by another worker, or forgotten
+// by a restarted coordinator. The agent cancels those runs: the result
+// would be discarded anyway, and cancelling promptly keeps a stolen
+// task from being computed twice for longer than one heartbeat.
+type RenewResponse struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
+// CompleteRequest reports one finished run: Result on success, or the
+// failure's message, class, and (for panics) stack.
+type CompleteRequest struct {
+	Worker string          `json:"worker"`
+	Key    string          `json:"key"`
+	Result *exp.TaskResult `json:"result,omitempty"`
+	ErrMsg string          `json:"err,omitempty"`
+	Stack  string          `json:"stack,omitempty"`
+	Class  string          `json:"class,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion report. Duplicate means
+// the store already held the key — the reporting worker recomputed (or
+// raced) a completed key, counted as a store hit, its payload
+// discarded in favor of the first.
+type CompleteResponse struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// LeaseTTL is how long a grant lives between heartbeats; a lease
+	// not renewed within it expires and the task re-enqueues. Default
+	// 15s. Agents renew at TTL/3.
+	LeaseTTL time.Duration
+
+	// QueueDepth bounds the pending queue; submissions past it are
+	// shed with 429 + Retry-After. Default 4096 — a coordinator queues
+	// campaigns, not single runs.
+	QueueDepth int
+
+	// QuarantineThreshold is how many distinct workers must report a
+	// panic on the same task before it is quarantined. Default 2: one
+	// panicking node proves nothing, the same panic on a second node
+	// proves the task. Minimum 1.
+	QuarantineThreshold int
+
+	// MaxAttempts caps how many times one task may be granted before
+	// it is quarantined regardless of class — the backstop against a
+	// task that kills every lease without ever reporting. Default 16.
+	MaxAttempts int
+
+	// MaxWait caps the ?wait long-poll duration. Default 30s.
+	MaxWait time.Duration
+
+	// ShedRetryAfter is the backoff hint on shed and draining
+	// rejections. Default 1s.
+	ShedRetryAfter time.Duration
+
+	// Journal, when non-nil, receives the fleet's crash-consistency
+	// records; pair with Replay on restart.
+	Journal *exp.Journal
+
+	// Now is the clock seam (tests compress lease expiry).
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.QuarantineThreshold < 1 {
+		c.QuarantineThreshold = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Handler returns the coordinator's HTTP API. The public half is
+// wire-compatible with one hetsimd, so internal/client and hetsimctl
+// drive a fleet with no changes:
+//
+//	POST   /v1/runs                  submit (idempotent by task key)
+//	GET    /v1/runs/{key}            status, with optional ?wait= long-poll
+//	GET    /v1/results/{key}         completed run's payload
+//	GET    /healthz                  liveness + identity
+//	GET    /readyz                   readiness (503 once draining)
+//	GET    /metricsz                 fleet + journal counters
+//
+// The /fleet/v1 half is the worker lease protocol:
+//
+//	POST   /fleet/v1/workers         register {worker, url}
+//	DELETE /fleet/v1/workers/{id}    deregister, releasing held leases
+//	GET    /fleet/v1/workers         registry listing (worker → leases)
+//	POST   /fleet/v1/lease           request one task lease
+//	POST   /fleet/v1/renew           heartbeat: extend held leases
+//	POST   /fleet/v1/complete        report a run outcome
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{key...}", c.handleStatus)
+	mux.HandleFunc("GET /v1/results/{key...}", c.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := c.Health()
+		if h.Draining {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, h)
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = c.reg.WriteSnapshot(w)
+	})
+
+	mux.HandleFunc("POST /fleet/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad register body"})
+			return
+		}
+		c.Register(req.Worker, req.URL)
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("DELETE /fleet/v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c.Deregister(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /fleet/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		held := c.Workers()
+		type entry struct {
+			Worker string `json:"worker"`
+			Leases int    `json:"leases"`
+		}
+		out := make([]entry, 0, len(held))
+		for id, n := range held {
+			out = append(out, entry{Worker: id, Leases: n})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /fleet/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad lease body"})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Lease(req.Worker))
+	})
+	mux.HandleFunc("POST /fleet/v1/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad renew body"})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Renew(req.Worker, req.Keys))
+	})
+	mux.HandleFunc("POST /fleet/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" || req.Key == "" {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad complete body"})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Complete(req))
+	})
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad submit body: " + err.Error()})
+		return
+	}
+	// Per-run timeouts are accepted for wire compatibility but not
+	// enforced fleet-side: the lease TTL plus worker-side deadlines
+	// bound every run's lifetime.
+	resp, code := c.Admit(req.TaskSpec)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		writeRejection(w, code, resp.Key, resp.Error, time.Duration(resp.RetryAfterMS)*time.Millisecond)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	status, errMsg, _, done, ok := c.state(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, server.StatusResponse{Key: key, Error: "unknown run"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" &&
+		(status == server.StatusQueued || status == server.StatusRunning) {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Key: key, Error: "bad wait duration: " + err.Error()})
+			return
+		}
+		if wait > c.cfg.MaxWait {
+			wait = c.cfg.MaxWait
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+		status, errMsg, _, _, _ = c.state(key)
+	}
+	writeJSON(w, http.StatusOK, server.StatusResponse{Key: key, Status: status, Error: errMsg})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	status, errMsg, res, _, ok := c.state(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, server.StatusResponse{Key: key, Error: "unknown run"})
+		return
+	}
+	switch status {
+	case server.StatusDone:
+		writeJSON(w, http.StatusOK, server.ResultResponse{Key: key, TaskResult: res})
+	case server.StatusFailed:
+		writeJSON(w, http.StatusInternalServerError, server.StatusResponse{Key: key, Status: status, Error: errMsg})
+	default:
+		writeJSON(w, http.StatusConflict, server.StatusResponse{Key: key, Status: status, Error: "run not complete"})
+	}
+}
+
+// writeJSON and writeRejection mirror the server package's helpers
+// (unexported there); the fleet handler keeps the same wire shapes.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeRejection(w http.ResponseWriter, code int, key, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, server.StatusResponse{
+		Key:          key,
+		Error:        msg,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}

@@ -49,6 +49,23 @@ type ResultResponse struct {
 	exp.TaskResult
 }
 
+// Version identifies this build of the service layer; /healthz and
+// /readyz report it so a fleet operator can spot a node running stale
+// code.
+const Version = "0.8.0"
+
+// Health is the /healthz and /readyz body: enough for a client (or the
+// fleet coordinator) to distinguish a cold worker from a draining one
+// — a cold node reports near-zero uptime and an empty queue, a
+// draining one reports draining=true behind a 503 /readyz.
+type Health struct {
+	Version    string  `json:"version"`
+	UptimeS    float64 `json:"uptime_s"`
+	Engine     string  `json:"engine"`
+	QueueDepth int     `json:"queue_depth"`
+	Draining   bool    `json:"draining,omitempty"`
+}
+
 // writeJSON emits v with the given HTTP status.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

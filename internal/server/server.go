@@ -41,6 +41,10 @@ type Config struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 
+	// Engine names the daemon-wide tick-engine default reported by
+	// /healthz ("auto" when empty; hetsimd passes "seq" under -seq).
+	Engine string
+
 	// RunFunc is the execution seam: nil means Runner.Do. Tests
 	// substitute failing/blocking executors to drive the shed, breaker
 	// and drain paths without real simulations.
@@ -69,6 +73,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Engine == "" {
+		c.Engine = "auto"
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -111,6 +118,7 @@ type Server struct {
 	wg   sync.WaitGroup
 
 	draining atomic.Bool
+	started  time.Time
 
 	mu       sync.Mutex
 	states   map[string]*jobState
@@ -134,6 +142,7 @@ func New(runner *exp.Runner, cfg Config) *Server {
 		quit:     make(chan struct{}),
 		states:   make(map[string]*jobState),
 		breakers: make(map[string]*breaker),
+		started:  cfg.Now(),
 	}
 	s.registerObs()
 	return s
@@ -478,6 +487,20 @@ func (s *Server) Drain(ctx context.Context) (queued int, err error) {
 // Draining reports whether the server has begun (or finished) a drain.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Health snapshots the node's identity and load for /healthz and
+// /readyz: version, uptime, the daemon-wide engine default, and the
+// admission-queue depth — what hetsimctl wait-ready prints and the
+// fleet coordinator reads to tell a cold worker from a draining one.
+func (s *Server) Health() Health {
+	return Health{
+		Version:    Version,
+		UptimeS:    s.now().Sub(s.started).Seconds(),
+		Engine:     s.cfg.Engine,
+		QueueDepth: len(s.jobs),
+		Draining:   s.draining.Load(),
+	}
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/runs            submit (idempotent by task key)
@@ -492,14 +515,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{key...}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{key...}", s.handleResult)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			writeRejection(w, http.StatusServiceUnavailable, "", "draining", s.cfg.ShedRetryAfter)
+		h := s.Health()
+		if h.Draining {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, h)
 			return
 		}
-		w.Write([]byte("ready\n"))
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

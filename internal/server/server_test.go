@@ -513,3 +513,72 @@ func TestServiceConcurrentSubmissions(t *testing.T) {
 		}
 	}
 }
+
+// TestHealthEndpoints: /healthz and /readyz carry the node identity
+// fields (version, uptime, engine, queue depth) that let hetsimctl and
+// the fleet coordinator distinguish a cold worker from a draining one.
+func TestHealthEndpoints(t *testing.T) {
+	blk := newBlockingRun()
+	now := time.Now()
+	clock := func() time.Time { return now }
+	s, ts := startServer(t, exp.NewRunner(detCfg()), Config{
+		Workers: 1, QueueDepth: 4, Engine: "seq", RunFunc: blk.run, Now: clock,
+	})
+
+	getHealth := func(path string) (Health, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return h, resp.StatusCode
+	}
+
+	h, code := getHealth("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz code %d", code)
+	}
+	if h.Version != Version || h.Engine != "seq" || h.Draining {
+		t.Fatalf("healthz = %+v, want version %s, engine seq, not draining", h, Version)
+	}
+	if h.UptimeS != 0 {
+		t.Fatalf("uptime %v with a frozen clock, want 0", h.UptimeS)
+	}
+
+	// Occupy the worker and queue one task: queue_depth must show it.
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.CPUTaskSpec(429)}); code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	<-blk.started
+	if _, code, _ := submit(t, ts.URL, SubmitRequest{TaskSpec: exp.CPUTaskSpec(462)}); code != http.StatusAccepted {
+		t.Fatalf("submit queued: code %d", code)
+	}
+	if h, _ := getHealth("/readyz"); h.QueueDepth != 1 {
+		t.Fatalf("readyz queue_depth = %d, want 1", h.QueueDepth)
+	}
+
+	// Advance the frozen clock and drain: uptime moves, readyz turns
+	// 503 but still reports the identity fields.
+	now = now.Add(3 * time.Second)
+	close(blk.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, code = getHealth("/readyz")
+	if code != http.StatusServiceUnavailable || !h.Draining {
+		t.Fatalf("draining readyz = %d %+v, want 503 + draining", code, h)
+	}
+	if h.UptimeS != 3 {
+		t.Fatalf("uptime %v after 3s, want 3", h.UptimeS)
+	}
+	if h.Version != Version || h.Engine != "seq" {
+		t.Fatalf("draining readyz lost identity: %+v", h)
+	}
+}
