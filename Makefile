@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json cover chaos chaos-fleet fuzz soak serve-smoke ci
+.PHONY: all build vet test race bench bench-json bench-twin cover chaos chaos-fleet fuzz soak serve-smoke ci
 
 all: ci
 
@@ -118,6 +118,20 @@ bench-json:
 		-benchtime 1x -benchmem -timeout 30m . ; } | \
 		HETSIM_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchjson \
 		-baseline bench/BASELINE_PR6.txt -out BENCH_PR6.json
+	$(MAKE) bench-twin
+
+# Twin-vs-full serving latency at the twin's own scale (the benchmark
+# calibrates a real frontier in setup, so TWIN_BENCH_SCALE=1024 keeps
+# one simulation near a second). The recorded twin_speedup ratio is
+# the tentpole's headline number; the acceptance floor is 1000x.
+TWIN_BENCH_SCALE = 1024
+bench-twin:
+	HETSIM_SCALE=$(TWIN_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkServingTier' \
+		-benchtime 1x -benchmem -timeout 30m ./internal/twin | \
+		HETSIM_SCALE=$(TWIN_BENCH_SCALE) $(GO) run ./cmd/benchjson \
+		-ratio 'twin_speedup=BenchmarkServingTier/full:BenchmarkServingTier/twin' \
+		-out BENCH_PR9.json
 
 # Service smoke gate: boot the real hetsimd binary, drive one run
 # through hetsimctl over HTTP, check the run is visible on /metricsz,
@@ -151,12 +165,13 @@ serve-smoke:
 
 # Coverage gate for the pure-bookkeeping layers every experiment's
 # output flows through: the observability recorder, the workload
-# catalogs, and the synthetic trace generator must each stay >= 80%
-# covered by their own unit tests (-short keeps the gate fast; these
-# suites have no long-running tests behind the flag).
+# catalogs, the synthetic trace generator, and the analytic twin model
+# must each stay >= 80% covered by their own unit tests (-short keeps
+# the gate fast; the twin's simulation-heavy differential gate hides
+# behind the flag).
 MIN_COVER = 80
 cover:
-	@set -e; for pkg in obs workloads trace; do \
+	@set -e; for pkg in obs workloads trace twin; do \
 		$(GO) test -short -cover -coverprofile=/tmp/$$pkg.cover ./internal/$$pkg >/dev/null; \
 		total=$$($(GO) tool cover -func=/tmp/$$pkg.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 		echo "internal/$$pkg coverage: $$total% (floor $(MIN_COVER)%)"; \

@@ -21,6 +21,13 @@
 // that does not exist is a warning, not an error: the report is
 // emitted without comparison and the exit stays 0, so a fresh machine
 // (or CI cache miss) doesn't fail the gate on its first run.
+//
+// Custom b.ReportMetric units on a result line (e.g. "0.82 errpct")
+// are captured into the mark's metrics map. -ratio records named
+// within-run ns/op ratios — `-ratio twin_speedup=Bench/full:Bench/twin`
+// emits ns(full)/ns(twin), the twin tier's headline speedup — and a
+// -ratio naming a benchmark absent from the input is an error, since
+// the caller asked this run to record that number.
 package main
 
 import (
@@ -45,6 +52,10 @@ type mark struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 
+	// Metrics carries custom b.ReportMetric units (e.g. a prediction's
+	// frame_errpct), keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
 }
@@ -55,6 +66,10 @@ type report struct {
 	Benchmarks []mark  `json:"benchmarks"`
 	Matched    int     `json:"baseline_matched,omitempty"`
 	GeoSpeedup float64 `json:"geomean_speedup,omitempty"`
+
+	// Ratios are the -ratio comparisons between two benchmarks of the
+	// same run (slow ns/op over fast ns/op; >1 = fast is faster).
+	Ratios map[string]float64 `json:"ratios,omitempty"`
 }
 
 // trimProcs strips the -P GOMAXPROCS suffix go test appends, so runs
@@ -87,15 +102,23 @@ func parse(r io.Reader) ([]mark, error) {
 		}
 		m := mark{Name: trimProcs(f[0]), Iterations: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseInt(f[i], 10, 64)
-			if err != nil {
-				continue
-			}
 			switch f[i+1] {
 			case "B/op":
-				m.BytesPerOp = v
+				if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+					m.BytesPerOp = v
+				}
 			case "allocs/op":
-				m.AllocsPerOp = v
+				if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+					m.AllocsPerOp = v
+				}
+			default:
+				// A custom b.ReportMetric unit (floats allowed).
+				if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+					if m.Metrics == nil {
+						m.Metrics = make(map[string]float64)
+					}
+					m.Metrics[f[i+1]] = v
+				}
 			}
 		}
 		out = append(out, m)
@@ -109,6 +132,7 @@ func realMain() int {
 	var (
 		baseline = flag.String("baseline", "", "tee'd go test -bench output of a previous run to compare against")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+		ratios   = flag.String("ratio", "", "record named ns/op ratios between benchmarks of this run: name=slowBench:fastBench[,...]")
 	)
 	flag.Parse()
 
@@ -123,6 +147,34 @@ func realMain() int {
 	}
 
 	rep := report{Scale: os.Getenv("HETSIM_SCALE"), Benchmarks: marks}
+	if *ratios != "" {
+		// Unlike a missing -baseline, a -ratio naming an absent benchmark
+		// is an error: the caller asked this run to record that number.
+		byName := make(map[string]float64, len(marks))
+		for _, m := range marks {
+			byName[m.Name] = m.NsPerOp
+		}
+		rep.Ratios = make(map[string]float64)
+		for _, spec := range strings.Split(*ratios, ",") {
+			name, pair, okEq := strings.Cut(spec, "=")
+			slow, fast, okColon := strings.Cut(pair, ":")
+			if !okEq || !okColon || name == "" {
+				cliutil.Errorf("bad -ratio entry %q (want name=slowBench:fastBench)", spec)
+				return cliutil.ExitUsage
+			}
+			sn, sok := byName[trimProcs(strings.TrimSpace(slow))]
+			fn, fok := byName[trimProcs(strings.TrimSpace(fast))]
+			if !sok || !fok {
+				cliutil.Errorf("-ratio %s: benchmark %q or %q not in this run's output", name, slow, fast)
+				return cliutil.ExitRuntime
+			}
+			if fn <= 0 {
+				cliutil.Errorf("-ratio %s: %q reported non-positive ns/op", name, fast)
+				return cliutil.ExitRuntime
+			}
+			rep.Ratios[strings.TrimSpace(name)] = sn / fn
+		}
+	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
 		if os.IsNotExist(err) {
@@ -186,6 +238,9 @@ func emit(rep report, out, baseline string) int {
 	fmt.Printf("benchjson: %d benchmarks", len(rep.Benchmarks))
 	if rep.Matched > 0 {
 		fmt.Printf(", geomean speedup %.3fx over %s", rep.GeoSpeedup, baseline)
+	}
+	for name, r := range rep.Ratios {
+		fmt.Printf(", %s %.0fx", name, r)
 	}
 	fmt.Printf(" -> %s\n", out)
 	return cliutil.ExitOK

@@ -62,3 +62,60 @@ func TestMissingBaselineWarnsNotFails(t *testing.T) {
 		t.Fatalf("report = %+v, want 1 benchmark and no comparison", rep)
 	}
 }
+
+// TestParseCustomMetrics: b.ReportMetric units land in the mark's
+// metrics map; B/op and allocs/op keep their dedicated fields.
+func TestParseCustomMetrics(t *testing.T) {
+	in := "BenchmarkServingTier/twin-8  1000000  1250 ns/op  0.82 frame_errpct  0.91 confidence  16 B/op  1 allocs/op\n"
+	marks, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 1 {
+		t.Fatalf("parsed %d marks, want 1", len(marks))
+	}
+	m := marks[0]
+	if m.BytesPerOp != 16 || m.AllocsPerOp != 1 {
+		t.Fatalf("mem fields = %+v", m)
+	}
+	if m.Metrics["frame_errpct"] != 0.82 || m.Metrics["confidence"] != 0.91 {
+		t.Fatalf("metrics = %v", m.Metrics)
+	}
+	if _, leaked := m.Metrics["B/op"]; leaked {
+		t.Fatalf("B/op leaked into metrics: %v", m.Metrics)
+	}
+}
+
+// TestRatioFlag: -ratio records the within-run ns/op ratio under its
+// name, and an entry naming an absent benchmark fails the run.
+func TestRatioFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := filepath.Join(t.TempDir(), "benchjson")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	bench := "BenchmarkServingTier/full-8  1  2000000000 ns/op\nBenchmarkServingTier/twin-8  1000000  1000 ns/op\n"
+
+	cmd := exec.Command(bin, "-ratio", "twin_speedup=BenchmarkServingTier/full:BenchmarkServingTier/twin")
+	cmd.Stdin = strings.NewReader(bench)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("ratio run failed: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Ratios["twin_speedup"]; got != 2e6 {
+		t.Fatalf("twin_speedup = %v, want 2e6", got)
+	}
+
+	cmd = exec.Command(bin, "-ratio", "x=BenchmarkNope:BenchmarkServingTier/twin")
+	cmd.Stdin = strings.NewReader(bench)
+	if err := cmd.Run(); err == nil {
+		t.Fatal("-ratio with an absent benchmark must fail")
+	}
+}

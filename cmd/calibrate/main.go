@@ -9,17 +9,41 @@
 // (-workers, default HETSIM_PARALLEL or GOMAXPROCS) and the table
 // prints in catalog order. A title whose simulation fails is reported
 // on stderr while the rest of the table still prints.
+//
+// With -fit-twin, calibrate instead runs the analytic-twin calibration
+// campaign (DESIGN.md §14): every evaluation mix's games and SPEC
+// applications standalone, every mix under every one of the paper's
+// nine policies, then a differential least-squares fit of the per-
+// policy corrections, written as a versioned, content-digested
+// coefficient file for `hetsimd -twin-coeffs`:
+//
+//	calibrate -scale 1024 -fit-twin twin-coeffs.json
+//
+// The frontier can be fanned out across a fleet instead of running
+// in-process: -server points at a hetsimd or hetsimfleet URL, whose
+// nodes must run the same -scale and configuration this invocation
+// uses — the coefficient file binds to the local configuration by
+// digest, so a mismatched fleet yields a model hetsimd will refuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/hetsim"
+	"repro/internal/client"
 	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/twin"
+	"repro/internal/workloads"
 )
 
 func main() { os.Exit(realMain()) }
@@ -27,6 +51,10 @@ func main() { os.Exit(realMain()) }
 func realMain() int {
 	scale := flag.Int("scale", 64, "scale factor")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = HETSIM_PARALLEL or GOMAXPROCS, 1 = serial)")
+	fitTwin := flag.String("fit-twin", "", "run the twin calibration campaign and write the coefficient file here")
+	ridge := flag.Float64("ridge", 0, "ridge penalty for -fit-twin (0 = twin.DefaultRidge)")
+	server := flag.String("server", "", "hetsimd/hetsimfleet URL: fan the -fit-twin frontier out instead of simulating in-process (nodes must run the same -scale)")
+	timeout := flag.Duration("timeout", 0, "per-run deadline for -server submissions (0 = none)")
 	flag.Parse()
 
 	cfg := hetsim.DefaultConfig(*scale)
@@ -35,6 +63,10 @@ func realMain() int {
 		return cliutil.ExitUsage
 	}
 	mixes := hetsim.EvalMixes()
+
+	if *fitTwin != "" {
+		return fitTwinMain(cfg, mixes, *fitTwin, *ridge, *server, *timeout, *workers)
+	}
 
 	n := *workers
 	if n <= 0 {
@@ -94,4 +126,117 @@ func realMain() int {
 		return cliutil.ExitRuntime
 	}
 	return cliutil.ExitOK
+}
+
+// fitTwinMain runs the calibration frontier (locally or against a
+// fleet), fits the per-policy corrections, and writes the coefficient
+// file.
+func fitTwinMain(cfg hetsim.Config, mixes []hetsim.Mix, out string, ridge float64, server string, timeout time.Duration, workers int) int {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	n := workers
+	if n <= 0 {
+		n = hetsim.DefaultWorkers()
+	}
+	var ex twin.Exec // nil = in-process
+	if server != "" {
+		ex = &remoteExec{ctx: ctx, cl: client.New(server), timeout: timeout}
+	}
+
+	policies := hetsim.AllPolicies()
+	cells := len(mixes) * len(policies)
+	fmt.Fprintf(os.Stderr, "calibrate: twin frontier at scale %d: %d mixes x %d policies (%d cells) plus standalones\n",
+		cfg.Scale, len(mixes), len(policies), cells)
+	start := time.Now()
+	frontier, err := hetsim.RunTwinFrontier(cfg, mixes, policies, n, ex)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: frontier complete in %v\n", time.Since(start).Round(time.Millisecond))
+
+	coeffs, err := hetsim.FitTwin(cfg, frontier, ridge)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	model, err := hetsim.NewTwinModel(coeffs)
+	if err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+	if err := hetsim.SaveTwinCoeffs(out, coeffs); err != nil {
+		cliutil.Errorf("%v", err)
+		return cliutil.ExitRuntime
+	}
+
+	// Per-policy fit quality, in catalog order: the residual RMSes (log
+	// space, so they read as relative errors) and the confidence the
+	// serving tier will attach — everything an operator needs to pick a
+	// -twin-threshold.
+	names := make([]string, 0, len(coeffs.Policies))
+	for name := range coeffs.Policies {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := strconv.Atoi(names[i])
+		b, _ := strconv.Atoi(names[j])
+		return a < b
+	})
+	fmt.Printf("%-16s %9s %9s %8s %11s\n", "policy", "frameRMS", "ipcRMS", "samples", "confidence")
+	for _, name := range names {
+		pf := coeffs.Policies[name]
+		num, _ := strconv.Atoi(name)
+		pred, perr := model.PredictMix(cfg, mixes[0].ID, sim.Policy(num))
+		conf := 0.0
+		if perr == nil {
+			conf = pred.Confidence
+		}
+		fmt.Printf("%-16s %9.4f %9.4f %8d %11.2f\n", sim.Policy(num), pf.FrameRMS, pf.IPCRMS, pf.Samples, conf)
+	}
+	fmt.Printf("calibration error %.2f%%, %d mix anchor(s), digest %s\n",
+		model.CalibrationErrPct(), len(coeffs.MixBase), coeffs.Digest[:12])
+	fmt.Printf("wrote %s\n", out)
+	return cliutil.ExitOK
+}
+
+// remoteExec is the fleet-backed twin.Exec: each frontier cell is
+// submitted as a full-tier task through the public run API and ridden
+// to completion by the retrying client, so a frontier survives worker
+// restarts the same way any campaign does.
+type remoteExec struct {
+	ctx     context.Context
+	cl      *client.Client
+	timeout time.Duration
+}
+
+func (e *remoteExec) Mix(cfg sim.Config, m workloads.Mix, p sim.Policy) (twin.Sample, error) {
+	res, err := e.cl.Run(e.ctx, exp.MixTaskSpec(m.ID, p), e.timeout)
+	if err != nil {
+		return twin.Sample{}, err
+	}
+	if res.Result == nil {
+		return twin.Sample{}, fmt.Errorf("mix %s/%s: result payload missing", m.ID, p)
+	}
+	return twin.SampleFromResult(res.Result), nil
+}
+
+func (e *remoteExec) GPU(cfg sim.Config, game string) (float64, error) {
+	res, err := e.cl.Run(e.ctx, exp.GPUTaskSpec(game), e.timeout)
+	if err != nil {
+		return 0, err
+	}
+	if res.Result == nil {
+		return 0, fmt.Errorf("gpu %s: result payload missing", game)
+	}
+	return res.Result.GPUFPS, nil
+}
+
+func (e *remoteExec) CPU(cfg sim.Config, specID int) (float64, error) {
+	res, err := e.cl.Run(e.ctx, exp.CPUTaskSpec(specID), e.timeout)
+	if err != nil {
+		return 0, err
+	}
+	return res.IPC, nil
 }

@@ -20,6 +20,19 @@
 // rerunning the same file against the same server replays the
 // memoized result.
 //
+// -tier selects the serving tier for submitted keys (DESIGN.md §14):
+// full (the default) simulates cycle-accurately, twin answers from the
+// daemon's calibrated analytic model in microseconds, auto serves the
+// twin prediction when its confidence clears the daemon's threshold
+// and escalates to full simulation otherwise. Twin answers print their
+// confidence; escalated runs print the prediction error the simulation
+// measured.
+//
+//	hetsimctl -tier auto run mix/M7/2
+//
+// wait-ready honors -timeout as its wait bound (then -deadline, then a
+// 30s default) and exits nonzero naming the node that never came up.
+//
 // -addr accepts a comma-separated list of nodes. With several, each
 // task is routed to the node its key hashes to (stable FNV-1a
 // sharding, so resubmissions and status queries land on the same node
@@ -35,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -50,7 +64,7 @@ import (
 func main() { os.Exit(realMain()) }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port[,host:port...]] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
+	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port[,host:port...]] [-tier full|twin|auto] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
 	flag.PrintDefaults()
 }
 
@@ -70,6 +84,7 @@ func realMain() int {
 		verbose  = flag.Bool("v", false, "log client retries to stderr")
 		scnFile  = flag.String("scenario", "", "submit this scenario spec file (run/submit; combinable with task keys)")
 		policyF  = flag.String("policy", "baseline", "policy for -scenario submissions")
+		tierF    = flag.String("tier", "", "serving tier for run/submit keys: full (default), twin (analytic model), auto (twin when confident, else simulate)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -125,6 +140,11 @@ func realMain() int {
 				cliutil.Errorf("%v", err)
 				return cliutil.ExitUsage
 			}
+			// -tier overrides whatever the key form implies (a bare key
+			// is full-tier; a "twin/..." key parses as auto).
+			if *tierF != "" {
+				spec.Tier = *tierF
+			}
 			if err := spec.Validate(); err != nil {
 				cliutil.Errorf("%v", err)
 				return cliutil.ExitUsage
@@ -149,6 +169,11 @@ func realMain() int {
 				return cliutil.ExitUsage
 			}
 			spec := exp.ScenarioTaskSpec(sp, pol)
+			// Applied rather than ignored: a scenario has no analytic
+			// model, and Validate says so better than silence would.
+			if *tierF != "" {
+				spec.Tier = *tierF
+			}
 			if err := spec.Validate(); err != nil {
 				cliutil.Errorf("%v", err)
 				return cliutil.ExitUsage
@@ -240,26 +265,17 @@ func realMain() int {
 		return cliutil.ExitOK
 
 	case "wait-ready":
-		wctx := ctx
-		if *deadline == 0 {
-			var cancel context.CancelFunc
-			wctx, cancel = context.WithTimeout(ctx, 30*time.Second)
-			defer cancel()
+		// The wait bound is -timeout (the flag scripts reach for),
+		// falling back to -deadline, else 30s: wait-ready must always
+		// terminate — a boot script blocked forever on a daemon that
+		// never came up is worse than a clear failure.
+		wait := *timeout
+		if wait <= 0 {
+			wait = *deadline
 		}
-		for i, cl := range clients {
-			if err := cl.Ready(wctx); err != nil {
-				cliutil.Errorf("%s: %v", addrs[i], err)
-				return cliutil.ExitRuntime
-			}
-			// Ready nodes identify themselves: version, engine, uptime,
-			// and queue depth, so scripts can spot a stale or cold node.
-			h, err := cl.Health(wctx)
-			if err != nil {
-				cliutil.Errorf("%s: %v", addrs[i], err)
-				return cliutil.ExitRuntime
-			}
-			fmt.Printf("ready\t%s\tversion=%s\tengine=%s\tuptime_s=%.1f\tqueue_depth=%d\n",
-				addrs[i], h.Version, h.Engine, h.UptimeS, h.QueueDepth)
+		if err := waitReady(ctx, os.Stdout, addrs, clients, wait); err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
 		}
 		return cliutil.ExitOK
 	}
@@ -268,9 +284,58 @@ func realMain() int {
 	return cliutil.ExitUsage
 }
 
-// summary renders one finished task as a stable one-line record.
+// waitReady blocks until every node reports ready, printing each
+// node's identity line, or fails with a message naming the node that
+// never came up and the bound that expired (wait <= 0 defaults to
+// 30s). Factored out of realMain so the expiry contract is unit-
+// testable without a subprocess.
+func waitReady(ctx context.Context, out io.Writer, addrs []string, clients []*client.Client, wait time.Duration) error {
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	for i, cl := range clients {
+		if err := cl.Ready(wctx); err != nil {
+			if wctx.Err() != nil && ctx.Err() == nil {
+				return fmt.Errorf("wait-ready: %s: not ready after %v", addrs[i], wait)
+			}
+			return fmt.Errorf("wait-ready: %s: %w", addrs[i], err)
+		}
+		// Ready nodes identify themselves: version, engine, uptime,
+		// and queue depth, so scripts can spot a stale or cold node.
+		h, err := cl.Health(wctx)
+		if err != nil {
+			return fmt.Errorf("wait-ready: %s: %w", addrs[i], err)
+		}
+		fmt.Fprintf(out, "ready\t%s\tversion=%s\tengine=%s\tuptime_s=%.1f\tqueue_depth=%d\n",
+			addrs[i], h.Version, h.Engine, h.UptimeS, h.QueueDepth)
+	}
+	return nil
+}
+
+// summary renders one finished task as a stable one-line record, with
+// the serving tier's provenance when the result did not come from a
+// plain full-tier simulation: an analytic answer reports its
+// confidence, an escalated auto-tier run reports the measured
+// prediction error alongside the simulated truth.
 func summary(key string, res exp.TaskResult) string {
-	if res.Result != nil {
+	switch {
+	case res.Tier == exp.TierTwin && res.Prediction != nil:
+		p := res.Prediction
+		if len(p.IPC) > 0 && p.FPS == 0 {
+			return fmt.Sprintf("%s\tdone\ttier=twin\tipc=%.4f\tconfidence=%.2f", key, p.MeanIPC, p.Confidence)
+		}
+		return fmt.Sprintf("%s\tdone\ttier=twin\tfps=%.2f\tmeanIPC=%.4f\tconfidence=%.2f",
+			key, p.FPS, p.MeanIPC, p.Confidence)
+	case res.Tier == exp.TierFull && res.Prediction != nil && res.Result != nil:
+		return fmt.Sprintf("%s\tdone\ttier=full(escalated)\tfps=%.2f\tmeanIPC=%.4f\tpredicted_fps=%.2f\tframe_err=%.2f%%\tipc_err=%.2f%%",
+			key, res.Result.GPUFPS, res.Result.MeanIPC(), res.Prediction.FPS,
+			res.TwinFrameErrPct, res.TwinIPCErrPct)
+	case res.Tier == exp.TierFull && res.Prediction != nil:
+		return fmt.Sprintf("%s\tdone\ttier=full(escalated)\tipc=%.4f\tpredicted_ipc=%.4f",
+			key, res.IPC, res.Prediction.MeanIPC)
+	case res.Result != nil:
 		return fmt.Sprintf("%s\tdone\tfps=%.2f\tmeanIPC=%.4f", key, res.Result.GPUFPS, res.Result.MeanIPC())
 	}
 	return fmt.Sprintf("%s\tdone\tipc=%.4f", key, res.IPC)

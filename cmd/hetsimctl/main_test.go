@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/exp"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/twin"
+)
+
+// TestWaitReadyTimeout pins the wait-ready expiry contract: a node
+// that never becomes ready fails within the -timeout bound with a
+// message naming the node and the bound, instead of blocking forever.
+func TestWaitReadyTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable) // draining forever
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	err := waitReady(context.Background(), &strings.Builder{},
+		[]string{srv.Listener.Addr().String()}, []*client.Client{client.New(srv.URL)},
+		300*time.Millisecond)
+	if err == nil {
+		t.Fatal("waitReady succeeded against a never-ready node")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("waitReady took %v; the bound did not apply", elapsed)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, srv.Listener.Addr().String()) || !strings.Contains(msg, "not ready after 300ms") {
+		t.Fatalf("expiry message %q must name the node and the bound", msg)
+	}
+}
+
+// TestWaitReadyPrintsIdentity: a ready node passes and prints its
+// identity line.
+func TestWaitReadyPrintsIdentity(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"version":"` + server.Version + `","uptime_s":1.5,"engine":"parallel","queue_depth":0}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out strings.Builder
+	addr := srv.Listener.Addr().String()
+	if err := waitReady(context.Background(), &out, []string{addr}, []*client.Client{client.New(srv.URL)}, time.Second); err != nil {
+		t.Fatalf("waitReady: %v", err)
+	}
+	line := out.String()
+	for _, want := range []string{"ready\t" + addr, "version=" + server.Version, "engine=parallel"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("identity line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestSummaryTiers pins the one-line rendering of each serving-tier
+// provenance (scripts parse these).
+func TestSummaryTiers(t *testing.T) {
+	r := &sim.Result{GPUFPS: 42.5, IPC: []float64{1, 1}}
+	cases := []struct {
+		name string
+		res  exp.TaskResult
+		want []string
+	}{
+		{"full", exp.TaskResult{Result: r}, []string{"done\tfps=42.50"}},
+		{"cpu", exp.TaskResult{IPC: 1.25}, []string{"done\tipc=1.2500"}},
+		{"twin", exp.TaskResult{Tier: exp.TierTwin, Prediction: &twin.Prediction{FPS: 40, MeanIPC: 1.1, Confidence: 0.92}},
+			[]string{"tier=twin", "fps=40.00", "confidence=0.92"}},
+		{"twin-cpu", exp.TaskResult{Tier: exp.TierTwin, Prediction: &twin.Prediction{IPC: []float64{1.3}, MeanIPC: 1.3, Confidence: 1}},
+			[]string{"tier=twin", "ipc=1.3000", "confidence=1.00"}},
+		{"escalated", exp.TaskResult{Tier: exp.TierFull, Result: r,
+			Prediction: &twin.Prediction{FPS: 40}, TwinFrameErrPct: 5.9, TwinIPCErrPct: 0.4},
+			[]string{"tier=full(escalated)", "fps=42.50", "predicted_fps=40.00", "frame_err=5.90%"}},
+		{"escalated-cpu", exp.TaskResult{Tier: exp.TierFull, IPC: 1.2,
+			Prediction: &twin.Prediction{MeanIPC: 1.1}},
+			[]string{"tier=full(escalated)", "ipc=1.2000", "predicted_ipc=1.1000"}},
+	}
+	for _, tc := range cases {
+		got := summary("k", tc.res)
+		for _, want := range tc.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: summary %q missing %q", tc.name, got, want)
+			}
+		}
+	}
+}

@@ -9,6 +9,16 @@
 // with -scenario file [-scenario-policy p]; clients submit them with
 // hetsimctl -scenario.
 //
+// With -twin-coeffs (a calibration artifact from `calibrate
+// -fit-twin`), the daemon also serves the analytic twin tier
+// (DESIGN.md §14): twin- and auto-tier submissions (`hetsimctl -tier
+// auto run ...`) are answered from the calibrated closed-form model in
+// microseconds, auto escalating to cycle-accurate simulation when the
+// prediction's confidence falls below -twin-threshold or the query
+// leaves the calibrated hull. Twin answers live under their own
+// "twin/"-prefixed key space, so they never displace full-simulation
+// memos or journal records.
+//
 // The daemon is hardened for long-lived operation (DESIGN.md §10):
 // admission control sheds load past a bounded queue (429 + Retry-
 // After), per-request deadlines interrupt overlong simulations, a
@@ -51,6 +61,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/twin"
 )
 
 func main() { os.Exit(realMain()) }
@@ -75,6 +86,8 @@ func realMain() int {
 		scnPol   = flag.String("scenario-policy", "baseline", "policy for the -scenario run")
 		joinURL  = flag.String("join", "", "hetsimfleet coordinator URL: also run as a fleet worker, executing leased tasks on this node")
 		workerID = flag.String("worker-id", "", "stable worker identity for -join (default: the listen address)")
+		twinF    = flag.String("twin-coeffs", "", "twin coefficient file (calibrate -fit-twin): serve twin- and auto-tier tasks analytically")
+		twinThr  = flag.Float64("twin-threshold", 0, "auto-tier confidence floor; predictions below it escalate to full simulation (0 = default 0.7, negative = never escalate)")
 	)
 	flag.Parse()
 
@@ -127,6 +140,31 @@ func realMain() int {
 
 	runner := exp.NewRunner(cfg)
 	runner.RunTimeout = *timeout
+
+	// Twin model: loaded before the listener binds, so a stale or
+	// mismatched coefficient file is a startup error, not a per-request
+	// surprise. The digest check against this daemon's exact config is
+	// what keeps an analytic answer from ever describing a system the
+	// model was not calibrated on.
+	if *twinF != "" {
+		model, err := twin.Load(*twinF)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		if got, want := model.Coefficients().ConfigDigest, twin.ConfigDigest(cfg); got != want {
+			cliutil.Errorf("-twin-coeffs %s: calibrated for a different configuration (coefficient scale %d, daemon scale %d); re-run calibrate -fit-twin with this daemon's flags",
+				*twinF, model.Coefficients().Scale, cfg.Scale)
+			return cliutil.ExitUsage
+		}
+		runner.Twin = model
+		runner.TwinThreshold = *twinThr
+		fmt.Fprintf(os.Stderr, "hetsimd: twin model %s: %d mix anchor(s), %d policy fit(s), calibration error %.2f%%\n",
+			*twinF, len(model.Coefficients().MixBase), len(model.Coefficients().Policies), model.CalibrationErrPct())
+	} else if *twinThr != 0 {
+		cliutil.Errorf("-twin-threshold requires -twin-coeffs")
+		return cliutil.ExitUsage
+	}
 
 	// Journal: every completed run is fsynced before it reports done,
 	// and the drain writes pending records, so no outcome is lost to a

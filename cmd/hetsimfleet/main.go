@@ -18,6 +18,12 @@
 // workers are quarantined with the stack preserved instead of rolling
 // through the whole fleet.
 //
+// With -lease-batch N, a lease whose first grant is a twin-tier task
+// (microseconds of work) carries up to N-1 further consecutive
+// twin-tier tasks from the queue head, so per-task HTTP round-trips
+// stop dominating analytic campaigns. Cycle-accurate tasks are never
+// batched and never overtaken by the batch.
+//
 // The first SIGINT/SIGTERM drains: admission and new grants stop,
 // in-flight leases get up to -grace to report, and pending work stays
 // journaled for the next -resume. SIGKILL at any instant is equivalent
@@ -48,6 +54,7 @@ func realMain() int {
 		leaseTTL = flag.Duration("lease", 15*time.Second, "lease TTL: a grant not renewed within it is re-enqueued for stealing")
 		quarN    = flag.Int("quarantine-threshold", 2, "distinct workers whose panics quarantine a task")
 		maxAtt   = flag.Int("max-attempts", 16, "grants per task before it is quarantined as a lease black hole")
+		batch    = flag.Int("lease-batch", 1, "max tasks per lease response when twin-tier tasks head the queue (1 = off)")
 		grace    = flag.Duration("grace", 30*time.Second, "drain grace: how long shutdown waits for in-flight leases")
 		journalF = flag.String("journal", "", "append fleet lifecycle + results to this crash-safe JSONL journal")
 		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed keys serve from the store, pending re-enqueue, leases re-arm")
@@ -81,6 +88,7 @@ func realMain() int {
 		QueueDepth:          *queue,
 		QuarantineThreshold: *quarN,
 		MaxAttempts:         *maxAtt,
+		LeaseBatch:          *batch,
 		Journal:             journal,
 	})
 	if *resumeF {

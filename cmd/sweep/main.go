@@ -19,6 +19,16 @@
 // missing cells simulate. A resumed sweep's CSV is byte-identical to
 // an uninterrupted run. Ctrl-C stops dispatching, drains in-flight
 // cells, and flushes the journal before exiting.
+//
+// With -tier twin|auto and -twin-coeffs, mix cells are answered by
+// the calibrated analytic model (DESIGN.md §14) where it can: the CSV
+// gains a trailing provenance column, and only the cells the model
+// cannot answer — a target FPS outside the calibration digest, an
+// unfitted policy, or a confidence below -twin-threshold — either
+// fail (-tier twin) or fall back to cycle-accurate simulation
+// (-tier auto). Twin rows are never journaled: predictions cost
+// microseconds to recompute and must not masquerade as simulated
+// cells on a later -resume.
 package main
 
 import (
@@ -51,6 +61,15 @@ func formatRow(mixID string, pol hetsim.Policy, tgt float64, r hetsim.Result) st
 		r.GPUBandwidthBytes(), r.CPULLCMisses)
 }
 
+// twinRow renders an analytically-predicted cell. The model has no
+// frame-time distribution or memory-traffic terms, so the tail and
+// traffic columns are zero; the trailing provenance column is what
+// tells a reader not to trust them.
+func twinRow(mixID string, pol hetsim.Policy, tgt float64, p hetsim.TwinPrediction) string {
+	return fmt.Sprintf("%s,%s,%.0f,%.2f,%.4f,0,0,0,0,0,twin",
+		mixID, pol, tgt, p.FPS, p.MeanIPC)
+}
+
 func main() { os.Exit(realMain()) }
 
 // realMain carries the whole run so deferred cleanup (journal flush,
@@ -75,8 +94,36 @@ func realMain() int {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep here")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (live objects at exit) here")
 		seq      = flag.Bool("seq", false, "force the sequential tick engine (disable intra-run parallelism)")
+		tierF    = flag.String("tier", "full", "serving tier: full, twin (analytic model only), or auto (twin with simulation fallback)")
+		twinF    = flag.String("twin-coeffs", "", "coefficient file from `calibrate -fit-twin` (required for -tier twin|auto)")
+		twinThr  = flag.Float64("twin-threshold", 0, "minimum twin confidence before -tier auto falls back to simulation (0 = 0.7, negative = accept all)")
 	)
 	flag.Parse()
+
+	tier := *tierF
+	switch tier {
+	case hetsim.TierFull, hetsim.TierTwin, hetsim.TierAuto:
+	default:
+		cliutil.Errorf("bad -tier %q (want full, twin, or auto)", tier)
+		return cliutil.ExitUsage
+	}
+	var model *hetsim.TwinModel
+	if tier != hetsim.TierFull {
+		if *twinF == "" {
+			cliutil.Errorf("-tier %s requires -twin-coeffs", tier)
+			return cliutil.ExitUsage
+		}
+		m, err := hetsim.LoadTwinCoeffs(*twinF)
+		if err != nil {
+			cliutil.Errorf("%v", err)
+			return cliutil.ExitUsage
+		}
+		model = m
+	}
+	thr := *twinThr
+	if thr == 0 {
+		thr = 0.7
+	}
 
 	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -106,6 +153,12 @@ func realMain() int {
 		}
 		scn = sp
 		label = "scn:" + sp.Digest()
+		if tier != hetsim.TierFull {
+			// Rejected rather than silently simulated: a time-varying
+			// scenario has no analytic model, and the caller asked for one.
+			cliutil.Errorf("-tier %s: scenario sweeps have no analytic model", tier)
+			return cliutil.ExitUsage
+		}
 	} else {
 		m, err := hetsim.MixByID(*mixID)
 		if err != nil {
@@ -232,12 +285,39 @@ func realMain() int {
 	sem := make(chan struct{}, n)
 	rows := make([]string, len(grid))
 	cellErrs := make([]error, len(grid))
+	// In non-full tiers every row carries its provenance; default
+	// output stays byte-identical to earlier releases.
+	simSuffix := ""
+	if tier != hetsim.TierFull {
+		simSuffix = ",full"
+	}
 	var wg sync.WaitGroup
 	for i, c := range grid {
 		key := cellKey(label, c.pol, c.tgt)
-		if r, ok := cached[key]; ok {
-			rows[i] = formatRow(label, c.pol, c.tgt, r)
+		// full and auto take journaled cells (exact answers already paid
+		// for); twin tier is predictions-only, so it skips the cache.
+		if r, ok := cached[key]; ok && tier != hetsim.TierTwin {
+			rows[i] = formatRow(label, c.pol, c.tgt, r) + simSuffix
 			continue
+		}
+		if model != nil {
+			// Predictions cost microseconds: answer inline, no pool slot.
+			cfg := baseCfg
+			cfg.Policy = c.pol
+			cfg.TargetFPS = c.tgt
+			pred, perr := model.PredictMix(cfg, mix.ID, c.pol)
+			if perr == nil && (thr < 0 || pred.Confidence >= thr) {
+				rows[i] = twinRow(label, c.pol, c.tgt, pred)
+				continue
+			}
+			if tier == hetsim.TierTwin {
+				if perr == nil {
+					perr = fmt.Errorf("confidence %.2f below threshold %.2f (rerun with -tier auto to simulate)", pred.Confidence, thr)
+				}
+				cellErrs[i] = fmt.Errorf("cell %s: %w", key, perr)
+				continue
+			}
+			// auto: the model cannot answer this cell; simulate it.
 		}
 		wg.Add(1)
 		go func(i int, c cell, key string) {
@@ -281,12 +361,16 @@ func realMain() int {
 					fmt.Fprintln(os.Stderr, err)
 				}
 			}
-			rows[i] = formatRow(label, c.pol, c.tgt, r)
+			rows[i] = formatRow(label, c.pol, c.tgt, r) + simSuffix
 		}(i, c, key)
 	}
 	wg.Wait()
 
-	fmt.Println("mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses")
+	header := "mix,policy,targetFPS,gpuFPS,meanIPC,p95FrameCycles,jank,belowTarget,gpuDRAMBytes,cpuLLCMisses"
+	if tier != hetsim.TierFull {
+		header += ",tier"
+	}
+	fmt.Println(header)
 	failed := 0
 	for i, row := range rows {
 		if cellErrs[i] != nil {

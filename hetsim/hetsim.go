@@ -34,6 +34,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/twin"
 	"repro/internal/workloads"
 )
 
@@ -260,6 +261,65 @@ func BuildScenario(cfg Config, sp *ScenarioSpec) (*System, error) { return scena
 
 // ScenarioTaskSpec builds the service task form of a scenario run.
 func ScenarioTaskSpec(sp *ScenarioSpec, p Policy) TaskSpec { return exp.ScenarioTaskSpec(sp, p) }
+
+// Serving tiers a TaskSpec may request (DESIGN.md §14): full
+// cycle-accurate simulation, the calibrated analytic twin, or auto
+// (twin when confident, escalated to simulation otherwise).
+const (
+	TierFull = exp.TierFull
+	TierTwin = exp.TierTwin
+	TierAuto = exp.TierAuto
+)
+
+// TwinModel is the calibrated analytic performance model behind the
+// twin serving tier: closed-form frame-time, per-core IPC, weighted-
+// speedup, and throttling-outcome predictions in microseconds, with a
+// per-prediction confidence score (DESIGN.md §14). Attach one to
+// Runner.Twin to enable the twin and auto tiers.
+type TwinModel = twin.Model
+
+// TwinCoefficients is the versioned, content-digested calibration
+// artifact `calibrate -fit-twin` writes and `hetsimd -twin-coeffs`
+// loads; it binds to one simulator configuration by digest.
+type TwinCoefficients = twin.Coefficients
+
+// TwinPrediction is one analytic answer with its confidence.
+type TwinPrediction = twin.Prediction
+
+// TwinFrontier is the cycle-accurate measurement grid a calibration
+// fit consumes: standalone anchors plus mix×policy samples.
+type TwinFrontier = twin.Frontier
+
+// AllPolicies is the paper's nine-policy evaluation set — the default
+// calibration frontier sweeps every one of them.
+func AllPolicies() []Policy { return twin.AllPolicies() }
+
+// RunTwinFrontier executes the calibration campaign over at most
+// workers concurrent simulations (nil Exec runs in-process).
+func RunTwinFrontier(cfg Config, mixes []Mix, policies []Policy, workers int, ex twin.Exec) (*TwinFrontier, error) {
+	return twin.RunFrontier(cfg, mixes, policies, workers, ex)
+}
+
+// FitTwin performs the differential calibration over a frontier
+// (ridge <= 0 uses twin.DefaultRidge).
+func FitTwin(cfg Config, f *TwinFrontier, ridge float64) (*TwinCoefficients, error) {
+	return twin.Fit(cfg, f, ridge)
+}
+
+// NewTwinModel validates coefficients and wraps them for serving.
+func NewTwinModel(c *TwinCoefficients) (*TwinModel, error) { return twin.New(c) }
+
+// SaveTwinCoeffs writes a coefficient file atomically, stamping its
+// content digest.
+func SaveTwinCoeffs(path string, c *TwinCoefficients) error { return twin.Save(path, c) }
+
+// LoadTwinCoeffs reads a coefficient file, verifying digest and
+// schema version.
+func LoadTwinCoeffs(path string) (*TwinModel, error) { return twin.Load(path) }
+
+// TwinConfigDigest fingerprints the structural simulator configuration
+// a twin calibration binds to.
+func TwinConfigDigest(cfg Config) string { return twin.ConfigDigest(cfg) }
 
 // FleetCoordinator shards campaigns across hetsimd workers with
 // lease-based dispatch, a content-addressed result store, and

@@ -22,6 +22,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/twin"
 	"repro/internal/workloads"
 )
 
@@ -119,6 +120,16 @@ type Runner struct {
 	// resume side.
 	Journal *Journal
 
+	// Twin, when non-nil, is the calibrated analytic model serving
+	// twin- and auto-tier tasks (DESIGN.md §14). A nil Twin fails
+	// twin-tier tasks and escalates every auto-tier task.
+	Twin *twin.Model
+
+	// TwinThreshold is the auto-tier confidence floor: predictions
+	// below it escalate to full simulation. 0 means
+	// DefaultTwinThreshold; negative accepts every in-hull prediction.
+	TwinThreshold float64
+
 	mu          sync.Mutex
 	sem         chan struct{} // worker-pool tokens, sized on first use
 	started     int           // simulations executed (leaders only)
@@ -128,8 +139,12 @@ type Runner struct {
 	gpuAlone    map[string]*flight[sim.Result] // key: game (always baseline policy)
 	cpuAlone    map[string]*flight[float64]    // key: specID
 	scnRuns     map[string]*flight[sim.Result] // key: scenarioDigest/policy
+	twinRuns    map[string]*flight[TaskResult] // key: base task key, twin/auto tiers
 	taskCtxs    map[string]context.Context     // per-run contexts set by Do
 	taskEngines map[string]string              // per-run engine overrides set by Do
+
+	twinHits        uint64 // tasks the twin answered analytically
+	twinEscalations uint64 // auto-tier tasks escalated to full simulation
 }
 
 // NewRunner builds a runner over the given base configuration.
@@ -140,6 +155,7 @@ func NewRunner(cfg sim.Config) *Runner {
 		gpuAlone: make(map[string]*flight[sim.Result]),
 		cpuAlone: make(map[string]*flight[float64]),
 		scnRuns:  make(map[string]*flight[sim.Result]),
+		twinRuns: make(map[string]*flight[TaskResult]),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/twin"
 )
 
 // Record is one journaled simulation result: one line of the JSONL
@@ -23,14 +24,15 @@ import (
 // with Hash itself cleared, so a torn or bit-rotted line is detected
 // and skipped on replay instead of resurrecting a corrupt result.
 type Record struct {
-	Kind   string      `json:"kind"`
-	Key    string      `json:"key"`
-	IPC    float64     `json:"ipc,omitempty"`    // payload for kind "cpu"
-	Result *sim.Result `json:"result,omitempty"` // payload for the other kinds
-	Spec   *TaskSpec   `json:"task,omitempty"`   // payload for kind "queued" (hetsimd drain)
-	Worker string      `json:"worker,omitempty"` // fleet kinds: the lease-holding node
-	ErrMsg string      `json:"err,omitempty"`    // kind "quarantined": final failure + stack
-	Hash   string      `json:"hash"`
+	Kind   string           `json:"kind"`
+	Key    string           `json:"key"`
+	IPC    float64          `json:"ipc,omitempty"`    // payload for kind "cpu"
+	Result *sim.Result      `json:"result,omitempty"` // payload for the other kinds
+	Twin   *twin.Prediction `json:"twin,omitempty"`   // payload for kind "twin" (analytic answers)
+	Spec   *TaskSpec        `json:"task,omitempty"`   // payload for kind "queued" (hetsimd drain)
+	Worker string           `json:"worker,omitempty"` // fleet kinds: the lease-holding node
+	ErrMsg string           `json:"err,omitempty"`    // kind "quarantined": final failure + stack
+	Hash   string           `json:"hash"`
 }
 
 // KindQueued journals a task that was admitted but never executed —
@@ -377,6 +379,9 @@ func (x *Runner) ReplayJournal(recs []Record) (adopted, ignored int) {
 			ok = seedFlight(x, x.cpuAlone, rec.Key, rec.IPC)
 		case KindScenario:
 			ok = rec.Result != nil && seedFlight(x, x.scnRuns, rec.Key, *rec.Result)
+		case KindTwin:
+			ok = rec.Twin != nil && seedFlight(x, x.twinRuns, rec.Key,
+				TaskResult{Tier: TierTwin, Prediction: rec.Twin})
 		}
 		if ok {
 			adopted++

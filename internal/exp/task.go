@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/twin"
 	"repro/internal/workloads"
 )
 
@@ -59,6 +60,16 @@ type TaskSpec struct {
 	// same run and share one execution — the first leader's choice
 	// applies.
 	Engine string `json:"engine,omitempty"`
+
+	// Tier selects the serving tier (DESIGN.md §14): "" or "full"
+	// (cycle-accurate simulation), "twin" (analytic model, fails
+	// outside the calibrated hull), or "auto" (twin when confident,
+	// escalate to full otherwise). Twin and auto tiers share the
+	// "twin/"-prefixed key space, distinct from full-sim keys, so an
+	// analytic answer can never poison a simulation memo or golden
+	// hash. Scenario tasks are time-varying and have no analytic model,
+	// so they only run full.
+	Tier string `json:"tier,omitempty"`
 }
 
 // Validate resolves the spec against the workload catalogs so a bad
@@ -68,6 +79,15 @@ func (t TaskSpec) Validate() error {
 	case "", EngineAuto, EngineParallel, EngineSeq:
 	default:
 		return fmt.Errorf("exp: unknown engine %q (want auto, parallel, seq)", t.Engine)
+	}
+	switch t.Tier {
+	case "", TierFull:
+	case TierTwin, TierAuto:
+		if t.Kind == KindScenario {
+			return fmt.Errorf("exp: scenario tasks have no analytic tier (want full)")
+		}
+	default:
+		return fmt.Errorf("exp: unknown tier %q (want full, twin, auto)", t.Tier)
 	}
 	switch t.Kind {
 	case KindMix:
@@ -101,21 +121,30 @@ func (t TaskSpec) Validate() error {
 
 // Key returns the run's memo key with its kind prefix: "mix/M7/2",
 // "gpu/Doom3", "cpu/462". It matches the Runner.Observe key space.
+// Twin- and auto-tier tasks get a "twin/" prefix ("twin/mix/M7/2"):
+// the two tiers share one flight (an escalated full answer is exact,
+// so serving it to a twin requester is sound) but never collide with
+// a full-tier key.
 func (t TaskSpec) Key() string {
+	key := t.Kind + "/?"
 	switch t.Kind {
 	case KindMix:
-		return fmt.Sprintf("mix/%s/%d", t.MixID, t.Policy)
+		key = fmt.Sprintf("mix/%s/%d", t.MixID, t.Policy)
 	case KindGPU:
-		return KindGPU + "/" + t.Game
+		key = KindGPU + "/" + t.Game
 	case KindCPU:
-		return fmt.Sprintf("cpu/%d", t.SpecID)
+		key = fmt.Sprintf("cpu/%d", t.SpecID)
 	case KindScenario:
 		if t.Scenario == nil {
-			return KindScenario + "/?"
+			key = KindScenario + "/?"
+		} else {
+			key = fmt.Sprintf("scn/%s/%d", t.Scenario.Digest(), t.Policy)
 		}
-		return fmt.Sprintf("scn/%s/%d", t.Scenario.Digest(), t.Policy)
 	}
-	return t.Kind + "/?"
+	if t.Tier == TierTwin || t.Tier == TierAuto {
+		return KindTwin + "/" + key
+	}
+	return key
 }
 
 // Family is the circuit-breaker grouping: every policy of one mix is
@@ -135,10 +164,21 @@ func (t TaskSpec) Family() string {
 }
 
 // TaskResult is the payload of one completed task: Result for mix and
-// gpu runs, IPC for cpu standalone runs.
+// gpu runs, IPC for cpu standalone runs, Prediction for twin-tier
+// answers. Tier records provenance — "" for plain full-tier runs (and
+// every pre-twin journal record), TierTwin for analytic answers,
+// TierFull for auto-tier tasks that escalated to simulation. An
+// escalated result carries both the simulated truth and the
+// prediction it overruled, with the prediction's measured error, so
+// every escalation doubles as a free accuracy probe.
 type TaskResult struct {
 	Result *sim.Result `json:"result,omitempty"`
 	IPC    float64     `json:"ipc,omitempty"`
+
+	Tier            string           `json:"tier,omitempty"`
+	Prediction      *twin.Prediction `json:"prediction,omitempty"`
+	TwinFrameErrPct float64          `json:"twin_frame_err_pct,omitempty"`
+	TwinIPCErrPct   float64          `json:"twin_ipc_err_pct,omitempty"`
 }
 
 // Do executes (or joins) the task through the runner's memoizing
@@ -152,6 +192,17 @@ func (x *Runner) Do(ctx context.Context, t TaskSpec) (TaskResult, error) {
 	if err := t.Validate(); err != nil {
 		return TaskResult{}, err
 	}
+	switch t.Tier {
+	case TierTwin, TierAuto:
+		return x.twinDo(ctx, t)
+	}
+	return x.fullDo(ctx, t)
+}
+
+// fullDo is the cycle-accurate execution path of Do. t must carry no
+// twin tier (auto-tier escalation strips it first), so t.Key() is the
+// base key arm() will consult for the per-run context and engine.
+func (x *Runner) fullDo(ctx context.Context, t TaskSpec) (TaskResult, error) {
 	if ctx != nil {
 		x.setTaskCtx(t.Key(), ctx)
 		defer x.clearTaskCtx(t.Key())
@@ -260,6 +311,12 @@ func splitKey(key string) (kind, memo string) {
 func (x *Runner) Lookup(key string) (TaskResult, error, bool) {
 	kind, memo := splitKey(key)
 	switch kind {
+	case KindTwin:
+		f, ok := doneFlight(x, x.twinRuns, memo)
+		if !ok {
+			return TaskResult{}, nil, false
+		}
+		return f.val, f.err, true
 	case KindMix:
 		f, ok := doneFlight(x, x.mixRuns, memo)
 		if !ok {
@@ -329,6 +386,8 @@ func doneFlight[T any](x *Runner, m map[string]*flight[T], key string) (*flight[
 func (x *Runner) Forget(key string) bool {
 	kind, memo := splitKey(key)
 	switch kind {
+	case KindTwin:
+		return forgetFailed(x, x.twinRuns, memo)
 	case KindMix:
 		return forgetFailed(x, x.mixRuns, memo)
 	case KindGPU:
@@ -384,6 +443,16 @@ func ScenarioTaskSpec(sp *scenario.Spec, p sim.Policy) TaskSpec {
 func ParseKey(key string) (TaskSpec, error) {
 	kind, memo := splitKey(key)
 	switch kind {
+	case KindTwin:
+		// A twin key could have been submitted at either analytic tier;
+		// auto is the safe reconstruction — it preserves the escalation
+		// contract instead of forcing a possibly low-confidence answer.
+		spec, err := ParseKey(memo)
+		if err != nil {
+			return TaskSpec{}, err
+		}
+		spec.Tier = TierAuto
+		return spec, nil
 	case KindMix:
 		i := strings.LastIndexByte(memo, '/')
 		if i < 0 {

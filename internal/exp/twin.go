@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"repro/internal/twin"
+)
+
+// Serving tiers a TaskSpec may request (DESIGN.md §14). The default
+// (empty or TierFull) runs the cycle-accurate simulator. TierTwin
+// answers from the calibrated analytic model in microseconds and
+// fails when the query leaves the calibrated hull. TierAuto asks the
+// twin first and escalates to full simulation when the model is
+// absent, the query is outside the hull, or the prediction's
+// confidence falls below the runner's threshold.
+const (
+	TierFull = "full"
+	TierTwin = "twin"
+	TierAuto = "auto"
+)
+
+// DefaultTwinThreshold is the auto-tier confidence floor when
+// Runner.TwinThreshold is left at 0: predictions whose calibration
+// residuals imply more than a few percent of relative error escalate.
+const DefaultTwinThreshold = 0.7
+
+// KindTwin journals a twin-tier answer. Twin records live in their own
+// kind so an analytic prediction can never be replayed into a
+// cycle-accurate memo map — the golden hashes only ever see simulator
+// output. Auto-tier escalations journal through the normal kind for
+// their run (the full result IS simulator output) and are not
+// duplicated under KindTwin: after a resume the prediction is
+// recomputed in microseconds and the escalation hits the replayed
+// full-sim memo.
+const KindTwin = "twin"
+
+// ErrNoTwin reports a twin-tier task on a runner with no model loaded.
+var ErrNoTwin = errors.New("exp: no twin model loaded (start with -twin-coeffs)")
+
+// twinDo serves a twin- or auto-tier task. Flights are memoized under
+// the base key in their own map, so twin answers and full-sim results
+// never share storage; the flight completion protocol matches lead()
+// but takes no worker-pool slot — a prediction costs microseconds, and
+// an escalated run takes its slot inside the normal accessor it calls.
+func (x *Runner) twinDo(ctx context.Context, t TaskSpec) (TaskResult, error) {
+	base := t
+	base.Tier = ""
+	key := base.Key()
+	f, leader := forKey(x, x.twinRuns, key)
+	if !leader {
+		<-f.done
+		return f.val, f.err
+	}
+	defer close(f.done)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = x.record(&RunError{
+					Key: "twin/" + key, Phase: "twin",
+					Err:   fmt.Errorf("panic: %v", r),
+					Stack: string(debug.Stack()),
+				})
+			}
+		}()
+		f.val, f.err = x.twinLead(ctx, t.Tier, base, key)
+	}()
+	return f.val, f.err
+}
+
+// twinLead computes one twin- or auto-tier answer as its flight's
+// leader.
+func (x *Runner) twinLead(ctx context.Context, tier string, base TaskSpec, key string) (TaskResult, error) {
+	pred, perr := x.predict(base)
+
+	if tier == TierTwin {
+		if perr != nil {
+			return TaskResult{}, perr
+		}
+		x.bumpTwin(&x.twinHits)
+		x.journalAppend(Record{Kind: KindTwin, Key: key, Twin: pred})
+		return TaskResult{Tier: TierTwin, Prediction: pred}, nil
+	}
+
+	// TierAuto: serve the prediction when it clears the confidence
+	// floor, escalate to cycle-accurate simulation otherwise.
+	if perr == nil && pred.Confidence >= x.twinThreshold() {
+		x.bumpTwin(&x.twinHits)
+		x.journalAppend(Record{Kind: KindTwin, Key: key, Twin: pred})
+		return TaskResult{Tier: TierTwin, Prediction: pred}, nil
+	}
+	x.bumpTwin(&x.twinEscalations)
+	res, err := x.fullDo(ctx, base)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	res.Tier = TierFull
+	if perr == nil {
+		// Both answers exist: attach the prediction and its measured
+		// error so every escalation doubles as a free accuracy probe.
+		res.Prediction = pred
+		res.TwinFrameErrPct, res.TwinIPCErrPct = predictionError(pred, res)
+	}
+	return res, nil
+}
+
+// predict answers base from the loaded twin model, or reports why it
+// cannot (no model, outside the calibrated hull, config mismatch).
+func (x *Runner) predict(base TaskSpec) (*twin.Prediction, error) {
+	m := x.Twin
+	if m == nil {
+		return nil, ErrNoTwin
+	}
+	var (
+		p   twin.Prediction
+		err error
+	)
+	switch base.Kind {
+	case KindMix:
+		p, err = m.PredictMix(x.Cfg, base.MixID, base.Policy)
+	case KindGPU:
+		p, err = m.PredictGPU(x.Cfg, base.Game)
+	case KindCPU:
+		p, err = m.PredictCPU(x.Cfg, base.SpecID)
+	default:
+		err = fmt.Errorf("%w: kind %s has no analytic model", twin.ErrUncalibrated, base.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// predictionError measures a prediction against the simulated truth it
+// escalated to: relative frame-rate error and the geometric-mean
+// per-core IPC error, both in percent.
+func predictionError(pred *twin.Prediction, res TaskResult) (framePct, ipcPct float64) {
+	var fps float64
+	var ipc []float64
+	if res.Result != nil {
+		fps = res.Result.GPUFPS
+		ipc = res.Result.IPC
+	} else if res.IPC > 0 {
+		ipc = []float64{res.IPC}
+	}
+	if pred.FPS > 0 && fps > 0 {
+		framePct = 100 * math.Abs(pred.FPS/fps-1)
+	}
+	n, sum := 0, 0.0
+	for i, v := range ipc {
+		if i < len(pred.IPC) && v > 0 && pred.IPC[i] > 0 {
+			sum += math.Abs(math.Log(pred.IPC[i] / v))
+			n++
+		}
+	}
+	if n > 0 {
+		ipcPct = 100 * (math.Exp(sum/float64(n)) - 1)
+	}
+	return framePct, ipcPct
+}
+
+// twinThreshold resolves the auto-tier confidence floor: 0 means the
+// default; a negative threshold accepts every in-hull prediction.
+func (x *Runner) twinThreshold() float64 {
+	if x.TwinThreshold == 0 {
+		return DefaultTwinThreshold
+	}
+	return x.TwinThreshold
+}
+
+// bumpTwin increments one of the twin counters under the runner lock.
+func (x *Runner) bumpTwin(p *uint64) {
+	x.mu.Lock()
+	*p++
+	x.mu.Unlock()
+}
+
+// TwinHits returns how many tasks the twin tier answered analytically.
+func (x *Runner) TwinHits() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.twinHits
+}
+
+// TwinEscalations returns how many auto-tier tasks escalated to full
+// simulation.
+func (x *Runner) TwinEscalations() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.twinEscalations
+}
+
+// TwinModel returns the loaded twin model, if any. The simulation
+// engine never consults it — it only serves twin- and auto-tier tasks.
+func (x *Runner) TwinModel() *twin.Model { return x.Twin }

@@ -1,0 +1,337 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/twin"
+	"repro/internal/workloads"
+)
+
+// twinTestModel builds a synthetic analytic model over the first
+// evaluation mix: fabricated anchors plus one identity (zero-weight)
+// correction per requested policy, whose residual RMS controls the
+// confidence the serving tier sees.
+func twinTestModel(t testing.TB, cfg sim.Config, pols map[sim.Policy]float64) *twin.Model {
+	t.Helper()
+	m1 := workloads.EvalMixes()[0]
+	anchor := &twin.MixAnchor{FPS: 45, IPC: make([]float64, len(m1.SpecIDs)), GPUBPC: 2, CPUBPC: 1}
+	cpuIPC := make(map[int]float64)
+	for i, id := range m1.SpecIDs {
+		cpuIPC[id] = 1.2
+		anchor.IPC[i] = 0.9
+	}
+	c := &twin.Coefficients{
+		Version:      twin.CoeffVersion,
+		ConfigDigest: twin.ConfigDigest(cfg),
+		Scale:        cfg.Scale,
+		TargetFPS:    cfg.TargetFPS,
+		GPUFPS:       map[string]float64{m1.Game: 50},
+		CPUIPC:       cpuIPC,
+		MixBase:      map[string]*twin.MixAnchor{m1.ID: anchor},
+		Policies:     make(map[string]*twin.PolicyFit),
+	}
+	for p, rms := range pols {
+		c.Policies[strconv.Itoa(int(p))] = twin.ZeroPolicyFit(rms, 0)
+	}
+	m, err := twin.New(c)
+	if err != nil {
+		t.Fatalf("twin.New: %v", err)
+	}
+	return m
+}
+
+func TestTwinTierKeysAndValidation(t *testing.T) {
+	spec := MixTaskSpec("M1", sim.PolicySMS09)
+	if got := spec.Key(); got != "mix/M1/3" {
+		t.Fatalf("full key %q", got)
+	}
+	for _, tier := range []string{TierTwin, TierAuto} {
+		s := spec
+		s.Tier = tier
+		if got := s.Key(); got != "twin/mix/M1/3" {
+			t.Errorf("tier %s key %q, want twin/mix/M1/3", tier, got)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("tier %s must validate: %v", tier, err)
+		}
+	}
+	full := spec
+	full.Tier = TierFull
+	if got := full.Key(); got != "mix/M1/3" {
+		t.Errorf("explicit full tier key %q must match default", got)
+	}
+
+	parsed, err := ParseKey("twin/mix/M1/3")
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if parsed.Tier != TierAuto || parsed.MixID != "M1" || parsed.Policy != sim.PolicySMS09 {
+		t.Errorf("ParseKey twin key: %+v", parsed)
+	}
+	if _, err := ParseKey("twin/mix/garbage"); err == nil {
+		t.Error("malformed twin key must fail to parse")
+	}
+
+	bad := spec
+	bad.Tier = "warp"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown tier must fail validation")
+	}
+	scn := TaskSpec{Kind: KindScenario, Tier: TierTwin}
+	if err := scn.Validate(); err == nil {
+		t.Error("scenario tasks must reject analytic tiers")
+	}
+}
+
+func TestTwinTierServesAnalytically(t *testing.T) {
+	cfg := sim.DefaultConfig(4096)
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	jnl, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer jnl.Close()
+	x := NewRunner(cfg)
+	x.Workers = 1
+	x.Journal = jnl
+	x.Twin = twinTestModel(t, cfg, map[sim.Policy]float64{sim.PolicySMS09: 0})
+
+	spec := MixTaskSpec("M1", sim.PolicySMS09)
+	spec.Tier = TierTwin
+	res, err := x.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("twin Do: %v", err)
+	}
+	if res.Tier != TierTwin || res.Prediction == nil {
+		t.Fatalf("twin result: tier=%q prediction=%v", res.Tier, res.Prediction)
+	}
+	if res.Prediction.FPS != 45 {
+		t.Errorf("identity correction must answer the anchor: FPS %v", res.Prediction.FPS)
+	}
+	if res.Result != nil {
+		t.Error("twin answers must not fabricate a sim.Result")
+	}
+	if x.Started() != 0 {
+		t.Errorf("twin tier ran %d simulations, want 0", x.Started())
+	}
+	if x.TwinHits() != 1 || x.TwinEscalations() != 0 {
+		t.Errorf("counters: hits=%d escalations=%d, want 1, 0", x.TwinHits(), x.TwinEscalations())
+	}
+
+	// Twin memoization is keyed apart from full-sim memoization.
+	if _, _, ok := x.Lookup("twin/mix/M1/3"); !ok {
+		t.Error("twin key must be memoized")
+	}
+	if _, _, ok := x.Lookup("mix/M1/3"); ok {
+		t.Error("twin answer leaked into the full-sim memo map")
+	}
+
+	// The journal got a twin-kind record; replay seeds only twinRuns.
+	jnl.Close()
+	jnl2, recs, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer jnl2.Close()
+	if len(recs) != 1 || recs[0].Kind != KindTwin || recs[0].Key != "mix/M1/3" || recs[0].Twin == nil {
+		t.Fatalf("journal records: %+v", recs)
+	}
+	y := NewRunner(cfg)
+	adopted, ignored := y.ReplayJournal(recs)
+	if adopted != 1 || ignored != 0 {
+		t.Fatalf("replay adopted=%d ignored=%d", adopted, ignored)
+	}
+	got, gerr, ok := y.Lookup("twin/mix/M1/3")
+	if !ok || gerr != nil || got.Prediction == nil || got.Tier != TierTwin {
+		t.Errorf("replayed twin lookup: ok=%v err=%v res=%+v", ok, gerr, got)
+	}
+	if _, _, ok := y.Lookup("mix/M1/3"); ok {
+		t.Error("replayed twin record leaked into the full-sim memo map")
+	}
+}
+
+func TestTwinTierWithoutModel(t *testing.T) {
+	cfg := sim.DefaultConfig(4096)
+	x := NewRunner(cfg)
+	x.Workers = 1
+
+	spec := MixTaskSpec("M1", sim.PolicySMS09)
+	spec.Tier = TierTwin
+	if _, err := x.Do(context.Background(), spec); !errors.Is(err, ErrNoTwin) {
+		t.Fatalf("twin without model: %v, want ErrNoTwin", err)
+	}
+	// The failure memoizes under the twin key; Forget clears it so a
+	// retry (after loading a model) re-executes.
+	if _, lerr, ok := x.Lookup("twin/mix/M1/3"); !ok || lerr == nil {
+		t.Fatalf("failed twin flight not memoized: ok=%v err=%v", ok, lerr)
+	}
+	if !x.Forget("twin/mix/M1/3") {
+		t.Fatal("Forget must drop the failed twin flight")
+	}
+	x.Twin = twinTestModel(t, cfg, map[sim.Policy]float64{sim.PolicySMS09: 0})
+	res, err := x.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("retry after loading model: %v", err)
+	}
+	if res.Tier != TierTwin {
+		t.Errorf("retry tier %q", res.Tier)
+	}
+}
+
+func TestAutoTierConfidenceRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escalation runs a real simulation")
+	}
+	// Scale 2048, not 4096: the escalated run must complete at least
+	// one frame for the frame-error probe to have a measured FPS.
+	cfg := sim.DefaultConfig(2048)
+	x := NewRunner(cfg)
+	x.Workers = 1
+	// SMS09 fits sharply (confidence 1); SMS0's residuals put it at
+	// e^-8 ≈ 0.0003, far under the default threshold.
+	x.Twin = twinTestModel(t, cfg, map[sim.Policy]float64{
+		sim.PolicySMS09: 0,
+		sim.PolicySMS0:  1.0,
+	})
+
+	confident := MixTaskSpec("M1", sim.PolicySMS09)
+	confident.Tier = TierAuto
+	res, err := x.Do(context.Background(), confident)
+	if err != nil {
+		t.Fatalf("auto confident: %v", err)
+	}
+	if res.Tier != TierTwin || x.Started() != 0 {
+		t.Fatalf("confident auto answer: tier=%q started=%d, want twin, 0", res.Tier, x.Started())
+	}
+
+	shaky := MixTaskSpec("M1", sim.PolicySMS0)
+	shaky.Tier = TierAuto
+	res, err = x.Do(context.Background(), shaky)
+	if err != nil {
+		t.Fatalf("auto escalation: %v", err)
+	}
+	if res.Tier != TierFull || res.Result == nil {
+		t.Fatalf("escalated answer: tier=%q result=%v", res.Tier, res.Result)
+	}
+	if res.Prediction == nil {
+		t.Error("escalated answer must carry the overruled prediction")
+	}
+	if res.TwinFrameErrPct <= 0 {
+		t.Errorf("escalation must measure the prediction error, got %v", res.TwinFrameErrPct)
+	}
+	if x.Started() != 1 {
+		t.Errorf("escalation ran %d simulations, want 1", x.Started())
+	}
+	if x.TwinHits() != 1 || x.TwinEscalations() != 1 {
+		t.Errorf("counters: hits=%d escalations=%d, want 1, 1", x.TwinHits(), x.TwinEscalations())
+	}
+
+	// The escalated truth landed in the full-sim memo: a full-tier
+	// request for the same run is a hit, not a re-simulation.
+	if _, _, ok := x.Lookup("mix/M1/4"); !ok {
+		t.Error("escalated run must memoize under its full-sim key")
+	}
+	full := MixTaskSpec("M1", sim.PolicySMS0)
+	if _, err := x.Do(context.Background(), full); err != nil {
+		t.Fatalf("full-tier join after escalation: %v", err)
+	}
+	if x.Started() != 1 {
+		t.Errorf("full-tier join re-ran the simulation (started=%d)", x.Started())
+	}
+
+	// Outside the hull (no fit for HeLM at all) auto also escalates.
+	offHull := MixTaskSpec("M1", sim.PolicyHeLM)
+	offHull.Tier = TierAuto
+	res, err = x.Do(context.Background(), offHull)
+	if err != nil {
+		t.Fatalf("off-hull auto: %v", err)
+	}
+	if res.Tier != TierFull || res.Prediction != nil {
+		t.Errorf("off-hull escalation: tier=%q prediction=%v (no prediction exists)", res.Tier, res.Prediction)
+	}
+	if x.TwinEscalations() != 2 {
+		t.Errorf("escalations=%d, want 2", x.TwinEscalations())
+	}
+}
+
+// TestForgetRetryJournalResume is the Forget × -resume interplay
+// contract: a key that failed, was forgotten, and succeeded on retry
+// journals its success; Journal.Compact keeps that success; and a
+// fresh runner replaying the compacted journal serves it without
+// resurrecting the failure.
+func TestForgetRetryJournalResume(t *testing.T) {
+	cfg := sim.DefaultConfig(4096)
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	jnl, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	x := NewRunner(cfg)
+	x.Workers = 1
+	x.Journal = jnl
+
+	spec := CPUTaskSpec(workloads.SpecIDs()[0])
+	key := spec.Key()
+
+	// A drain-style queued record precedes everything, as hetsimd
+	// writes during shutdown.
+	if err := jnl.Append(Record{Kind: KindQueued, Key: key, Spec: &spec}); err != nil {
+		t.Fatalf("append queued: %v", err)
+	}
+
+	// First attempt fails: an already-expired per-task deadline stops
+	// the run at its first interrupt poll. Interrupted runs memoize
+	// their failure but are never journaled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Do(ctx, spec); err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+	if _, lerr, ok := x.Lookup(key); !ok || lerr == nil {
+		t.Fatalf("failure must memoize: ok=%v err=%v", ok, lerr)
+	}
+
+	// Forget quarantined failure, retry clean: the success journals.
+	if !x.Forget(key) {
+		t.Fatal("Forget must drop the failed flight")
+	}
+	res, err := x.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("retry produced no IPC: %+v", res)
+	}
+
+	// Compact must keep both the queued record and the superseding
+	// success (different kinds never collapse into each other).
+	kept, dropped, err := jnl.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if kept != 2 || dropped != 0 {
+		t.Errorf("compact kept=%d dropped=%d, want 2, 0", kept, dropped)
+	}
+	jnl.Close()
+
+	// Resume: the success replays; the failure stays gone.
+	jnl2, recs, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer jnl2.Close()
+	y := NewRunner(cfg)
+	y.ReplayJournal(recs)
+	got, gerr, ok := y.Lookup(key)
+	if !ok || gerr != nil {
+		t.Fatalf("resumed lookup: ok=%v err=%v", ok, gerr)
+	}
+	if got.IPC != res.IPC {
+		t.Errorf("resumed IPC %v != original %v", got.IPC, res.IPC)
+	}
+}

@@ -152,20 +152,92 @@ func (a *Agent) slotLoop(ctx context.Context, poll time.Duration) {
 			continue
 		}
 		idleFails = 0
+		grants := append([]LeaseGrant{{Key: lease.Key, Spec: lease.Spec}}, lease.More...)
 		a.mu.Lock()
-		a.leased++
+		a.leased += uint64(len(grants))
 		a.mu.Unlock()
-		a.execute(ctx, lease)
+		ttl := time.Duration(lease.TTLMS) * time.Millisecond
+		if ttl <= 0 {
+			ttl = 15 * time.Second
+		}
+		if len(grants) == 1 {
+			a.execute(ctx, grants[0].Key, grants[0].Spec, ttl)
+		} else {
+			a.executeBatch(ctx, grants, ttl)
+		}
+	}
+}
+
+// executeBatch runs a multi-grant (twin-tier) lease. The tasks finish
+// in microseconds each, so they run sequentially; a keeper heartbeat
+// renews the grants still waiting their turn — the active grant's own
+// heartbeat covers it — and a grant reported lost before it starts is
+// skipped, since its result would be discarded as a duplicate.
+func (a *Agent) executeBatch(ctx context.Context, grants []LeaseGrant, ttl time.Duration) {
+	var mu sync.Mutex
+	pending := make(map[string]bool, len(grants))
+	lost := make(map[string]bool)
+	for _, g := range grants[1:] {
+		pending[g.Key] = true
+	}
+	kctx, kcancel := context.WithCancel(ctx)
+	defer kcancel()
+	go func() {
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-kctx.Done():
+				return
+			case <-t.C:
+			}
+			mu.Lock()
+			keys := make([]string, 0, len(pending))
+			for k := range pending {
+				keys = append(keys, k)
+			}
+			mu.Unlock()
+			if len(keys) == 0 {
+				return
+			}
+			var resp RenewResponse
+			req := RenewRequest{Worker: a.WorkerID, Keys: keys}
+			code, err := a.Coordinator.DoJSON(kctx, http.MethodPost, "/fleet/v1/renew", req, &resp)
+			if err != nil || code != http.StatusOK {
+				continue // a missed renew proves nothing; same contract as heartbeat
+			}
+			mu.Lock()
+			for _, k := range resp.Lost {
+				if pending[k] {
+					lost[k] = true
+					delete(pending, k)
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	for _, g := range grants {
+		mu.Lock()
+		skip := lost[g.Key]
+		delete(pending, g.Key)
+		mu.Unlock()
+		if skip {
+			a.logf("fleet agent %s: batched lease %s lost before start, skipping", a.WorkerID, g.Key)
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		a.execute(ctx, g.Key, g.Spec, ttl)
 	}
 }
 
 // execute runs one leased task under heartbeat and reports the outcome.
-func (a *Agent) execute(ctx context.Context, lease LeaseResponse) {
-	key := lease.Key
-	ttl := time.Duration(lease.TTLMS) * time.Millisecond
-	if ttl <= 0 {
-		ttl = 15 * time.Second
-	}
+func (a *Agent) execute(ctx context.Context, key string, spec *exp.TaskSpec, ttl time.Duration) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	a.mu.Lock()
@@ -191,7 +263,7 @@ func (a *Agent) execute(ctx context.Context, lease LeaseResponse) {
 	}()
 
 	a.logf("fleet agent %s: leased %s (ttl %v)", a.WorkerID, key, ttl)
-	res, err := a.RunFunc(runCtx, *lease.Spec)
+	res, err := a.RunFunc(runCtx, *spec)
 	cancel() // stop the heartbeat before reporting
 	<-hbDone
 

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -10,6 +11,8 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/twin"
 )
 
 // fastClient builds a client with test-speed retry knobs.
@@ -217,6 +220,82 @@ func TestAgentDropsOutcomeOfLostLease(t *testing.T) {
 	}
 	if got := c.Counters()["fleet_quarantined"]; got != 0 {
 		t.Fatalf("lost-lease cancellation was misclassified: quarantined = %v", got)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgentExecutesBatchedLease drives a twin-tier campaign through a
+// batch-granting coordinator: one agent drains eight tasks in a couple
+// of lease polls instead of eight, every grant completes exactly once,
+// and the ledger conserves.
+func TestAgentExecutesBatchedLease(t *testing.T) {
+	c := New(Config{LeaseTTL: 2 * time.Second, LeaseBatch: 4})
+	var leaseCalls atomic.Int64
+	h := c.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/fleet/v1/lease" {
+			leaseCalls.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var executions atomic.Int64
+	run := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		executions.Add(1)
+		return exp.TaskResult{Tier: exp.TierTwin,
+			Prediction: &twin.Prediction{FPS: 40, Confidence: 0.9}}, nil
+	}
+
+	// The whole campaign is admitted before the agent starts, so the
+	// queue heads are consecutive twin tasks at the first poll.
+	var specs []exp.TaskSpec
+	for p := 0; p < 8; p++ {
+		specs = append(specs, twinMixSpec("M1", sim.Policy(p)))
+	}
+	cl := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, s := range specs {
+		if _, err := cl.Submit(ctx, s, 0); err != nil {
+			t.Fatalf("submit %s: %v", s.Key(), err)
+		}
+	}
+
+	// A long poll interval makes lease traffic countable: the agent only
+	// re-polls immediately after draining a batch, so eight tasks cost
+	// two granting polls plus at most one empty one before completion.
+	a := &Agent{
+		Coordinator:  fastClient(ts.URL),
+		WorkerID:     "w1",
+		Slots:        1,
+		PollInterval: time.Hour,
+		RunFunc:      run,
+	}
+	actx, acancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = a.Run(actx) }()
+	defer func() { acancel(); <-done }()
+
+	for _, s := range specs {
+		res, err := cl.Run(ctx, s, 0)
+		if err != nil {
+			t.Fatalf("run %s: %v", s.Key(), err)
+		}
+		if res.Tier != exp.TierTwin || res.Prediction == nil {
+			t.Fatalf("%s = %+v, want a twin prediction", s.Key(), res)
+		}
+	}
+	if got := executions.Load(); got != int64(len(specs)) {
+		t.Fatalf("executions = %d, want %d", got, len(specs))
+	}
+	if got := a.Leased(); got != uint64(len(specs)) {
+		t.Fatalf("agent leased = %d, want %d (every batched grant counts)", got, len(specs))
+	}
+	if calls := leaseCalls.Load(); calls > 3 {
+		t.Fatalf("lease polls = %d for %d tasks; batching did not amortize", calls, len(specs))
 	}
 	if err := c.CheckConservation(); err != nil {
 		t.Fatal(err)

@@ -166,9 +166,18 @@ func (c *Coordinator) journalLocked(rec exp.Record) {
 func completionRecord(t *task, res exp.TaskResult) exp.Record {
 	kind, memo := splitTaskKey(t.key)
 	rec := exp.Record{Kind: kind, Key: memo}
-	if kind == exp.KindCPU {
+	switch kind {
+	case exp.KindTwin:
+		// Analytic-tier completion. The prediction is the payload; an
+		// auto-tier escalation additionally carries its cycle-accurate
+		// Result or IPC, and replay tells the tiers apart by which
+		// payloads are present.
+		rec.Twin = res.Prediction
+		rec.Result = res.Result
 		rec.IPC = res.IPC
-	} else {
+	case exp.KindCPU:
+		rec.IPC = res.IPC
+	default:
 		rec.Result = res.Result
 	}
 	if kind == exp.KindScenario {
@@ -287,6 +296,9 @@ func (c *Coordinator) expireLocked(now time.Time) {
 }
 
 // Lease grants the oldest queued task to workerID, or reports none.
+// When the grant is twin-tier and Config.LeaseBatch allows, further
+// consecutive twin-tier tasks at the queue head ride along in More —
+// each one a full lease in the ledger, sharing the response's TTL.
 func (c *Coordinator) Lease(workerID string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -296,17 +308,44 @@ func (c *Coordinator) Lease(workerID string) LeaseResponse {
 	if c.draining {
 		return LeaseResponse{None: true, Draining: true}
 	}
+	first := c.grantOneLocked(workerID, now, false)
+	if first == nil {
+		return LeaseResponse{None: true}
+	}
+	resp := LeaseResponse{Key: first.Key, Spec: first.Spec, TTLMS: c.cfg.LeaseTTL.Milliseconds()}
+	if first.Spec.Tier == exp.TierTwin {
+		for len(resp.More) < c.cfg.LeaseBatch-1 {
+			g := c.grantOneLocked(workerID, now, true)
+			if g == nil {
+				break
+			}
+			resp.More = append(resp.More, *g)
+		}
+	}
+	return resp
+}
+
+// grantOneLocked pops and grants the oldest viable queued task. With
+// twinOnly it stops — leaving the queue untouched — at the first
+// viable task that is not twin-tier, so batching never reorders
+// dispatch around a cycle-accurate run.
+func (c *Coordinator) grantOneLocked(workerID string, now time.Time, twinOnly bool) *LeaseGrant {
 	for len(c.pending) > 0 {
 		key := c.pending[0]
-		c.pending = c.pending[1:]
 		t := c.tasks[key]
 		if t == nil || t.status != server.StatusQueued {
+			c.pending = c.pending[1:]
 			continue // stale entry: completed, quarantined, or re-leased already
 		}
 		if t.grants >= c.cfg.MaxAttempts {
+			c.pending = c.pending[1:]
 			c.quarantineLocked(t, workerID, fmt.Sprintf("gave up after %d grants without a completion", t.grants))
 			continue
 		}
+		if twinOnly && t.spec.Tier != exp.TierTwin {
+			return nil
+		}
+		c.pending = c.pending[1:]
 		t.grants++
 		t.status = server.StatusRunning
 		t.worker = workerID
@@ -324,9 +363,9 @@ func (c *Coordinator) Lease(workerID string) LeaseResponse {
 		t.lastWorker = workerID
 		c.journalLocked(exp.Record{Kind: kind, Key: key, Worker: workerID})
 		spec := t.spec
-		return LeaseResponse{Key: key, Spec: &spec, TTLMS: c.cfg.LeaseTTL.Milliseconds()}
+		return &LeaseGrant{Key: key, Spec: &spec}
 	}
-	return LeaseResponse{None: true}
+	return nil
 }
 
 // Renew extends the deadlines of the leases workerID still holds and
@@ -615,6 +654,18 @@ func (c *Coordinator) Replay(recs []exp.Record) ReplayStats {
 		case exp.KindCPU:
 			ks := get(rec.Kind + "/" + rec.Key)
 			ks.res = &exp.TaskResult{IPC: rec.IPC}
+		case exp.KindTwin:
+			if rec.Twin == nil && rec.Result == nil && rec.IPC == 0 {
+				stats.Ignored++
+				continue
+			}
+			ks := get(rec.Kind + "/" + rec.Key)
+			res := exp.TaskResult{Tier: exp.TierTwin, Prediction: rec.Twin,
+				Result: rec.Result, IPC: rec.IPC}
+			if rec.Result != nil || rec.IPC != 0 {
+				res.Tier = exp.TierFull // auto tier that escalated
+			}
+			ks.res = &res
 		default:
 			stats.Ignored++
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/twin"
 )
 
 // fakeClock is a mutable test clock threaded through Config.Now.
@@ -458,5 +459,101 @@ func TestQueueShedAndValidation(t *testing.T) {
 	// Shed keys were not admitted: unknown to status.
 	if _, _, _, _, ok := c.state("cpu/462"); ok {
 		t.Fatal("shed key has state")
+	}
+}
+
+// twinMixSpec builds a twin-tier mix task (key "twin/mix/<id>/<pol>").
+func twinMixSpec(mixID string, p sim.Policy) exp.TaskSpec {
+	spec := exp.MixTaskSpec(mixID, p)
+	spec.Tier = exp.TierTwin
+	return spec
+}
+
+// TestLeaseBatchingGrantsConsecutiveTwinTasks: with LeaseBatch set,
+// one lease response carries consecutive twin-tier queue heads as
+// extra grants — each a real lease in the ledger — and the batch stops
+// at the first cycle-accurate task, which is itself never batched and
+// never overtaken.
+func TestLeaseBatchingGrantsConsecutiveTwinTasks(t *testing.T) {
+	c, clk := testCoordinator(t, func(cfg *Config) { cfg.LeaseBatch = 3 })
+	t0 := mustAdmit(t, c, twinMixSpec("M1", sim.PolicyBaseline))
+	t1 := mustAdmit(t, c, twinMixSpec("M1", sim.PolicyThrottle))
+	full := mustAdmit(t, c, exp.MixTaskSpec("M2", sim.PolicyBaseline))
+	t2 := mustAdmit(t, c, twinMixSpec("M1", sim.PolicyHeLM))
+	t3 := mustAdmit(t, c, twinMixSpec("M1", sim.PolicyCMBAL))
+
+	l1 := c.Lease("w1")
+	if l1.Key != t0 || len(l1.More) != 1 || l1.More[0].Key != t1 {
+		t.Fatalf("batched lease = %+v, want %s + [%s] (stop at the full-tier head)", l1, t0, t1)
+	}
+	if l1.More[0].Spec == nil || l1.More[0].Spec.Tier != exp.TierTwin {
+		t.Fatalf("batched grant lost its spec: %+v", l1.More)
+	}
+	mustConserve(t, c)
+
+	// The cycle-accurate task is granted alone even with twins behind it.
+	l2 := c.Lease("w2")
+	if l2.Key != full || len(l2.More) != 0 {
+		t.Fatalf("full-tier lease = %+v, want %s alone", l2, full)
+	}
+	l3 := c.Lease("w3")
+	if l3.Key != t2 || len(l3.More) != 1 || l3.More[0].Key != t3 {
+		t.Fatalf("tail lease = %+v, want %s + [%s]", l3, t2, t3)
+	}
+	if cnt := c.Counters(); cnt["fleet_leases_granted"] != 5 {
+		t.Fatalf("granted = %v, want 5 (every batched grant is a lease)", cnt["fleet_leases_granted"])
+	}
+	mustConserve(t, c)
+
+	// Both halves of w1's batch renew by key and survive the deadline.
+	if resp := c.Renew("w1", []string{t0, t1}); len(resp.Lost) != 0 {
+		t.Fatalf("renew lost %v", resp.Lost)
+	}
+	clk.Advance(6 * time.Second)
+	if resp := c.Renew("w1", []string{t0, t1}); len(resp.Lost) != 0 {
+		t.Fatalf("renew after advance lost %v", resp.Lost)
+	}
+	clk.Advance(6 * time.Second) // w2 and w3 never renewed: their grants expire
+
+	pred := &twin.Prediction{FPS: 40, MeanIPC: 1.1, Confidence: 0.9}
+	for _, key := range []string{t0, t1} {
+		cr := c.Complete(CompleteRequest{Worker: "w1", Key: key,
+			Result: &exp.TaskResult{Tier: exp.TierTwin, Prediction: pred}})
+		if !cr.Accepted || cr.Duplicate {
+			t.Fatalf("complete %s = %+v", key, cr)
+		}
+	}
+	mustConserve(t, c)
+
+	// Expired batched grants re-enqueue for stealing like any lease.
+	if l4 := c.Lease("w4"); l4.None {
+		t.Fatal("expired tasks must re-enqueue for stealing")
+	}
+	mustConserve(t, c)
+}
+
+// TestReplayRestoresTwinCompletions: twin-kind completion records
+// replay into the store under the twin task key with tier provenance
+// intact — a prediction stays TierTwin, an escalation TierFull.
+func TestReplayRestoresTwinCompletions(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	pred := &twin.Prediction{FPS: 40, Confidence: 0.9}
+	r := &sim.Result{GPUFPS: 42}
+	stats := c.Replay([]exp.Record{
+		{Kind: exp.KindQueued, Key: "twin/mix/M1/0"},
+		{Kind: exp.KindTwin, Key: "mix/M1/0", Twin: pred},
+		{Kind: exp.KindTwin, Key: "mix/M2/0", Twin: pred, Result: r},
+		{Kind: exp.KindTwin, Key: "mix/M3/0"}, // payload-less: ignored
+	})
+	if stats.Completed != 2 || stats.Ignored != 1 {
+		t.Fatalf("stats = %+v, want 2 completed, 1 ignored", stats)
+	}
+	status, _, res, _, ok := c.state("twin/mix/M1/0")
+	if !ok || status != server.StatusDone || res.Tier != exp.TierTwin || res.Prediction == nil {
+		t.Fatalf("twin key state = %q tier=%q pred=%v", status, res.Tier, res.Prediction)
+	}
+	status, _, res, _, ok = c.state("twin/mix/M2/0")
+	if !ok || status != server.StatusDone || res.Tier != exp.TierFull || res.Result == nil {
+		t.Fatalf("escalated key state = %q tier=%q result=%v", status, res.Tier, res.Result)
 	}
 }

@@ -73,14 +73,29 @@ type LeaseRequest struct {
 	Worker string `json:"worker"`
 }
 
+// LeaseGrant is one additional task granted alongside a batched lease
+// (LeaseResponse.More). It shares the response's TTL.
+type LeaseGrant struct {
+	Key  string        `json:"key"`
+	Spec *exp.TaskSpec `json:"spec"`
+}
+
 // LeaseResponse grants one task (Key+Spec, with TTLMS the renewal
 // budget) or reports none available. Draining tells agents to back off
 // without deregistering: a draining coordinator still accepts
 // completions for in-flight leases.
+//
+// More carries extra grants when lease batching is on and twin-tier
+// tasks head the queue: a twin task costs microseconds to execute, so
+// per-task HTTP round-trips would dominate; batching amortizes one
+// poll across up to Config.LeaseBatch of them. Every grant in More is
+// individually leased, renewed, stolen, and completed — the wire shape
+// is batched, the ledger is not.
 type LeaseResponse struct {
 	Key      string        `json:"key,omitempty"`
 	Spec     *exp.TaskSpec `json:"spec,omitempty"`
 	TTLMS    int64         `json:"ttl_ms,omitempty"`
+	More     []LeaseGrant  `json:"more,omitempty"`
 	None     bool          `json:"none,omitempty"`
 	Draining bool          `json:"draining,omitempty"`
 }
@@ -151,6 +166,13 @@ type Config struct {
 	// rejections. Default 1s.
 	ShedRetryAfter time.Duration
 
+	// LeaseBatch caps how many tasks one lease response may grant when
+	// consecutive twin-tier tasks head the queue. Cycle-accurate tasks
+	// are never batched (one node runs one simulation), and batching
+	// never reorders dispatch: the batch stops at the first queued task
+	// that is not twin-tier. Default 1 (batching off).
+	LeaseBatch int
+
 	// Journal, when non-nil, receives the fleet's crash-consistency
 	// records; pair with Replay on restart.
 	Journal *exp.Journal
@@ -177,6 +199,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ShedRetryAfter <= 0 {
 		c.ShedRetryAfter = time.Second
+	}
+	if c.LeaseBatch < 1 {
+		c.LeaseBatch = 1
 	}
 	if c.Now == nil {
 		c.Now = time.Now

@@ -52,7 +52,7 @@ type ResultResponse struct {
 // Version identifies this build of the service layer; /healthz and
 // /readyz report it so a fleet operator can spot a node running stale
 // code.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Health is the /healthz and /readyz body: enough for a client (or the
 // fleet coordinator) to distinguish a cold worker from a draining one

@@ -183,6 +183,17 @@ func (s *Server) registerObs() {
 		}
 		return 0
 	})
+	// Twin serving tier (DESIGN.md §14). The counters are live even
+	// with no model loaded (twin-tier tasks then fail, auto-tier tasks
+	// all escalate); the calibration gauge reports 0 without a model.
+	g.Counter("twin_hits", s.runner.TwinHits)
+	g.Counter("twin_escalations", s.runner.TwinEscalations)
+	g.Gauge("twin_calibration_error", func() float64 {
+		if m := s.runner.TwinModel(); m != nil {
+			return m.CalibrationErrPct()
+		}
+		return 0
+	})
 }
 
 // Registry exposes the server's observability registry so the daemon

@@ -1,0 +1,82 @@
+package twin
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchScale returns the scale for the serving-tier benchmark:
+// HETSIM_SCALE when set, else 1024 — the calibration frontier runs
+// real simulations in setup, and 1024 keeps one run near a second so
+// the whole bench stays in tens of seconds.
+func benchScale() int {
+	if s := os.Getenv("HETSIM_SCALE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return 1024
+}
+
+// BenchmarkServingTier measures the tentpole's headline ratio: the
+// same what-if query answered by cycle-accurate simulation (sub-bench
+// "full") and by the calibrated analytic twin (sub-bench "twin").
+// Setup runs a small calibration frontier and fit, untimed. The twin
+// sub-bench also reports the prediction's agreement with the full run
+// the "full" sub-bench just produced (frame_errpct), the model's
+// overall calibration error, and the confidence the serving tier would
+// attach — the numbers BENCH_PR9.json records next to the latency gap.
+func BenchmarkServingTier(b *testing.B) {
+	cfg := sim.DefaultConfig(benchScale())
+	mixes := workloads.EvalMixes()[:2]
+	policies := []sim.Policy{
+		sim.PolicyBaseline, sim.PolicyThrottle, sim.PolicyThrottleCPUPrio,
+		sim.PolicySMS09, sim.PolicySMS0, sim.PolicyDynPrio,
+		sim.PolicyHeLM, sim.PolicyForcedBypass, sim.PolicyCMBAL,
+	}
+	ex := LocalExec{}
+	f, err := RunFrontier(cfg, mixes, policies, 1, ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coeffs, err := Fit(cfg, f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := New(coeffs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	mix, pol := mixes[0], sim.PolicyThrottle
+	var full Sample
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := ex.Mix(cfg, mix, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			full = s
+		}
+	})
+	b.Run("twin", func(b *testing.B) {
+		var pred Prediction
+		for i := 0; i < b.N; i++ {
+			p, err := model.PredictMix(cfg, mix.ID, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pred = p
+		}
+		if full.FPS > 0 {
+			b.ReportMetric(100*math.Abs(pred.FPS-full.FPS)/full.FPS, "frame_errpct")
+		}
+		b.ReportMetric(model.CalibrationErrPct(), "calib_errpct")
+		b.ReportMetric(pred.Confidence, "confidence")
+	})
+}

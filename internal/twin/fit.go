@@ -1,0 +1,417 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// AllPolicies is the paper's nine-policy evaluation set — the default
+// calibration frontier sweeps every one of them.
+func AllPolicies() []sim.Policy {
+	return []sim.Policy{
+		sim.PolicyBaseline, sim.PolicyThrottle, sim.PolicyThrottleCPUPrio,
+		sim.PolicySMS09, sim.PolicySMS0, sim.PolicyDynPrio,
+		sim.PolicyHeLM, sim.PolicyForcedBypass, sim.PolicyCMBAL,
+	}
+}
+
+// Sample is one cycle-accurate frontier measurement: a (mix, policy)
+// run's frame rate, per-core IPCs, and DRAM traffic rates (the
+// baseline run's rates become anchor features for the per-policy
+// correction fits — the bandwidth shares under FR-FCFS are what the
+// scheduler-replacing policies redistribute).
+type Sample struct {
+	MixID  string     `json:"mix"`
+	Policy sim.Policy `json:"policy"`
+	FPS    float64    `json:"fps"`
+	IPC    []float64  `json:"ipc"`
+	GPUBPC float64    `json:"gpu_bpc"` // GPU DRAM bytes per cycle
+	CPUBPC float64    `json:"cpu_bpc"` // CPU DRAM bytes per cycle
+}
+
+// Frontier is the raw material a fit consumes: standalone anchors
+// plus the mix×policy sample grid.
+type Frontier struct {
+	GPUFPS  map[string]float64 `json:"gpu_fps"`
+	CPUIPC  map[int]float64    `json:"cpu_ipc"`
+	Samples []Sample           `json:"samples"`
+}
+
+// DefaultRidge is the ridge penalty Fit applies when the caller
+// passes none: strong enough to keep the small per-policy systems
+// well-conditioned, weak enough not to bias the fit visibly. The
+// leave-one-mix-out sweep in the differential gate is flat across
+// 1e-3..3e-2; 1e-2 sits at its centre.
+const DefaultRidge = 1e-2
+
+// Fit performs the differential calibration over a frontier: every
+// baseline sample becomes its mix's measured anchor, and each
+// non-baseline policy gets a least-squares fit of its log deltas away
+// from those anchors. Non-baseline samples of mixes with no baseline
+// run in the frontier carry no delta signal and are skipped.
+func Fit(cfg sim.Config, f *Frontier, ridge float64) (*Coefficients, error) {
+	if f == nil || len(f.Samples) == 0 {
+		return nil, errors.New("twin: empty frontier")
+	}
+	if ridge <= 0 {
+		ridge = DefaultRidge
+	}
+	c := &Coefficients{
+		Version:      CoeffVersion,
+		ConfigDigest: ConfigDigest(cfg),
+		Scale:        cfg.Scale,
+		TargetFPS:    cfg.TargetFPS,
+		GPUFPS:       f.GPUFPS,
+		CPUIPC:       f.CPUIPC,
+		MixBase:      make(map[string]*MixAnchor),
+		Policies:     make(map[string]*PolicyFit),
+	}
+
+	// Pass 1: baseline samples become anchors.
+	for _, s := range f.Samples {
+		if s.Policy != sim.PolicyBaseline || s.FPS <= 0 {
+			continue
+		}
+		c.MixBase[s.MixID] = &MixAnchor{
+			FPS:    s.FPS,
+			IPC:    append([]float64(nil), s.IPC...),
+			GPUBPC: s.GPUBPC,
+			CPUBPC: s.CPUBPC,
+		}
+	}
+	if len(c.MixBase) == 0 {
+		return nil, errors.New("twin: frontier has no baseline runs to anchor on")
+	}
+
+	// Pass 2, stage 1: per-policy IPC-delta regressions against the
+	// anchors. The runs are kept so stage 2 can revisit them.
+	type rows struct {
+		runs []struct {
+			t   *mixTerms
+			fps float64
+		}
+		ix [][]float64 // ipc design matrix (one row per core per run)
+		iy []float64
+	}
+	byPolicy := make(map[sim.Policy]*rows)
+	terms := make(map[string]*mixTerms)
+
+	for _, s := range f.Samples {
+		if s.Policy == sim.PolicyBaseline || s.FPS <= 0 {
+			continue
+		}
+		t := terms[s.MixID]
+		if t == nil {
+			var err error
+			t, err = c.termsFor(s.MixID)
+			if errors.Is(err, ErrUncalibrated) {
+				continue // no anchor for this mix: no delta to learn
+			}
+			if err != nil {
+				return nil, fmt.Errorf("twin: frontier sample %s: %w", s.MixID, err)
+			}
+			terms[s.MixID] = t
+		}
+		if len(s.IPC) != len(t.specIDs) {
+			return nil, fmt.Errorf("twin: sample %s/%s has %d IPCs for %d cores",
+				s.MixID, s.Policy, len(s.IPC), len(t.specIDs))
+		}
+		r := byPolicy[s.Policy]
+		if r == nil {
+			r = &rows{}
+			byPolicy[s.Policy] = r
+		}
+		r.runs = append(r.runs, struct {
+			t   *mixTerms
+			fps float64
+		}{t, s.FPS})
+		for i := range t.specIDs {
+			if t.anchor.IPC[i] <= 0 || s.IPC[i] <= 0 {
+				continue
+			}
+			r.ix = append(r.ix, ipcFeatures(t, i))
+			r.iy = append(r.iy, math.Log(t.anchor.IPC[i]/s.IPC[i]))
+		}
+	}
+	if len(byPolicy) == 0 {
+		return nil, errors.New("twin: frontier has no non-baseline runs to fit")
+	}
+
+	// Stage 2: the fitted IPC deltas yield each run's bandwidth-shift
+	// term, completing the frame design matrix. Training on the
+	// *predicted* stage-1 IPCs (not the measured ones) keeps the frame
+	// fit free of train/serve skew.
+	for p, r := range byPolicy {
+		iw, err := solveRidge(r.ix, r.iy, ridge)
+		if err != nil {
+			return nil, fmt.Errorf("twin: ipc fit for %s: %w", p, err)
+		}
+		fx := make([][]float64, len(r.runs))
+		fy := make([]float64, len(r.runs))
+		for i, run := range r.runs {
+			fx[i] = frameFeatures(run.t, bwShift(run.t, predictIPCs(iw, run.t)))
+			fy[i] = math.Log(run.t.anchor.FPS / run.fps)
+		}
+		fw, err := solveRidge(fx, fy, ridge)
+		if err != nil {
+			return nil, fmt.Errorf("twin: frame fit for %s: %w", p, err)
+		}
+		c.Policies[policyKey(p)] = &PolicyFit{
+			Frame:    fw,
+			IPC:      iw,
+			FrameRMS: rms(fx, fy, fw),
+			IPCRMS:   rms(r.ix, r.iy, iw),
+			Samples:  len(r.runs),
+		}
+	}
+
+	c.Digest = c.contentDigest()
+	return c, nil
+}
+
+// solveRidge solves the normal equations (XᵀX + λ·d̄·I)w = Xᵀy by
+// Gaussian elimination with partial pivoting. λ is scaled by the mean
+// diagonal of XᵀX so the penalty is dimensionless across feature
+// scalings; the intercept column is penalized like any other (λ is
+// small enough that this is invisible in the residuals).
+func solveRidge(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(X) == 0 {
+		return nil, errors.New("no samples")
+	}
+	k := len(X[0])
+	A := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range A {
+		A[i] = make([]float64, k)
+	}
+	for r, row := range X {
+		if len(row) != k {
+			return nil, errors.New("ragged design matrix")
+		}
+		for i := 0; i < k; i++ {
+			b[i] += row[i] * y[r]
+			for j := i; j < k; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	// Proportional ridge: each diagonal is inflated by λ of itself, so
+	// the penalty is invariant to per-feature scaling and does not let
+	// large-magnitude features (log line counts) crush the one-hot
+	// block's small diagonals.
+	maxDiag := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		if A[i][i] > maxDiag {
+			maxDiag = A[i][i]
+		}
+	}
+	for i := 0; i < k; i++ {
+		A[i][i] += lambda * (A[i][i] + 1e-6*maxDiag)
+	}
+
+	// Gaussian elimination with partial pivoting on [A|b].
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-12 {
+			return nil, errors.New("singular normal equations")
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < k; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for cc := col; cc < k; cc++ {
+				A[r][cc] -= f * A[col][cc]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < k; j++ {
+			s -= A[i][j] * w[j]
+		}
+		w[i] = s / A[i][i]
+	}
+	return w, nil
+}
+
+// rms is the fit's residual root-mean-square in log space.
+func rms(X [][]float64, y []float64, w []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, row := range X {
+		d := y[i] - dot(w, row)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(X)))
+}
+
+// Exec runs the three cycle-accurate entry points a frontier campaign
+// needs. LocalExec executes in-process; cmd/calibrate substitutes a
+// fleet-backed implementation for fan-out across hetsimd workers.
+type Exec interface {
+	// Mix runs one heterogeneous mix under policy p.
+	Mix(cfg sim.Config, m workloads.Mix, p sim.Policy) (Sample, error)
+	// GPU returns a game's standalone frame rate.
+	GPU(cfg sim.Config, game string) (float64, error)
+	// CPU returns a SPEC application's standalone IPC.
+	CPU(cfg sim.Config, specID int) (float64, error)
+}
+
+// SampleFromResult distills one mix run into a frontier sample.
+func SampleFromResult(r *sim.Result) Sample {
+	s := Sample{
+		MixID:  r.MixID,
+		Policy: r.Policy,
+		FPS:    r.GPUFPS,
+		IPC:    r.IPC,
+	}
+	if r.MeasuredCycles > 0 {
+		cyc := float64(r.MeasuredCycles)
+		s.GPUBPC = float64(r.GPUReadBytes+r.GPUWriteBytes) / cyc
+		s.CPUBPC = float64(r.CPUReadBytes+r.CPUWriteBytes) / cyc
+	}
+	return s
+}
+
+// LocalExec is the in-process Exec: it calls the simulator directly.
+type LocalExec struct{}
+
+// Mix implements Exec. Like exp.Runner, it sizes the CMP to the mix.
+func (LocalExec) Mix(cfg sim.Config, m workloads.Mix, p sim.Policy) (Sample, error) {
+	run := cfg
+	run.Policy = p
+	run.NumCPUs = len(m.SpecIDs)
+	r := sim.RunMix(run, m)
+	return SampleFromResult(&r), nil
+}
+
+// GPU implements Exec.
+func (LocalExec) GPU(cfg sim.Config, game string) (float64, error) {
+	return sim.RunGPUAlone(cfg, game).GPUFPS, nil
+}
+
+// CPU implements Exec.
+func (LocalExec) CPU(cfg sim.Config, specID int) (float64, error) {
+	return sim.RunCPUAlone(cfg, specID), nil
+}
+
+// RunFrontier executes the calibration campaign — every game and SPEC
+// application named by mixes standalone, then every mix×policy cell —
+// over at most workers concurrent runs, and assembles the Frontier
+// deterministically (output order is independent of scheduling).
+func RunFrontier(cfg sim.Config, mixes []workloads.Mix, policies []sim.Policy, workers int, ex Exec) (*Frontier, error) {
+	if ex == nil {
+		ex = LocalExec{}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	games := map[string]bool{}
+	specs := map[int]bool{}
+	for _, m := range mixes {
+		games[m.Game] = true
+		for _, id := range m.SpecIDs {
+			specs[id] = true
+		}
+	}
+
+	f := &Frontier{
+		GPUFPS:  make(map[string]float64, len(games)),
+		CPUIPC:  make(map[int]float64, len(specs)),
+		Samples: make([]Sample, 0, len(mixes)*len(policies)),
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, workers)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	launch := func(fn func()) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			fn()
+		}()
+	}
+
+	for g := range games {
+		g := g
+		launch(func() {
+			fps, err := ex.GPU(cfg, g)
+			if err != nil {
+				fail(fmt.Errorf("gpu %s: %w", g, err))
+				return
+			}
+			mu.Lock()
+			f.GPUFPS[g] = fps
+			mu.Unlock()
+		})
+	}
+	for id := range specs {
+		id := id
+		launch(func() {
+			ipc, err := ex.CPU(cfg, id)
+			if err != nil {
+				fail(fmt.Errorf("cpu %d: %w", id, err))
+				return
+			}
+			mu.Lock()
+			f.CPUIPC[id] = ipc
+			mu.Unlock()
+		})
+	}
+	type cell struct {
+		s   Sample
+		err error
+	}
+	cells := make([]cell, len(mixes)*len(policies))
+	for mi, m := range mixes {
+		for pi, p := range policies {
+			mi, pi, m, p := mi, pi, m, p
+			launch(func() {
+				s, err := ex.Mix(cfg, m, p)
+				s.MixID, s.Policy = m.ID, p
+				cells[mi*len(policies)+pi] = cell{s: s, err: err}
+			})
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, fmt.Errorf("mix %s/%s: %w", c.s.MixID, c.s.Policy, c.err)
+		}
+		f.Samples = append(f.Samples, c.s)
+	}
+	return f, nil
+}

@@ -1,0 +1,156 @@
+package twin
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Differential-gate envelope (DESIGN.md §14): the twin's suite-level
+// geometric-mean error on held-out mixes must stay within these bounds
+// for every one of the paper's nine policies.
+const (
+	gateFramePct = 5.0
+	gateIPCPct   = 3.0
+)
+
+// TestDifferentialGate is the twin's accuracy gate: it runs the full
+// cycle-accurate calibration frontier (14 evaluation mixes × 9
+// policies plus standalones, ~2 minutes at scale 1024), then
+// cross-validates leave-one-mix-out — for each mix, a model fitted
+// WITHOUT that mix's policy runs predicts them, so every scored cell
+// is held out. Per policy, the suite-level frame-time and IPC
+// geometric-mean errors over the pooled held-out cells must stay
+// within the envelope. Suite-level geomeans are the quantities the
+// paper reports (its Fig. 9/10 aggregates); per-cell errors are
+// reported for visibility but not gated — SMS-family per-cell IPC
+// residuals are irreducible for a closed form (the training RMS
+// itself is ~8%), which is exactly what the confidence score surfaces
+// and the auto tier escalates on.
+func TestDifferentialGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gate runs the cycle-accurate frontier")
+	}
+	cfg := sim.DefaultConfig(1024)
+	mixes := workloads.EvalMixes()
+	full, err := RunFrontier(cfg, mixes, AllPolicies(), runtime.GOMAXPROCS(0), LocalExec{})
+	if err != nil {
+		t.Fatalf("frontier: %v", err)
+	}
+
+	type agg struct {
+		fLog, iLog    []float64 // signed log(pred/measured), pooled held-out cells
+		fAbs, iAbs    []float64 // per-cell magnitudes, reported not gated
+		minConfidence float64
+	}
+	byPolicy := map[sim.Policy]*agg{}
+
+	for _, hold := range mixes {
+		train := &Frontier{GPUFPS: full.GPUFPS, CPUIPC: full.CPUIPC}
+		var holdout []Sample
+		for _, s := range full.Samples {
+			switch {
+			case s.Policy == sim.PolicyBaseline:
+				// Baseline anchors are measurements, not fit targets:
+				// they stay available for every mix.
+				train.Samples = append(train.Samples, s)
+			case s.MixID == hold.ID:
+				holdout = append(holdout, s)
+			default:
+				train.Samples = append(train.Samples, s)
+			}
+		}
+		c, err := Fit(cfg, train, DefaultRidge)
+		if err != nil {
+			t.Fatalf("fit holding out %s: %v", hold.ID, err)
+		}
+		m, err := New(c)
+		if err != nil {
+			t.Fatalf("model holding out %s: %v", hold.ID, err)
+		}
+		for _, s := range holdout {
+			p, err := m.PredictMix(cfg, s.MixID, s.Policy)
+			if err != nil {
+				t.Fatalf("predict %s/%s: %v", s.MixID, s.Policy, err)
+			}
+			a := byPolicy[s.Policy]
+			if a == nil {
+				a = &agg{minConfidence: 1}
+				byPolicy[s.Policy] = a
+			}
+			if p.Confidence < a.minConfidence {
+				a.minConfidence = p.Confidence
+			}
+			if s.FPS > 0 && p.FPS > 0 {
+				r := math.Log(p.FPS / s.FPS)
+				a.fLog = append(a.fLog, r)
+				a.fAbs = append(a.fAbs, math.Abs(r))
+			}
+			for i := range s.IPC {
+				if s.IPC[i] > 0 && p.IPC[i] > 0 {
+					r := math.Log(p.IPC[i] / s.IPC[i])
+					a.iLog = append(a.iLog, r)
+					a.iAbs = append(a.iAbs, math.Abs(r))
+				}
+			}
+		}
+	}
+
+	for _, p := range AllPolicies() {
+		if p == sim.PolicyBaseline {
+			continue // answered from the anchor: exact by construction
+		}
+		a := byPolicy[p]
+		if a == nil || len(a.fLog) == 0 {
+			t.Fatalf("policy %s produced no held-out cells", p)
+		}
+		suiteF := 100 * math.Abs(math.Expm1(mean(a.fLog)))
+		suiteI := 100 * math.Abs(math.Expm1(mean(a.iLog)))
+		cellF := 100 * math.Expm1(mean(a.fAbs))
+		cellI := 100 * math.Expm1(mean(a.iAbs))
+		t.Logf("policy %-14s suite frame %5.2f%%  suite ipc %5.2f%%  (per-cell %5.2f%% / %5.2f%%, min confidence %.2f)",
+			p, suiteF, suiteI, cellF, cellI, a.minConfidence)
+		if suiteF > gateFramePct {
+			t.Errorf("policy %s: held-out suite frame-time error %.2f%% exceeds %.1f%%", p, suiteF, gateFramePct)
+		}
+		if suiteI > gateIPCPct {
+			t.Errorf("policy %s: held-out suite IPC error %.2f%% exceeds %.1f%%", p, suiteI, gateIPCPct)
+		}
+	}
+
+	// Baseline cells must reproduce their anchors exactly.
+	c, err := Fit(cfg, full, DefaultRidge)
+	if err != nil {
+		t.Fatalf("full fit: %v", err)
+	}
+	m, err := New(c)
+	if err != nil {
+		t.Fatalf("full model: %v", err)
+	}
+	for _, s := range full.Samples {
+		if s.Policy != sim.PolicyBaseline {
+			continue
+		}
+		p, err := m.PredictMix(cfg, s.MixID, sim.PolicyBaseline)
+		if err != nil {
+			t.Fatalf("baseline predict %s: %v", s.MixID, err)
+		}
+		if p.FPS != s.FPS {
+			t.Errorf("baseline %s: predicted %.6f, measured %.6f", s.MixID, p.FPS, s.FPS)
+		}
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

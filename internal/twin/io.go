@@ -1,0 +1,86 @@
+package twin
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// contentDigest is the sha256 over the coefficient set's canonical
+// JSON with the Digest field itself cleared — the same
+// self-authenticating layout the fleet's result store uses.
+func (c *Coefficients) contentDigest() string {
+	cp := *c
+	cp.Digest = ""
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		// Coefficients is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("twin: digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ErrDigest marks a coefficient file whose content does not match its
+// embedded digest (truncated write, hand edit, version skew).
+var ErrDigest = errors.New("twin: coefficient file digest mismatch")
+
+// Save writes the coefficient file atomically (temp file + rename in
+// the destination directory), stamping the content digest first.
+func Save(path string, c *Coefficients) error {
+	if c == nil {
+		return errors.New("twin: nil coefficients")
+	}
+	c.Digest = c.contentDigest()
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("twin: encode coefficients: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".twin-coeffs-*")
+	if err != nil {
+		return fmt.Errorf("twin: save coefficients: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("twin: save coefficients: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("twin: save coefficients: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("twin: save coefficients: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("twin: save coefficients: %w", err)
+	}
+	return nil
+}
+
+// Load reads a coefficient file, verifies its content digest and
+// schema version, and returns a serving Model.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("twin: load coefficients: %w", err)
+	}
+	var c Coefficients
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("twin: decode coefficients %s: %w", path, err)
+	}
+	if c.Digest == "" || c.Digest != c.contentDigest() {
+		return nil, fmt.Errorf("%w: %s", ErrDigest, path)
+	}
+	m, err := New(&c)
+	if err != nil {
+		return nil, fmt.Errorf("twin: %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,552 @@
+// Package twin is the analytic fast path of the serving stack: a
+// calibrated closed-form performance model that answers what-if
+// queries — frame rate, per-core CPU IPC, weighted speedup, and the
+// throttling outcome — in microseconds instead of the ~seconds a
+// cycle-accurate simulation costs (DESIGN.md §14).
+//
+// The calibration protocol is differential: the frontier campaign
+// measures every workload standalone (each game's FPS, each SPEC
+// application's IPC) and every calibrated mix once under the FR-FCFS
+// baseline — those measurements become *anchors* in the coefficient
+// file — and then measures the training mixes under every policy.
+// Each non-baseline policy gets a least-squares correction model, fit
+// in log space, that predicts how that policy shifts a mix away from
+// its baseline anchor. The regressors are roofline-style terms: the
+// mix's memory-bandwidth demand (per-application LLC-miss pressure
+// times standalone IPC, the GPU title's DRAM-visible line traffic per
+// frame), its MLP/working-set character, the baseline run's measured
+// DRAM bandwidth split, plus one indicator per calibrated application
+// (the frontier shows per-application identity dominates contention
+// response). Policy deltas are far smoother functions of these terms
+// than absolute performance is, which is what puts a closed-form
+// model inside a few percent of the cycle-accurate truth.
+//
+// Every prediction carries a confidence score derived from the fitted
+// residuals; the serving tier (exp.Runner) escalates auto-tier
+// queries to full simulation when confidence falls below threshold or
+// the query leaves the calibrated hull (an uncalibrated mix, game,
+// application, policy, or simulator configuration). A coefficient
+// file is bound to one simulator configuration by digest — a model is
+// never consulted for a config it was not calibrated against.
+package twin
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// CoeffVersion is the coefficient-file schema version; Load rejects
+// files written by an incompatible twin.
+const CoeffVersion = 2
+
+// ipcCap is the retire width of the simulated cores: no prediction
+// may exceed it (the frontier shows cache-resident applications pin
+// there exactly).
+const ipcCap = 4.0
+
+// Typed reasons a prediction cannot be served; the auto tier treats
+// any of them as "escalate to full simulation".
+var (
+	// ErrConfigMismatch: the model was calibrated for a different
+	// simulator configuration (digest mismatch).
+	ErrConfigMismatch = errors.New("twin: config digest does not match calibration")
+
+	// ErrUncalibrated: the query names a mix, policy, game, or
+	// application outside the calibrated hull.
+	ErrUncalibrated = errors.New("twin: query outside the calibrated hull")
+)
+
+// PolicyFit is one non-baseline policy's correction model:
+// least-squares weights for the frame-delta and per-core IPC-delta
+// regressions, both in log space (so the residual RMS reads as a
+// relative error), plus the fit's residual statistics.
+type PolicyFit struct {
+	Frame    []float64 `json:"frame"`     // log frame-delta weights
+	IPC      []float64 `json:"ipc"`       // log IPC-delta weights
+	FrameRMS float64   `json:"frame_rms"` // residual RMS of the frame fit (log space)
+	IPCRMS   float64   `json:"ipc_rms"`   // residual RMS of the IPC fit (log space)
+	Samples  int       `json:"samples"`   // mix runs this policy was fitted on
+}
+
+// MixAnchor is one calibrated mix's measured baseline: frame rate,
+// per-core IPC, and the DRAM bandwidth split under FR-FCFS. The
+// anchor is both the baseline-policy answer and the reference every
+// policy correction is applied to.
+type MixAnchor struct {
+	FPS    float64   `json:"fps"`
+	IPC    []float64 `json:"ipc"`
+	GPUBPC float64   `json:"gpu_bpc"` // GPU DRAM bytes per cycle
+	CPUBPC float64   `json:"cpu_bpc"` // CPU DRAM bytes per cycle
+}
+
+// Coefficients is the versioned, content-digested calibration
+// artifact `calibrate -fit-twin` emits and `hetsimd -twin-coeffs`
+// loads. It binds to exactly one simulator configuration (by digest)
+// and carries the measured anchors next to the per-policy fits.
+type Coefficients struct {
+	Version      int     `json:"version"`
+	ConfigDigest string  `json:"config_digest"`
+	Scale        int     `json:"scale"`
+	TargetFPS    float64 `json:"target_fps"`
+
+	// GPUFPS is each calibrated game's measured standalone frame
+	// rate; CPUIPC each calibrated SPEC application's measured
+	// standalone IPC. They answer twin-tier gpu/<game> and cpu/<id>
+	// queries exactly and feed the demand terms of the regressors.
+	GPUFPS map[string]float64 `json:"gpu_fps"`
+	CPUIPC map[int]float64    `json:"cpu_ipc"`
+
+	// MixBase maps each calibrated mix to its measured baseline
+	// anchor — the hull: a mix absent here cannot be predicted.
+	MixBase map[string]*MixAnchor `json:"mix_base"`
+
+	// Policies maps each non-baseline policy number (decimal string
+	// via JSON) to its fitted correction model.
+	Policies map[string]*PolicyFit `json:"policies"`
+
+	// Digest is the sha256 over the file's canonical JSON with Digest
+	// itself cleared; Load refuses a file whose content does not match.
+	Digest string `json:"digest"`
+}
+
+// Prediction is one twin answer. All quantities are model outputs;
+// Confidence in (0, 1] scores how much the calibration residuals
+// support them (measured anchors answer at 1).
+type Prediction struct {
+	FPS             float64   `json:"fps,omitempty"`
+	FrameTimeMS     float64   `json:"frame_time_ms,omitempty"`
+	IPC             []float64 `json:"ipc,omitempty"`
+	MeanIPC         float64   `json:"mean_ipc,omitempty"`
+	WeightedSpeedup float64   `json:"weighted_speedup,omitempty"`
+	// ThrottleOn predicts the ATU decision: whether the baseline
+	// frame rate clears the QoS target, which is when the proposal's
+	// throttling engages (paper Fig. 6).
+	ThrottleOn  bool    `json:"throttle_on,omitempty"`
+	Confidence  float64 `json:"confidence"`
+	CoeffDigest string  `json:"coeff_digest,omitempty"`
+}
+
+// Model wraps validated coefficients for serving.
+type Model struct {
+	c *Coefficients
+}
+
+// New validates c and wraps it for prediction.
+func New(c *Coefficients) (*Model, error) {
+	if c == nil {
+		return nil, errors.New("twin: nil coefficients")
+	}
+	if c.Version != CoeffVersion {
+		return nil, fmt.Errorf("twin: coefficient version %d (want %d)", c.Version, CoeffVersion)
+	}
+	if len(c.GPUFPS) == 0 || len(c.CPUIPC) == 0 || len(c.MixBase) == 0 {
+		return nil, errors.New("twin: coefficients missing anchors")
+	}
+	if len(c.Policies) == 0 {
+		return nil, errors.New("twin: coefficients missing policy fits")
+	}
+	for name, pf := range c.Policies {
+		if pf == nil || len(pf.Frame) != nFrameFeatures() || len(pf.IPC) != nIPCFeatures() {
+			return nil, fmt.Errorf("twin: policy %s fit has wrong arity", name)
+		}
+	}
+	return &Model{c: c}, nil
+}
+
+// Coefficients returns the model's backing coefficient set.
+func (m *Model) Coefficients() *Coefficients { return m.c }
+
+// CalibrationErrPct is the model's mean fitted frame residual as a
+// relative-percent error — the /metricsz twin_calibration_error gauge.
+func (m *Model) CalibrationErrPct() float64 {
+	if len(m.c.Policies) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, pf := range m.c.Policies {
+		sum += math.Expm1(pf.FrameRMS)
+	}
+	return 100 * sum / float64(len(m.c.Policies))
+}
+
+// ConfigDigest fingerprints the structural simulator configuration a
+// calibration binds to: capacities, frequencies, termination, and the
+// paper's knobs. Per-run fields (NumCPUs follows the mix; Policy is
+// the query; engine selection and hooks are observationally inert)
+// are deliberately excluded.
+func ConfigDigest(cfg sim.Config) string {
+	s := struct {
+		Scale        int
+		CPUFreqHz    float64
+		GPUFreqHz    float64
+		GPUDivider   uint64
+		TargetFPS    float64
+		CPUPrefetch  bool
+		LLCDRRIP     bool
+		WarmupInstr  uint64
+		WarmupFrames int
+		MeasureInstr uint64
+		MinFrames    int
+		MaxCycles    uint64
+	}{
+		cfg.Scale, cfg.CPUFreqHz, cfg.GPUFreqHz, cfg.GPUDivider,
+		cfg.TargetFPS, cfg.CPUPrefetch, cfg.LLCDRRIP,
+		cfg.WarmupInstr, cfg.WarmupFrames, cfg.MeasureInstr,
+		cfg.MinFrames, cfg.MaxCycles,
+	}
+	data, _ := json.Marshal(s) // fixed struct of scalars: cannot fail
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// mixTerms bundles the catalog- and anchor-derived quantities the
+// regressors draw on for one calibrated mix.
+type mixTerms struct {
+	game     workloads.Game
+	specIDs  []int
+	apps     []trace.Params
+	aloneFPS float64   // game's standalone FPS anchor
+	aloneIPC []float64 // per-core standalone IPC anchors
+	anchor   *MixAnchor
+
+	missSum float64 // Σ per-kilo-instruction LLC pressure
+	wsMB    float64 // Σ working sets, MiB
+	stream  float64 // Σ streaming fractions
+	demand  float64 // Σ miss pressure × standalone IPC (unconstrained demand)
+}
+
+// appMiss approximates one application's LLC pressure per
+// kilo-instruction: the references falling outside its hot set.
+func appMiss(p trace.Params) float64 {
+	return float64(p.MemPerKilo) * (1 - p.HotFrac)
+}
+
+// dramLines is the game's DRAM-visible line traffic per frame at full
+// scale: texture misses past the hot set plus depth and color, per
+// tile, times tiles, times overdraw.
+func dramLines(g workloads.Game) float64 {
+	return float64(g.Tiles()) * float64(g.RTPs) *
+		(float64(g.TexPerTile)*(1-g.TexHotFrac) + float64(g.DepthPerTile+g.ColorPerTile))
+}
+
+// termsFor resolves a calibrated mix into its regression terms; every
+// lookup failure maps to ErrUncalibrated (the hull boundary).
+func (c *Coefficients) termsFor(mixID string) (*mixTerms, error) {
+	anchor := c.MixBase[mixID]
+	if anchor == nil {
+		return nil, fmt.Errorf("%w: mix %s has no baseline anchor", ErrUncalibrated, mixID)
+	}
+	mix, err := workloads.MixByID(mixID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUncalibrated, err)
+	}
+	g, err := workloads.GameByName(mix.Game)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUncalibrated, err)
+	}
+	aloneFPS := c.GPUFPS[mix.Game]
+	if aloneFPS <= 0 {
+		return nil, fmt.Errorf("%w: game %s not calibrated", ErrUncalibrated, mix.Game)
+	}
+	if len(anchor.IPC) != len(mix.SpecIDs) {
+		return nil, fmt.Errorf("twin: anchor for %s has %d IPCs for %d cores",
+			mixID, len(anchor.IPC), len(mix.SpecIDs))
+	}
+	t := &mixTerms{
+		game:     g,
+		specIDs:  mix.SpecIDs,
+		apps:     make([]trace.Params, len(mix.SpecIDs)),
+		aloneFPS: aloneFPS,
+		aloneIPC: make([]float64, len(mix.SpecIDs)),
+		anchor:   anchor,
+	}
+	for i, id := range mix.SpecIDs {
+		app, err := workloads.Spec(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUncalibrated, err)
+		}
+		alone := c.CPUIPC[id]
+		if alone <= 0 {
+			return nil, fmt.Errorf("%w: SPEC %d not calibrated", ErrUncalibrated, id)
+		}
+		t.apps[i] = app.Params
+		t.aloneIPC[i] = alone
+		t.missSum += appMiss(app.Params)
+		t.wsMB += float64(app.Params.WSBytes) / (1 << 20)
+		t.stream += app.Params.StreamFrac
+		t.demand += appMiss(app.Params) * alone
+	}
+	return t, nil
+}
+
+// specSlot maps a catalog application ID to its one-hot slot.
+var specSlot = func() map[int]int {
+	m := make(map[int]int, len(workloads.SpecIDs()))
+	for i, id := range workloads.SpecIDs() {
+		m[id] = i
+	}
+	return m
+}()
+
+func nApps() int { return len(workloads.SpecIDs()) }
+
+// Frame-delta regressor: shared context terms, the two-stage
+// bandwidth-shift term (what the stage-1 IPC predictions say the
+// policy does to CPU-side DRAM pressure), plus one presence indicator
+// per calibrated application (which applications share the memory
+// system determines how a scheduler change re-divides it).
+const nFrameCtx = 10
+
+func nFrameFeatures() int { return nFrameCtx + nApps() }
+
+func frameFeatures(t *mixTerms, shift float64) []float64 {
+	x := make([]float64, nFrameFeatures())
+	x[0] = 1
+	x[1] = math.Log(t.aloneFPS)
+	x[2] = math.Log(dramLines(t.game))
+	x[3] = math.Log1p(t.wsMB)
+	x[4] = t.stream * 25 / 4
+	x[5] = math.Log1p(t.demand)
+	x[6] = math.Log1p(t.anchor.GPUBPC)
+	x[7] = math.Log1p(t.anchor.CPUBPC)
+	x[8] = bwShare(t.anchor)
+	x[9] = shift
+	for _, id := range t.specIDs {
+		x[nFrameCtx+specSlot[id]] = 1
+	}
+	return x
+}
+
+// predictIPCs applies one policy's fitted IPC-delta weights to every
+// core of a mix — the same path Fit uses when it derives the
+// bandwidth-shift frame feature, so training and serving agree.
+func predictIPCs(iw []float64, t *mixTerms) []float64 {
+	out := make([]float64, len(t.apps))
+	for i := range t.apps {
+		out[i] = clampIPC(t.anchor.IPC[i] / math.Exp(dot(iw, ipcFeatures(t, i))))
+	}
+	return out
+}
+
+// bwShift is the stage-two roofline term: the change in CPU-side DRAM
+// demand implied by the predicted per-core IPC deltas (miss pressure
+// times IPC change, summed over cores). Negative when the policy
+// slows the CPUs down and frees bandwidth for the GPU.
+func bwShift(t *mixTerms, ipc []float64) float64 {
+	s := 0.0
+	for i, p := range t.apps {
+		s += appMiss(p) * (ipc[i] - t.anchor.IPC[i])
+	}
+	return s
+}
+
+// IPC-delta regressor for one core: the application's identity (one
+// indicator per calibrated application) plus shared context terms —
+// co-runner pressure and the baseline bandwidth split the policy is
+// about to redistribute.
+const nIPCCtx = 12
+
+func nIPCFeatures() int { return nApps() + nIPCCtx }
+
+func ipcFeatures(t *mixTerms, core int) []float64 {
+	own := t.apps[core]
+	x := make([]float64, nIPCFeatures())
+	x[specSlot[t.specIDs[core]]] = 1
+	k := nApps()
+	cont := 0.0
+	if t.anchor.IPC[core] > 0 {
+		cont = math.Log(t.aloneIPC[core] / t.anchor.IPC[core])
+	}
+	// Achieved DRAM traffic of the co-running cores under baseline
+	// (miss pressure × achieved IPC ∝ misses per cycle): whether a
+	// core's contention is GPU-caused or CPU-caused decides how much a
+	// scheduler change that re-divides GPU/CPU service can help it.
+	others := 0.0
+	for j := range t.apps {
+		if j != core {
+			others += appMiss(t.apps[j]) * t.anchor.IPC[j]
+		}
+	}
+	share := bwShare(t.anchor)
+	x[k] = 1
+	x[k+1] = math.Log(t.aloneFPS)
+	x[k+2] = math.Log(dramLines(t.game))
+	x[k+3] = math.Log1p(t.missSum - appMiss(own))
+	x[k+4] = math.Log1p(t.wsMB - float64(own.WSBytes)/(1<<20))
+	x[k+5] = math.Log1p(t.anchor.GPUBPC)
+	x[k+6] = share
+	x[k+7] = cont
+	x[k+8] = math.Log1p(appMiss(own)) * share
+	x[k+9] = math.Log1p(others)
+	x[k+10] = cont * share
+	x[k+11] = cont * math.Log1p(others)
+	return x
+}
+
+// bwShare is the GPU's measured share of baseline DRAM bandwidth.
+func bwShare(a *MixAnchor) float64 {
+	tot := a.GPUBPC + a.CPUBPC
+	if tot <= 0 {
+		return 0
+	}
+	return a.GPUBPC / tot
+}
+
+// policyKey is the Policies map key for p.
+func policyKey(p sim.Policy) string { return strconv.Itoa(int(p)) }
+
+// dot is the regression inner product.
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+// clampIPC bounds a predicted IPC to the physically meaningful range.
+func clampIPC(v float64) float64 {
+	if v > ipcCap {
+		return ipcCap
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ZeroPolicyFit returns an identity correction of the right arity —
+// all-zero weights, so the policy predicts exactly the baseline
+// anchor — carrying the given residual statistics. Tests build
+// synthetic models with controlled confidence from it.
+func ZeroPolicyFit(frameRMS, ipcRMS float64) *PolicyFit {
+	return &PolicyFit{
+		Frame:    make([]float64, nFrameFeatures()),
+		IPC:      make([]float64, nIPCFeatures()),
+		FrameRMS: frameRMS,
+		IPCRMS:   ipcRMS,
+	}
+}
+
+// confidence maps a policy fit's residuals to (0, 1]: exp of the
+// combined log-space RMS, sharpened so a fit whose residuals imply
+// more than a few percent of relative error falls under the default
+// escalation threshold.
+func confidence(pf *PolicyFit) float64 {
+	c := math.Exp(-8 * (pf.FrameRMS + pf.IPCRMS))
+	if c > 1 {
+		c = 1
+	}
+	if c <= 0 {
+		c = 1e-9
+	}
+	return c
+}
+
+// check validates the query config against the calibration.
+func (m *Model) check(cfg sim.Config) error {
+	if ConfigDigest(cfg) != m.c.ConfigDigest {
+		return ErrConfigMismatch
+	}
+	return nil
+}
+
+// PredictMix predicts one heterogeneous mix under policy p: frame
+// rate, per-core IPC, weighted speedup versus baseline, and the
+// throttling outcome. The baseline policy answers straight from the
+// mix's measured anchor (confidence 1); other policies apply their
+// fitted correction to it.
+func (m *Model) PredictMix(cfg sim.Config, mixID string, p sim.Policy) (Prediction, error) {
+	if err := m.check(cfg); err != nil {
+		return Prediction{}, err
+	}
+	t, err := m.c.termsFor(mixID)
+	if err != nil {
+		return Prediction{}, err
+	}
+
+	pred := Prediction{CoeffDigest: m.c.Digest}
+	// The ATU engages when the baseline frame rate clears the QoS
+	// target (paper §IV): the anchor answers that exactly.
+	pred.ThrottleOn = cfg.TargetFPS > 0 && t.anchor.FPS > cfg.TargetFPS
+
+	if p == sim.PolicyBaseline {
+		pred.FPS = t.anchor.FPS
+		pred.IPC = append([]float64(nil), t.anchor.IPC...)
+		pred.WeightedSpeedup = 1
+		pred.Confidence = 1
+	} else {
+		pf := m.c.Policies[policyKey(p)]
+		if pf == nil {
+			return Prediction{}, fmt.Errorf("%w: policy %s not calibrated", ErrUncalibrated, p)
+		}
+		pred.IPC = predictIPCs(pf.IPC, t)
+		pred.FPS = t.anchor.FPS / math.Exp(dot(pf.Frame, frameFeatures(t, bwShift(t, pred.IPC))))
+		ws := 0.0
+		for i := range t.apps {
+			if t.anchor.IPC[i] > 0 {
+				ws += pred.IPC[i] / t.anchor.IPC[i]
+			}
+		}
+		pred.WeightedSpeedup = ws / float64(len(t.apps))
+		pred.Confidence = confidence(pf)
+	}
+
+	sum := 0.0
+	for _, v := range pred.IPC {
+		sum += v
+	}
+	if len(pred.IPC) > 0 {
+		pred.MeanIPC = sum / float64(len(pred.IPC))
+	}
+	if pred.FPS > 0 {
+		pred.FrameTimeMS = 1000 / pred.FPS
+	}
+	return pred, nil
+}
+
+// PredictGPU answers a standalone-game query from the calibration
+// anchors (a measurement, so confidence is 1).
+func (m *Model) PredictGPU(cfg sim.Config, game string) (Prediction, error) {
+	if err := m.check(cfg); err != nil {
+		return Prediction{}, err
+	}
+	fps, ok := m.c.GPUFPS[game]
+	if !ok || fps <= 0 {
+		return Prediction{}, fmt.Errorf("%w: game %s not calibrated", ErrUncalibrated, game)
+	}
+	return Prediction{
+		FPS:         fps,
+		FrameTimeMS: 1000 / fps,
+		ThrottleOn:  cfg.TargetFPS > 0 && fps > cfg.TargetFPS,
+		Confidence:  1,
+		CoeffDigest: m.c.Digest,
+	}, nil
+}
+
+// PredictCPU answers a standalone SPEC-application query from the
+// calibration anchors (a measurement, so confidence is 1).
+func (m *Model) PredictCPU(cfg sim.Config, specID int) (Prediction, error) {
+	if err := m.check(cfg); err != nil {
+		return Prediction{}, err
+	}
+	ipc, ok := m.c.CPUIPC[specID]
+	if !ok || ipc <= 0 {
+		return Prediction{}, fmt.Errorf("%w: SPEC %d not calibrated", ErrUncalibrated, specID)
+	}
+	return Prediction{
+		IPC:         []float64{ipc},
+		MeanIPC:     ipc,
+		Confidence:  1,
+		CoeffDigest: m.c.Digest,
+	}, nil
+}

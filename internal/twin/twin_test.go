@@ -1,0 +1,527 @@
+package twin
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// testAnchors fabricates standalone anchors and per-mix baselines over
+// the real workload catalog, so termsFor resolves without running the
+// simulator. Values are arbitrary but physically plausible and vary
+// per mix so the regressors see spread.
+func testAnchors(mixes []workloads.Mix) (map[string]float64, map[int]float64, map[string]*MixAnchor) {
+	gpuFPS := make(map[string]float64)
+	cpuIPC := make(map[int]float64)
+	base := make(map[string]*MixAnchor)
+	for mi, m := range mixes {
+		if _, ok := gpuFPS[m.Game]; !ok {
+			gpuFPS[m.Game] = 30 + 7*float64(len(gpuFPS))
+		}
+		a := &MixAnchor{
+			FPS:    gpuFPS[m.Game] * (0.55 + 0.03*float64(mi%5)),
+			IPC:    make([]float64, len(m.SpecIDs)),
+			GPUBPC: 2.0 + 0.2*float64(mi%4),
+			CPUBPC: 1.0 + 0.1*float64(mi%3),
+		}
+		for i, id := range m.SpecIDs {
+			if _, ok := cpuIPC[id]; !ok {
+				cpuIPC[id] = 0.5 + 0.25*float64(len(cpuIPC)%8)
+			}
+			a.IPC[i] = cpuIPC[id] * (0.6 + 0.05*float64((mi+i)%5))
+		}
+		base[m.ID] = a
+	}
+	return gpuFPS, cpuIPC, base
+}
+
+// syntheticFrontier generates a frontier whose non-baseline samples
+// follow the model's own generating process under known true weights,
+// so Fit must recover them (up to ridge bias).
+func syntheticFrontier(t testing.TB, cfg sim.Config, policies []sim.Policy) (*Frontier, map[sim.Policy]*PolicyFit) {
+	t.Helper()
+	mixes := workloads.EvalMixes()
+	gpuFPS, cpuIPC, base := testAnchors(mixes)
+	c0 := &Coefficients{GPUFPS: gpuFPS, CPUIPC: cpuIPC, MixBase: base}
+
+	truth := make(map[sim.Policy]*PolicyFit)
+	for pi, p := range policies {
+		iw := make([]float64, nIPCFeatures())
+		fw := make([]float64, nFrameFeatures())
+		// Small, deterministic true weights; index-dependent so the
+		// two policies differ.
+		for i := range iw {
+			iw[i] = 0.01 * float64((i+pi)%5-2)
+		}
+		for i := range fw {
+			fw[i] = 0.008 * float64((i+2*pi)%7-3)
+		}
+		truth[p] = &PolicyFit{Frame: fw, IPC: iw}
+	}
+
+	f := &Frontier{GPUFPS: gpuFPS, CPUIPC: cpuIPC}
+	for _, m := range mixes {
+		a := base[m.ID]
+		f.Samples = append(f.Samples, Sample{
+			MixID: m.ID, Policy: sim.PolicyBaseline,
+			FPS: a.FPS, IPC: append([]float64(nil), a.IPC...),
+			GPUBPC: a.GPUBPC, CPUBPC: a.CPUBPC,
+		})
+		terms, err := c0.termsFor(m.ID)
+		if err != nil {
+			t.Fatalf("termsFor(%s): %v", m.ID, err)
+		}
+		for _, p := range policies {
+			tw := truth[p]
+			ipc := predictIPCs(tw.IPC, terms)
+			fps := a.FPS / math.Exp(dot(tw.Frame, frameFeatures(terms, bwShift(terms, ipc))))
+			f.Samples = append(f.Samples, Sample{
+				MixID: m.ID, Policy: p, FPS: fps, IPC: ipc,
+				GPUBPC: a.GPUBPC, CPUBPC: a.CPUBPC,
+			})
+		}
+	}
+	return f, truth
+}
+
+func TestFitRecoversSyntheticFrontier(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	policies := []sim.Policy{sim.PolicySMS09, sim.PolicyDynPrio}
+	f, _ := syntheticFrontier(t, cfg, policies)
+
+	c, err := Fit(cfg, f, 1e-6)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, s := range f.Samples {
+		if s.Policy == sim.PolicyBaseline {
+			continue
+		}
+		p, err := m.PredictMix(cfg, s.MixID, s.Policy)
+		if err != nil {
+			t.Fatalf("PredictMix(%s, %s): %v", s.MixID, s.Policy, err)
+		}
+		if rel := math.Abs(p.FPS/s.FPS - 1); rel > 0.01 {
+			t.Errorf("%s/%s: predicted FPS %.4f vs generated %.4f (%.2f%% off)",
+				s.MixID, s.Policy, p.FPS, s.FPS, rel*100)
+		}
+		for i := range s.IPC {
+			if rel := math.Abs(p.IPC[i]/s.IPC[i] - 1); rel > 0.01 {
+				t.Errorf("%s/%s core %d: predicted IPC %.4f vs generated %.4f",
+					s.MixID, s.Policy, i, p.IPC[i], s.IPC[i])
+			}
+		}
+		if p.Confidence <= 0.9 {
+			t.Errorf("%s/%s: near-exact fit should be high confidence, got %.3f",
+				s.MixID, s.Policy, p.Confidence)
+		}
+		if p.WeightedSpeedup <= 0 {
+			t.Errorf("%s/%s: weighted speedup %.3f", s.MixID, s.Policy, p.WeightedSpeedup)
+		}
+	}
+	for _, pf := range c.Policies {
+		if pf.FrameRMS > 1e-3 || pf.IPCRMS > 1e-3 {
+			t.Errorf("synthetic fit residuals should be ~0, got frame=%g ipc=%g",
+				pf.FrameRMS, pf.IPCRMS)
+		}
+	}
+}
+
+func TestBaselineAnswersFromAnchor(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	m := mustModel(t, cfg, f)
+
+	mix := workloads.EvalMixes()[2]
+	anchor := m.Coefficients().MixBase[mix.ID]
+	p, err := m.PredictMix(cfg, mix.ID, sim.PolicyBaseline)
+	if err != nil {
+		t.Fatalf("PredictMix baseline: %v", err)
+	}
+	if p.FPS != anchor.FPS {
+		t.Errorf("baseline FPS %.6f != anchor %.6f", p.FPS, anchor.FPS)
+	}
+	for i := range anchor.IPC {
+		if p.IPC[i] != anchor.IPC[i] {
+			t.Errorf("baseline IPC[%d] %.6f != anchor %.6f", i, p.IPC[i], anchor.IPC[i])
+		}
+	}
+	if p.Confidence != 1 || p.WeightedSpeedup != 1 {
+		t.Errorf("baseline confidence=%v ws=%v, want 1, 1", p.Confidence, p.WeightedSpeedup)
+	}
+	if p.FrameTimeMS <= 0 || math.Abs(p.FrameTimeMS-1000/p.FPS) > 1e-9 {
+		t.Errorf("frame time %.4f inconsistent with FPS %.4f", p.FrameTimeMS, p.FPS)
+	}
+	wantThrottle := cfg.TargetFPS > 0 && anchor.FPS > cfg.TargetFPS
+	if p.ThrottleOn != wantThrottle {
+		t.Errorf("ThrottleOn=%v, want %v (anchor %.1f target %.1f)",
+			p.ThrottleOn, wantThrottle, anchor.FPS, cfg.TargetFPS)
+	}
+}
+
+func TestStandaloneAnchors(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	m := mustModel(t, cfg, f)
+
+	game := workloads.EvalMixes()[0].Game
+	p, err := m.PredictGPU(cfg, game)
+	if err != nil {
+		t.Fatalf("PredictGPU: %v", err)
+	}
+	if p.FPS != f.GPUFPS[game] || p.Confidence != 1 {
+		t.Errorf("PredictGPU: fps=%v conf=%v, want anchor %v at confidence 1",
+			p.FPS, p.Confidence, f.GPUFPS[game])
+	}
+	if _, err := m.PredictGPU(cfg, "NoSuchGame"); !errors.Is(err, ErrUncalibrated) {
+		t.Errorf("unknown game: %v, want ErrUncalibrated", err)
+	}
+
+	id := workloads.EvalMixes()[0].SpecIDs[0]
+	pc, err := m.PredictCPU(cfg, id)
+	if err != nil {
+		t.Fatalf("PredictCPU: %v", err)
+	}
+	if pc.MeanIPC != f.CPUIPC[id] || pc.Confidence != 1 {
+		t.Errorf("PredictCPU: ipc=%v conf=%v, want anchor %v at confidence 1",
+			pc.MeanIPC, pc.Confidence, f.CPUIPC[id])
+	}
+	if _, err := m.PredictCPU(cfg, 999); !errors.Is(err, ErrUncalibrated) {
+		t.Errorf("unknown spec: %v, want ErrUncalibrated", err)
+	}
+}
+
+func TestHullAndConfigBoundaries(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	m := mustModel(t, cfg, f)
+
+	other := cfg
+	other.TargetFPS = 60
+	if _, err := m.PredictMix(other, "M1", sim.PolicySMS09); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("config drift: %v, want ErrConfigMismatch", err)
+	}
+	if _, err := m.PredictGPU(other, "anything"); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("config drift gpu: %v, want ErrConfigMismatch", err)
+	}
+	if _, err := m.PredictCPU(other, 1); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("config drift cpu: %v, want ErrConfigMismatch", err)
+	}
+	if _, err := m.PredictMix(cfg, "W1", sim.PolicySMS09); !errors.Is(err, ErrUncalibrated) {
+		t.Errorf("unanchored mix: %v, want ErrUncalibrated", err)
+	}
+	if _, err := m.PredictMix(cfg, "M1", sim.PolicyHeLM); !errors.Is(err, ErrUncalibrated) {
+		t.Errorf("unfitted policy: %v, want ErrUncalibrated", err)
+	}
+}
+
+func TestConfigDigestScope(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	base := ConfigDigest(cfg)
+
+	perRun := cfg
+	perRun.NumCPUs = 2
+	perRun.Policy = sim.PolicyHeLM
+	if ConfigDigest(perRun) != base {
+		t.Error("digest must ignore per-run fields (NumCPUs, Policy)")
+	}
+	structural := cfg
+	structural.TargetFPS = 60
+	if ConfigDigest(structural) == base {
+		t.Error("digest must change with structural fields (TargetFPS)")
+	}
+}
+
+func TestIPCClampAtRetireWidth(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	c, err := Fit(cfg, f, 0) // 0 falls back to DefaultRidge
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// A large negative intercept in the IPC delta predicts an absurd
+	// speedup; the clamp must hold it at the retire width.
+	pf := c.Policies[policyKey(sim.PolicySMS09)]
+	for i := range pf.IPC {
+		pf.IPC[i] = 0
+	}
+	pf.IPC[nApps()] = -50
+	m, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := m.PredictMix(cfg, "M1", sim.PolicySMS09)
+	if err != nil {
+		t.Fatalf("PredictMix: %v", err)
+	}
+	for i, v := range p.IPC {
+		if v != ipcCap {
+			t.Errorf("core %d: IPC %v, want clamped to %v", i, v, ipcCap)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	good, err := Fit(cfg, f, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) must fail")
+	}
+	bad := *good
+	bad.Version = CoeffVersion + 1
+	if _, err := New(&bad); err == nil {
+		t.Error("version mismatch must fail")
+	}
+	bad = *good
+	bad.MixBase = nil
+	if _, err := New(&bad); err == nil {
+		t.Error("missing anchors must fail")
+	}
+	bad = *good
+	bad.Policies = map[string]*PolicyFit{"3": {Frame: []float64{1}, IPC: []float64{1}}}
+	if _, err := New(&bad); err == nil {
+		t.Error("wrong fit arity must fail")
+	}
+	bad = *good
+	bad.Policies = map[string]*PolicyFit{}
+	if _, err := New(&bad); err == nil {
+		t.Error("missing policy fits must fail")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	c, err := Fit(cfg, f, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "coeffs.json")
+	if err := Save(path, c); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if m.Coefficients().Digest != c.Digest {
+		t.Errorf("digest changed across roundtrip: %s vs %s", m.Coefficients().Digest, c.Digest)
+	}
+	p1, err := m.PredictMix(cfg, "M1", sim.PolicySMS09)
+	if err != nil {
+		t.Fatalf("PredictMix after Load: %v", err)
+	}
+	if p1.CoeffDigest != c.Digest {
+		t.Errorf("prediction carries digest %q, want %q", p1.CoeffDigest, c.Digest)
+	}
+
+	// Hand-edit the payload without restamping the digest: Load must
+	// refuse the file.
+	tampered := *c
+	tampered.TargetFPS++
+	raw, err := json.Marshal(&tampered)
+	if err != nil {
+		t.Fatalf("marshal tampered: %v", err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write tampered: %v", err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrDigest) {
+		t.Errorf("tampered file: %v, want ErrDigest", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestFitRejectsBadFrontiers(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	if _, err := Fit(cfg, nil, 0); err == nil {
+		t.Error("nil frontier must fail")
+	}
+	if _, err := Fit(cfg, &Frontier{}, 0); err == nil {
+		t.Error("empty frontier must fail")
+	}
+
+	f, _ := syntheticFrontier(t, cfg, []sim.Policy{sim.PolicySMS09})
+	var noBase Frontier
+	noBase.GPUFPS, noBase.CPUIPC = f.GPUFPS, f.CPUIPC
+	for _, s := range f.Samples {
+		if s.Policy != sim.PolicyBaseline {
+			noBase.Samples = append(noBase.Samples, s)
+		}
+	}
+	if _, err := Fit(cfg, &noBase, 0); err == nil {
+		t.Error("frontier without baseline anchors must fail")
+	}
+
+	var onlyBase Frontier
+	onlyBase.GPUFPS, onlyBase.CPUIPC = f.GPUFPS, f.CPUIPC
+	for _, s := range f.Samples {
+		if s.Policy == sim.PolicyBaseline {
+			onlyBase.Samples = append(onlyBase.Samples, s)
+		}
+	}
+	if _, err := Fit(cfg, &onlyBase, 0); err == nil {
+		t.Error("frontier without policy runs must fail")
+	}
+
+	bad := *f
+	bad.Samples = append([]Sample(nil), f.Samples...)
+	for i, s := range bad.Samples {
+		if s.Policy != sim.PolicyBaseline {
+			s.IPC = s.IPC[:1]
+			bad.Samples[i] = s
+			break
+		}
+	}
+	if _, err := Fit(cfg, &bad, 0); err == nil || !strings.Contains(err.Error(), "IPCs") {
+		t.Errorf("IPC arity mismatch: %v, want arity error", err)
+	}
+}
+
+func TestCalibrationErrAndConfidence(t *testing.T) {
+	sharp := &PolicyFit{FrameRMS: 0, IPCRMS: 0}
+	soft := &PolicyFit{FrameRMS: 0.08, IPCRMS: 0.09}
+	if c := confidence(sharp); c != 1 {
+		t.Errorf("zero-residual confidence %v, want 1", c)
+	}
+	if c := confidence(soft); c >= DefaultTwinThresholdForTest() {
+		t.Errorf("soft fit confidence %v should fall below the default threshold", c)
+	}
+	m := &Model{c: &Coefficients{Policies: map[string]*PolicyFit{"3": soft, "4": sharp}}}
+	want := 100 * (math.Expm1(0.08) + 0) / 2
+	if got := m.CalibrationErrPct(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CalibrationErrPct %v, want %v", got, want)
+	}
+}
+
+// DefaultTwinThresholdForTest mirrors exp.DefaultTwinThreshold without
+// an import cycle: the soft-fit confidence must sit below the serving
+// tier's default escalation floor.
+func DefaultTwinThresholdForTest() float64 { return 0.7 }
+
+type fakeExec struct {
+	failMix string
+}
+
+func (f fakeExec) Mix(cfg sim.Config, m workloads.Mix, p sim.Policy) (Sample, error) {
+	if m.ID == f.failMix {
+		return Sample{}, errors.New("boom")
+	}
+	ipc := make([]float64, len(m.SpecIDs))
+	for i := range ipc {
+		ipc[i] = 0.5 + 0.1*float64(i) + 0.01*float64(p)
+	}
+	return Sample{FPS: 20 + float64(p), IPC: ipc, GPUBPC: 2, CPUBPC: 1}, nil
+}
+
+func (fakeExec) GPU(cfg sim.Config, game string) (float64, error) {
+	return 30 + float64(len(game)), nil
+}
+
+func (fakeExec) CPU(cfg sim.Config, specID int) (float64, error) {
+	return 1 + float64(specID)/1000, nil
+}
+
+func TestRunFrontierAssemblesDeterministically(t *testing.T) {
+	cfg := sim.DefaultConfig(1024)
+	mixes := workloads.EvalMixes()[:4]
+	pols := []sim.Policy{sim.PolicyBaseline, sim.PolicySMS09}
+
+	a, err := RunFrontier(cfg, mixes, pols, 4, fakeExec{})
+	if err != nil {
+		t.Fatalf("RunFrontier: %v", err)
+	}
+	b, err := RunFrontier(cfg, mixes, pols, 1, fakeExec{})
+	if err != nil {
+		t.Fatalf("RunFrontier serial: %v", err)
+	}
+	if len(a.Samples) != len(mixes)*len(pols) || len(b.Samples) != len(a.Samples) {
+		t.Fatalf("sample counts: %d and %d, want %d", len(a.Samples), len(b.Samples), len(mixes)*len(pols))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].MixID != b.Samples[i].MixID || a.Samples[i].Policy != b.Samples[i].Policy {
+			t.Fatalf("sample %d ordering differs across worker counts", i)
+		}
+	}
+	for _, m := range mixes {
+		if a.GPUFPS[m.Game] <= 0 {
+			t.Errorf("game %s missing standalone anchor", m.Game)
+		}
+		for _, id := range m.SpecIDs {
+			if a.CPUIPC[id] <= 0 {
+				t.Errorf("spec %d missing standalone anchor", id)
+			}
+		}
+	}
+
+	if _, err := RunFrontier(cfg, mixes, pols, 2, fakeExec{failMix: mixes[1].ID}); err == nil {
+		t.Error("RunFrontier must surface a cell failure")
+	}
+}
+
+func TestSampleFromResult(t *testing.T) {
+	r := &sim.Result{
+		MixID: "M3", Policy: sim.PolicyHeLM, GPUFPS: 41.5,
+		IPC:            []float64{1, 2},
+		MeasuredCycles: 1000,
+		GPUReadBytes:   1500, GPUWriteBytes: 500,
+		CPUReadBytes: 600, CPUWriteBytes: 200,
+	}
+	s := SampleFromResult(r)
+	if s.MixID != "M3" || s.Policy != sim.PolicyHeLM || s.FPS != 41.5 {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	if s.GPUBPC != 2.0 || s.CPUBPC != 0.8 {
+		t.Errorf("bandwidth: gpu=%v cpu=%v, want 2.0, 0.8", s.GPUBPC, s.CPUBPC)
+	}
+}
+
+func BenchmarkPredictMix(b *testing.B) {
+	cfg := sim.DefaultConfig(1024)
+	f, _ := syntheticFrontier(b, cfg, []sim.Policy{sim.PolicySMS09})
+	c, err := Fit(cfg, f, 0)
+	if err != nil {
+		b.Fatalf("Fit: %v", err)
+	}
+	m, err := New(c)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictMix(cfg, "M7", sim.PolicySMS09); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustModel(t *testing.T, cfg sim.Config, f *Frontier) *Model {
+	t.Helper()
+	c, err := Fit(cfg, f, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
