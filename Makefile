@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-twin cover chaos chaos-fleet fuzz soak serve-smoke ci
+.PHONY: all build vet test race bench bench-json bench-twin cover chaos chaos-fleet chaos-ha fuzz soak soak-fleet serve-smoke ci
 
 all: ci
 
@@ -58,6 +58,18 @@ chaos-fleet:
 	$(GO) test -race -timeout 10m -count=1 ./internal/fleet
 	$(GO) test -race -timeout 20m -count=1 -run 'ChaosFleet|FleetResumeRequires' ./cmd/hetsimfleet
 
+# HA chaos gate (DESIGN.md §15): the same 210-task choreography against
+# a primary + hot-standby coordinator pair. The primary is SIGKILLed
+# mid-campaign under live clients; the standby must auto-promote at a
+# higher term, re-arm the replicated in-flight leases, and converge to
+# results byte-identical to a single plain hetsimd — with zero recompute
+# of replicated completions, zero stale-term grants accepted by any
+# worker, nothing quarantined, and the grant ledger conserved. Also
+# covers the planned-failover path (hetsimctl promote fences a live
+# primary).
+chaos-ha:
+	HETSIM_CHAOS_HA=1 $(GO) test -race -timeout 20m -count=1 -run 'ChaosHA|OperatorPromote' ./cmd/hetsimfleet
+
 # The campaign gate (DESIGN.md §12): CHAOS_SCENARIOS random scenarios
 # on a fixed seed base, each proving read conservation + monotone
 # counters across phase boundaries, fast-forward-vs-naive and
@@ -76,6 +88,17 @@ soak:
 	echo "soak: $(SOAK_SCENARIOS) scenarios, base seed $$seed (rerun: HETSIM_SCENARIO_SEED=$$seed)"; \
 	HETSIM_SCENARIOS=$(SOAK_SCENARIOS) HETSIM_SCENARIO_SEED=$$seed \
 		$(GO) test -race -timeout 60m -count=1 -run 'TestScenarioCampaign' ./internal/sim
+
+# Fleet saturation soak (DESIGN.md §15.6): a 10k-task campaign with
+# stubbed execution through a primary + standby pair, primary killed at
+# half-way. Measures control-plane throughput (grants/sec with 16-wide
+# twin batching), the failover gap (kill → first grant from the
+# promoted standby), and replication-gap recompute, recorded to
+# BENCH_PR10.json. Informational, not a ci gate — throughput is
+# host-dependent.
+soak-fleet:
+	HETSIM_SOAK_FLEET=1 HETSIM_BENCH_OUT=$(CURDIR)/BENCH_PR10.json \
+		$(GO) test -timeout 30m -count=1 -run 'TestSoakFleetSaturation' -v ./internal/fleet
 
 # Fuzz gate: each target runs FUZZ_TIME of coverage-guided mutation on
 # top of the seeded corpora under testdata/fuzz/. These parsers face
@@ -179,5 +202,5 @@ cover:
 			{ echo "FAIL: internal/$$pkg coverage $$total% below $(MIN_COVER)%"; exit 1; }; \
 	done
 
-ci: vet build test race bench cover chaos chaos-fleet serve-smoke
+ci: vet build test race bench cover chaos chaos-fleet chaos-ha serve-smoke
 	-$(MAKE) bench-json

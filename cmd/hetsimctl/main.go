@@ -41,6 +41,19 @@
 // node's identity line (version, engine, uptime, queue depth). One
 // hetsimfleet coordinator address works the same way — the fleet does
 // its own sharding behind one public API.
+//
+// With -failover the -addr list is instead ONE replicated endpoint — a
+// hetsimfleet primary and its hot standby (DESIGN.md §15). Every
+// command drives a single failing-over client that rotates between the
+// addresses on connection errors, standby bounces, and stale-term
+// responses, so a campaign rides through a coordinator failover:
+//
+//	hetsimctl -failover -addr 127.0.0.1:9090,127.0.0.1:9091 run mix/M7/2
+//
+// promote asks a standby to take over immediately (planned failover);
+// against a serving primary it reports "already primary":
+//
+//	hetsimctl promote -addr 127.0.0.1:9091
 package main
 
 import (
@@ -57,6 +70,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -64,7 +78,7 @@ import (
 func main() { os.Exit(realMain()) }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port[,host:port...]] [-tier full|twin|auto] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready [key ...]")
+	fmt.Fprintln(os.Stderr, "usage: hetsimctl [-addr host:port[,host:port...]] [-failover] [-tier full|twin|auto] [-timeout d] [-deadline d] [-scenario file [-policy p]] run|submit|status|result|metrics|wait-ready|promote [key ...]")
 	flag.PrintDefaults()
 }
 
@@ -85,6 +99,7 @@ func realMain() int {
 		scnFile  = flag.String("scenario", "", "submit this scenario spec file (run/submit; combinable with task keys)")
 		policyF  = flag.String("policy", "baseline", "policy for -scenario submissions")
 		tierF    = flag.String("tier", "", "serving tier for run/submit keys: full (default), twin (analytic model), auto (twin when confident, else simulate)")
+		failover = flag.Bool("failover", false, "treat -addr as one replicated coordinator (primary,standby) and fail over between them, instead of sharding tasks across nodes")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -111,13 +126,33 @@ func realMain() int {
 		cliutil.Errorf("-addr: no addresses")
 		return cliutil.ExitUsage
 	}
-	clients := make([]*client.Client, len(addrs))
-	for i, a := range addrs {
-		clients[i] = client.New("http://" + a)
+	var clients []*client.Client
+	if *failover {
+		// One replicated endpoint: a single client holds the whole list
+		// and rotates between the addresses on connection errors,
+		// standby bounces, and stale coordinator terms.
+		urls := make([]string, len(addrs))
+		for i, a := range addrs {
+			urls[i] = "http://" + a
+		}
+		joined := strings.Join(addrs, ",")
+		cl := client.New(strings.Join(urls, ","))
 		if *verbose {
-			a := a
-			clients[i].Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "hetsimctl["+a+"]: "+format+"\n", args...)
+			cl.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hetsimctl["+joined+"]: "+format+"\n", args...)
+			}
+		}
+		clients = []*client.Client{cl}
+		addrs = []string{joined}
+	} else {
+		clients = make([]*client.Client, len(addrs))
+		for i, a := range addrs {
+			clients[i] = client.New("http://" + a)
+			if *verbose {
+				a := a
+				clients[i].Logf = func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "hetsimctl["+a+"]: "+format+"\n", args...)
+				}
 			}
 		}
 	}
@@ -275,6 +310,41 @@ func realMain() int {
 		}
 		if err := waitReady(ctx, os.Stdout, addrs, clients, wait); err != nil {
 			cliutil.Errorf("%v", err)
+			return cliutil.ExitRuntime
+		}
+		return cliutil.ExitOK
+
+	case "promote":
+		// Planned failover (DESIGN.md §15): ask each addressed node to
+		// take over. A standby promotes and answers its new term; a
+		// serving primary answers 409 — already at the head of its term.
+		// Each node is addressed individually even under -failover:
+		// promotion must not silently rotate to a different node.
+		var nodes []string
+		for _, a := range addrs {
+			nodes = append(nodes, strings.Split(a, ",")...)
+		}
+		promoted := false
+		for _, a := range nodes {
+			cl := client.New("http://" + a)
+			var pr fleet.PromoteResponse
+			code, err := cl.DoJSON(ctx, "POST", "/fleet/v1/promote", struct{}{}, &pr)
+			switch {
+			case err != nil && code == 0:
+				cliutil.Errorf("promote %s: %v", a, err)
+				return cliutil.ExitRuntime
+			case code == 409 || (code == 200 && !pr.Promoted):
+				fmt.Printf("%s\talready primary\tterm=%d\n", a, pr.Term)
+			case code == 200:
+				fmt.Printf("%s\tpromoted\tterm=%d\n", a, pr.Term)
+				promoted = true
+			default:
+				cliutil.Errorf("promote %s: unexpected status %d", a, code)
+				return cliutil.ExitRuntime
+			}
+		}
+		if !promoted && len(nodes) > 1 {
+			cliutil.Errorf("promote: no standby among %s", strings.Join(nodes, ","))
 			return cliutil.ExitRuntime
 		}
 		return cliutil.ExitOK

@@ -42,7 +42,10 @@
 // heartbeats while running, and reports typed outcomes. A worker that
 // loses its coordinator keeps polling with backoff and reattaches when
 // it returns; a worker killed outright simply stops heartbeating and
-// its leases are stolen by the rest of the fleet.
+// its leases are stolen by the rest of the fleet. -join accepts a
+// comma-separated list (primary,standby): the worker fails over to the
+// promoted standby and refuses grants and completions from a deposed
+// primary's stale term (DESIGN.md §15).
 package main
 
 import (
@@ -84,7 +87,7 @@ func realMain() int {
 		seq      = flag.Bool("seq", false, "daemon-wide default: sequential tick engine (a task's engine field still overrides)")
 		scnFile  = flag.String("scenario", "", "enqueue this scenario spec file at startup (a campaign is data, not code)")
 		scnPol   = flag.String("scenario-policy", "baseline", "policy for the -scenario run")
-		joinURL  = flag.String("join", "", "hetsimfleet coordinator URL: also run as a fleet worker, executing leased tasks on this node")
+		joinURL  = flag.String("join", "", "hetsimfleet coordinator URL(s), comma-separated primary,standby: also run as a fleet worker, executing leased tasks on this node")
 		workerID = flag.String("worker-id", "", "stable worker identity for -join (default: the listen address)")
 		twinF    = flag.String("twin-coeffs", "", "twin coefficient file (calibrate -fit-twin): serve twin- and auto-tier tasks analytically")
 		twinThr  = flag.Float64("twin-threshold", 0, "auto-tier confidence floor; predictions below it escalate to full simulation (0 = default 0.7, negative = never escalate)")
@@ -258,6 +261,7 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "hetsimd: "+format+"\n", args...)
 			},
 		}
+		ag.RegisterObs(s.Registry())
 		fmt.Fprintf(os.Stderr, "hetsimd: joining fleet at %s as %q\n", *joinURL, id)
 		agentDone = make(chan struct{})
 		go func() {

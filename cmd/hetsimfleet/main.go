@@ -28,6 +28,20 @@
 // in-flight leases get up to -grace to report, and pending work stays
 // journaled for the next -resume. SIGKILL at any instant is equivalent
 // to a crash the journal already covers.
+//
+// High availability (DESIGN.md §15): a second hetsimfleet started with
+// `-standby -follow http://primary:9090` tails the primary's journal
+// over the replication stream, mirrors it into its own -journal, and
+// promotes itself — automatically after -failover-after without
+// primary contact, or when an operator runs `hetsimctl promote` —
+// re-arming in-flight leases exactly as -resume does. Promotion takes
+// office at a higher term; the deposed primary (if still alive) fences
+// itself, and agents/clients reject anything it says afterwards.
+//
+//	hetsimfleet -addr 127.0.0.1:9090 -journal p.jsonl
+//	hetsimfleet -addr 127.0.0.1:9091 -journal s.jsonl \
+//	    -standby -follow http://127.0.0.1:9090 -failover-after 5s
+//	hetsimd -join http://127.0.0.1:9090,http://127.0.0.1:9091 ...
 package main
 
 import (
@@ -37,6 +51,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cliutil"
@@ -58,11 +73,24 @@ func realMain() int {
 		grace    = flag.Duration("grace", 30*time.Second, "drain grace: how long shutdown waits for in-flight leases")
 		journalF = flag.String("journal", "", "append fleet lifecycle + results to this crash-safe JSONL journal")
 		resumeF  = flag.Bool("resume", false, "replay the -journal at startup: completed keys serve from the store, pending re-enqueue, leases re-arm")
+		standbyF = flag.Bool("standby", false, "run as a hot standby: follow -follow's journal and take over on promotion")
+		followF  = flag.String("follow", "", "primary coordinator base URL to replicate from (requires -standby)")
+		pollF    = flag.Duration("poll", 500*time.Millisecond, "standby replication poll interval")
+		failover = flag.Duration("failover-after", 0, "standby: promote automatically after this long without primary contact (0 = only hetsimctl promote)")
+		idF      = flag.String("id", "", "coordinator identity stamped on journaled term records (default: listen address)")
 	)
 	flag.Parse()
 
 	if *resumeF && *journalF == "" {
 		cliutil.Errorf("-resume requires -journal")
+		return cliutil.ExitUsage
+	}
+	if *standbyF && *followF == "" {
+		cliutil.Errorf("-standby requires -follow <primary URL>")
+		return cliutil.ExitUsage
+	}
+	if *standbyF && *resumeF {
+		cliutil.Errorf("-standby replicates from the primary; it cannot also -resume a local journal")
 		return cliutil.ExitUsage
 	}
 
@@ -83,44 +111,78 @@ func realMain() int {
 		}
 	}
 
-	c := fleet.New(fleet.Config{
-		LeaseTTL:            *leaseTTL,
-		QueueDepth:          *queue,
-		QuarantineThreshold: *quarN,
-		MaxAttempts:         *maxAtt,
-		LeaseBatch:          *batch,
-		Journal:             journal,
-	})
-	if *resumeF {
-		st := c.Replay(recs)
-		fmt.Fprintf(os.Stderr,
-			"resumed from %s: %d completed, %d pending, %d lease(s) re-armed, %d quarantined, %d unrecoverable, %d foreign record(s)\n",
-			*journalF, st.Completed, st.Pending, st.Leased, st.Quarantined, st.Unrecoverable, st.Ignored)
-	}
-
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
-
-	// The lease sweeper outlives the first signal: expiry must keep
-	// working through the drain so stuck leases still release.
-	sweepCtx, sweepCancel := context.WithCancel(context.Background())
-	defer sweepCancel()
-	c.Start(sweepCtx)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		cliutil.Errorf("%v", err)
 		return cliutil.ExitRuntime
 	}
+	id := *idF
+	if id == "" {
+		id = ln.Addr().String()
+	}
+	cfg := fleet.Config{
+		LeaseTTL:            *leaseTTL,
+		QueueDepth:          *queue,
+		QuarantineThreshold: *quarN,
+		MaxAttempts:         *maxAtt,
+		LeaseBatch:          *batch,
+		ID:                  id,
+		Journal:             journal,
+	}
+
+	// The lease sweeper outlives the first signal: expiry must keep
+	// working through the drain so stuck leases still release.
+	sweepCtx, sweepCancel := context.WithCancel(context.Background())
+	defer sweepCancel()
+
+	var handler http.Handler
+	var sb *fleet.Standby
+	var c *fleet.Coordinator
+	if *standbyF {
+		sb = fleet.NewStandby(fleet.StandbyConfig{
+			Primary:       strings.TrimRight(*followF, "/"),
+			Fleet:         cfg,
+			PollInterval:  *pollF,
+			FailoverAfter: *failover,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hetsimfleet: "+format+"\n", args...)
+			},
+		})
+		handler = sb.Handler()
+		go sb.Run(sweepCtx)
+	} else {
+		c = fleet.New(cfg)
+		if *resumeF {
+			st := c.Replay(recs)
+			fmt.Fprintf(os.Stderr,
+				"resumed from %s: %d completed, %d pending, %d lease(s) re-armed, %d quarantined, %d unrecoverable, %d foreign record(s)\n",
+				*journalF, st.Completed, st.Pending, st.Leased, st.Quarantined, st.Unrecoverable, st.Ignored)
+		}
+		// Take office: the term record lands in the journal before any
+		// request is served at it, so a later incarnation (or a standby
+		// replicating this journal) always opens strictly higher.
+		term := c.OpenTerm()
+		fmt.Fprintf(os.Stderr, "hetsimfleet: serving at term %d\n", term)
+		c.Start(sweepCtx)
+		handler = c.Handler()
+	}
+
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			cliutil.Errorf("%v", err)
 			return cliutil.ExitRuntime
 		}
 	}
-	fmt.Fprintf(os.Stderr, "hetsimfleet: coordinating on http://%s\n", ln.Addr())
+	if *standbyF {
+		fmt.Fprintf(os.Stderr, "hetsimfleet: standby on http://%s following %s\n", ln.Addr(), *followF)
+	} else {
+		fmt.Fprintf(os.Stderr, "hetsimfleet: coordinating on http://%s\n", ln.Addr())
+	}
 
-	hs := &http.Server{Handler: c.Handler()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -133,12 +195,19 @@ func realMain() int {
 
 	// Drain: stop admission and grants, give in-flight leases -grace to
 	// report (the HTTP server stays up so completions still land), then
-	// stop. Pending tasks are already journaled from admission.
-	fmt.Fprintln(os.Stderr, "hetsimfleet: draining...")
-	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
-	defer dcancel()
-	queued, inflight := c.Drain(dctx)
-	fmt.Fprintf(os.Stderr, "hetsimfleet: drained (%d pending journaled, %d lease(s) abandoned to the journal)\n", queued, inflight)
+	// stop. Pending tasks are already journaled from admission. A
+	// standby that promoted drains its coordinator; one still following
+	// has nothing in flight and exits directly.
+	if sb != nil {
+		c = sb.Coordinator()
+	}
+	if c != nil {
+		fmt.Fprintln(os.Stderr, "hetsimfleet: draining...")
+		dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+		defer dcancel()
+		queued, inflight := c.Drain(dctx)
+		fmt.Fprintf(os.Stderr, "hetsimfleet: drained (%d pending journaled, %d lease(s) abandoned to the journal)\n", queued, inflight)
+	}
 
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()

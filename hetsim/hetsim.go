@@ -337,3 +337,18 @@ type FleetAgent = fleet.Agent
 // NewFleetCoordinator builds a coordinator; pair with
 // Coordinator.Replay when resuming from a journal.
 func NewFleetCoordinator(cfg FleetConfig) *FleetCoordinator { return fleet.New(cfg) }
+
+// FleetStandby is a hot-standby coordinator: it tails a primary's
+// journal over HTTP, mirrors it locally, and promotes itself into a
+// serving FleetCoordinator at the next epoch term when the primary
+// goes silent — or when Promote is called (DESIGN.md §15).
+type FleetStandby = fleet.Standby
+
+// FleetStandbyConfig parameterizes a FleetStandby: the primary to
+// follow, the coordinator configuration to promote with, and the
+// poll/failover cadence.
+type FleetStandbyConfig = fleet.StandbyConfig
+
+// NewFleetStandby builds a standby; call Run to follow and
+// (optionally) auto-promote, or Promote for a planned failover.
+func NewFleetStandby(cfg FleetStandbyConfig) *FleetStandby { return fleet.NewStandby(cfg) }

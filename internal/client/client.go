@@ -19,17 +19,30 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/server"
 )
 
-// Client talks to one hetsimd instance. The zero value is not usable;
-// call New.
+// Term-fencing headers, mirrored from internal/fleet (which imports
+// this package, so the constants live in both): every HA coordinator
+// response carries its epoch, and an unpromoted standby marks itself.
+const (
+	headerTerm    = "X-Fleet-Term"
+	headerStandby = "X-Fleet-Standby"
+)
+
+// Client talks to a hetsimd instance or a fleet coordinator — or, for
+// an HA fleet, to a replicated set of coordinator addresses. The zero
+// value is not usable; call New.
 type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the first (preferred) server root, e.g.
+	// "http://127.0.0.1:8080". Kept for display and single-address
+	// compatibility; the live address rotates internally on failover.
 	BaseURL string
 
 	// HTTP is the transport; New installs http.DefaultClient.
@@ -51,18 +64,113 @@ type Client struct {
 
 	// Logf, when non-nil, receives retry/backoff diagnostics.
 	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	addrs   []string // all known server roots; addrs[active] takes requests
+	active  int
+	maxTerm uint64 // highest coordinator epoch seen in response headers
 }
 
-// New returns a client for the hetsimd at baseURL.
+// New returns a client for the server at baseURL. A comma-separated
+// list ("http://a:8080,http://b:8080") names one replicated HA
+// endpoint: requests go to the active address, and the client rotates
+// to the next on connection failure, on a response from an unpromoted
+// standby, or on a response from a coordinator with a stale term — so
+// a campaign rides through a primary failover with no config change.
+// The existing retry loops (Submit, Run, Ready) supply the backoff
+// between rotations.
 func New(baseURL string) *Client {
+	var addrs []string
+	for _, a := range strings.Split(baseURL, ",") {
+		a = strings.TrimRight(strings.TrimSpace(a), "/")
+		if a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	first := ""
+	if len(addrs) > 0 {
+		first = addrs[0]
+	}
 	return &Client{
-		BaseURL:     strings.TrimRight(baseURL, "/"),
+		BaseURL:     first,
+		addrs:       addrs,
 		HTTP:        http.DefaultClient,
 		MaxAttempts: 10,
 		BaseBackoff: 100 * time.Millisecond,
 		MaxBackoff:  5 * time.Second,
 		PollWait:    2 * time.Second,
 	}
+}
+
+// baseURL returns the active server root. A hand-constructed client
+// (no addrs list) falls back to BaseURL.
+func (c *Client) baseURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.addrs) == 0 {
+		return c.BaseURL
+	}
+	return c.addrs[c.active]
+}
+
+// rotateFrom advances to the next address if from is still the active
+// one (a stale loser of a concurrent rotation must not double-advance).
+func (c *Client) rotateFrom(from string) {
+	c.mu.Lock()
+	if len(c.addrs) < 2 || c.addrs[c.active] != from {
+		c.mu.Unlock()
+		return
+	}
+	c.active = (c.active + 1) % len(c.addrs)
+	next := c.addrs[c.active]
+	c.mu.Unlock()
+	c.logf("client: failing over %s -> %s", from, next)
+}
+
+// Rotate forces the next request onto the next address in the list —
+// the fleet agent calls it when a completion bounces off a deposed
+// coordinator (StaleTerm) that the header check could not catch.
+func (c *Client) Rotate() {
+	c.rotateFrom(c.baseURL())
+}
+
+// Term reports the highest coordinator epoch this client has observed
+// in response headers (0 against plain hetsimd, which has no terms).
+func (c *Client) Term() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxTerm
+}
+
+// observeTermHeader folds a response's fleet headers into the rotation
+// policy. Returns an error when the response must not be trusted (it
+// came from a coordinator with a stale term).
+func (c *Client) observeTermHeader(base string, resp *http.Response) error {
+	if resp.Header.Get(headerStandby) != "" {
+		// An unpromoted standby cannot serve; move on. The body (a 503)
+		// still flows to the caller's retry loop for backoff.
+		c.rotateFrom(base)
+	}
+	th := resp.Header.Get(headerTerm)
+	if th == "" {
+		return nil // plain hetsimd: no fencing in play
+	}
+	t, err := strconv.ParseUint(th, 10, 64)
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	stale := t < c.maxTerm
+	if t > c.maxTerm {
+		c.maxTerm = t
+	}
+	known := c.maxTerm
+	c.mu.Unlock()
+	if stale {
+		c.rotateFrom(base)
+		return fmt.Errorf("stale coordinator term %d (newest known %d) from %s", t, known, base)
+	}
+	return nil
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -112,11 +220,16 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// DoJSON performs one HTTP exchange against the server and decodes
-// the body into out. The response status code is returned even on
-// decode failure. It is the transport primitive the retrying verbs
+// DoJSON performs one HTTP exchange against the active server and
+// decodes the body into out. The response status code is returned even
+// on decode failure. It is the transport primitive the retrying verbs
 // are built on, exported so the fleet agent can speak the
 // coordinator's lease endpoints with the same client.
+//
+// Failover happens here: a transport error, a standby marker, or a
+// stale coordinator term rotates the active address before the error
+// surfaces, so the caller's ordinary retry (with its ordinary backoff)
+// lands on the next replica.
 func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any) (int, error) {
 	var rd io.Reader
 	if body != nil {
@@ -126,7 +239,8 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any)
 		}
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	base := c.baseURL()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return 0, err
 	}
@@ -135,9 +249,19 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
+		// Connection refused, reset, timeout: the node is gone or
+		// unreachable. Rotate so the caller's retry tries the next one.
+		c.rotateFrom(base)
 		return 0, err
 	}
 	defer resp.Body.Close()
+	if err := c.observeTermHeader(base, resp); err != nil {
+		// A deposed coordinator's answer must not be believed — not
+		// even a 200. Drain and drop the body; the caller retries
+		// against the rotated address.
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, err
+	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, path, err)
@@ -263,20 +387,17 @@ func (c *Client) Run(ctx context.Context, spec exp.TaskSpec, timeout time.Durati
 	}
 }
 
-// Ready polls /readyz until the server accepts work or ctx expires.
+// Ready polls /readyz until a server accepts work or ctx expires.
+// Against a replicated endpoint the poll rotates off dead nodes and
+// unpromoted standbys (DoJSON's failover), so "ready" means "some
+// promotable address serves traffic".
 func (c *Client) Ready(ctx context.Context) error {
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
-		if err != nil {
-			return err
-		}
-		resp, err := c.HTTP.Do(req)
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
+		// Status-only: /readyz may answer 200 with an empty body, so
+		// no decode — but still through DoJSON for its failover.
+		code, err := c.DoJSON(ctx, http.MethodGet, "/readyz", nil, nil)
+		if err == nil && code == http.StatusOK {
+			return nil
 		}
 		if err := sleep(ctx, 50*time.Millisecond); err != nil {
 			return fmt.Errorf("hetsimd never became ready: %w", err)
@@ -300,7 +421,7 @@ func (c *Client) Health(ctx context.Context) (server.Health, error) {
 
 // Metrics fetches /metricsz into a name→value map.
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metricsz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL()+"/metricsz", nil)
 	if err != nil {
 		return nil, err
 	}

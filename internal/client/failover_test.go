@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+)
+
+// deadAddr returns a URL nothing listens on: the port is grabbed and
+// released, so dialing it is an immediate connection refusal.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func acceptSubmit(calls *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.StatusResponse{Key: "cpu/462", Status: server.StatusQueued})
+	})
+}
+
+// TestSubmitFailsOverOnConnectionRefused: the first address of the list
+// is down; the ordinary retry loop lands the submit on the second.
+func TestSubmitFailsOverOnConnectionRefused(t *testing.T) {
+	var calls atomic.Int64
+	live := httptest.NewServer(acceptSubmit(&calls))
+	defer live.Close()
+
+	c := fastClient(deadAddr(t) + "," + live.URL)
+	sr, err := c.Submit(context.Background(), exp.CPUTaskSpec(462), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status != server.StatusQueued || calls.Load() == 0 {
+		t.Fatalf("status %q, live calls %d", sr.Status, calls.Load())
+	}
+}
+
+// TestSubmitFailsOverOnStandbyBounce: an unpromoted standby answers 503
+// with X-Fleet-Standby; the client rotates and the retry lands on the
+// primary.
+func TestSubmitFailsOverOnStandbyBounce(t *testing.T) {
+	var standbyCalls, primaryCalls atomic.Int64
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		standbyCalls.Add(1)
+		w.Header().Set("X-Fleet-Standby", "1")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.StatusResponse{Error: "standby: not promoted", RetryAfterMS: 1})
+	}))
+	defer standby.Close()
+	primary := httptest.NewServer(acceptSubmit(&primaryCalls))
+	defer primary.Close()
+
+	// The standby is listed FIRST: the client must not get stuck on it.
+	c := fastClient(standby.URL + "," + primary.URL)
+	sr, err := c.Submit(context.Background(), exp.CPUTaskSpec(462), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status != server.StatusQueued {
+		t.Fatalf("status %q", sr.Status)
+	}
+	if standbyCalls.Load() != 1 || primaryCalls.Load() != 1 {
+		t.Fatalf("standby=%d primary=%d calls, want exactly one bounce then success",
+			standbyCalls.Load(), primaryCalls.Load())
+	}
+}
+
+// TestStaleTermResponseIsRejectedAndRotates: once the client has seen
+// term N, a response stamped with an older term is untrusted — the call
+// errors, the client rotates, and the next request goes elsewhere.
+func TestStaleTermResponseIsRejectedAndRotates(t *testing.T) {
+	serve := func(term string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Fleet-Term", term)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(server.Health{Engine: "term-" + term})
+		}))
+	}
+	old := serve("1") // deposed primary, term 1
+	defer old.Close()
+	neu := serve("2") // promoted standby, term 2
+	defer neu.Close()
+
+	c := fastClient(old.URL + "," + neu.URL)
+	var h server.Health
+	// First contact with the old primary: term 1 adopted, trusted.
+	if _, err := c.DoJSON(context.Background(), "GET", "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if c.Term() != 1 {
+		t.Fatalf("term after first contact = %d, want 1", c.Term())
+	}
+	// Learn the newer term from the promoted coordinator.
+	c.Rotate()
+	if _, err := c.DoJSON(context.Background(), "GET", "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if c.Term() != 2 {
+		t.Fatalf("term = %d, want 2", c.Term())
+	}
+	// Back on the deposed primary: its term-1 answer must be refused.
+	c.Rotate()
+	_, err := c.DoJSON(context.Background(), "GET", "/healthz", nil, &h)
+	if err == nil || !strings.Contains(err.Error(), "stale coordinator term") {
+		t.Fatalf("err = %v, want stale-term rejection", err)
+	}
+	// The rejection rotated us off the stale node: the next call is
+	// served by term 2 again without manual intervention.
+	if _, err := c.DoJSON(context.Background(), "GET", "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Engine != "term-2" {
+		t.Fatalf("served by %q after stale rejection, want term-2", h.Engine)
+	}
+}
+
+// TestReadyRotatesThroughDeadAddresses: wait-ready on a replicated
+// endpoint succeeds as long as one address serves.
+func TestReadyRotatesThroughDeadAddresses(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.Health{Engine: "event"})
+	}))
+	defer live.Close()
+
+	c := fastClient(deadAddr(t) + "," + live.URL)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready through failover: %v", err)
+	}
+}
+
+// TestSingleAddressNeverRotates: rotation is a no-op with one address —
+// the pre-HA contract is unchanged.
+func TestSingleAddressNeverRotates(t *testing.T) {
+	c := fastClient("http://127.0.0.1:1")
+	before := c.baseURL()
+	c.Rotate()
+	if got := c.baseURL(); got != before {
+		t.Fatalf("single-address client rotated %s -> %s", before, got)
+	}
+}

@@ -32,6 +32,7 @@ type Record struct {
 	Spec   *TaskSpec        `json:"task,omitempty"`   // payload for kind "queued" (hetsimd drain)
 	Worker string           `json:"worker,omitempty"` // fleet kinds: the lease-holding node
 	ErrMsg string           `json:"err,omitempty"`    // kind "quarantined": final failure + stack
+	Term   uint64           `json:"term,omitempty"`   // kind "term": coordinator incarnation epoch
 	Hash   string           `json:"hash"`
 }
 
@@ -63,6 +64,15 @@ const (
 	// included), and resume keeps the key failed instead of re-running
 	// a task that kills every node it lands on.
 	KindQuarantined = "quarantined"
+
+	// KindTerm records a coordinator incarnation taking office: Term is
+	// the monotonically increasing epoch, Worker the coordinator's
+	// identity. The highest term in a journal fences stale coordinators
+	// after an HA failover (DESIGN.md §15) — a standby promotes by
+	// journaling maxTerm+1, and participants reject protocol responses
+	// carrying any older term. Key is empty; Compact keeps only the
+	// newest term record, which is the only one replay needs.
+	KindTerm = "term"
 )
 
 // hashRecord computes the integrity hash: sha256 over the canonical
@@ -78,6 +88,16 @@ func hashRecord(rec Record) (string, error) {
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// VerifyRecord reports whether rec's integrity hash matches its
+// content. Replication consumers (the HA standby) call this on every
+// record received over the wire before absorbing it, so a torn or
+// tampered replication batch is skipped-and-counted rather than
+// installed into the follower's state.
+func VerifyRecord(rec Record) bool {
+	want, err := hashRecord(rec)
+	return err == nil && rec.Hash == want
 }
 
 // JournalStats accounts for everything OpenJournal found besides the
@@ -260,6 +280,120 @@ func decodeJournal(data []byte) (recs []Record, stats JournalStats, validLen int
 	stats.Records = len(recs)
 	return recs, stats, validLen
 }
+
+// ReadJournalAt reads up to max complete, hash-valid records from the
+// journal file at path, starting at byte offset from. It returns the
+// records, the offset just past the last complete line consumed (the
+// `from` for the next call), and the decode stats for the window. A
+// torn or corrupt trailing region is not advanced past — the next call
+// re-reads it, so a concurrent appender's half-written line is picked
+// up whole once its fsync lands. This is the pull side of the HA
+// replication stream: the primary serves it from its own journal file,
+// which is safe to read concurrently with appends because records are
+// newline-framed and individually hashed.
+func ReadJournalAt(path string, from int64, max int) ([]Record, int64, error) {
+	if max <= 0 {
+		max = 512
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, from, fmt.Errorf("journal: stream open %s: %w", path, err)
+	}
+	defer f.Close()
+	if from > 0 {
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return nil, from, fmt.Errorf("journal: stream seek %s: %w", path, err)
+		}
+	}
+	// Read a bounded window: enough for max records of any realistic
+	// size; records larger than the window are picked up by the next
+	// call's larger effective offset only if a newline fits — cap reads
+	// at 8 MiB to bound memory, and let callers loop.
+	const window = 8 << 20
+	data := make([]byte, window)
+	n, err := io.ReadFull(f, data)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, from, fmt.Errorf("journal: stream read %s: %w", path, err)
+	}
+	data = data[:n]
+	recs, _, validLen := decodeJournal(data)
+	if len(recs) > max {
+		// Re-walk to find the byte length of exactly max records so the
+		// returned offset matches the records handed back.
+		var upto int64
+		count := 0
+		rest := data
+		for count < max {
+			nl := bytes.IndexByte(rest, '\n')
+			if nl < 0 {
+				break
+			}
+			line := rest[:nl]
+			rest = rest[nl+1:]
+			upto += int64(nl + 1)
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec Record
+			if json.Unmarshal(line, &rec) == nil && VerifyRecord(rec) {
+				count++
+			}
+		}
+		recs = recs[:max]
+		validLen = upto
+	}
+	return recs, from + validLen, nil
+}
+
+// AppendBatch hashes and writes every record as its own JSONL line,
+// then fsyncs once for the whole batch. This is the standby's mirror
+// path: replication arrives in batches, and one fsync per batch keeps
+// the follower from paying the primary's per-record durability cost
+// twice. On a write error the journal is sticky-failed exactly as
+// Append; the batch is not partially retried.
+func (j *Journal) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		h, err := hashRecord(rec)
+		if err != nil {
+			return fmt.Errorf("journal: encode %s/%s: %w", rec.Kind, rec.Key, err)
+		}
+		rec.Hash = h
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("journal: encode %s/%s: %w", rec.Kind, rec.Key, err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return fmt.Errorf("journal: append after Close")
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		j.err = fmt.Errorf("journal: write: %w", err)
+		j.aerrs++
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("journal: fsync: %w", err)
+		j.aerrs++
+		return j.err
+	}
+	j.appends += uint64(len(recs))
+	return nil
+}
+
+// Path returns the journal's file path — the primary's HTTP layer
+// serves the replication stream straight from this file.
+func (j *Journal) Path() string { return j.path }
 
 // Stats returns what OpenJournal found when this journal was opened.
 func (j *Journal) Stats() JournalStats {

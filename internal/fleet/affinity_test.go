@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func TestAffinityGrantsWarmFamilyOverColdHead(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	m1a := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+	complete := func(worker, key string) {
+		t.Helper()
+		if cr := c.Complete(CompleteRequest{Worker: worker, Key: key, Result: okResult()}); !cr.Accepted {
+			t.Fatalf("complete %s: %+v", key, cr)
+		}
+	}
+	// w1 takes the only task in FIFO order (no family is warm yet) and
+	// completes it: mix/M1 is now warm for w1.
+	if l := c.Lease("w1"); l.None || l.Key != m1a {
+		t.Fatalf("cold lease = %+v", l)
+	}
+	complete("w1", m1a)
+
+	m2 := mustAdmit(t, c, exp.MixTaskSpec("M2", sim.PolicyBaseline))
+	m1b := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyCMBAL))
+
+	// The head (M2) is cold for w1 but M1 sits behind it: affinity
+	// grants the M1 policy to the worker holding M1's warm caches, and
+	// the skipped head stays first in line for everyone else.
+	if l := c.Lease("w1"); l.None || l.Key != m1b {
+		t.Fatalf("affinity lease = %+v, want %s", l, m1b)
+	}
+	if l := c.Lease("w2"); l.None || l.Key != m2 {
+		t.Fatalf("head after affinity skip = %+v, want %s", l, m2)
+	}
+	if hits := c.Counters()["fleet_affinity_hits"]; hits != 1 {
+		t.Fatalf("fleet_affinity_hits = %v, want 1", hits)
+	}
+	complete("w1", m1b)
+	complete("w2", m2)
+
+	// A warm head is the in-order AND affinity choice: granted, counted.
+	m1c := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyThrottle))
+	if l := c.Lease("w1"); l.None || l.Key != m1c {
+		t.Fatalf("warm head lease = %+v", l)
+	}
+	if hits := c.Counters()["fleet_affinity_hits"]; hits != 2 {
+		t.Fatalf("fleet_affinity_hits = %v, want 2", hits)
+	}
+	complete("w1", m1c)
+	mustConserve(t, c)
+}
+
+func TestAffinityDisabledIsStrictFIFO(t *testing.T) {
+	c, _ := testCoordinator(t, func(cfg *Config) { cfg.AffinityScan = -1 })
+	m1a := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+	if l := c.Lease("w1"); l.Key != m1a {
+		t.Fatalf("lease = %+v", l)
+	}
+	if cr := c.Complete(CompleteRequest{Worker: "w1", Key: m1a, Result: okResult()}); !cr.Accepted {
+		t.Fatalf("complete: %+v", cr)
+	}
+	m2 := mustAdmit(t, c, exp.MixTaskSpec("M2", sim.PolicyBaseline))
+	mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyCMBAL))
+	// With the scan disabled w1 gets the cold head, warm family or not.
+	if l := c.Lease("w1"); l.Key != m2 {
+		t.Fatalf("lease = %+v, want strict FIFO head %s", l, m2)
+	}
+	if hits := c.Counters()["fleet_affinity_hits"]; hits != 0 {
+		t.Fatalf("fleet_affinity_hits = %v, want 0 when disabled", hits)
+	}
+}
+
+func TestAffinityScanIsBounded(t *testing.T) {
+	c, _ := testCoordinator(t, func(cfg *Config) { cfg.AffinityScan = 2 })
+	warm := mustAdmit(t, c, exp.MixTaskSpec("M9", sim.PolicyBaseline))
+	if l := c.Lease("w1"); l.Key != warm {
+		t.Fatalf("lease = %+v", l)
+	}
+	if cr := c.Complete(CompleteRequest{Worker: "w1", Key: warm, Result: okResult()}); !cr.Accepted {
+		t.Fatalf("complete: %+v", cr)
+	}
+	// Queue: M1, M2, M3, then the warm M9 — beyond a scan budget of 2,
+	// so the head is granted in order and no hit is counted.
+	head := mustAdmit(t, c, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+	mustAdmit(t, c, exp.MixTaskSpec("M2", sim.PolicyBaseline))
+	mustAdmit(t, c, exp.MixTaskSpec("M3", sim.PolicyBaseline))
+	mustAdmit(t, c, exp.MixTaskSpec("M9", sim.PolicyCMBAL))
+	if l := c.Lease("w1"); l.Key != head {
+		t.Fatalf("lease = %+v, want bounded scan to give up and grant %s", l, head)
+	}
+	if hits := c.Counters()["fleet_affinity_hits"]; hits != 0 {
+		t.Fatalf("fleet_affinity_hits = %v, want 0 past the scan bound", hits)
+	}
+}

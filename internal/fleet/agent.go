@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // Agent is the worker half of the lease protocol: it registers with
@@ -44,9 +45,10 @@ type Agent struct {
 	// Logf, when non-nil, receives lease lifecycle diagnostics.
 	Logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	held   map[string]context.CancelFunc // live leases → cancel for the running task
-	leased uint64                        // leases accepted (tests observe progress)
+	mu          sync.Mutex
+	held        map[string]context.CancelFunc // live leases → cancel for the running task
+	leased      uint64                        // leases accepted (tests observe progress)
+	staleGrants uint64                        // grants rejected for carrying a stale term
 }
 
 func (a *Agent) logf(format string, args ...any) {
@@ -60,6 +62,30 @@ func (a *Agent) Leased() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.leased
+}
+
+// StaleGrants reports how many lease grants this agent refused because
+// they carried a term older than the newest the agent had seen — work
+// handed out by a deposed coordinator after a failover.
+func (a *Agent) StaleGrants() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.staleGrants
+}
+
+// RegisterObs exposes the agent's fencing counters on a registry (the
+// hetsimd daemon hangs them off its own /metricsz, so the chaos gate
+// can assert zero stale grants were ever accepted — or even offered —
+// on each worker).
+func (a *Agent) RegisterObs(g *obs.Registry) {
+	g.Counter("fleet_agent_leased", func() uint64 { return a.Leased() })
+	g.Counter("fleet_agent_stale_grants", func() uint64 { return a.StaleGrants() })
+	g.Gauge("fleet_agent_term", func() float64 {
+		if a.Coordinator == nil {
+			return 0
+		}
+		return float64(a.Coordinator.Term())
+	})
 }
 
 // Run drives the agent until ctx ends. It returns ctx.Err(): a worker
@@ -125,14 +151,15 @@ func (a *Agent) slotLoop(ctx context.Context, poll time.Duration) {
 	idleFails := 0
 	for ctx.Err() == nil {
 		var lease LeaseResponse
-		req := LeaseRequest{Worker: a.WorkerID}
+		req := LeaseRequest{Worker: a.WorkerID, Term: a.Coordinator.Term()}
 		code, err := a.Coordinator.DoJSON(ctx, http.MethodPost, "/fleet/v1/lease", req, &lease)
 		switch {
 		case ctx.Err() != nil:
 			return
 		case err != nil || code != http.StatusOK:
-			// Coordinator down or restarting: back off and keep trying —
-			// an orphaned worker reattaches by itself.
+			// Coordinator down, restarting, or fenced (the client
+			// rejects stale-term responses and rotates): back off and
+			// keep trying — an orphaned worker reattaches by itself.
 			idleFails++
 			if sleepCtx(ctx, a.Coordinator.Backoff(min(idleFails-1, 6), 0)) != nil {
 				return
@@ -149,6 +176,18 @@ func (a *Agent) slotLoop(ctx context.Context, poll time.Duration) {
 			if sleepCtx(ctx, a.Coordinator.Backoff(0, d)) != nil {
 				return
 			}
+			continue
+		case lease.Term != 0 && lease.Term < a.Coordinator.Term():
+			// Belt over the client's braces: a grant from an older term
+			// than the newest this worker has seen is a deposed
+			// coordinator handing out work it no longer owns. Executing
+			// it risks the double-execution the fencing exists to
+			// prevent; refuse and let that coordinator's lease rot.
+			a.mu.Lock()
+			a.staleGrants++
+			a.mu.Unlock()
+			a.logf("fleet agent %s: rejecting grant at stale term %d (newest %d)",
+				a.WorkerID, lease.Term, a.Coordinator.Term())
 			continue
 		}
 		idleFails = 0
@@ -205,7 +244,7 @@ func (a *Agent) executeBatch(ctx context.Context, grants []LeaseGrant, ttl time.
 				return
 			}
 			var resp RenewResponse
-			req := RenewRequest{Worker: a.WorkerID, Keys: keys}
+			req := RenewRequest{Worker: a.WorkerID, Keys: keys, Term: a.Coordinator.Term()}
 			code, err := a.Coordinator.DoJSON(kctx, http.MethodPost, "/fleet/v1/renew", req, &resp)
 			if err != nil || code != http.StatusOK {
 				continue // a missed renew proves nothing; same contract as heartbeat
@@ -314,7 +353,7 @@ func (a *Agent) heartbeat(runCtx context.Context, key string, interval time.Dura
 		case <-t.C:
 		}
 		var resp RenewResponse
-		req := RenewRequest{Worker: a.WorkerID, Keys: []string{key}}
+		req := RenewRequest{Worker: a.WorkerID, Keys: []string{key}, Term: a.Coordinator.Term()}
 		code, err := a.Coordinator.DoJSON(runCtx, http.MethodPost, "/fleet/v1/renew", req, &resp)
 		if err != nil || code != http.StatusOK {
 			// A missed heartbeat is not a lost lease: the coordinator
@@ -332,11 +371,21 @@ func (a *Agent) heartbeat(runCtx context.Context, key string, interval time.Dura
 }
 
 // report delivers the completion, retrying with backoff; completions
-// are idempotent coordinator-side, so double delivery is harmless.
+// are idempotent coordinator-side, so double delivery is harmless —
+// including the failover replay: a report bounced off a deposed
+// coordinator (StaleTerm) rotates the client and lands on the
+// promoted primary, whose content-addressed store makes the second
+// arrival a no-op at worst.
 func (a *Agent) report(ctx context.Context, req CompleteRequest) {
 	for attempt := 0; attempt < a.Coordinator.MaxAttempts; attempt++ {
+		req.Term = a.Coordinator.Term()
 		var resp CompleteResponse
 		code, err := a.Coordinator.DoJSON(ctx, http.MethodPost, "/fleet/v1/complete", req, &resp)
+		if err == nil && code == http.StatusOK && resp.StaleTerm {
+			a.logf("fleet agent %s: complete %s refused by deposed coordinator, rotating", a.WorkerID, req.Key)
+			a.Coordinator.Rotate()
+			err = errors.New("completion refused: stale coordinator term")
+		}
 		if err == nil && code == http.StatusOK {
 			if resp.Duplicate {
 				a.logf("fleet agent %s: %s was already complete (store hit)", a.WorkerID, req.Key)

@@ -54,6 +54,20 @@ type Coordinator struct {
 	store    map[string]exp.TaskResult
 	workers  map[string]*workerState
 
+	// Epoch fencing (DESIGN.md §15). term is this incarnation's epoch,
+	// journaled by OpenTerm and stamped on every response. deposed is
+	// set the moment a newer term is observed — a promoted standby took
+	// over — after which this coordinator refuses grants, admissions,
+	// and completions so every participant rotates to the new primary.
+	term    uint64
+	deposed bool
+
+	// famWorker memoizes which worker last completed each mix family —
+	// the warm-runner affinity map. A worker that just ran mix/M7 holds
+	// M7's decoded workload and twin frontier hot; granting it M7's
+	// other policies skips that setup cost.
+	famWorker map[string]string
+
 	// Counters, all guarded by mu. The conservation law (checked by
 	// TestCountersConserved and the chaos gate) is grant-scoped:
 	//
@@ -76,6 +90,8 @@ type Coordinator struct {
 	tasksCompleted  uint64
 	quarantined     uint64
 	inflight        uint64
+	affinityHits    uint64 // grants whose family was warm on the grantee
+	fenced          uint64 // requests refused because this coordinator is deposed
 }
 
 // New builds a coordinator. Pair with Replay (before serving) when
@@ -83,11 +99,12 @@ type Coordinator struct {
 func New(cfg Config) *Coordinator {
 	cfg.fillDefaults()
 	c := &Coordinator{
-		cfg:     cfg,
-		started: cfg.Now(),
-		tasks:   make(map[string]*task),
-		store:   make(map[string]exp.TaskResult),
-		workers: make(map[string]*workerState),
+		cfg:       cfg,
+		started:   cfg.Now(),
+		tasks:     make(map[string]*task),
+		store:     make(map[string]exp.TaskResult),
+		workers:   make(map[string]*workerState),
+		famWorker: make(map[string]string),
 	}
 	c.registerObs()
 	return c
@@ -112,6 +129,21 @@ func (c *Coordinator) registerObs() {
 	counter("fleet_grants_failed", &c.grantsFailed)
 	counter("fleet_tasks_completed", &c.tasksCompleted)
 	counter("fleet_quarantined", &c.quarantined)
+	counter("fleet_affinity_hits", &c.affinityHits)
+	counter("fleet_fenced_requests", &c.fenced)
+	c.reg.Gauge("fleet_term", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.term)
+	})
+	c.reg.Gauge("fleet_deposed", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.deposed {
+			return 1
+		}
+		return 0
+	})
 	c.reg.Gauge("fleet_leases_inflight", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -157,6 +189,58 @@ func (c *Coordinator) journalLocked(rec exp.Record) {
 		return
 	}
 	_ = c.cfg.Journal.Append(rec)
+}
+
+// OpenTerm takes office: it bumps the coordinator's epoch past the
+// highest term its journal replay saw and journals the new term record
+// before any request is served at it. Fresh coordinators open term 1;
+// a -resume opens maxTerm+1; a promoted standby opens maxTerm+1 over
+// everything it replicated. Returns the new term.
+func (c *Coordinator) OpenTerm() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.term++
+	c.journalLocked(exp.Record{Kind: exp.KindTerm, Term: c.term, Worker: c.cfg.ID})
+	return c.term
+}
+
+// Term returns the coordinator's current epoch (0 before OpenTerm).
+func (c *Coordinator) Term() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
+}
+
+// ObserveTerm feeds a term seen in a participant's request (or an
+// explicit fencing POST from a promoted standby). Observing a term
+// newer than our own means another coordinator has taken office: this
+// one deposes itself and from then on refuses grants, admissions, and
+// completions so agents and clients rotate to the new primary. Returns
+// true if this call deposed the coordinator.
+func (c *Coordinator) ObserveTerm(term uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if term > c.term && !c.deposed {
+		c.deposed = true
+		return true
+	}
+	return false
+}
+
+// Deposed reports whether a newer coordinator incarnation has fenced
+// this one.
+func (c *Coordinator) Deposed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deposed
+}
+
+// countFenced increments the refused-while-deposed counter (the HTTP
+// layer calls it when it bounces a request off a deposed coordinator).
+func (c *Coordinator) countFenced() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fenced++
 }
 
 // completionRecord shapes a finished run's journal record exactly as
@@ -305,14 +389,15 @@ func (c *Coordinator) Lease(workerID string) LeaseResponse {
 	now := c.cfg.Now()
 	c.touchWorkerLocked(workerID, "")
 	c.expireLocked(now)
-	if c.draining {
-		return LeaseResponse{None: true, Draining: true}
+	if c.draining || c.deposed {
+		return LeaseResponse{None: true, Draining: true, Term: c.term}
 	}
 	first := c.grantOneLocked(workerID, now, false)
 	if first == nil {
-		return LeaseResponse{None: true}
+		return LeaseResponse{None: true, Term: c.term}
 	}
-	resp := LeaseResponse{Key: first.Key, Spec: first.Spec, TTLMS: c.cfg.LeaseTTL.Milliseconds()}
+	resp := LeaseResponse{Key: first.Key, Spec: first.Spec,
+		TTLMS: c.cfg.LeaseTTL.Milliseconds(), Term: c.term}
 	if first.Spec.Tier == exp.TierTwin {
 		for len(resp.More) < c.cfg.LeaseBatch-1 {
 			g := c.grantOneLocked(workerID, now, true)
@@ -325,10 +410,13 @@ func (c *Coordinator) Lease(workerID string) LeaseResponse {
 	return resp
 }
 
-// grantOneLocked pops and grants the oldest viable queued task. With
-// twinOnly it stops — leaving the queue untouched — at the first
-// viable task that is not twin-tier, so batching never reorders
-// dispatch around a cycle-accurate run.
+// grantOneLocked pops and grants the oldest viable queued task —
+// unless the asking worker has a warm mix family further up the queue
+// (affinityPickLocked), in which case that task is granted instead and
+// the head stays for the next poller. With twinOnly it stops — leaving
+// the queue untouched — at the first viable task that is not
+// twin-tier, so batching never reorders dispatch around a
+// cycle-accurate run.
 func (c *Coordinator) grantOneLocked(workerID string, now time.Time, twinOnly bool) *LeaseGrant {
 	for len(c.pending) > 0 {
 		key := c.pending[0]
@@ -345,7 +433,17 @@ func (c *Coordinator) grantOneLocked(workerID string, now time.Time, twinOnly bo
 		if twinOnly && t.spec.Tier != exp.TierTwin {
 			return nil
 		}
-		c.pending = c.pending[1:]
+		if idx, hit := c.affinityPickLocked(workerID, t, twinOnly); idx > 0 {
+			key = c.pending[idx]
+			t = c.tasks[key]
+			c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
+			c.affinityHits++
+		} else {
+			c.pending = c.pending[1:]
+			if hit {
+				c.affinityHits++
+			}
+		}
 		t.grants++
 		t.status = server.StatusRunning
 		t.worker = workerID
@@ -366,6 +464,36 @@ func (c *Coordinator) grantOneLocked(workerID string, now time.Time, twinOnly bo
 		return &LeaseGrant{Key: key, Spec: &spec}
 	}
 	return nil
+}
+
+// affinityPickLocked decides which queued task to grant workerID given
+// that head (c.pending[0], already vetted) is the in-order choice. It
+// returns the pending index to grant (0 = head) and whether the choice
+// lands on a family the worker completed last (an affinity hit,
+// counted by the caller). When the head's family is cold for this
+// worker, a bounded scan looks ahead for the first viable task whose
+// family is warm — the memo-reuse win outweighs the local reorder, and
+// the skipped head is still the next in-order grant for every other
+// poller. Batch continuations (twinOnly) never reorder.
+func (c *Coordinator) affinityPickLocked(workerID string, head *task, twinOnly bool) (int, bool) {
+	if c.cfg.AffinityScan <= 0 || twinOnly {
+		return 0, false
+	}
+	if c.famWorker[head.spec.Family()] == workerID {
+		return 0, true
+	}
+	scanned := 0
+	for i := 1; i < len(c.pending) && scanned < c.cfg.AffinityScan; i++ {
+		t := c.tasks[c.pending[i]]
+		if t == nil || t.status != server.StatusQueued || t.grants >= c.cfg.MaxAttempts {
+			continue // stale or backstop-bound entries are the head loop's business
+		}
+		scanned++
+		if c.famWorker[t.spec.Family()] == workerID {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Renew extends the deadlines of the leases workerID still holds and
@@ -414,6 +542,7 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	if req.Result != nil {
 		c.store[req.Key] = *req.Result
 		c.tasksCompleted++
+		c.famWorker[t.spec.Family()] = req.Worker
 		if t.status == server.StatusRunning {
 			c.inflight--
 			if t.worker == req.Worker {
@@ -507,6 +636,7 @@ func (c *Coordinator) Health() server.Health {
 		Engine:     "fleet",
 		QueueDepth: c.queueDepthLocked(),
 		Draining:   c.draining,
+		Term:       c.term,
 	}
 }
 
@@ -585,12 +715,119 @@ func (c *Coordinator) Draining() bool {
 
 // ReplayStats accounts for what Replay reconstructed.
 type ReplayStats struct {
-	Completed     int // keys restored straight into the store
-	Quarantined   int // keys restored as failed
-	Pending       int // keys re-enqueued
-	Leased        int // keys re-armed with a fresh lease for their last holder
-	Unrecoverable int // keys with no spec and an unparseable key (lost)
-	Ignored       int // records of foreign kinds (e.g. sweep "cell")
+	Completed     int    // keys restored straight into the store
+	Quarantined   int    // keys restored as failed
+	Pending       int    // keys re-enqueued
+	Leased        int    // keys re-armed with a fresh lease for their last holder
+	Unrecoverable int    // keys with no spec and an unparseable key (lost)
+	Ignored       int    // records of foreign kinds (e.g. sweep "cell")
+	Duplicates    int    // repeated completions for an already-resolved key (first wins)
+	Orphans       int    // completions for keys with no admission or lease record (adopted)
+	StaleTerms    int    // term records at or below an already-seen term
+	Term          uint64 // highest coordinator term seen in the journal
+}
+
+// replayKeyState is one key's strongest-record-wins accumulation.
+type replayKeyState struct {
+	spec       *exp.TaskSpec
+	worker     string
+	leased     bool
+	res        *exp.TaskResult
+	quarantine string
+	hasQ       bool
+}
+
+// replayAccum folds journal records — from a local journal read or a
+// replication stream, in any order, across any number of batches —
+// into per-key state that installReplay later materializes. The
+// standby keeps one of these live for the lifetime of its follow loop,
+// so promotion pays only the install, not a re-read of the whole
+// journal.
+type replayAccum struct {
+	states map[string]*replayKeyState
+	order  []string
+	stats  ReplayStats
+}
+
+func newReplayAccum() *replayAccum {
+	return &replayAccum{states: make(map[string]*replayKeyState)}
+}
+
+func (a *replayAccum) get(key string) *replayKeyState {
+	ks := a.states[key]
+	if ks == nil {
+		ks = &replayKeyState{}
+		a.states[key] = ks
+		a.order = append(a.order, key)
+	}
+	return ks
+}
+
+// setResult installs a completion payload, first writer wins — a
+// duplicate completion for the same key (the hostile-replay case: two
+// workers raced, or a replication batch was re-sent) is counted, never
+// adopted over the first.
+func (a *replayAccum) setResult(key string, res exp.TaskResult) *replayKeyState {
+	ks := a.get(key)
+	if ks.res != nil {
+		a.stats.Duplicates++
+		return ks
+	}
+	ks.res = &res
+	return ks
+}
+
+// absorb folds one record into the accumulator. Unknown kinds and
+// payload-less records are counted ignored; nothing panics on hostile
+// input — a record is at worst a no-op with a counter.
+func (a *replayAccum) absorb(rec exp.Record) {
+	switch rec.Kind {
+	case exp.KindQueued:
+		ks := a.get(rec.Key)
+		if rec.Spec != nil && ks.spec == nil {
+			spec := *rec.Spec
+			ks.spec = &spec
+		}
+	case exp.KindLeased, exp.KindStolen:
+		ks := a.get(rec.Key)
+		ks.leased = true
+		ks.worker = rec.Worker
+	case exp.KindQuarantined:
+		ks := a.get(rec.Key)
+		ks.hasQ = true
+		ks.quarantine = rec.ErrMsg
+	case exp.KindTerm:
+		if rec.Term > a.stats.Term {
+			a.stats.Term = rec.Term
+		} else {
+			a.stats.StaleTerms++
+		}
+	case exp.KindMix, exp.KindGPU, exp.KindScenario:
+		if rec.Result == nil {
+			a.stats.Ignored++
+			return
+		}
+		ks := a.setResult(rec.Kind+"/"+rec.Key, exp.TaskResult{Result: rec.Result})
+		if rec.Spec != nil && ks.spec == nil {
+			spec := *rec.Spec
+			ks.spec = &spec
+		}
+	case exp.KindCPU:
+		a.setResult(rec.Kind+"/"+rec.Key, exp.TaskResult{IPC: rec.IPC})
+	case exp.KindTwin:
+		if rec.Twin == nil && rec.Result == nil && rec.IPC == 0 {
+			a.stats.Ignored++
+			return
+		}
+		res := exp.TaskResult{Tier: exp.TierTwin, Prediction: rec.Twin,
+			Result: rec.Result, IPC: rec.IPC}
+		if rec.Result != nil || rec.IPC != 0 {
+			res.Tier = exp.TierFull // auto tier that escalated
+		}
+		a.setResult(rec.Kind+"/"+rec.Key, res)
+	default:
+		a.stats.Ignored++
+	}
 }
 
 // Replay rebuilds coordinator state from journal records before
@@ -604,82 +841,40 @@ type ReplayStats struct {
 // and can renew or complete as if the coordinator never died; if the
 // holder died too, the lease expires and the task is stolen normally.
 func (c *Coordinator) Replay(recs []exp.Record) ReplayStats {
-	type keyState struct {
-		spec       *exp.TaskSpec
-		worker     string
-		leased     bool
-		res        *exp.TaskResult
-		quarantine string
-		hasQ       bool
-	}
-	states := make(map[string]*keyState)
-	var order []string
-	var stats ReplayStats
-	get := func(key string) *keyState {
-		ks := states[key]
-		if ks == nil {
-			ks = &keyState{}
-			states[key] = ks
-			order = append(order, key)
-		}
-		return ks
-	}
+	a := newReplayAccum()
 	for _, rec := range recs {
-		switch rec.Kind {
-		case exp.KindQueued:
-			ks := get(rec.Key)
-			if rec.Spec != nil && ks.spec == nil {
-				spec := *rec.Spec
-				ks.spec = &spec
-			}
-		case exp.KindLeased, exp.KindStolen:
-			ks := get(rec.Key)
-			ks.leased = true
-			ks.worker = rec.Worker
-		case exp.KindQuarantined:
-			ks := get(rec.Key)
-			ks.hasQ = true
-			ks.quarantine = rec.ErrMsg
-		case exp.KindMix, exp.KindGPU, exp.KindScenario:
-			if rec.Result == nil {
-				stats.Ignored++
-				continue
-			}
-			ks := get(rec.Kind + "/" + rec.Key)
-			ks.res = &exp.TaskResult{Result: rec.Result}
-			if rec.Spec != nil && ks.spec == nil {
-				spec := *rec.Spec
-				ks.spec = &spec
-			}
-		case exp.KindCPU:
-			ks := get(rec.Kind + "/" + rec.Key)
-			ks.res = &exp.TaskResult{IPC: rec.IPC}
-		case exp.KindTwin:
-			if rec.Twin == nil && rec.Result == nil && rec.IPC == 0 {
-				stats.Ignored++
-				continue
-			}
-			ks := get(rec.Kind + "/" + rec.Key)
-			res := exp.TaskResult{Tier: exp.TierTwin, Prediction: rec.Twin,
-				Result: rec.Result, IPC: rec.IPC}
-			if rec.Result != nil || rec.IPC != 0 {
-				res.Tier = exp.TierFull // auto tier that escalated
-			}
-			ks.res = &res
-		default:
-			stats.Ignored++
-		}
+		a.absorb(rec)
 	}
+	return c.installReplay(a)
+}
 
+// installReplay materializes an accumulator into live coordinator
+// state: the store, failed tasks, the pending queue, and re-armed
+// leases. The coordinator's term floor is lifted to the journal's —
+// OpenTerm afterwards takes office one past it. This is Replay's
+// second half, shared with standby promotion.
+func (c *Coordinator) installReplay(a *replayAccum) ReplayStats {
+	stats := a.stats
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if stats.Term > c.term {
+		c.term = stats.Term
+	}
 	now := c.cfg.Now()
-	for _, key := range order {
-		ks := states[key]
+	for _, key := range a.order {
+		ks := a.states[key]
 		switch {
 		case ks.res != nil:
 			c.store[key] = *ks.res
 			stats.Completed++
+			if ks.spec == nil && !ks.leased && !ks.hasQ {
+				// Completion for a key this journal never admitted or
+				// leased — a foreign worker's report or a replication
+				// stream that started past the admission. Adopted (the
+				// store is content-addressed, a result is a result) and
+				// counted so the gap is visible.
+				stats.Orphans++
+			}
 		case ks.hasQ:
 			t := &task{key: key, status: server.StatusFailed, errMsg: ks.quarantine, done: make(chan struct{})}
 			if ks.spec != nil {

@@ -40,6 +40,20 @@ import (
 	"repro/internal/exp"
 )
 
+// Term fencing headers (DESIGN.md §15). Every coordinator response
+// carries its current term; participants track the highest term they
+// have seen and treat anything older as a deposed incarnation.
+const (
+	// HeaderTerm is set on every response from a serving coordinator:
+	// the decimal epoch of this incarnation.
+	HeaderTerm = "X-Fleet-Term"
+
+	// HeaderStandby is set (value "1") on responses from an unpromoted
+	// standby. Clients that land here rotate to the next address in
+	// their list instead of retrying against a node that cannot serve.
+	HeaderStandby = "X-Fleet-Standby"
+)
+
 // Failure classes a worker reports with a failed completion.
 const (
 	// ClassTransient marks a failure external to the task itself — the
@@ -69,8 +83,11 @@ type RegisterRequest struct {
 // LeaseRequest asks for one task lease. Workers with idle slots poll
 // this endpoint — the pull model is what makes stealing free: an idle
 // worker's next poll picks up whatever an expired lease put back.
+// Term is the highest coordinator epoch the worker has observed (see
+// RenewRequest).
 type LeaseRequest struct {
 	Worker string `json:"worker"`
+	Term   uint64 `json:"term,omitempty"`
 }
 
 // LeaseGrant is one additional task granted alongside a batched lease
@@ -91,6 +108,9 @@ type LeaseGrant struct {
 // poll across up to Config.LeaseBatch of them. Every grant in More is
 // individually leased, renewed, stolen, and completed — the wire shape
 // is batched, the ledger is not.
+// Term is the granting coordinator's epoch. An agent that has seen a
+// newer term from any coordinator rejects the grant without executing
+// it — a deposed primary cannot hand out work after a failover.
 type LeaseResponse struct {
 	Key      string        `json:"key,omitempty"`
 	Spec     *exp.TaskSpec `json:"spec,omitempty"`
@@ -98,13 +118,18 @@ type LeaseResponse struct {
 	More     []LeaseGrant  `json:"more,omitempty"`
 	None     bool          `json:"none,omitempty"`
 	Draining bool          `json:"draining,omitempty"`
+	Term     uint64        `json:"term,omitempty"`
 }
 
 // RenewRequest is the heartbeat: the worker lists every lease it still
-// holds, and the coordinator extends their deadlines.
+// holds, and the coordinator extends their deadlines. Term is the
+// highest coordinator epoch the worker has observed; a coordinator
+// receiving a term newer than its own knows it has been deposed and
+// fences itself.
 type RenewRequest struct {
 	Worker string   `json:"worker"`
 	Keys   []string `json:"keys"`
+	Term   uint64   `json:"term,omitempty"`
 }
 
 // RenewResponse lists the keys the worker no longer holds — expired
@@ -117,7 +142,9 @@ type RenewResponse struct {
 }
 
 // CompleteRequest reports one finished run: Result on success, or the
-// failure's message, class, and (for panics) stack.
+// failure's message, class, and (for panics) stack. Term is the
+// highest coordinator epoch the worker has observed (fencing, as in
+// RenewRequest).
 type CompleteRequest struct {
 	Worker string          `json:"worker"`
 	Key    string          `json:"key"`
@@ -125,15 +152,54 @@ type CompleteRequest struct {
 	ErrMsg string          `json:"err,omitempty"`
 	Stack  string          `json:"stack,omitempty"`
 	Class  string          `json:"class,omitempty"`
+	Term   uint64          `json:"term,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion report. Duplicate means
 // the store already held the key — the reporting worker recomputed (or
 // raced) a completed key, counted as a store hit, its payload
-// discarded in favor of the first.
+// discarded in favor of the first. StaleTerm means the receiving
+// coordinator has been deposed and refused the report; the worker
+// re-sends it through its (rotating) client so it lands on the new
+// primary — results are content-addressed, so the retry is safe.
 type CompleteResponse struct {
 	Accepted  bool `json:"accepted"`
 	Duplicate bool `json:"duplicate,omitempty"`
+	StaleTerm bool `json:"stale_term,omitempty"`
+}
+
+// StreamRequest parameterizes GET /fleet/v1/journal/stream via query
+// string: from= is the byte offset of the previous response's Next,
+// max= caps the records per batch.
+//
+// StreamResponse is one replication batch. Records carry their
+// original per-record sha256 hashes — the standby verifies each before
+// absorbing. Next is the offset for the follower's next poll. Reset
+// tells the follower its offset no longer matches this journal (the
+// primary compacted or was replaced); the follower restarts from 0
+// with a fresh accumulator. Term is the primary's current epoch.
+type StreamResponse struct {
+	Records []exp.Record `json:"records,omitempty"`
+	Next    int64        `json:"next"`
+	Term    uint64       `json:"term,omitempty"`
+	More    bool         `json:"more,omitempty"`
+	Reset   bool         `json:"reset,omitempty"`
+}
+
+// TermRequest is the POST /fleet/v1/term body: a fencing notification
+// carrying the sender's term. A promoted standby best-effort posts its
+// new term to the old primary so a still-alive deposed coordinator
+// fences itself immediately instead of at its next worker contact.
+type TermRequest struct {
+	Term uint64 `json:"term"`
+}
+
+// PromoteResponse is the POST /fleet/v1/promote reply: the term the
+// coordinator now serves at (after promotion, or its existing term if
+// it was already primary).
+type PromoteResponse struct {
+	Term     uint64 `json:"term"`
+	Promoted bool   `json:"promoted"`
 }
 
 // Config parameterizes the coordinator.
@@ -173,6 +239,16 @@ type Config struct {
 	// that is not twin-tier. Default 1 (batching off).
 	LeaseBatch int
 
+	// AffinityScan bounds how far past the queue head the grant path
+	// looks for a task whose mix family last completed on the asking
+	// worker (warm-memo affinity). Negative disables the scan; grants
+	// then follow strict FIFO/steal order. Default 64.
+	AffinityScan int
+
+	// ID names this coordinator incarnation in journaled term records
+	// (advisory, for operators reading the journal).
+	ID string
+
 	// Journal, when non-nil, receives the fleet's crash-consistency
 	// records; pair with Replay on restart.
 	Journal *exp.Journal
@@ -202,6 +278,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.LeaseBatch < 1 {
 		c.LeaseBatch = 1
+	}
+	if c.AffinityScan == 0 {
+		c.AffinityScan = 64
+	}
+	if c.AffinityScan < 0 {
+		c.AffinityScan = 0
 	}
 	if c.Now == nil {
 		c.Now = time.Now

@@ -21,7 +21,8 @@ import (
 //	GET    /readyz                   readiness (503 once draining)
 //	GET    /metricsz                 fleet + journal counters
 //
-// The /fleet/v1 half is the worker lease protocol:
+// The /fleet/v1 half is the worker lease protocol plus the HA plane
+// (DESIGN.md §15):
 //
 //	POST   /fleet/v1/workers         register {worker, url}
 //	DELETE /fleet/v1/workers/{id}    deregister, releasing held leases
@@ -29,6 +30,15 @@ import (
 //	POST   /fleet/v1/lease           request one task lease
 //	POST   /fleet/v1/renew           heartbeat: extend held leases
 //	POST   /fleet/v1/complete        report a run outcome
+//	GET    /fleet/v1/journal/stream  replication: journal records from ?from=
+//	POST   /fleet/v1/term            fencing: observe another incarnation's term
+//	POST   /fleet/v1/promote         409 here — only a standby promotes
+//
+// Every response carries X-Fleet-Term. Once deposed by a newer term,
+// the coordinator answers everything except health, metrics, the
+// replication stream, and the fencing endpoints with 503 +
+// X-Fleet-Standby, which rotates clients and agents to the promoted
+// primary.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", c.handleSubmit)
@@ -83,6 +93,7 @@ func (c *Coordinator) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad lease body"})
 			return
 		}
+		c.ObserveTerm(req.Term)
 		writeJSON(w, http.StatusOK, c.Lease(req.Worker))
 	})
 	mux.HandleFunc("POST /fleet/v1/renew", func(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +102,7 @@ func (c *Coordinator) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad renew body"})
 			return
 		}
+		c.ObserveTerm(req.Term)
 		writeJSON(w, http.StatusOK, c.Renew(req.Worker, req.Keys))
 	})
 	mux.HandleFunc("POST /fleet/v1/complete", func(w http.ResponseWriter, r *http.Request) {
@@ -99,9 +111,63 @@ func (c *Coordinator) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad complete body"})
 			return
 		}
+		if c.ObserveTerm(req.Term); c.Deposed() {
+			// The reporting worker has seen a newer incarnation: this
+			// coordinator must not absorb the result. StaleTerm makes
+			// the worker re-send through its rotating client, landing
+			// the (content-addressed, hence safe to retry) completion
+			// on the promoted primary.
+			c.countFenced()
+			writeJSON(w, http.StatusOK, CompleteResponse{StaleTerm: true})
+			return
+		}
 		writeJSON(w, http.StatusOK, c.Complete(req))
 	})
-	return mux
+	mux.HandleFunc("GET /fleet/v1/journal/stream", c.handleStream)
+	mux.HandleFunc("POST /fleet/v1/term", func(w http.ResponseWriter, r *http.Request) {
+		var req TermRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, server.StatusResponse{Error: "bad term body"})
+			return
+		}
+		c.ObserveTerm(req.Term)
+		writeJSON(w, http.StatusOK, TermRequest{Term: c.Term()})
+	})
+	mux.HandleFunc("POST /fleet/v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		// Promotion is a standby operation; a serving coordinator is
+		// already at the head of its term. 409 tells the operator the
+		// address they targeted is a primary, alongside its term.
+		writeJSON(w, http.StatusConflict, PromoteResponse{Term: c.Term(), Promoted: false})
+	})
+	return c.fenceHandler(mux)
+}
+
+// fenceHandler stamps X-Fleet-Term on every response and bounces
+// requests off a deposed coordinator with 503 + X-Fleet-Standby —
+// clients and agents rotate to the promoted primary. The health,
+// metrics, replication, and fencing endpoints stay reachable: a
+// deposed coordinator is still observable, its journal is still valid
+// history for a follower, and fencing must be idempotent.
+func (c *Coordinator) fenceHandler(next http.Handler) http.Handler {
+	exempt := map[string]bool{
+		"/healthz":                 true,
+		"/metricsz":                true,
+		"/fleet/v1/journal/stream": true,
+		"/fleet/v1/term":           true,
+		"/fleet/v1/promote":        true,
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderTerm, strconv.FormatUint(c.Term(), 10))
+		if c.Deposed() && !exempt[r.URL.Path] {
+			c.countFenced()
+			w.Header().Set(HeaderStandby, "1")
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				server.StatusResponse{Error: "coordinator deposed by newer term", RetryAfterMS: 1000})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,425 @@
+package fleet
+
+// Hot-standby replication and epoch-fenced failover (DESIGN.md §15).
+//
+// The primary's fleet journal is already a complete, order-tolerant,
+// per-record-hashed description of campaign state — PR 8 proved that
+// by SIGKILLing the coordinator and replaying it with -resume. HA
+// reuses exactly that artifact: a standby tails the journal over
+// GET /fleet/v1/journal/stream, verifies each record's sha256, folds
+// it into a live replayAccum (the same accumulator -resume uses), and
+// mirrors it into its own journal. Promotion — automatic after
+// FailoverAfter without primary contact, or operator-forced via
+// POST /fleet/v1/promote — is then nothing more than -resume without
+// the restart: install the accumulator, open term maxTerm+1, start the
+// lease sweeper, and best-effort fence the old primary with the new
+// term so a still-alive deposed incarnation steps aside immediately.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// handleStream serves one replication batch from the coordinator's own
+// journal file. Reading the live file concurrently with appends is
+// safe: records are newline-framed and individually hashed, and
+// ReadJournalAt never advances past an unterminated tail — a torn line
+// is simply re-read whole on the follower's next poll.
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Journal == nil {
+		writeJSON(w, http.StatusNotFound,
+			server.StatusResponse{Error: "coordinator has no journal to replicate"})
+		return
+	}
+	q := r.URL.Query()
+	from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
+	if from < 0 {
+		from = 0
+	}
+	max, _ := strconv.Atoi(q.Get("max"))
+	if max <= 0 {
+		max = 512
+	}
+	if max > 4096 {
+		max = 4096
+	}
+	path := c.cfg.Journal.Path()
+	fi, err := os.Stat(path)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			server.StatusResponse{Error: "journal stat: " + err.Error()})
+		return
+	}
+	if from > fi.Size() {
+		// The follower's offset is past the file: the journal was
+		// compacted or replaced. Restart the follower from zero.
+		writeJSON(w, http.StatusOK, StreamResponse{Reset: true, Term: c.Term()})
+		return
+	}
+	recs, next, err := exp.ReadJournalAt(path, from, max)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			server.StatusResponse{Error: "journal read: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamResponse{
+		Records: recs,
+		Next:    next,
+		Term:    c.Term(),
+		More:    next < fi.Size(),
+	})
+}
+
+// StandbyConfig parameterizes a hot standby.
+type StandbyConfig struct {
+	// Primary is the base URL of the coordinator to follow.
+	Primary string
+
+	// Fleet configures the coordinator this standby becomes on
+	// promotion. Its Journal (if any) receives the mirrored replication
+	// records while following, so a crashed standby resumes from its
+	// own disk like any coordinator.
+	Fleet Config
+
+	// PollInterval paces the replication stream. Default 500ms.
+	PollInterval time.Duration
+
+	// FailoverAfter is how long the primary may be unreachable before
+	// the standby promotes itself. 0 disables automatic failover —
+	// promotion then only happens via POST /fleet/v1/promote.
+	FailoverAfter time.Duration
+
+	// BatchLimit caps records per stream poll. Default 512.
+	BatchLimit int
+
+	// HTTP overrides the poll client (tests); default 10s timeout.
+	HTTP *http.Client
+
+	// Logf, when set, receives follow/promotion lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (sc *StandbyConfig) fillDefaults() {
+	if sc.PollInterval <= 0 {
+		sc.PollInterval = 500 * time.Millisecond
+	}
+	if sc.BatchLimit <= 0 {
+		sc.BatchLimit = 512
+	}
+	if sc.HTTP == nil {
+		sc.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	if sc.Logf == nil {
+		sc.Logf = func(string, ...any) {}
+	}
+}
+
+// Standby follows a primary coordinator's journal and can take over
+// its campaign. Before promotion it serves only health, metrics, and
+// the promote endpoint — everything else answers 503 with
+// X-Fleet-Standby so clients rotate to the primary. After promotion it
+// is the coordinator: Handler delegates wholesale.
+type Standby struct {
+	cfg StandbyConfig
+	reg obs.Registry
+
+	mu          sync.Mutex
+	accum       *replayAccum
+	offset      int64
+	term        uint64 // primary's term as last observed on the stream
+	lastContact time.Time
+	started     time.Time
+	runCtx      context.Context
+	promoted    *Coordinator
+	handler     http.Handler // promoted coordinator's handler, built once
+	stats       ReplayStats  // promotion-time install stats (operator visibility)
+
+	applied uint64 // records verified and absorbed
+	bad     uint64 // records that failed hash verification (dropped)
+	resets  uint64 // stream restarts from offset zero
+	polls   uint64 // stream polls attempted
+	fails   uint64 // stream polls that errored
+}
+
+// NewStandby builds a standby follower for cfg.Primary.
+func NewStandby(cfg StandbyConfig) *Standby {
+	cfg.fillDefaults()
+	now := time.Now()
+	s := &Standby{
+		cfg:         cfg,
+		accum:       newReplayAccum(),
+		lastContact: now,
+		started:     now,
+	}
+	s.registerObs()
+	return s
+}
+
+func (s *Standby) registerObs() {
+	counter := func(name string, p *uint64) {
+		s.reg.Counter(name, func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return *p
+		})
+	}
+	counter("standby_records_applied", &s.applied)
+	counter("standby_bad_records", &s.bad)
+	counter("standby_stream_resets", &s.resets)
+	counter("standby_stream_polls", &s.polls)
+	counter("standby_stream_errors", &s.fails)
+	s.reg.Gauge("standby_offset", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.offset)
+	})
+	s.reg.Gauge("standby_term", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.term)
+	})
+	s.reg.Gauge("standby_promoted", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.promoted != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Run follows the primary until ctx ends or the standby promotes; it
+// returns the promoted coordinator (nil if ctx ended while still a
+// follower). Automatic failover fires when the primary has been
+// unreachable for FailoverAfter.
+func (s *Standby) Run(ctx context.Context) *Coordinator {
+	s.mu.Lock()
+	s.runCtx = ctx
+	s.mu.Unlock()
+	for {
+		if c := s.Coordinator(); c != nil {
+			return c
+		}
+		more, err := s.pollOnce(ctx)
+		if err != nil {
+			s.mu.Lock()
+			s.fails++
+			gap := time.Since(s.lastContact)
+			auto := s.cfg.FailoverAfter > 0 && gap >= s.cfg.FailoverAfter
+			s.mu.Unlock()
+			if ctx.Err() != nil {
+				return nil
+			}
+			if auto {
+				c, term := s.Promote(fmt.Sprintf("primary unreachable for %v: %v", gap.Round(time.Millisecond), err))
+				s.cfg.Logf("standby: promoted to term %d (%s)", term, "auto failover")
+				return c
+			}
+		}
+		if more {
+			continue // drain a backlog without pacing
+		}
+		select {
+		case <-ctx.Done():
+			return s.Coordinator()
+		case <-time.After(s.cfg.PollInterval):
+		}
+	}
+}
+
+// pollOnce fetches and absorbs one replication batch. It returns
+// whether the primary reported more records immediately available.
+func (s *Standby) pollOnce(ctx context.Context) (bool, error) {
+	s.mu.Lock()
+	from := s.offset
+	s.polls++
+	s.mu.Unlock()
+
+	url := fmt.Sprintf("%s/fleet/v1/journal/stream?from=%d&max=%d", s.cfg.Primary, from, s.cfg.BatchLimit)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	httpResp, err := s.cfg.HTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("stream: %s", httpResp.Status)
+	}
+	var resp StreamResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return false, fmt.Errorf("stream decode: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastContact = time.Now()
+	if resp.Reset || (s.term != 0 && resp.Term != 0 && resp.Term != s.term) {
+		// The journal behind the offset changed identity (compacted, or
+		// a new primary incarnation took over the address). Restart the
+		// accumulation from zero — order tolerance makes the re-read
+		// converge to the same state.
+		s.cfg.Logf("standby: stream reset (term %d -> %d), re-reading from 0", s.term, resp.Term)
+		s.accum = newReplayAccum()
+		s.offset = 0
+		s.term = resp.Term
+		s.resets++
+		return true, nil
+	}
+	if resp.Term != 0 {
+		s.term = resp.Term
+	}
+	var mirror []exp.Record
+	for _, rec := range resp.Records {
+		if !exp.VerifyRecord(rec) {
+			// A record torn or corrupted in flight: dropped and counted.
+			// The journal's own integrity hashing already guarantees the
+			// primary never served this from disk intact-but-wrong.
+			s.bad++
+			continue
+		}
+		s.accum.absorb(rec)
+		s.applied++
+		mirror = append(mirror, rec)
+	}
+	s.offset = resp.Next
+	if s.cfg.Fleet.Journal != nil && len(mirror) > 0 {
+		// Mirror the verified records into our own journal — one fsync
+		// per batch — so a standby that crashes and restarts resumes
+		// following with its state already on disk.
+		_ = s.cfg.Fleet.Journal.AppendBatch(mirror)
+	}
+	return resp.More, nil
+}
+
+// Promote turns the standby into the serving coordinator: install the
+// accumulated replay (re-arming in-flight leases exactly as -resume
+// does), take office at term maxTerm+1, start the lease sweeper, and
+// best-effort fence the old primary. Idempotent — a second call
+// returns the same coordinator and term.
+func (s *Standby) Promote(reason string) (*Coordinator, uint64) {
+	s.mu.Lock()
+	if s.promoted != nil {
+		c := s.promoted
+		s.mu.Unlock()
+		return c, c.Term()
+	}
+	c := New(s.cfg.Fleet)
+	stats := c.installReplay(s.accum)
+	term := c.OpenTerm()
+	s.promoted = c
+	s.handler = c.Handler()
+	s.stats = stats
+	ctx := s.runCtx
+	s.mu.Unlock()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.Start(ctx)
+	s.cfg.Logf("standby: promoting (%s): term=%d completed=%d pending=%d re-armed=%d quarantined=%d unrecoverable=%d",
+		reason, term, stats.Completed, stats.Pending, stats.Leased, stats.Quarantined, stats.Unrecoverable)
+	s.fencePrimary(term)
+	return c, term
+}
+
+// fencePrimary tells the old primary its term is over. Best-effort: if
+// the primary is dead the POST fails and nothing is lost — the fence
+// also travels with every worker request that carries the new term.
+func (s *Standby) fencePrimary(term uint64) {
+	body, _ := json.Marshal(TermRequest{Term: term})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		s.cfg.Primary+"/fleet/v1/term", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := s.cfg.HTTP.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Coordinator returns the promoted coordinator, or nil while still
+// following.
+func (s *Standby) Coordinator() *Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// InstallStats reports the promotion-time replay install (zero value
+// while still following).
+func (s *Standby) InstallStats() ReplayStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Handler serves the standby's HTTP surface. Before promotion:
+// health/readiness that identify a follower, standby metrics, and the
+// promote endpoint; every other path answers 503 + X-Fleet-Standby so
+// clients rotate to the primary. After promotion it delegates to the
+// coordinator's full handler — same address, new incarnation.
+func (s *Standby) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// A follower is alive but not ready: it must not take traffic
+		// until promoted.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, s.health())
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.WriteSnapshot(w)
+	})
+	mux.HandleFunc("POST /fleet/v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		_, term := s.Promote("operator request")
+		s.cfg.Logf("standby: promoted to term %d (operator request)", term)
+		writeJSON(w, http.StatusOK, PromoteResponse{Term: term, Promoted: true})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderStandby, "1")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			server.StatusResponse{Error: "standby: not promoted", RetryAfterMS: 1000})
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		h := s.handler
+		s.mu.Unlock()
+		if h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Standby) health() server.Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return server.Health{
+		Version: server.Version,
+		UptimeS: time.Since(s.started).Seconds(),
+		Engine:  "fleet-standby",
+		Term:    s.term,
+	}
+}

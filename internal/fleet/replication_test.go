@@ -1,0 +1,445 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// journaledCoordinator builds a coordinator writing a real journal file
+// under t.TempDir, returning both so tests can stream and inspect it.
+func journaledCoordinator(t *testing.T, mutate func(*Config)) (*Coordinator, *exp.Journal, *fakeClock) {
+	t.Helper()
+	j, _, _, err := exp.OpenJournal(filepath.Join(t.TempDir(), "fleet.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	clk := newFakeClock()
+	cfg := Config{LeaseTTL: 10 * time.Second, Now: clk.Now, Journal: j, ID: "primary"}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg), j, clk
+}
+
+// specIDs are valid SPEC CPU2006 workload ids for admission tests.
+var specIDs = []int{470, 462, 429, 433, 401}
+
+func TestJournalStreamPagingAndReset(t *testing.T) {
+	c, _, _ := journaledCoordinator(t, nil)
+	c.OpenTerm()
+	for i := 0; i < 5; i++ {
+		mustAdmit(t, c, exp.CPUTaskSpec(specIDs[i]))
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	fetch := func(from int64, max int) StreamResponse {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/fleet/v1/journal/stream?from=%d&max=%d", ts.URL, from, max))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		var sr StreamResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	// Page through the journal two records at a time: 1 term + 5
+	// admissions, every record hash-valid, More until the tail.
+	var got []exp.Record
+	var from int64
+	for {
+		sr := fetch(from, 2)
+		if sr.Reset {
+			t.Fatalf("unexpected reset at offset %d", from)
+		}
+		if sr.Term != c.Term() {
+			t.Fatalf("stream term %d, want %d", sr.Term, c.Term())
+		}
+		for _, rec := range sr.Records {
+			if !exp.VerifyRecord(rec) {
+				t.Fatalf("streamed record failed verification: %+v", rec)
+			}
+		}
+		got = append(got, sr.Records...)
+		from = sr.Next
+		if !sr.More {
+			break
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("streamed %d records, want 6 (1 term + 5 queued)", len(got))
+	}
+	if got[0].Kind != exp.KindTerm || got[0].Term != c.Term() {
+		t.Fatalf("first record = %+v, want the term record", got[0])
+	}
+
+	// An offset past the file means the journal was replaced: Reset.
+	if sr := fetch(from+4096, 10); !sr.Reset {
+		t.Fatalf("offset past EOF: %+v, want Reset", sr)
+	}
+	// The exhausted offset itself is not a reset, just empty.
+	if sr := fetch(from, 10); sr.Reset || len(sr.Records) != 0 || sr.More {
+		t.Fatalf("tail poll = %+v, want empty non-reset", sr)
+	}
+}
+
+func TestStandbyFollowsPromotesAndFencesPrimary(t *testing.T) {
+	primary, _, clk := journaledCoordinator(t, nil)
+	primary.OpenTerm()
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	doneKey := mustAdmit(t, primary, exp.CPUTaskSpec(470))
+	leasedKey := mustAdmit(t, primary, exp.MixTaskSpec("M1", sim.PolicyBaseline))
+	queuedKey := mustAdmit(t, primary, exp.CPUTaskSpec(462))
+
+	if l := primary.Lease("w1"); l.None || l.Key != doneKey {
+		t.Fatalf("lease 1 = %+v", l)
+	}
+	if cr := primary.Complete(CompleteRequest{Worker: "w1", Key: doneKey, Result: okResult()}); !cr.Accepted {
+		t.Fatalf("complete = %+v", cr)
+	}
+	if l := primary.Lease("w1"); l.None || l.Key != leasedKey {
+		t.Fatalf("lease 2 = %+v", l)
+	}
+
+	sj, _, _, err := exp.OpenJournal(filepath.Join(t.TempDir(), "standby.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sj.Close()
+	sb := NewStandby(StandbyConfig{
+		Primary:    ts.URL,
+		Fleet:      Config{LeaseTTL: 10 * time.Second, Now: clk.Now, Journal: sj, ID: "standby"},
+		BatchLimit: 3, // force multiple polls
+		Logf:       t.Logf,
+	})
+	ctx := context.Background()
+	for more := true; more; {
+		var err error
+		if more, err = sb.pollOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sb.Coordinator() != nil {
+		t.Fatal("standby promoted itself while only following")
+	}
+
+	c, term := sb.Promote("test")
+	if term != primary.Term()+1 {
+		t.Fatalf("promoted term %d, want %d", term, primary.Term()+1)
+	}
+	if c2, term2 := sb.Promote("again"); c2 != c || term2 != term {
+		t.Fatalf("promotion not idempotent: %v/%d vs %v/%d", c2, term2, c, term)
+	}
+	st := sb.InstallStats()
+	if st.Completed != 1 || st.Leased != 1 || st.Pending != 1 {
+		t.Fatalf("install stats = %+v, want 1 completed / 1 leased / 1 pending", st)
+	}
+
+	// The completed key serves from the store — zero recompute.
+	if resp, code := c.Admit(exp.CPUTaskSpec(470)); code != 200 || resp.Status != server.StatusDone {
+		t.Fatalf("resubmit on promoted standby: code %d status %q", code, resp.Status)
+	}
+	// The in-flight lease was re-armed for its holder: w1 renews and
+	// completes as if nothing happened.
+	if r := c.Renew("w1", []string{leasedKey}); len(r.Lost) != 0 {
+		t.Fatalf("re-armed lease lost: %v", r.Lost)
+	}
+	mixRes := &exp.TaskResult{Result: &sim.Result{MixID: "M1", MeasuredCycles: 100, IPC: []float64{1.5}}}
+	if cr := c.Complete(CompleteRequest{Worker: "w1", Key: leasedKey, Result: mixRes}); !cr.Accepted || cr.Duplicate {
+		t.Fatalf("complete on promoted standby = %+v", cr)
+	}
+	// The queued key is grantable.
+	if l := c.Lease("w2"); l.None || l.Key != queuedKey {
+		t.Fatalf("lease on promoted standby = %+v", l)
+	}
+	mustConserve(t, c)
+
+	// Promotion fenced the old primary over /fleet/v1/term.
+	if !primary.Deposed() {
+		t.Fatal("old primary not deposed after promotion")
+	}
+	// The deposed primary keeps its own (now stale) term: clients that
+	// learned the new term from the promoted standby treat its header
+	// as stale and rotate away.
+	if primary.Term() != term-1 {
+		t.Fatalf("old primary term %d, want its own %d", primary.Term(), term-1)
+	}
+
+	// The standby's journal — mirrored replication records plus its own
+	// post-promotion appends — alone reconstructs the campaign: both
+	// completions in the store, the w2 lease re-armed, nothing lost. A
+	// crashed ex-standby, or an operator -resume, starts from this.
+	recs, _, _ := exp.ReadJournalAt(sj.Path(), 0, 10_000)
+	mirror := New(Config{LeaseTTL: 10 * time.Second, Now: clk.Now})
+	mst := mirror.Replay(recs)
+	if mst.Completed != 2 || mst.Leased != 1 || mst.Pending != 0 || mst.Term != term {
+		t.Fatalf("mirror journal replay = %+v, want 2 completed / 1 leased / 0 pending at term %d", mst, term)
+	}
+}
+
+func TestStandbyDropsTamperedRecordsAndResetsOnNewTerm(t *testing.T) {
+	term := uint64(1)
+	good := exp.Record{Kind: exp.KindQueued, Key: "cpu/470", Spec: specPtr(exp.CPUTaskSpec(470))}
+	// A record whose bytes changed after hashing: must be dropped.
+	bad := good
+	bad.Key = "cpu/471"
+	bad.Hash = "deadbeef"
+	goodHashed := mustHashed(t, good)
+
+	next := int64(100)
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(StreamResponse{
+			Records: []exp.Record{goodHashed, bad},
+			Next:    next,
+			Term:    term,
+		})
+	}))
+	defer fake.Close()
+
+	sb := NewStandby(StandbyConfig{Primary: fake.URL, Fleet: Config{LeaseTTL: time.Second}, Logf: t.Logf})
+	if _, err := sb.pollOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sb.mu.Lock()
+	applied, badN, offset := sb.applied, sb.bad, sb.offset
+	sb.mu.Unlock()
+	if applied != 1 || badN != 1 || offset != 100 {
+		t.Fatalf("applied=%d bad=%d offset=%d, want 1/1/100", applied, badN, offset)
+	}
+
+	// The primary restarts at a higher term: the stream identity
+	// changed, so the follower must restart from zero.
+	term, next = 2, 0
+	if _, err := sb.pollOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sb.mu.Lock()
+	resets, offset2 := sb.resets, sb.offset
+	sb.mu.Unlock()
+	if resets != 1 || offset2 != 0 {
+		t.Fatalf("resets=%d offset=%d after term change, want 1/0", resets, offset2)
+	}
+}
+
+func specPtr(s exp.TaskSpec) *exp.TaskSpec { return &s }
+
+// mustHashed round-trips a record through a journal to stamp its hash.
+func mustHashed(t *testing.T, rec exp.Record) exp.Record {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	j, _, _, err := exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, _, err := exp.ReadJournalAt(path, 0, 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("re-read hashed record: %v (%d records)", err, len(recs))
+	}
+	return recs[0]
+}
+
+func TestDeposedCoordinatorFencesEverythingButObservability(t *testing.T) {
+	c, _, _ := journaledCoordinator(t, nil)
+	c.OpenTerm()
+	mustAdmit(t, c, exp.CPUTaskSpec(470))
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	if c.ObserveTerm(c.Term() + 1); !c.Deposed() {
+		t.Fatal("ObserveTerm(newer) did not depose")
+	}
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	// Campaign traffic bounces with the standby marker so clients rotate.
+	if resp := get("/v1/runs/cpu/470"); resp.StatusCode != http.StatusServiceUnavailable ||
+		resp.Header.Get(HeaderStandby) == "" {
+		t.Fatalf("deposed status endpoint: %d standby=%q", resp.StatusCode, resp.Header.Get(HeaderStandby))
+	}
+	// Observability, replication, and fencing stay reachable.
+	for _, path := range []string{"/healthz", "/metricsz", "/fleet/v1/journal/stream?from=0"} {
+		if resp := get(path); resp.StatusCode != http.StatusOK {
+			t.Fatalf("deposed %s: %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// Every response — fenced or exempt — names the term.
+	if got := get("/healthz").Header.Get(HeaderTerm); got == "" || got == "0" {
+		t.Fatalf("missing term header on exempt path: %q", got)
+	}
+
+	// A worker that saw the new term reports a completion here anyway
+	// (raced the failover): the deposed coordinator must refuse it.
+	body, _ := json.Marshal(CompleteRequest{Worker: "w1", Key: "cpu/470", Result: okResult(), Term: c.Term()})
+	resp, err := http.Post(ts.URL+"/fleet/v1/complete", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deposed complete: %d, want 503 fence", resp.StatusCode)
+	}
+	if n := c.Counters()["fleet_fenced_requests"]; n < 2 {
+		t.Fatalf("fleet_fenced_requests = %v, want >= 2", n)
+	}
+}
+
+func TestCompleteCarryingNewerTermDeposesAndRefuses(t *testing.T) {
+	c, _, _ := journaledCoordinator(t, nil)
+	c.OpenTerm()
+	key := mustAdmit(t, c, exp.CPUTaskSpec(470))
+	if l := c.Lease("w1"); l.None {
+		t.Fatal("no grant")
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// The very request that reveals the newer term is the first one
+	// refused: the result must land on the new primary, not here.
+	body, _ := json.Marshal(CompleteRequest{Worker: "w1", Key: key, Result: okResult(), Term: c.Term() + 1})
+	resp, err := http.Post(ts.URL+"/fleet/v1/complete", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr CompleteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.StaleTerm || cr.Accepted {
+		t.Fatalf("complete with newer term = %+v, want StaleTerm refusal", cr)
+	}
+	if !c.Deposed() {
+		t.Fatal("coordinator not deposed by the completion's term")
+	}
+	if _, hit := c.store[key]; hit {
+		t.Fatal("deposed coordinator absorbed the result anyway")
+	}
+}
+
+func TestAgentRejectsGrantFromStaleTerm(t *testing.T) {
+	// A load balancer (or a half-failed-over address list) can hand an
+	// agent a lease granted by the OLD primary while the agent already
+	// knows the new term from a prior response. The grant's body term
+	// betrays its origin; the agent must drop it, not execute it.
+	var grants int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderTerm, "5") // the address now fronts term 5
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/lease"):
+			grants++
+			spec := exp.CPUTaskSpec(470)
+			json.NewEncoder(w).Encode(LeaseResponse{Key: spec.Key(), Spec: &spec, TTLMS: 60_000, Term: 4})
+		default:
+			json.NewEncoder(w).Encode(struct{}{})
+		}
+	}))
+	defer ts.Close()
+
+	executed := make(chan string, 1)
+	ag := &Agent{
+		Coordinator: fastClient(ts.URL),
+		WorkerID:    "w1",
+		PollInterval: 5 * time.Millisecond,
+		RunFunc: func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+			executed <- spec.Key()
+			return exp.TaskResult{}, nil
+		},
+		Logf: t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_ = ag.Run(ctx)
+
+	select {
+	case key := <-executed:
+		t.Fatalf("agent executed %s from a stale-term grant", key)
+	default:
+	}
+	if grants == 0 {
+		t.Fatal("agent never polled for a lease")
+	}
+	if ag.StaleGrants() == 0 {
+		t.Fatal("stale grants not counted")
+	}
+}
+
+func TestReplayHostileInputs(t *testing.T) {
+	c, _ := testCoordinator(t, nil)
+	spec := exp.CPUTaskSpec(100)
+	recs := []exp.Record{
+		{Kind: exp.KindQueued, Key: "cpu/100", Spec: &spec},
+		{Kind: exp.KindCPU, Key: "100", IPC: 1.0},
+		// Duplicate completion for an already-resolved key: first wins.
+		{Kind: exp.KindCPU, Key: "100", IPC: 9.9},
+		// Term records out of order: the max wins, the rest are counted.
+		{Kind: exp.KindTerm, Term: 3},
+		{Kind: exp.KindTerm, Term: 2},
+		{Kind: exp.KindTerm, Term: 3},
+		// Completion for a key never admitted or leased here: adopted
+		// into the store (a result is a result) and counted as orphan.
+		{Kind: exp.KindCPU, Key: "999", IPC: 2.0},
+		// Foreign and payload-less records: ignored, never fatal.
+		{Kind: "cell", Key: "sweep/x"},
+		{Kind: exp.KindMix, Key: "M1/0"}, // mix completion without a payload
+	}
+	st := c.Replay(recs)
+	if st.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1", st.Duplicates)
+	}
+	if st.StaleTerms != 2 || st.Term != 3 {
+		t.Fatalf("StaleTerms=%d Term=%d, want 2/3", st.StaleTerms, st.Term)
+	}
+	if st.Orphans != 1 {
+		t.Fatalf("Orphans = %d, want 1", st.Orphans)
+	}
+	if st.Ignored != 2 {
+		t.Fatalf("Ignored = %d, want 2", st.Ignored)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2 (cpu/100 + adopted orphan)", st.Completed)
+	}
+	if res, ok := c.store["cpu/100"]; !ok || res.IPC != 1.0 {
+		t.Fatalf("store[cpu/100] = %+v %v, want first writer's 1.0", res, ok)
+	}
+	if _, ok := c.store["cpu/999"]; !ok {
+		t.Fatal("orphan completion not adopted")
+	}
+	// The journal's term floors the coordinator's: taking office opens
+	// strictly above everything already seen.
+	if term := c.OpenTerm(); term != 4 {
+		t.Fatalf("OpenTerm after replay = %d, want 4", term)
+	}
+	mustConserve(t, c)
+}

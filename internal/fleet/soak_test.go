@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestSoakFleetSaturation is `make soak-fleet`: a 10k-task saturation
+// campaign (twin-tier grants batched 16-wide) through a primary + hot
+// standby, with the primary killed mid-campaign. Execution is stubbed —
+// the soak measures the control plane: grant throughput, the failover
+// gap, and how much work the replication gap re-ran. Results land in
+// BENCH_PR10.json (override with HETSIM_BENCH_OUT).
+//
+// Gated behind HETSIM_SOAK_FLEET=1: minutes of fsync-bound journal
+// traffic, not unit-test material.
+func TestSoakFleetSaturation(t *testing.T) {
+	if os.Getenv("HETSIM_SOAK_FLEET") == "" {
+		t.Skip("set HETSIM_SOAK_FLEET=1 to run the fleet saturation soak")
+	}
+	const tasks = 10_000
+	dir := t.TempDir()
+
+	pj, _, _, err := exp.OpenJournal(filepath.Join(dir, "primary.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pj.Close()
+	primary := New(Config{
+		LeaseTTL: 10 * time.Second, LeaseBatch: 16,
+		QueueDepth: tasks + 64, ID: "primary", Journal: pj,
+	})
+	primary.OpenTerm()
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	primary.Start(pctx)
+	pts := httptest.NewServer(primary.Handler())
+
+	sj, _, _, err := exp.OpenJournal(filepath.Join(dir, "standby.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sj.Close()
+	sb := NewStandby(StandbyConfig{
+		Primary: pts.URL,
+		Fleet: Config{
+			LeaseTTL: 10 * time.Second, LeaseBatch: 16,
+			QueueDepth: tasks + 64, ID: "standby", Journal: sj,
+		},
+		PollInterval:  20 * time.Millisecond,
+		FailoverAfter: 300 * time.Millisecond,
+		BatchLimit:    2048,
+		Logf:          t.Logf,
+	})
+	sts := httptest.NewServer(sb.Handler())
+	defer sts.Close()
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	go sb.Run(sctx)
+
+	// The campaign: every twin-tier mix×policy cell (the batched tier),
+	// padded to 10k with distinct random scenarios.
+	rng := rand.New(rand.NewSource(20260808))
+	var specs []exp.TaskSpec
+	for _, m := range append(workloads.EvalMixes(), workloads.MotivationMixes()...) {
+		for p := 0; p < 9; p++ {
+			spec := exp.MixTaskSpec(m.ID, sim.Policy(p))
+			spec.Tier = exp.TierTwin
+			specs = append(specs, spec)
+		}
+	}
+	for len(specs) < tasks {
+		specs = append(specs, exp.ScenarioTaskSpec(scenario.Rand(rng.Uint64()), sim.Policy(rng.Intn(9))))
+	}
+	specs = specs[:tasks]
+	start := time.Now()
+	for _, spec := range specs {
+		if resp, code := primary.Admit(spec); code != 202 && code != 200 {
+			t.Fatalf("admit %s: code %d (%s)", spec.Key(), code, resp.Error)
+		}
+	}
+	admitted := time.Since(start)
+
+	// Three agents with stubbed execution, each addressing the
+	// replicated pair; execution counts expose post-failover recompute.
+	var execMu sync.Mutex
+	execs := make(map[string]int, tasks)
+	runStub := func(ctx context.Context, spec exp.TaskSpec) (exp.TaskResult, error) {
+		execMu.Lock()
+		execs[spec.Key()]++
+		execMu.Unlock()
+		return exp.TaskResult{IPC: 1}, nil
+	}
+	pair := pts.URL + "," + sts.URL
+	for i := 0; i < 3; i++ {
+		_, stop := startAgent(t, pair, fmt.Sprintf("w%d", i+1), runStub)
+		defer stop()
+	}
+
+	storeSize := func(c *Coordinator) int { return int(c.Counters()["fleet_store_size"]) }
+	deadline := time.Now().Add(10 * time.Minute)
+	for storeSize(primary) < tasks/2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("primary stalled at %d completions", storeSize(primary))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the primary: listener down, sweeper stopped, no drain.
+	primaryGrants := primary.Counters()["fleet_leases_granted"]
+	killAt := time.Now()
+	pcancel()
+	pts.CloseClientConnections()
+	pts.Close()
+
+	var promoted *Coordinator
+	for promoted == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never promoted")
+		}
+		promoted = sb.Coordinator()
+		time.Sleep(time.Millisecond)
+	}
+	promoteGap := time.Since(killAt)
+	grantsAtPromote := promoted.Counters()["fleet_leases_granted"]
+	for promoted.Counters()["fleet_leases_granted"] <= grantsAtPromote {
+		if time.Now().After(deadline) {
+			t.Fatal("promoted coordinator never granted a lease")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	firstGrantGap := time.Since(killAt)
+
+	for storeSize(promoted) < tasks {
+		if time.Now().After(deadline) {
+			t.Fatalf("promoted coordinator stalled at %d completions", storeSize(promoted))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if err := promoted.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	execMu.Lock()
+	recomputed, executions := 0, 0
+	for _, n := range execs {
+		executions += n
+		if n > 1 {
+			recomputed++
+		}
+	}
+	execMu.Unlock()
+	totalGrants := primaryGrants + promoted.Counters()["fleet_leases_granted"]
+
+	bench := map[string]any{
+		"bench":            "fleet-saturation-ha",
+		"tasks":            tasks,
+		"workers":          3,
+		"lease_batch":      16,
+		"admit_ms":         admitted.Milliseconds(),
+		"duration_ms":      elapsed.Milliseconds(),
+		"grants_total":     totalGrants,
+		"grants_per_sec":   float64(totalGrants) / elapsed.Seconds(),
+		"tasks_per_sec":    float64(tasks) / elapsed.Seconds(),
+		"promote_gap_ms":   promoteGap.Milliseconds(),
+		"failover_gap_ms":  firstGrantGap.Milliseconds(),
+		"executions":       executions,
+		"recomputed_keys":  recomputed,
+		"term":             promoted.Term(),
+		"affinity_hits":    promoted.Counters()["fleet_affinity_hits"],
+		"stale_term_drops": 0,
+	}
+	out := os.Getenv("HETSIM_BENCH_OUT")
+	if out == "" {
+		out = "BENCH_PR10.json"
+	}
+	raw, _ := json.MarshalIndent(bench, "", "  ")
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d tasks in %v (%.0f grants/sec), promote gap %v, first grant %v, %d keys recomputed -> %s",
+		tasks, elapsed.Round(time.Millisecond), bench["grants_per_sec"], promoteGap.Round(time.Millisecond),
+		firstGrantGap.Round(time.Millisecond), recomputed, out)
+}

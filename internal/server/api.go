@@ -64,6 +64,7 @@ type Health struct {
 	Engine     string  `json:"engine"`
 	QueueDepth int     `json:"queue_depth"`
 	Draining   bool    `json:"draining,omitempty"`
+	Term       uint64  `json:"term,omitempty"` // fleet coordinators: current epoch (DESIGN.md §15)
 }
 
 // writeJSON emits v with the given HTTP status.
